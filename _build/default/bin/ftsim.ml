@@ -1,0 +1,350 @@
+(* ftsim: run FT-Linux simulation scenarios ad hoc from the command line.
+
+   Subcommands mirror the paper's workloads; every knob of the model
+   (partitioning, block sizes, CPU loads, failure time, driver reload) is a
+   flag.  `dune exec bin/ftsim.exe -- --help` lists everything. *)
+
+open Cmdliner
+open Ftsim_sim
+open Ftsim_kernel
+open Ftsim_netstack
+open Ftsim_ftlinux
+open Ftsim_apps
+
+let mib n = n * 1024 * 1024
+
+let drive eng ~cap ~stop =
+  let rec loop () =
+    if (not (stop ())) && Engine.now eng < cap then begin
+      Engine.run ~until:(min cap (Engine.now eng + Time.ms 100)) eng;
+      loop ()
+    end
+  in
+  loop ()
+
+let gbit_link eng =
+  Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100) ()
+
+(* {1 Common flags} *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+
+let replicated_t =
+  Arg.(
+    value & opt bool true
+    & info [ "replicated" ] ~docv:"BOOL"
+        ~doc:"Run under FT-Linux replication (false = plain kernel).")
+
+let fail_at_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fail-at-ms" ] ~docv:"MS"
+        ~doc:"Fail-stop the primary partition at this simulated time.")
+
+let driver_ms_t =
+  Arg.(
+    value & opt int 4950
+    & info [ "driver-ms" ] ~docv:"MS" ~doc:"NIC driver reload time at failover.")
+
+(* {1 pbzip2} *)
+
+let pbzip2_cmd =
+  let run seed replicated fail_at block_kb file_mb workers =
+    let eng = Engine.create ~seed () in
+    let params =
+      {
+        Pbzip2.default_params with
+        Pbzip2.file_bytes = mib file_mb;
+        block_bytes = block_kb * 1024;
+        workers;
+      }
+    in
+    let t_done = ref None in
+    let finish api =
+      if (not replicated) || Kernel.name api.Api.kernel = "primary" then
+        t_done := Some (Engine.now eng)
+    in
+    let blocks = Pbzip2.block_count params in
+    let cluster_opt =
+      if replicated then begin
+        let app api =
+          Pbzip2.run ~params api;
+          finish api
+        in
+        let c = Cluster.create eng ~app () in
+        (match fail_at with
+        | Some ms -> Cluster.fail_primary c ~at:(Time.ms ms)
+        | None -> ());
+        Some c
+      end
+      else begin
+        let app api =
+          Pbzip2.run ~params api;
+          finish api
+        in
+        ignore (Cluster.create_standalone eng ~app ());
+        None
+      end
+    in
+    drive eng ~cap:(Time.sec 600) ~stop:(fun () -> !t_done <> None);
+    (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
+    match !t_done with
+    | Some t ->
+        Printf.printf "compressed %d blocks (%d MiB) in %s: %.0f blocks/s\n"
+          blocks file_mb (Time.to_string t)
+          (float_of_int blocks /. Time.to_sec_f t);
+        (match cluster_opt with
+        | Some c ->
+            Printf.printf "inter-replica: %d msgs, %.2f MB, %d det sections\n"
+              (Cluster.traffic_msgs c)
+              (float_of_int (Cluster.traffic_bytes c) /. 1e6)
+              (Cluster.det_ops c)
+        | None -> ())
+    | None -> Printf.printf "did not finish within the simulation cap\n"
+  in
+  let block_kb =
+    Arg.(value & opt int 100 & info [ "block-kb" ] ~docv:"KB" ~doc:"Block size.")
+  in
+  let file_mb =
+    Arg.(value & opt int 128 & info [ "file-mb" ] ~docv:"MB" ~doc:"Input size.")
+  in
+  let workers =
+    Arg.(value & opt int 32 & info [ "workers" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  Cmd.v
+    (Cmd.info "pbzip2" ~doc:"Parallel compression workload (paper §4.1).")
+    Term.(
+      const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
+      $ workers)
+
+(* {1 mongoose} *)
+
+let mongoose_cmd =
+  let run seed replicated cpu_us concurrency seconds =
+    let eng = Engine.create ~seed () in
+    let link = gbit_link eng in
+    let params =
+      {
+        Mongoose.default_params with
+        Mongoose.cpu_per_request = Time.us cpu_us;
+      }
+    in
+    let app api = Mongoose.run ~params api in
+    let cluster_opt =
+      if replicated then
+        Some (Cluster.create eng ~link:(Link.endpoint_a link) ~app ())
+      else begin
+        ignore
+          (Cluster.create_standalone eng ~link:(Link.endpoint_a link) ~app ());
+        None
+      end
+    in
+    let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+    let ab =
+      Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/page"
+        ~concurrency ()
+    in
+    Engine.run ~until:(Time.ms 400) eng;
+    let st = Loadgen.ab_stats ab in
+    let c0 = Metrics.Counter.value st.Loadgen.completed in
+    Engine.run ~until:(Time.ms 400 + Time.sec seconds) eng;
+    let c1 = Metrics.Counter.value st.Loadgen.completed in
+    Loadgen.ab_stop ab;
+    (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
+    Printf.printf
+      "%.0f req/s over %ds (concurrency %d, CPU loop %dus); p50 %.2fms p99 %.2fms\n"
+      (float_of_int (c1 - c0) /. float_of_int seconds)
+      seconds concurrency cpu_us
+      (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.5)
+      (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.99)
+  in
+  let cpu_us =
+    Arg.(
+      value & opt int 0
+      & info [ "cpu-us" ] ~docv:"US" ~doc:"Per-request CPU loop.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 100
+      & info [ "concurrency" ] ~docv:"N" ~doc:"Parallel client connections.")
+  in
+  let seconds =
+    Arg.(
+      value & opt int 2 & info [ "seconds" ] ~docv:"S" ~doc:"Measured window.")
+  in
+  Cmd.v
+    (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
+    Term.(const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds)
+
+(* {1 failover} *)
+
+let failover_cmd =
+  let run seed file_mb fail_at_ms driver_ms =
+    let eng = Engine.create ~seed () in
+    let link = gbit_link eng in
+    let app api =
+      Fileserver.run
+        ~params:
+          { Fileserver.default_params with Fileserver.file_bytes = mib file_mb }
+        api
+    in
+    let config =
+      { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
+    in
+    let cluster =
+      Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ()
+    in
+    Cluster.fail_primary cluster ~at:(Time.ms fail_at_ms);
+    let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+    let w =
+      Loadgen.wget_start client ~server:"10.0.0.1" ~port:80 ~target:"/file" ()
+    in
+    drive eng ~cap:(Time.sec 300) ~stop:(fun () -> Ivar.is_filled w.Loadgen.total);
+    Cluster.shutdown cluster;
+    Printf.printf "t(s)  MB/s\n";
+    List.iter
+      (fun (t, r) -> Printf.printf "%-5.0f %8.1f\n" t (r /. 1e6))
+      (Metrics.Series.rate_per_sec w.Loadgen.bytes_received);
+    (match
+       (Cluster.failover_started_at cluster, Cluster.failover_completed_at cluster)
+     with
+    | Some a, Some b ->
+        Printf.printf "failover outage: %s\n" (Time.to_string (b - a))
+    | _ -> Printf.printf "no failover\n");
+    match Ivar.peek w.Loadgen.total with
+    | Some n ->
+        Printf.printf "downloaded %d/%d bytes (%s)\n" n (mib file_mb)
+          (if n = mib file_mb then "complete" else "INCOMPLETE")
+    | None -> Printf.printf "download incomplete at cap\n"
+  in
+  let file_mb =
+    Arg.(value & opt int 512 & info [ "file-mb" ] ~docv:"MB" ~doc:"File size.")
+  in
+  let fail_at =
+    Arg.(
+      value & opt int 2000
+      & info [ "fail-at-ms" ] ~docv:"MS" ~doc:"Primary failure time.")
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
+    Term.(const run $ seed_t $ file_mb $ fail_at $ driver_ms_t)
+
+(* {1 triple} *)
+
+let triple_cmd =
+  let run seed fail_backup_ms fail_primary_ms driver_ms =
+    let eng = Engine.create ~seed () in
+    let link = gbit_link eng in
+    let config =
+      { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
+    in
+    let app (api : Api.t) =
+      let l = api.Api.net_listen ~port:80 in
+      let rec serve () =
+        let s = api.Api.net_accept l in
+        let rec echo () =
+          match api.Api.net_recv s ~max:4096 with
+          | [] -> api.Api.net_close s
+          | cs ->
+              List.iter (api.Api.net_send s) cs;
+              echo ()
+        in
+        echo ();
+        serve ()
+      in
+      serve ()
+    in
+    let t = Tricluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
+    (match fail_backup_ms with
+    | Some ms -> Tricluster.fail_backup t 0 ~at:(Time.ms ms)
+    | None -> ());
+    (match fail_primary_ms with
+    | Some ms -> Tricluster.fail_primary t ~at:(Time.ms ms)
+    | None -> ());
+    let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+    let messages = List.init 40 (fun i -> Printf.sprintf "m%02d|" i) in
+    let result = Ivar.create () in
+    ignore
+      (Host.spawn client "client" (fun () ->
+           let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:80 in
+           let out = Buffer.create 64 in
+           List.iter
+             (fun m ->
+               Tcp.send c (Payload.of_string m);
+               let want = String.length m in
+               let got = ref 0 in
+               while !got < want do
+                 match Tcp.recv c ~max:4096 with
+                 | [] -> failwith "eof"
+                 | cs ->
+                     got := !got + Payload.total_len cs;
+                     Buffer.add_string out (Payload.concat_to_string cs)
+               done;
+               Engine.sleep (Time.ms 5))
+             messages;
+           Ivar.fill result (Buffer.contents out)));
+    drive eng ~cap:(Time.sec 60) ~stop:(fun () -> Ivar.is_filled result);
+    Tricluster.shutdown t;
+    Printf.printf "backups' received LSN: %d / %d\n"
+      (Tricluster.backup_received_lsn t 0)
+      (Tricluster.backup_received_lsn t 1);
+    (match Tricluster.winner t with
+    | Some w -> Printf.printf "takeover winner: backup %d\n" w
+    | None -> Printf.printf "no failover occurred\n");
+    match Ivar.peek result with
+    | Some s when s = String.concat "" messages ->
+        Printf.printf "client stream: complete, exactly once (%d messages)\n"
+          (List.length messages)
+    | Some s -> Printf.printf "client stream: CORRUPTED (%d bytes)\n" (String.length s)
+    | None -> Printf.printf "client stream: incomplete\n"
+  in
+  let fail_backup =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fail-backup-ms" ] ~docv:"MS" ~doc:"Fail-stop backup 0.")
+  in
+  let fail_primary =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fail-primary-ms" ] ~docv:"MS" ~doc:"Fail-stop the primary.")
+  in
+  Cmd.v
+    (Cmd.info "triple"
+       ~doc:"Three-replica echo service with optional injected failures (paper 6).")
+    Term.(const run $ seed_t $ fail_backup $ fail_primary $ driver_ms_t)
+
+(* {1 memdump} *)
+
+let memdump_cmd =
+  let run multiplier ram_gib =
+    let layout = Memlayout.create ~ram_bytes:(ram_gib * 1024 * mib 1) in
+    Memcached.apply_load layout ~multiplier;
+    let i, d, u = Memlayout.fractions layout in
+    Printf.printf
+      "memcached at %dx on %d GiB: Ignored %.1f%%  Delayed %.1f%%  User %.1f%%\n"
+      multiplier ram_gib (100. *. i) (100. *. d) (100. *. u)
+  in
+  let multiplier =
+    Arg.(
+      value & opt int 180
+      & info [ "multiplier" ] ~docv:"N" ~doc:"Dataset size multiplier.")
+  in
+  let ram =
+    Arg.(value & opt int 96 & info [ "ram-gib" ] ~docv:"GIB" ~doc:"Machine RAM.")
+  in
+  Cmd.v
+    (Cmd.info "memdump"
+       ~doc:"Classify physical memory under a memcached load (paper Fig. 1).")
+    Term.(const run $ multiplier $ ram)
+
+let () =
+  let info =
+    Cmd.info "ftsim" ~version:"1.0"
+      ~doc:"FT-Linux intra-machine replication simulator (ICDCS 2017 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ pbzip2_cmd; mongoose_cmd; failover_cmd; triple_cmd; memdump_cmd ]))

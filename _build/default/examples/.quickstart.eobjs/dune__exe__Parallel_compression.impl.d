@@ -1,0 +1,1 @@
+examples/parallel_compression.ml: Api Cluster Engine Ftsim_apps Ftsim_ftlinux Ftsim_kernel Ftsim_sim Kernel Pbzip2 Printf Time

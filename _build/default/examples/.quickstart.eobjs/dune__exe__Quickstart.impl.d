@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Cluster Engine Ftsim_ftlinux Ftsim_hw Ftsim_kernel Ftsim_sim Ivar Kernel List Partition Printf Pthread Time Topology

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Buffer Cluster Engine Ftsim_apps Ftsim_ftlinux Ftsim_hw Ftsim_netstack Ftsim_sim Host Ivar Link Memcached Payload Printf String Tcp Time

@@ -1,0 +1,1 @@
+examples/triple_replication.ml: Api Buffer Cluster Engine Ftsim_ftlinux Ftsim_hw Ftsim_netstack Ftsim_sim Host Ivar Link List Partition Payload Printf String Tcp Time Tricluster

@@ -1,0 +1,1 @@
+examples/triple_replication.mli:

@@ -1,0 +1,1 @@
+examples/web_failover.ml: Cluster Engine Fileserver Ftsim_apps Ftsim_ftlinux Ftsim_netstack Ftsim_sim Host Ivar Link List Loadgen Metrics Printf Time

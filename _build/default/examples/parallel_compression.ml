@@ -1,0 +1,63 @@
+(* PBZIP2-style parallel compression, unreplicated versus replicated.
+
+   Runs the same producer/workers/writer application twice — once on a plain
+   kernel ("Ubuntu") and once replicated across two partitions — and prints
+   the throughput and inter-replica traffic, a miniature of the paper's
+   Figure 4/5 experiment.
+
+   Run with:  dune exec examples/parallel_compression.exe *)
+
+open Ftsim_sim
+open Ftsim_kernel
+open Ftsim_ftlinux
+open Ftsim_apps
+
+let params =
+  {
+    Pbzip2.default_params with
+    Pbzip2.file_bytes = 64 * 1024 * 1024;
+    block_bytes = 50 * 1024;
+    workers = 16;
+  }
+
+let () =
+  let nblocks = Pbzip2.block_count params in
+
+  (* Baseline: plain kernel. *)
+  let eng = Engine.create () in
+  let t_ubuntu = ref 0 in
+  let app api =
+    Pbzip2.run ~params api;
+    t_ubuntu := Engine.now eng
+  in
+  let _sa = Cluster.create_standalone eng ~app () in
+  Engine.run eng;
+  Printf.printf "Ubuntu:   %d blocks in %-10s (%.0f blocks/s)\n" nblocks
+    (Time.to_string !t_ubuntu)
+    (float_of_int nblocks /. Time.to_sec_f !t_ubuntu);
+
+  (* Replicated: same application, two partitions. *)
+  let eng = Engine.create () in
+  let t_ft = ref 0 in
+  let app api =
+    Pbzip2.run ~params api;
+    if Kernel.name api.Api.kernel = "primary" then t_ft := Engine.now eng
+  in
+  let cluster = Cluster.create eng ~app () in
+  let rec drive () =
+    if !t_ft = 0 && Engine.now eng < Time.sec 120 then begin
+      Engine.run ~until:(Engine.now eng + Time.ms 100) eng;
+      drive ()
+    end
+  in
+  drive ();
+  Cluster.shutdown cluster;
+  let dt = Time.to_sec_f !t_ft in
+  Printf.printf "FT-Linux: %d blocks in %-10s (%.0f blocks/s, %.1f%% of Ubuntu)\n"
+    nblocks (Time.to_string !t_ft)
+    (float_of_int nblocks /. dt)
+    (100. *. Time.to_sec_f !t_ubuntu /. dt);
+  Printf.printf "          %d inter-replica messages (%.2f MB), %d det sections\n"
+    (Cluster.traffic_msgs cluster)
+    (float_of_int (Cluster.traffic_bytes cluster) /. 1e6)
+    (Cluster.det_ops cluster)

@@ -1,0 +1,1 @@
+lib/apps/cpuhog.ml: Ftsim_kernel Ftsim_sim Kernel Metrics Printf Time

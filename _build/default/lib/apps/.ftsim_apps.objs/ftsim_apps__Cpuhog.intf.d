@@ -1,0 +1,1 @@
+lib/apps/cpuhog.mli: Ftsim_kernel Ftsim_sim Kernel

@@ -1,0 +1,1 @@
+lib/apps/fileserver.ml: Api Ftsim_ftlinux Ftsim_netstack Ftsim_sim Http Payload Printf Time

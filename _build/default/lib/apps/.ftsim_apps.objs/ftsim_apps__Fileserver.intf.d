@@ -1,0 +1,1 @@
+lib/apps/fileserver.mli: Api Ftsim_ftlinux

@@ -1,0 +1,1 @@
+lib/apps/loadgen.ml: Engine Ftsim_netstack Ftsim_sim Host Http Ivar Metrics Option Payload Printf Tcp Time

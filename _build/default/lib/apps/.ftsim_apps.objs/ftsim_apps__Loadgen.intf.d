@@ -1,0 +1,1 @@
+lib/apps/loadgen.mli: Ftsim_netstack Ftsim_sim Host Ivar Metrics Time

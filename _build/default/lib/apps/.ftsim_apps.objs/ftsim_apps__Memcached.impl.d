@@ -1,0 +1,1 @@
+lib/apps/memcached.ml: Api Buffer Ftsim_ftlinux Ftsim_kernel Ftsim_netstack Hashtbl List Payload Printf String Workqueue

@@ -1,0 +1,1 @@
+lib/apps/memcached.mli: Api Ftsim_ftlinux Ftsim_kernel

@@ -1,0 +1,1 @@
+lib/apps/mongoose.ml: Api Ftsim_ftlinux Ftsim_netstack Ftsim_sim Http List Payload Printf Time Workqueue

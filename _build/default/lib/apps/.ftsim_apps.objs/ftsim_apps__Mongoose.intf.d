@@ -1,0 +1,1 @@
+lib/apps/mongoose.mli: Api Ftsim_ftlinux Ftsim_sim Time

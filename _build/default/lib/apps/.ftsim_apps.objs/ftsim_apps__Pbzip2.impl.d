@@ -1,0 +1,1 @@
+lib/apps/pbzip2.ml: Api Ftsim_ftlinux Ftsim_kernel Ftsim_sim Hashtbl List Printf Pthread Time Workqueue

@@ -1,0 +1,1 @@
+lib/apps/pbzip2.mli: Api Ftsim_ftlinux

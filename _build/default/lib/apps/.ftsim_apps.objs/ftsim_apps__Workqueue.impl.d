@@ -1,0 +1,1 @@
+lib/apps/workqueue.ml: Ftsim_kernel Pthread Queue

@@ -1,0 +1,1 @@
+lib/apps/workqueue.mli: Ftsim_kernel Pthread

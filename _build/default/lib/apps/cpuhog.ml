@@ -1,0 +1,23 @@
+open Ftsim_sim
+open Ftsim_kernel
+
+type t = { mutable stopped : bool; burned : Metrics.Counter.t }
+
+let start kernel ~threads =
+  let t = { stopped = false; burned = Metrics.Counter.create () } in
+  for i = 1 to threads do
+    ignore
+      (Kernel.spawn_thread kernel
+         ~name:(Printf.sprintf "cpuhog-%d" i)
+         (fun () ->
+           let slice = Time.ms 1 in
+           while not t.stopped do
+             Kernel.compute kernel slice;
+             Metrics.Counter.add t.burned slice
+           done))
+  done;
+  t
+
+let stop t = t.stopped <- true
+
+let work_done t = Metrics.Counter.value t.burned

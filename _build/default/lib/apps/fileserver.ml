@@ -1,0 +1,48 @@
+open Ftsim_sim
+open Ftsim_netstack
+open Ftsim_ftlinux
+
+type params = {
+  port : int;
+  file_bytes : int;
+  chunk_bytes : int;
+  read_ns_per_byte : int;
+}
+
+let default_params =
+  {
+    port = 80;
+    file_bytes = 10 * 1024 * 1024 * 1024;
+    chunk_bytes = 256 * 1024;
+    read_ns_per_byte = 0;
+  }
+
+let serve_one (api : Api.t) p ~on_bytes_sent sock =
+  let reader = Http.reader_fn (fun max -> api.Api.net_recv sock ~max) in
+  match Http.read_headers reader with
+  | None -> api.Api.net_close sock
+  | Some _request ->
+      api.Api.net_send sock
+        (Payload.of_string (Http.response_header ~content_length:p.file_bytes ()));
+      let sent = ref 0 in
+      while !sent < p.file_bytes do
+        let n = min p.chunk_bytes (p.file_bytes - !sent) in
+        if p.read_ns_per_byte > 0 then
+          api.Api.compute (Time.ns (n * p.read_ns_per_byte));
+        api.Api.net_send sock (Payload.zeroes n);
+        sent := !sent + n;
+        on_bytes_sent n
+      done;
+      api.Api.net_close sock
+
+let run ?(params = default_params) ?(on_bytes_sent = fun _ -> ()) (api : Api.t) =
+  let listener = api.Api.net_listen ~port:params.port in
+  let rec accept_loop i =
+    let sock = api.Api.net_accept listener in
+    ignore
+      (api.Api.spawn
+         (Printf.sprintf "fileserver-conn-%d" i)
+         (fun () -> serve_one api params ~on_bytes_sent sock));
+    accept_loop (i + 1)
+  in
+  accept_loop 0

@@ -1,0 +1,19 @@
+(** The in-house HTTP file server of the failover experiment (paper §4.4):
+    a light-weight server that listens for connections and streams a large
+    file to each, chosen by the paper precisely because its overheads are
+    easy to break down. *)
+
+open Ftsim_ftlinux
+
+type params = {
+  port : int;
+  file_bytes : int;  (** paper: 10 GB *)
+  chunk_bytes : int;  (** application write size *)
+  read_ns_per_byte : int;  (** file-system read cost *)
+}
+
+val default_params : params
+
+val run : ?params:params -> ?on_bytes_sent:(int -> unit) -> Api.app
+(** Serve file downloads forever, one connection-handling thread per
+    accepted connection.  [on_bytes_sent n] fires per application write. *)

@@ -1,0 +1,107 @@
+open Ftsim_sim
+open Ftsim_netstack
+
+type ab_stats = {
+  completed : Metrics.Counter.t;
+  errors : Metrics.Counter.t;
+  latency : Metrics.Hist.t;
+  completions : Metrics.Series.t;
+}
+
+type ab = { stats : ab_stats; mutable stopped : bool }
+
+let one_request host ~server ~port ~target =
+  let stack = Host.stack host in
+  let c = Tcp.connect stack ~host:server ~port in
+  Tcp.send c (Payload.of_string (Http.request ~meth:"GET" ~target ()));
+  let reader = Http.reader c in
+  let result =
+    match Http.read_headers reader with
+    | None -> Error "no response"
+    | Some hdr -> (
+        match Http.content_length hdr with
+        | None -> Error "no content length"
+        | Some len ->
+            let got = Http.skip_body reader len in
+            if got = len then Ok () else Error "truncated body")
+  in
+  Tcp.close c;
+  (* Drain to let the FIN exchange finish promptly. *)
+  result
+
+let ab_start host ~server ~port ~target ~concurrency ?response_bytes_hint () =
+  ignore response_bytes_hint;
+  let eng = Engine.engine_of_proc (Host.spawn host "ab-probe" (fun () -> ())) in
+  let t =
+    {
+      stats =
+        {
+          completed = Metrics.Counter.create ();
+          errors = Metrics.Counter.create ();
+          latency = Metrics.Hist.create ();
+          completions = Metrics.Series.create ~bucket:(Time.sec 1);
+        };
+      stopped = false;
+    }
+  in
+  for w = 1 to concurrency do
+    ignore
+      (Host.spawn host
+         (Printf.sprintf "ab-worker-%d" w)
+         (fun () ->
+           let rec loop () =
+             if not t.stopped then begin
+               let t0 = Engine.now eng in
+               (match one_request host ~server ~port ~target with
+               | Ok () ->
+                   let dt = Engine.now eng - t0 in
+                   Metrics.Counter.incr t.stats.completed;
+                   Metrics.Hist.record t.stats.latency (Time.to_sec_f dt);
+                   Metrics.Series.add t.stats.completions ~at:(Engine.now eng) 1.0
+               | Error _ -> Metrics.Counter.incr t.stats.errors);
+               loop ()
+             end
+           in
+           loop ()))
+  done;
+  t
+
+let ab_stats t = t.stats
+
+let ab_stop t = t.stopped <- true
+
+type wget = { bytes_received : Metrics.Series.t; total : int Ivar.t }
+
+let wget_start host ~server ~port ~target ?(bucket = Time.sec 1) () =
+  let w = { bytes_received = Metrics.Series.create ~bucket; total = Ivar.create () } in
+  ignore
+    (Host.spawn host "wget" (fun () ->
+         let eng =
+           Ftsim_sim.Engine.engine_of_proc (Ftsim_sim.Engine.self ())
+         in
+         let stack = Host.stack host in
+         let c = Tcp.connect stack ~host:server ~port in
+         Tcp.send c (Payload.of_string (Http.request ~meth:"GET" ~target ()));
+         let reader = Http.reader c in
+         match Http.read_headers reader with
+         | None -> Ivar.fill w.total 0
+         | Some hdr ->
+             let len = Option.value ~default:0 (Http.content_length hdr) in
+             let received = ref 0 in
+             let rec drain () =
+               if !received < len then begin
+                 let want = min (256 * 1024) (len - !received) in
+                 match Http.read_body reader want with
+                 | [] -> () (* premature end *)
+                 | cs ->
+                     let n = Payload.total_len cs in
+                     received := !received + n;
+                     Metrics.Series.add w.bytes_received ~at:(Engine.now eng)
+                       (float_of_int n);
+                     drain ()
+               end
+             in
+             drain ();
+             Tcp.close c;
+             Ivar.fill w.total !received));
+  w

@@ -1,0 +1,48 @@
+(** Client-side load generators, run on a separate {!Ftsim_netstack.Host}
+    across the modelled 1 Gb/s link — as the paper runs ApacheBench and
+    wget on a client machine.
+
+    [ab] is ApacheBench-like: closed-loop workers, one TCP connection per
+    request (ab's default, no keep-alive).  [wget] downloads one file on one
+    connection, recording a throughput time series — the probe of the
+    failover experiment (Fig. 8). *)
+
+open Ftsim_sim
+open Ftsim_netstack
+
+(** {1 ApacheBench} *)
+
+type ab_stats = {
+  completed : Metrics.Counter.t;
+  errors : Metrics.Counter.t;
+  latency : Metrics.Hist.t;  (** per-request seconds *)
+  completions : Metrics.Series.t;  (** requests per time bucket *)
+}
+
+type ab
+
+val ab_start :
+  Host.t ->
+  server:string ->
+  port:int ->
+  target:string ->
+  concurrency:int ->
+  ?response_bytes_hint:int ->
+  unit ->
+  ab
+(** Start [concurrency] closed-loop request workers. *)
+
+val ab_stats : ab -> ab_stats
+
+val ab_stop : ab -> unit
+(** Workers finish their in-flight request and exit. *)
+
+(** {1 wget} *)
+
+type wget = {
+  bytes_received : Metrics.Series.t;  (** per-second byte arrivals *)
+  total : int Ivar.t;  (** filled with the byte count when complete *)
+}
+
+val wget_start :
+  Host.t -> server:string -> port:int -> target:string -> ?bucket:Time.t -> unit -> wget

@@ -1,0 +1,150 @@
+open Ftsim_netstack
+open Ftsim_ftlinux
+
+(* {1 Memory model}
+
+   Calibration anchors (96 GiB RAM, multiplier 180): user 62.4 GiB (65 %),
+   slab such that Ignored totals ~15 % with base kernel + page tables,
+   page cache constant (memcached barely uses it). *)
+
+type footprint = { user_bytes : int; slab_bytes : int; page_cache_bytes : int }
+
+let mib n = n * 1024 * 1024
+
+let footprint ~multiplier =
+  if multiplier < 0 then invalid_arg "Memcached.footprint";
+  {
+    user_bytes = multiplier * mib 347;
+    slab_bytes = mib 64 + (multiplier * mib 68);
+    page_cache_bytes = mib 2048;
+  }
+
+let apply_load layout ~multiplier =
+  let fp = footprint ~multiplier in
+  Ftsim_kernel.Memlayout.alloc_slab layout fp.slab_bytes;
+  Ftsim_kernel.Memlayout.alloc_page_cache layout fp.page_cache_bytes;
+  Ftsim_kernel.Memlayout.alloc_user layout fp.user_bytes
+
+(* {1 Key-value server} *)
+
+type params = { port : int; worker_threads : int }
+
+let default_params = { port = 11211; worker_threads = 8 }
+
+let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
+  let pt = api.Api.pt in
+  let store : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+  let store_lock = Ftsim_kernel.Pthread.mutex_create pt in
+  let q : Api.sock Workqueue.t = Workqueue.create pt ~capacity:256 in
+  let handle sock =
+    (* Accumulate bytes; the protocol is small-string based, so
+       materializing is fine. *)
+    let buf = Buffer.create 256 in
+    let eof = ref false in
+    let refill () =
+      match api.Api.net_recv sock ~max:65536 with
+      | [] -> eof := true
+      | cs -> Buffer.add_string buf (Payload.concat_to_string cs)
+    in
+    let take_line () =
+      let rec find () =
+        let s = Buffer.contents buf in
+        match String.index_opt s '\n' with
+        | Some i ->
+            let line = String.sub s 0 i in
+            Buffer.clear buf;
+            Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+            let line =
+              if String.length line > 0 && line.[String.length line - 1] = '\r'
+              then String.sub line 0 (String.length line - 1)
+              else line
+            in
+            Some line
+        | None ->
+            if !eof then None
+            else begin
+              refill ();
+              find ()
+            end
+      in
+      find ()
+    in
+    let take_exact n =
+      let rec wait () =
+        if Buffer.length buf < n then
+          if !eof then None
+          else begin
+            refill ();
+            wait ()
+          end
+        else begin
+          let s = Buffer.contents buf in
+          let v = String.sub s 0 n in
+          Buffer.clear buf;
+          Buffer.add_string buf (String.sub s n (String.length s - n));
+          Some v
+        end
+      in
+      wait ()
+    in
+    let reply s = api.Api.net_send sock (Payload.of_string s) in
+    let rec loop () =
+      match take_line () with
+      | None -> ()
+      | Some line -> (
+          match String.split_on_char ' ' line with
+          | [ "get"; key ] ->
+              Ftsim_kernel.Pthread.mutex_lock pt store_lock;
+              let v = Hashtbl.find_opt store key in
+              Ftsim_kernel.Pthread.mutex_unlock pt store_lock;
+              (match v with
+              | Some v ->
+                  reply (Printf.sprintf "VALUE %d\r\n" (String.length v));
+                  reply v
+              | None -> reply "MISS\r\n");
+              on_op "get";
+              loop ()
+          | [ "set"; key; nbytes ] -> (
+              match int_of_string_opt nbytes with
+              | None ->
+                  reply "ERROR\r\n";
+                  loop ()
+              | Some n -> (
+                  match take_exact n with
+                  | None -> ()
+                  | Some v ->
+                      Ftsim_kernel.Pthread.mutex_lock pt store_lock;
+                      Hashtbl.replace store key v;
+                      Ftsim_kernel.Pthread.mutex_unlock pt store_lock;
+                      reply "STORED\r\n";
+                      on_op "set";
+                      loop ()))
+          | [ "quit" ] -> ()
+          | _ ->
+              reply "ERROR\r\n";
+              loop ())
+    in
+    loop ();
+    api.Api.net_close sock
+  in
+  let _workers =
+    List.init params.worker_threads (fun w ->
+        api.Api.spawn
+          (Printf.sprintf "memcached-worker-%d" w)
+          (fun () ->
+            let rec loop () =
+              match Workqueue.pop pt q with
+              | None -> ()
+              | Some sock ->
+                  handle sock;
+                  loop ()
+            in
+            loop ()))
+  in
+  let listener = api.Api.net_listen ~port:params.port in
+  let rec accept_loop () =
+    let sock = api.Api.net_accept listener in
+    Workqueue.push pt q sock;
+    accept_loop ()
+  in
+  accept_loop ()

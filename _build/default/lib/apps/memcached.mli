@@ -1,0 +1,38 @@
+(** Memcached, in two roles.
+
+    {b Memory model} (paper Fig. 1): the paper runs memcached under a
+    CloudSuite load generator at dataset multipliers 3×–180× and classifies
+    a physical-memory dump.  [apply_load] reproduces the footprint on a
+    {!Ftsim_kernel.Memlayout}: anonymous user memory for the item heap,
+    kernel slab for sockets/connection tracking (scaling with offered
+    load), and a modest page cache.  Coefficients are calibrated so the
+    180× point lands on the paper's ≈15 % Ignored / 20 % Delayed / 65 %
+    User split; the shape across multipliers then follows from the model.
+
+    {b Server} (for examples): a small text-protocol key-value cache
+    runnable on the replicated API. *)
+
+open Ftsim_ftlinux
+
+(** {1 Memory model} *)
+
+type footprint = { user_bytes : int; slab_bytes : int; page_cache_bytes : int }
+
+val footprint : multiplier:int -> footprint
+
+val apply_load : Ftsim_kernel.Memlayout.t -> multiplier:int -> unit
+(** Allocate the footprint on the layout.  Raises
+    [Ftsim_kernel.Memlayout.Out_of_memory] if the dataset does not fit. *)
+
+(** {1 Key-value server} *)
+
+type params = { port : int; worker_threads : int }
+
+val default_params : params
+
+val server : ?params:params -> ?on_op:(string -> unit) -> Api.app
+(** Protocol, line-oriented over TCP:
+    ["set <key> <nbytes>\r\n<nbytes of value>"] → ["STORED\r\n"];
+    ["get <key>\r\n"] → ["VALUE <nbytes>\r\n<value>"] or ["MISS\r\n"];
+    ["quit\r\n"] closes.  [on_op] fires per completed operation with the
+    verb. *)

@@ -1,0 +1,65 @@
+open Ftsim_sim
+open Ftsim_netstack
+open Ftsim_ftlinux
+
+type params = {
+  port : int;
+  workers : int;
+  page_bytes : int;
+  cpu_per_request : Time.t;
+  accept_cost : Time.t;
+  queue_capacity : int;
+}
+
+let default_params =
+  {
+    port = 80;
+    workers = 32;
+    page_bytes = 10 * 1024;
+    cpu_per_request = 0;
+    accept_cost = Time.us 250;
+    queue_capacity = 512;
+  }
+
+let handle_conn (api : Api.t) p ~on_request sock =
+  let reader = Http.reader_fn (fun max -> api.Api.net_recv sock ~max) in
+  let rec serve_requests () =
+    match Http.read_headers reader with
+    | None -> ()
+    | Some _request ->
+        if p.cpu_per_request > 0 then api.Api.compute p.cpu_per_request;
+        api.Api.net_send sock
+          (Payload.of_string (Http.response_header ~content_length:p.page_bytes ()));
+        api.Api.net_send sock (Payload.zeroes p.page_bytes);
+        on_request ();
+        serve_requests ()
+  in
+  serve_requests ();
+  api.Api.net_close sock
+
+let run ?(params = default_params) ?(on_request = fun () -> ()) (api : Api.t) =
+  let pt = api.Api.pt in
+  let p = params in
+  let q : Api.sock Workqueue.t = Workqueue.create pt ~capacity:p.queue_capacity in
+  let _workers =
+    List.init p.workers (fun w ->
+        api.Api.spawn
+          (Printf.sprintf "mongoose-worker-%d" w)
+          (fun () ->
+            let rec loop () =
+              match Workqueue.pop pt q with
+              | None -> ()
+              | Some sock ->
+                  handle_conn api p ~on_request sock;
+                  loop ()
+            in
+            loop ()))
+  in
+  let listener = api.Api.net_listen ~port:p.port in
+  let rec accept_loop () =
+    let sock = api.Api.net_accept listener in
+    if p.accept_cost > 0 then api.Api.compute p.accept_cost;
+    Workqueue.push pt q sock;
+    accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,28 @@
+(** The Mongoose web server (paper §4.2).
+
+    One listening thread accepts connections and delegates processing to
+    worker threads through a shared queue protected by a pthread lock and a
+    condition variable — the structure the paper describes.  Each request
+    burns a configurable CPU loop (the paper's artificial per-request
+    computation) and answers with a static page. *)
+
+open Ftsim_sim
+open Ftsim_ftlinux
+
+type params = {
+  port : int;
+  workers : int;
+  page_bytes : int;  (** response body size (paper: 10 KB) *)
+  cpu_per_request : Time.t;  (** the artificial CPU loop *)
+  accept_cost : Time.t;
+      (** kernel accept(2)/socket-setup path, serialized on the single
+          listening thread — what caps the unloaded request rate *)
+  queue_capacity : int;
+}
+
+val default_params : params
+(** Port 80, 32 workers, 10 KB page, no CPU loop, 250 µs accept path. *)
+
+val run : ?params:params -> ?on_request:(unit -> unit) -> Api.app
+(** Serve forever; [on_request] fires when a response has been fully
+    handed to the TCP stack. *)

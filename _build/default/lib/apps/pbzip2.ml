@@ -1,0 +1,107 @@
+open Ftsim_sim
+open Ftsim_kernel
+open Ftsim_ftlinux
+
+type params = {
+  file_bytes : int;
+  block_bytes : int;
+  workers : int;
+  read_ns_per_byte : int;
+  compress_ns_per_byte : int;
+  write_ns_per_byte : int;
+  queue_capacity : int;
+}
+
+let default_params =
+  {
+    file_bytes = 1024 * 1024 * 1024;
+    block_bytes = 100 * 1024;
+    workers = 32;
+    read_ns_per_byte = 1;
+    compress_ns_per_byte = 460;
+    write_ns_per_byte = 1;
+    queue_capacity = 8;
+  }
+
+let block_count p = (p.file_bytes + p.block_bytes - 1) / p.block_bytes
+
+type block = { idx : int; bytes : int }
+
+let run ?(params = default_params) ?(on_block_done = fun _ -> ()) (api : Api.t) =
+  let pt = api.Api.pt in
+  let p = params in
+  let nblocks = block_count p in
+  let input_q : block Workqueue.t = Workqueue.create pt ~capacity:p.queue_capacity in
+  let output_q : block Workqueue.t = Workqueue.create pt ~capacity:p.queue_capacity in
+  (* Like the real PBZIP2: a global progress counter updated under a mutex
+     by every worker, and an output-file mutex taken by the writer. *)
+  let progress_m = Pthread.mutex_create pt in
+  let progress = ref 0 in
+  let outfile_m = Pthread.mutex_create pt in
+  let producer =
+    api.Api.spawn "pbzip2-producer" (fun () ->
+        for idx = 0 to nblocks - 1 do
+          let bytes =
+            min p.block_bytes (p.file_bytes - (idx * p.block_bytes))
+          in
+          api.Api.compute (Time.ns (bytes * p.read_ns_per_byte));
+          Workqueue.push pt input_q { idx; bytes }
+        done;
+        Workqueue.close pt input_q)
+  in
+  let workers =
+    List.init p.workers (fun w ->
+        api.Api.spawn
+          (Printf.sprintf "pbzip2-worker-%d" w)
+          (fun () ->
+            let rec loop () =
+              match Workqueue.pop pt input_q with
+              | None -> ()
+              | Some b ->
+                  api.Api.compute (Time.ns (b.bytes * p.compress_ns_per_byte));
+                  Pthread.mutex_lock pt progress_m;
+                  incr progress;
+                  Pthread.mutex_unlock pt progress_m;
+                  Workqueue.push pt output_q b;
+                  loop ()
+            in
+            loop ()))
+  in
+  let writer =
+    api.Api.spawn "pbzip2-writer" (fun () ->
+        (* Blocks finish out of order; commit them in file order. *)
+        let held : (int, block) Hashtbl.t = Hashtbl.create 64 in
+        let next = ref 0 in
+        let commit b =
+          Pthread.mutex_lock pt outfile_m;
+          api.Api.compute (Time.ns (b.bytes * p.write_ns_per_byte / 3));
+          Pthread.mutex_unlock pt outfile_m;
+          on_block_done b.idx;
+          incr next
+        in
+        let rec drain_held () =
+          match Hashtbl.find_opt held !next with
+          | Some b ->
+              Hashtbl.remove held !next;
+              commit b;
+              drain_held ()
+          | None -> ()
+        in
+        let rec loop () =
+          if !next < nblocks then
+            match Workqueue.pop pt output_q with
+            | None -> ()
+            | Some b ->
+                if b.idx = !next then begin
+                  commit b;
+                  drain_held ()
+                end
+                else Hashtbl.replace held b.idx b;
+                loop ()
+        in
+        loop ())
+  in
+  api.Api.join producer;
+  List.iter api.Api.join workers;
+  Workqueue.close pt output_q;
+  api.Api.join writer

@@ -1,0 +1,31 @@
+(** The PBZIP2 parallel compressor (paper §4.1).
+
+    Faithful to the structure the paper describes: a producer thread reads
+    the input file and splits it into equal blocks pushed into a shared
+    queue; a configurable number of worker threads dequeue, compress, and
+    push into an output queue; a writer thread reorders blocks and writes
+    the compressed file.  The queues are protected by pthread locks and
+    condition variables. *)
+
+open Ftsim_ftlinux
+
+type params = {
+  file_bytes : int;
+  block_bytes : int;
+  workers : int;
+  read_ns_per_byte : int;  (** producer's file-read cost *)
+  compress_ns_per_byte : int;  (** bzip2 CPU per input byte *)
+  write_ns_per_byte : int;  (** writer's file-write cost (output ~0.3x) *)
+  queue_capacity : int;
+}
+
+val default_params : params
+(** 1 GB file, 100 KB blocks, 32 workers; compression calibrated to ≈2 MB/s
+    per core, bzip2's ballpark on the paper's Opterons. *)
+
+val run : ?params:params -> ?on_block_done:(int -> unit) -> Api.app
+(** Run a full compression; [on_block_done idx] fires as the writer commits
+    each block (use it to build throughput series — install it only in the
+    primary's instance). *)
+
+val block_count : params -> int

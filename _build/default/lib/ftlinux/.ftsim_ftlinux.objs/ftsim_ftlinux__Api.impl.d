@@ -1,0 +1,1 @@
+lib/ftlinux/api.ml: Engine Ftsim_kernel Ftsim_netstack Ftsim_sim Payload Shadow Tcp Time

@@ -1,0 +1,1 @@
+lib/ftlinux/cluster.mli: Api Engine Ftsim_hw Ftsim_kernel Ftsim_netstack Ftsim_sim Ivar Kernel Link Machine Mailbox Namespace Partition Tcp Time Topology

@@ -1,0 +1,1 @@
+lib/ftlinux/det.ml: Bqueue Engine Ftsim_kernel Ftsim_sim Hashtbl Metrics Msglayer Sync Trace Waitq Wire

@@ -1,0 +1,1 @@
+lib/ftlinux/det.mli: Engine Ftsim_kernel Ftsim_sim Msglayer Wire

@@ -1,0 +1,1 @@
+lib/ftlinux/heartbeat.ml: Engine Ftsim_sim

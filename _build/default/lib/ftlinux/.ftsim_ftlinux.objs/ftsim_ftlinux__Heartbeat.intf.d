@@ -1,0 +1,1 @@
+lib/ftlinux/heartbeat.mli: Engine Ftsim_sim Time

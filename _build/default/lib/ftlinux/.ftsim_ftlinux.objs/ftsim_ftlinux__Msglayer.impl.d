@@ -1,0 +1,1 @@
+lib/ftlinux/msglayer.ml: Array Engine Ftsim_hw Ftsim_sim List Mailbox Metrics Sync Time Trace Waitq Wire

@@ -1,0 +1,1 @@
+lib/ftlinux/msglayer.mli: Engine Ftsim_hw Ftsim_sim Mailbox Time Wire

@@ -1,0 +1,1 @@
+lib/ftlinux/namespace.ml: Api Det Engine Ftsim_kernel Ftsim_netstack Ftsim_sim Fun Hashtbl Kernel List Msglayer Option Payload Printf Pthread Shadow Tcp Trace Vfs Wire

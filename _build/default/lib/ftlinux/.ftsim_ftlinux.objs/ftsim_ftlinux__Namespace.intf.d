@@ -1,0 +1,1 @@
+lib/ftlinux/namespace.mli: Api Ftsim_kernel Ftsim_netstack Kernel Msglayer Shadow Tcp Wire

@@ -1,0 +1,1 @@
+lib/ftlinux/paxos.ml: Array Bqueue Engine Ftsim_hw Ftsim_sim Fun Hashtbl List Mailbox Metrics Partition Printf Prng Sync Time Trace Waitq

@@ -1,0 +1,1 @@
+lib/ftlinux/paxos.mli: Engine Ftsim_hw Ftsim_sim Mailbox Partition

@@ -1,0 +1,1 @@
+lib/ftlinux/shadow.ml: Ftsim_netstack Hashtbl List Packet Payload Printf Tcp Wire

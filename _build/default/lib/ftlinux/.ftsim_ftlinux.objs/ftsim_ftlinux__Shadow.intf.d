@@ -1,0 +1,1 @@
+lib/ftlinux/shadow.mli: Ftsim_netstack Payload Tcp Wire

@@ -1,0 +1,1 @@
+lib/ftlinux/tricluster.mli: Api Cluster Engine Ftsim_hw Ftsim_netstack Ftsim_sim Ivar Link Partition Time

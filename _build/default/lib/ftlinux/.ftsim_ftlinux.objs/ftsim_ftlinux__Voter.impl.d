@@ -1,0 +1,1 @@
+lib/ftlinux/voter.ml: Hashtbl List

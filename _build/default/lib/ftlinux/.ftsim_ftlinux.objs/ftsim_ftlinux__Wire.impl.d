@@ -1,0 +1,1 @@
+lib/ftlinux/wire.ml: Format Ftsim_netstack Ftsim_sim List Printf

@@ -1,0 +1,1 @@
+lib/ftlinux/wire.mli: Format Ftsim_netstack Ftsim_sim

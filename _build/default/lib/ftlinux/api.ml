@@ -1,0 +1,33 @@
+open Ftsim_sim
+open Ftsim_netstack
+
+type sock_impl = S_real of Tcp.conn | S_shadow of Shadow.conn
+type sock = { mutable si : sock_impl }
+
+type listener_impl = L_real of Tcp.listener | L_shadow of { sh_port : int }
+type listener = { mutable li : listener_impl }
+
+type thread = Engine.proc
+
+type t = {
+  kernel : Ftsim_kernel.Kernel.t;
+  pt : Ftsim_kernel.Pthread.t;
+  spawn : string -> (unit -> unit) -> thread;
+  join : thread -> unit;
+  compute : Time.t -> unit;
+  gettimeofday : unit -> Time.t;
+  getenv : string -> string option;
+  net_listen : port:int -> listener;
+  net_accept : listener -> sock;
+  net_recv : sock -> max:int -> Payload.chunk list;
+  net_send : sock -> Payload.chunk -> unit;
+  net_close : sock -> unit;
+  net_poll : sock list -> timeout:Time.t -> sock list;
+  fs_open : path:string -> create:bool -> Ftsim_kernel.Vfs.fd;
+  fs_read : Ftsim_kernel.Vfs.fd -> max:int -> Payload.chunk list;
+  fs_append : Ftsim_kernel.Vfs.fd -> Payload.chunk -> unit;
+  fs_close : Ftsim_kernel.Vfs.fd -> unit;
+  fs_size : path:string -> int option;
+}
+
+type app = t -> unit

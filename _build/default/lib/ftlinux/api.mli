@@ -1,0 +1,50 @@
+(** The POSIX-like surface replicated applications are written against.
+
+    Transparency is the paper's headline property: the {e same} application
+    code runs unreplicated (the Ubuntu baseline), as the primary replica, or
+    as the replaying secondary — only the [Api.t] implementation behind it
+    changes (mirroring LD_PRELOAD interposition plus in-kernel syscall
+    interception).  Applications in {!Ftsim_apps} take an [Api.t] and use
+    nothing else. *)
+
+open Ftsim_sim
+open Ftsim_netstack
+
+type sock_impl = S_real of Tcp.conn | S_shadow of Shadow.conn
+type sock = { mutable si : sock_impl }
+
+type listener_impl = L_real of Tcp.listener | L_shadow of { sh_port : int }
+type listener = { mutable li : listener_impl }
+
+type thread = Engine.proc
+
+type t = {
+  kernel : Ftsim_kernel.Kernel.t;
+  pt : Ftsim_kernel.Pthread.t;  (** pthread library (hooked when replicated) *)
+  spawn : string -> (unit -> unit) -> thread;
+  join : thread -> unit;
+  compute : Time.t -> unit;  (** CPU-bound work *)
+  gettimeofday : unit -> Time.t;
+  getenv : string -> string option;
+      (** launch environment, replicated into the FT-Namespace (3) *)
+  net_listen : port:int -> listener;
+  net_accept : listener -> sock;
+  net_recv : sock -> max:int -> Payload.chunk list;  (** [[]] = end of stream *)
+  net_send : sock -> Payload.chunk -> unit;
+  net_close : sock -> unit;
+  net_poll : sock list -> timeout:Time.t -> sock list;
+      (** epoll-style readiness wait over the given sockets; [[]] on
+          timeout.  Replicated: the primary logs which indices were ready
+          and the secondary replays them (§3.2). *)
+  (* File system (§6 extension): each replica owns a local Vfs whose state
+     converges through deterministic replay — operations are ordered by
+     deterministic sections and read lengths are logged. *)
+  fs_open : path:string -> create:bool -> Ftsim_kernel.Vfs.fd;
+  fs_read : Ftsim_kernel.Vfs.fd -> max:int -> Payload.chunk list;
+  fs_append : Ftsim_kernel.Vfs.fd -> Payload.chunk -> unit;
+  fs_close : Ftsim_kernel.Vfs.fd -> unit;
+  fs_size : path:string -> int option;
+}
+
+type app = t -> unit
+(** An application entry point ("main"). *)

@@ -1,0 +1,282 @@
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_kernel
+open Ftsim_netstack
+
+type config = {
+  topology : Topology.spec;
+  split : [ `Symmetric | `Asymmetric of int ];
+  kernel_config : Kernel.config;
+  tcp_config : Tcp.config;
+  mailbox_config : Mailbox.config;
+  hb_period : Time.t;
+  hb_timeout : Time.t;
+  output_commit : bool;
+  ack_commit : bool;
+  driver_load_time : Time.t;
+  delta_replay_cost : Time.t;
+  server_ip : string;
+  app_env : (string * string) list;
+}
+
+let default_config =
+  {
+    topology = Topology.opteron_testbed;
+    split = `Symmetric;
+    kernel_config = Kernel.default_config;
+    tcp_config = Tcp.default_config;
+    mailbox_config = Mailbox.default_config;
+    hb_period = Time.ms 10;
+    hb_timeout = Time.ms 60;
+    output_commit = true;
+    ack_commit = true;
+    driver_load_time = Time.ms 4950;
+    delta_replay_cost = Time.us 10;
+    server_ip = "10.0.0.1";
+    app_env = [];
+  }
+
+type t = {
+  eng : Engine.t;
+  cfg : config;
+  machine : Machine.t;
+  part_p : Partition.t;
+  part_s : Partition.t;
+  kernel_p : Kernel.t;
+  kernel_s : Kernel.t;
+  ml_p : Msglayer.primary;
+  ml_s : Msglayer.secondary;
+  ns_p : Namespace.t;
+  ns_s : Namespace.t;
+  nic : Nic.t option;
+  hb_p : Heartbeat.t;
+  hb_s : Heartbeat.t;
+  failover_done : unit Ivar.t;
+  mutable failover_started : Time.t option;
+  mutable failover_completed : Time.t option;
+}
+
+let log = Trace.make "ft.cluster"
+
+let machine t = t.machine
+let primary_partition t = t.part_p
+let secondary_partition t = t.part_s
+let primary_kernel t = t.kernel_p
+let secondary_kernel t = t.kernel_s
+let primary_namespace t = t.ns_p
+let secondary_namespace t = t.ns_s
+let failover_done t = t.failover_done
+let failover_started_at t = t.failover_started
+let failover_completed_at t = t.failover_completed
+
+let traffic_msgs t = Msglayer.traffic_msgs t.ml_p t.ml_s
+let traffic_bytes t = Msglayer.traffic_bytes t.ml_p t.ml_s
+let reset_traffic t = Msglayer.reset_traffic t.ml_p t.ml_s
+let det_ops t = Namespace.det_ops t.ns_p
+let records_sent t = Msglayer.p_records t.ml_p
+
+let shutdown t =
+  Heartbeat.stop t.hb_p;
+  Heartbeat.stop t.hb_s
+
+(* The failover sequence (§3.7), run on the secondary when the primary is
+   declared failed.  Wall-clock is dominated by the NIC driver reload
+   (99 % of the ~5 s reported in §4.4). *)
+let run_failover t =
+  t.failover_started <- Some (Engine.now t.eng);
+  Trace.warnf log ~eng:t.eng "failover: primary declared failed";
+  Ipi.send_halt t.eng t.part_p;
+  ignore
+    (Kernel.spawn_thread t.kernel_s ~name:"ft-failover" (fun () ->
+         (* 1. Drain the log: everything the primary managed to put in
+            shared memory survives its crash and must be consumed. *)
+         let rec wait_drained () =
+           if not (Msglayer.drained t.ml_s) then begin
+             Engine.sleep (Time.ms 1);
+             wait_drained ()
+           end
+         in
+         wait_drained ();
+         (* 2. Let replay finish consuming the drained log; require two
+            consecutive idle observations to let in-progress operations
+            settle. *)
+         let rec wait_idle consecutive =
+           if consecutive >= 2 then ()
+           else begin
+             Engine.sleep (Time.ms 1);
+             if Namespace.replay_idle t.ns_s then wait_idle (consecutive + 1)
+             else wait_idle 0
+           end
+         in
+         wait_idle 0;
+         Trace.infof log ~eng:t.eng "failover: log drained, replay complete";
+         (* 3. Take over the network: reload the driver, rebuild the TCP
+            stack from the shadow's logical state, re-listen. *)
+         (match t.nic with
+         | Some nic ->
+             let stack_s =
+               Tcp.create (Netenv.of_kernel t.kernel_s) ~config:t.cfg.tcp_config
+                 ~ip:t.cfg.server_ip ()
+             in
+             Nic.transfer nic ~owner:t.part_s ~rx:(Tcp.rx_callback stack_s);
+             Tcp.bind_nic stack_s nic;
+             let shadow = Namespace.shadow_of t.ns_s in
+             let listeners =
+               List.map
+                 (fun port -> (port, Tcp.listen stack_s ~port))
+                 (Shadow.listener_ports shadow)
+             in
+             ignore (Shadow.restore_all shadow stack_s);
+             Namespace.go_live t.ns_s ~stack:stack_s ~listeners ()
+         | None -> Namespace.go_live t.ns_s ());
+         t.failover_completed <- Some (Engine.now t.eng);
+         Trace.warnf log ~eng:t.eng "failover: secondary is live";
+         Ivar.fill t.failover_done ()))
+
+let create eng ?(config = default_config) ?link ~app () =
+  let machine = Machine.create eng config.topology in
+  let part_p, part_s =
+    match config.split with
+    | `Symmetric -> Machine.split_symmetric machine
+    | `Asymmetric primary_cores -> Machine.split_asymmetric machine ~primary_cores
+  in
+  let kernel_p = Kernel.boot part_p ~config:config.kernel_config () in
+  let kernel_s = Kernel.boot part_s ~config:config.kernel_config () in
+  let duplex = Mailbox.duplex eng ~config:config.mailbox_config ~a:part_p ~b:part_s () in
+  (* A coherency-disrupting fault loses whatever the victim had in flight
+     in its outbound rings (§3.5's rare worst case). *)
+  Machine.on_coherency_loss machine ~partition_id:(Partition.id part_p) (fun () ->
+      ignore (Mailbox.drop_in_flight duplex.Mailbox.a_to_b));
+  Machine.on_coherency_loss machine ~partition_id:(Partition.id part_s) (fun () ->
+      ignore (Mailbox.drop_in_flight duplex.Mailbox.b_to_a));
+  let ml_p =
+    Msglayer.create_primary eng ~out:duplex.Mailbox.a_to_b ~inb:duplex.Mailbox.b_to_a
+  in
+  (* Primary-side network stack (the paper's primary owns all devices). *)
+  let nic, stack_p =
+    match link with
+    | None -> (None, None)
+    | Some ep ->
+        let nic = Nic.create eng ~driver_load_time:config.driver_load_time ep in
+        let stack =
+          Tcp.create (Netenv.of_kernel kernel_p) ~config:config.tcp_config
+            ~ip:config.server_ip ()
+        in
+        Tcp.bind_nic stack nic;
+        Nic.attach nic ~owner:part_p ~rx:(Tcp.rx_callback stack) ();
+        (Some nic, Some stack)
+  in
+  let ns_p =
+    Namespace.primary kernel_p ~sink:(Msglayer.sink_of_primary ml_p)
+      ?stack:stack_p ~env:config.app_env ~output_commit:config.output_commit
+      ~ack_commit:config.ack_commit ()
+  in
+  (* The launch procedure replicates the environment to the secondary so
+     both replicas start the application identically (3). *)
+  let ns_s = Namespace.secondary kernel_s ~env:config.app_env () in
+  let ml_s =
+    Msglayer.create_secondary eng ~inb:duplex.Mailbox.a_to_b
+      ~out:duplex.Mailbox.b_to_a
+      ~replay_cost:config.kernel_config.Kernel.wake_latency
+      ~delta_cost:config.delta_replay_cost
+      ~handler:(fun record -> Namespace.record_handler ns_s record)
+  in
+  Msglayer.spawn_primary_rx ml_p (fun name f ->
+      Kernel.spawn_thread kernel_p ~name f);
+  Msglayer.spawn_secondary_rx ml_s (fun name f ->
+      Kernel.spawn_thread kernel_s ~name f);
+  let t_ref = ref None in
+  let hb_p =
+    Heartbeat.start
+      ~spawn:(fun name f -> Kernel.spawn_thread kernel_p ~name f)
+      ~eng ~period:config.hb_period ~timeout:config.hb_timeout
+      ~send:(fun ~seq -> Msglayer.send_heartbeat_p ml_p ~seq)
+      ~last_peer:(fun () -> Msglayer.last_peer_activity_p ml_p)
+      ~on_failure:(fun () ->
+        (* Secondary died: run solo, unreplicated. *)
+        match !t_ref with
+        | Some t ->
+            Trace.warnf log ~eng "secondary declared failed; primary runs solo";
+            Ipi.send_halt eng t.part_s;
+            Msglayer.disable t.ml_p;
+            Namespace.go_solo t.ns_p
+        | None -> ())
+  in
+  let hb_s =
+    Heartbeat.start
+      ~spawn:(fun name f -> Kernel.spawn_thread kernel_s ~name f)
+      ~eng ~period:config.hb_period ~timeout:config.hb_timeout
+      ~send:(fun ~seq -> Msglayer.send_heartbeat_s ml_s ~seq)
+      ~last_peer:(fun () -> Msglayer.last_peer_activity_s ml_s)
+      ~on_failure:(fun () ->
+        match !t_ref with Some t -> run_failover t | None -> ())
+  in
+  let t =
+    {
+      eng;
+      cfg = config;
+      machine;
+      part_p;
+      part_s;
+      kernel_p;
+      kernel_s;
+      ml_p;
+      ml_s;
+      ns_p;
+      ns_s;
+      nic;
+      hb_p;
+      hb_s;
+      failover_done = Ivar.create ();
+      failover_started = None;
+      failover_completed = None;
+    }
+  in
+  t_ref := Some t;
+  ignore (Namespace.start_app ns_p app);
+  ignore (Namespace.start_app ns_s app);
+  t
+
+let fail_primary t ~at =
+  Machine.inject t.machine
+    (Fault.at at ~partition_id:(Partition.id t.part_p) Fault.Core_failstop)
+
+(* {1 Baseline} *)
+
+type standalone = {
+  sa_kernel : Kernel.t;
+  sa_ns : Namespace.t;
+}
+
+let create_standalone eng ?(topology = Topology.opteron_testbed) ?cores
+    ?(kernel_config = Kernel.default_config) ?(tcp_config = Tcp.default_config)
+    ?(server_ip = "10.0.0.1") ?link ~app () =
+  let machine = Machine.create eng topology in
+  let cores =
+    match cores with Some c -> c | None -> Topology.total_cores topology / 2
+  in
+  let nodes = List.init (topology.Topology.numa_nodes / 2) Fun.id in
+  let part =
+    Machine.add_partition machine ~name:"ubuntu" ~cores
+      ~ram_bytes:(topology.Topology.ram_bytes / 2)
+      ~numa_nodes:nodes
+  in
+  let kernel = Kernel.boot part ~config:kernel_config () in
+  let stack =
+    match link with
+    | None -> None
+    | Some ep ->
+        let nic = Nic.create eng ~driver_load_time:0 ep in
+        let stack =
+          Tcp.create (Netenv.of_kernel kernel) ~config:tcp_config ~ip:server_ip ()
+        in
+        Tcp.bind_nic stack nic;
+        Nic.attach nic ~owner:part ~rx:(Tcp.rx_callback stack) ();
+        Some stack
+  in
+  let ns = Namespace.standalone kernel ?stack () in
+  ignore (Namespace.start_app ns app);
+  { sa_kernel = kernel; sa_ns = ns }
+
+let standalone_kernel s = s.sa_kernel
+let standalone_namespace s = s.sa_ns

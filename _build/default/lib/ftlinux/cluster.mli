@@ -1,0 +1,99 @@
+(** Assembly of a complete FT-Linux machine.
+
+    [create] partitions a machine, boots one kernel per partition, wires the
+    shared-memory message layer, launches the application replicated in an
+    FT-Namespace on both kernels, and starts heart-beat failure detection.
+    When the primary partition fails (inject via {!Ftsim_hw.Machine.inject}
+    or {!fail_primary}), the secondary runs the full failover sequence:
+    IPI-halt, log drain, replay completion, NIC driver reload, TCP stack
+    reconstruction, switch to live execution.
+
+    [standalone] builds the baseline: the same application on an unmodified
+    kernel given the same resources as a single FT-Linux partition. *)
+
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_kernel
+open Ftsim_netstack
+
+type config = {
+  topology : Topology.spec;
+  split : [ `Symmetric | `Asymmetric of int ];
+      (** [`Asymmetric n]: n-core primary, 1-core secondary (§4.3) *)
+  kernel_config : Kernel.config;
+  tcp_config : Tcp.config;
+  mailbox_config : Mailbox.config;
+  hb_period : Time.t;
+  hb_timeout : Time.t;
+  output_commit : bool;
+  ack_commit : bool;
+  driver_load_time : Time.t;
+  delta_replay_cost : Time.t;
+      (** secondary-side cost of absorbing one TCP delta (the
+          [wake_up_process] latency applies only to thread-waking records) *)
+  server_ip : string;
+  app_env : (string * string) list;
+      (** environment variables replicated into the FT-Namespace at launch *)
+}
+
+val default_config : config
+(** Paper testbed: 64-core/8-node machine split symmetrically, 0.55 µs
+    mailbox, 10 ms heart-beats with 60 ms timeout, output commit on,
+    4.95 s driver load. *)
+
+type t
+
+val create :
+  Engine.t -> ?config:config -> ?link:Link.endpoint -> app:Api.app -> unit -> t
+(** Build the machine and start the replicated application.  [link] attaches
+    the (single, shared) NIC to the given link endpoint; omit it for
+    compute-only workloads. *)
+
+val machine : t -> Machine.t
+val primary_partition : t -> Partition.t
+val secondary_partition : t -> Partition.t
+val primary_kernel : t -> Kernel.t
+val secondary_kernel : t -> Kernel.t
+val primary_namespace : t -> Namespace.t
+val secondary_namespace : t -> Namespace.t
+
+val fail_primary : t -> at:Time.t -> unit
+(** Schedule a fail-stop core fault on the primary partition. *)
+
+val failover_done : t -> unit Ivar.t
+(** Filled when the secondary has completed takeover. *)
+
+val failover_started_at : t -> Time.t option
+val failover_completed_at : t -> Time.t option
+
+val shutdown : t -> unit
+(** Stop heart-beat timers so an idle simulation can drain. *)
+
+(** {1 Traffic and replication metrics} *)
+
+val traffic_msgs : t -> int
+val traffic_bytes : t -> int
+val reset_traffic : t -> unit
+val det_ops : t -> int
+val records_sent : t -> int
+
+(** {1 Baseline} *)
+
+type standalone
+
+val create_standalone :
+  Engine.t ->
+  ?topology:Topology.spec ->
+  ?cores:int ->
+  ?kernel_config:Kernel.config ->
+  ?tcp_config:Tcp.config ->
+  ?server_ip:string ->
+  ?link:Link.endpoint ->
+  app:Api.app ->
+  unit ->
+  standalone
+(** One partition with [cores] cores (default: half the machine, matching
+    one FT-Linux partition) running the application directly. *)
+
+val standalone_kernel : standalone -> Kernel.t
+val standalone_namespace : standalone -> Namespace.t

@@ -1,0 +1,267 @@
+open Ftsim_sim
+
+type role = Primary_role | Secondary_role
+
+type queued_syscall = Q_result of Wire.syscall_result | Q_live
+
+type thread_ctx = {
+  ft_pid : int;
+  mutable dseq : int;  (* deterministic-section sequence *)
+  mutable sseq : int;  (* syscall sequence (primary) *)
+  sys_q : queued_syscall Bqueue.t;  (* secondary: routed results *)
+  mutable live_seen : bool;
+}
+
+type pending_tuple = {
+  pt_ft_pid : int;
+  pt_thread_seq : int;
+  pt_payload : Wire.det_payload;
+}
+
+type t = {
+  rl : role;
+  eng : Engine.t;
+  global : Sync.Mutex.t;
+  mutable gseq : int;
+  by_proc : (int, thread_ctx) Hashtbl.t;  (* engine pid -> ctx *)
+  by_ftpid : (int, thread_ctx) Hashtbl.t;
+  ml : Msglayer.sink option;
+  mutable next_ftpid : int;
+  mutable cur_payload : Wire.det_payload;  (* primary, inside section *)
+  pending : (int, pending_tuple) Hashtbl.t;  (* secondary: global_seq -> tuple *)
+  turn_changed : Waitq.t;
+  mutable live : bool;
+  ops : Metrics.Counter.t;
+}
+
+let log = Trace.make "ft.det"
+
+let make rl eng ml =
+  {
+    rl;
+    eng;
+    global = Sync.Mutex.create ();
+    gseq = 0;
+    by_proc = Hashtbl.create 64;
+    by_ftpid = Hashtbl.create 64;
+    ml;
+    next_ftpid = 0;
+    cur_payload = Wire.P_plain;
+    pending = Hashtbl.create 64;
+    turn_changed = Waitq.create ();
+    live = false;
+    ops = Metrics.Counter.create ();
+  }
+
+let create_primary eng ml = make Primary_role eng (Some ml)
+let create_secondary eng = make Secondary_role eng None
+let role t = t.rl
+
+let alloc_ftpid t =
+  let id = t.next_ftpid in
+  t.next_ftpid <- id + 1;
+  id
+
+let register_thread t ~ft_pid =
+  (* Syscall results may have been delivered for this ft_pid before the
+     replayed spawn ran; reuse the eagerly created context in that case. *)
+  let ctx =
+    match Hashtbl.find_opt t.by_ftpid ft_pid with
+    | Some ctx -> ctx
+    | None ->
+        {
+          ft_pid;
+          dseq = 0;
+          sseq = 0;
+          sys_q = Bqueue.create ();
+          live_seen = t.live;
+        }
+  in
+  Hashtbl.replace t.by_proc (Engine.pid (Engine.self ())) ctx;
+  Hashtbl.replace t.by_ftpid ft_pid ctx
+
+let unregister_thread t = Hashtbl.remove t.by_proc (Engine.pid (Engine.self ()))
+
+let ctx_exn t =
+  match Hashtbl.find_opt t.by_proc (Engine.pid (Engine.self ())) with
+  | Some c -> c
+  | None -> failwith "Det: calling thread is not registered in the namespace"
+
+let current_ftpid t = (ctx_exn t).ft_pid
+
+(* {1 Deterministic sections} *)
+
+let det_start_primary t =
+  Sync.Mutex.lock t.global;
+  t.cur_payload <- Wire.P_plain
+
+let det_end_primary t =
+  let ctx = ctx_exn t in
+  let record =
+    Wire.Sync_tuple
+      {
+        ft_pid = ctx.ft_pid;
+        thread_seq = ctx.dseq;
+        global_seq = t.gseq;
+        payload = t.cur_payload;
+      }
+  in
+  ctx.dseq <- ctx.dseq + 1;
+  t.gseq <- t.gseq + 1;
+  Metrics.Counter.incr t.ops;
+  (* The append may block on mailbox backpressure while the global mutex is
+     held: this is precisely how the secondary's replay speed throttles the
+     primary's sustained throughput. *)
+  (match t.ml with
+  | Some sink -> ignore (sink.Msglayer.sink_append record)
+  | None -> ());
+  Sync.Mutex.unlock t.global
+
+let turn_matches t ctx =
+  match Hashtbl.find_opt t.pending t.gseq with
+  | Some pt -> pt.pt_ft_pid = ctx.ft_pid
+  | None -> false
+
+let det_start_secondary t =
+  let ctx = ctx_exn t in
+  if t.live || ctx.live_seen then begin
+    ctx.live_seen <- true;
+    Sync.Mutex.lock t.global
+  end
+  else begin
+    let rec wait () =
+      if t.live then ctx.live_seen <- true
+      else if not (turn_matches t ctx) then begin
+        ignore (Sync.wait_on t.turn_changed);
+        wait ()
+      end
+    in
+    wait ();
+    Sync.Mutex.lock t.global;
+    if not ctx.live_seen then begin
+      let pt = Hashtbl.find t.pending t.gseq in
+      if pt.pt_thread_seq <> ctx.dseq then
+        Trace.errorf log ~eng:t.eng
+          "replay divergence: ft_pid %d expected thread_seq %d, log has %d"
+          ctx.ft_pid ctx.dseq pt.pt_thread_seq
+    end
+  end
+
+let det_end_secondary t =
+  let ctx = ctx_exn t in
+  if not ctx.live_seen then Hashtbl.remove t.pending t.gseq;
+  ctx.dseq <- ctx.dseq + 1;
+  t.gseq <- t.gseq + 1;
+  Metrics.Counter.incr t.ops;
+  Sync.Mutex.unlock t.global;
+  ignore (Waitq.wake_all t.turn_changed)
+
+let det_start t =
+  match t.rl with
+  | Primary_role -> det_start_primary t
+  | Secondary_role -> det_start_secondary t
+
+let det_end t =
+  match t.rl with
+  | Primary_role -> det_end_primary t
+  | Secondary_role -> det_end_secondary t
+
+let set_payload t p = t.cur_payload <- p
+
+let payload_at_turn t =
+  match Hashtbl.find_opt t.pending t.gseq with
+  | Some pt -> pt.pt_payload
+  | None -> Wire.P_plain
+
+let pthread_hooks t =
+  {
+    Ftsim_kernel.Pthread.is_replica = (t.rl = Secondary_role && not t.live);
+    det_start = (fun () -> det_start t);
+    det_end = (fun () -> det_end t);
+    record_timed_outcome =
+      (fun ~timed_out -> set_payload t (Wire.P_timed_outcome timed_out));
+    replay_timed_outcome =
+      (fun () ->
+        match payload_at_turn t with
+        | Wire.P_timed_outcome b -> Some b
+        | _ ->
+            if t.live then None
+            else begin
+              Trace.errorf log ~eng:t.eng "expected timed outcome in log";
+              Some false
+            end);
+  }
+
+(* {1 Secondary delivery} *)
+
+let deliver_tuple t ~ft_pid ~thread_seq ~global_seq ~payload =
+  Hashtbl.replace t.pending global_seq
+    { pt_ft_pid = ft_pid; pt_thread_seq = thread_seq; pt_payload = payload };
+  ignore (Waitq.wake_all t.turn_changed)
+
+let deliver_syscall t ~ft_pid ~result =
+  match Hashtbl.find_opt t.by_ftpid ft_pid with
+  | Some ctx -> Bqueue.put ctx.sys_q (Q_result result)
+  | None ->
+      (* The thread will register when its spawn replays; until then the
+         queue must exist.  Create the context eagerly. *)
+      let ctx =
+        {
+          ft_pid;
+          dseq = 0;
+          sseq = 0;
+          sys_q = Bqueue.create ();
+          live_seen = false;
+        }
+      in
+      Hashtbl.replace t.by_ftpid ft_pid ctx;
+      Bqueue.put ctx.sys_q (Q_result result)
+
+(* {1 Syscall streams} *)
+
+let log_syscall t result =
+  let ctx = ctx_exn t in
+  let lsn =
+    match t.ml with
+    | Some sink ->
+        sink.Msglayer.sink_append
+          (Wire.Syscall_result { ft_pid = ctx.ft_pid; sseq = ctx.sseq; result })
+    | None -> 0
+  in
+  ctx.sseq <- ctx.sseq + 1;
+  lsn
+
+type replayed = Replayed of Wire.syscall_result | Went_live
+
+let next_syscall t =
+  let ctx = ctx_exn t in
+  if ctx.live_seen then Went_live
+  else
+    match Bqueue.get ctx.sys_q with
+    | Q_result r ->
+        ctx.sseq <- ctx.sseq + 1;
+        Replayed r
+    | Q_live ->
+        ctx.live_seen <- true;
+        Went_live
+
+(* {1 Failover} *)
+
+let go_live t =
+  if not t.live then begin
+    t.live <- true;
+    Trace.warnf log ~eng:t.eng "det engine live: replay gates open";
+    ignore (Waitq.wake_all t.turn_changed);
+    Hashtbl.iter (fun _ ctx -> Bqueue.put ctx.sys_q Q_live) t.by_ftpid
+  end
+
+let is_live t = t.live
+
+let replay_idle t =
+  Hashtbl.length t.pending = 0
+  && Hashtbl.fold (fun _ ctx acc -> acc && Bqueue.is_empty ctx.sys_q) t.by_ftpid true
+
+(* {1 Introspection} *)
+
+let global_seq t = t.gseq
+let det_ops t = Metrics.Counter.value t.ops

@@ -1,0 +1,90 @@
+(** Deterministic sections and per-thread syscall-result streams.
+
+    This is the paper's [__det_start]/[__det_end] machinery (§3.3, Fig. 3).
+    On the primary, every deterministic section serializes under a
+    namespace-global mutex; at [det_end] a <Seq_thread, Seq_global, ft_pid>
+    tuple (optionally carrying a logged value) is streamed to the secondary.
+    On the secondary, [det_start] blocks until the replayed global sequence
+    reaches this thread's next tuple — reproducing the primary's total order
+    of synchronization operations, while system-call results replay in
+    per-thread FIFO order only (the partially ordered log that preserves
+    parallelism).
+
+    After a failover the engine is switched {e live}: replay gates open,
+    remaining in-flight operations execute directly, and the global mutex
+    degrades to plain mutual exclusion. *)
+
+open Ftsim_sim
+
+type role = Primary_role | Secondary_role
+
+type t
+
+val create_primary : Engine.t -> Msglayer.sink -> t
+val create_secondary : Engine.t -> t
+val role : t -> role
+
+(** {1 Thread identity} *)
+
+val alloc_ftpid : t -> int
+(** Primary only: next replicated-thread id. *)
+
+val register_thread : t -> ft_pid:int -> unit
+(** Bind the calling simulation process to a replicated-thread context.
+    Must be the first thing a replicated thread does. *)
+
+val unregister_thread : t -> unit
+
+val current_ftpid : t -> int
+(** ft_pid of the calling thread; raises if unregistered. *)
+
+(** {1 Deterministic sections} *)
+
+val det_start : t -> unit
+val det_end : t -> unit
+
+val set_payload : t -> Wire.det_payload -> unit
+(** Primary, inside a section: attach a logged value to this section's
+    tuple. *)
+
+val payload_at_turn : t -> Wire.det_payload
+(** Secondary, inside a section (at this thread's turn): the logged value. *)
+
+val pthread_hooks : t -> Ftsim_kernel.Pthread.hooks
+
+(** {1 Secondary record delivery} *)
+
+val deliver_tuple :
+  t -> ft_pid:int -> thread_seq:int -> global_seq:int -> payload:Wire.det_payload -> unit
+
+val deliver_syscall : t -> ft_pid:int -> result:Wire.syscall_result -> unit
+
+(** {1 Per-thread syscall streams} *)
+
+val log_syscall : t -> Wire.syscall_result -> int
+(** Primary: append the calling thread's next syscall result; returns the
+    LSN. *)
+
+type replayed = Replayed of Wire.syscall_result | Went_live
+
+val next_syscall : t -> replayed
+(** Secondary: the calling thread's next logged syscall result; blocks until
+    it arrives or the namespace goes live. *)
+
+(** {1 Failover} *)
+
+val go_live : t -> unit
+(** Open every replay gate: threads waiting for tuples or syscall results
+    resume in live mode. *)
+
+val is_live : t -> bool
+
+val replay_idle : t -> bool
+(** Secondary: no undelivered tuples pending and every syscall stream is
+    empty — i.e. replay has consumed everything delivered so far. *)
+
+(** {1 Introspection} *)
+
+val global_seq : t -> int
+val det_ops : t -> int
+(** Total deterministic sections completed. *)

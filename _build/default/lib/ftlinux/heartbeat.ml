@@ -1,0 +1,36 @@
+open Ftsim_sim
+
+type t = { mutable stopped : bool; mutable fired : bool }
+
+let start ~spawn ~eng ~period ~timeout ~send ~last_peer ~on_failure =
+  if period <= 0 || timeout <= 0 then invalid_arg "Heartbeat.start";
+  let t = { stopped = false; fired = false } in
+  ignore
+    (spawn "ft-hb-send" (fun () ->
+         let rec loop seq =
+           if not t.stopped then begin
+             send ~seq;
+             Engine.sleep period;
+             loop (seq + 1)
+           end
+         in
+         loop 0));
+  ignore
+    (spawn "ft-hb-monitor" (fun () ->
+         let rec loop () =
+           if not t.stopped then begin
+             Engine.sleep period;
+             if (not t.stopped) && Engine.now eng - last_peer () > timeout then begin
+               t.fired <- true;
+               t.stopped <- true;
+               on_failure ()
+             end
+             else loop ()
+           end
+         in
+         loop ()));
+  t
+
+let stop t = t.stopped <- true
+
+let fired t = t.fired

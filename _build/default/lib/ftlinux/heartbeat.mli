@@ -1,0 +1,28 @@
+(** Heart-beat failure detection (§3.6).
+
+    Each replica periodically sends a heart-beat over the mailbox; a replica
+    that observes no peer activity for the timeout declares the peer failed
+    (the caller then IPI-halts the suspect so a merely-slow replica cannot
+    act as a rogue). *)
+
+open Ftsim_sim
+
+type t
+
+val start :
+  spawn:(string -> (unit -> unit) -> Engine.proc) ->
+  eng:Engine.t ->
+  period:Time.t ->
+  timeout:Time.t ->
+  send:(seq:int -> unit) ->
+  last_peer:(unit -> Time.t) ->
+  on_failure:(unit -> unit) ->
+  t
+(** Spawn the sender and monitor processes (via [spawn], so they die with
+    their partition).  [on_failure] fires at most once; both processes then
+    stop. *)
+
+val stop : t -> unit
+(** Silence the detector (e.g. at shutdown, so the event queue drains). *)
+
+val fired : t -> bool

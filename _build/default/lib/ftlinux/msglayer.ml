@@ -1,0 +1,295 @@
+open Ftsim_sim
+open Ftsim_hw
+
+type primary = {
+  p_eng : Engine.t;
+  p_out : Wire.message Mailbox.chan;
+  p_in : Wire.message Mailbox.chan;
+  mutable next_lsn : int;
+  mutable p_acked : int;
+  stable_waiters : Waitq.t;
+  mutable disabled : bool;
+  mutable p_last_peer : Time.t;
+  p_recs : Metrics.Counter.t;
+}
+
+type secondary = {
+  s_eng : Engine.t;
+  s_in : Wire.message Mailbox.chan;
+  s_out : Wire.message Mailbox.chan;
+  replay_cost : Time.t;
+  delta_cost : Time.t;
+  handler : Wire.record -> unit;
+  mutable s_received : int;
+  mutable s_last_acked : int;
+  mutable s_last_peer : Time.t;
+  mutable processing : bool;
+}
+
+let log = Trace.make "ft.msglayer"
+
+(* {1 Primary} *)
+
+let create_primary eng ~out ~inb =
+  {
+    p_eng = eng;
+    p_out = out;
+    p_in = inb;
+    next_lsn = 0;
+    p_acked = -1;
+    stable_waiters = Waitq.create ();
+    disabled = false;
+    p_last_peer = Engine.now eng;
+    p_recs = Metrics.Counter.create ();
+  }
+
+let append p record =
+  if p.disabled then p.next_lsn
+  else begin
+    let lsn = p.next_lsn in
+    p.next_lsn <- lsn + 1;
+    Metrics.Counter.incr p.p_recs;
+    let msg = Wire.Record { lsn; record } in
+    Mailbox.send p.p_out ~bytes:(Wire.message_bytes msg) msg;
+    lsn
+  end
+
+let last_lsn p = p.next_lsn - 1
+let acked p = p.p_acked
+
+let wait_stable p ~lsn =
+  let rec wait () =
+    if p.disabled || p.p_acked >= lsn then ()
+    else begin
+      ignore (Sync.wait_on p.stable_waiters);
+      wait ()
+    end
+  in
+  wait ()
+
+let disable p =
+  if not p.disabled then begin
+    p.disabled <- true;
+    Trace.warnf log ~eng:p.p_eng "replication disabled (secondary presumed dead)";
+    ignore (Waitq.wake_all p.stable_waiters)
+  end
+
+let is_disabled p = p.disabled
+
+let send_heartbeat_p p ~seq =
+  let msg = Wire.Heartbeat { from_primary = true; seq } in
+  ignore (Mailbox.try_send p.p_out ~bytes:(Wire.message_bytes msg) msg)
+
+let last_peer_activity_p p = p.p_last_peer
+
+let spawn_primary_rx p spawn =
+  ignore
+    (spawn "ft-ml-prx" (fun () ->
+         let rec loop () =
+           let msg = Mailbox.recv p.p_in in
+           p.p_last_peer <- Engine.now p.p_eng;
+           (match msg with
+           | Wire.Ack { upto } ->
+               if upto > p.p_acked then begin
+                 p.p_acked <- upto;
+                 ignore (Waitq.wake_all p.stable_waiters)
+               end
+           | Wire.Heartbeat _ -> ()
+           | Wire.Record _ ->
+               Trace.errorf log ~eng:p.p_eng "unexpected record on ack channel");
+           loop ()
+         in
+         loop ()))
+
+(* {1 Secondary} *)
+
+let create_secondary eng ~inb ~out ~replay_cost ~delta_cost ~handler =
+  {
+    s_eng = eng;
+    s_in = inb;
+    s_out = out;
+    replay_cost;
+    delta_cost;
+    handler;
+    s_received = -1;
+    s_last_acked = -1;
+    s_last_peer = Engine.now eng;
+    processing = false;
+  }
+
+let send_ack s =
+  if s.s_received > s.s_last_acked then begin
+    let msg = Wire.Ack { upto = s.s_received } in
+    (* Cumulative: a skipped ack (full ring, dead primary) is subsumed by
+       the next one. *)
+    if
+      (not (Mailbox.src_halted s.s_out))
+      && Mailbox.try_send s.s_out ~bytes:(Wire.message_bytes msg) msg
+    then s.s_last_acked <- s.s_received
+  end
+
+let handle s msg =
+  s.s_last_peer <- Engine.now s.s_eng;
+  match msg with
+  | Wire.Record { lsn; record } ->
+      s.processing <- true;
+      (* Records that wake a replaying thread pay the wake_up_process()
+         latency — the serial bottleneck the paper identifies (§4.1); TCP
+         deltas are absorbed in this context at memcpy-ish cost. *)
+      Engine.sleep
+        (if Wire.wakes_thread record then s.replay_cost else s.delta_cost);
+      s.handler record;
+      s.s_received <- max s.s_received lsn;
+      s.processing <- false
+  | Wire.Heartbeat _ -> ()
+  | Wire.Ack _ -> Trace.errorf log ~eng:s.s_eng "unexpected ack on record channel"
+
+let ack_batch = 32
+
+let spawn_secondary_rx s spawn =
+  ignore
+    (spawn "ft-ml-srx" (fun () ->
+         let rec loop since_ack =
+           (* Drain what is immediately available, then ack once. *)
+           match Mailbox.poll s.s_in with
+           | Some msg ->
+               handle s msg;
+               let since_ack = since_ack + 1 in
+               if since_ack >= ack_batch then begin
+                 send_ack s;
+                 loop 0
+               end
+               else loop since_ack
+           | None ->
+               send_ack s;
+               let msg = Mailbox.recv s.s_in in
+               handle s msg;
+               loop 1
+         in
+         loop 0))
+
+let received_lsn s = s.s_received
+
+let send_heartbeat_s s ~seq =
+  if not (Mailbox.src_halted s.s_out) then begin
+    let msg = Wire.Heartbeat { from_primary = false; seq } in
+    ignore (Mailbox.try_send s.s_out ~bytes:(Wire.message_bytes msg) msg)
+  end
+
+let last_peer_activity_s s = s.s_last_peer
+
+let drained s =
+  Mailbox.src_halted s.s_in && Mailbox.in_flight s.s_in = 0 && not s.processing
+
+(* {1 Metrics} *)
+
+let p_records p = Metrics.Counter.value p.p_recs
+
+let traffic_msgs p s = Mailbox.msgs_sent p.p_out + Mailbox.msgs_sent s.s_out
+
+let traffic_bytes p s = Mailbox.bytes_sent p.p_out + Mailbox.bytes_sent s.s_out
+
+let reset_traffic p s =
+  Mailbox.reset_metrics p.p_out;
+  Mailbox.reset_metrics s.s_out
+
+(* {1 Sinks} *)
+
+type sink = {
+  sink_append : Wire.record -> int;
+  sink_last_lsn : unit -> int;
+  sink_wait_stable : lsn:int -> unit;
+}
+
+let sink_of_primary p =
+  {
+    sink_append = (fun r -> append p r);
+    sink_last_lsn = (fun () -> last_lsn p);
+    sink_wait_stable = (fun ~lsn -> wait_stable p ~lsn);
+  }
+
+type group = { members : primary array; mutable quorum : int }
+
+let create_group members ~quorum =
+  let n = List.length members in
+  if n = 0 then invalid_arg "Msglayer.create_group: no members";
+  if quorum < 1 || quorum > n then invalid_arg "Msglayer.create_group: quorum";
+  List.iter
+    (fun p -> if p.next_lsn <> 0 then invalid_arg "Msglayer.create_group: dirty log")
+    members;
+  { members = Array.of_list members; quorum }
+
+let group_members g = Array.to_list g.members
+
+let group_append g record =
+  (* Identical LSN on every live member: appends stay paired because every
+     record goes to all members (disabled ones no-op but keep counting). *)
+  let lsn = ref (-1) in
+  Array.iter
+    (fun p ->
+      let l =
+        if p.disabled then begin
+          (* Keep the LSN space aligned even for dead members. *)
+          let l = p.next_lsn in
+          p.next_lsn <- l + 1;
+          l
+        end
+        else append p record
+      in
+      if !lsn = -1 then lsn := l
+      else if l <> !lsn then failwith "Msglayer.group: LSN skew across members")
+    g.members;
+  !lsn
+
+let group_acked_count g lsn =
+  Array.fold_left
+    (fun acc p -> if (not p.disabled) && p.p_acked >= lsn then acc + 1 else acc)
+    0 g.members
+
+let group_live_count g =
+  Array.fold_left (fun acc p -> if p.disabled then acc else acc + 1) 0 g.members
+
+let group_wait_stable g ~lsn =
+  (* Quorum shrinks with disabled members; with none left, stability is
+     vacuous (solo mode).  Progress can come from any member, so park with
+     a fire-once waker registered on every member's waiter queue
+     (wait-for-any, as in Tcp.poll). *)
+  let rec wait () =
+    let live = group_live_count g in
+    let need = min g.quorum live in
+    if need = 0 || group_acked_count g lsn >= need then ()
+    else begin
+      Engine.suspend (fun _p resume ->
+          let fired = ref false in
+          let fire () =
+            if not !fired then begin
+              fired := true;
+              resume ()
+            end
+          in
+          Array.iter
+            (fun p -> ignore (Waitq.add p.stable_waiters fire))
+            g.members);
+      wait ()
+    end
+  in
+  wait ()
+
+let group_disable g i =
+  if i < 0 || i >= Array.length g.members then invalid_arg "group_disable";
+  let p = g.members.(i) in
+  if not p.disabled then begin
+    disable p;
+    (* Wake stability waiters parked on any member: quorum may now be met
+       (or vacuous). *)
+    Array.iter (fun m -> ignore (Waitq.wake_all m.stable_waiters)) g.members
+  end
+
+let sink_of_group g =
+  {
+    sink_append = (fun r -> group_append g r);
+    sink_last_lsn =
+      (fun () ->
+        Array.fold_left (fun acc p -> max acc (last_lsn p)) (-1) g.members);
+    sink_wait_stable = (fun ~lsn -> group_wait_stable g ~lsn);
+  }

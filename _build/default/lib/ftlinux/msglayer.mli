@@ -1,0 +1,115 @@
+(** The replication log: an LSN-stamped FIFO of {!Wire.record}s from primary
+    to secondary over the shared-memory mailbox, with cumulative
+    acknowledgements flowing back.
+
+    Three behaviours of the evaluation live here:
+
+    - {b backpressure}: [append] blocks when the mailbox ring is full, so a
+      primary that outruns the secondary's replay slows to its pace — the
+      paper's sustained-throughput ceiling;
+    - {b replay delivery cost}: the secondary charges a
+      [wake_up_process]-style latency per record delivered, serializing
+      replay — the paper's identified bottleneck (§4.1);
+    - {b stability}: [wait_stable] blocks until the secondary acknowledged a
+      given LSN — the primitive underneath output commit (§3.5). *)
+
+open Ftsim_sim
+open Ftsim_hw
+
+type primary
+type secondary
+
+val create_primary : Engine.t -> out:Wire.message Mailbox.chan -> inb:Wire.message Mailbox.chan -> primary
+
+val spawn_primary_rx : primary -> (string -> (unit -> unit) -> Engine.proc) -> unit
+(** Start the ack/heartbeat receive loop with a partition-bound spawner, so
+    it dies with its partition. *)
+
+val append : primary -> Wire.record -> int
+(** Stamp, count, and send a record; returns its LSN.  Blocks while the
+    mailbox ring is full. *)
+
+val last_lsn : primary -> int
+
+val acked : primary -> int
+
+val wait_stable : primary -> lsn:int -> unit
+(** Block until [acked >= lsn] (returns immediately when replication is
+    disabled or the LSN is already stable). *)
+
+val disable : primary -> unit
+(** Secondary declared dead: appends become no-ops, every stability waiter
+    is released, and future waits return immediately. *)
+
+val is_disabled : primary -> bool
+
+val send_heartbeat_p : primary -> seq:int -> unit
+
+val last_peer_activity_p : primary -> Time.t
+
+(** {1 Sinks: what recording components write to}
+
+    The deterministic-section engine and the namespace gates only need
+    append/stability; a [sink] abstracts whether one backup (classic
+    primary–backup) or a fan-out group with quorum stability (the ≥3-replica
+    extension) sits behind them. *)
+
+type sink = {
+  sink_append : Wire.record -> int;
+  sink_last_lsn : unit -> int;
+  sink_wait_stable : lsn:int -> unit;
+}
+
+val sink_of_primary : primary -> sink
+
+(** {2 Fan-out groups} *)
+
+type group
+(** The same record stream replicated to several backups; a record is
+    stable once [quorum] backups acknowledged it. *)
+
+val create_group : primary list -> quorum:int -> group
+(** All members must be freshly created (empty logs).  [quorum] in
+    [1..length]. *)
+
+val sink_of_group : group -> sink
+
+val group_disable : group -> int -> unit
+(** Declare backup [i] dead: it no longer counts toward (or blocks) the
+    quorum.  If every backup is disabled the group is fully disabled. *)
+
+val group_members : group -> primary list
+
+(** {1 Secondary side} *)
+
+val create_secondary :
+  Engine.t ->
+  inb:Wire.message Mailbox.chan ->
+  out:Wire.message Mailbox.chan ->
+  replay_cost:Time.t ->
+  delta_cost:Time.t ->
+  handler:(Wire.record -> unit) ->
+  secondary
+(** [replay_cost] is charged per thread-waking record (sync tuples, syscall
+    results); [delta_cost] per TCP delta. *)
+
+val spawn_secondary_rx : secondary -> (string -> (unit -> unit) -> Engine.proc) -> unit
+(** Start the receive loop: per record, charge [replay_cost], invoke the
+    handler, and acknowledge (coalescing acks while the queue is hot). *)
+
+val received_lsn : secondary -> int
+
+val send_heartbeat_s : secondary -> seq:int -> unit
+
+val last_peer_activity_s : secondary -> Time.t
+
+val drained : secondary -> bool
+(** True when the (halted) primary can send nothing more and everything
+    already sent has been handled. *)
+
+(** {1 Traffic metrics (both mailbox directions)} *)
+
+val p_records : primary -> int
+val traffic_msgs : primary -> secondary -> int
+val traffic_bytes : primary -> secondary -> int
+val reset_traffic : primary -> secondary -> unit

@@ -1,0 +1,609 @@
+open Ftsim_sim
+open Ftsim_netstack
+open Ftsim_kernel
+
+type mode = M_standalone | M_primary | M_secondary
+
+type t = {
+  mode : mode;
+  kernel : Kernel.t;
+  pt : Pthread.t;
+  det : Det.t option;
+  shadow : Shadow.t option;
+  ml : Msglayer.sink option;
+  mutable stack : Tcp.stack option;
+  (* primary: Tcp conn id -> replication cid *)
+  cid_of_conn : (int, int) Hashtbl.t;
+  mutable next_cid : int;
+  (* primary: last D_ack_progress value emitted per cid (coalescing) *)
+  acked_emitted : (int, int) Hashtbl.t;
+  (* secondary, after failover *)
+  restored_listeners : (int, Tcp.listener) Hashtbl.t;
+  mutable live : bool;
+  mutable the_api : Api.t option;
+  output_commit : bool;
+  ack_commit : bool;
+  vfs : Vfs.t;
+  env : (string * string) list;
+}
+
+let log = Trace.make "ft.namespace"
+
+let det_exn t =
+  match t.det with Some d -> d | None -> failwith "namespace: no det engine"
+
+let shadow_exn t =
+  match t.shadow with Some s -> s | None -> failwith "namespace: no shadow"
+
+let shadow_of = shadow_exn
+
+let api t = match t.the_api with Some a -> a | None -> assert false
+
+(* {1 Standalone} *)
+
+let real_listener l = { Api.li = Api.L_real l }
+let real_sock c = { Api.si = Api.S_real c }
+
+let stack_exn t =
+  match t.stack with
+  | Some s -> s
+  | None -> failwith "namespace: no network stack configured"
+
+let standalone_api t =
+  {
+    Api.kernel = t.kernel;
+    pt = t.pt;
+    spawn =
+      (fun name f -> Kernel.spawn_thread t.kernel ~name f);
+    join = (fun th -> ignore (Engine.join th));
+    compute = (fun d -> Kernel.compute t.kernel d);
+    gettimeofday = (fun () -> Kernel.gettimeofday t.kernel);
+    getenv = (fun k -> List.assoc_opt k t.env);
+    net_listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
+    net_accept =
+      (fun l ->
+        match l.Api.li with
+        | Api.L_real rl -> real_sock (Tcp.accept rl)
+        | Api.L_shadow _ -> assert false);
+    net_recv =
+      (fun s ~max ->
+        match s.Api.si with
+        | Api.S_real c -> Tcp.recv c ~max
+        | Api.S_shadow _ -> assert false);
+    net_send =
+      (fun s chunk ->
+        match s.Api.si with
+        | Api.S_real c -> Tcp.send c chunk
+        | Api.S_shadow _ -> assert false);
+    net_close =
+      (fun s ->
+        match s.Api.si with
+        | Api.S_real c -> Tcp.close c
+        | Api.S_shadow _ -> assert false);
+    net_poll =
+      (fun socks ~timeout ->
+        let conns =
+          List.map
+            (fun s ->
+              match s.Api.si with
+              | Api.S_real c -> c
+              | Api.S_shadow _ -> assert false)
+            socks
+        in
+        let eng = Kernel.engine t.kernel in
+        let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+        List.filter
+          (fun s ->
+            match s.Api.si with
+            | Api.S_real c -> List.memq c ready
+            | Api.S_shadow _ -> false)
+          socks);
+    fs_open = (fun ~path ~create -> Vfs.open_file t.vfs ~path ~create);
+    fs_read = (fun fd ~max -> Vfs.read t.vfs fd ~max);
+    fs_append = (fun fd chunk -> Vfs.append t.vfs fd chunk);
+    fs_close = (fun fd -> Vfs.close t.vfs fd);
+    fs_size = (fun ~path -> Vfs.size t.vfs ~path);
+  }
+
+let standalone kernel ?stack ?(env = []) () =
+  let t =
+    {
+      mode = M_standalone;
+      kernel;
+      pt = Pthread.create kernel;
+      det = None;
+      shadow = None;
+      ml = None;
+      stack;
+      cid_of_conn = Hashtbl.create 16;
+      next_cid = 0;
+      acked_emitted = Hashtbl.create 16;
+      restored_listeners = Hashtbl.create 4;
+      live = true;
+      the_api = None;
+      output_commit = false;
+      ack_commit = false;
+      vfs = Vfs.create ();
+      env;
+    }
+  in
+  t.the_api <- Some (standalone_api t);
+  t
+
+(* {1 Primary} *)
+
+let cid_exn t c =
+  match Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c) with
+  | Some cid -> cid
+  | None -> failwith "namespace: connection has no replication id"
+
+(* Connections accepted after [go_solo] (TCP hooks removed) have no
+   replication id; their syscalls are simply not logged. *)
+let log_conn_syscall t det c mk =
+  match Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c) with
+  | Some cid -> ignore (Det.log_syscall det (mk cid))
+  | None -> ()
+
+let install_primary_tcp_hooks t stack =
+  let sink = Option.get t.ml in
+  let append r = ignore (sink.Msglayer.sink_append r) in
+  let wait_tail () =
+    sink.Msglayer.sink_wait_stable ~lsn:(sink.Msglayer.sink_last_lsn ())
+  in
+  Tcp.set_hooks stack
+    (Some
+       {
+         Tcp.on_accept =
+           (fun c ->
+             let cid = t.next_cid in
+             t.next_cid <- cid + 1;
+             Hashtbl.replace t.cid_of_conn (Tcp.conn_id c) cid;
+             append
+               (Wire.Tcp_delta
+                  (Wire.D_new_conn
+                     { cid; local = Tcp.local_addr c; remote = Tcp.remote_addr c })));
+         on_input =
+           (fun c data ->
+             append (Wire.Tcp_delta (Wire.D_in_data { cid = cid_exn t c; data })));
+         ack_gate =
+           (fun _c ->
+             (* The client's data may be acknowledged only once its logging
+                is stable: otherwise a primary crash could lose input the
+                client will never retransmit. *)
+             if t.ack_commit then wait_tail ());
+         egress_gate =
+           (fun c ~len ->
+             (* The size of every output segment is forwarded before it is
+                sent, resolving the stack's output non-determinism (§3.4);
+                output commit (§3.5) then holds the packet until everything
+                that causally precedes it is stable on the secondary. *)
+             (match Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c) with
+             | Some cid when len > 0 ->
+                 append (Wire.Tcp_delta (Wire.D_out_seg { cid; len }))
+             | _ -> ());
+             if t.output_commit then wait_tail ());
+         on_ack_progress =
+           (fun c ~snd_una ->
+             (* Coalesced: the shadow's trim granularity only bounds how
+                much a failover retransmits, so emitting every 16 KiB of
+                progress suffices and keeps the delta stream off the replay
+                bottleneck. *)
+             match Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c) with
+             | None -> ()
+             | Some cid ->
+                 let last =
+                   Option.value ~default:0 (Hashtbl.find_opt t.acked_emitted cid)
+                 in
+                 if snd_una - last >= 16384 then begin
+                   Hashtbl.replace t.acked_emitted cid snd_una;
+                   append (Wire.Tcp_delta (Wire.D_ack_progress { cid; snd_una }))
+                 end);
+         on_peer_fin =
+           (fun c ->
+             append (Wire.Tcp_delta (Wire.D_peer_fin { cid = cid_exn t c })));
+       })
+
+let spawn_replicated t name f =
+  let det = det_exn t in
+  (* Thread creation is itself a deterministic event: the child's ft_pid is
+     assigned inside a section, so the replica creates the same thread at
+     the same point in the replayed order. *)
+  Det.det_start det;
+  let ft_pid =
+    match Det.role det with
+    | Det.Primary_role ->
+        let p = Det.alloc_ftpid det in
+        Det.set_payload det (Wire.P_thread_spawn p);
+        p
+    | Det.Secondary_role -> (
+        match Det.payload_at_turn det with
+        | Wire.P_thread_spawn p -> p
+        | _ -> Det.alloc_ftpid det (* live mode: id is only cosmetic *))
+  in
+  Det.det_end det;
+  Kernel.spawn_thread t.kernel ~name (fun () ->
+      Det.register_thread det ~ft_pid;
+      Fun.protect ~finally:(fun () -> Det.unregister_thread det) f)
+
+let primary_api t =
+  let det = det_exn t in
+  {
+    Api.kernel = t.kernel;
+    pt = t.pt;
+    spawn = (fun name f -> spawn_replicated t name f);
+    join = (fun th -> ignore (Engine.join th));
+    compute = (fun d -> Kernel.compute t.kernel d);
+    gettimeofday =
+      (fun () ->
+        let v = Kernel.gettimeofday t.kernel in
+        ignore (Det.log_syscall det (Wire.R_gettimeofday v));
+        v);
+    (* The environment was replicated at launch (3, FT-Namespace), so the
+       lookup itself is deterministic and needs no logging. *)
+    getenv = (fun k -> List.assoc_opt k t.env);
+    net_listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
+    net_accept =
+      (fun l ->
+        match l.Api.li with
+        | Api.L_real rl ->
+            let c = Tcp.accept rl in
+            log_conn_syscall t det c (fun cid -> Wire.R_accept cid);
+            real_sock c
+        | Api.L_shadow _ -> assert false);
+    net_recv =
+      (fun s ~max ->
+        match s.Api.si with
+        | Api.S_real c ->
+            let data = Tcp.recv c ~max in
+            log_conn_syscall t det c (fun cid ->
+                Wire.R_read { cid; len = Payload.total_len data });
+            data
+        | Api.S_shadow _ -> assert false);
+    net_send =
+      (fun s chunk ->
+        match s.Api.si with
+        | Api.S_real c ->
+            Tcp.send c chunk;
+            log_conn_syscall t det c (fun cid ->
+                Wire.R_write { cid; len = Payload.chunk_len chunk })
+        | Api.S_shadow _ -> assert false);
+    net_close =
+      (fun s ->
+        match s.Api.si with
+        | Api.S_real c ->
+            Tcp.close c;
+            log_conn_syscall t det c (fun cid -> Wire.R_close { cid })
+        | Api.S_shadow _ -> assert false);
+    net_poll =
+      (fun socks ~timeout ->
+        let conns =
+          List.map
+            (fun s ->
+              match s.Api.si with
+              | Api.S_real c -> c
+              | Api.S_shadow _ -> assert false)
+            socks
+        in
+        let eng = Kernel.engine t.kernel in
+        let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+        let ready_idx =
+          List.mapi (fun i c -> (i, c)) conns
+          |> List.filter_map (fun (i, c) ->
+                 if List.memq c ready then Some i else None)
+        in
+        ignore (Det.log_syscall det (Wire.R_poll { ready = ready_idx }));
+        List.filteri (fun i _ -> List.mem i ready_idx) socks);
+    (* File operations are ordered by deterministic sections; a read
+       additionally logs its length, the file system's one source of
+       interface non-determinism. *)
+    fs_open =
+      (fun ~path ~create ->
+        Det.det_start det;
+        let fd = Vfs.open_file t.vfs ~path ~create in
+        Det.det_end det;
+        fd);
+    fs_read =
+      (fun fd ~max ->
+        Det.det_start det;
+        let cs = Vfs.read t.vfs fd ~max in
+        Det.set_payload det (Wire.P_fs_read_len (Payload.total_len cs));
+        Det.det_end det;
+        cs);
+    fs_append =
+      (fun fd chunk ->
+        Det.det_start det;
+        Vfs.append t.vfs fd chunk;
+        Det.det_end det);
+    fs_close =
+      (fun fd ->
+        Det.det_start det;
+        Vfs.close t.vfs fd;
+        Det.det_end det);
+    fs_size = (fun ~path -> Vfs.size t.vfs ~path);
+  }
+
+let primary kernel ~sink ?stack ?(env = []) ~output_commit ~ack_commit () =
+  let det = Det.create_primary (Kernel.engine kernel) sink in
+  let pt = Pthread.create kernel in
+  Pthread.set_hooks pt (Some (Det.pthread_hooks det));
+  let t =
+    {
+      mode = M_primary;
+      kernel;
+      pt;
+      det = Some det;
+      shadow = None;
+      ml = Some sink;
+      stack;
+      cid_of_conn = Hashtbl.create 64;
+      next_cid = 0;
+      acked_emitted = Hashtbl.create 64;
+      restored_listeners = Hashtbl.create 4;
+      live = false;
+      the_api = None;
+      output_commit;
+      ack_commit;
+      vfs = Vfs.create ();
+      env;
+    }
+  in
+  (match stack with Some s -> install_primary_tcp_hooks t s | None -> ());
+  t.the_api <- Some (primary_api t);
+  t
+
+(* {1 Secondary} *)
+
+exception Replay_divergence of string
+
+let divergence what =
+  raise (Replay_divergence (Printf.sprintf "replay divergence: %s" what))
+
+let live_conn_of_shadow t s sc =
+  match Shadow.restored sc with
+  | Some rc ->
+      s.Api.si <- Api.S_real rc;
+      Some rc
+  | None ->
+      ignore t;
+      None
+
+let secondary_api t =
+  let det = det_exn t in
+  let sh = shadow_exn t in
+  {
+    Api.kernel = t.kernel;
+    pt = t.pt;
+    spawn = (fun name f -> spawn_replicated t name f);
+    join = (fun th -> ignore (Engine.join th));
+    compute = (fun d -> Kernel.compute t.kernel d);
+    gettimeofday =
+      (fun () ->
+        match Det.next_syscall det with
+        | Det.Replayed (Wire.R_gettimeofday v) -> v
+        | Det.Replayed _ -> divergence "expected gettimeofday result"
+        | Det.Went_live -> Kernel.gettimeofday t.kernel);
+    getenv = (fun k -> List.assoc_opt k t.env);
+    net_listen =
+      (fun ~port ->
+        if t.live then
+          match Hashtbl.find_opt t.restored_listeners port with
+          | Some rl -> real_listener rl
+          | None -> real_listener (Tcp.listen (stack_exn t) ~port)
+        else begin
+          Shadow.register_listener sh ~port;
+          { Api.li = Api.L_shadow { sh_port = port } }
+        end);
+    net_accept =
+      (fun l ->
+        match l.Api.li with
+        | Api.L_real rl -> real_sock (Tcp.accept rl)
+        | Api.L_shadow { sh_port } -> (
+            match Det.next_syscall det with
+            | Det.Replayed (Wire.R_accept cid) ->
+                { Api.si = Api.S_shadow (Shadow.claim_accept sh ~cid) }
+            | Det.Replayed _ -> divergence "expected accept result"
+            | Det.Went_live -> (
+                match Hashtbl.find_opt t.restored_listeners sh_port with
+                | Some rl ->
+                    l.Api.li <- Api.L_real rl;
+                    real_sock (Tcp.accept rl)
+                | None -> real_sock (Tcp.accept (Tcp.listen (stack_exn t) ~port:sh_port)))));
+    net_recv =
+      (fun s ~max ->
+        match s.Api.si with
+        | Api.S_real c -> Tcp.recv c ~max
+        | Api.S_shadow sc -> (
+            match Det.next_syscall det with
+            | Det.Replayed (Wire.R_read { cid; len }) ->
+                if cid <> Shadow.cid sc then divergence "read on wrong connection"
+                else if len = 0 then []
+                else Shadow.read_bytes sc len
+            | Det.Replayed _ -> divergence "expected read result"
+            | Det.Went_live -> (
+                match live_conn_of_shadow t s sc with
+                | Some rc -> Tcp.recv rc ~max
+                | None -> [])))
+    ;
+    net_send =
+      (fun s chunk ->
+        match s.Api.si with
+        | Api.S_real c -> Tcp.send c chunk
+        | Api.S_shadow sc -> (
+            match Det.next_syscall det with
+            | Det.Replayed (Wire.R_write { cid; len }) ->
+                if cid <> Shadow.cid sc then divergence "write on wrong connection";
+                if len <> Payload.chunk_len chunk then
+                  divergence "write length mismatch";
+                Shadow.write_bytes sc chunk
+            | Det.Replayed _ -> divergence "expected write result"
+            | Det.Went_live -> (
+                match live_conn_of_shadow t s sc with
+                | Some rc -> Tcp.send rc chunk
+                | None -> raise Tcp.Connection_closed)));
+    net_close =
+      (fun s ->
+        match s.Api.si with
+        | Api.S_real c -> Tcp.close c
+        | Api.S_shadow sc -> (
+            match Det.next_syscall det with
+            | Det.Replayed (Wire.R_close { cid }) ->
+                if cid <> Shadow.cid sc then divergence "close on wrong connection";
+                Shadow.mark_app_closed sc
+            | Det.Replayed _ -> divergence "expected close result"
+            | Det.Went_live -> (
+                match live_conn_of_shadow t s sc with
+                | Some rc -> Tcp.close rc
+                | None -> ())));
+    net_poll =
+      (fun socks ~timeout ->
+        (* Shadow sockets replay the primary's poll results; after go-live,
+           every sock in the set has (or gets) a restored real connection
+           and the poll runs for real. *)
+        let all_real () =
+          List.for_all
+            (fun s ->
+              match s.Api.si with
+              | Api.S_real _ -> true
+              | Api.S_shadow sc -> (
+                  match live_conn_of_shadow t s sc with
+                  | Some _ -> true
+                  | None -> false))
+            socks
+        in
+        if t.live && all_real () then begin
+          let conns =
+            List.filter_map
+              (fun s ->
+                match s.Api.si with Api.S_real c -> Some c | _ -> None)
+              socks
+          in
+          let eng = Kernel.engine t.kernel in
+          let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+          List.filter
+            (fun s ->
+              match s.Api.si with
+              | Api.S_real c -> List.memq c ready
+              | _ -> false)
+            socks
+        end
+        else
+          match Det.next_syscall det with
+          | Det.Replayed (Wire.R_poll { ready }) ->
+              List.filteri (fun i _ -> List.mem i ready) socks
+          | Det.Replayed _ -> divergence "expected poll result"
+          | Det.Went_live ->
+              (* Transitioning: retry via the live path. *)
+              List.filter (fun s -> match s.Api.si with Api.S_real _ -> true | Api.S_shadow sc -> Shadow.restored sc <> None) socks);
+    fs_open =
+      (fun ~path ~create ->
+        Det.det_start det;
+        let fd = Vfs.open_file t.vfs ~path ~create in
+        Det.det_end det;
+        fd);
+    fs_read =
+      (fun fd ~max ->
+        Det.det_start det;
+        let cs =
+          if Det.is_live det then Vfs.read t.vfs fd ~max
+          else
+            match Det.payload_at_turn det with
+            | Wire.P_fs_read_len n -> if n = 0 then [] else Vfs.read_exact t.vfs fd n
+            | _ -> divergence "expected fs read length"
+        in
+        Det.det_end det;
+        cs);
+    fs_append =
+      (fun fd chunk ->
+        Det.det_start det;
+        Vfs.append t.vfs fd chunk;
+        Det.det_end det);
+    fs_close =
+      (fun fd ->
+        Det.det_start det;
+        Vfs.close t.vfs fd;
+        Det.det_end det);
+    fs_size = (fun ~path -> Vfs.size t.vfs ~path);
+  }
+
+let secondary kernel ?(env = []) () =
+  let det = Det.create_secondary (Kernel.engine kernel) in
+  let pt = Pthread.create kernel in
+  Pthread.set_hooks pt (Some (Det.pthread_hooks det));
+  let t =
+    {
+      mode = M_secondary;
+      kernel;
+      pt;
+      det = Some det;
+      shadow = Some (Shadow.create ());
+      ml = None;
+      stack = None;
+      cid_of_conn = Hashtbl.create 16;
+      next_cid = 0;
+      acked_emitted = Hashtbl.create 16;
+      restored_listeners = Hashtbl.create 4;
+      live = false;
+      the_api = None;
+      output_commit = false;
+      ack_commit = false;
+      vfs = Vfs.create ();
+      env;
+    }
+  in
+  t.the_api <- Some (secondary_api t);
+  t
+
+let record_handler t record =
+  let det = det_exn t in
+  match record with
+  | Wire.Sync_tuple { ft_pid; thread_seq; global_seq; payload } ->
+      Det.deliver_tuple det ~ft_pid ~thread_seq ~global_seq ~payload
+  | Wire.Syscall_result { ft_pid; result; _ } ->
+      Det.deliver_syscall det ~ft_pid ~result
+  | Wire.Tcp_delta d -> Shadow.apply_delta (shadow_exn t) d
+
+(* {1 Launch} *)
+
+let start_app t app =
+  match t.mode with
+  | M_standalone ->
+      Kernel.spawn_thread t.kernel ~name:"app-main" (fun () -> app (api t))
+  | M_primary ->
+      let det = det_exn t in
+      let ft_pid = Det.alloc_ftpid det in
+      Kernel.spawn_thread t.kernel ~name:"app-main" (fun () ->
+          Det.register_thread det ~ft_pid;
+          app (api t))
+  | M_secondary ->
+      let det = det_exn t in
+      Kernel.spawn_thread t.kernel ~name:"app-main-replica" (fun () ->
+          Det.register_thread det ~ft_pid:0;
+          app (api t))
+
+(* {1 Role changes} *)
+
+let go_live t ?stack ?(listeners = []) () =
+  Trace.warnf log ~eng:(Kernel.engine t.kernel) "namespace %s going live"
+    (Kernel.name t.kernel);
+  (match stack with Some s -> t.stack <- Some s | None -> ());
+  List.iter (fun (port, l) -> Hashtbl.replace t.restored_listeners port l) listeners;
+  t.live <- true;
+  (* The pthread hooks stay installed: a thread may be inside a
+     deterministic section right now, and its det_end must still run.  In
+     live mode the hooks degrade to plain global-mutex bracketing. *)
+  Det.go_live (det_exn t)
+
+let replay_idle t = Det.replay_idle (det_exn t)
+
+let go_solo t =
+  Trace.warnf log ~eng:(Kernel.engine t.kernel) "namespace %s going solo"
+    (Kernel.name t.kernel);
+  (* Keep the pthread hooks (a thread may be mid-section; see go_live);
+     the caller disables the message layer, after which det sections reduce
+     to the global mutex and appends become no-ops. *)
+  match t.stack with Some s -> Tcp.set_hooks s None | None -> ()
+
+let det_ops t = match t.det with Some d -> Det.det_ops d | None -> 0
+
+let vfs_of t = t.vfs
+let pthread_ops t = Pthread.ops_count t.pt

@@ -1,0 +1,69 @@
+(** FT-Namespace: the container that makes replication transparent.
+
+    Applications launched inside an FT-Namespace are replicated on the
+    secondary kernel (§3, "FT-Namespace"); applications outside it run
+    normally.  A namespace instance wires an {!Api.t} to one of three
+    backends:
+
+    - {!standalone} — direct execution (the "Ubuntu" baseline, and also how
+      non-replicated applications run alongside a namespace);
+    - {!primary} — records: pthread ops through deterministic sections,
+      syscall results into the per-thread log, TCP logical-state deltas,
+      output commit on egress;
+    - {!secondary} — replays all of the above, and can {!go_live} at
+      failover. *)
+
+open Ftsim_netstack
+open Ftsim_kernel
+
+type t
+
+val api : t -> Api.t
+
+val standalone :
+  Kernel.t -> ?stack:Tcp.stack -> ?env:(string * string) list -> unit -> t
+
+val primary :
+  Kernel.t ->
+  sink:Msglayer.sink ->
+  ?stack:Tcp.stack ->
+  ?env:(string * string) list ->
+  output_commit:bool ->
+  ack_commit:bool ->
+  unit ->
+  t
+(** Installs pthread hooks and (when [stack] is given) TCP hooks.
+    [output_commit] gates outbound data segments on log stability;
+    [ack_commit] gates ACKs of client input on the input having been logged
+    stably (both default design choices of the paper, §3.5). *)
+
+val secondary : Kernel.t -> ?env:(string * string) list -> unit -> t
+(** [env] must equal the primary's: the FT-Namespace launch procedure
+    replicates the environment so both replicas start identically (§3). *)
+
+val record_handler : t -> Wire.record -> unit
+(** The secondary's dispatch of incoming log records (pass to
+    {!Msglayer.create_secondary}). *)
+
+val shadow_of : t -> Shadow.t
+(** Secondary only. *)
+
+val start_app : t -> Api.app -> Api.thread
+(** Launch the application's main thread in the namespace (ft_pid 0). *)
+
+val go_live : t -> ?stack:Tcp.stack -> ?listeners:(int * Tcp.listener) list -> unit -> unit
+(** Secondary, at failover: open every replay gate and switch socket
+    operations to the restored stack (when there is a network). *)
+
+val replay_idle : t -> bool
+(** Secondary: replay has consumed everything delivered so far. *)
+
+val go_solo : t -> unit
+(** Primary, when every backup died: drop the TCP hooks (the caller also
+    disables the message layer, releasing stability waiters). *)
+
+val det_ops : t -> int
+val pthread_ops : t -> int
+
+val vfs_of : t -> Ftsim_kernel.Vfs.t
+(** The namespace's local file system (replica-converged under replay). *)

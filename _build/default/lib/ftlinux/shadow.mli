@@ -1,0 +1,63 @@
+(** The secondary's synchronized copy of the primary TCP stack's logical
+    state (§3.4).
+
+    Per connection the shadow holds: the logged input stream (fed by
+    [D_in_data] deltas, consumed by replayed reads), the pending output
+    (fed by replayed writes, trimmed by [D_ack_progress] deltas — i.e. by
+    the client's acknowledgements as observed on the primary), and FIN
+    markers.  At failover, {!restore_all} turns every live shadow
+    connection into a real connection on a fresh stack ({!Tcp.restore});
+    the pending output is exactly the unacknowledged suffix the client
+    still needs. *)
+
+open Ftsim_netstack
+
+type conn
+
+type t
+
+val create : unit -> t
+
+val apply_delta : t -> Wire.tcp_delta -> unit
+
+(** {1 Replayed socket operations} *)
+
+val claim_accept : t -> cid:int -> conn
+(** Bind the replayed [accept] that logged [cid] to its shadow connection. *)
+
+val read_bytes : conn -> int -> Payload.chunk list
+(** Consume [n] logged input bytes (the replayed read's result). *)
+
+val write_bytes : conn -> Payload.chunk -> unit
+(** Record the replayed write in the pending-output buffer. *)
+
+val mark_app_closed : conn -> unit
+
+val register_listener : t -> port:int -> unit
+(** A replayed [listen]: remember the port for re-listening at failover. *)
+
+(** {1 Introspection} *)
+
+val cid : conn -> int
+val find : t -> cid:int -> conn option
+val pending_output : conn -> int
+(** Bytes written by replay and not yet acknowledged by the client. *)
+
+val logged_input : conn -> int
+(** Total input bytes logged so far. *)
+
+val out_seq : conn -> int
+(** Mirror of the primary's [snd_nxt] (sum of forwarded segment sizes). *)
+
+val live_conns : t -> conn list
+val listener_ports : t -> int list
+
+(** {1 Failover} *)
+
+val restore_all : t -> Tcp.stack -> (int * Tcp.conn) list
+(** Recreate every live connection on the given stack; returns
+    [(cid, conn)] pairs.  (Re-listening on {!listener_ports} is the
+    failover orchestrator's job, which also keeps the handles.)  After this
+    call {!restored} is set on each shadow connection. *)
+
+val restored : conn -> Tcp.conn option

@@ -1,0 +1,249 @@
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_kernel
+open Ftsim_netstack
+
+type t = {
+  eng : Engine.t;
+  cfg : Cluster.config;
+  machine : Machine.t;
+  part_p : Partition.t;
+  parts_b : Partition.t array;
+  kernel_p : Kernel.t;
+  kernels_b : Kernel.t array;
+  ml_ps : Msglayer.primary array;  (* primary's view, one per backup *)
+  group : Msglayer.group;
+  ml_ss : Msglayer.secondary array;
+  ns_p : Namespace.t;
+  ns_bs : Namespace.t array;
+  nic : Nic.t option;
+  arb : int Mailbox.duplex;  (* backup 0 <-> backup 1: received LSNs *)
+  mutable hbs : Heartbeat.t list;
+  failover_done : unit Ivar.t;
+  mutable the_winner : int option;
+}
+
+let log = Trace.make "ft.tricluster"
+
+let primary_partition t = t.part_p
+let backup_partition t i = t.parts_b.(i)
+let failover_done t = t.failover_done
+let winner t = t.the_winner
+let backup_received_lsn t i = Msglayer.received_lsn t.ml_ss.(i)
+
+let shutdown t = List.iter Heartbeat.stop t.hbs
+
+let fail_primary t ~at =
+  Machine.inject t.machine
+    (Fault.at at ~partition_id:(Partition.id t.part_p) Fault.Core_failstop)
+
+let fail_backup t i ~at =
+  Machine.inject t.machine
+    (Fault.at at ~partition_id:(Partition.id t.parts_b.(i)) Fault.Core_failstop)
+
+(* Arbitration + takeover, run on backup [me] once the primary is declared
+   failed.  Both backups execute this symmetrically. *)
+let run_backup_failover t ~me =
+  let other = 1 - me in
+  let kernel = t.kernels_b.(me) in
+  ignore
+    (Kernel.spawn_thread kernel ~name:(Printf.sprintf "ft3-failover-%d" me)
+       (fun () ->
+         (* 1. Drain and finish replaying my copy of the log. *)
+         let rec wait_drained () =
+           if not (Msglayer.drained t.ml_ss.(me)) then begin
+             Engine.sleep (Time.ms 1);
+             wait_drained ()
+           end
+         in
+         wait_drained ();
+         let rec wait_idle consecutive =
+           if consecutive < 2 then begin
+             Engine.sleep (Time.ms 1);
+             if Namespace.replay_idle t.ns_bs.(me) then wait_idle (consecutive + 1)
+             else wait_idle 0
+           end
+         in
+         wait_idle 0;
+         let my_lsn = Msglayer.received_lsn t.ml_ss.(me) in
+         (* 2. Arbitrate: longer log wins; ties to the lower id.  Send
+            first, then wait — with a timeout covering a dead peer. *)
+         let my_chan, peer_chan =
+           if me = 0 then (t.arb.Mailbox.a_to_b, t.arb.Mailbox.b_to_a)
+           else (t.arb.Mailbox.b_to_a, t.arb.Mailbox.a_to_b)
+         in
+         if not (Mailbox.src_halted my_chan) then
+           ignore (Mailbox.try_send my_chan ~bytes:16 my_lsn);
+         let peer_lsn =
+           if Partition.is_halted t.parts_b.(other) then None
+           else
+             Mailbox.recv_timeout peer_chan
+               ~deadline:(Engine.now t.eng + (4 * t.cfg.Cluster.hb_timeout))
+         in
+         let i_win =
+           match peer_lsn with
+           | None -> true (* peer dead or silent: I take over *)
+           | Some pl -> my_lsn > pl || (my_lsn = pl && me < other)
+         in
+         Trace.warnf log ~eng:t.eng
+           "backup %d: arbitration lsn=%d peer=%s -> %s" me my_lsn
+           (match peer_lsn with Some p -> string_of_int p | None -> "dead")
+           (if i_win then "WINNER" else "parks");
+         if i_win then begin
+           t.the_winner <- Some me;
+           (match t.nic with
+           | Some nic ->
+               let stack =
+                 Tcp.create (Netenv.of_kernel kernel)
+                   ~config:t.cfg.Cluster.tcp_config ~ip:t.cfg.Cluster.server_ip ()
+               in
+               Nic.transfer nic ~owner:t.parts_b.(me) ~rx:(Tcp.rx_callback stack);
+               Tcp.bind_nic stack nic;
+               let shadow = Namespace.shadow_of t.ns_bs.(me) in
+               let listeners =
+                 List.map
+                   (fun port -> (port, Tcp.listen stack ~port))
+                   (Shadow.listener_ports shadow)
+               in
+               ignore (Shadow.restore_all shadow stack);
+               Namespace.go_live t.ns_bs.(me) ~stack ~listeners ()
+           | None -> Namespace.go_live t.ns_bs.(me) ());
+           Trace.warnf log ~eng:t.eng "backup %d is live" me;
+           Ivar.fill t.failover_done ()
+         end))
+
+let carve machine =
+  let spec = Machine.spec machine in
+  let total = Topology.total_cores spec in
+  let nodes = spec.Topology.numa_nodes in
+  if nodes mod 4 <> 0 then
+    invalid_arg "Tricluster: topology NUMA nodes must divide by 4";
+  let half_nodes = nodes / 2 and quarter_nodes = nodes / 4 in
+  let p =
+    Machine.add_partition machine ~name:"primary" ~cores:(total / 2)
+      ~ram_bytes:(spec.Topology.ram_bytes / 2)
+      ~numa_nodes:(List.init half_nodes Fun.id)
+  in
+  let b i =
+    Machine.add_partition machine
+      ~name:(Printf.sprintf "backup-%d" i)
+      ~cores:(total / 4)
+      ~ram_bytes:(spec.Topology.ram_bytes / 4)
+      ~numa_nodes:(List.init quarter_nodes (fun k -> half_nodes + (i * quarter_nodes) + k))
+  in
+  (p, [| b 0; b 1 |])
+
+let create eng ?(config = Cluster.default_config) ?link ~app () =
+  let machine = Machine.create eng config.Cluster.topology in
+  let part_p, parts_b = carve machine in
+  let kernel_p = Kernel.boot part_p ~config:config.Cluster.kernel_config () in
+  let kernels_b =
+    Array.map (fun p -> Kernel.boot p ~config:config.Cluster.kernel_config ()) parts_b
+  in
+  let duplexes =
+    Array.map
+      (fun pb ->
+        Mailbox.duplex eng ~config:config.Cluster.mailbox_config ~a:part_p ~b:pb ())
+      parts_b
+  in
+  let ml_ps =
+    Array.map
+      (fun d ->
+        Msglayer.create_primary eng ~out:d.Mailbox.a_to_b ~inb:d.Mailbox.b_to_a)
+      duplexes
+  in
+  let group = Msglayer.create_group (Array.to_list ml_ps) ~quorum:1 in
+  (* Network: the primary owns the single NIC, as in the prototype. *)
+  let nic, stack_p =
+    match link with
+    | None -> (None, None)
+    | Some ep ->
+        let nic =
+          Nic.create eng ~driver_load_time:config.Cluster.driver_load_time ep
+        in
+        let stack =
+          Tcp.create (Netenv.of_kernel kernel_p) ~config:config.Cluster.tcp_config
+            ~ip:config.Cluster.server_ip ()
+        in
+        Tcp.bind_nic stack nic;
+        Nic.attach nic ~owner:part_p ~rx:(Tcp.rx_callback stack) ();
+        (Some nic, Some stack)
+  in
+  let ns_p =
+    Namespace.primary kernel_p ~sink:(Msglayer.sink_of_group group)
+      ?stack:stack_p ~env:config.Cluster.app_env
+      ~output_commit:config.Cluster.output_commit
+      ~ack_commit:config.Cluster.ack_commit ()
+  in
+  let ns_bs =
+    Array.map (fun k -> Namespace.secondary k ~env:config.Cluster.app_env ()) kernels_b
+  in
+  let ml_ss =
+    Array.mapi
+      (fun i d ->
+        Msglayer.create_secondary eng ~inb:d.Mailbox.a_to_b ~out:d.Mailbox.b_to_a
+          ~replay_cost:config.Cluster.kernel_config.Kernel.wake_latency
+          ~delta_cost:config.Cluster.delta_replay_cost
+          ~handler:(fun record -> Namespace.record_handler ns_bs.(i) record))
+      duplexes
+  in
+  Array.iter
+    (fun ml -> Msglayer.spawn_primary_rx ml (fun n f -> Kernel.spawn_thread kernel_p ~name:n f))
+    ml_ps;
+  Array.iteri
+    (fun i ml ->
+      Msglayer.spawn_secondary_rx ml (fun n f ->
+          Kernel.spawn_thread kernels_b.(i) ~name:n f))
+    ml_ss;
+  let arb = Mailbox.duplex eng ~a:parts_b.(0) ~b:parts_b.(1) () in
+  let t =
+    {
+      eng;
+      cfg = config;
+      machine;
+      part_p;
+      parts_b;
+      kernel_p;
+      kernels_b;
+      ml_ps;
+      group;
+      ml_ss;
+      ns_p;
+      ns_bs;
+      nic;
+      arb;
+      hbs = [];
+      failover_done = Ivar.create ();
+      the_winner = None;
+    }
+  in
+  (* Heart-beats: the primary monitors each backup independently; each
+     backup monitors the primary. *)
+  let hb_backup_monitor i =
+    Heartbeat.start
+      ~spawn:(fun n f -> Kernel.spawn_thread kernel_p ~name:n f)
+      ~eng ~period:config.Cluster.hb_period ~timeout:config.Cluster.hb_timeout
+      ~send:(fun ~seq -> Msglayer.send_heartbeat_p ml_ps.(i) ~seq)
+      ~last_peer:(fun () -> Msglayer.last_peer_activity_p ml_ps.(i))
+      ~on_failure:(fun () ->
+        Trace.warnf log ~eng "primary: backup %d declared failed" i;
+        Ipi.send_halt eng parts_b.(i);
+        Msglayer.group_disable group i;
+        if Array.for_all Partition.is_halted parts_b then Namespace.go_solo ns_p)
+  in
+  let hb_primary_monitor i =
+    Heartbeat.start
+      ~spawn:(fun n f -> Kernel.spawn_thread kernels_b.(i) ~name:n f)
+      ~eng ~period:config.Cluster.hb_period ~timeout:config.Cluster.hb_timeout
+      ~send:(fun ~seq -> Msglayer.send_heartbeat_s ml_ss.(i) ~seq)
+      ~last_peer:(fun () -> Msglayer.last_peer_activity_s ml_ss.(i))
+      ~on_failure:(fun () ->
+        Trace.warnf log ~eng "backup %d: primary declared failed" i;
+        Ipi.send_halt eng part_p;
+        run_backup_failover t ~me:i)
+  in
+  t.hbs <-
+    [ hb_backup_monitor 0; hb_backup_monitor 1; hb_primary_monitor 0; hb_primary_monitor 1 ];
+  ignore (Namespace.start_app ns_p app);
+  Array.iter (fun ns -> ignore (Namespace.start_app ns app)) ns_bs;
+  t

@@ -1,0 +1,53 @@
+(** Three-replica FT-Linux: one primary and two backups (paper §6's
+    "configurable number of replicas").
+
+    The primary records exactly as in the two-replica {!Cluster}, but the
+    log fans out to both backups through a {!Msglayer.group}; output commit
+    waits for a {e quorum} of one backup acknowledgement (a majority of the
+    three replicas including the primary), so any released output survives
+    any single failure.
+
+    Failure handling:
+    - a backup failure disables it in the group (the primary continues
+      replicated to the survivor — and solo once both are gone);
+    - a primary failure triggers arbitration between the backups: each
+      drains its log, exchanges its received LSN with its peer, and the
+      longer log wins (ties to the lower id) — the quorum rule guarantees
+      the winner's log covers every output a client may have seen.  The
+      winner reloads the NIC driver, reconstructs TCP state, and goes
+      live; the loser parks.
+
+    Sequential double failures (one backup, then the primary) are
+    tolerated.  Re-protecting the survivor (re-pairing into a fresh
+    primary–backup configuration) is out of scope, as in the paper. *)
+
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_netstack
+
+type t
+
+val create :
+  Engine.t ->
+  ?config:Cluster.config ->
+  ?link:Link.endpoint ->
+  app:Api.app ->
+  unit ->
+  t
+(** The machine is carved into a half-size primary partition and two
+    quarter-size backups (the topology's NUMA nodes must divide by 4). *)
+
+val primary_partition : t -> Partition.t
+val backup_partition : t -> int -> Partition.t
+(** [int] is the backup index, 0 or 1. *)
+
+val fail_primary : t -> at:Time.t -> unit
+val fail_backup : t -> int -> at:Time.t -> unit
+
+val failover_done : t -> unit Ivar.t
+val winner : t -> int option
+(** Which backup took over (after failover). *)
+
+val backup_received_lsn : t -> int -> int
+
+val shutdown : t -> unit

@@ -1,0 +1,107 @@
+type det_payload =
+  | P_plain
+  | P_timed_outcome of bool
+  | P_thread_spawn of int
+  | P_fs_read_len of int
+
+type syscall_result =
+  | R_gettimeofday of Ftsim_sim.Time.t
+  | R_accept of int
+  | R_read of { cid : int; len : int }
+  | R_write of { cid : int; len : int }
+  | R_close of { cid : int }
+  | R_poll of { ready : int list }
+
+type tcp_delta =
+  | D_new_conn of {
+      cid : int;
+      local : Ftsim_netstack.Packet.addr;
+      remote : Ftsim_netstack.Packet.addr;
+    }
+  | D_in_data of { cid : int; data : Ftsim_netstack.Payload.chunk list }
+  | D_out_seg of { cid : int; len : int }
+  | D_ack_progress of { cid : int; snd_una : int }
+  | D_peer_fin of { cid : int }
+
+type record =
+  | Sync_tuple of {
+      ft_pid : int;
+      thread_seq : int;
+      global_seq : int;
+      payload : det_payload;
+    }
+  | Syscall_result of { ft_pid : int; sseq : int; result : syscall_result }
+  | Tcp_delta of tcp_delta
+
+type message =
+  | Record of { lsn : int; record : record }
+  | Ack of { upto : int }
+  | Heartbeat of { from_primary : bool; seq : int }
+
+(* Sizes model a compact binary encoding: 16-byte framing header plus
+   fixed-size fields; input data rides along verbatim. *)
+let header = 16
+
+let det_payload_bytes = function
+  | P_plain -> 0
+  | P_timed_outcome _ -> 1
+  | P_thread_spawn _ -> 4
+  | P_fs_read_len _ -> 4
+
+let syscall_result_bytes = function
+  | R_gettimeofday _ -> 8
+  | R_accept _ -> 4
+  | R_read _ -> 8
+  | R_write _ -> 8
+  | R_close _ -> 4
+  | R_poll { ready } -> 4 + (4 * List.length ready)
+
+let tcp_delta_bytes = function
+  | D_new_conn _ -> 4 + 12 + 12
+  | D_in_data { data; _ } -> 4 + Ftsim_netstack.Payload.total_len data
+  | D_out_seg _ -> 4 + 4
+  | D_ack_progress _ -> 4 + 8
+  | D_peer_fin _ -> 4
+
+let record_bytes = function
+  | Sync_tuple { payload; _ } -> header + 12 + det_payload_bytes payload
+  | Syscall_result { result; _ } -> header + 8 + syscall_result_bytes result
+  | Tcp_delta d -> header + tcp_delta_bytes d
+
+let message_bytes = function
+  | Record { record; _ } -> 8 + record_bytes record
+  | Ack _ -> header + 8
+  | Heartbeat _ -> header + 8
+
+let pp_record fmt = function
+  | Sync_tuple { ft_pid; thread_seq; global_seq; payload } ->
+      Format.fprintf fmt "sync<%d,%d,%d>%s" thread_seq global_seq ft_pid
+        (match payload with
+        | P_plain -> ""
+        | P_timed_outcome b -> if b then "+timeout" else "+signaled"
+        | P_thread_spawn p -> Printf.sprintf "+spawn(%d)" p
+        | P_fs_read_len n -> Printf.sprintf "+fsread(%d)" n)
+  | Syscall_result { ft_pid; sseq; result } ->
+      Format.fprintf fmt "syscall<%d,%d>%s" ft_pid sseq
+        (match result with
+        | R_gettimeofday _ -> "=time"
+        | R_accept cid -> Printf.sprintf "=accept(%d)" cid
+        | R_read { cid; len } -> Printf.sprintf "=read(%d,%d)" cid len
+        | R_write { cid; len } -> Printf.sprintf "=write(%d,%d)" cid len
+        | R_close { cid } -> Printf.sprintf "=close(%d)" cid
+        | R_poll { ready } -> Printf.sprintf "=poll(%d ready)" (List.length ready))
+  | Tcp_delta d ->
+      Format.fprintf fmt "%s"
+        (match d with
+        | D_new_conn { cid; _ } -> Printf.sprintf "tcp.new(%d)" cid
+        | D_in_data { cid; data } ->
+            Printf.sprintf "tcp.in(%d,%d)" cid
+              (Ftsim_netstack.Payload.total_len data)
+        | D_out_seg { cid; len } -> Printf.sprintf "tcp.out(%d,%d)" cid len
+        | D_ack_progress { cid; snd_una } ->
+            Printf.sprintf "tcp.ack(%d,%d)" cid snd_una
+        | D_peer_fin { cid } -> Printf.sprintf "tcp.fin(%d)" cid)
+
+let wakes_thread = function
+  | Sync_tuple _ | Syscall_result _ -> true
+  | Tcp_delta _ -> false

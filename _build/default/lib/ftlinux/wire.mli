@@ -1,0 +1,65 @@
+(** Inter-replica wire protocol.
+
+    Everything the primary streams to the secondary travels as [record]s in
+    one FIFO log (so cross-record ordering is free), each assigned a log
+    sequence number (LSN) by {!Msglayer}.  The secondary acknowledges LSNs;
+    output commit waits on those acknowledgements.
+
+    Record kinds map one-to-one onto the paper's mechanisms:
+    - [Sync_tuple] — the <Seq_thread, Seq_global, ft_pid> tuples of
+      __det_start/__det_end (§3.3), with an optional payload for logged
+      non-deterministic values;
+    - [Syscall_result] — per-thread system-call results (§3.2), replayed in
+      per-thread FIFO order (the "partially ordered log");
+    - [Tcp_delta] — incremental checkpoint of the TCP stack's logical state
+      (§3.4). *)
+
+type det_payload =
+  | P_plain  (** ordering only (pthread ops, fs writes/opens) *)
+  | P_timed_outcome of bool  (** cond_timedwait: [true] = timed out *)
+  | P_thread_spawn of int  (** ft_pid assigned to the new thread *)
+  | P_fs_read_len of int
+      (** bytes returned by a file read — per SibylFS, the only
+          non-deterministic value of a POSIX file system (§6) *)
+
+type syscall_result =
+  | R_gettimeofday of Ftsim_sim.Time.t
+  | R_accept of int  (** cid of the accepted connection *)
+  | R_read of { cid : int; len : int }  (** 0 = end of stream *)
+  | R_write of { cid : int; len : int }
+  | R_close of { cid : int }
+  | R_poll of { ready : int list }
+      (** indices (into the caller's interest list) that polled ready *)
+
+type tcp_delta =
+  | D_new_conn of { cid : int; local : Ftsim_netstack.Packet.addr; remote : Ftsim_netstack.Packet.addr }
+  | D_in_data of { cid : int; data : Ftsim_netstack.Payload.chunk list }
+  | D_out_seg of { cid : int; len : int }
+      (** size of an output segment, forwarded before it is sent ("the
+          primary will inform the replicas of the size of the packet") *)
+  | D_ack_progress of { cid : int; snd_una : int }
+  | D_peer_fin of { cid : int }
+
+type record =
+  | Sync_tuple of { ft_pid : int; thread_seq : int; global_seq : int; payload : det_payload }
+  | Syscall_result of { ft_pid : int; sseq : int; result : syscall_result }
+  | Tcp_delta of tcp_delta
+
+type message =
+  | Record of { lsn : int; record : record }
+  | Ack of { upto : int }  (** secondary → primary: all LSNs ≤ upto received *)
+  | Heartbeat of { from_primary : bool; seq : int }
+
+val record_bytes : record -> int
+(** Modelled wire size of a record (header included), used for the
+    inter-replica traffic figures. *)
+
+val message_bytes : message -> int
+
+val wakes_thread : record -> bool
+(** Whether replaying this record wakes an application thread (sync tuples
+    and syscall results) — the records that pay the [wake_up_process]
+    latency — as opposed to TCP deltas absorbed by the replication
+    component itself. *)
+
+val pp_record : Format.formatter -> record -> unit

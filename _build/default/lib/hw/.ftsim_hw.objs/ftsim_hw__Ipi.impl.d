@@ -1,0 +1,1 @@
+lib/hw/ipi.ml: Engine Ftsim_sim Partition Time Trace

@@ -1,0 +1,1 @@
+lib/hw/ipi.mli: Engine Ftsim_sim Partition Time

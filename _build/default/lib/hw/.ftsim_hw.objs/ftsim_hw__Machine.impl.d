@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Engine Fault Ftsim_sim Fun List Partition Topology Trace

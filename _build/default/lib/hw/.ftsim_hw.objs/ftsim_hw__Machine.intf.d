@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Engine Fault Ftsim_sim Partition Topology

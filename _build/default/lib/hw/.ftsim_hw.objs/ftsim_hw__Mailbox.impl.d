@@ -1,0 +1,1 @@
+lib/hw/mailbox.ml: Bqueue Engine Ftsim_sim Metrics Partition Sync Time

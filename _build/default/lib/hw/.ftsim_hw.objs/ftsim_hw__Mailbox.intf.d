@@ -1,0 +1,1 @@
+lib/hw/mailbox.mli: Engine Ftsim_sim Partition Time

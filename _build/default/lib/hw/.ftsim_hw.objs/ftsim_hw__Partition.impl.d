@@ -1,0 +1,1 @@
+lib/hw/partition.ml: Engine Ftsim_sim Hashtbl List Trace

@@ -1,0 +1,34 @@
+type kind = Core_failstop | Memory_uncorrected | Bus_error
+
+type t = {
+  at : Ftsim_sim.Time.t;
+  partition_id : int;
+  kind : kind;
+  disrupts_coherency : bool;
+}
+
+type detection = Mca | Silent
+
+type event = {
+  time : Ftsim_sim.Time.t;
+  partition_id : int;
+  fault_kind : kind;
+  detected_by : detection;
+}
+
+let detection_of_kind = function
+  | Core_failstop -> Silent
+  | Memory_uncorrected | Bus_error -> Mca
+
+let pp_kind fmt = function
+  | Core_failstop -> Format.pp_print_string fmt "core-failstop"
+  | Memory_uncorrected -> Format.pp_print_string fmt "memory-uncorrected"
+  | Bus_error -> Format.pp_print_string fmt "bus-error"
+
+let pp_event fmt e =
+  Format.fprintf fmt "fault(%a) on partition %d at %a via %s" pp_kind
+    e.fault_kind e.partition_id Ftsim_sim.Time.pp e.time
+    (match e.detected_by with Mca -> "MCA" | Silent -> "heartbeat")
+
+let at ?(disrupts_coherency = false) time ~partition_id kind =
+  { at = time; partition_id; kind; disrupts_coherency }

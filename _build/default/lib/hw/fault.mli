@@ -1,0 +1,46 @@
+(** Hardware fault descriptions and injection plans.
+
+    The paper's failure model (§2): core, memory and bus failures that affect
+    a single partition and are detected before cross-replica contamination —
+    fail-stop faults plus data-corruption faults caught by ECC/MCA/AER
+    hardware. *)
+
+type kind =
+  | Core_failstop  (** a core stops; the partition's stack goes down *)
+  | Memory_uncorrected
+      (** detected-but-uncorrected memory error (ECC, reported via MCA) *)
+  | Bus_error  (** bus/link error reported via AER *)
+
+type t = {
+  at : Ftsim_sim.Time.t;  (** injection time *)
+  partition_id : int;
+  kind : kind;
+  disrupts_coherency : bool;
+      (** when true, messages in the victim's mailbox rings that have not yet
+          been received are lost (§3.5's rare worst case) *)
+}
+
+type detection =
+  | Mca  (** synchronous hardware report (machine-check architecture) *)
+  | Silent  (** no hardware report; peers must notice via heartbeat *)
+
+type event = {
+  time : Ftsim_sim.Time.t;
+  partition_id : int;
+  fault_kind : kind;
+  detected_by : detection;
+}
+
+val detection_of_kind : kind -> detection
+(** Fail-stop cores are silent; memory and bus errors raise machine checks. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+
+val at :
+  ?disrupts_coherency:bool ->
+  Ftsim_sim.Time.t ->
+  partition_id:int ->
+  kind ->
+  t
+(** Convenience constructor. *)

@@ -1,0 +1,12 @@
+open Ftsim_sim
+
+let default_latency = Time.us 1
+
+let log = Trace.make "hw.ipi"
+
+let send_halt ?(latency = default_latency) eng target =
+  Engine.schedule eng ~at:(Engine.now eng + latency) (fun () ->
+      if not (Partition.is_halted target) then begin
+        Trace.warnf log ~eng "IPI halt delivered to %s" (Partition.name target);
+        Partition.halt target
+      end)

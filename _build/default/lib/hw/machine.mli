@@ -1,0 +1,51 @@
+(** A whole machine: topology + partitions + fault plumbing.
+
+    [Machine.t] owns the partition table and routes injected faults: the
+    victim partition is halted and, for MCA-detectable faults, surviving
+    partitions' machine-check subscribers are notified. *)
+
+open Ftsim_sim
+
+type t
+
+val create : Engine.t -> Topology.spec -> t
+
+val engine : t -> Engine.t
+val spec : t -> Topology.spec
+
+val add_partition :
+  t -> name:string -> cores:int -> ram_bytes:int -> numa_nodes:int list -> Partition.t
+(** Carve a partition out of the remaining inventory.  Raises
+    [Invalid_argument] if the requested cores/RAM/nodes are not available. *)
+
+val split_symmetric : t -> (Partition.t * Partition.t)
+(** The paper's default configuration: two symmetric partitions each holding
+    half the cores, half the NUMA nodes and half the RAM. *)
+
+val split_asymmetric : t -> primary_cores:int -> (Partition.t * Partition.t)
+(** §4.3's configuration: a large primary partition and a secondary holding
+    the remaining cores (e.g. 32 + 1 on a 33-core budget). *)
+
+val partitions : t -> Partition.t list
+val find_partition : t -> int -> Partition.t option
+
+val free_cores : t -> int
+val free_ram : t -> int
+
+val on_machine_check : t -> (Fault.event -> unit) -> unit
+(** Subscribe to hardware error reports (MCA/AER).  Subscribers on the
+    failed partition never observe the event — their stack is gone. *)
+
+val inject : t -> Fault.t -> unit
+(** Schedule a fault.  At [fault.at]: the victim partition halts; MCA-class
+    faults notify subscribers; coherency-disrupting faults additionally
+    invoke the drop hooks registered with {!on_coherency_loss}. *)
+
+val inject_all : t -> Fault.t list -> unit
+
+val on_coherency_loss : t -> partition_id:int -> (unit -> unit) -> unit
+(** Register a hook invoked when a coherency-disrupting fault hits the given
+    partition (mailbox owners use this to drop in-flight messages). *)
+
+val fault_log : t -> Fault.event list
+(** Events so far, oldest first. *)

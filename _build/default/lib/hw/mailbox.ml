@@ -1,0 +1,110 @@
+open Ftsim_sim
+
+type config = { propagation_delay : Time.t; capacity : int }
+
+let default_config = { propagation_delay = Time.ns 550; capacity = 4096 }
+
+type 'a chan = {
+  cfg : config;
+  eng : Engine.t;
+  src : Partition.t;
+  slots : Sync.Semaphore.t;
+  inbox : 'a Bqueue.t;
+  mutable propagating : int;
+  sent_msgs : Metrics.Counter.t;
+  sent_bytes : Metrics.Counter.t;
+}
+
+let create eng ?(config = default_config) ~src ~dst () =
+  ignore dst;
+  {
+    cfg = config;
+    eng;
+    src;
+    slots = Sync.Semaphore.create config.capacity;
+    inbox = Bqueue.create ();
+    propagating = 0;
+    sent_msgs = Metrics.Counter.create ();
+    sent_bytes = Metrics.Counter.create ();
+  }
+
+let account t bytes =
+  Metrics.Counter.incr t.sent_msgs;
+  Metrics.Counter.add t.sent_bytes bytes
+
+let deliver_later t v =
+  t.propagating <- t.propagating + 1;
+  Engine.schedule t.eng
+    ~at:(Engine.now t.eng + t.cfg.propagation_delay)
+    (fun () ->
+      t.propagating <- t.propagating - 1;
+      Bqueue.put t.inbox v)
+
+let send t ~bytes v =
+  Partition.check_alive t.src;
+  Sync.Semaphore.acquire t.slots;
+  account t bytes;
+  deliver_later t v
+
+let try_send t ~bytes v =
+  Partition.check_alive t.src;
+  if Sync.Semaphore.try_acquire t.slots then begin
+    account t bytes;
+    deliver_later t v;
+    true
+  end
+  else false
+
+let recv t =
+  let v = Bqueue.get t.inbox in
+  Sync.Semaphore.release t.slots;
+  v
+
+let recv_timeout t ~deadline =
+  match Bqueue.get_timeout t.inbox ~deadline with
+  | None -> None
+  | Some v ->
+      Sync.Semaphore.release t.slots;
+      Some v
+
+let poll t =
+  match Bqueue.try_get t.inbox with
+  | None -> None
+  | Some v ->
+      Sync.Semaphore.release t.slots;
+      Some v
+
+let in_flight t = t.propagating + Bqueue.length t.inbox
+
+let src_halted t = Partition.is_halted t.src
+
+let drop_in_flight t =
+  let n = ref 0 in
+  let rec drain () =
+    match Bqueue.try_get t.inbox with
+    | Some _ ->
+        Sync.Semaphore.release t.slots;
+        incr n;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* Messages still propagating will land in the inbox later; they are not
+     dropped here.  Coherency-disrupting faults should be injected after the
+     propagation window, which at 0.55 us is far below any detection time. *)
+  !n
+
+let msgs_sent t = Metrics.Counter.value t.sent_msgs
+let bytes_sent t = Metrics.Counter.value t.sent_bytes
+
+let reset_metrics t =
+  Metrics.Counter.reset t.sent_msgs;
+  Metrics.Counter.reset t.sent_bytes
+
+type 'a duplex = { a_to_b : 'a chan; b_to_a : 'a chan }
+
+let duplex eng ?config ~a ~b () =
+  {
+    a_to_b = create eng ?config ~src:a ~dst:b ();
+    b_to_a = create eng ?config ~src:b ~dst:a ();
+  }

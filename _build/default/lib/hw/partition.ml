@@ -1,0 +1,68 @@
+open Ftsim_sim
+
+exception Halted of string
+
+type t = {
+  id : int;
+  name : string;
+  cores : int;
+  ram_bytes : int;
+  numa_nodes : int list;
+  eng : Engine.t;
+  mutable halted : bool;
+  procs : (int, Engine.proc) Hashtbl.t;
+  mutable halt_hooks : (unit -> unit) list;
+}
+
+let log = Trace.make "hw.partition"
+
+let create eng ~id ~name ~cores ~ram_bytes ~numa_nodes =
+  if cores <= 0 then invalid_arg "Partition.create: no cores";
+  {
+    id;
+    name;
+    cores;
+    ram_bytes;
+    numa_nodes;
+    eng;
+    halted = false;
+    procs = Hashtbl.create 64;
+    halt_hooks = [];
+  }
+
+let id t = t.id
+let name t = t.name
+let cores t = t.cores
+let ram_bytes t = t.ram_bytes
+let numa_nodes t = t.numa_nodes
+let engine t = t.eng
+let is_halted t = t.halted
+
+let check_alive t = if t.halted then raise (Halted t.name)
+
+let spawn t ?proc_name f =
+  check_alive t;
+  let pname =
+    match proc_name with Some n -> t.name ^ "/" ^ n | None -> t.name ^ "/proc"
+  in
+  let p = Engine.spawn t.eng ~name:pname f in
+  Hashtbl.replace t.procs (Engine.pid p) p;
+  Engine.on_exit p (fun _ -> Hashtbl.remove t.procs (Engine.pid p));
+  p
+
+let live_proc_count t = Hashtbl.length t.procs
+
+let halt t =
+  if not t.halted then begin
+    t.halted <- true;
+    Trace.warnf log ~eng:t.eng "partition %s halting (%d procs)" t.name
+      (Hashtbl.length t.procs);
+    (* Collect first: kill mutates the table via on_exit handlers. *)
+    let victims = Hashtbl.fold (fun _ p acc -> p :: acc) t.procs [] in
+    List.iter Engine.kill victims;
+    let hooks = t.halt_hooks in
+    t.halt_hooks <- [];
+    List.iter (fun h -> h ()) hooks
+  end
+
+let on_halt t h = if t.halted then h () else t.halt_hooks <- h :: t.halt_hooks

@@ -1,0 +1,49 @@
+(** Hardware partitions: fault-independent slices of a machine.
+
+    A partition owns a disjoint set of cores, NUMA nodes and RAM, and runs
+    one full software stack.  Halting a partition (fail-stop, or forced halt
+    via {!Ipi}) kills every process running on it, modelling the hardware
+    unit going away; software on other partitions is unaffected. *)
+
+open Ftsim_sim
+
+type t
+
+val create :
+  Engine.t ->
+  id:int ->
+  name:string ->
+  cores:int ->
+  ram_bytes:int ->
+  numa_nodes:int list ->
+  t
+
+val id : t -> int
+val name : t -> string
+val cores : t -> int
+val ram_bytes : t -> int
+val numa_nodes : t -> int list
+val engine : t -> Engine.t
+
+val spawn : t -> ?proc_name:string -> (unit -> unit) -> Engine.proc
+(** Spawn a process that lives on this partition: it dies when the partition
+    halts.  Raises [Halted] if the partition is already down. *)
+
+val is_halted : t -> bool
+
+val halt : t -> unit
+(** Fail-stop the partition: kill every process spawned on it and fire halt
+    hooks.  Idempotent. *)
+
+val on_halt : t -> (unit -> unit) -> unit
+(** Register a hook to run when the partition halts (already-halted
+    partitions run the hook immediately).  Used by devices (NIC, mailbox) to
+    model the hardware side of a crash. *)
+
+val live_proc_count : t -> int
+
+exception Halted of string
+(** Raised when code attempts to use a halted partition. *)
+
+val check_alive : t -> unit
+(** Raise [Halted] if the partition is down. *)

@@ -1,0 +1,1 @@
+lib/kernel/cpu.ml: Engine Ftsim_sim Metrics Sync Time

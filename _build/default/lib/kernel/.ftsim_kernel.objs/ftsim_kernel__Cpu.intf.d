@@ -1,0 +1,1 @@
+lib/kernel/cpu.mli: Engine Ftsim_sim Time

@@ -1,0 +1,1 @@
+lib/kernel/futex.ml: Engine Ftsim_sim Hashtbl Printf Sync Waitq

@@ -1,0 +1,1 @@
+lib/kernel/futex.mli: Ftsim_sim Time

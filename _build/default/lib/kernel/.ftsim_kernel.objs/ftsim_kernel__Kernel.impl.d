@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Cpu Engine Ftsim_hw Ftsim_sim Futex Partition Time

@@ -1,0 +1,1 @@
+lib/kernel/memlayout.ml: Ftsim_sim

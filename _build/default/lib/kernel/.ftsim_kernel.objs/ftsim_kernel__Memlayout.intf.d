@@ -1,0 +1,1 @@
+lib/kernel/memlayout.mli: Ftsim_sim

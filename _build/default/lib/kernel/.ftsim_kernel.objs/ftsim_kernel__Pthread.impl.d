@@ -1,0 +1,1 @@
+lib/kernel/pthread.ml: Ftsim_sim Futex Kernel Metrics

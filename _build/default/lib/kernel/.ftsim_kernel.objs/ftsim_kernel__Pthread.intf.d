@@ -1,0 +1,1 @@
+lib/kernel/pthread.mli: Ftsim_sim Kernel Time

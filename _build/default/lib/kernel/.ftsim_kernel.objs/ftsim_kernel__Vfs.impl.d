@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Ftsim_sim Hashtbl List Option Printf String

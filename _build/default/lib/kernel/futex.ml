@@ -1,0 +1,107 @@
+open Ftsim_sim
+
+type addr = int
+
+type word = { mutable value : int; q : Waitq.t }
+
+type table = { words : (addr, word) Hashtbl.t; mutable next : addr }
+
+let create_table () = { words = Hashtbl.create 64; next = 0 }
+
+let word_of t a =
+  match Hashtbl.find_opt t.words a with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Futex: unknown address %d" a)
+
+let alloc t =
+  let a = t.next in
+  t.next <- t.next + 1;
+  Hashtbl.replace t.words a { value = 0; q = Waitq.create () };
+  a
+
+let get t a = (word_of t a).value
+let set t a v = (word_of t a).value <- v
+
+let fetch_add t a d =
+  let w = word_of t a in
+  let old = w.value in
+  w.value <- old + d;
+  old
+
+let wait t a ~expected =
+  let w = word_of t a in
+  if w.value <> expected then `Value_mismatch
+  else begin
+    match Sync.wait_on w.q with `Woken -> `Woken | `Timeout -> assert false
+  end
+
+let wait_deadline t a ~expected ~deadline =
+  let w = word_of t a in
+  if w.value <> expected then `Value_mismatch
+  else
+    match Sync.wait_on ~deadline w.q with
+    | `Woken -> `Woken
+    | `Timeout -> `Timeout
+
+let wake t a ~count =
+  let w = word_of t a in
+  let woken = ref 0 in
+  while !woken < count && Waitq.wake_one w.q do
+    incr woken
+  done;
+  !woken
+
+let waiters t a = Waitq.length (word_of t a).q
+
+type waiter = {
+  mutable st : [ `Pending | `Woken | `Cancelled ];
+  mutable parked : (unit -> unit) option;
+  mutable entry : Waitq.entry option;
+}
+
+let prepare_wait t a =
+  let word = word_of t a in
+  let w = { st = `Pending; parked = None; entry = None } in
+  let entry =
+    Waitq.add word.q (fun () ->
+        w.st <- `Woken;
+        match w.parked with Some resume -> resume () | None -> ())
+  in
+  w.entry <- Some entry;
+  w
+
+let commit_wait w =
+  match w.st with
+  | `Woken -> ()
+  | `Cancelled -> invalid_arg "Futex.commit_wait: waiter was cancelled"
+  | `Pending ->
+      Engine.suspend (fun _p resume -> w.parked <- Some resume);
+      assert (w.st = `Woken)
+
+let commit_wait_deadline w ~deadline =
+  match w.st with
+  | `Woken -> `Woken
+  | `Cancelled -> invalid_arg "Futex.commit_wait_deadline: waiter was cancelled"
+  | `Pending ->
+      Engine.suspend (fun p resume ->
+          w.parked <- Some resume;
+          let eng = Engine.engine_of_proc p in
+          let at = max deadline (Engine.now eng) in
+          Engine.schedule eng ~at (fun () ->
+              if w.st = `Pending then begin
+                w.st <- `Cancelled;
+                (match w.entry with Some e -> Waitq.cancel e | None -> ());
+                resume ()
+              end));
+      (match w.st with
+      | `Woken -> `Woken
+      | `Cancelled -> `Timeout
+      | `Pending -> assert false)
+
+let cancel_wait w =
+  if w.st = `Pending then begin
+    w.st <- `Cancelled;
+    match w.entry with Some e -> Waitq.cancel e | None -> ()
+  end
+
+let waiter_woken w = w.st = `Woken

@@ -1,0 +1,61 @@
+(** FIFO futexes.
+
+    The kernel's low-level sleep/wake primitive over integer words.  FT-Linux
+    modified the Linux futex queues to be strictly FIFO "so that the order of
+    possessing a futex will lead to a deterministic order of releasing it"
+    (§3.3); this implementation is FIFO by construction. *)
+
+open Ftsim_sim
+
+type table
+(** One futex namespace; each kernel instance owns one. *)
+
+type addr = int
+
+val create_table : unit -> table
+
+val alloc : table -> addr
+(** Fresh futex word, initialized to 0. *)
+
+val get : table -> addr -> int
+val set : table -> addr -> int -> unit
+
+val fetch_add : table -> addr -> int -> int
+(** Atomic add; returns the previous value. *)
+
+val wait : table -> addr -> expected:int -> [ `Woken | `Value_mismatch ]
+(** If the word still holds [expected], sleep until woken (FIFO); otherwise
+    return [`Value_mismatch] immediately. *)
+
+val wait_deadline :
+  table -> addr -> expected:int -> deadline:Time.t ->
+  [ `Woken | `Value_mismatch | `Timeout ]
+
+val wake : table -> addr -> count:int -> int
+(** Wake up to [count] waiters in FIFO order; returns the number woken. *)
+
+val waiters : table -> addr -> int
+
+(** {1 Two-phase waiting}
+
+    Deterministic replication needs the FIFO *enqueue* position of a waiter
+    fixed inside a deterministic section, while the sleep itself happens
+    outside it.  [prepare_wait] takes the queue slot; [commit_wait] sleeps
+    until a wake reaches that slot. *)
+
+type waiter
+
+val prepare_wait : table -> addr -> waiter
+(** Enqueue at the tail of the futex queue, without sleeping. *)
+
+val commit_wait : waiter -> unit
+(** Sleep until the slot is woken (returns immediately if it already was). *)
+
+val commit_wait_deadline : waiter -> deadline:Time.t -> [ `Woken | `Timeout ]
+(** Like {!commit_wait} with a deadline.  On timeout the slot is cancelled
+    atomically at the deadline instant, so a later wake skips it. *)
+
+val cancel_wait : waiter -> unit
+(** Withdraw a pending slot.  No-op if already woken or cancelled. *)
+
+val waiter_woken : waiter -> bool

@@ -1,0 +1,95 @@
+module Payload = Ftsim_sim.Payload
+(* chunks from the sim layer *)
+
+exception Not_found_file of string
+exception Bad_fd
+
+type file = { buf : Payload.Buf.t }
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  page_cluster : int;
+  mutable next_fd : int;
+}
+
+type fd = {
+  id : int;
+  path : string;
+  mutable rpos : int;
+  mutable closed : bool;
+}
+
+let create ?(page_cluster = 64 * 1024) () =
+  if page_cluster <= 0 then invalid_arg "Vfs.create";
+  { files = Hashtbl.create 32; page_cluster; next_fd = 0 }
+
+let file_exn t path =
+  match Hashtbl.find_opt t.files path with
+  | Some f -> f
+  | None -> raise (Not_found_file path)
+
+let open_file t ~path ~create =
+  if not (Hashtbl.mem t.files path) then begin
+    if not create then raise (Not_found_file path);
+    Hashtbl.replace t.files path { buf = Payload.Buf.create () }
+  end;
+  t.next_fd <- t.next_fd + 1;
+  { id = t.next_fd; path; rpos = 0; closed = false }
+
+let check_open fd = if fd.closed then raise Bad_fd
+
+let read t fd ~max =
+  check_open fd;
+  if max <= 0 then invalid_arg "Vfs.read: max";
+  let f = file_exn t fd.path in
+  let available = Payload.Buf.limit f.buf - fd.rpos in
+  if available <= 0 then []
+  else begin
+    (* Short reads at page-cluster boundaries: the one non-deterministic
+       interface value of a POSIX file system. *)
+    let boundary = ((fd.rpos / t.page_cluster) + 1) * t.page_cluster in
+    let n = min max (min available (boundary - fd.rpos)) in
+    let cs = Payload.Buf.peek_range f.buf ~off:fd.rpos ~len:n in
+    fd.rpos <- fd.rpos + n;
+    cs
+  end
+
+let read_exact t fd n =
+  check_open fd;
+  if n = 0 then []
+  else begin
+    let f = file_exn t fd.path in
+    let available = Payload.Buf.limit f.buf - fd.rpos in
+    if n > available then
+      invalid_arg
+        (Printf.sprintf "Vfs.read_exact: %d requested, %d available (replay divergence?)"
+           n available);
+    let cs = Payload.Buf.peek_range f.buf ~off:fd.rpos ~len:n in
+    fd.rpos <- fd.rpos + n;
+    cs
+  end
+
+let append t fd chunk =
+  check_open fd;
+  let f = file_exn t fd.path in
+  Payload.Buf.append f.buf chunk
+
+let close _t fd = fd.closed <- true
+
+let truncate t ~path = Hashtbl.replace t.files path { buf = Payload.Buf.create () }
+
+let exists t ~path = Hashtbl.mem t.files path
+
+let size t ~path =
+  Option.map (fun f -> Payload.Buf.length f.buf) (Hashtbl.find_opt t.files path)
+
+let list_paths t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.files [] |> List.sort compare
+
+let checksum t ~path =
+  match Hashtbl.find_opt t.files path with
+  | None -> None
+  | Some f ->
+      (* Content digest over materialized bytes, chunk-structure blind. *)
+      let s = Payload.Buf.to_string f.buf in
+      Some (Hashtbl.hash (String.length s, s))

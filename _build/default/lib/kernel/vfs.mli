@@ -1,0 +1,54 @@
+(** An in-memory file system, one instance per kernel.
+
+    Built for the paper's §6 observation (after SibylFS) that POSIX file
+    systems are {e deterministic except for the number of bytes returned by
+    a read} — which makes state-machine replication of file state
+    straightforward: replicate the operation order and the read lengths,
+    and each replica's local file system converges.
+
+    The model keeps that one source of interface non-determinism honest:
+    reads stop at internal page-cluster boundaries, so a reader genuinely
+    observes short reads whose lengths the replication layer must log.
+
+    Files are append-only byte streams (logs, compressed outputs, spooled
+    data); [truncate] resets one. *)
+
+open Ftsim_sim
+
+type t
+type fd
+
+exception Not_found_file of string
+exception Bad_fd
+
+val create : ?page_cluster:int -> unit -> t
+(** [page_cluster] (default 64 KiB) is the short-read granularity. *)
+
+val open_file : t -> path:string -> create:bool -> fd
+(** Open for reading and appending; the cursor starts at 0.  Raises
+    {!Not_found_file} when the file does not exist and [create] is
+    false. *)
+
+val read : t -> fd -> max:int -> Payload.chunk list
+(** Read from the cursor: up to [max] bytes, but never across a
+    page-cluster boundary — so the returned length is an interface-level
+    non-deterministic value.  [[]] at end of file. *)
+
+val read_exact : t -> fd -> int -> Payload.chunk list
+(** Read exactly [n] bytes from the cursor (replay path: the primary logged
+    [n]).  Raises [Invalid_argument] if fewer are available. *)
+
+val append : t -> fd -> Payload.chunk -> unit
+
+val close : t -> fd -> unit
+
+val truncate : t -> path:string -> unit
+
+val exists : t -> path:string -> bool
+val size : t -> path:string -> int option
+val list_paths : t -> string list
+(** Sorted. *)
+
+val checksum : t -> path:string -> int option
+(** Structural digest of a file's contents (for replica-equivalence
+    checks). *)

@@ -1,0 +1,1 @@
+lib/netstack/host.ml: Netenv Nic Tcp

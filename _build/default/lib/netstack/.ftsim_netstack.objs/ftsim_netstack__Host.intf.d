@@ -1,0 +1,1 @@
+lib/netstack/host.mli: Engine Ftsim_sim Link Tcp

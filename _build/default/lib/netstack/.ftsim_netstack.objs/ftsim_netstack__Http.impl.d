@@ -1,0 +1,1 @@
+lib/netstack/http.ml: Buffer List Payload Printf String Tcp

@@ -1,0 +1,1 @@
+lib/netstack/http.mli: Payload Tcp

@@ -1,0 +1,1 @@
+lib/netstack/link.ml: Engine Float Ftsim_sim Metrics Packet Prng Time

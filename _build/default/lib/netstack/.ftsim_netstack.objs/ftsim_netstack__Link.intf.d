@@ -1,0 +1,1 @@
+lib/netstack/link.mli: Engine Ftsim_sim Packet Prng Time

@@ -1,0 +1,1 @@
+lib/netstack/netenv.ml: Engine Ftsim_kernel Ftsim_sim Time

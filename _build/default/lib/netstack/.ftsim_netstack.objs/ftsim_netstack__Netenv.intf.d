@@ -1,0 +1,1 @@
+lib/netstack/netenv.mli: Engine Ftsim_kernel Ftsim_sim Time

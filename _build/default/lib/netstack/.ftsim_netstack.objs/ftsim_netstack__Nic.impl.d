@@ -1,0 +1,1 @@
+lib/netstack/nic.ml: Engine Ftsim_hw Ftsim_sim Link Metrics Partition Time Trace

@@ -1,0 +1,1 @@
+lib/netstack/nic.mli: Engine Ftsim_hw Ftsim_sim Link Packet Partition Time

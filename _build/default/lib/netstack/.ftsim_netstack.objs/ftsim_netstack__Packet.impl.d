@@ -1,0 +1,1 @@
+lib/netstack/packet.ml: Format Payload

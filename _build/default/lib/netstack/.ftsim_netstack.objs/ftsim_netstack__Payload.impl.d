@@ -1,0 +1,1 @@
+lib/netstack/payload.ml: Ftsim_sim

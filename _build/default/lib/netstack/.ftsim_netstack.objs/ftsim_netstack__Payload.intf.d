@@ -1,0 +1,1 @@
+lib/netstack/payload.mli: Ftsim_sim

@@ -1,0 +1,1 @@
+lib/netstack/tcp.ml: Bqueue Engine Ftsim_sim Hashtbl Ivar List Metrics Netenv Nic Packet Payload Printf Sync Time Trace Waitq

@@ -1,0 +1,1 @@
+lib/netstack/tcp.mli: Ftsim_sim Netenv Nic Packet Payload Time

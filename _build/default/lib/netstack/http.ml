@@ -1,0 +1,136 @@
+type reader = {
+  recv : int -> Payload.chunk list;
+  mutable pending : Payload.chunk list;  (* unread, in order *)
+  mutable eof : bool;
+}
+
+let reader_fn recv = { recv; pending = []; eof = false }
+
+let reader conn = reader_fn (fun max -> Tcp.recv conn ~max)
+
+let refill r =
+  match r.recv 65536 with
+  | [] -> r.eof <- true
+  | cs -> r.pending <- r.pending @ cs
+
+(* Header blocks are small and always literal strings, so materializing here
+   is cheap. *)
+let read_headers r =
+  let buf = Buffer.create 256 in
+  let find_end () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\r' with
+    | _ ->
+        let rec scan i =
+          if i + 3 >= String.length s then None
+          else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+          then Some i
+          else scan (i + 1)
+        in
+        scan 0
+  in
+  let rec loop () =
+    match find_end () with
+    | Some i ->
+        let s = Buffer.contents buf in
+        let headers = String.sub s 0 i in
+        let rest = String.sub s (i + 4) (String.length s - i - 4) in
+        if String.length rest > 0 then
+          r.pending <- Payload.of_string rest :: r.pending;
+        Some headers
+    | None -> (
+        match r.pending with
+        | c :: rest ->
+            r.pending <- rest;
+            Buffer.add_string buf (Payload.chunk_to_string c);
+            loop ()
+        | [] ->
+            if r.eof then (if Buffer.length buf = 0 then None else None)
+            else begin
+              refill r;
+              if r.eof && r.pending = [] then None else loop ()
+            end)
+  in
+  loop ()
+
+let take_pending r n =
+  let rec loop acc need =
+    if need = 0 then (List.rev acc, 0)
+    else
+      match r.pending with
+      | [] -> (List.rev acc, need)
+      | c :: rest ->
+          let cl = Payload.chunk_len c in
+          if cl <= need then begin
+            r.pending <- rest;
+            loop (c :: acc) (need - cl)
+          end
+          else begin
+            let hd, tl = Payload.split_chunk c need in
+            r.pending <- tl :: rest;
+            loop (hd :: acc) 0
+          end
+  in
+  loop [] n
+
+let read_body r n =
+  let rec loop acc need =
+    if need = 0 then acc
+    else begin
+      let got, still = take_pending r need in
+      let acc = acc @ got in
+      if still = 0 then acc
+      else if r.eof then acc
+      else begin
+        refill r;
+        loop acc still
+      end
+    end
+  in
+  loop [] n
+
+let skip_body r n = Payload.total_len (read_body r n)
+
+let request ~meth ~target ?(headers = []) () =
+  let hs =
+    List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers
+    |> String.concat ""
+  in
+  Printf.sprintf "%s %s HTTP/1.1\r\n%s\r\n" meth target hs
+
+let response_header ?(status = 200) ?(reason = "OK") ~content_length () =
+  Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Length: %d\r\n\r\n" status reason
+    content_length
+
+let first_line s =
+  match String.index_opt s '\r' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let request_target hdr =
+  match String.split_on_char ' ' (first_line hdr) with
+  | _meth :: target :: _ -> Some target
+  | _ -> None
+
+let content_length hdr =
+  let lines = String.split_on_char '\n' hdr in
+  let rec find = function
+    | [] -> None
+    | l :: rest ->
+        let l = String.trim l in
+        let prefix = "content-length:" in
+        let ll = String.lowercase_ascii l in
+        if String.length ll >= String.length prefix
+           && String.sub ll 0 (String.length prefix) = prefix
+        then
+          int_of_string_opt
+            (String.trim (String.sub l (String.length prefix)
+                            (String.length l - String.length prefix)))
+        else find rest
+  in
+  find lines
+
+let status_code hdr =
+  match String.split_on_char ' ' (first_line hdr) with
+  | _http :: code :: _ -> int_of_string_opt code
+  | _ -> None

@@ -1,0 +1,81 @@
+open Ftsim_sim
+
+type endpoint = {
+  eng : Engine.t;
+  bandwidth_bps : int;
+  latency : Time.t;
+  loss : float;
+  prng : Prng.t;
+  mutable busy_until : Time.t;  (* serialization: next transmit start *)
+  mutable peer : endpoint option;
+  mutable receiver : (Packet.t -> unit) option;
+  dropped : Metrics.Counter.t;
+  lost : Metrics.Counter.t;
+  delivered : Metrics.Counter.t;
+  bytes : Metrics.Counter.t;
+}
+
+type t = { a : endpoint; b : endpoint }
+
+let make_endpoint eng ~bandwidth_bps ~latency ~loss ~prng =
+  {
+    eng;
+    bandwidth_bps;
+    latency;
+    loss;
+    prng;
+    busy_until = 0;
+    peer = None;
+    receiver = None;
+    dropped = Metrics.Counter.create ();
+    lost = Metrics.Counter.create ();
+    delivered = Metrics.Counter.create ();
+    bytes = Metrics.Counter.create ();
+  }
+
+let create eng ~bandwidth_bps ~latency ?(loss = 0.0) ?seed_split () =
+  if bandwidth_bps <= 0 then invalid_arg "Link.create: bandwidth";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Link.create: loss";
+  let prng =
+    match seed_split with
+    | Some g -> Prng.split g
+    | None -> Prng.create ~seed:0x11ab
+  in
+  let a = make_endpoint eng ~bandwidth_bps ~latency ~loss ~prng in
+  let b = make_endpoint eng ~bandwidth_bps ~latency ~loss ~prng in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  { a; b }
+
+let endpoint_a t = t.a
+let endpoint_b t = t.b
+
+let serialization_ns ep bytes =
+  (* bytes * 8 bits / bps, in ns *)
+  let bits = bytes * 8 in
+  int_of_float (Float.round (float_of_int bits *. 1e9 /. float_of_int ep.bandwidth_bps))
+
+let transmit ep pkt =
+  let peer = match ep.peer with Some p -> p | None -> assert false in
+  let now = Engine.now ep.eng in
+  let start = max now ep.busy_until in
+  let finish = start + serialization_ns ep (Packet.wire_size pkt) in
+  ep.busy_until <- finish;
+  if ep.loss > 0.0 && Prng.float ep.prng 1.0 < ep.loss then
+    (* Lost on the wire: serialization time is still consumed. *)
+    Metrics.Counter.incr peer.lost
+  else
+    Engine.schedule ep.eng ~at:(finish + ep.latency) (fun () ->
+        match peer.receiver with
+        | Some rx ->
+            Metrics.Counter.incr peer.delivered;
+            Metrics.Counter.add peer.bytes (Packet.wire_size pkt);
+            rx pkt
+        | None -> Metrics.Counter.incr peer.dropped)
+
+let set_receiver ep rx = ep.receiver <- rx
+
+let dropped ep = Metrics.Counter.value ep.dropped
+let lost ep = Metrics.Counter.value ep.lost
+let delivered ep = Metrics.Counter.value ep.delivered
+let bytes_delivered ep = Metrics.Counter.value ep.bytes

@@ -1,0 +1,21 @@
+open Ftsim_sim
+
+type t = {
+  eng : Engine.t;
+  spawn : string -> (unit -> unit) -> Engine.proc;
+  compute : Time.t -> unit;
+}
+
+let of_kernel k =
+  {
+    eng = Ftsim_kernel.Kernel.engine k;
+    spawn = (fun name f -> Ftsim_kernel.Kernel.spawn_thread k ~name f);
+    compute = (fun d -> Ftsim_kernel.Kernel.compute k d);
+  }
+
+let plain eng =
+  {
+    eng;
+    spawn = (fun name f -> Engine.spawn eng ~name f);
+    compute = (fun d -> if d > 0 then Engine.sleep d);
+  }

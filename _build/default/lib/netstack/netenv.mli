@@ -1,0 +1,21 @@
+(** Execution environment for a network stack.
+
+    A TCP stack needs to spawn service processes and charge CPU time.  On a
+    server it runs inside a kernel (contending with application threads for
+    the partition's cores); on a client load-generator host it runs on a
+    plain engine with uncontended CPU. *)
+
+open Ftsim_sim
+
+type t = {
+  eng : Engine.t;
+  spawn : string -> (unit -> unit) -> Engine.proc;
+  compute : Time.t -> unit;
+}
+
+val of_kernel : Ftsim_kernel.Kernel.t -> t
+(** Stack processes are kernel threads; CPU is charged to the kernel's
+    cores. *)
+
+val plain : Engine.t -> t
+(** Uncontended environment: [compute] is simple elapsed time. *)

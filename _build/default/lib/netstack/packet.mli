@@ -1,0 +1,29 @@
+(** TCP/IP packets on the wire. *)
+
+type addr = { host : string; port : int }
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+val data_flags : flags
+(** Plain data segment: ACK set, nothing else. *)
+
+val flag : ?syn:bool -> ?ack:bool -> ?fin:bool -> ?rst:bool -> unit -> flags
+
+type t = {
+  src : addr;
+  dst : addr;
+  seq : int;  (** stream offset of first payload byte *)
+  ack_seq : int;  (** cumulative acknowledgement *)
+  window : int;  (** advertised receive window *)
+  flags : flags;
+  payload : Payload.chunk list;
+}
+
+val payload_len : t -> int
+
+val wire_size : t -> int
+(** Payload plus 66 bytes of Ethernet+IP+TCP headers. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,3 @@
+(* Re-export: the chunk abstraction lives in Ftsim_sim so kernel-level
+   subsystems (e.g. Vfs) can use it without depending on the net stack. *)
+include Ftsim_sim.Payload

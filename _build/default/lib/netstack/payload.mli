@@ -1,0 +1,6 @@
+(** Alias of {!Ftsim_sim.Payload} (see there for documentation); kept here
+    so network code can keep writing [Payload.t] unqualified. *)
+
+include module type of struct
+  include Ftsim_sim.Payload
+end

@@ -1,0 +1,593 @@
+open Ftsim_sim
+
+type config = {
+  mss : int;
+  rwnd : int;
+  sndbuf_cap : int;
+  rto : Time.t;
+  per_seg_cpu : Time.t;
+}
+
+let default_config =
+  {
+    mss = 1460;
+    rwnd = 64 * 1024;
+    sndbuf_cap = 256 * 1024;
+    rto = Time.ms 200;
+    per_seg_cpu = Time.us 2;
+  }
+
+exception Connection_closed
+
+type conn = {
+  stack : stack;
+  id : int;
+  local : Packet.addr;
+  remote : Packet.addr;
+  mutable established : bool;
+  established_iv : unit Ivar.t;
+  (* send side; sndbuf.base = snd_una *)
+  sndbuf : Payload.Buf.t;
+  mutable snd_nxt : int;
+  mutable snd_max : int;  (* transmit high-water mark; never rewound *)
+  mutable peer_wnd : int;
+  mutable fin_queued : bool;
+  mutable fin_sent : bool;
+  mutable fin_ever_sent : bool;  (* sticky: a FIN has been on the wire *)
+  mutable fin_acked : bool;
+  (* receive side; rcvbuf.base = app read offset, rcvbuf.limit = rcv_nxt *)
+  rcvbuf : Payload.Buf.t;
+  mutable rcv_nxt : int;
+  mutable peer_fin : bool;
+  (* wakeups *)
+  readable : Waitq.t;
+  writable : Waitq.t;
+  send_wake : Waitq.t;
+  mutable aborted : bool;
+}
+
+and listener = { lport : int; accept_q : conn Bqueue.t }
+
+and hooks = {
+  on_accept : conn -> unit;
+  on_input : conn -> Payload.chunk list -> unit;
+  ack_gate : conn -> unit;
+  egress_gate : conn -> len:int -> unit;
+  on_ack_progress : conn -> snd_una:int -> unit;
+  on_peer_fin : conn -> unit;
+}
+
+and stack = {
+  env : Netenv.t;
+  cfg : config;
+  s_ip : string;
+  mutable nic : Nic.t option;
+  conns : (string * int * int, conn) Hashtbl.t;  (* remote host, remote port, local port *)
+  listeners : (int, listener) Hashtbl.t;
+  mutable hooks : hooks option;
+  mutable next_ephemeral : int;
+  mutable next_conn_id : int;
+  rx_q : Packet.t Bqueue.t;
+  m_segs_in : Metrics.Counter.t;
+  m_segs_out : Metrics.Counter.t;
+  m_bytes_in : Metrics.Counter.t;
+  m_bytes_out : Metrics.Counter.t;
+}
+
+let log = Trace.make "net.tcp"
+
+let config_of s = s.cfg
+let ip s = s.s_ip
+let set_hooks s h = s.hooks <- h
+
+let local_addr c = c.local
+let remote_addr c = c.remote
+let conn_id c = c.id
+let is_established c = c.established
+let snd_una c = Payload.Buf.base c.sndbuf
+let snd_nxt c = c.snd_nxt
+let rcv_nxt c = c.rcv_nxt
+let bytes_unread c = Payload.Buf.length c.rcvbuf
+let peer_fin_received c = c.peer_fin
+
+let segs_in s = Metrics.Counter.value s.m_segs_in
+let segs_out s = Metrics.Counter.value s.m_segs_out
+let bytes_in s = Metrics.Counter.value s.m_bytes_in
+let bytes_out s = Metrics.Counter.value s.m_bytes_out
+
+let conn_key c = (c.remote.Packet.host, c.remote.Packet.port, c.local.Packet.port)
+
+let fin_seq c =
+  (* FIN occupies one sequence slot after the last data byte. *)
+  Payload.Buf.limit c.sndbuf
+
+let wake_all q = ignore (Waitq.wake_all q)
+
+let transmit s (pkt : Packet.t) =
+  Metrics.Counter.incr s.m_segs_out;
+  Metrics.Counter.add s.m_bytes_out (Packet.wire_size pkt);
+  match s.nic with
+  | Some nic -> Nic.transmit nic pkt
+  | None -> Trace.debugf log ~eng:s.env.Netenv.eng "tx with no NIC, dropped"
+
+let make_packet c ?(flags = Packet.data_flags) ?(payload = []) ~seq () =
+  {
+    Packet.src = c.local;
+    dst = c.remote;
+    seq;
+    ack_seq = c.rcv_nxt;
+    window = c.stack.cfg.rwnd;
+    flags;
+    payload;
+  }
+
+let send_pure_ack c = transmit c.stack (make_packet c ~seq:c.snd_nxt ())
+
+(* {1 Sender process}
+
+   One process per connection drives the send window: it segments the send
+   buffer, passes each segment through the egress gate (output commit), and
+   hands it to the NIC.  Retransmission (go-back-N) rewinds [snd_nxt]. *)
+
+let rec sender_loop c =
+  let s = c.stack in
+  if c.aborted || c.fin_acked then ()
+  else begin
+    let in_flight = c.snd_nxt - snd_una c in
+    let window = max 0 (c.peer_wnd - in_flight) in
+    let avail = Payload.Buf.limit c.sndbuf - c.snd_nxt in
+    if c.established && avail > 0 && window > 0 then begin
+      let n = min s.cfg.mss (min avail window) in
+      let seq0 = c.snd_nxt in
+      (match s.hooks with
+      | Some h -> h.egress_gate c ~len:n
+      | None -> ());
+      s.env.Netenv.compute s.cfg.per_seg_cpu;
+      (* The gate and the CPU charge can suspend us; an RTO rewind or an ACK
+         may have moved the window meanwhile.  Only transmit and advance if
+         the segment is still the next thing to send. *)
+      if (not c.aborted) && c.snd_nxt = seq0 && Payload.Buf.base c.sndbuf <= seq0
+      then begin
+        let payload = Payload.Buf.peek_range c.sndbuf ~off:seq0 ~len:n in
+        let n = Payload.total_len payload in
+        if n > 0 then begin
+          transmit s (make_packet c ~payload ~seq:seq0 ());
+          c.snd_nxt <- seq0 + n;
+          if c.snd_nxt > c.snd_max then begin
+            c.snd_max <- c.snd_nxt;
+            (* Arm the retransmission watchdog: it may have parked while
+               nothing had reached the wire yet. *)
+            wake_all c.send_wake
+          end
+        end
+      end;
+      sender_loop c
+    end
+    else if
+      c.established && c.fin_queued && (not c.fin_sent)
+      && c.snd_nxt >= Payload.Buf.limit c.sndbuf
+    then begin
+      (match s.hooks with Some h -> h.egress_gate c ~len:0 | None -> ());
+      if not c.aborted then begin
+        c.fin_sent <- true;
+        c.fin_ever_sent <- true;
+        transmit s
+          (make_packet c ~flags:(Packet.flag ~ack:true ~fin:true ()) ~seq:(fin_seq c) ());
+        wake_all c.send_wake
+      end;
+      sender_loop c
+    end
+    else begin
+      ignore (Sync.wait_on c.send_wake);
+      sender_loop c
+    end
+  end
+
+(* Retransmission watchdog: if no ACK progress happened during an RTO while
+   data (or a FIN) was outstanding, rewind to [snd_una] and resend.  The
+   watchdog blocks (timer-free) while nothing is outstanding, so idle
+   connections leave the event queue empty. *)
+(* Judged against the transmit high-water mark, not [snd_nxt]: an RTO
+   rewind must leave the watchdog armed until the peer actually
+   acknowledges (the rewound sender may race us). *)
+let outstanding c =
+  c.snd_max > snd_una c || (c.fin_ever_sent && not c.fin_acked)
+
+let rec rto_loop c =
+  let s = c.stack in
+  if c.aborted || c.fin_acked then ()
+  else if not (outstanding c) then begin
+    ignore (Sync.wait_on c.send_wake);
+    rto_loop c
+  end
+  else begin
+    let last_una = snd_una c in
+    Engine.sleep s.cfg.rto;
+    if c.aborted || c.fin_acked then ()
+    else begin
+      let una = snd_una c in
+      if outstanding c && una = last_una then begin
+        Trace.debugf log ~eng:s.env.Netenv.eng "conn %d RTO: rewind %d -> %d" c.id
+          c.snd_nxt una;
+        c.snd_nxt <- una;
+        if c.fin_sent && not c.fin_acked then c.fin_sent <- false;
+        wake_all c.send_wake
+      end;
+      rto_loop c
+    end
+  end
+
+let spawn_conn_procs c =
+  let s = c.stack in
+  ignore (s.env.Netenv.spawn (Printf.sprintf "tcp-snd-%d" c.id) (fun () -> sender_loop c));
+  ignore (s.env.Netenv.spawn (Printf.sprintf "tcp-rto-%d" c.id) (fun () -> rto_loop c))
+
+let make_conn stack ~local ~remote ~established () =
+  stack.next_conn_id <- stack.next_conn_id + 1;
+  let c =
+    {
+      stack;
+      id = stack.next_conn_id;
+      local;
+      remote;
+      established;
+      established_iv = Ivar.create ();
+      sndbuf = Payload.Buf.create ();
+      snd_nxt = 0;
+      snd_max = 0;
+      peer_wnd = stack.cfg.rwnd;
+      fin_queued = false;
+      fin_sent = false;
+      fin_ever_sent = false;
+      fin_acked = false;
+      rcvbuf = Payload.Buf.create ();
+      rcv_nxt = 0;
+      peer_fin = false;
+      readable = Waitq.create ();
+      writable = Waitq.create ();
+      send_wake = Waitq.create ();
+      aborted = false;
+    }
+  in
+  if established then Ivar.fill c.established_iv ();
+  Hashtbl.replace stack.conns (conn_key c) c;
+  spawn_conn_procs c;
+  c
+
+(* {1 Receive path} *)
+
+let process_ack c (pkt : Packet.t) =
+  c.peer_wnd <- pkt.Packet.window;
+  let old_una = snd_una c in
+  if pkt.Packet.ack_seq > old_una then begin
+    let data_limit = Payload.Buf.limit c.sndbuf in
+    let acked_data = min pkt.Packet.ack_seq data_limit in
+    Payload.Buf.drop_to c.sndbuf acked_data;
+    if c.snd_nxt < acked_data then
+      (* The peer has more than we think we sent: it is deduplicating a
+         post-failover retransmission.  Skip ahead. *)
+      c.snd_nxt <- acked_data;
+    if c.snd_max < acked_data then c.snd_max <- acked_data;
+    if c.fin_sent && pkt.Packet.ack_seq > data_limit then c.fin_acked <- true;
+    (match c.stack.hooks with
+    | Some h -> h.on_ack_progress c ~snd_una:(snd_una c)
+    | None -> ());
+    wake_all c.writable;
+    wake_all c.send_wake
+  end
+  else if c.fin_sent && pkt.Packet.ack_seq > Payload.Buf.limit c.sndbuf then begin
+    c.fin_acked <- true;
+    wake_all c.send_wake
+  end
+
+let process_payload c (pkt : Packet.t) =
+  let len = Packet.payload_len pkt in
+  if len = 0 then false
+  else begin
+    let seq = pkt.Packet.seq in
+    if seq > c.rcv_nxt then begin
+      (* Gap (lost packets at a dead NIC): drop; our ACK below repeats
+         rcv_nxt, and the peer's RTO recovers. *)
+      true
+    end
+    else if seq + len <= c.rcv_nxt then
+      (* Complete duplicate (failover retransmission): re-ACK. *)
+      true
+    else begin
+      let skip = c.rcv_nxt - seq in
+      let fresh =
+        if skip = 0 then pkt.Packet.payload
+        else begin
+          (* Trim the already-received prefix. *)
+          let rec trim n = function
+            | [] -> []
+            | ch :: rest ->
+                let cl = Payload.chunk_len ch in
+                if n >= cl then trim (n - cl) rest
+                else if n = 0 then ch :: rest
+                else snd (Payload.split_chunk ch n) :: rest
+          in
+          trim skip pkt.Packet.payload
+        end
+      in
+      List.iter (Payload.Buf.append c.rcvbuf) fresh;
+      c.rcv_nxt <- c.rcv_nxt + Payload.total_len fresh;
+      (match c.stack.hooks with
+      | Some h ->
+          h.on_input c fresh;
+          h.ack_gate c
+      | None -> ());
+      wake_all c.readable;
+      true
+    end
+  end
+
+let process_fin c (pkt : Packet.t) =
+  let fin_at = pkt.Packet.seq + Packet.payload_len pkt in
+  if (not c.peer_fin) && fin_at <= c.rcv_nxt then begin
+    c.peer_fin <- true;
+    c.rcv_nxt <- c.rcv_nxt + 1;
+    (match c.stack.hooks with Some h -> h.on_peer_fin c | None -> ());
+    wake_all c.readable;
+    true
+  end
+  else if c.peer_fin then true (* duplicate FIN: re-ACK *)
+  else false
+
+(* Fully closed connections (our FIN acked, peer FIN received) leave the
+   demux table; TIME_WAIT is not modelled. *)
+let maybe_reap c =
+  if c.fin_acked && c.peer_fin then Hashtbl.remove c.stack.conns (conn_key c)
+
+let handle_established c (pkt : Packet.t) =
+  if pkt.Packet.flags.Packet.ack then process_ack c pkt;
+  let acked_data = process_payload c pkt in
+  let acked_fin = if pkt.Packet.flags.Packet.fin then process_fin c pkt else false in
+  if acked_data || acked_fin then send_pure_ack c;
+  maybe_reap c
+
+let establish c =
+  if not c.established then begin
+    c.established <- true;
+    ignore (Ivar.try_fill c.established_iv ());
+    wake_all c.send_wake
+  end
+
+let handle_packet s (pkt : Packet.t) =
+  Metrics.Counter.incr s.m_segs_in;
+  Metrics.Counter.add s.m_bytes_in (Packet.wire_size pkt);
+  let key = (pkt.Packet.src.Packet.host, pkt.Packet.src.Packet.port, pkt.Packet.dst.Packet.port) in
+  match Hashtbl.find_opt s.conns key with
+  | Some c ->
+      if c.aborted then ()
+      else if c.established then handle_established c pkt
+      else if pkt.Packet.flags.Packet.syn && pkt.Packet.flags.Packet.ack then begin
+        (* client side: SYN-ACK *)
+        c.peer_wnd <- pkt.Packet.window;
+        establish c;
+        send_pure_ack c
+      end
+      else if pkt.Packet.flags.Packet.ack then begin
+        (* server side: handshake-completing ACK (possibly with data) *)
+        c.peer_wnd <- pkt.Packet.window;
+        establish c;
+        (match Hashtbl.find_opt s.listeners c.local.Packet.port with
+        | Some l -> Bqueue.put l.accept_q c
+        | None -> ());
+        (match s.hooks with Some h -> h.on_accept c | None -> ());
+        if Packet.payload_len pkt > 0 || pkt.Packet.flags.Packet.fin then
+          handle_established c pkt
+      end
+  | None ->
+      if pkt.Packet.flags.Packet.syn && not pkt.Packet.flags.Packet.ack then begin
+        match Hashtbl.find_opt s.listeners pkt.Packet.dst.Packet.port with
+        | Some _l ->
+            let c =
+              make_conn s ~local:pkt.Packet.dst ~remote:pkt.Packet.src
+                ~established:false ()
+            in
+            c.peer_wnd <- pkt.Packet.window;
+            transmit s
+              (make_packet c ~flags:(Packet.flag ~syn:true ~ack:true ()) ~seq:0 ())
+        | None ->
+            Trace.debugf log ~eng:s.env.Netenv.eng "SYN to closed port %d dropped"
+              pkt.Packet.dst.Packet.port
+      end
+      else
+        Trace.debugf log ~eng:s.env.Netenv.eng "segment for unknown conn dropped"
+
+let rx_callback s pkt = Bqueue.put s.rx_q pkt
+
+let create env ?(config = default_config) ~ip () =
+  let s =
+    {
+      env;
+      cfg = config;
+      s_ip = ip;
+      nic = None;
+      conns = Hashtbl.create 64;
+      listeners = Hashtbl.create 8;
+      hooks = None;
+      next_ephemeral = 40_000;
+      next_conn_id = 0;
+      rx_q = Bqueue.create ();
+      m_segs_in = Metrics.Counter.create ();
+      m_segs_out = Metrics.Counter.create ();
+      m_bytes_in = Metrics.Counter.create ();
+      m_bytes_out = Metrics.Counter.create ();
+    }
+  in
+  ignore
+    (env.Netenv.spawn "tcp-rx" (fun () ->
+         let rec loop () =
+           let pkt = Bqueue.get s.rx_q in
+           env.Netenv.compute config.per_seg_cpu;
+           handle_packet s pkt;
+           loop ()
+         in
+         loop ()));
+  s
+
+let attach_nic s nic =
+  s.nic <- Some nic;
+  Nic.attach nic ~rx:(rx_callback s) ()
+
+let bind_nic s nic = s.nic <- Some nic
+
+(* {1 Socket API} *)
+
+let listen s ~port =
+  if Hashtbl.mem s.listeners port then invalid_arg "Tcp.listen: port in use";
+  let l = { lport = port; accept_q = Bqueue.create () } in
+  Hashtbl.replace s.listeners port l;
+  l
+
+let accept l = Bqueue.get l.accept_q
+
+let connect s ~host ~port =
+  s.next_ephemeral <- s.next_ephemeral + 1;
+  let local = { Packet.host = s.s_ip; port = s.next_ephemeral } in
+  let remote = { Packet.host = host; port } in
+  let c = make_conn s ~local ~remote ~established:false () in
+  transmit s (make_packet c ~flags:(Packet.flag ~syn:true ()) ~seq:0 ());
+  (* SYN retransmission: re-fire while unestablished, bounded attempts. *)
+  ignore
+    (s.env.Netenv.spawn (Printf.sprintf "tcp-syn-%d" c.id) (fun () ->
+         let rec retry attempts =
+           Engine.sleep s.cfg.rto;
+           if (not c.established) && (not c.aborted) && attempts > 0 then begin
+             transmit s (make_packet c ~flags:(Packet.flag ~syn:true ()) ~seq:0 ());
+             retry (attempts - 1)
+           end
+         in
+         retry 60));
+  Ivar.read c.established_iv;
+  c
+
+let send c chunk =
+  if c.aborted || c.fin_queued then raise Connection_closed;
+  let rec wait_space () =
+    if Payload.Buf.length c.sndbuf >= c.stack.cfg.sndbuf_cap then begin
+      ignore (Sync.wait_on c.writable);
+      if c.aborted then raise Connection_closed;
+      wait_space ()
+    end
+  in
+  wait_space ();
+  Payload.Buf.append c.sndbuf chunk;
+  wake_all c.send_wake
+
+let recv c ~max =
+  if max <= 0 then invalid_arg "Tcp.recv: max must be positive";
+  let rec loop () =
+    if Payload.Buf.length c.rcvbuf > 0 then Payload.Buf.take c.rcvbuf max
+    else if c.peer_fin || c.aborted then []
+    else begin
+      ignore (Sync.wait_on c.readable);
+      loop ()
+    end
+  in
+  loop ()
+
+let close c =
+  if not c.fin_queued then begin
+    c.fin_queued <- true;
+    wake_all c.send_wake
+  end
+
+let is_readable c =
+  Payload.Buf.length c.rcvbuf > 0 || c.peer_fin || c.aborted
+
+(* Wait-for-any: park once with a fire-once waker registered on every
+   connection's readiness queue.  Those queues are only ever woken with
+   [wake_all], so pollers never steal wake-ups from blocked readers; stale
+   entries are swept by the next wake_all. *)
+let poll ?deadline conns =
+  if conns = [] then invalid_arg "Tcp.poll: empty interest set";
+  let rec loop () =
+    let ready = List.filter is_readable conns in
+    if ready <> [] then ready
+    else begin
+      let timed_out = ref false in
+      Engine.suspend (fun p waker ->
+          let fired = ref false in
+          let fire t () =
+            if not !fired then begin
+              fired := true;
+              timed_out := t;
+              waker ()
+            end
+          in
+          List.iter (fun c -> ignore (Waitq.add c.readable (fire false))) conns;
+          match deadline with
+          | Some at ->
+              let eng = Engine.engine_of_proc p in
+              Engine.schedule eng ~at:(max at (Engine.now eng)) (fun () ->
+                  fire true ())
+          | None -> ());
+      if !timed_out then [] else loop ()
+    end
+  in
+  loop ()
+
+let abort c =
+  if not c.aborted then begin
+    c.aborted <- true;
+    Hashtbl.remove c.stack.conns (conn_key c);
+    wake_all c.readable;
+    wake_all c.writable;
+    wake_all c.send_wake
+  end
+
+(* {1 Failover reconstruction} *)
+
+type logical_state = {
+  l_local : Packet.addr;
+  l_remote : Packet.addr;
+  l_snd_una : int;
+  l_rcv_nxt : int;
+  l_unacked : Payload.chunk list;
+  l_unread : Payload.chunk list;
+  l_peer_fin : bool;
+}
+
+let restore s (ls : logical_state) =
+  s.next_conn_id <- s.next_conn_id + 1;
+  let c =
+    {
+      stack = s;
+      id = s.next_conn_id;
+      local = ls.l_local;
+      remote = ls.l_remote;
+      established = true;
+      established_iv = Ivar.create ();
+      sndbuf = Payload.Buf.create ~base:ls.l_snd_una ();
+      snd_nxt = ls.l_snd_una;
+      snd_max = ls.l_snd_una;
+      peer_wnd = s.cfg.rwnd;
+      fin_queued = false;
+      fin_sent = false;
+      fin_ever_sent = false;
+      fin_acked = false;
+      rcvbuf =
+        (let fin_slot = if ls.l_peer_fin then 1 else 0 in
+         Payload.Buf.create
+           ~base:(ls.l_rcv_nxt - Payload.total_len ls.l_unread - fin_slot)
+           ());
+      rcv_nxt = ls.l_rcv_nxt;
+      peer_fin = ls.l_peer_fin;
+      readable = Waitq.create ();
+      writable = Waitq.create ();
+      send_wake = Waitq.create ();
+      aborted = false;
+    }
+  in
+  Ivar.fill c.established_iv ();
+  List.iter (Payload.Buf.append c.sndbuf) ls.l_unacked;
+  List.iter (Payload.Buf.append c.rcvbuf) ls.l_unread;
+  Hashtbl.replace s.conns (conn_key c) c;
+  spawn_conn_procs c;
+  (* Poke the peer: an immediate pure ACK makes it resume (and tells it our
+     rcv_nxt so its own retransmissions trim correctly). *)
+  send_pure_ack c;
+  c

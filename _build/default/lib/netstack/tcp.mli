@@ -1,0 +1,137 @@
+(** A TCP implementation sized for systems experiments.
+
+    Byte-accurate sequence/acknowledgement arithmetic, sliding send window,
+    go-back-N retransmission with a fixed RTO, FIN teardown — enough to
+    reproduce throughput behaviour on a modelled link and, crucially, to
+    survive a primary-replica failover: a stack can be {e reconstructed}
+    from logical state ({!restore}) and the resulting retransmissions are
+    deduplicated by the peer exactly as real TCP would.
+
+    Simplifications (documented in DESIGN.md): no congestion control (the
+    advertised window is the only flow control — ample on a LAN), no
+    selective acknowledgement, no sequence-number randomization or
+    wrap-around, constant RTO. *)
+
+open Ftsim_sim
+
+type config = {
+  mss : int;
+  rwnd : int;  (** advertised receive window *)
+  sndbuf_cap : int;  (** send-buffer size; writers block beyond it *)
+  rto : Time.t;
+  per_seg_cpu : Time.t;  (** stack CPU per segment processed *)
+}
+
+val default_config : config
+(** mss 1460, rwnd 64 KiB, sndbuf 256 KiB, rto 200 ms, 2 µs/segment. *)
+
+type stack
+type conn
+type listener
+
+exception Connection_closed
+
+(** Interposition hooks for a replication runtime (all called from stack or
+    sender process context; the gates may block). *)
+type hooks = {
+  on_accept : conn -> unit;
+  on_input : conn -> Payload.chunk list -> unit;
+      (** new in-order input, before the ACK for it is released *)
+  ack_gate : conn -> unit;
+      (** block until ACKs for logged input may be released *)
+  egress_gate : conn -> len:int -> unit;
+      (** block until an output segment is stable (output commit) *)
+  on_ack_progress : conn -> snd_una:int -> unit;
+  on_peer_fin : conn -> unit;
+}
+
+val create : Netenv.t -> ?config:config -> ip:string -> unit -> stack
+val attach_nic : stack -> Nic.t -> unit
+(** Bind the stack to a NIC at boot ({!Nic.attach} with no owner tracking —
+    use [Nic.attach] directly for owner-aware binding and pass the stack's
+    {!rx_callback}). *)
+
+val rx_callback : stack -> Packet.t -> unit
+(** The function to install as the NIC's receive callback. *)
+
+val bind_nic : stack -> Nic.t -> unit
+(** Point the stack's transmit path at a NIC without touching the NIC's
+    receive binding — used when the receive side was bound separately (e.g.
+    by {!Nic.transfer} during failover). *)
+
+val set_hooks : stack -> hooks option -> unit
+val config_of : stack -> config
+val ip : stack -> string
+
+(** {1 Sockets} *)
+
+val listen : stack -> port:int -> listener
+val accept : listener -> conn
+(** Block until a connection is established on the listener. *)
+
+val connect : stack -> host:string -> port:int -> conn
+(** Active open; blocks until established. *)
+
+val send : conn -> Payload.chunk -> unit
+(** Append to the send buffer; blocks while the buffer is full.  Raises
+    {!Connection_closed} after [close]. *)
+
+val recv : conn -> max:int -> Payload.chunk list
+(** Block until data is available; [[]] means end-of-stream (peer FIN). *)
+
+val close : conn -> unit
+(** Half-close: queue a FIN after buffered data; reading remains possible. *)
+
+val is_readable : conn -> bool
+(** Data buffered, end-of-stream reached, or aborted — i.e. [recv] would
+    not block. *)
+
+val poll : ?deadline:Time.t -> conn list -> conn list
+(** Block until at least one of the connections is readable (epoll-style);
+    returns the ready subset, or [[]] at the deadline.  The list must be
+    non-empty. *)
+
+val abort : conn -> unit
+(** Drop the connection immediately (no RST modelling; local teardown). *)
+
+(** {1 Connection introspection} *)
+
+val local_addr : conn -> Packet.addr
+val remote_addr : conn -> Packet.addr
+val conn_id : conn -> int
+val is_established : conn -> bool
+val snd_una : conn -> int
+(** Lowest unacknowledged output byte. *)
+
+val snd_nxt : conn -> int
+val rcv_nxt : conn -> int
+(** Next expected input byte (all input below is received in order). *)
+
+val bytes_unread : conn -> int
+val peer_fin_received : conn -> bool
+
+(** {1 Failover reconstruction} *)
+
+type logical_state = {
+  l_local : Packet.addr;
+  l_remote : Packet.addr;
+  l_snd_una : int;  (** peer-acknowledged output prefix *)
+  l_rcv_nxt : int;  (** logged input prefix *)
+  l_unacked : Payload.chunk list;  (** output bytes from [l_snd_una] on *)
+  l_unread : Payload.chunk list;
+      (** logged input not yet consumed by the application (becomes the
+          restored receive buffer, ending at [l_rcv_nxt]) *)
+  l_peer_fin : bool;
+}
+
+val restore : stack -> logical_state -> conn
+(** Recreate an established connection from logical state: transmission
+    resumes at [l_snd_una] (the peer discards duplicates), and input
+    continues from [l_rcv_nxt]. *)
+
+(** {1 Metrics} *)
+
+val segs_in : stack -> int
+val segs_out : stack -> int
+val bytes_in : stack -> int
+val bytes_out : stack -> int

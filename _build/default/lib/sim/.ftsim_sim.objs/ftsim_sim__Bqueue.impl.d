@@ -1,0 +1,1 @@
+lib/sim/bqueue.ml: Queue Sync Waitq

@@ -1,0 +1,209 @@
+type exit_reason = Normal | Killed | Exn of exn
+
+exception Killed_exn
+
+type t = {
+  mutable now : Time.t;
+  events : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable current : proc option;
+  mutable live : int;
+  mutable next_pid : int;
+  mutable stopping : bool;
+  root_prng : Prng.t;
+}
+
+and proc = {
+  pid : int;
+  name : string;
+  eng : t;
+  mutable state : state;
+  mutable doomed : bool;
+  mutable watchers : (exit_reason -> unit) list;
+}
+
+(* [Blocked cell]: the continuation lives in [cell] until the waker claims
+   it.  [Ready]: the continuation is inside a scheduled event closure. *)
+and state =
+  | Embryo
+  | Ready
+  | Running
+  | Blocked of wait_cell
+  | Exited of exit_reason
+
+and wait_cell = { mutable k : (unit, unit) Effect.Deep.continuation option }
+
+type _ Effect.t +=
+  | E_suspend : (proc -> (unit -> unit) -> unit) -> unit Effect.t
+  | E_self : proc Effect.t
+
+let create ?(seed = 42) () =
+  {
+    now = 0;
+    events = Heap.create ();
+    seq = 0;
+    current = None;
+    live = 0;
+    next_pid = 0;
+    stopping = false;
+    root_prng = Prng.create ~seed;
+  }
+
+let now t = t.now
+let prng t = t.root_prng
+let pending_events t = Heap.length t.events
+let live_procs t = t.live
+let stop t = t.stopping <- true
+let pid p = p.pid
+let proc_name p = p.name
+let engine_of_proc p = p.eng
+
+let schedule t ~at f =
+  if at < t.now then invalid_arg "Engine.schedule: time in the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~prio:at ~seq:t.seq f
+
+let finish p reason =
+  (match p.state with Exited _ -> assert false | _ -> ());
+  p.state <- Exited reason;
+  p.eng.live <- p.eng.live - 1;
+  let ws = p.watchers in
+  p.watchers <- [];
+  List.iter (fun w -> w reason) ws
+
+(* Resume a parked continuation as process [p].  Re-checks [doomed] so that a
+   kill that raced with the wake-up unwinds the process instead of running
+   it. *)
+let fire p k =
+  let open Effect.Deep in
+  match p.state with
+  | Exited _ -> ()
+  | _ ->
+      p.state <- Running;
+      let saved = p.eng.current in
+      p.eng.current <- Some p;
+      (if p.doomed then discontinue k Killed_exn else continue k ());
+      p.eng.current <- saved
+
+let handler p =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> finish p Normal);
+    exnc =
+      (fun e ->
+        match e with Killed_exn -> finish p Killed | e -> finish p (Exn e));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_self -> Some (fun (k : (a, unit) continuation) -> continue k p)
+        | E_suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if p.doomed then discontinue k Killed_exn
+                else begin
+                  let cell = { k = Some k } in
+                  p.state <- Blocked cell;
+                  let waker () =
+                    match (p.state, cell.k) with
+                    | Blocked cell', Some k when cell' == cell ->
+                        cell.k <- None;
+                        p.state <- Ready;
+                        schedule p.eng ~at:p.eng.now (fun () -> fire p k)
+                    | _ -> ()
+                  in
+                  register p waker
+                end)
+        | _ -> None);
+  }
+
+let spawn t ?(name = "proc") ?at f =
+  let at = match at with None -> t.now | Some a -> a in
+  t.next_pid <- t.next_pid + 1;
+  let p =
+    {
+      pid = t.next_pid;
+      name;
+      eng = t;
+      state = Embryo;
+      doomed = false;
+      watchers = [];
+    }
+  in
+  t.live <- t.live + 1;
+  schedule t ~at (fun () ->
+      match p.state with
+      | Embryo when p.doomed -> finish p Killed
+      | Embryo ->
+          p.state <- Running;
+          let saved = t.current in
+          t.current <- Some p;
+          Effect.Deep.match_with f () (handler p);
+          t.current <- saved
+      | Exited _ -> ()
+      | Ready | Running | Blocked _ -> assert false);
+  p
+
+let run ?until t =
+  t.stopping <- false;
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Heap.peek t.events with
+      | None -> ()
+      | Some (at, _, _) when (match until with Some u -> at > u | None -> false)
+        ->
+          (match until with Some u -> t.now <- max t.now u | None -> ())
+      | Some _ ->
+          (match Heap.pop t.events with
+          | Some (at, _, f) ->
+              t.now <- max t.now at;
+              f ()
+          | None -> assert false);
+          loop ()
+  in
+  loop ()
+
+let self () = Effect.perform E_self
+
+let suspend register = Effect.perform (E_suspend register)
+
+let sleep d =
+  if d < 0 then invalid_arg "Engine.sleep: negative duration";
+  if d = 0 then ()
+  else
+    suspend (fun p waker -> schedule p.eng ~at:(p.eng.now + d) (fun () -> waker ()))
+
+let yield () = suspend (fun p waker -> schedule p.eng ~at:p.eng.now (fun () -> waker ()))
+
+let kill p =
+  match p.state with
+  | Exited _ -> ()
+  | _ ->
+      p.doomed <- true;
+      (match p.state with
+      | Blocked cell -> (
+          match cell.k with
+          | Some k ->
+              cell.k <- None;
+              p.state <- Ready;
+              schedule p.eng ~at:p.eng.now (fun () -> fire p k)
+          | None -> ())
+      | Embryo | Ready | Running | Exited _ -> ())
+
+let status p = match p.state with Exited r -> Some r | _ -> None
+
+let on_exit p f =
+  match p.state with
+  | Exited r -> f r
+  | _ -> p.watchers <- f :: p.watchers
+
+let join p =
+  match p.state with
+  | Exited r -> r
+  | _ ->
+      let result = ref Normal in
+      suspend (fun _self waker ->
+          on_exit p (fun r ->
+              result := r;
+              waker ()));
+      !result

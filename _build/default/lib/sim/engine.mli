@@ -1,0 +1,93 @@
+(** Discrete-event simulation engine.
+
+    The engine multiplexes cooperative green threads ("processes") over a
+    simulated nanosecond clock using OCaml 5 effect handlers.  A process runs
+    until it suspends ({!sleep}, {!suspend}, {!yield} or a primitive built on
+    them); the engine then advances the clock to the next pending event.
+
+    A run is fully deterministic: events with equal timestamps fire in the
+    order they were scheduled, and all randomness flows through the engine's
+    seeded {!Prng}. *)
+
+type t
+(** A simulation world: clock, event queue, process table. *)
+
+type proc
+(** Handle on a spawned process. *)
+
+type exit_reason =
+  | Normal  (** the process body returned *)
+  | Killed  (** terminated by {!kill} (e.g. its partition was halted) *)
+  | Exn of exn  (** the process body raised *)
+
+exception Killed_exn
+(** Raised inside a process being killed so that [Fun.protect] finalizers run.
+    Process code should not catch it (catch-alls must re-raise). *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh world at time 0.  Default [seed] is 42. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val prng : t -> Prng.t
+(** The engine's root generator; subsystems should [Prng.split] it. *)
+
+val spawn : t -> ?name:string -> ?at:Time.t -> (unit -> unit) -> proc
+(** [spawn t f] schedules process [f] to start at the current time (or at
+    [~at], which must not be in the past). *)
+
+val run : ?until:Time.t -> t -> unit
+(** Run events until the queue empties, [until] is passed, or {!stop}.
+    Returns with the clock at the last fired event (or at [until]). *)
+
+val stop : t -> unit
+(** Ask the main loop to return after the event currently firing. *)
+
+val pending_events : t -> int
+
+val live_procs : t -> int
+(** Number of processes spawned and not yet exited.  If [run] returns with
+    live processes and no pending events, they are deadlocked. *)
+
+(** {1 Operations usable only from inside a process} *)
+
+val self : unit -> proc
+
+val sleep : Time.t -> unit
+(** Suspend the calling process for a simulated duration. *)
+
+val yield : unit -> unit
+(** Reschedule the calling process at the current time, letting other
+    processes ready at this instant run first. *)
+
+val suspend : (proc -> (unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling process and invokes
+    [register p waker].  Calling [waker ()] (once; later calls are ignored)
+    makes [p] runnable at the then-current simulated time.  This is the
+    primitive from which all blocking structures are built. *)
+
+(** {1 Process management} *)
+
+val kill : proc -> unit
+(** Terminate a process.  If it is blocked it is resumed with {!Killed_exn}
+    at the current time; if running, it dies at its next suspension point.
+    Idempotent. *)
+
+val join : proc -> exit_reason
+(** Block until the given process exits and return its reason. *)
+
+val on_exit : proc -> (exit_reason -> unit) -> unit
+(** Register a callback to run (immediately, possibly from the dying
+    process's own event) when the process exits.  If it already exited the
+    callback runs now. *)
+
+val status : proc -> exit_reason option
+(** [None] while the process has not exited. *)
+
+val pid : proc -> int
+val proc_name : proc -> string
+val engine_of_proc : proc -> t
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> unit
+(** Run a raw callback (not a process: it must not suspend) at time [at]. *)

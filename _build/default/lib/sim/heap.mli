@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap, specialised to integer priorities.
+
+    Used by the simulation engine as its event queue.  Ties are not broken by
+    the heap itself; callers that need FIFO behaviour among equal priorities
+    must encode a sequence number into the priority comparison, which
+    {!Engine} does. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:int -> seq:int -> 'a -> unit
+(** [push h ~prio ~seq v] inserts [v].  Ordering is lexicographic on
+    [(prio, seq)], so equal priorities pop in [seq] order. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum [(prio, seq, value)] triple. *)
+
+val peek : 'a t -> (int * int * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,19 @@
+(** Write-once synchronization variables. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Set the value and wake all readers.  Raises [Invalid_argument] if
+    already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising. *)
+
+val read : 'a t -> 'a
+(** Block the calling process until filled, then return the value. *)
+
+val peek : 'a t -> 'a option
+
+val is_filled : 'a t -> bool

@@ -1,0 +1,107 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0.0 }
+  let set t v = t.v <- v
+  let value t = t.v
+end
+
+module Hist = struct
+  (* Buckets are indexed by round(8 * log2 v); inverting the index gives the
+     bucket's representative value, so quantiles carry ≈9 % relative error. *)
+  type t = {
+    tbl : (int, int) Hashtbl.t;
+    mutable n : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () =
+    { tbl = Hashtbl.create 64; n = 0; sum = 0.0; mn = infinity; mx = neg_infinity }
+
+  let bucket_of v =
+    if v <= 0.0 then min_int
+    else int_of_float (Float.round (8.0 *. (log v /. log 2.0)))
+
+  let value_of_bucket b =
+    if b = min_int then 0.0 else Float.pow 2.0 (float_of_int b /. 8.0)
+
+  let record t v =
+    let b = bucket_of v in
+    Hashtbl.replace t.tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt t.tbl b));
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    if v < t.mn then t.mn <- v;
+    if v > t.mx then t.mx <- v
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+  let min t = if t.n = 0 then nan else t.mn
+  let max t = if t.n = 0 then nan else t.mx
+
+  let quantile t q =
+    if t.n = 0 then nan
+    else begin
+      let buckets =
+        Hashtbl.fold (fun b c acc -> (b, c) :: acc) t.tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let target = Float.to_int (Float.round (q *. float_of_int t.n)) in
+      let target = Stdlib.max 1 (Stdlib.min t.n target) in
+      let rec walk acc = function
+        | [] -> t.mx
+        | (b, c) :: rest ->
+            if acc + c >= target then value_of_bucket b else walk (acc + c) rest
+      in
+      walk 0 buckets
+    end
+
+  let reset t =
+    Hashtbl.reset t.tbl;
+    t.n <- 0;
+    t.sum <- 0.0;
+    t.mn <- infinity;
+    t.mx <- neg_infinity
+end
+
+module Series = struct
+  type t = { bucket : Time.t; tbl : (int, float) Hashtbl.t }
+
+  let create ~bucket =
+    if bucket <= 0 then invalid_arg "Series.create: bucket must be positive";
+    { bucket; tbl = Hashtbl.create 64 }
+
+  let add t ~at v =
+    let i = at / t.bucket in
+    Hashtbl.replace t.tbl i (v +. Option.value ~default:0.0 (Hashtbl.find_opt t.tbl i))
+
+  let buckets t =
+    if Hashtbl.length t.tbl = 0 then []
+    else begin
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
+      let lo = List.fold_left Stdlib.min (List.hd keys) keys in
+      let hi = List.fold_left Stdlib.max (List.hd keys) keys in
+      List.init
+        (hi - lo + 1)
+        (fun i ->
+          let k = lo + i in
+          (k * t.bucket, Option.value ~default:0.0 (Hashtbl.find_opt t.tbl k)))
+    end
+
+  let rate_per_sec t =
+    let bucket_sec = Time.to_sec_f t.bucket in
+    List.map
+      (fun (start, sum) -> (Time.to_sec_f start, sum /. bucket_sec))
+      (buckets t)
+end

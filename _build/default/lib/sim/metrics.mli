@@ -1,0 +1,60 @@
+(** Measurement instruments for experiments.
+
+    Counters, gauges, log-bucketed histograms and time-bucketed series; the
+    bench harness reads these to print the paper's figures. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Hist : sig
+  (** Log-bucketed histogram (growth factor 2{^1/8}, ≈9 % relative error),
+      suitable for latency distributions spanning many decades. *)
+
+  type t
+
+  val create : unit -> t
+  val record : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t 0.99] is an approximation of the 99th percentile.
+      Returns [nan] when empty. *)
+
+  val reset : t -> unit
+end
+
+module Series : sig
+  (** Accumulates values into fixed-width simulated-time buckets; used for
+      throughput-over-time plots (paper Fig. 8). *)
+
+  type t
+
+  val create : bucket:Time.t -> t
+
+  val add : t -> at:Time.t -> float -> unit
+
+  val buckets : t -> (Time.t * float) list
+  (** [(bucket_start, sum)] pairs in time order, including empty buckets
+      between the first and last populated ones. *)
+
+  val rate_per_sec : t -> (float * float) list
+  (** [(bucket_start_sec, sum / bucket_sec)] pairs, i.e. a rate series. *)
+end

@@ -1,0 +1,97 @@
+type chunk = Str of string | Zero of int
+
+let of_string s = Str s
+let zeroes n = if n < 0 then invalid_arg "Payload.zeroes" else Zero n
+
+let chunk_len = function Str s -> String.length s | Zero n -> n
+
+let chunk_to_string = function Str s -> s | Zero n -> String.make n '\000'
+
+let total_len cs = List.fold_left (fun acc c -> acc + chunk_len c) 0 cs
+
+let concat_to_string cs = String.concat "" (List.map chunk_to_string cs)
+
+let split_chunk c n =
+  let len = chunk_len c in
+  if n < 0 || n > len then invalid_arg "Payload.split_chunk";
+  match c with
+  | Zero _ -> (Zero n, Zero (len - n))
+  | Str s -> (Str (String.sub s 0 n), Str (String.sub s n (len - n)))
+
+module Buf = struct
+  type t = { q : chunk Queue.t; mutable len : int; mutable base : int }
+
+  let create ?(base = 0) () = { q = Queue.create (); len = 0; base }
+
+  let length t = t.len
+  let base t = t.base
+  let limit t = t.base + t.len
+
+  let append t c = if chunk_len c > 0 then begin
+      Queue.push c t.q;
+      t.len <- t.len + chunk_len c
+    end
+
+  let take t n =
+    let n = min n t.len in
+    let rec loop acc remaining =
+      if remaining = 0 then List.rev acc
+      else
+        match Queue.take_opt t.q with
+        | None -> List.rev acc
+        | Some c ->
+            let cl = chunk_len c in
+            if cl <= remaining then loop (c :: acc) (remaining - cl)
+            else begin
+              let hd, tl = split_chunk c remaining in
+              (* Preserve FIFO: the tail goes back to the front. *)
+              let rest = Queue.create () in
+              Queue.push tl rest;
+              Queue.transfer t.q rest;
+              Queue.transfer rest t.q;
+              loop (hd :: acc) 0
+            end
+    in
+    let out = loop [] n in
+    t.len <- t.len - n;
+    t.base <- t.base + n;
+    out
+
+  let drop_to t off =
+    let n = max 0 (min (off - t.base) t.len) in
+    ignore (take t n)
+
+  let peek_range t ~off ~len =
+    let start = max t.base off in
+    let stop = min (limit t) (off + len) in
+    if stop <= start then []
+    else begin
+      (* Walk the queue copying the requested window. *)
+      let skip = ref (start - t.base) in
+      let want = ref (stop - start) in
+      let acc = ref [] in
+      Queue.iter
+        (fun c ->
+          if !want > 0 then begin
+            let cl = chunk_len c in
+            if !skip >= cl then skip := !skip - cl
+            else begin
+              let usable = cl - !skip in
+              let c = if !skip > 0 then snd (split_chunk c !skip) else c in
+              skip := 0;
+              let c =
+                if usable > !want then fst (split_chunk c !want) else c
+              in
+              want := !want - min usable !want;
+              acc := c :: !acc
+            end
+          end)
+        t.q;
+      List.rev !acc
+    end
+
+  let to_string t =
+    let acc = Buffer.create (min t.len 4096) in
+    Queue.iter (fun c -> Buffer.add_string acc (chunk_to_string c)) t.q;
+    Buffer.contents acc
+end

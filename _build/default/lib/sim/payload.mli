@@ -1,0 +1,57 @@
+(** Byte-stream payloads as chunk lists.
+
+    Transferring a 10 GB file through the simulator must not allocate 10 GB,
+    so stream contents are descriptors: either literal strings (protocol
+    headers, small bodies) or synthetic runs of zero bytes with only a
+    length.  Buffers support byte-precise splitting, which is all TCP
+    needs. *)
+
+type chunk
+(** An immutable run of bytes. *)
+
+val of_string : string -> chunk
+val zeroes : int -> chunk
+(** [zeroes n] is [n] synthetic bytes with no materialized content. *)
+
+val chunk_len : chunk -> int
+
+val chunk_to_string : chunk -> string
+(** Materializes synthetic bytes as ['\000']; intended for tests and small
+    protocol data. *)
+
+val concat_to_string : chunk list -> string
+val total_len : chunk list -> int
+
+val split_chunk : chunk -> int -> chunk * chunk
+(** [split_chunk c n] splits after byte [n]; [0 <= n <= len]. *)
+
+(** FIFO byte buffer over chunks, with an absolute stream offset for the
+    first buffered byte. *)
+module Buf : sig
+  type t
+
+  val create : ?base:int -> unit -> t
+  (** [base] is the stream offset of the first byte that will be appended. *)
+
+  val length : t -> int
+  val base : t -> int
+  (** Stream offset of the first buffered byte. *)
+
+  val limit : t -> int
+  (** [base + length]: stream offset one past the last buffered byte. *)
+
+  val append : t -> chunk -> unit
+
+  val take : t -> int -> chunk list
+  (** Remove and return up to [n] bytes from the front, advancing [base]. *)
+
+  val drop_to : t -> int -> unit
+  (** Discard everything below stream offset [off] (clamped to the buffered
+      range), advancing [base] — the ACK-trimming operation. *)
+
+  val peek_range : t -> off:int -> len:int -> chunk list
+  (** Copy bytes [\[off, off+len)] (absolute stream offsets, clamped to the
+      buffered range) without removing them — the retransmission read. *)
+
+  val to_string : t -> string
+end

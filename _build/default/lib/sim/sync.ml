@@ -1,0 +1,108 @@
+type outcome = [ `Woken | `Timeout ]
+
+let wait_on ?deadline q =
+  let outcome = ref `Woken in
+  Engine.suspend (fun p waker ->
+      let entry = Waitq.add q waker in
+      match deadline with
+      | None -> ()
+      | Some at ->
+          let eng = Engine.engine_of_proc p in
+          let at = max at (Engine.now eng) in
+          Engine.schedule eng ~at (fun () ->
+              if not (Waitq.is_woken entry) then begin
+                Waitq.cancel entry;
+                outcome := `Timeout;
+                waker ()
+              end));
+  !outcome
+
+module Mutex = struct
+  type t = { mutable locked : bool; q : Waitq.t }
+
+  let create () = { locked = false; q = Waitq.create () }
+
+  (* Hand-off semantics: [unlock] transfers ownership directly to the oldest
+     waiter, giving FIFO fairness.  The woken waiter returns from [wait_on]
+     already holding the lock. *)
+  let lock t =
+    if not t.locked then t.locked <- true
+    else begin
+      match wait_on t.q with `Woken -> () | `Timeout -> assert false
+    end
+
+  let try_lock t =
+    if t.locked then false
+    else begin
+      t.locked <- true;
+      true
+    end
+
+  let unlock t =
+    if not t.locked then invalid_arg "Sync.Mutex.unlock: not locked";
+    if not (Waitq.wake_one t.q) then t.locked <- false
+
+  let is_locked t = t.locked
+  let waiters t = Waitq.length t.q
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+end
+
+module Cond = struct
+  type t = { q : Waitq.t }
+
+  let create () = { q = Waitq.create () }
+
+  let wait t m =
+    Engine.suspend (fun _p waker ->
+        ignore (Waitq.add t.q waker);
+        Mutex.unlock m);
+    Mutex.lock m
+
+  let timed_wait t m ~deadline =
+    let outcome = ref `Woken in
+    Engine.suspend (fun p waker ->
+        let entry = Waitq.add t.q waker in
+        let eng = Engine.engine_of_proc p in
+        let at = max deadline (Engine.now eng) in
+        Engine.schedule eng ~at (fun () ->
+            if not (Waitq.is_woken entry) then begin
+              Waitq.cancel entry;
+              outcome := `Timeout;
+              waker ()
+            end);
+        Mutex.unlock m);
+    Mutex.lock m;
+    !outcome
+
+  let signal t = ignore (Waitq.wake_one t.q)
+  let broadcast t = ignore (Waitq.wake_all t.q)
+  let waiters t = Waitq.length t.q
+end
+
+module Semaphore = struct
+  type t = { mutable count : int; q : Waitq.t }
+
+  let create n =
+    if n < 0 then invalid_arg "Sync.Semaphore.create: negative count";
+    { count = n; q = Waitq.create () }
+
+  (* Like Mutex, releases hand the unit directly to the oldest waiter. *)
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else match wait_on t.q with `Woken -> () | `Timeout -> assert false
+
+  let try_acquire t =
+    if t.count > 0 then begin
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+
+  let release t = if not (Waitq.wake_one t.q) then t.count <- t.count + 1
+
+  let available t = t.count
+  let waiters t = Waitq.length t.q
+end

@@ -1,0 +1,55 @@
+(** Blocking synchronization for simulated processes: mutexes, condition
+    variables and counting semaphores.
+
+    These are the *simulation-level* primitives used to build the model
+    itself.  The kernel's pthread layer ({!Ftsim_kernel.Pthread}) is a
+    separate, futex-based implementation — the thing the paper replicates —
+    and does not use this module. *)
+
+type outcome = [ `Woken | `Timeout ]
+
+val wait_on : ?deadline:Time.t -> Waitq.t -> outcome
+(** Park the calling process on a wait queue.  If [deadline] passes first the
+    entry is cancelled (so it will not consume a wake) and [`Timeout] is
+    returned. *)
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val try_lock : t -> bool
+  val unlock : t -> unit
+
+  val is_locked : t -> bool
+  val waiters : t -> int
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Cond : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Atomically release the mutex and park; re-acquires before returning. *)
+
+  val timed_wait : t -> Mutex.t -> deadline:Time.t -> outcome
+  (** Like {!wait} with a deadline; the mutex is re-acquired either way. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+  val waiters : t -> int
+end
+
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val available : t -> int
+  val waiters : t -> int
+end

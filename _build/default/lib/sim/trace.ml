@@ -1,0 +1,29 @@
+type level = Off | Error | Warn | Info | Debug
+
+let level = ref Off
+let set_level l = level := l
+let get_level () = !level
+
+let rank = function Off -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+type logger = { component : string }
+
+let make component = { component }
+
+let emit lg lvl_name eng fmt =
+  let stamp =
+    match eng with
+    | Some e -> Time.to_string (Engine.now e)
+    | None -> "-"
+  in
+  Format.eprintf "[%s %s %s] " stamp lvl_name lg.component;
+  Format.kfprintf (fun f -> Format.pp_print_newline f ()) Format.err_formatter fmt
+
+let logf lg lvl lvl_name ?eng fmt =
+  if rank lvl <= rank !level then emit lg lvl_name eng fmt
+  else Format.ifprintf Format.err_formatter fmt
+
+let errorf lg ?eng fmt = logf lg Error "ERROR" ?eng fmt
+let warnf lg ?eng fmt = logf lg Warn "WARN " ?eng fmt
+let infof lg ?eng fmt = logf lg Info "INFO " ?eng fmt
+let debugf lg ?eng fmt = logf lg Debug "DEBUG" ?eng fmt

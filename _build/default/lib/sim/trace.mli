@@ -1,0 +1,20 @@
+(** Lightweight component-tagged tracing with simulated timestamps.
+
+    Disabled (the default, level {!Off}) it costs a single comparison per
+    call site, so models can trace liberally. *)
+
+type level = Off | Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val get_level : unit -> level
+
+type logger
+
+val make : string -> logger
+(** [make component] returns a logger whose lines are prefixed with the
+    component name and, when available, the simulated time. *)
+
+val errorf : logger -> ?eng:Engine.t -> ('a, Format.formatter, unit) format -> 'a
+val warnf : logger -> ?eng:Engine.t -> ('a, Format.formatter, unit) format -> 'a
+val infof : logger -> ?eng:Engine.t -> ('a, Format.formatter, unit) format -> 'a
+val debugf : logger -> ?eng:Engine.t -> ('a, Format.formatter, unit) format -> 'a

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Engine Fault Ftsim_hw Ftsim_sim Ipi List Machine Mailbox Partition Time Topology

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Cpu Engine Float Ftsim_hw Ftsim_kernel Ftsim_sim Futex Kernel List Machine Memlayout Prng Pthread QCheck QCheck_alcotest Queue Time Topology Vfs

@@ -1,0 +1,1 @@
+test/test_netstack.ml: Alcotest Buffer Engine Ftsim_netstack Ftsim_sim Gen Host Http Link List Netenv Nic Option Packet Payload Printf QCheck QCheck_alcotest String Tcp Time

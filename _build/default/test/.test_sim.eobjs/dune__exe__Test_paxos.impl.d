@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Engine Fault Ftsim_ftlinux Ftsim_hw Ftsim_sim Fun List Machine Partition Paxos Printf Prng QCheck QCheck_alcotest Time Topology

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bqueue Engine Float Ftsim_sim Fun Gen Heap Ivar List Metrics Prng QCheck QCheck_alcotest Sync Time

@@ -1,0 +1,1 @@
+test/test_tricluster.ml: Alcotest Api Buffer Cluster Engine Ftsim_ftlinux Ftsim_hw Ftsim_netstack Ftsim_sim Host Ivar Link List Partition Payload Printf String Tcp Time Topology Tricluster

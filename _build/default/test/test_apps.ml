@@ -1,0 +1,342 @@
+(* Tests for the workload applications, mostly in standalone mode (the
+   replication machinery has its own suite). *)
+
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_kernel
+open Ftsim_netstack
+open Ftsim_ftlinux
+open Ftsim_apps
+
+let gbit_link eng = Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100) ()
+
+let small_standalone ?link eng ~app =
+  Cluster.create_standalone eng ~topology:Topology.small ?link ~app ()
+
+(* {1 Workqueue} *)
+
+let boot_pt eng =
+  let m = Machine.create eng Topology.small in
+  let a, _ = Machine.split_symmetric m in
+  let k = Kernel.boot a () in
+  (k, Pthread.create k)
+
+let test_workqueue_fifo_close () =
+  let eng = Engine.create () in
+  let out = ref [] in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let k, pt = boot_pt eng in
+         let q = Workqueue.create pt ~capacity:4 in
+         ignore
+           (Kernel.spawn_thread k (fun () ->
+                for i = 1 to 10 do
+                  Workqueue.push pt q i
+                done;
+                Workqueue.close pt q));
+         let consumer =
+           Kernel.spawn_thread k (fun () ->
+               let rec loop () =
+                 match Workqueue.pop pt q with
+                 | None -> ()
+                 | Some v ->
+                     out := v :: !out;
+                     loop ()
+               in
+               loop ())
+         in
+         ignore (Engine.join consumer)));
+  Engine.run eng;
+  Alcotest.(check (list int)) "all items in order" [1;2;3;4;5;6;7;8;9;10]
+    (List.rev !out)
+
+let test_workqueue_capacity () =
+  let eng = Engine.create () in
+  let stalled_at = ref 0 in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let k, pt = boot_pt eng in
+         let q = Workqueue.create pt ~capacity:3 in
+         ignore
+           (Kernel.spawn_thread k (fun () ->
+                for i = 1 to 10 do
+                  Workqueue.push pt q i;
+                  stalled_at := i
+                done));
+         Engine.sleep (Time.ms 10);
+         Alcotest.(check int) "producer held at capacity" 3 !stalled_at;
+         let rec drain n =
+           if n < 10 then begin
+             ignore (Workqueue.pop pt q);
+             drain (n + 1)
+           end
+         in
+         drain 0));
+  Engine.run eng
+
+(* {1 PBZIP2} *)
+
+let tiny_pbzip2 =
+  {
+    Pbzip2.file_bytes = 1024 * 1024;
+    block_bytes = 64 * 1024;
+    workers = 4;
+    read_ns_per_byte = 1;
+    compress_ns_per_byte = 50;
+    write_ns_per_byte = 1;
+    queue_capacity = 8;
+  }
+
+let test_pbzip2_completes_in_order () =
+  let eng = Engine.create () in
+  let done_blocks = ref [] in
+  let app api =
+    Pbzip2.run ~params:tiny_pbzip2
+      ~on_block_done:(fun i -> done_blocks := i :: !done_blocks)
+      api
+  in
+  let _sa = small_standalone eng ~app in
+  Engine.run eng;
+  let expected = List.init (Pbzip2.block_count tiny_pbzip2) Fun.id in
+  Alcotest.(check (list int)) "blocks committed in file order" expected
+    (List.rev !done_blocks)
+
+let test_pbzip2_parallel_speedup () =
+  (* Twice the workers (within core budget) should cut the makespan. *)
+  let run workers =
+    let eng = Engine.create () in
+    let t_done = ref 0 in
+    let app api =
+      Pbzip2.run ~params:{ tiny_pbzip2 with workers } api;
+      t_done := Engine.now (Kernel.engine api.Api.kernel)
+    in
+    let _sa = small_standalone eng ~app in
+    Engine.run eng;
+    !t_done
+  in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 workers (%s) at least 2x faster than 1 (%s)"
+       (Time.to_string t4) (Time.to_string t1))
+    true
+    (t4 * 2 < t1)
+
+let test_pbzip2_replicated_both_finish () =
+  let eng = Engine.create () in
+  let finished = ref 0 in
+  let app api =
+    Pbzip2.run ~params:{ tiny_pbzip2 with workers = 2 } api;
+    incr finished
+  in
+  let config =
+    {
+      Cluster.default_config with
+      topology = Topology.small;
+      hb_period = Time.ms 5;
+      hb_timeout = Time.ms 25;
+    }
+  in
+  let cluster = Cluster.create eng ~config ~app () in
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check int) "both replicas completed the compression" 2 !finished;
+  Alcotest.(check bool) "sync tuples flowed" true (Cluster.det_ops cluster > 100)
+
+(* {1 Mongoose + ApacheBench} *)
+
+let test_mongoose_serves_ab () =
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let served = ref 0 in
+  let app api =
+    Mongoose.run
+      ~params:{ Mongoose.default_params with workers = 4 }
+      ~on_request:(fun () -> incr served)
+      api
+  in
+  let _sa = small_standalone eng ~link:(Link.endpoint_a link) ~app in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let ab =
+    Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/page.html"
+      ~concurrency:8 ()
+  in
+  Engine.run ~until:(Time.sec 2) eng;
+  Loadgen.ab_stop ab;
+  Engine.run ~until:(Time.sec 3) eng;
+  let stats = Loadgen.ab_stats ab in
+  Alcotest.(check bool) "requests completed" true
+    (Metrics.Counter.value stats.Loadgen.completed > 50);
+  Alcotest.(check int) "no errors" 0 (Metrics.Counter.value stats.Loadgen.errors);
+  Alcotest.(check bool) "server counted them too" true
+    (!served >= Metrics.Counter.value stats.Loadgen.completed)
+
+let test_mongoose_cpu_loop_reduces_throughput () =
+  let run cpu_per_request =
+    let eng = Engine.create () in
+    let link = gbit_link eng in
+    let app api =
+      Mongoose.run
+        ~params:{ Mongoose.default_params with workers = 4; cpu_per_request }
+        api
+    in
+    let _sa = small_standalone eng ~link:(Link.endpoint_a link) ~app in
+    let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+    let ab =
+      Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/x"
+        ~concurrency:16 ()
+    in
+    Engine.run ~until:(Time.sec 2) eng;
+    Loadgen.ab_stop ab;
+    Engine.run ~until:(Time.sec 3) eng;
+    Metrics.Counter.value (Loadgen.ab_stats ab).Loadgen.completed
+  in
+  let fast = run Time.zero in
+  let slow = run (Time.ms 10) in
+  Alcotest.(check bool)
+    (Printf.sprintf "CPU loop throttles (fast=%d slow=%d)" fast slow)
+    true
+    (slow * 2 < fast)
+
+(* {1 File server + wget} *)
+
+let test_fileserver_wget () =
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let size = 20 * 1024 * 1024 in
+  let app api =
+    Fileserver.run
+      ~params:{ Fileserver.default_params with file_bytes = size }
+      api
+  in
+  let _sa = small_standalone eng ~link:(Link.endpoint_a link) ~app in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let w =
+    Loadgen.wget_start client ~server:"10.0.0.1" ~port:80 ~target:"/big"
+      ~bucket:(Time.ms 50) ()
+  in
+  Engine.run ~until:(Time.sec 10) eng;
+  (match Ivar.peek w.Loadgen.total with
+  | Some n -> Alcotest.(check int) "full file" size n
+  | None -> Alcotest.fail "wget did not finish");
+  (* Rate should be near 1 Gb/s line rate. *)
+  let rates = List.map snd (Metrics.Series.rate_per_sec w.Loadgen.bytes_received) in
+  let peak = List.fold_left max 0.0 rates in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak rate %.1f MB/s near line rate" (peak /. 1e6))
+    true
+    (peak > 0.9e8)
+
+(* {1 Memcached} *)
+
+let test_memcached_get_set () =
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let app api = Memcached.server api in
+  let _sa = small_standalone eng ~link:(Link.endpoint_a link) ~app in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let result = Ivar.create () in
+  ignore
+    (Host.spawn client "mc-client" (fun () ->
+         let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:11211 in
+         Tcp.send c (Payload.of_string "set greeting 5\r\nhello");
+         Tcp.send c (Payload.of_string "get greeting\r\n");
+         Tcp.send c (Payload.of_string "get missing\r\n");
+         let buf = Buffer.create 64 in
+         let rec read_until n =
+           if Buffer.length buf < n then begin
+             match Tcp.recv c ~max:4096 with
+             | [] -> ()
+             | cs ->
+                 Buffer.add_string buf (Payload.concat_to_string cs);
+                 read_until n
+           end
+         in
+         (* STORED\r\n (8) + VALUE 5\r\nhello (14) + MISS\r\n (6) *)
+         read_until 28;
+         Tcp.send c (Payload.of_string "quit\r\n");
+         Ivar.fill result (Buffer.contents buf)));
+  Engine.run ~until:(Time.sec 5) eng;
+  match Ivar.peek result with
+  | Some s ->
+      Alcotest.(check string) "protocol exchange" "STORED\r\nVALUE 5\r\nhelloMISS\r\n" s
+  | None -> Alcotest.fail "client did not finish"
+
+let test_memcached_memory_model_anchor () =
+  (* The 180x point must land on the paper's split: ~15% Ignored, ~20%
+     Delayed, ~65% User (96 GiB machine). *)
+  let gib n = n * 1024 * 1024 * 1024 in
+  let layout = Memlayout.create ~ram_bytes:(gib 96) in
+  Memcached.apply_load layout ~multiplier:180;
+  let i, d, u = Memlayout.fractions layout in
+  let close_to a b tol = Float.abs (a -. b) < tol in
+  Alcotest.(check bool) (Printf.sprintf "ignored %.3f ~ 0.15" i) true (close_to i 0.15 0.03);
+  Alcotest.(check bool) (Printf.sprintf "delayed %.3f ~ 0.20" d) true (close_to d 0.20 0.05);
+  Alcotest.(check bool) (Printf.sprintf "user %.3f ~ 0.65" u) true (close_to u 0.65 0.03)
+
+let test_memcached_memory_model_monotone () =
+  let gib n = n * 1024 * 1024 * 1024 in
+  let fractions m =
+    let layout = Memlayout.create ~ram_bytes:(gib 96) in
+    Memcached.apply_load layout ~multiplier:m;
+    Memlayout.fractions layout
+  in
+  let i3, d3, u3 = fractions 3 in
+  let i90, d90, u90 = fractions 90 in
+  let i180, d180, u180 = fractions 180 in
+  Alcotest.(check bool) "user grows" true (u3 < u90 && u90 < u180);
+  Alcotest.(check bool) "ignored grows" true (i3 < i90 && i90 < i180);
+  Alcotest.(check bool) "delayed shrinks" true (d3 > d90 && d90 > d180)
+
+(* {1 CPU hog} *)
+
+let test_cpuhog_saturates () =
+  let eng = Engine.create () in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let m = Machine.create eng Topology.small in
+         let a, _ = Machine.split_symmetric m in
+         let k = Kernel.boot a () in
+         let hog = Cpuhog.start k ~threads:(Partition.cores a) in
+         Engine.sleep (Time.ms 100);
+         Cpuhog.stop hog;
+         let util =
+           Cpu.utilization (Kernel.cpu k) ~elapsed:(Engine.now eng)
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "utilization %.2f ~ 1.0" util)
+           true (util > 0.95)));
+  Engine.run ~until:(Time.ms 200) eng
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "workqueue",
+        [
+          Alcotest.test_case "fifo and close" `Quick test_workqueue_fifo_close;
+          Alcotest.test_case "capacity" `Quick test_workqueue_capacity;
+        ] );
+      ( "pbzip2",
+        [
+          Alcotest.test_case "completes in order" `Quick
+            test_pbzip2_completes_in_order;
+          Alcotest.test_case "parallel speedup" `Quick test_pbzip2_parallel_speedup;
+          Alcotest.test_case "replicated both finish" `Quick
+            test_pbzip2_replicated_both_finish;
+        ] );
+      ( "mongoose",
+        [
+          Alcotest.test_case "serves ab" `Quick test_mongoose_serves_ab;
+          Alcotest.test_case "cpu loop throttles" `Quick
+            test_mongoose_cpu_loop_reduces_throughput;
+        ] );
+      ("fileserver", [ Alcotest.test_case "wget" `Quick test_fileserver_wget ]);
+      ( "memcached",
+        [
+          Alcotest.test_case "get/set" `Quick test_memcached_get_set;
+          Alcotest.test_case "memory anchor (fig1 @180x)" `Quick
+            test_memcached_memory_model_anchor;
+          Alcotest.test_case "memory monotone" `Quick
+            test_memcached_memory_model_monotone;
+        ] );
+      ("cpuhog", [ Alcotest.test_case "saturates" `Quick test_cpuhog_saturates ]);
+    ]

@@ -1,0 +1,957 @@
+(* Tests for the FT-Linux replication runtime: deterministic replay, TCP
+   logical-state replication, output commit, failure detection, failover. *)
+
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_kernel
+open Ftsim_netstack
+open Ftsim_ftlinux
+
+(* A small machine and tight timers keep the simulations fast. *)
+let test_config =
+  {
+    Cluster.default_config with
+    topology = Topology.small;
+    hb_period = Time.ms 5;
+    hb_timeout = Time.ms 25;
+    driver_load_time = Time.ms 200;
+  }
+
+let gbit_link eng = Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100) ()
+
+(* {1 Deterministic replication of a racy pthread application} *)
+
+(* Workers contend on a mutex-protected counter; each appends (worker, value)
+   observations.  Any interleaving is a correct execution, but primary and
+   secondary must observe the *same* one. *)
+let racy_app ~iters ~workers trace_out =
+  fun (api : Api.t) ->
+    let pt = api.Api.pt in
+    let m = Pthread.mutex_create pt in
+    let counter = ref 0 in
+    let trace = ref [] in
+    let threads =
+      List.init workers (fun w ->
+          api.Api.spawn (Printf.sprintf "worker-%d" w) (fun () ->
+              for _ = 1 to iters do
+                api.Api.compute (Time.us 10);
+                Pthread.mutex_lock pt m;
+                incr counter;
+                trace := (w, !counter) :: !trace;
+                Pthread.mutex_unlock pt m
+              done))
+    in
+    List.iter api.Api.join threads;
+    trace_out := Some (List.rev !trace)
+
+let test_replay_matches_primary () =
+  let eng = Engine.create () in
+  let tp = ref None and ts = ref None in
+  let seen = ref 0 in
+  let app api =
+    (* The same closure must not share state across replicas: dispatch the
+       trace cell by kernel name. *)
+    let out = if Kernel.name api.Api.kernel = "primary" then tp else ts in
+    racy_app ~iters:50 ~workers:4 out api;
+    incr seen
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  (match (!tp, !ts) with
+  | Some p, Some s ->
+      Alcotest.(check int) "same observation count" (List.length p) (List.length s);
+      Alcotest.(check bool) "secondary observed the primary's interleaving" true
+        (p = s);
+      Alcotest.(check int) "counter fully incremented" 200 (List.length p)
+  | None, _ -> Alcotest.fail "primary app did not finish"
+  | _, None -> Alcotest.fail "secondary app did not finish");
+  Alcotest.(check int) "both replicas ran the app" 2 !seen
+
+let test_nontrivial_interleaving_replayed () =
+  (* With staggered start times the interleaving is not round-robin; the
+     secondary must still match it exactly. *)
+  let eng = Engine.create ~seed:7 () in
+  let tp = ref None and ts = ref None in
+  let app api =
+    let out = if Kernel.name api.Api.kernel = "primary" then tp else ts in
+    let pt = api.Api.pt in
+    let m = Pthread.mutex_create pt in
+    let trace = ref [] in
+    let threads =
+      List.init 3 (fun w ->
+          api.Api.spawn (Printf.sprintf "w%d" w) (fun () ->
+              for i = 1 to 30 do
+                api.Api.compute (Time.us (10 + (w * 7) + (i mod 5)));
+                Pthread.mutex_lock pt m;
+                trace := w :: !trace;
+                Pthread.mutex_unlock pt m
+              done))
+    in
+    List.iter api.Api.join threads;
+    out := Some (List.rev !trace)
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  match (!tp, !ts) with
+  | Some p, Some s ->
+      Alcotest.(check bool) "interleavings identical" true (p = s);
+      (* Sanity: the interleaving must not be trivially sorted. *)
+      Alcotest.(check bool) "interleaving is non-trivial" true
+        (p <> List.sort compare p)
+  | _ -> Alcotest.fail "apps did not finish"
+
+let test_gettimeofday_synchronized () =
+  let eng = Engine.create () in
+  let vp = ref [] and vs = ref [] in
+  let app api =
+    let out = if Kernel.name api.Api.kernel = "primary" then vp else vs in
+    for _ = 1 to 5 do
+      api.Api.compute (Time.ms 1);
+      out := api.Api.gettimeofday () :: !out
+    done
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 5) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check (list int)) "secondary sees primary clock values" !vp !vs;
+  Alcotest.(check int) "five readings" 5 (List.length !vp)
+
+let test_cond_timedwait_outcome_replicated () =
+  (* One thread timedwaits with a deadline that races a signal; both
+     replicas must agree on the outcome. *)
+  let eng = Engine.create () in
+  let op = ref None and os = ref None in
+  let app api =
+    let out = if Kernel.name api.Api.kernel = "primary" then op else os in
+    let pt = api.Api.pt in
+    let m = Pthread.mutex_create pt in
+    let c = Pthread.cond_create pt in
+    let waiter =
+      api.Api.spawn "waiter" (fun () ->
+          Pthread.mutex_lock pt m;
+          let r = Pthread.cond_timedwait pt c m ~deadline:(Time.ms 50) in
+          Pthread.mutex_unlock pt m;
+          out := Some (r = `Timeout))
+    in
+    ignore
+      (api.Api.spawn "signaler" (fun () ->
+           api.Api.compute (Time.ms 10);
+           Pthread.mutex_lock pt m;
+           Pthread.cond_signal pt c;
+           Pthread.mutex_unlock pt m));
+    api.Api.join waiter
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 5) eng;
+  Cluster.shutdown cluster;
+  match (!op, !os) with
+  | Some p, Some s ->
+      Alcotest.(check bool) "outcomes agree" true (p = s);
+      Alcotest.(check bool) "signal won the race" false p
+  | _ -> Alcotest.fail "apps did not finish"
+
+(* {1 TCP replication} *)
+
+let echo_app (api : Api.t) =
+  let l = api.Api.net_listen ~port:80 in
+  let rec serve () =
+    let s = api.Api.net_accept l in
+    let rec echo () =
+      match api.Api.net_recv s ~max:4096 with
+      | [] -> api.Api.net_close s
+      | cs ->
+          List.iter (api.Api.net_send s) cs;
+          echo ()
+    in
+    echo ();
+    serve ()
+  in
+  serve ()
+
+let run_echo_scenario ~fail_primary_at ~messages eng =
+  let link = gbit_link eng in
+  let cluster =
+    Cluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+      ~app:echo_app ()
+  in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  (match fail_primary_at with
+  | Some at -> Cluster.fail_primary cluster ~at
+  | None -> ());
+  let result = Ivar.create () in
+  ignore
+    (Host.spawn client "client" (fun () ->
+         let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:80 in
+         let out = Buffer.create 64 in
+         List.iteri
+           (fun i msg ->
+             Tcp.send c (Payload.of_string msg);
+             let want = String.length msg in
+             let got = ref 0 in
+             while !got < want do
+               match Tcp.recv c ~max:4096 with
+               | [] -> failwith "eof from server"
+               | cs ->
+                   got := !got + Payload.total_len cs;
+                   Buffer.add_string out (Payload.concat_to_string cs)
+             done;
+             ignore i)
+           messages;
+         Tcp.close c;
+         Ivar.fill result (Buffer.contents out)));
+  (cluster, result)
+
+let test_replicated_echo () =
+  let eng = Engine.create () in
+  let messages = [ "alpha "; "beta "; "gamma" ] in
+  let cluster, result = run_echo_scenario ~fail_primary_at:None ~messages eng in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  match Ivar.peek result with
+  | Some s -> Alcotest.(check string) "echo through replication" "alpha beta gamma" s
+  | None -> Alcotest.fail "client did not finish"
+
+let test_replication_traffic_flows () =
+  let eng = Engine.create () in
+  let cluster, result =
+    run_echo_scenario ~fail_primary_at:None ~messages:[ "ping" ] eng
+  in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check bool) "client done" true (Ivar.peek result <> None);
+  Alcotest.(check bool) "records streamed" true (Cluster.records_sent cluster > 5);
+  Alcotest.(check bool) "mailbox traffic counted" true
+    (Cluster.traffic_bytes cluster > 0)
+
+let test_failover_echo_continues () =
+  (* Kill the primary mid-session; the established connection must survive
+     and subsequent echos must come from the promoted secondary. *)
+  let eng = Engine.create () in
+  let messages = List.init 30 (fun i -> Printf.sprintf "msg-%02d|" i) in
+  let cluster, result =
+    run_echo_scenario ~fail_primary_at:(Some (Time.ms 120)) ~messages eng
+  in
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  (match Ivar.peek result with
+  | Some s ->
+      Alcotest.(check string) "complete, unduplicated stream"
+        (String.concat "" messages) s
+  | None -> Alcotest.fail "client did not finish after failover");
+  Alcotest.(check bool) "failover actually happened" true
+    (Ivar.peek (Cluster.failover_done cluster) <> None);
+  Alcotest.(check bool) "primary is down" true
+    (Partition.is_halted (Cluster.primary_partition cluster))
+
+let test_failover_duration_dominated_by_driver () =
+  let eng = Engine.create () in
+  let messages = List.init 20 (fun i -> Printf.sprintf "m%d." i) in
+  let cluster, _result =
+    run_echo_scenario ~fail_primary_at:(Some (Time.ms 100)) ~messages eng
+  in
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  match
+    (Cluster.failover_started_at cluster, Cluster.failover_completed_at cluster)
+  with
+  | Some t0, Some t1 ->
+      let d = t1 - t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "duration %s >= driver load" (Time.to_string d))
+        true
+        (d >= Time.ms 200);
+      Alcotest.(check bool)
+        (Printf.sprintf "duration %s < driver load + 1s" (Time.to_string d))
+        true
+        (d < Time.ms 1200)
+  | _ -> Alcotest.fail "failover did not run"
+
+let test_secondary_failure_primary_solo () =
+  let eng = Engine.create () in
+  let messages = List.init 10 (fun i -> Printf.sprintf "x%d." i) in
+  let link = gbit_link eng in
+  let cluster =
+    Cluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+      ~app:echo_app ()
+  in
+  Machine.inject (Cluster.machine cluster)
+    (Fault.at (Time.ms 100)
+       ~partition_id:(Partition.id (Cluster.secondary_partition cluster))
+       Fault.Memory_uncorrected);
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let result = Ivar.create () in
+  ignore
+    (Host.spawn client "client" (fun () ->
+         (* Start after the secondary is already gone. *)
+         Engine.sleep (Time.ms 300);
+         let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:80 in
+         let out = Buffer.create 64 in
+         List.iter
+           (fun msg ->
+             Tcp.send c (Payload.of_string msg);
+             let want = String.length msg in
+             let got = ref 0 in
+             while !got < want do
+               match Tcp.recv c ~max:4096 with
+               | [] -> failwith "eof"
+               | cs ->
+                   got := !got + Payload.total_len cs;
+                   Buffer.add_string out (Payload.concat_to_string cs)
+             done)
+           messages;
+         Ivar.fill result (Buffer.contents out)));
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  match Ivar.peek result with
+  | Some s ->
+      Alcotest.(check string) "primary serves solo" (String.concat "" messages) s
+  | None -> Alcotest.fail "client did not finish against solo primary"
+
+let test_compute_only_failover () =
+  (* No network: a replicated compute application keeps making progress on
+     the secondary after the primary dies. *)
+  let eng = Engine.create () in
+  let progress_p = ref 0 and progress_s = ref 0 in
+  let app api =
+    let cell =
+      if Kernel.name api.Api.kernel = "primary" then progress_p else progress_s
+    in
+    let pt = api.Api.pt in
+    let m = Pthread.mutex_create pt in
+    for _ = 1 to 1000 do
+      api.Api.compute (Time.ms 1);
+      Pthread.mutex_lock pt m;
+      incr cell;
+      Pthread.mutex_unlock pt m
+    done
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Cluster.fail_primary cluster ~at:(Time.ms 200);
+  Engine.run ~until:(Time.sec 5) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check bool) "primary died early" true (!progress_p < 1000);
+  Alcotest.(check int) "secondary finished the job" 1000 !progress_s
+
+let test_failover_with_coherency_loss () =
+  (* A memory fault that disrupts cache coherency loses the in-flight
+     mailbox messages (3.5's rare worst case).  Output commit guarantees
+     the client still observes an exactly-once stream: nothing the client
+     saw depended on a record that was lost. *)
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let cluster =
+    Cluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+      ~app:echo_app ()
+  in
+  Machine.inject (Cluster.machine cluster)
+    (Fault.at ~disrupts_coherency:true (Time.ms 120)
+       ~partition_id:(Partition.id (Cluster.primary_partition cluster))
+       Fault.Memory_uncorrected);
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let messages = List.init 25 (fun i -> Printf.sprintf "c%02d|" i) in
+  let result = Ivar.create () in
+  ignore
+    (Host.spawn client "client" (fun () ->
+         let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:80 in
+         let out = Buffer.create 64 in
+         List.iter
+           (fun msg ->
+             Tcp.send c (Payload.of_string msg);
+             let want = String.length msg in
+             let got = ref 0 in
+             while !got < want do
+               match Tcp.recv c ~max:4096 with
+               | [] -> failwith "eof"
+               | cs ->
+                   got := !got + Payload.total_len cs;
+                   Buffer.add_string out (Payload.concat_to_string cs)
+             done)
+           messages;
+         Ivar.fill result (Buffer.contents out)));
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  match Ivar.peek result with
+  | Some s ->
+      Alcotest.(check string) "exactly-once despite lost log suffix"
+        (String.concat "" messages) s
+  | None -> Alcotest.fail "client did not finish"
+
+(* {1 Property: arbitrary programs replay identically} *)
+
+(* A random multi-threaded program over the replicated pthread API: each
+   thread interleaves compute delays with critical sections appending to a
+   shared trace.  Whatever interleaving the primary exhibits, the secondary
+   must reproduce it exactly. *)
+let prop_random_program_replays =
+  QCheck.Test.make ~name:"random programs replay identically" ~count:15
+    QCheck.(
+      pair (int_range 2 4)
+        (list_of_size (Gen.int_range 5 25) (int_range 1 400)))
+    (fun (nthreads, delays) ->
+      QCheck.assume (delays <> []);
+      let eng = Engine.create ~seed:(Hashtbl.hash (nthreads, delays)) () in
+      let tp = ref None and ts = ref None in
+      let delay_arr = Array.of_list delays in
+      let app api =
+        let out = if Kernel.name api.Api.kernel = "primary" then tp else ts in
+        let pt = api.Api.pt in
+        let m = Pthread.mutex_create pt in
+        let c = Pthread.cond_create pt in
+        let trace = ref [] in
+        let turn = ref 0 in
+        let threads =
+          List.init nthreads (fun w ->
+              api.Api.spawn (Printf.sprintf "t%d" w) (fun () ->
+                  Array.iteri
+                    (fun i d ->
+                      api.Api.compute (Time.us ((d + (w * 37) + i) mod 500));
+                      Pthread.mutex_lock pt m;
+                      trace := ((w * 1000) + i) :: !trace;
+                      (* Occasionally bounce through the condvar. *)
+                      if (d + w) mod 7 = 0 then begin
+                        turn := w;
+                        Pthread.cond_signal pt c
+                      end;
+                      Pthread.mutex_unlock pt m)
+                    delay_arr))
+        in
+        List.iter api.Api.join threads;
+        out := Some (List.rev !trace)
+      in
+      let cluster = Cluster.create eng ~config:test_config ~app () in
+      Engine.run ~until:(Time.sec 60) eng;
+      Cluster.shutdown cluster;
+      match (!tp, !ts) with
+      | Some p, Some s -> p = s && List.length p = nthreads * Array.length delay_arr
+      | _ -> false)
+
+(* {1 Determinism of the whole simulation} *)
+
+let test_whole_sim_deterministic () =
+  let run () =
+    let eng = Engine.create ~seed:123 () in
+    let cluster, result =
+      run_echo_scenario ~fail_primary_at:(Some (Time.ms 120))
+        ~messages:(List.init 10 (fun i -> Printf.sprintf "d%d." i))
+        eng
+    in
+    Engine.run ~until:(Time.sec 20) eng;
+    Cluster.shutdown cluster;
+    (Ivar.peek result, Cluster.traffic_msgs cluster, Cluster.det_ops cluster)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_barrier_sem_app_replays () =
+  (* A bulk-synchronous app: phases separated by barriers, admission
+     bounded by a semaphore.  The per-phase serial thread and the admission
+     order must replicate. *)
+  let eng = Engine.create () in
+  let tp = ref None and ts = ref None in
+  let app (api : Api.t) =
+    let out = if Kernel.name api.Api.kernel = "primary" then tp else ts in
+    let pt = api.Api.pt in
+    let b = Pthread.barrier_create pt ~count:3 in
+    let s = Pthread.sem_create pt 1 in
+    let trace = ref [] in
+    let ths =
+      List.init 3 (fun w ->
+          api.Api.spawn (Printf.sprintf "bsp-%d" w) (fun () ->
+              for phase = 1 to 4 do
+                api.Api.compute (Time.us ((w * 17) + phase));
+                Pthread.sem_wait pt s;
+                trace := (phase, w) :: !trace;
+                Pthread.sem_post pt s;
+                match Pthread.barrier_wait pt b with
+                | `Serial -> trace := (phase, 100 + w) :: !trace
+                | `Normal -> ()
+              done))
+    in
+    List.iter api.Api.join ths;
+    out := Some (List.rev !trace)
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  match (!tp, !ts) with
+  | Some p, Some s ->
+      Alcotest.(check bool) "traces identical" true (p = s);
+      Alcotest.(check int) "3 threads x 4 phases + 4 serials" 16 (List.length p)
+  | _ -> Alcotest.fail "apps did not finish"
+
+let test_env_replicated_to_namespace () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  let app (api : Api.t) =
+    seen :=
+      (Kernel.name api.Api.kernel, api.Api.getenv "MODE", api.Api.getenv "NOPE")
+      :: !seen
+  in
+  let config =
+    { test_config with Cluster.app_env = [ ("MODE", "prod"); ("PORT", "80") ] }
+  in
+  let cluster = Cluster.create eng ~config ~app () in
+  Engine.run ~until:(Time.sec 1) eng;
+  Cluster.shutdown cluster;
+  let find k = List.find_opt (fun (n, _, _) -> n = k) !seen in
+  match (find "primary", find "secondary") with
+  | Some (_, mp, np), Some (_, ms, ns) ->
+      Alcotest.(check (option string)) "primary sees MODE" (Some "prod") mp;
+      Alcotest.(check bool) "replica environment identical" true
+        (mp = ms && np = ns && np = None)
+  | _ -> Alcotest.fail "apps did not run on both replicas"
+
+(* {1 Replicated file system (6 extension)} *)
+
+let test_fs_replicas_converge () =
+  (* Threads append interleaved records to a shared log file; both
+     replicas' local file systems must end up byte-identical. *)
+  let eng = Engine.create () in
+  let done_count = ref 0 in
+  let app (api : Api.t) =
+    let pt = api.Api.pt in
+    let m = Pthread.mutex_create pt in
+    let fd = api.Api.fs_open ~path:"/var/log/app" ~create:true in
+    let ths =
+      List.init 3 (fun w ->
+          api.Api.spawn (Printf.sprintf "logger-%d" w) (fun () ->
+              for i = 1 to 20 do
+                api.Api.compute (Time.us ((w * 31) + i));
+                Pthread.mutex_lock pt m;
+                api.Api.fs_append fd
+                  (Payload.of_string (Printf.sprintf "[w%d:%03d]" w i));
+                Pthread.mutex_unlock pt m
+              done))
+    in
+    List.iter api.Api.join ths;
+    api.Api.fs_close fd;
+    incr done_count
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check int) "both replicas ran" 2 !done_count;
+  let vp = Namespace.vfs_of (Cluster.primary_namespace cluster) in
+  let vs = Namespace.vfs_of (Cluster.secondary_namespace cluster) in
+  Alcotest.(check (option int)) "sizes equal" (Vfs.size vp ~path:"/var/log/app")
+    (Vfs.size vs ~path:"/var/log/app");
+  Alcotest.(check bool) "contents byte-identical" true
+    (Vfs.checksum vp ~path:"/var/log/app" = Vfs.checksum vs ~path:"/var/log/app"
+    && Vfs.checksum vp ~path:"/var/log/app" <> None);
+  Alcotest.(check (option int)) "all 60 records present" (Some (60 * 8))
+    (Vfs.size vp ~path:"/var/log/app")
+
+let test_fs_read_lengths_replicated () =
+  (* A reader observes short reads at page-cluster boundaries; the replica
+     must observe the same byte counts (logged, not re-derived). *)
+  let eng = Engine.create () in
+  let rp = ref None and rs = ref None in
+  let app (api : Api.t) =
+    let out = if Kernel.name api.Api.kernel = "primary" then rp else rs in
+    let fd = api.Api.fs_open ~path:"/f" ~create:true in
+    api.Api.fs_append fd (Payload.zeroes 200_000);
+    api.Api.fs_close fd;
+    let fd = api.Api.fs_open ~path:"/f" ~create:false in
+    let lens = ref [] in
+    let rec loop () =
+      match api.Api.fs_read fd ~max:150_000 with
+      | [] -> ()
+      | cs ->
+          lens := Payload.total_len cs :: !lens;
+          loop ()
+    in
+    loop ();
+    api.Api.fs_close fd;
+    out := Some (List.rev !lens)
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 5) eng;
+  Cluster.shutdown cluster;
+  match (!rp, !rs) with
+  | Some p, Some s ->
+      Alcotest.(check bool) "read lengths identical" true (p = s);
+      Alcotest.(check int) "total bytes" 200_000 (List.fold_left ( + ) 0 p);
+      Alcotest.(check bool) "short reads actually occurred" true
+        (List.length p > 1)
+  | _ -> Alcotest.fail "apps did not finish"
+
+let test_fs_survives_failover () =
+  (* The primary dies mid-logging; the secondary's replica file system
+     carries the prefix and the app finishes the log after going live. *)
+  let eng = Engine.create () in
+  let secondary_done = ref false in
+  let app (api : Api.t) =
+    let fd = api.Api.fs_open ~path:"/journal" ~create:true in
+    for i = 1 to 400 do
+      api.Api.compute (Time.us 500);
+      api.Api.fs_append fd (Payload.of_string (Printf.sprintf "%04d\n" i))
+    done;
+    api.Api.fs_close fd;
+    if Kernel.name api.Api.kernel = "secondary" then secondary_done := true
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Cluster.fail_primary cluster ~at:(Time.ms 50);
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check bool) "secondary finished the journal" true !secondary_done;
+  let vs = Namespace.vfs_of (Cluster.secondary_namespace cluster) in
+  Alcotest.(check (option int)) "complete journal, no gaps or dups"
+    (Some (400 * 5))
+    (Vfs.size vs ~path:"/journal")
+
+(* {1 Replicated poll (epoll interposition)} *)
+
+(* A single-threaded poll-based echo server: one thread multiplexes all
+   connections with net_poll — the paper's epoll interposition path. *)
+let poll_echo_app (api : Api.t) =
+  let l = api.Api.net_listen ~port:80 in
+  let socks = ref [] in
+  (* Accept two connections up front, then serve both from one thread. *)
+  for _ = 1 to 2 do
+    socks := api.Api.net_accept l :: !socks
+  done;
+  let socks = List.rev !socks in
+  let open_count = ref (List.length socks) in
+  while !open_count > 0 do
+    let ready = api.Api.net_poll socks ~timeout:(Time.sec 10) in
+    List.iter
+      (fun s ->
+        match api.Api.net_recv s ~max:4096 with
+        | [] ->
+            api.Api.net_close s;
+            decr open_count
+        | cs -> List.iter (api.Api.net_send s) cs)
+      ready
+  done
+
+let test_replicated_poll_server () =
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let cluster =
+    Cluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+      ~app:poll_echo_app ()
+  in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let results = [| None; None |] in
+  List.iteri
+    (fun i msgs ->
+      ignore
+        (Host.spawn client (Printf.sprintf "client-%d" i) (fun () ->
+             Engine.sleep (Time.ms (1 + i));
+             let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:80 in
+             let out = Buffer.create 32 in
+             List.iter
+               (fun m ->
+                 Tcp.send c (Payload.of_string m);
+                 let want = String.length m in
+                 let got = ref 0 in
+                 while !got < want do
+                   match Tcp.recv c ~max:4096 with
+                   | [] -> failwith "eof"
+                   | cs ->
+                       got := !got + Payload.total_len cs;
+                       Buffer.add_string out (Payload.concat_to_string cs)
+                 done)
+               msgs;
+             Tcp.close c;
+             results.(i) <- Some (Buffer.contents out))))
+    [ [ "a1 "; "a2 "; "a3" ]; [ "b1 "; "b2" ] ];
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check (option string)) "client 0 echoed" (Some "a1 a2 a3") results.(0);
+  Alcotest.(check (option string)) "client 1 echoed" (Some "b1 b2") results.(1)
+
+(* {1 Voter (3-replica extension, paper 6)} *)
+
+let test_voter_majority () =
+  let v = Voter.create ~replicas:3 in
+  Voter.submit v ~replica:0 ~seq:0 42;
+  Alcotest.(check bool) "pending with one vote" true (Voter.verdict v ~seq:0 = Voter.Pending);
+  Voter.submit v ~replica:1 ~seq:0 42;
+  Alcotest.(check bool) "agreed at majority" true
+    (Voter.verdict v ~seq:0 = Voter.Agreed 42);
+  (* The laggard disagrees: flagged, decision unchanged. *)
+  Voter.submit v ~replica:2 ~seq:0 99;
+  Alcotest.(check bool) "decision stable" true (Voter.verdict v ~seq:0 = Voter.Agreed 42);
+  Alcotest.(check (list int)) "divergent replica flagged" [ 2 ] (Voter.divergent v)
+
+let test_voter_detects_corruption_mid_stream () =
+  let v = Voter.create ~replicas:3 in
+  (* Replica 1 silently corrupts from seq 5 on. *)
+  for seq = 0 to 9 do
+    for r = 0 to 2 do
+      let d = if r = 1 && seq >= 5 then 1000 + seq else 7 * seq in
+      Voter.submit v ~replica:r ~seq d
+    done
+  done;
+  Alcotest.(check int) "all outputs decided" 10 (Voter.decided_prefix v);
+  Alcotest.(check bool) "corrupt replica flagged" true (Voter.is_faulty v ~replica:1);
+  Alcotest.(check bool) "healthy replicas clean" true
+    ((not (Voter.is_faulty v ~replica:0)) && not (Voter.is_faulty v ~replica:2))
+
+let test_voter_inconsistent () =
+  let v = Voter.create ~replicas:3 in
+  Voter.submit v ~replica:0 ~seq:0 1;
+  Voter.submit v ~replica:1 ~seq:0 2;
+  Voter.submit v ~replica:2 ~seq:0 3;
+  Alcotest.(check bool) "three-way split has no majority" true
+    (Voter.verdict v ~seq:0 = Voter.Inconsistent)
+
+let test_voter_on_three_replica_outputs () =
+  (* Three standalone replicas of the same deterministic app; one gets a
+     bit flipped in its output stream.  The voter pins it. *)
+  let run_replica corrupt =
+    let eng = Engine.create ~seed:5 () in
+    let outputs = ref [] in
+    let app api =
+      let pt = api.Api.pt in
+      let m = Ftsim_kernel.Pthread.mutex_create pt in
+      let acc = ref 0 in
+      let ths =
+        List.init 3 (fun w ->
+            api.Api.spawn (Printf.sprintf "w%d" w) (fun () ->
+                for i = 1 to 20 do
+                  api.Api.compute (Time.us ((w * 13) + i));
+                  Ftsim_kernel.Pthread.mutex_lock pt m;
+                  acc := !acc + (w + 1);
+                  outputs := !acc :: !outputs;
+                  Ftsim_kernel.Pthread.mutex_unlock pt m
+                done))
+      in
+      List.iter api.Api.join ths
+    in
+    let _sa =
+      Cluster.create_standalone eng ~topology:Topology.small ~app ()
+    in
+    Engine.run eng;
+    let outs = List.rev !outputs in
+    if corrupt then List.mapi (fun i x -> if i = 30 then x + 1 else x) outs
+    else outs
+  in
+  let streams = [ run_replica false; run_replica true; run_replica false ] in
+  let v = Voter.create ~replicas:3 in
+  List.iteri
+    (fun r stream -> List.iteri (fun seq d -> Voter.submit v ~replica:r ~seq d) stream)
+    streams;
+  Alcotest.(check int) "all 60 outputs decided" 60 (Voter.decided_prefix v);
+  Alcotest.(check (list int)) "corrupted replica excluded" [ 1 ] (Voter.divergent v)
+
+(* {1 Property: failover at an arbitrary moment is transparent} *)
+
+let prop_failover_any_time_exactly_once =
+  QCheck.Test.make ~name:"failover at any instant preserves exactly-once" ~count:10
+    QCheck.(int_range 10 400)
+    (fun fail_ms ->
+      let eng = Engine.create ~seed:fail_ms () in
+      let messages = List.init 20 (fun i -> Printf.sprintf "p%02d|" i) in
+      let cluster, result =
+        run_echo_scenario ~fail_primary_at:(Some (Time.ms fail_ms)) ~messages eng
+      in
+      Engine.run ~until:(Time.sec 30) eng;
+      Cluster.shutdown cluster;
+      Ivar.peek result = Some (String.concat "" messages))
+
+let prop_fs_random_programs_converge =
+  QCheck.Test.make ~name:"replica file systems converge on random programs"
+    ~count:10
+    QCheck.(list_of_size (Gen.int_range 5 30) (pair (int_range 0 2) (int_range 1 2000)))
+    (fun ops ->
+      QCheck.assume (ops <> []);
+      let eng = Engine.create ~seed:(Hashtbl.hash ops) () in
+      let app (api : Api.t) =
+        let pt = api.Api.pt in
+        let m = Pthread.mutex_create pt in
+        let fd = api.Api.fs_open ~path:"/r" ~create:true in
+        let ths =
+          List.init 2 (fun w ->
+              api.Api.spawn (Printf.sprintf "fsw-%d" w) (fun () ->
+                  List.iteri
+                    (fun i (kind, n) ->
+                      api.Api.compute (Time.us (((w * 53) + (i * 7) + n) mod 900));
+                      Pthread.mutex_lock pt m;
+                      (match kind with
+                      | 0 -> api.Api.fs_append fd (Payload.zeroes (n mod 500))
+                      | 1 ->
+                          api.Api.fs_append fd
+                            (Payload.of_string (Printf.sprintf "<%d:%d>" w i))
+                      | _ -> ignore (api.Api.fs_read fd ~max:(1 + (n mod 300))));
+                      Pthread.mutex_unlock pt m)
+                    ops))
+        in
+        List.iter api.Api.join ths
+      in
+      let cluster = Cluster.create eng ~config:test_config ~app () in
+      Engine.run ~until:(Time.sec 30) eng;
+      Cluster.shutdown cluster;
+      let vp = Namespace.vfs_of (Cluster.primary_namespace cluster) in
+      let vs = Namespace.vfs_of (Cluster.secondary_namespace cluster) in
+      Vfs.checksum vp ~path:"/r" <> None
+      && Vfs.checksum vp ~path:"/r" = Vfs.checksum vs ~path:"/r")
+
+(* {1 Msglayer unit tests} *)
+
+let two_parts eng =
+  let m = Machine.create eng Topology.small in
+  Machine.split_symmetric m
+
+let test_msglayer_stability () =
+  let eng = Engine.create () in
+  let done_ = ref false in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let a, b = two_parts eng in
+         let duplex = Mailbox.duplex eng ~a ~b () in
+         let ml_p =
+           Msglayer.create_primary eng ~out:duplex.Mailbox.a_to_b
+             ~inb:duplex.Mailbox.b_to_a
+         in
+         let ml_s =
+           Msglayer.create_secondary eng ~inb:duplex.Mailbox.a_to_b
+             ~out:duplex.Mailbox.b_to_a ~replay_cost:(Time.us 10)
+             ~delta_cost:(Time.us 2)
+             ~handler:(fun _ -> ())
+         in
+         Msglayer.spawn_primary_rx ml_p (fun n f -> Engine.spawn eng ~name:n f);
+         Msglayer.spawn_secondary_rx ml_s (fun n f -> Engine.spawn eng ~name:n f);
+         let lsn = ref 0 in
+         for _ = 1 to 100 do
+           lsn :=
+             Msglayer.append ml_p
+               (Wire.Syscall_result
+                  { ft_pid = 0; sseq = 0; result = Wire.R_accept 0 })
+         done;
+         Msglayer.wait_stable ml_p ~lsn:!lsn;
+         Alcotest.(check bool) "acked reached lsn" true (Msglayer.acked ml_p >= !lsn);
+         done_ := true));
+  Engine.run ~until:(Time.sec 1) eng;
+  Alcotest.(check bool) "completed" true !done_
+
+let test_msglayer_disable_releases_waiters () =
+  let eng = Engine.create () in
+  let released = ref false in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let a, b = two_parts eng in
+         let duplex = Mailbox.duplex eng ~a ~b () in
+         let ml_p =
+           Msglayer.create_primary eng ~out:duplex.Mailbox.a_to_b
+             ~inb:duplex.Mailbox.b_to_a
+         in
+         (* No secondary: the wait can only be released by [disable]. *)
+         let lsn =
+           Msglayer.append ml_p
+             (Wire.Syscall_result { ft_pid = 0; sseq = 0; result = Wire.R_accept 0 })
+         in
+         ignore
+           (Engine.spawn eng (fun () ->
+                Engine.sleep (Time.ms 5);
+                Msglayer.disable ml_p));
+         Msglayer.wait_stable ml_p ~lsn;
+         released := true));
+  Engine.run ~until:(Time.sec 1) eng;
+  Alcotest.(check bool) "waiter released on disable" true !released
+
+let test_msglayer_backpressure () =
+  let eng = Engine.create () in
+  let appended = ref 0 in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let a, b = two_parts eng in
+         let cfg = { Mailbox.propagation_delay = Time.ns 550; capacity = 8 } in
+         let duplex = Mailbox.duplex eng ~config:cfg ~a ~b () in
+         let ml_p =
+           Msglayer.create_primary eng ~out:duplex.Mailbox.a_to_b
+             ~inb:duplex.Mailbox.b_to_a
+         in
+         (* No consumer: appends beyond the ring must block. *)
+         for i = 1 to 20 do
+           ignore
+             (Msglayer.append ml_p
+                (Wire.Syscall_result
+                   { ft_pid = 0; sseq = i; result = Wire.R_accept 0 }));
+           appended := i
+         done));
+  Engine.run ~until:(Time.ms 100) eng;
+  Alcotest.(check int) "producer stalled at ring size" 8 !appended
+
+let () =
+  Alcotest.run "ftlinux"
+    [
+      ( "det-replay",
+        [
+          Alcotest.test_case "replay matches primary" `Quick
+            test_replay_matches_primary;
+          Alcotest.test_case "non-trivial interleaving" `Quick
+            test_nontrivial_interleaving_replayed;
+          Alcotest.test_case "gettimeofday synchronized" `Quick
+            test_gettimeofday_synchronized;
+          Alcotest.test_case "timedwait outcome replicated" `Quick
+            test_cond_timedwait_outcome_replicated;
+        ] );
+      ( "tcp-replication",
+        [
+          Alcotest.test_case "replicated echo" `Quick test_replicated_echo;
+          Alcotest.test_case "replication traffic flows" `Quick
+            test_replication_traffic_flows;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "echo continues across failover" `Quick
+            test_failover_echo_continues;
+          Alcotest.test_case "duration dominated by driver" `Quick
+            test_failover_duration_dominated_by_driver;
+          Alcotest.test_case "secondary failure: solo" `Quick
+            test_secondary_failure_primary_solo;
+          Alcotest.test_case "compute-only failover" `Quick
+            test_compute_only_failover;
+          Alcotest.test_case "failover with coherency loss" `Quick
+            test_failover_with_coherency_loss;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "whole sim deterministic" `Quick
+            test_whole_sim_deterministic;
+          QCheck_alcotest.to_alcotest prop_random_program_replays;
+          QCheck_alcotest.to_alcotest prop_failover_any_time_exactly_once;
+          QCheck_alcotest.to_alcotest prop_fs_random_programs_converge;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "environment replicated" `Quick
+            test_env_replicated_to_namespace;
+        ] );
+      ( "barrier-sem",
+        [
+          Alcotest.test_case "BSP app replays" `Quick test_barrier_sem_app_replays;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "replicas converge" `Quick test_fs_replicas_converge;
+          Alcotest.test_case "read lengths replicated" `Quick
+            test_fs_read_lengths_replicated;
+          Alcotest.test_case "survives failover" `Quick test_fs_survives_failover;
+        ] );
+      ( "poll",
+        [
+          Alcotest.test_case "replicated poll server" `Quick
+            test_replicated_poll_server;
+        ] );
+      ( "voter",
+        [
+          Alcotest.test_case "majority" `Quick test_voter_majority;
+          Alcotest.test_case "corruption mid-stream" `Quick
+            test_voter_detects_corruption_mid_stream;
+          Alcotest.test_case "inconsistent" `Quick test_voter_inconsistent;
+          Alcotest.test_case "three replica outputs" `Quick
+            test_voter_on_three_replica_outputs;
+        ] );
+      ( "msglayer",
+        [
+          Alcotest.test_case "stability" `Quick test_msglayer_stability;
+          Alcotest.test_case "disable releases waiters" `Quick
+            test_msglayer_disable_releases_waiters;
+          Alcotest.test_case "backpressure" `Quick test_msglayer_backpressure;
+        ] );
+    ]

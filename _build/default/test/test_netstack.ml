@@ -1,0 +1,655 @@
+(* Tests for the network stack: payload buffers, link, NIC, TCP, HTTP. *)
+
+open Ftsim_sim
+open Ftsim_netstack
+
+let run_sim ?(seed = 42) f =
+  let eng = Engine.create ~seed () in
+  let result = ref None in
+  ignore (Engine.spawn eng ~name:"test-main" (fun () -> result := Some (f eng)));
+  Engine.run eng;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test process did not complete"
+
+(* {1 Payload} *)
+
+let test_payload_split () =
+  let c = Payload.of_string "hello world" in
+  let a, b = Payload.split_chunk c 5 in
+  Alcotest.(check string) "head" "hello" (Payload.chunk_to_string a);
+  Alcotest.(check string) "tail" " world" (Payload.chunk_to_string b);
+  let z = Payload.zeroes 10 in
+  let za, zb = Payload.split_chunk z 3 in
+  Alcotest.(check (pair int int)) "zero split lengths" (3, 7)
+    (Payload.chunk_len za, Payload.chunk_len zb)
+
+let test_payload_buf_take () =
+  let b = Payload.Buf.create () in
+  Payload.Buf.append b (Payload.of_string "abc");
+  Payload.Buf.append b (Payload.of_string "defgh");
+  let got = Payload.Buf.take b 4 in
+  Alcotest.(check string) "first 4" "abcd" (Payload.concat_to_string got);
+  Alcotest.(check int) "base advanced" 4 (Payload.Buf.base b);
+  Alcotest.(check string) "rest" "efgh" (Payload.Buf.to_string b)
+
+let test_payload_buf_peek_range () =
+  let b = Payload.Buf.create ~base:100 () in
+  Payload.Buf.append b (Payload.of_string "0123456789");
+  let got = Payload.Buf.peek_range b ~off:103 ~len:4 in
+  Alcotest.(check string) "mid-range" "3456" (Payload.concat_to_string got);
+  (* Peek does not consume. *)
+  Alcotest.(check int) "length intact" 10 (Payload.Buf.length b);
+  (* Clamped at both ends. *)
+  let clamped = Payload.Buf.peek_range b ~off:95 ~len:7 in
+  Alcotest.(check string) "clamped to base" "01" (Payload.concat_to_string clamped)
+
+let test_payload_buf_drop_to () =
+  let b = Payload.Buf.create () in
+  Payload.Buf.append b (Payload.zeroes 1000);
+  Payload.Buf.drop_to b 400;
+  Alcotest.(check (pair int int)) "base/len after ack-trim" (400, 600)
+    (Payload.Buf.base b, Payload.Buf.length b);
+  Payload.Buf.drop_to b 300 (* below base: no-op *);
+  Alcotest.(check int) "no rewind" 400 (Payload.Buf.base b)
+
+let prop_payload_buf_append_take =
+  QCheck.Test.make ~name:"Buf.take returns appended bytes in order" ~count:100
+    QCheck.(list (string_of_size (Gen.int_range 1 20)))
+    (fun strings ->
+      QCheck.assume (strings <> []);
+      let b = Payload.Buf.create () in
+      List.iter (fun s -> Payload.Buf.append b (Payload.of_string s)) strings;
+      let all = String.concat "" strings in
+      let out = Buffer.create 64 in
+      let rec drain () =
+        match Payload.Buf.take b 3 with
+        | [] -> ()
+        | cs ->
+            Buffer.add_string out (Payload.concat_to_string cs);
+            drain ()
+      in
+      drain ();
+      Buffer.contents out = all)
+
+(* {1 Link} *)
+
+let test_link_latency_and_serialization () =
+  let v =
+    run_sim (fun eng ->
+        let link =
+          Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100) ()
+        in
+        let a = Link.endpoint_a link and b = Link.endpoint_b link in
+        let arrivals = ref [] in
+        Link.set_receiver b (Some (fun pkt ->
+            arrivals := (Engine.now eng, Packet.payload_len pkt) :: !arrivals));
+        let addr h = { Packet.host = h; port = 1 } in
+        let mk n =
+          {
+            Packet.src = addr "a";
+            dst = addr "b";
+            seq = 0;
+            ack_seq = 0;
+            window = 0;
+            flags = Packet.data_flags;
+            payload = [ Payload.zeroes n ];
+          }
+        in
+        (* 1434+66 = 1500 bytes = 12 us at 1 Gb/s *)
+        Link.transmit a (mk 1434);
+        Link.transmit a (mk 1434);
+        Engine.sleep (Time.ms 1);
+        List.rev !arrivals)
+  in
+  match v with
+  | [ (t1, _); (t2, _) ] ->
+      Alcotest.(check int) "first: 12us ser + 100us prop" (Time.us 112) t1;
+      Alcotest.(check int) "second serialized behind first" (Time.us 124) t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_link_drops_without_receiver () =
+  let v =
+    run_sim (fun eng ->
+        let link = Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 1) () in
+        let a = Link.endpoint_a link and b = Link.endpoint_b link in
+        let addr h = { Packet.host = h; port = 1 } in
+        Link.transmit a
+          {
+            Packet.src = addr "a";
+            dst = addr "b";
+            seq = 0;
+            ack_seq = 0;
+            window = 0;
+            flags = Packet.data_flags;
+            payload = [];
+          };
+        Engine.sleep (Time.ms 1);
+        Link.dropped b)
+  in
+  Alcotest.(check int) "dropped at receiverless endpoint" 1 v
+
+(* {1 TCP setup helpers} *)
+
+let make_pair ?server_config ?client_config eng =
+  let link = Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100) () in
+  let server_env = Netenv.plain eng in
+  let server = Tcp.create server_env ?config:server_config ~ip:"10.0.0.1" () in
+  let snic = Nic.create eng ~driver_load_time:0 (Link.endpoint_a link) in
+  Tcp.attach_nic server snic;
+  let client_host =
+    Host.create eng ~ip:"10.0.0.2" ?tcp_config:client_config (Link.endpoint_b link)
+  in
+  (server, Host.stack client_host, link, snic)
+
+let test_tcp_connect_accept () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let got = ref None in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               got := Some (Tcp.remote_addr c)));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Engine.sleep (Time.ms 1);
+        (Tcp.is_established c, !got))
+  in
+  match v with
+  | true, Some addr ->
+      Alcotest.(check string) "server sees client ip" "10.0.0.2" addr.Packet.host
+  | _ -> Alcotest.fail "handshake failed"
+
+let test_tcp_echo () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let rec echo () =
+                 match Tcp.recv c ~max:4096 with
+                 | [] -> Tcp.close c
+                 | cs ->
+                     List.iter (Tcp.send c) cs;
+                     echo ()
+               in
+               echo ()));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Tcp.send c (Payload.of_string "ping-1 ");
+        Tcp.send c (Payload.of_string "ping-2");
+        let out = Buffer.create 16 in
+        while Buffer.length out < 13 do
+          let cs = Tcp.recv c ~max:64 in
+          Buffer.add_string out (Payload.concat_to_string cs)
+        done;
+        Buffer.contents out)
+  in
+  Alcotest.(check string) "echoed" "ping-1 ping-2" v
+
+let test_tcp_bulk_transfer_integrity () =
+  (* 1 MB with byte-accurate segmentation across many MSS boundaries. *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let total = 1_000_000 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let sent = ref 0 in
+               while !sent < total do
+                 let n = min 37_000 (total - !sent) in
+                 Tcp.send c (Payload.zeroes n);
+                 sent := !sent + n
+               done;
+               Tcp.close c));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let received = ref 0 in
+        let eof = ref false in
+        while not !eof do
+          match Tcp.recv c ~max:65536 with
+          | [] -> eof := true
+          | cs -> received := !received + Payload.total_len cs
+        done;
+        !received)
+  in
+  Alcotest.(check int) "all bytes delivered exactly once" 1_000_000 v
+
+let test_tcp_throughput_near_line_rate () =
+  (* 10 MB over 1 Gb/s should take ~85-90 ms (wire overhead included). *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let total = 10_000_000 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let sent = ref 0 in
+               while !sent < total do
+                 let n = min 65_536 (total - !sent) in
+                 Tcp.send c (Payload.zeroes n);
+                 sent := !sent + n
+               done;
+               Tcp.close c));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let t0 = Engine.now eng in
+        let eof = ref false in
+        let received = ref 0 in
+        while not !eof do
+          match Tcp.recv c ~max:65536 with
+          | [] -> eof := true
+          | cs -> received := !received + Payload.total_len cs
+        done;
+        let dt = Time.to_sec_f (Engine.now eng - t0) in
+        (!received, float_of_int !received /. dt /. 1e6))
+  in
+  let received, mbps = v in
+  Alcotest.(check int) "complete" 10_000_000 received;
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.1f MB/s in [90, 125]" mbps)
+    true
+    (mbps > 90.0 && mbps <= 125.5)
+
+let test_tcp_window_limits_inflight () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let reader_started = ref false in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               (* Do not read: the sender must stall at rwnd. *)
+               Engine.sleep (Time.sec 1);
+               reader_started := true;
+               let rec drain () =
+                 match Tcp.recv c ~max:65536 with [] -> () | _ -> drain ()
+               in
+               drain ()));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Tcp.send c (Payload.zeroes 1_000_000);
+        Engine.sleep (Time.ms 500);
+        (* snd_nxt cannot run past rwnd while the receiver sleeps. *)
+        let inflight = Tcp.snd_nxt c - Tcp.snd_una c in
+        Tcp.close c;
+        inflight)
+  in
+  Alcotest.(check bool) "in-flight bounded by 64K window" true (v <= 64 * 1024)
+
+let test_tcp_fin_both_ways () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let server_saw_eof = ref false in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let rec drain () =
+                 match Tcp.recv c ~max:4096 with
+                 | [] -> server_saw_eof := true
+                 | _ -> drain ()
+               in
+               drain ();
+               Tcp.send c (Payload.of_string "bye");
+               Tcp.close c));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Tcp.send c (Payload.of_string "hello");
+        Tcp.close c;
+        let out = Buffer.create 8 in
+        let eof = ref false in
+        while not !eof do
+          match Tcp.recv c ~max:64 with
+          | [] -> eof := true
+          | cs -> Buffer.add_string out (Payload.concat_to_string cs)
+        done;
+        Engine.sleep (Time.sec 1);
+        (!server_saw_eof, Buffer.contents out))
+  in
+  Alcotest.(check (pair bool string)) "clean bidirectional close" (true, "bye") v
+
+let test_tcp_send_after_close_raises () =
+  run_sim (fun eng ->
+      let server, client, _, _ = make_pair eng in
+      let _l = Tcp.listen server ~port:80 in
+      let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+      Tcp.close c;
+      match Tcp.send c (Payload.of_string "x") with
+      | exception Tcp.Connection_closed -> ()
+      | () -> Alcotest.fail "expected Connection_closed")
+
+let test_tcp_retransmit_through_nic_outage () =
+  (* Kill the server NIC for a while mid-transfer; the client's RTO should
+     recover everything once it is re-attached — the foundation of the
+     failover experiment. *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _link, snic = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let got = Buffer.create 64 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let rec drain () =
+                 match Tcp.recv c ~max:4096 with
+                 | [] -> ()
+                 | cs ->
+                     Buffer.add_string got (Payload.concat_to_string cs);
+                     drain ()
+               in
+               drain ()));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Tcp.send c (Payload.of_string "before|");
+        Engine.sleep (Time.ms 10);
+        (* Outage: server NIC loses its driver. *)
+        Nic.detach snic;
+        Tcp.send c (Payload.of_string "during|");
+        Engine.sleep (Time.ms 500);
+        Nic.attach snic ~rx:(Tcp.rx_callback server) ();
+        Tcp.send c (Payload.of_string "after");
+        Engine.sleep (Time.sec 2);
+        Buffer.contents got)
+  in
+  Alcotest.(check string) "no loss, no duplication" "before|during|after" v
+
+let test_tcp_rto_survives_outage_without_new_sends () =
+  (* Regression: a write stalled by a NIC outage must eventually be
+     retransmitted by the RTO watchdog alone — with no later application
+     send to re-arm it.  (The watchdog once parked permanently when its
+     outstanding-data check raced the sender.) *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _link, snic = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let got = Buffer.create 16 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let rec drain () =
+                 match Tcp.recv c ~max:4096 with
+                 | [] -> ()
+                 | cs ->
+                     Buffer.add_string got (Payload.concat_to_string cs);
+                     drain ()
+               in
+               drain ()));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Nic.detach snic;
+        (* The only send, straight into the outage. *)
+        Tcp.send c (Payload.of_string "lonely-message");
+        Engine.sleep (Time.ms 700);
+        Nic.attach snic ~rx:(Tcp.rx_callback server) ();
+        Engine.sleep (Time.sec 2);
+        Buffer.contents got)
+  in
+  Alcotest.(check string) "RTO alone recovered the data" "lonely-message" v
+
+let test_tcp_integrity_under_packet_loss () =
+  (* 2% i.i.d. loss on the wire: go-back-N plus cumulative ACKs must still
+     deliver the stream exactly once. *)
+  let v =
+    run_sim (fun eng ->
+        let link =
+          Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
+            ~loss:0.02 ()
+        in
+        let env = Netenv.plain eng in
+        let server = Tcp.create env ~ip:"10.0.0.1" () in
+        let snic = Nic.create eng ~driver_load_time:0 (Link.endpoint_a link) in
+        Tcp.attach_nic server snic;
+        let ch = Host.create eng ~ip:"10.0.0.2" (Link.endpoint_b link) in
+        let client = Host.stack ch in
+        let l = Tcp.listen server ~port:80 in
+        let total = 3_000_000 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let sent = ref 0 in
+               while !sent < total do
+                 let n = min 48_000 (total - !sent) in
+                 Tcp.send c (Payload.zeroes n);
+                 sent := !sent + n
+               done;
+               Tcp.close c));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let received = ref 0 in
+        let eof = ref false in
+        while not !eof do
+          match Tcp.recv c ~max:65536 with
+          | [] -> eof := true
+          | cs -> received := !received + Payload.total_len cs
+        done;
+        (!received, Link.lost (Link.endpoint_b link) + Link.lost (Link.endpoint_a link)))
+  in
+  let received, lost = v in
+  Alcotest.(check int) "exactly once despite loss" 3_000_000 received;
+  Alcotest.(check bool) (Printf.sprintf "loss actually occurred (%d)" lost) true
+    (lost > 10)
+
+let test_tcp_restore_resumes_transfer () =
+  (* Simulate the failover hand-off: a second server stack takes over the
+     connection from logical state and finishes the stream. *)
+  let v =
+    run_sim (fun eng ->
+        let link = Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100) () in
+        let env = Netenv.plain eng in
+        let server1 = Tcp.create env ~ip:"10.0.0.1" () in
+        let snic = Nic.create eng ~driver_load_time:0 (Link.endpoint_a link) in
+        Tcp.attach_nic server1 snic;
+        let client_host = Host.create eng ~ip:"10.0.0.2" (Link.endpoint_b link) in
+        let client = Host.stack client_host in
+        let l = Tcp.listen server1 ~port:80 in
+        let sconn = ref None in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               sconn := Some c;
+               (* Send 200 KB, then the "primary" will die. *)
+               Tcp.send c (Payload.zeroes 200_000)));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let received = ref 0 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let eof = ref false in
+               while not !eof do
+                 match Tcp.recv c ~max:65536 with
+                 | [] -> eof := true
+                 | cs -> received := !received + Payload.total_len cs
+               done));
+        Engine.sleep (Time.ms 1);
+        (* "Crash": freeze server1 by detaching the NIC and aborting. *)
+        let old = Option.get !sconn in
+        Nic.detach snic;
+        Tcp.abort old;
+        let acked = Tcp.snd_una old in
+        (* New stack takes over with the unacked suffix of the stream.  The
+           full stream is 200 KB of zeroes; the replica regenerates it. *)
+        let server2 = Tcp.create env ~ip:"10.0.0.1" () in
+        Engine.sleep (Time.ms 300);
+        let nic2 = Nic.create eng ~driver_load_time:0 (Link.endpoint_a link) in
+        Tcp.attach_nic server2 nic2;
+        let restored =
+          Tcp.restore server2
+            {
+              Tcp.l_local = Tcp.local_addr old;
+              l_remote = Tcp.remote_addr old;
+              l_snd_una = acked;
+              l_rcv_nxt = Tcp.rcv_nxt old;
+              l_unacked = [ Payload.zeroes (200_000 - acked) ];
+              l_unread = [];
+              l_peer_fin = false;
+            }
+        in
+        Tcp.close restored;
+        Engine.sleep (Time.sec 3);
+        (acked, !received))
+  in
+  let acked, received = v in
+  Alcotest.(check bool) "crash happened mid-stream" true (acked < 200_000);
+  Alcotest.(check int) "client got exactly the full stream" 200_000 received
+
+let test_tcp_poll_readiness () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let sconns = ref [] in
+        ignore
+          (Engine.spawn eng (fun () ->
+               for _ = 1 to 2 do
+                 sconns := Tcp.accept l :: !sconns
+               done));
+        let c1 = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let c2 = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Engine.sleep (Time.ms 1);
+        (* Nothing readable yet: poll should time out. *)
+        let empty = Tcp.poll ~deadline:(Engine.now eng + Time.ms 2) [ c1; c2 ] in
+        (* Make exactly c2 readable via the server echoing on its side. *)
+        (match !sconns with
+        | [ s2'; _s1' ] -> ignore s2'
+        | _ -> ());
+        ignore
+          (Engine.spawn eng (fun () ->
+               (* server writes to the second accepted conn = c2 *)
+               match !sconns with
+               | [ s2'; _ ] -> Tcp.send s2' (Payload.of_string "hi")
+               | _ -> ()));
+        let ready = Tcp.poll ~deadline:(Engine.now eng + Time.sec 1) [ c1; c2 ] in
+        (List.length empty, List.map (fun c -> Tcp.conn_id c = Tcp.conn_id c2) ready))
+  in
+  let empty, ready = v in
+  Alcotest.(check int) "timeout with nothing ready" 0 empty;
+  Alcotest.(check (list bool)) "exactly c2 ready" [ true ] ready
+
+let test_tcp_poll_eof_is_ready () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               Tcp.close c));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let ready = Tcp.poll ~deadline:(Engine.now eng + Time.sec 5) [ c ] in
+        (List.length ready, Tcp.recv c ~max:10))
+  in
+  Alcotest.(check bool) "EOF polls ready and reads as EOF" true (v = (1, []))
+
+(* {1 HTTP} *)
+
+let test_http_request_response () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let r = Http.reader c in
+               match Http.read_headers r with
+               | None -> ()
+               | Some hdr ->
+                   let target = Option.value ~default:"?" (Http.request_target hdr) in
+                   let body = Printf.sprintf "you asked for %s" target in
+                   Tcp.send c
+                     (Payload.of_string
+                        (Http.response_header ~content_length:(String.length body) ()));
+                   Tcp.send c (Payload.of_string body);
+                   Tcp.close c));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Tcp.send c (Payload.of_string (Http.request ~meth:"GET" ~target:"/index.html" ()));
+        let r = Http.reader c in
+        match Http.read_headers r with
+        | None -> Alcotest.fail "no response"
+        | Some hdr ->
+            let len = Option.value ~default:0 (Http.content_length hdr) in
+            let body = Payload.concat_to_string (Http.read_body r len) in
+            (Option.value ~default:0 (Http.status_code hdr), body))
+  in
+  Alcotest.(check (pair int string))
+    "request served" (200, "you asked for /index.html") v
+
+let test_http_large_body_zero_copy () =
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let size = 5_000_000 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let c = Tcp.accept l in
+               let r = Http.reader c in
+               match Http.read_headers r with
+               | None -> ()
+               | Some _ ->
+                   Tcp.send c
+                     (Payload.of_string (Http.response_header ~content_length:size ()));
+                   let sent = ref 0 in
+                   while !sent < size do
+                     let n = min 65536 (size - !sent) in
+                     Tcp.send c (Payload.zeroes n);
+                     sent := !sent + n
+                   done;
+                   Tcp.close c));
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Tcp.send c (Payload.of_string (Http.request ~meth:"GET" ~target:"/big" ()));
+        let r = Http.reader c in
+        match Http.read_headers r with
+        | None -> Alcotest.fail "no response"
+        | Some hdr ->
+            let len = Option.value ~default:0 (Http.content_length hdr) in
+            Http.skip_body r len)
+  in
+  Alcotest.(check int) "full body streamed" 5_000_000 v
+
+let () =
+  Alcotest.run "netstack"
+    [
+      ( "payload",
+        [
+          Alcotest.test_case "split" `Quick test_payload_split;
+          Alcotest.test_case "buf take" `Quick test_payload_buf_take;
+          Alcotest.test_case "buf peek range" `Quick test_payload_buf_peek_range;
+          Alcotest.test_case "buf drop_to" `Quick test_payload_buf_drop_to;
+          QCheck_alcotest.to_alcotest prop_payload_buf_append_take;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "latency+serialization" `Quick
+            test_link_latency_and_serialization;
+          Alcotest.test_case "drops without receiver" `Quick
+            test_link_drops_without_receiver;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "connect/accept" `Quick test_tcp_connect_accept;
+          Alcotest.test_case "echo" `Quick test_tcp_echo;
+          Alcotest.test_case "bulk integrity" `Quick test_tcp_bulk_transfer_integrity;
+          Alcotest.test_case "near line rate" `Quick
+            test_tcp_throughput_near_line_rate;
+          Alcotest.test_case "window bounds in-flight" `Quick
+            test_tcp_window_limits_inflight;
+          Alcotest.test_case "FIN both ways" `Quick test_tcp_fin_both_ways;
+          Alcotest.test_case "send after close" `Quick test_tcp_send_after_close_raises;
+          Alcotest.test_case "retransmit through NIC outage" `Quick
+            test_tcp_retransmit_through_nic_outage;
+          Alcotest.test_case "RTO alone recovers stalled write" `Quick
+            test_tcp_rto_survives_outage_without_new_sends;
+          Alcotest.test_case "integrity under packet loss" `Quick
+            test_tcp_integrity_under_packet_loss;
+          Alcotest.test_case "restore resumes transfer" `Quick
+            test_tcp_restore_resumes_transfer;
+          Alcotest.test_case "poll readiness" `Quick test_tcp_poll_readiness;
+          Alcotest.test_case "poll EOF" `Quick test_tcp_poll_eof_is_ready;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "request/response" `Quick test_http_request_response;
+          Alcotest.test_case "large body" `Quick test_http_large_body_zero_copy;
+        ] );
+    ]

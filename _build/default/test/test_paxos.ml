@@ -1,0 +1,141 @@
+(* Tests for the shared-memory Paxos overlay (paper §6 extension). *)
+
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_ftlinux
+
+(* An n-partition machine for consensus (one node per partition). *)
+let n_partitions eng n =
+  let spec =
+    { Topology.sockets = n; cores_per_socket = 2; numa_nodes = n;
+      ram_bytes = n * 1024 * 1024 * 1024 }
+  in
+  let m = Machine.create eng spec in
+  ( m,
+    List.init n (fun i ->
+        Machine.add_partition m ~name:(Printf.sprintf "node-%d" i) ~cores:2
+          ~ram_bytes:(1024 * 1024 * 1024) ~numa_nodes:[ i ]) )
+
+let agreement_on cluster ~nodes ~instance =
+  let vals =
+    List.init nodes (fun i -> Paxos.chosen cluster ~node:i ~instance)
+  in
+  let learned = List.filter_map Fun.id vals in
+  match learned with
+  | [] -> `Nothing
+  | v :: rest -> if List.for_all (( = ) v) rest then `Agreed (v, List.length learned) else `Split
+
+let test_single_proposer () =
+  let eng = Engine.create () in
+  let _m, parts = n_partitions eng 3 in
+  let cluster = Paxos.create eng ~partitions:parts () in
+  let got = ref None in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Paxos.propose cluster ~node:0 ~instance:0 "hello";
+         got := Some (Paxos.wait_chosen cluster ~node:2 ~instance:0)));
+  Engine.run ~until:(Time.sec 5) eng;
+  Alcotest.(check (option string)) "learner 2 got proposer 0's value"
+    (Some "hello") !got;
+  match agreement_on cluster ~nodes:3 ~instance:0 with
+  | `Agreed ("hello", 3) -> ()
+  | `Agreed (_, k) -> Alcotest.failf "only %d nodes learned" k
+  | _ -> Alcotest.fail "no agreement"
+
+let test_competing_proposers_agree () =
+  let eng = Engine.create ~seed:11 () in
+  let _m, parts = n_partitions eng 5 in
+  let cluster = Paxos.create eng ~partitions:parts () in
+  (* All five nodes propose their own value for the same instance. *)
+  for i = 0 to 4 do
+    Paxos.propose cluster ~node:i ~instance:0 (Printf.sprintf "v%d" i)
+  done;
+  Engine.run ~until:(Time.sec 10) eng;
+  match agreement_on cluster ~nodes:5 ~instance:0 with
+  | `Agreed (v, 5) ->
+      Alcotest.(check bool) "chosen value was proposed" true
+        (List.mem v [ "v0"; "v1"; "v2"; "v3"; "v4" ])
+  | `Agreed (_, k) -> Alcotest.failf "only %d of 5 learned" k
+  | `Split -> Alcotest.fail "SAFETY VIOLATION: nodes disagree"
+  | `Nothing -> Alcotest.fail "no progress"
+
+let test_proposer_crash_mid_round () =
+  (* Node 0 proposes, then its partition dies; node 1 proposes a different
+     value.  Some value must be chosen by the survivors, consistently. *)
+  let eng = Engine.create () in
+  let m, parts = n_partitions eng 3 in
+  let cluster = Paxos.create eng ~partitions:parts () in
+  Paxos.propose cluster ~node:0 ~instance:0 "from-0";
+  Machine.inject m
+    (Fault.at (Time.us 150) ~partition_id:(Partition.id (List.hd parts))
+       Fault.Core_failstop);
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep (Time.ms 5);
+         Paxos.propose cluster ~node:1 ~instance:0 "from-1"));
+  Engine.run ~until:(Time.sec 10) eng;
+  let v1 = Paxos.chosen cluster ~node:1 ~instance:0 in
+  let v2 = Paxos.chosen cluster ~node:2 ~instance:0 in
+  Alcotest.(check bool) "survivors learned" true (v1 <> None && v2 <> None);
+  Alcotest.(check bool) "survivors agree" true (v1 = v2);
+  (* Paxos safety: if node 0's value completed phase 2 at a majority before
+     the crash, "from-0" wins; either way both survivors hold the same. *)
+  Alcotest.(check bool) "value was proposed by someone" true
+    (v1 = Some "from-0" || v1 = Some "from-1")
+
+let test_multi_instance_log () =
+  let eng = Engine.create () in
+  let _m, parts = n_partitions eng 3 in
+  let cluster = Paxos.create eng ~partitions:parts () in
+  let done_ = ref false in
+  ignore
+    (Engine.spawn eng (fun () ->
+         for i = 0 to 9 do
+           (* Rotate proposers across the log. *)
+           Paxos.propose cluster ~node:(i mod 3) ~instance:i i;
+           ignore (Paxos.wait_chosen cluster ~node:0 ~instance:i)
+         done;
+         done_ := true));
+  Engine.run ~until:(Time.sec 20) eng;
+  Alcotest.(check bool) "log complete" true !done_;
+  List.iter
+    (fun node ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d's log prefix" node)
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        (Paxos.chosen_prefix cluster ~node))
+    [ 0; 1; 2 ]
+
+let prop_paxos_safety_under_contention =
+  QCheck.Test.make ~name:"Paxos agreement under random contention" ~count:25
+    QCheck.(pair (int_range 3 5) small_int)
+    (fun (n, seed) ->
+      let eng = Engine.create ~seed () in
+      let _m, parts = n_partitions eng n in
+      let cluster = Paxos.create eng ~partitions:parts () in
+      (* A random subset (at least one) proposes concurrently. *)
+      let g = Prng.create ~seed:(seed * 7 + 1) in
+      let proposers =
+        List.init n Fun.id |> List.filter (fun i -> i = 0 || Prng.bool g)
+      in
+      List.iter
+        (fun i -> Paxos.propose cluster ~node:i ~instance:0 (100 + i))
+        proposers;
+      Engine.run ~until:(Time.sec 10) eng;
+      match agreement_on cluster ~nodes:n ~instance:0 with
+      | `Agreed (v, k) -> k = n && List.mem (v - 100) proposers
+      | `Split | `Nothing -> false)
+
+let () =
+  Alcotest.run "paxos"
+    [
+      ( "paxos",
+        [
+          Alcotest.test_case "single proposer" `Quick test_single_proposer;
+          Alcotest.test_case "competing proposers" `Quick
+            test_competing_proposers_agree;
+          Alcotest.test_case "proposer crash" `Quick test_proposer_crash_mid_round;
+          Alcotest.test_case "multi-instance log" `Quick test_multi_instance_log;
+          QCheck_alcotest.to_alcotest prop_paxos_safety_under_contention;
+        ] );
+    ]

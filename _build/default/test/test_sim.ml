@@ -1,0 +1,576 @@
+(* Tests for the discrete-event engine and its blocking primitives. *)
+
+open Ftsim_sim
+
+let run_sim f =
+  let eng = Engine.create () in
+  let result = ref None in
+  let _p = Engine.spawn eng ~name:"test-main" (fun () -> result := Some (f eng)) in
+  Engine.run eng;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test process did not complete"
+
+(* {1 Engine basics} *)
+
+let test_clock_advances () =
+  let v =
+    run_sim (fun eng ->
+        let t0 = Engine.now eng in
+        Engine.sleep (Time.ms 5);
+        Engine.now eng - t0)
+  in
+  Alcotest.(check int) "5ms elapsed" (Time.ms 5) v
+
+let test_spawn_ordering () =
+  (* Processes scheduled at the same instant run in spawn order. *)
+  let log = ref [] in
+  let eng = Engine.create () in
+  for i = 1 to 5 do
+    ignore (Engine.spawn eng (fun () -> log := i :: !log))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "FIFO at same time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sleep_interleaving () =
+  let log = ref [] in
+  let eng = Engine.create () in
+  let note tag = log := tag :: !log in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep (Time.ms 2);
+         note "a2";
+         Engine.sleep (Time.ms 2);
+         note "a4"));
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep (Time.ms 1);
+         note "b1";
+         Engine.sleep (Time.ms 2);
+         note "b3"));
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "time-ordered interleaving"
+    [ "b1"; "a2"; "b3"; "a4" ]
+    (List.rev !log)
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.spawn eng (fun () ->
+         for _ = 1 to 10 do
+           Engine.sleep (Time.ms 10);
+           incr hits
+         done));
+  Engine.run ~until:(Time.ms 35) eng;
+  Alcotest.(check int) "three sleeps fit in 35ms" 3 !hits;
+  Alcotest.(check int) "clock parked at until" (Time.ms 35) (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "remaining sleeps run" 10 !hits
+
+let test_join () =
+  let v =
+    run_sim (fun eng ->
+        let p =
+          Engine.spawn eng ~name:"child" (fun () -> Engine.sleep (Time.ms 3))
+        in
+        let r = Engine.join p in
+        (r, Engine.now eng))
+  in
+  (match v with
+  | Engine.Normal, t -> Alcotest.(check int) "joined after child" (Time.ms 3) t
+  | _ -> Alcotest.fail "expected Normal exit")
+
+let test_join_exn () =
+  let r =
+    run_sim (fun eng ->
+        let p = Engine.spawn eng (fun () -> failwith "boom") in
+        Engine.join p)
+  in
+  match r with
+  | Engine.Exn (Failure m) -> Alcotest.(check string) "exn carried" "boom" m
+  | _ -> Alcotest.fail "expected Exn exit"
+
+let test_kill_blocked () =
+  let finalized = ref false in
+  let r =
+    run_sim (fun eng ->
+        let p =
+          Engine.spawn eng (fun () ->
+              Fun.protect
+                ~finally:(fun () -> finalized := true)
+                (fun () -> Engine.sleep (Time.sec 1000)))
+        in
+        Engine.sleep (Time.ms 1);
+        Engine.kill p;
+        Engine.join p)
+  in
+  Alcotest.(check bool) "finalizer ran" true !finalized;
+  match r with
+  | Engine.Killed -> ()
+  | _ -> Alcotest.fail "expected Killed exit"
+
+let test_kill_idempotent () =
+  run_sim (fun eng ->
+      let p = Engine.spawn eng (fun () -> Engine.sleep (Time.sec 10)) in
+      Engine.sleep (Time.ms 1);
+      Engine.kill p;
+      Engine.kill p;
+      match Engine.join p with
+      | Engine.Killed -> ()
+      | _ -> Alcotest.fail "expected Killed")
+
+let test_kill_before_start () =
+  let ran = ref false in
+  let eng = Engine.create () in
+  let p = Engine.spawn eng ~at:(Time.ms 5) (fun () -> ran := true) in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.kill p;
+         match Engine.join p with
+         | Engine.Killed -> ()
+         | _ -> Alcotest.fail "expected Killed"));
+  Engine.run eng;
+  Alcotest.(check bool) "body never ran" false !ran
+
+let test_deadlock_detectable () =
+  let eng = Engine.create () in
+  let iv : unit Ivar.t = Ivar.create () in
+  ignore (Engine.spawn eng (fun () -> Ivar.read iv));
+  Engine.run eng;
+  Alcotest.(check int) "one live (deadlocked) proc" 1 (Engine.live_procs eng);
+  Alcotest.(check int) "no pending events" 0 (Engine.pending_events eng)
+
+let test_kill_self_at_suspension () =
+  (* A process killed while running dies at its next suspension point,
+     running its finalizers. *)
+  let finalized = ref false in
+  let progressed = ref false in
+  let eng = Engine.create () in
+  let victim = ref None in
+  let p =
+    Engine.spawn eng (fun () ->
+        Fun.protect
+          ~finally:(fun () -> finalized := true)
+          (fun () ->
+            (match !victim with Some self -> Engine.kill self | None -> ());
+            (* Still running: the kill takes effect below. *)
+            Engine.sleep (Time.ms 1);
+            progressed := true))
+  in
+  victim := Some p;
+  Engine.run eng;
+  Alcotest.(check bool) "died at suspension" false !progressed;
+  Alcotest.(check bool) "finalizer ran" true !finalized;
+  Alcotest.(check bool) "reason is Killed" true (Engine.status p = Some Engine.Killed)
+
+let test_schedule_in_past_rejected () =
+  let eng = Engine.create () in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep (Time.ms 5);
+         Alcotest.check_raises "past schedule"
+           (Invalid_argument "Engine.schedule: time in the past") (fun () ->
+             Engine.schedule eng ~at:(Time.ms 1) (fun () -> ()))));
+  Engine.run eng
+
+let test_negative_sleep_rejected () =
+  let eng = Engine.create () in
+  let got = ref false in
+  ignore
+    (Engine.spawn eng (fun () ->
+         try Engine.sleep (-1)
+         with Invalid_argument _ -> got := true));
+  Engine.run eng;
+  Alcotest.(check bool) "negative sleep rejected" true !got
+
+let test_exception_does_not_poison_engine () =
+  (* One process raising must not prevent others from running. *)
+  let eng = Engine.create () in
+  let survived = ref false in
+  ignore (Engine.spawn eng (fun () -> failwith "bang"));
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep (Time.ms 1);
+         survived := true));
+  Engine.run eng;
+  Alcotest.(check bool) "other procs unaffected" true !survived
+
+let prop_sleep_ordering =
+  QCheck.Test.make ~name:"events fire in timestamp order" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_range 0 10_000))
+    (fun delays ->
+      let eng = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.spawn eng (fun () ->
+                 Engine.sleep (Time.us d);
+                 fired := Engine.now eng :: !fired)))
+        delays;
+      Engine.run eng;
+      let ts = List.rev !fired in
+      List.sort compare ts = ts
+      && List.length ts = List.length delays)
+
+(* {1 Ivar} *)
+
+let test_ivar_order () =
+  let v =
+    run_sim (fun eng ->
+        let iv = Ivar.create () in
+        let sum = ref 0 in
+        for _ = 1 to 3 do
+          ignore
+            (Engine.spawn eng (fun () ->
+                 let x = Ivar.read iv in
+                 sum := !sum + x))
+        done;
+        Engine.sleep (Time.ms 1);
+        Ivar.fill iv 7;
+        Engine.sleep (Time.ms 1);
+        !sum)
+  in
+  Alcotest.(check int) "all readers woke" 21 v
+
+let test_ivar_double_fill () =
+  run_sim (fun _eng ->
+      let iv = Ivar.create () in
+      Ivar.fill iv 1;
+      Alcotest.(check bool) "second fill rejected" false (Ivar.try_fill iv 2);
+      Alcotest.(check (option int)) "value preserved" (Some 1) (Ivar.peek iv))
+
+(* {1 Mutex / Cond / Semaphore} *)
+
+let test_mutex_mutual_exclusion () =
+  let v =
+    run_sim (fun eng ->
+        let m = Sync.Mutex.create () in
+        let in_cs = ref 0 and max_in_cs = ref 0 and done_ = ref 0 in
+        for _ = 1 to 8 do
+          ignore
+            (Engine.spawn eng (fun () ->
+                 Sync.Mutex.with_lock m (fun () ->
+                     incr in_cs;
+                     if !in_cs > !max_in_cs then max_in_cs := !in_cs;
+                     Engine.sleep (Time.us 10);
+                     decr in_cs);
+                 incr done_))
+        done;
+        Engine.sleep (Time.ms 10);
+        (!max_in_cs, !done_))
+  in
+  Alcotest.(check (pair int int)) "one at a time, all done" (1, 8) v
+
+let test_mutex_fifo () =
+  let order =
+    run_sim (fun eng ->
+        let m = Sync.Mutex.create () in
+        let order = ref [] in
+        Sync.Mutex.lock m;
+        for i = 1 to 4 do
+          ignore
+            (Engine.spawn eng (fun () ->
+                 Sync.Mutex.lock m;
+                 order := i :: !order;
+                 Sync.Mutex.unlock m))
+        done;
+        Engine.sleep (Time.ms 1);
+        Sync.Mutex.unlock m;
+        Engine.sleep (Time.ms 1);
+        List.rev !order)
+  in
+  Alcotest.(check (list int)) "FIFO hand-off" [ 1; 2; 3; 4 ] order
+
+let test_cond_signal_wakes_one () =
+  let v =
+    run_sim (fun eng ->
+        let m = Sync.Mutex.create () in
+        let c = Sync.Cond.create () in
+        let woken = ref 0 in
+        for _ = 1 to 3 do
+          ignore
+            (Engine.spawn eng (fun () ->
+                 Sync.Mutex.lock m;
+                 Sync.Cond.wait c m;
+                 incr woken;
+                 Sync.Mutex.unlock m))
+        done;
+        Engine.sleep (Time.ms 1);
+        Sync.Cond.signal c;
+        Engine.sleep (Time.ms 1);
+        let after_one = !woken in
+        Sync.Cond.broadcast c;
+        Engine.sleep (Time.ms 1);
+        (after_one, !woken))
+  in
+  Alcotest.(check (pair int int)) "signal then broadcast" (1, 3) v
+
+let test_cond_timedwait_timeout () =
+  let v =
+    run_sim (fun eng ->
+        let m = Sync.Mutex.create () in
+        let c = Sync.Cond.create () in
+        Sync.Mutex.lock m;
+        let r = Sync.Cond.timed_wait c m ~deadline:(Engine.now eng + Time.ms 5) in
+        let held = Sync.Mutex.is_locked m in
+        Sync.Mutex.unlock m;
+        (r, held, Engine.now eng))
+  in
+  match v with
+  | `Timeout, true, t -> Alcotest.(check int) "woke at deadline" (Time.ms 5) t
+  | `Woken, _, _ -> Alcotest.fail "expected timeout"
+  | `Timeout, false, _ -> Alcotest.fail "mutex not re-acquired"
+
+let test_cond_timedwait_cancel_consumes_no_signal () =
+  (* A timed-out waiter must not eat a later signal meant for a live one. *)
+  let v =
+    run_sim (fun eng ->
+        let m = Sync.Mutex.create () in
+        let c = Sync.Cond.create () in
+        let live_woken = ref false in
+        ignore
+          (Engine.spawn eng (fun () ->
+               Sync.Mutex.lock m;
+               let r = Sync.Cond.timed_wait c m ~deadline:(Time.ms 2) in
+               assert (r = `Timeout);
+               Sync.Mutex.unlock m));
+        ignore
+          (Engine.spawn eng (fun () ->
+               Sync.Mutex.lock m;
+               Sync.Cond.wait c m;
+               live_woken := true;
+               Sync.Mutex.unlock m));
+        Engine.sleep (Time.ms 5);
+        Sync.Cond.signal c;
+        Engine.sleep (Time.ms 1);
+        !live_woken)
+  in
+  Alcotest.(check bool) "live waiter got the signal" true v
+
+let test_semaphore_bounds () =
+  let v =
+    run_sim (fun eng ->
+        let s = Sync.Semaphore.create 2 in
+        let active = ref 0 and peak = ref 0 in
+        for _ = 1 to 6 do
+          ignore
+            (Engine.spawn eng (fun () ->
+                 Sync.Semaphore.acquire s;
+                 incr active;
+                 if !active > !peak then peak := !active;
+                 Engine.sleep (Time.ms 1);
+                 decr active;
+                 Sync.Semaphore.release s))
+        done;
+        Engine.sleep (Time.ms 10);
+        !peak)
+  in
+  Alcotest.(check int) "at most 2 concurrent" 2 v
+
+(* {1 Bounded queue} *)
+
+let test_bqueue_fifo () =
+  let v =
+    run_sim (fun eng ->
+        let q = Bqueue.create () in
+        ignore
+          (Engine.spawn eng (fun () ->
+               for i = 1 to 5 do
+                 Bqueue.put q i
+               done));
+        let out = ref [] in
+        for _ = 1 to 5 do
+          out := Bqueue.get q :: !out
+        done;
+        List.rev !out)
+  in
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3; 4; 5 ] v
+
+let test_bqueue_capacity_blocks_producer () =
+  let v =
+    run_sim (fun eng ->
+        let q = Bqueue.create ~capacity:2 () in
+        let produced = ref 0 in
+        ignore
+          (Engine.spawn eng (fun () ->
+               for i = 1 to 5 do
+                 Bqueue.put q i;
+                 produced := i
+               done));
+        Engine.sleep (Time.ms 1);
+        let stalled_at = !produced in
+        let drained = List.init 5 (fun _ -> Bqueue.get q) in
+        (stalled_at, drained))
+  in
+  let stalled_at, drained = v in
+  Alcotest.(check int) "producer stalled at capacity" 2 stalled_at;
+  Alcotest.(check (list int)) "order preserved" [ 1; 2; 3; 4; 5 ] drained
+
+let test_bqueue_get_timeout () =
+  let v =
+    run_sim (fun eng ->
+        let q : int Bqueue.t = Bqueue.create () in
+        let r = Bqueue.get_timeout q ~deadline:(Time.ms 3) in
+        (r, Engine.now eng))
+  in
+  Alcotest.(check (pair (option int) int)) "timed out empty" (None, Time.ms 3) v
+
+(* {1 Metrics} *)
+
+let test_hist_quantiles () =
+  let h = Metrics.Hist.create () in
+  for i = 1 to 1000 do
+    Metrics.Hist.record h (float_of_int i)
+  done;
+  let p50 = Metrics.Hist.quantile h 0.5 in
+  let p99 = Metrics.Hist.quantile h 0.99 in
+  Alcotest.(check bool) "p50 within 10%" true (Float.abs (p50 -. 500.) /. 500. < 0.1);
+  Alcotest.(check bool) "p99 within 10%" true (Float.abs (p99 -. 990.) /. 990. < 0.1);
+  Alcotest.(check int) "count" 1000 (Metrics.Hist.count h)
+
+let test_series_rate () =
+  let s = Metrics.Series.create ~bucket:(Time.sec 1) in
+  Metrics.Series.add s ~at:(Time.ms 100) 10.0;
+  Metrics.Series.add s ~at:(Time.ms 900) 20.0;
+  Metrics.Series.add s ~at:(Time.ms 2500) 5.0;
+  match Metrics.Series.buckets s with
+  | [ (0, a); (t1, b); (t2, c) ] ->
+      Alcotest.(check (float 0.001)) "bucket 0 sum" 30.0 a;
+      Alcotest.(check int) "gap bucket at 1s" (Time.sec 1) t1;
+      Alcotest.(check (float 0.001)) "gap bucket empty" 0.0 b;
+      Alcotest.(check int) "bucket at 2s" (Time.sec 2) t2;
+      Alcotest.(check (float 0.001)) "bucket 2 sum" 5.0 c
+  | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l)
+
+(* {1 Prng} *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  let xs = List.init 100 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let c = Prng.split a in
+  let xs = List.init 100 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Prng.int c 1000) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let prop_prng_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      List.for_all
+        (fun _ ->
+          let v = Prng.int g bound in
+          v >= 0 && v < bound)
+        (List.init 50 Fun.id))
+
+let prop_prng_float_in_bounds =
+  QCheck.Test.make ~name:"Prng.float stays in bounds" ~count:200
+    QCheck.small_int (fun seed ->
+      let g = Prng.create ~seed in
+      List.for_all
+        (fun _ ->
+          let v = Prng.float g 1.0 in
+          v >= 0.0 && v < 1.0)
+        (List.init 50 Fun.id))
+
+(* {1 Heap} *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"Heap pops in priority order" ~count:100
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create () in
+      List.iteri (fun i x -> Heap.push h ~prio:x ~seq:i x) xs;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, _, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_fifo_ties =
+  QCheck.Test.make ~name:"Heap breaks ties by sequence" ~count:100
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let h = Heap.create () in
+      for i = 0 to n - 1 do
+        Heap.push h ~prio:5 ~seq:i i
+      done;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, _, v) -> drain (v :: acc)
+      in
+      drain [] = List.init n Fun.id)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "spawn ordering" `Quick test_spawn_ordering;
+          Alcotest.test_case "sleep interleaving" `Quick test_sleep_interleaving;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "join exn" `Quick test_join_exn;
+          Alcotest.test_case "kill blocked" `Quick test_kill_blocked;
+          Alcotest.test_case "kill idempotent" `Quick test_kill_idempotent;
+          Alcotest.test_case "kill before start" `Quick test_kill_before_start;
+          Alcotest.test_case "deadlock detectable" `Quick test_deadlock_detectable;
+          Alcotest.test_case "kill self at suspension" `Quick
+            test_kill_self_at_suspension;
+          Alcotest.test_case "schedule in past" `Quick test_schedule_in_past_rejected;
+          Alcotest.test_case "negative sleep" `Quick test_negative_sleep_rejected;
+          Alcotest.test_case "exception isolation" `Quick
+            test_exception_does_not_poison_engine;
+          QCheck_alcotest.to_alcotest prop_sleep_ordering;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "readers wake" `Quick test_ivar_order;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mutex exclusion" `Quick test_mutex_mutual_exclusion;
+          Alcotest.test_case "mutex FIFO" `Quick test_mutex_fifo;
+          Alcotest.test_case "cond signal/broadcast" `Quick test_cond_signal_wakes_one;
+          Alcotest.test_case "cond timedwait timeout" `Quick test_cond_timedwait_timeout;
+          Alcotest.test_case "timed-out waiter eats no signal" `Quick
+            test_cond_timedwait_cancel_consumes_no_signal;
+          Alcotest.test_case "semaphore bounds" `Quick test_semaphore_bounds;
+        ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_bqueue_fifo;
+          Alcotest.test_case "capacity blocks" `Quick
+            test_bqueue_capacity_blocks_producer;
+          Alcotest.test_case "get timeout" `Quick test_bqueue_get_timeout;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "series rate" `Quick test_series_rate;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          QCheck_alcotest.to_alcotest prop_prng_int_in_bounds;
+          QCheck_alcotest.to_alcotest prop_prng_float_in_bounds;
+        ] );
+      ( "heap",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_fifo_ties;
+        ] );
+    ]

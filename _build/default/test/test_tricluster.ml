@@ -1,0 +1,161 @@
+(* Tests for the three-replica configuration (paper §6 extension). *)
+
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_netstack
+open Ftsim_ftlinux
+
+let small4 =
+  { Topology.sockets = 4; cores_per_socket = 2; numa_nodes = 4;
+    ram_bytes = 8 * 1024 * 1024 * 1024 }
+
+let test_config =
+  {
+    Cluster.default_config with
+    topology = small4;
+    hb_period = Time.ms 5;
+    hb_timeout = Time.ms 25;
+    driver_load_time = Time.ms 150;
+  }
+
+let gbit_link eng = Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100) ()
+
+let echo_app (api : Api.t) =
+  let l = api.Api.net_listen ~port:80 in
+  let rec serve () =
+    let s = api.Api.net_accept l in
+    let rec echo () =
+      match api.Api.net_recv s ~max:4096 with
+      | [] -> api.Api.net_close s
+      | cs ->
+          List.iter (api.Api.net_send s) cs;
+          echo ()
+    in
+    echo ();
+    serve ()
+  in
+  serve ()
+
+(* A paced client: sends [messages] one at a time, awaiting each echo. *)
+let spawn_client _eng client messages =
+  let result = Ivar.create () in
+  ignore
+    (Host.spawn client "client" (fun () ->
+         let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:80 in
+         let out = Buffer.create 64 in
+         List.iter
+           (fun msg ->
+             Tcp.send c (Payload.of_string msg);
+             let want = String.length msg in
+             let got = ref 0 in
+             while !got < want do
+               match Tcp.recv c ~max:4096 with
+               | [] -> failwith "eof"
+               | cs ->
+                   got := !got + Payload.total_len cs;
+                   Buffer.add_string out (Payload.concat_to_string cs)
+             done;
+             Engine.sleep (Time.ms 4))
+           messages;
+         Tcp.close c;
+         Ivar.fill result (Buffer.contents out)));
+  result
+
+let test_triple_replicates_to_both () =
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let t =
+    Tricluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+      ~app:echo_app ()
+  in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let result = spawn_client eng client [ "one "; "two "; "three" ] in
+  Engine.run ~until:(Time.sec 5) eng;
+  Tricluster.shutdown t;
+  Alcotest.(check (option string)) "echo works" (Some "one two three")
+    (Ivar.peek result);
+  Alcotest.(check bool) "both backups received the log" true
+    (Tricluster.backup_received_lsn t 0 > 5
+    && Tricluster.backup_received_lsn t 1 > 5);
+  Alcotest.(check bool) "logs in step" true
+    (Tricluster.backup_received_lsn t 0 = Tricluster.backup_received_lsn t 1)
+
+let test_triple_primary_failover () =
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let t =
+    Tricluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+      ~app:echo_app ()
+  in
+  Tricluster.fail_primary t ~at:(Time.ms 60);
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let messages = List.init 25 (fun i -> Printf.sprintf "m%02d|" i) in
+  let result = spawn_client eng client messages in
+  Engine.run ~until:(Time.sec 20) eng;
+  Tricluster.shutdown t;
+  Alcotest.(check (option string)) "stream exactly once across failover"
+    (Some (String.concat "" messages))
+    (Ivar.peek result);
+  (match Tricluster.winner t with
+  | Some w -> Alcotest.(check bool) "a backup won" true (w = 0 || w = 1)
+  | None -> Alcotest.fail "no winner");
+  Alcotest.(check bool) "failover completed" true
+    (Ivar.is_filled (Tricluster.failover_done t))
+
+let test_triple_double_sequential_failure () =
+  (* Backup 0 dies first; the primary continues replicated to backup 1;
+     later the primary dies too and backup 1 takes over alone. *)
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let t =
+    Tricluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+      ~app:echo_app ()
+  in
+  Tricluster.fail_backup t 0 ~at:(Time.ms 40);
+  Tricluster.fail_primary t ~at:(Time.ms 160);
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let messages = List.init 30 (fun i -> Printf.sprintf "d%02d|" i) in
+  let result = spawn_client eng client messages in
+  Engine.run ~until:(Time.sec 20) eng;
+  Tricluster.shutdown t;
+  Alcotest.(check (option string)) "stream survives two failures"
+    (Some (String.concat "" messages))
+    (Ivar.peek result);
+  Alcotest.(check (option int)) "the surviving backup won" (Some 1)
+    (Tricluster.winner t);
+  Alcotest.(check bool) "backup 0 is down" true
+    (Partition.is_halted (Tricluster.backup_partition t 0))
+
+let test_triple_deterministic () =
+  let run () =
+    let eng = Engine.create ~seed:99 () in
+    let link = gbit_link eng in
+    let t =
+      Tricluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
+        ~app:echo_app ()
+    in
+    Tricluster.fail_primary t ~at:(Time.ms 60);
+    let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+    let result =
+      spawn_client eng client (List.init 10 (fun i -> Printf.sprintf "x%d." i))
+    in
+    Engine.run ~until:(Time.sec 15) eng;
+    Tricluster.shutdown t;
+    (Ivar.peek result, Tricluster.winner t,
+     Tricluster.backup_received_lsn t 0, Tricluster.backup_received_lsn t 1)
+  in
+  Alcotest.(check bool) "two runs bit-identical" true (run () = run ())
+
+let () =
+  Alcotest.run "tricluster"
+    [
+      ( "tricluster",
+        [
+          Alcotest.test_case "replicates to both" `Quick
+            test_triple_replicates_to_both;
+          Alcotest.test_case "primary failover" `Quick test_triple_primary_failover;
+          Alcotest.test_case "double sequential failure" `Quick
+            test_triple_double_sequential_failure;
+          Alcotest.test_case "deterministic" `Quick test_triple_deterministic;
+        ] );
+    ]
