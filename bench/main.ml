@@ -15,6 +15,36 @@ let mib n = n * 1024 * 1024
 let hr title =
   Printf.printf "\n==== %s ====\n%!" title
 
+(* Each experiment's engines are recorded at creation so the cross-stack
+   metrics registries can be dumped to BENCH_<name>.json when it finishes.
+   The dump is a JSON array, one object per engine in creation order; the
+   registry serialisation is deterministic, so two same-seed bench runs
+   produce byte-identical files. *)
+let engines : Engine.t list ref = ref []
+
+let new_engine () =
+  let e = Engine.create () in
+  engines := e :: !engines;
+  e
+
+let dump_bench name =
+  let oc = open_out (Printf.sprintf "BENCH_%s.json" name) in
+  output_string oc "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",";
+      output_string oc "\n";
+      output_string oc
+        (String.trim (Metrics.Registry.to_json (Engine.metrics e))))
+    (List.rev !engines);
+  output_string oc "\n]\n";
+  close_out oc
+
+let run_experiment name f quick =
+  engines := [];
+  f quick;
+  dump_bench name
+
 (* Step the engine in 100 ms slices until [stop ()] or the simulated cap,
    so runs do not spin on heart-beat timers after the workload finishes. *)
 let drive eng ~cap ~stop =
@@ -131,7 +161,7 @@ let tail_rate series t_done =
       else blocks /. (t_end -. t_first)
 
 let run_pbzip2 ~mode ~block_kb ~file_mb =
-  let eng = Engine.create () in
+  let eng = new_engine () in
   let params =
     {
       Pbzip2.default_params with
@@ -229,7 +259,7 @@ type mongoose_result = {
 }
 
 let run_mongoose ~mode ~cpu_k ~warmup ~window ~concurrency =
-  let eng = Engine.create () in
+  let eng = new_engine () in
   let link = gbit_link eng in
   let cpu_per_request = Time.us 100 * (1 lsl cpu_k) in
   let params =
@@ -325,7 +355,7 @@ let fig6_7 quick =
 (* ------------------------------------------------------------------ *)
 
 let run_sec43 ~mode =
-  let eng = Engine.create () in
+  let eng = new_engine () in
   let link = gbit_link eng in
   let params =
     {
@@ -388,7 +418,7 @@ let sec43 _quick =
 (* ------------------------------------------------------------------ *)
 
 let run_fig8 ~mode ~file_mb ~fail_at =
-  let eng = Engine.create () in
+  let eng = new_engine () in
   let link = gbit_link eng in
   let params =
     {
@@ -770,14 +800,14 @@ let experiments =
   ]
 
 let run_all quick =
-  fig1 quick;
-  sec23 quick;
-  fig4_5 quick;
-  fig6_7 quick;
-  sec43 quick;
-  fig8 quick;
-  ablations quick;
-  micro quick
+  run_experiment "fig1" fig1 quick;
+  run_experiment "sec23" sec23 quick;
+  run_experiment "fig4" fig4_5 quick;
+  run_experiment "fig6" fig6_7 quick;
+  run_experiment "sec43" sec43 quick;
+  run_experiment "fig8" fig8 quick;
+  run_experiment "ablation" ablations quick;
+  run_experiment "micro" micro quick
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
@@ -791,7 +821,7 @@ let () =
       run_all quick
   | [ name ] -> (
       match List.find_opt (fun (n, _, _) -> n = name) experiments with
-      | Some (_, f, _) -> f quick
+      | Some (_, f, _) -> run_experiment name f quick
       | None ->
           Printf.eprintf "unknown experiment %S; available:\n" name;
           List.iter

@@ -47,10 +47,28 @@ let driver_ms_t =
     value & opt int 4950
     & info [ "driver-ms" ] ~docv:"MS" ~doc:"NIC driver reload time at failover.")
 
+let metrics_json_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:
+          "Write the cross-stack metrics registry (engine, mailbox, TCP, \
+           message layer, cluster) as JSON to $(docv) after the run.")
+
+let dump_metrics eng = function
+  | None -> ()
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Metrics.Registry.to_json (Engine.metrics eng));
+        close_out oc
+      with Sys_error msg ->
+        Printf.eprintf "ftsim: cannot write metrics: %s\n" msg)
+
 (* {1 pbzip2} *)
 
 let pbzip2_cmd =
-  let run seed replicated fail_at block_kb file_mb workers =
+  let run seed replicated fail_at block_kb file_mb workers metrics_json =
     let eng = Engine.create ~seed () in
     let params =
       {
@@ -89,6 +107,7 @@ let pbzip2_cmd =
     in
     drive eng ~cap:(Time.sec 600) ~stop:(fun () -> !t_done <> None);
     (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
+    dump_metrics eng metrics_json;
     match !t_done with
     | Some t ->
         Printf.printf "compressed %d blocks (%d MiB) in %s: %.0f blocks/s\n"
@@ -116,12 +135,12 @@ let pbzip2_cmd =
     (Cmd.info "pbzip2" ~doc:"Parallel compression workload (paper §4.1).")
     Term.(
       const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
-      $ workers)
+      $ workers $ metrics_json_t)
 
 (* {1 mongoose} *)
 
 let mongoose_cmd =
-  let run seed replicated cpu_us concurrency seconds =
+  let run seed replicated cpu_us concurrency seconds metrics_json =
     let eng = Engine.create ~seed () in
     let link = gbit_link eng in
     let params =
@@ -152,6 +171,7 @@ let mongoose_cmd =
     let c1 = Metrics.Counter.value st.Loadgen.completed in
     Loadgen.ab_stop ab;
     (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
+    dump_metrics eng metrics_json;
     Printf.printf
       "%.0f req/s over %ds (concurrency %d, CPU loop %dus); p50 %.2fms p99 %.2fms\n"
       (float_of_int (c1 - c0) /. float_of_int seconds)
@@ -175,12 +195,14 @@ let mongoose_cmd =
   in
   Cmd.v
     (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
-    Term.(const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds)
+    Term.(
+      const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds
+      $ metrics_json_t)
 
 (* {1 failover} *)
 
 let failover_cmd =
-  let run seed file_mb fail_at_ms driver_ms =
+  let run seed file_mb fail_at_ms driver_ms metrics_json =
     let eng = Engine.create ~seed () in
     let link = gbit_link eng in
     let app api =
@@ -202,6 +224,7 @@ let failover_cmd =
     in
     drive eng ~cap:(Time.sec 300) ~stop:(fun () -> Ivar.is_filled w.Loadgen.total);
     Cluster.shutdown cluster;
+    dump_metrics eng metrics_json;
     Printf.printf "t(s)  MB/s\n";
     List.iter
       (fun (t, r) -> Printf.printf "%-5.0f %8.1f\n" t (r /. 1e6))
@@ -229,12 +252,12 @@ let failover_cmd =
   Cmd.v
     (Cmd.info "failover"
        ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
-    Term.(const run $ seed_t $ file_mb $ fail_at $ driver_ms_t)
+    Term.(const run $ seed_t $ file_mb $ fail_at $ driver_ms_t $ metrics_json_t)
 
 (* {1 triple} *)
 
 let triple_cmd =
-  let run seed fail_backup_ms fail_primary_ms driver_ms =
+  let run seed fail_backup_ms fail_primary_ms driver_ms metrics_json =
     let eng = Engine.create ~seed () in
     let link = gbit_link eng in
     let config =
@@ -287,6 +310,7 @@ let triple_cmd =
            Ivar.fill result (Buffer.contents out)));
     drive eng ~cap:(Time.sec 60) ~stop:(fun () -> Ivar.is_filled result);
     Tricluster.shutdown t;
+    dump_metrics eng metrics_json;
     Printf.printf "backups' received LSN: %d / %d\n"
       (Tricluster.backup_received_lsn t 0)
       (Tricluster.backup_received_lsn t 1);
@@ -313,7 +337,9 @@ let triple_cmd =
   Cmd.v
     (Cmd.info "triple"
        ~doc:"Three-replica echo service with optional injected failures (paper 6).")
-    Term.(const run $ seed_t $ fail_backup $ fail_primary $ driver_ms_t)
+    Term.(
+      const run $ seed_t $ fail_backup $ fail_primary $ driver_ms_t
+      $ metrics_json_t)
 
 (* {1 memdump} *)
 

@@ -84,6 +84,8 @@ let shutdown t =
    (99 % of the ~5 s reported in §4.4). *)
 let run_failover t =
   t.failover_started <- Some (Engine.now t.eng);
+  let reg = Engine.metrics t.eng in
+  Metrics.Counter.incr (Metrics.Registry.counter reg "cluster.failovers");
   Trace.warnf log ~eng:t.eng "failover: primary declared failed";
   Ipi.send_halt t.eng t.part_p;
   ignore
@@ -130,6 +132,12 @@ let run_failover t =
              Namespace.go_live t.ns_s ~stack:stack_s ~listeners ()
          | None -> Namespace.go_live t.ns_s ());
          t.failover_completed <- Some (Engine.now t.eng);
+         (match t.failover_started with
+         | Some s ->
+             Metrics.Hist.record
+               (Metrics.Registry.hist reg "cluster.failover_ns")
+               (float_of_int (Engine.now t.eng - s))
+         | None -> ());
          Trace.warnf log ~eng:t.eng "failover: secondary is live";
          Ivar.fill t.failover_done ()))
 

@@ -1,36 +1,60 @@
 open Ftsim_sim
+open Ftsim_hw
 
-type t = { mutable stopped : bool; mutable fired : bool }
+(* Both halves run on cancellable engine timers rather than dedicated
+   kernel threads: [stop] tears the detector down eagerly (no parked
+   process lingering until its next period), which is what lets the event
+   queue drain at shutdown.  Timers outlive the partition, so the send
+   callback must absorb [Partition.Halted] — the moral equivalent of the
+   old sender thread dying with its partition. *)
+type t = {
+  mutable stopped : bool;
+  mutable fired : bool;
+  mutable send_h : Engine.handle option;
+  mutable mon_h : Engine.handle option;
+}
 
 let start ~spawn ~eng ~period ~timeout ~send ~last_peer ~on_failure =
   if period <= 0 || timeout <= 0 then invalid_arg "Heartbeat.start";
-  let t = { stopped = false; fired = false } in
-  ignore
-    (spawn "ft-hb-send" (fun () ->
-         let rec loop seq =
-           if not t.stopped then begin
-             send ~seq;
-             Engine.sleep period;
-             loop (seq + 1)
-           end
-         in
-         loop 0));
-  ignore
-    (spawn "ft-hb-monitor" (fun () ->
-         let rec loop () =
-           if not t.stopped then begin
-             Engine.sleep period;
-             if (not t.stopped) && Engine.now eng - last_peer () > timeout then begin
-               t.fired <- true;
-               t.stopped <- true;
-               on_failure ()
-             end
-             else loop ()
-           end
-         in
-         loop ()));
+  let t = { stopped = false; fired = false; send_h = None; mon_h = None } in
+  let rec arm_send seq ~at =
+    t.send_h <-
+      Some
+        (Engine.timer eng ~at (fun () ->
+             t.send_h <- None;
+             if not t.stopped then begin
+               (try send ~seq
+                with Partition.Halted _ -> t.stopped <- true);
+               if not t.stopped then
+                 arm_send (seq + 1) ~at:(Engine.now eng + period)
+             end))
+  in
+  let rec arm_mon () =
+    t.mon_h <-
+      Some
+        (Engine.timer eng ~at:(Engine.now eng + period) (fun () ->
+             t.mon_h <- None;
+             if not t.stopped then
+               if Engine.now eng - last_peer () > timeout then begin
+                 t.fired <- true;
+                 t.stopped <- true;
+                 (* [on_failure] may block (failover drains the log), so it
+                    needs a process context; spawning on a halted partition
+                    means the detector's own host is dead — stay silent. *)
+                 try ignore (spawn "ft-hb-failure" on_failure)
+                 with Partition.Halted _ -> ()
+               end
+               else arm_mon ()))
+  in
+  arm_send 0 ~at:(Engine.now eng);
+  arm_mon ();
   t
 
-let stop t = t.stopped <- true
+let stop t =
+  t.stopped <- true;
+  (match t.send_h with Some h -> Engine.cancel h | None -> ());
+  (match t.mon_h with Some h -> Engine.cancel h | None -> ());
+  t.send_h <- None;
+  t.mon_h <- None
 
 let fired t = t.fired

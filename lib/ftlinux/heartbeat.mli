@@ -18,11 +18,14 @@ val start :
   last_peer:(unit -> Time.t) ->
   on_failure:(unit -> unit) ->
   t
-(** Spawn the sender and monitor processes (via [spawn], so they die with
-    their partition).  [on_failure] fires at most once; both processes then
-    stop. *)
+(** Arm the sender and monitor on cancellable engine timers.  [on_failure]
+    fires at most once, in a fresh process spawned via [spawn] (failover
+    blocks, so it needs process context); both timers then stop.  A send
+    attempt on a halted partition silently stops the detector — the timer
+    outlives the partition where the old sender thread died with it. *)
 
 val stop : t -> unit
-(** Silence the detector (e.g. at shutdown, so the event queue drains). *)
+(** Silence the detector and cancel both timers eagerly (e.g. at shutdown,
+    so the event queue drains immediately rather than at the next period). *)
 
 val fired : t -> bool

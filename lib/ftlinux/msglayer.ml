@@ -11,6 +11,7 @@ type primary = {
   mutable disabled : bool;
   mutable p_last_peer : Time.t;
   p_recs : Metrics.Counter.t;
+  r_recs : Metrics.Counter.t;  (* registry twin of [p_recs] *)
 }
 
 type secondary = {
@@ -24,6 +25,7 @@ type secondary = {
   mutable s_last_acked : int;
   mutable s_last_peer : Time.t;
   mutable processing : bool;
+  r_replayed : Metrics.Counter.t;
 }
 
 let log = Trace.make "ft.msglayer"
@@ -41,6 +43,8 @@ let create_primary eng ~out ~inb =
     disabled = false;
     p_last_peer = Engine.now eng;
     p_recs = Metrics.Counter.create ();
+    r_recs =
+      Metrics.Registry.counter (Engine.metrics eng) "msglayer.records_appended";
   }
 
 let append p record =
@@ -49,6 +53,7 @@ let append p record =
     let lsn = p.next_lsn in
     p.next_lsn <- lsn + 1;
     Metrics.Counter.incr p.p_recs;
+    Metrics.Counter.incr p.r_recs;
     let msg = Wire.Record { lsn; record } in
     Mailbox.send p.p_out ~bytes:(Wire.message_bytes msg) msg;
     lsn
@@ -115,6 +120,8 @@ let create_secondary eng ~inb ~out ~replay_cost ~delta_cost ~handler =
     s_last_acked = -1;
     s_last_peer = Engine.now eng;
     processing = false;
+    r_replayed =
+      Metrics.Registry.counter (Engine.metrics eng) "msglayer.records_replayed";
   }
 
 let send_ack s =
@@ -140,6 +147,7 @@ let handle s msg =
         (if Wire.wakes_thread record then s.replay_cost else s.delta_cost);
       s.handler record;
       s.s_received <- max s.s_received lsn;
+      Metrics.Counter.incr s.r_replayed;
       s.processing <- false
   | Wire.Heartbeat _ -> ()
   | Wire.Ack _ -> Trace.errorf log ~eng:s.s_eng "unexpected ack on record channel"

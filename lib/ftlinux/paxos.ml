@@ -180,16 +180,23 @@ let start_round t node instance =
   end
 
 (* Retry driver: re-propose with escalating ballots and randomized backoff
-   until the instance is learned. *)
+   until the instance is learned.  The backoff is an election timer parked
+   on [learned_waiters]: learning the instance wakes (and thereby cancels)
+   it immediately instead of letting a dead timer ride out its backoff. *)
 let retry_driver t node instance =
   let s = slot_of node instance in
   let rec loop backoff_us =
     if s.learned = None && not (Partition.is_halted node.part) then begin
-      Engine.sleep (Time.us (backoff_us + Prng.int node.prng backoff_us));
-      if s.learned = None then begin
-        start_round t node instance;
-        loop (min 12_800 (backoff_us * 2))
-      end
+      let deadline =
+        Engine.now t.eng + Time.us (backoff_us + Prng.int node.prng backoff_us)
+      in
+      match Sync.wait_on ~deadline s.learned_waiters with
+      | `Woken -> ()
+      | `Timeout ->
+          if s.learned = None then begin
+            start_round t node instance;
+            loop (min 12_800 (backoff_us * 2))
+          end
     end
   in
   loop 100

@@ -91,6 +91,12 @@ let run_backup_failover t ~me =
            (if i_win then "WINNER" else "parks");
          if i_win then begin
            t.the_winner <- Some me;
+           Metrics.Counter.incr
+             (Metrics.Registry.counter (Engine.metrics t.eng)
+                "tricluster.takeovers");
+           Metrics.Gauge.set
+             (Metrics.Registry.gauge (Engine.metrics t.eng) "tricluster.winner")
+             (float_of_int me);
            (match t.nic with
            | Some nic ->
                let stack =

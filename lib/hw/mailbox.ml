@@ -10,35 +10,50 @@ type 'a chan = {
   src : Partition.t;
   slots : Sync.Semaphore.t;
   inbox : 'a Bqueue.t;
-  mutable propagating : int;
+  (* Messages in the propagation window, keyed by a monotonic token so the
+     delivery timers can be cancelled deterministically on coherency loss. *)
+  pending : (int, Engine.handle) Hashtbl.t;
+  mutable next_token : int;
   sent_msgs : Metrics.Counter.t;
   sent_bytes : Metrics.Counter.t;
+  r_msgs : Metrics.Counter.t;
+  r_bytes : Metrics.Counter.t;
 }
 
 let create eng ?(config = default_config) ~src ~dst () =
   ignore dst;
+  let reg = Engine.metrics eng in
   {
     cfg = config;
     eng;
     src;
     slots = Sync.Semaphore.create config.capacity;
     inbox = Bqueue.create ();
-    propagating = 0;
+    pending = Hashtbl.create 16;
+    next_token = 0;
     sent_msgs = Metrics.Counter.create ();
     sent_bytes = Metrics.Counter.create ();
+    r_msgs = Metrics.Registry.counter reg "mailbox.msgs_sent";
+    r_bytes = Metrics.Registry.counter reg "mailbox.bytes_sent";
   }
 
 let account t bytes =
   Metrics.Counter.incr t.sent_msgs;
-  Metrics.Counter.add t.sent_bytes bytes
+  Metrics.Counter.add t.sent_bytes bytes;
+  Metrics.Counter.incr t.r_msgs;
+  Metrics.Counter.add t.r_bytes bytes
 
 let deliver_later t v =
-  t.propagating <- t.propagating + 1;
-  Engine.schedule t.eng
-    ~at:(Engine.now t.eng + t.cfg.propagation_delay)
-    (fun () ->
-      t.propagating <- t.propagating - 1;
-      Bqueue.put t.inbox v)
+  let tok = t.next_token in
+  t.next_token <- tok + 1;
+  let h =
+    Engine.timer t.eng
+      ~at:(Engine.now t.eng + t.cfg.propagation_delay)
+      (fun () ->
+        Hashtbl.remove t.pending tok;
+        Bqueue.put t.inbox v)
+  in
+  Hashtbl.replace t.pending tok h
 
 let send t ~bytes v =
   Partition.check_alive t.src;
@@ -74,7 +89,7 @@ let poll t =
       Sync.Semaphore.release t.slots;
       Some v
 
-let in_flight t = t.propagating + Bqueue.length t.inbox
+let in_flight t = Hashtbl.length t.pending + Bqueue.length t.inbox
 
 let src_halted t = Partition.is_halted t.src
 
@@ -89,9 +104,18 @@ let drop_in_flight t =
     | None -> ()
   in
   drain ();
-  (* Messages still propagating will land in the inbox later; they are not
-     dropped here.  Coherency-disrupting faults should be injected after the
-     propagation window, which at 0.55 us is far below any detection time. *)
+  (* Messages still in the propagation window are lost too: their delivery
+     timers are cancelled, modelling the victim's outbound rings losing
+     coherency mid-flight (§3.5).  Tokens are sorted so the cancel order —
+     and hence the semaphore hand-offs — is independent of hash order. *)
+  let toks = Hashtbl.fold (fun k _ acc -> k :: acc) t.pending [] in
+  List.iter
+    (fun tok ->
+      Engine.cancel (Hashtbl.find t.pending tok);
+      Hashtbl.remove t.pending tok;
+      Sync.Semaphore.release t.slots;
+      incr n)
+    (List.sort compare toks);
   !n
 
 let msgs_sent t = Metrics.Counter.value t.sent_msgs

@@ -52,7 +52,9 @@ val src_halted : 'a chan -> bool
 
 val drop_in_flight : 'a chan -> int
 (** Discard undelivered messages, modelling a fault that disrupts cache
-    coherency; returns how many were lost. *)
+    coherency; returns how many were lost.  Messages still inside the
+    propagation window are dropped too: their delivery timers are
+    cancelled, so nothing sent before the fault surfaces afterwards. *)
 
 (** {1 Traffic metrics} *)
 

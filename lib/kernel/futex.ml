@@ -82,21 +82,21 @@ let commit_wait_deadline w ~deadline =
   match w.st with
   | `Woken -> `Woken
   | `Cancelled -> invalid_arg "Futex.commit_wait_deadline: waiter was cancelled"
-  | `Pending ->
-      Engine.suspend (fun p resume ->
-          w.parked <- Some resume;
-          let eng = Engine.engine_of_proc p in
-          let at = max deadline (Engine.now eng) in
-          Engine.schedule eng ~at (fun () ->
-              if w.st = `Pending then begin
-                w.st <- `Cancelled;
-                (match w.entry with Some e -> Waitq.cancel e | None -> ());
-                resume ()
-              end));
-      (match w.st with
-      | `Woken -> `Woken
-      | `Cancelled -> `Timeout
-      | `Pending -> assert false)
+  | `Pending -> (
+      match
+        Engine.with_timeout ~at:deadline (fun _p resume ->
+            w.parked <- Some resume;
+            fun () ->
+              (* Deadline won: withdraw from the futex queue before any later
+                 wake can pick this waiter. *)
+              w.st <- `Cancelled;
+              w.parked <- None;
+              match w.entry with Some e -> Waitq.cancel e | None -> ())
+      with
+      | `Done ->
+          assert (w.st = `Woken);
+          `Woken
+      | `Timeout -> `Timeout)
 
 let cancel_wait w =
   if w.st = `Pending then begin

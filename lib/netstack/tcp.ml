@@ -6,6 +6,9 @@ type config = {
   sndbuf_cap : int;
   rto : Time.t;
   per_seg_cpu : Time.t;
+  time_wait : Time.t;
+      (* how long a fully closed connection lingers in the demux table,
+         re-ACKing duplicate FINs; 0 reaps immediately *)
 }
 
 let default_config =
@@ -15,6 +18,7 @@ let default_config =
     sndbuf_cap = 256 * 1024;
     rto = Time.ms 200;
     per_seg_cpu = Time.us 2;
+    time_wait = 0;
   }
 
 exception Connection_closed
@@ -44,6 +48,10 @@ type conn = {
   writable : Waitq.t;
   send_wake : Waitq.t;
   mutable aborted : bool;
+  (* cancellable timers (engine wheel); None = disarmed *)
+  mutable rto_timer : Engine.handle option;
+  mutable syn_timer : Engine.handle option;
+  mutable tw_timer : Engine.handle option;
 }
 
 and listener = { lport : int; accept_q : conn Bqueue.t }
@@ -155,9 +163,7 @@ let rec sender_loop c =
           c.snd_nxt <- seq0 + n;
           if c.snd_nxt > c.snd_max then begin
             c.snd_max <- c.snd_nxt;
-            (* Arm the retransmission watchdog: it may have parked while
-               nothing had reached the wire yet. *)
-            wake_all c.send_wake
+            ensure_rto c
           end
         end
       end;
@@ -173,7 +179,7 @@ let rec sender_loop c =
         c.fin_ever_sent <- true;
         transmit s
           (make_packet c ~flags:(Packet.flag ~ack:true ~fin:true ()) ~seq:(fin_seq c) ());
-        wake_all c.send_wake
+        ensure_rto c
       end;
       sender_loop c
     end
@@ -183,44 +189,50 @@ let rec sender_loop c =
     end
   end
 
-(* Retransmission watchdog: if no ACK progress happened during an RTO while
-   data (or a FIN) was outstanding, rewind to [snd_una] and resend.  The
-   watchdog blocks (timer-free) while nothing is outstanding, so idle
-   connections leave the event queue empty. *)
+(* Retransmission timer: if no ACK progress happened during an RTO while
+   data (or a FIN) was outstanding, rewind to [snd_una] and resend
+   (go-back-N).  The timer is a cancellable engine-wheel entry armed when
+   something first reaches the wire and cancelled as soon as everything is
+   acknowledged, so idle connections hold no pending events at all. *)
 (* Judged against the transmit high-water mark, not [snd_nxt]: an RTO
-   rewind must leave the watchdog armed until the peer actually
-   acknowledges (the rewound sender may race us). *)
-let outstanding c =
+   rewind must leave the timer armed until the peer actually acknowledges
+   (the rewound sender may race us). *)
+and outstanding c =
   c.snd_max > snd_una c || (c.fin_ever_sent && not c.fin_acked)
 
-let rec rto_loop c =
+and cancel_rto c =
+  match c.rto_timer with
+  | Some h ->
+      Engine.cancel h;
+      c.rto_timer <- None
+  | None -> ()
+
+and ensure_rto c = if c.rto_timer = None then arm_rto c
+
+and arm_rto c =
   let s = c.stack in
-  if c.aborted || c.fin_acked then ()
-  else if not (outstanding c) then begin
-    ignore (Sync.wait_on c.send_wake);
-    rto_loop c
-  end
-  else begin
-    let last_una = snd_una c in
-    Engine.sleep s.cfg.rto;
-    if c.aborted || c.fin_acked then ()
-    else begin
-      let una = snd_una c in
-      if outstanding c && una = last_una then begin
-        Trace.debugf log ~eng:s.env.Netenv.eng "conn %d RTO: rewind %d -> %d" c.id
-          c.snd_nxt una;
-        c.snd_nxt <- una;
-        if c.fin_sent && not c.fin_acked then c.fin_sent <- false;
-        wake_all c.send_wake
-      end;
-      rto_loop c
-    end
-  end
+  let eng = s.env.Netenv.eng in
+  let last_una = snd_una c in
+  c.rto_timer <-
+    Some
+      (Engine.timer eng
+         ~at:(Engine.now eng + s.cfg.rto)
+         (fun () ->
+           c.rto_timer <- None;
+           if (not c.aborted) && (not c.fin_acked) && outstanding c then begin
+             if snd_una c = last_una then begin
+               Trace.debugf log ~eng "conn %d RTO: rewind %d -> %d" c.id
+                 c.snd_nxt last_una;
+               c.snd_nxt <- last_una;
+               if c.fin_sent && not c.fin_acked then c.fin_sent <- false;
+               wake_all c.send_wake
+             end;
+             arm_rto c
+           end))
 
 let spawn_conn_procs c =
   let s = c.stack in
-  ignore (s.env.Netenv.spawn (Printf.sprintf "tcp-snd-%d" c.id) (fun () -> sender_loop c));
-  ignore (s.env.Netenv.spawn (Printf.sprintf "tcp-rto-%d" c.id) (fun () -> rto_loop c))
+  ignore (s.env.Netenv.spawn (Printf.sprintf "tcp-snd-%d" c.id) (fun () -> sender_loop c))
 
 let make_conn stack ~local ~remote ~established () =
   stack.next_conn_id <- stack.next_conn_id + 1;
@@ -247,6 +259,9 @@ let make_conn stack ~local ~remote ~established () =
       writable = Waitq.create ();
       send_wake = Waitq.create ();
       aborted = false;
+      rto_timer = None;
+      syn_timer = None;
+      tw_timer = None;
     }
   in
   if established then Ivar.fill c.established_iv ();
@@ -269,6 +284,9 @@ let process_ack c (pkt : Packet.t) =
       c.snd_nxt <- acked_data;
     if c.snd_max < acked_data then c.snd_max <- acked_data;
     if c.fin_sent && pkt.Packet.ack_seq > data_limit then c.fin_acked <- true;
+    (* Everything on the wire is acknowledged: disarm the retransmission
+       timer eagerly rather than letting a dead event ride out its RTO. *)
+    if c.fin_acked || not (outstanding c) then cancel_rto c;
     (match c.stack.hooks with
     | Some h -> h.on_ack_progress c ~snd_una:(snd_una c)
     | None -> ());
@@ -277,6 +295,7 @@ let process_ack c (pkt : Packet.t) =
   end
   else if c.fin_sent && pkt.Packet.ack_seq > Payload.Buf.limit c.sndbuf then begin
     c.fin_acked <- true;
+    cancel_rto c;
     wake_all c.send_wake
   end
 
@@ -335,9 +354,23 @@ let process_fin c (pkt : Packet.t) =
   else false
 
 (* Fully closed connections (our FIN acked, peer FIN received) leave the
-   demux table; TIME_WAIT is not modelled. *)
+   demux table.  With [time_wait > 0] the connection lingers in TIME_WAIT
+   first, re-ACKing duplicate FINs; an [abort] cancels the linger timer. *)
 let maybe_reap c =
-  if c.fin_acked && c.peer_fin then Hashtbl.remove c.stack.conns (conn_key c)
+  if c.fin_acked && c.peer_fin && c.tw_timer = None then begin
+    let s = c.stack in
+    if s.cfg.time_wait <= 0 then Hashtbl.remove s.conns (conn_key c)
+    else begin
+      let eng = s.env.Netenv.eng in
+      c.tw_timer <-
+        Some
+          (Engine.timer eng
+             ~at:(Engine.now eng + s.cfg.time_wait)
+             (fun () ->
+               c.tw_timer <- None;
+               Hashtbl.remove s.conns (conn_key c)))
+    end
+  end
 
 let handle_established c (pkt : Packet.t) =
   if pkt.Packet.flags.Packet.ack then process_ack c pkt;
@@ -346,9 +379,17 @@ let handle_established c (pkt : Packet.t) =
   if acked_data || acked_fin then send_pure_ack c;
   maybe_reap c
 
+let cancel_syn c =
+  match c.syn_timer with
+  | Some h ->
+      Engine.cancel h;
+      c.syn_timer <- None
+  | None -> ()
+
 let establish c =
   if not c.established then begin
     c.established <- true;
+    cancel_syn c;
     ignore (Ivar.try_fill c.established_iv ());
     wake_all c.send_wake
   end
@@ -399,6 +440,11 @@ let handle_packet s (pkt : Packet.t) =
 let rx_callback s pkt = Bqueue.put s.rx_q pkt
 
 let create env ?(config = default_config) ~ip () =
+  (* Counters live in the engine registry under the stack's IP, so a stack
+     re-created on the backup partition after failover continues the same
+     series — and every stack shows up in the one JSON dump. *)
+  let reg = Engine.metrics env.Netenv.eng in
+  let m name = Metrics.Registry.counter reg (Printf.sprintf "tcp.%s.%s" ip name) in
   let s =
     {
       env;
@@ -411,10 +457,10 @@ let create env ?(config = default_config) ~ip () =
       next_ephemeral = 40_000;
       next_conn_id = 0;
       rx_q = Bqueue.create ();
-      m_segs_in = Metrics.Counter.create ();
-      m_segs_out = Metrics.Counter.create ();
-      m_bytes_in = Metrics.Counter.create ();
-      m_bytes_out = Metrics.Counter.create ();
+      m_segs_in = m "segs_in";
+      m_segs_out = m "segs_out";
+      m_bytes_in = m "bytes_in";
+      m_bytes_out = m "bytes_out";
     }
   in
   ignore
@@ -450,17 +496,23 @@ let connect s ~host ~port =
   let remote = { Packet.host = host; port } in
   let c = make_conn s ~local ~remote ~established:false () in
   transmit s (make_packet c ~flags:(Packet.flag ~syn:true ()) ~seq:0 ());
-  (* SYN retransmission: re-fire while unestablished, bounded attempts. *)
-  ignore
-    (s.env.Netenv.spawn (Printf.sprintf "tcp-syn-%d" c.id) (fun () ->
-         let rec retry attempts =
-           Engine.sleep s.cfg.rto;
-           if (not c.established) && (not c.aborted) && attempts > 0 then begin
-             transmit s (make_packet c ~flags:(Packet.flag ~syn:true ()) ~seq:0 ());
-             retry (attempts - 1)
-           end
-         in
-         retry 60));
+  (* SYN retransmission: a cancellable timer re-fires while unestablished
+     (bounded attempts); the SYN-ACK cancels it instead of leaving a sleep
+     to expire. *)
+  let eng = s.env.Netenv.eng in
+  let rec arm_syn attempts =
+    c.syn_timer <-
+      Some
+        (Engine.timer eng
+           ~at:(Engine.now eng + s.cfg.rto)
+           (fun () ->
+             c.syn_timer <- None;
+             if (not c.established) && (not c.aborted) && attempts > 0 then begin
+               transmit s (make_packet c ~flags:(Packet.flag ~syn:true ()) ~seq:0 ());
+               arm_syn (attempts - 1)
+             end))
+  in
+  arm_syn 60;
   Ivar.read c.established_iv;
   c
 
@@ -498,34 +550,30 @@ let close c =
 let is_readable c =
   Payload.Buf.length c.rcvbuf > 0 || c.peer_fin || c.aborted
 
-(* Wait-for-any: park once with a fire-once waker registered on every
-   connection's readiness queue.  Those queues are only ever woken with
-   [wake_all], so pollers never steal wake-ups from blocked readers; stale
-   entries are swept by the next wake_all. *)
+(* Wait-for-any: park once with a waker registered on every connection's
+   readiness queue (Engine.suspend wakers are fire-once).  Those queues are
+   only ever woken with [wake_all], so pollers never steal wake-ups from
+   blocked readers; on a timeout the entries are withdrawn eagerly. *)
 let poll ?deadline conns =
   if conns = [] then invalid_arg "Tcp.poll: empty interest set";
   let rec loop () =
     let ready = List.filter is_readable conns in
     if ready <> [] then ready
     else begin
-      let timed_out = ref false in
-      Engine.suspend (fun p waker ->
-          let fired = ref false in
-          let fire t () =
-            if not !fired then begin
-              fired := true;
-              timed_out := t;
-              waker ()
-            end
-          in
-          List.iter (fun c -> ignore (Waitq.add c.readable (fire false))) conns;
-          match deadline with
-          | Some at ->
-              let eng = Engine.engine_of_proc p in
-              Engine.schedule eng ~at:(max at (Engine.now eng)) (fun () ->
-                  fire true ())
-          | None -> ());
-      if !timed_out then [] else loop ()
+      let outcome =
+        match deadline with
+        | None ->
+            Engine.suspend (fun _p waker ->
+                List.iter (fun c -> ignore (Waitq.add c.readable waker)) conns);
+            `Done
+        | Some at ->
+            Engine.with_timeout ~at (fun _p wake ->
+                let entries =
+                  List.map (fun c -> Waitq.add c.readable wake) conns
+                in
+                fun () -> List.iter Waitq.cancel entries)
+      in
+      match outcome with `Timeout -> [] | `Done -> loop ()
     end
   in
   loop ()
@@ -533,6 +581,13 @@ let poll ?deadline conns =
 let abort c =
   if not c.aborted then begin
     c.aborted <- true;
+    cancel_rto c;
+    cancel_syn c;
+    (match c.tw_timer with
+    | Some h ->
+        Engine.cancel h;
+        c.tw_timer <- None
+    | None -> ());
     Hashtbl.remove c.stack.conns (conn_key c);
     wake_all c.readable;
     wake_all c.writable;
@@ -580,6 +635,9 @@ let restore s (ls : logical_state) =
       writable = Waitq.create ();
       send_wake = Waitq.create ();
       aborted = false;
+      rto_timer = None;
+      syn_timer = None;
+      tw_timer = None;
     }
   in
   Ivar.fill c.established_iv ();

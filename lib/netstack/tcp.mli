@@ -20,6 +20,9 @@ type config = {
   sndbuf_cap : int;  (** send-buffer size; writers block beyond it *)
   rto : Time.t;
   per_seg_cpu : Time.t;  (** stack CPU per segment processed *)
+  time_wait : Time.t;
+      (** how long a fully closed connection lingers re-ACKing duplicate
+          FINs before being reaped; [0] reaps immediately *)
 }
 
 val default_config : config

@@ -2,15 +2,27 @@ type exit_reason = Normal | Killed | Exn of exn
 
 exception Killed_exn
 
+(* Two event sources share one [(at, seq)] key space: the heap (one-shot
+   [schedule] closures, process wake-ups) and the timer wheel (cancellable
+   timers).  [run] always fires the globally smallest [(at, seq)] next, so
+   adding the wheel changes nothing about event order — only about what
+   [cancel] costs and whether dead timers linger. *)
 type t = {
   mutable now : Time.t;
   events : (unit -> unit) Heap.t;
+  timers : (unit -> unit) Twheel.t;
   mutable seq : int;
   mutable current : proc option;
   mutable live : int;
   mutable next_pid : int;
   mutable stopping : bool;
   root_prng : Prng.t;
+  registry : Metrics.Registry.t;
+  c_events : Metrics.Counter.t;
+  c_timers_armed : Metrics.Counter.t;
+  c_timers_cancelled : Metrics.Counter.t;
+  c_timers_fired : Metrics.Counter.t;
+  c_spawned : Metrics.Counter.t;
 }
 
 and proc = {
@@ -38,20 +50,30 @@ type _ Effect.t +=
   | E_self : proc Effect.t
 
 let create ?(seed = 42) () =
+  let registry = Metrics.Registry.create () in
   {
     now = 0;
     events = Heap.create ();
+    timers = Twheel.create ();
     seq = 0;
     current = None;
     live = 0;
     next_pid = 0;
     stopping = false;
     root_prng = Prng.create ~seed;
+    registry;
+    c_events = Metrics.Registry.counter registry "engine.events_fired";
+    c_timers_armed = Metrics.Registry.counter registry "engine.timers_armed";
+    c_timers_cancelled =
+      Metrics.Registry.counter registry "engine.timers_cancelled";
+    c_timers_fired = Metrics.Registry.counter registry "engine.timers_fired";
+    c_spawned = Metrics.Registry.counter registry "engine.procs_spawned";
   }
 
 let now t = t.now
 let prng t = t.root_prng
-let pending_events t = Heap.length t.events
+let metrics t = t.registry
+let pending_events t = Heap.length t.events + Twheel.live t.timers
 let live_procs t = t.live
 let stop t = t.stopping <- true
 let pid p = p.pid
@@ -62,6 +84,25 @@ let schedule t ~at f =
   if at < t.now then invalid_arg "Engine.schedule: time in the past";
   t.seq <- t.seq + 1;
   Heap.push t.events ~prio:at ~seq:t.seq f
+
+type handle = { h_eng : t; h_timer : (unit -> unit) Twheel.handle }
+
+let timer t ~at f =
+  if at < t.now then invalid_arg "Engine.timer: time in the past";
+  (* The wheel's clock normally tracks [t.now] (the run loop syncs it before
+     firing anything); outside [run] it may lag, so catch up before filing. *)
+  Twheel.advance t.timers ~upto:t.now;
+  t.seq <- t.seq + 1;
+  Metrics.Counter.incr t.c_timers_armed;
+  { h_eng = t; h_timer = Twheel.add t.timers ~at ~seq:t.seq f }
+
+let cancel h =
+  if Twheel.is_armed h.h_timer then begin
+    Twheel.cancel h.h_timer;
+    Metrics.Counter.incr h.h_eng.c_timers_cancelled
+  end
+
+let timer_armed h = Twheel.is_armed h.h_timer
 
 let finish p reason =
   (match p.state with Exited _ -> assert false | _ -> ());
@@ -130,6 +171,7 @@ let spawn t ?(name = "proc") ?at f =
     }
   in
   t.live <- t.live + 1;
+  Metrics.Counter.incr t.c_spawned;
   schedule t ~at (fun () ->
       match p.state with
       | Embryo when p.doomed -> finish p Killed
@@ -145,21 +187,63 @@ let spawn t ?(name = "proc") ?at f =
 
 let run ?until t =
   t.stopping <- false;
+  let fire_heap () =
+    match Heap.pop t.events with
+    | Some (at, _, f) ->
+        t.now <- max t.now at;
+        Metrics.Counter.incr t.c_events;
+        f ()
+    | None -> assert false
+  in
+  let fire_timer () =
+    match Twheel.pop_due t.timers with
+    | Some (at, f) ->
+        t.now <- max t.now at;
+        Metrics.Counter.incr t.c_events;
+        Metrics.Counter.incr t.c_timers_fired;
+        f ()
+    | None -> assert false
+  in
   let rec loop () =
     if t.stopping then ()
-    else
-      match Heap.peek t.events with
+    else begin
+      let heap_at = match Heap.peek t.events with
+        | Some (at, _, _) -> Some at
+        | None -> None
+      in
+      let next_at =
+        match (heap_at, Twheel.next_event t.timers) with
+        | None, None -> None
+        | Some a, None | None, Some a -> Some a
+        | Some a, Some w -> Some (min a w)
+      in
+      match next_at with
       | None -> ()
-      | Some (at, _, _) when (match until with Some u -> at > u | None -> false)
-        ->
-          (match until with Some u -> t.now <- max t.now u | None -> ())
-      | Some _ ->
-          (match Heap.pop t.events with
-          | Some (at, _, f) ->
-              t.now <- max t.now at;
-              f ()
-          | None -> assert false);
+      | Some at when (match until with Some u -> at > u | None -> false) ->
+          (match until with
+          | Some u ->
+              t.now <- max t.now u;
+              Twheel.advance t.timers ~upto:t.now
+          | None -> ())
+      | Some at ->
+          (* Let the wheel cascade up to this instant so its due queue holds
+             every timer expiring now; then fire the single globally smallest
+             [(at, seq)] event across both sources.  An instant that was only
+             a cascade step fires nothing and does not move [t.now] — and the
+             heap must not fire either while an earlier timer is still
+             sifting down the wheel. *)
+          Twheel.advance t.timers ~upto:at;
+          (match (Heap.peek t.events, Twheel.peek_due t.timers) with
+          | None, None -> ()
+          | None, Some _ -> fire_timer ()
+          | Some (ha, hs, _), Some (ta, ts) ->
+              if (ta, ts) < (ha, hs) then fire_timer () else fire_heap ()
+          | Some (ha, _, _), None -> (
+              match Twheel.next_event t.timers with
+              | Some w when w <= ha -> () (* keep cascading; loop retries *)
+              | _ -> fire_heap ()));
           loop ()
+    end
   in
   loop ()
 
@@ -167,11 +251,67 @@ let self () = Effect.perform E_self
 
 let suspend register = Effect.perform (E_suspend register)
 
+(* Park on a cancellable timer.  If the wake-up never happens because the
+   process dies first ([kill], partition halt), the [Killed_exn] unwinding
+   through this frame cancels the timer, so no dead event lingers in the
+   wheel until its deadline. *)
+let sleep_until at =
+  let h = ref None in
+  try
+    suspend (fun p waker ->
+        h := Some (timer p.eng ~at:(max at p.eng.now) waker))
+  with e ->
+    (match !h with Some h -> cancel h | None -> ());
+    raise e
+
 let sleep d =
   if d < 0 then invalid_arg "Engine.sleep: negative duration";
   if d = 0 then ()
   else
-    suspend (fun p waker -> schedule p.eng ~at:(p.eng.now + d) (fun () -> waker ()))
+    let h = ref None in
+    try
+      suspend (fun p waker -> h := Some (timer p.eng ~at:(p.eng.now + d) waker))
+    with e ->
+      (match !h with Some h -> cancel h | None -> ());
+      raise e
+
+type timeout_outcome = [ `Done | `Timeout ]
+
+let with_timeout ~at register =
+  let outcome = ref `Done in
+  let th = ref None in
+  let withdraw = ref (fun () -> ()) in
+  (try
+     suspend (fun p waker ->
+         let decided = ref false in
+         let decide o () =
+           if not !decided then begin
+             decided := true;
+             outcome := o;
+             waker ()
+           end
+         in
+         (* The deadline runs in raw event context: withdraw the registration
+            synchronously so a wake arriving later at the same instant is not
+            consumed by a waiter that has already timed out.  The [decided]
+            gate also covers a wake and a deadline at the same instant with
+            the wake first: the timer still fires (its cancellation below
+            only happens once the process resumes) but must do nothing. *)
+         th :=
+           Some
+             (timer p.eng ~at:(max at p.eng.now) (fun () ->
+                  if not !decided then begin
+                    !withdraw ();
+                    decide `Timeout ()
+                  end));
+         withdraw := register p (decide `Done))
+   with e ->
+     (match !th with Some h -> cancel h | None -> ());
+     raise e);
+  (match !th with
+  | Some h -> if !outcome = `Done then cancel h
+  | None -> ());
+  !outcome
 
 let yield () = suspend (fun p waker -> schedule p.eng ~at:p.eng.now (fun () -> waker ()))
 

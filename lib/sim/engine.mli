@@ -10,7 +10,11 @@
     seeded {!Prng}. *)
 
 type t
-(** A simulation world: clock, event queue, process table. *)
+(** A simulation world: clock, event queue, timer wheel, process table. *)
+
+type handle
+(** A cancellable timer armed with {!timer} (or indirectly via {!sleep} /
+    {!with_timeout}). *)
 
 type proc
 (** Handle on a spawned process. *)
@@ -32,6 +36,13 @@ val now : t -> Time.t
 
 val prng : t -> Prng.t
 (** The engine's root generator; subsystems should [Prng.split] it. *)
+
+val metrics : t -> Metrics.Registry.t
+(** The world's metrics registry.  The engine itself maintains
+    ["engine.events_fired"], ["engine.timers_armed"],
+    ["engine.timers_cancelled"], ["engine.timers_fired"] and
+    ["engine.procs_spawned"]; subsystems register their own instruments
+    here so one JSON dump covers the whole stack. *)
 
 val spawn : t -> ?name:string -> ?at:Time.t -> (unit -> unit) -> proc
 (** [spawn t f] schedules process [f] to start at the current time (or at
@@ -55,7 +66,30 @@ val live_procs : t -> int
 val self : unit -> proc
 
 val sleep : Time.t -> unit
-(** Suspend the calling process for a simulated duration. *)
+(** Suspend the calling process for a simulated duration.  Backed by a
+    cancellable timer: if the process is {!kill}ed while asleep, the wakeup
+    is cancelled eagerly rather than left to rot until its deadline. *)
+
+val sleep_until : Time.t -> unit
+(** Suspend the calling process until an absolute instant.  An instant at or
+    before the current time yields (the process resumes at the current time,
+    after events already scheduled at this instant). *)
+
+type timeout_outcome = [ `Done | `Timeout ]
+
+val with_timeout :
+  at:Time.t -> (proc -> (unit -> unit) -> (unit -> unit)) -> timeout_outcome
+(** [with_timeout ~at register] parks the calling process like {!suspend},
+    but with a deadline.  [register p wake] must register [wake] with some
+    wakeup source and return a [withdraw] thunk that un-registers it.
+
+    If [wake] runs first the deadline timer is cancelled and the call
+    returns [`Done].  If the deadline fires first, [withdraw] runs
+    {e synchronously in the timer's event context} — so a wake arriving
+    later (even at the same instant) is not consumed by this waiter — and
+    the call returns [`Timeout].  Exactly one of the two wins; the loser's
+    callback is inert.  A deadline at or before the current time still parks
+    the process and times out at the current instant. *)
 
 val yield : unit -> unit
 (** Reschedule the calling process at the current time, letting other
@@ -90,4 +124,24 @@ val proc_name : proc -> string
 val engine_of_proc : proc -> t
 
 val schedule : t -> at:Time.t -> (unit -> unit) -> unit
-(** Run a raw callback (not a process: it must not suspend) at time [at]. *)
+(** Run a raw callback (not a process: it must not suspend) at time [at].
+    Fire-and-forget; prefer {!timer} when the event may become irrelevant
+    before it fires. *)
+
+(** {1 Cancellable timers}
+
+    Timers live in a hierarchical timer wheel (see {!Twheel}): O(1) arm and
+    cancel, and a cancelled timer's callback is guaranteed never to run.
+    Timers and heap events share one [(time, seq)] key space, so
+    introducing a timer does not perturb the deterministic event order. *)
+
+val timer : t -> at:Time.t -> (unit -> unit) -> handle
+(** Arm [f] to run as a raw callback (it must not suspend) at time [at].
+    [at] must not be in the past. *)
+
+val cancel : handle -> unit
+(** O(1).  Idempotent; a no-op once the timer has fired.  After [cancel]
+    returns the callback will never run. *)
+
+val timer_armed : handle -> bool
+(** True while the timer is armed: not yet fired and not cancelled. *)

@@ -75,6 +75,96 @@ module Hist = struct
     t.mx <- neg_infinity
 end
 
+module Registry = struct
+  type instrument = I_counter of Counter.t | I_gauge of Gauge.t | I_hist of Hist.t
+  type t = (string, instrument) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let kind_err name want =
+    invalid_arg
+      (Printf.sprintf "Metrics.Registry: %S already registered as a non-%s" name
+         want)
+
+  let counter t name =
+    match Hashtbl.find_opt t name with
+    | Some (I_counter c) -> c
+    | Some _ -> kind_err name "counter"
+    | None ->
+        let c = Counter.create () in
+        Hashtbl.replace t name (I_counter c);
+        c
+
+  let gauge t name =
+    match Hashtbl.find_opt t name with
+    | Some (I_gauge g) -> g
+    | Some _ -> kind_err name "gauge"
+    | None ->
+        let g = Gauge.create () in
+        Hashtbl.replace t name (I_gauge g);
+        g
+
+  let hist t name =
+    match Hashtbl.find_opt t name with
+    | Some (I_hist h) -> h
+    | Some _ -> kind_err name "hist"
+    | None ->
+        let h = Hist.create () in
+        Hashtbl.replace t name (I_hist h);
+        h
+
+  let names t =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+  (* JSON emission must be deterministic (keys sorted, fixed float format)
+     so that two same-seed runs produce byte-identical dumps. *)
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_float v =
+    if Float.is_finite v then Printf.sprintf "%.12g" v else "null"
+
+  let hist_json h =
+    Printf.sprintf
+      "{\"count\": %d, \"mean\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \
+       \"p90\": %s, \"p99\": %s}"
+      (Hist.count h)
+      (json_float (Hist.mean h))
+      (json_float (Hist.min h))
+      (json_float (Hist.max h))
+      (json_float (Hist.quantile h 0.50))
+      (json_float (Hist.quantile h 0.90))
+      (json_float (Hist.quantile h 0.99))
+
+  let to_json t =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{";
+    List.iteri
+      (fun i name ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b "\n  \"";
+        Buffer.add_string b (json_escape name);
+        Buffer.add_string b "\": ";
+        match Hashtbl.find t name with
+        | I_counter c -> Buffer.add_string b (string_of_int (Counter.value c))
+        | I_gauge g -> Buffer.add_string b (json_float (Gauge.value g))
+        | I_hist h -> Buffer.add_string b (hist_json h))
+      (names t);
+    Buffer.add_string b "\n}\n";
+    Buffer.contents b
+end
+
 module Series = struct
   type t = { bucket : Time.t; tbl : (int, float) Hashtbl.t }
 

@@ -41,6 +41,30 @@ module Hist : sig
   val reset : t -> unit
 end
 
+module Registry : sig
+  (** Named instruments for a whole stack, with a deterministic JSON dump.
+
+      Instruments are get-or-create by name ("tcp.segs_out",
+      "engine.timers_cancelled", ...): subsystems created at different times
+      — or re-created across a failover — share the instrument behind a
+      name.  Asking for a name under a different instrument kind raises
+      [Invalid_argument]. *)
+
+  type t
+
+  val create : unit -> t
+  val counter : t -> string -> Counter.t
+  val gauge : t -> string -> Gauge.t
+  val hist : t -> string -> Hist.t
+
+  val names : t -> string list
+  (** Sorted. *)
+
+  val to_json : t -> string
+  (** One key per line, keys sorted, floats in ["%.12g"] (non-finite values
+      become [null]): byte-identical across same-seed runs. *)
+end
+
 module Series : sig
   (** Accumulates values into fixed-width simulated-time buckets; used for
       throughput-over-time plots (paper Fig. 8). *)

@@ -1,21 +1,21 @@
 type outcome = [ `Woken | `Timeout ]
 
 let wait_on ?deadline q =
-  let outcome = ref `Woken in
-  Engine.suspend (fun p waker ->
-      let entry = Waitq.add q waker in
-      match deadline with
-      | None -> ()
-      | Some at ->
-          let eng = Engine.engine_of_proc p in
-          let at = max at (Engine.now eng) in
-          Engine.schedule eng ~at (fun () ->
-              if not (Waitq.is_woken entry) then begin
-                Waitq.cancel entry;
-                outcome := `Timeout;
-                waker ()
-              end));
-  !outcome
+  match deadline with
+  | None ->
+      Engine.suspend (fun _p waker -> ignore (Waitq.add q waker));
+      `Woken
+  | Some at -> (
+      (* The deadline is a cancellable engine timer: a wake cancels it in
+         O(1), a timeout withdraws the queue entry synchronously so it never
+         consumes a later wake (hand-off structures depend on this). *)
+      match
+        Engine.with_timeout ~at (fun _p wake ->
+            let entry = Waitq.add q wake in
+            fun () -> Waitq.cancel entry)
+      with
+      | `Done -> `Woken
+      | `Timeout -> `Timeout)
 
 module Mutex = struct
   type t = { mutable locked : bool; q : Waitq.t }
@@ -62,20 +62,14 @@ module Cond = struct
     Mutex.lock m
 
   let timed_wait t m ~deadline =
-    let outcome = ref `Woken in
-    Engine.suspend (fun p waker ->
-        let entry = Waitq.add t.q waker in
-        let eng = Engine.engine_of_proc p in
-        let at = max deadline (Engine.now eng) in
-        Engine.schedule eng ~at (fun () ->
-            if not (Waitq.is_woken entry) then begin
-              Waitq.cancel entry;
-              outcome := `Timeout;
-              waker ()
-            end);
-        Mutex.unlock m);
+    let outcome =
+      Engine.with_timeout ~at:deadline (fun _p wake ->
+          let entry = Waitq.add t.q wake in
+          Mutex.unlock m;
+          fun () -> Waitq.cancel entry)
+    in
     Mutex.lock m;
-    !outcome
+    match outcome with `Done -> `Woken | `Timeout -> `Timeout
 
   let signal t = ignore (Waitq.wake_one t.q)
   let broadcast t = ignore (Waitq.wake_all t.q)

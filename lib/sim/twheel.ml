@@ -1,0 +1,201 @@
+(* Hierarchical timer wheel (Varghese & Lauck), sized for a nanosecond
+   discrete-event clock.
+
+   32 slots per level, 10 levels: level [k] has slot granularity [32^k] ns,
+   so the wheel spans 32^10 ns (~13 simulated days) before the overflow list
+   is needed.  A timer is filed at the lowest level whose current rotation
+   contains its expiry ("same parent block" rule); as the clock crosses a
+   higher-level slot boundary the slot's timers cascade down, reaching level
+   0 — where every occupied slot holds exactly one expiry instant — before
+   they are due.
+
+   Determinism: the wheel never fires callbacks itself.  [advance] moves
+   expired timers into a due queue ordered by [(at, seq)]; the engine merges
+   that queue with its event heap on the same [(at, seq)] key, so the global
+   firing order is identical to a single heap's.
+
+   Cancellation is O(1): the handle is flagged and the live count drops
+   immediately; the corpse is discarded when its slot is next visited. *)
+
+type state = Armed | Fired | Cancelled
+
+type 'a handle = {
+  seq : int;
+  at : Time.t;
+  value : 'a;
+  mutable state : state;
+  wheel : 'a t;
+}
+
+and 'a t = {
+  mutable wnow : Time.t;
+  slots : 'a handle list array array; (* levels x 32, unordered *)
+  bits : int array; (* occupancy bitmap per level *)
+  mutable overflow : 'a handle list; (* beyond the top level's rotation *)
+  due : 'a handle Queue.t; (* expired, ordered by (at, seq) *)
+  mutable live : int;
+}
+
+let slot_bits = 5
+let wheel_slots = 1 lsl slot_bits
+let levels = 10
+let slot_mask = wheel_slots - 1
+let top_shift = slot_bits * levels
+
+let create ?(now = 0) () =
+  {
+    wnow = now;
+    slots = Array.init levels (fun _ -> Array.make wheel_slots []);
+    bits = Array.make levels 0;
+    overflow = [];
+    due = Queue.create ();
+    live = 0;
+  }
+
+let now t = t.wnow
+let live t = t.live
+let is_armed h = h.state = Armed
+
+let cancel h =
+  if h.state = Armed then begin
+    h.state <- Cancelled;
+    h.wheel.live <- h.wheel.live - 1
+  end
+
+(* File [h] at the lowest level whose current rotation contains [h.at];
+   expired timers go through [emit] instead (the caller decides whether that
+   is the public due queue or a per-instant batch awaiting a sort). *)
+let place t h ~emit =
+  if h.at <= t.wnow then emit h
+  else begin
+    let rec level k =
+      if k >= levels then None
+      else if h.at lsr (slot_bits * (k + 1)) = t.wnow lsr (slot_bits * (k + 1))
+      then Some k
+      else level (k + 1)
+    in
+    match level 0 with
+    | None -> t.overflow <- h :: t.overflow
+    | Some k ->
+        let s = (h.at lsr (slot_bits * k)) land slot_mask in
+        t.slots.(k).(s) <- h :: t.slots.(k).(s);
+        t.bits.(k) <- t.bits.(k) lor (1 lsl s)
+  end
+
+let add t ~at ~seq value =
+  let h = { seq; at; value; state = Armed; wheel = t } in
+  t.live <- t.live + 1;
+  place t h ~emit:(fun h -> Queue.push h t.due);
+  h
+
+let lowest_bit_index bits =
+  let rec go i = if bits land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+(* Earliest instant at which the wheel has internal work: a level-0 expiry
+   or a higher-level (possibly stale) slot to cascade.  Excludes the due
+   queue.  Slots at or behind the current index belong to a later rotation:
+   live timers are always filed strictly ahead, so anything behind holds
+   only cancelled corpses, and scheduling their cleanup a rotation later is
+   harmless. *)
+let next_internal t =
+  let best = ref None in
+  let consider at =
+    match !best with Some b when b <= at -> () | _ -> best := Some at
+  in
+  for k = 0 to levels - 1 do
+    let bits = t.bits.(k) in
+    if bits <> 0 then begin
+      let cur = (t.wnow lsr (slot_bits * k)) land slot_mask in
+      let block = t.wnow lsr (slot_bits * (k + 1)) in
+      let ahead = bits land lnot ((1 lsl (cur + 1)) - 1) in
+      if ahead <> 0 then
+        consider (((block lsl slot_bits) lor lowest_bit_index ahead)
+                  lsl (slot_bits * k))
+      else
+        (* Only stale slots remain: visit the first one next rotation. *)
+        consider ((((block + 1) lsl slot_bits) lor lowest_bit_index bits)
+                  lsl (slot_bits * k))
+    end
+  done;
+  List.iter
+    (fun h ->
+      if h.state = Armed then consider ((h.at lsr top_shift) lsl top_shift))
+    t.overflow;
+  !best
+
+let next_event t =
+  if t.live = 0 then None
+  else begin
+    (* Drop cancelled corpses from the head of the due queue. *)
+    let rec clean () =
+      match Queue.peek_opt t.due with
+      | Some h when h.state <> Armed ->
+          ignore (Queue.pop t.due);
+          clean ()
+      | other -> other
+    in
+    match clean () with
+    | Some h -> Some (max h.at t.wnow)
+    | None -> next_internal t
+  end
+
+(* Process one internal instant: cascade every slot due at [c] (top level
+   first, so timers sift all the way down in one pass) and move level-0
+   expiries into the due queue in seq order. *)
+let process_instant t c =
+  t.wnow <- c;
+  let due_now = ref [] in
+  let emit h = due_now := h :: !due_now in
+  if t.overflow <> [] then begin
+    let stay, move =
+      List.partition (fun h -> h.at lsr top_shift > c lsr top_shift) t.overflow
+    in
+    t.overflow <- stay;
+    List.iter
+      (fun h -> if h.state = Armed then place t h ~emit)
+      move
+  end;
+  for k = levels - 1 downto 0 do
+    let s = (c lsr (slot_bits * k)) land slot_mask in
+    if t.bits.(k) land (1 lsl s) <> 0
+       && (k = 0 || c mod (1 lsl (slot_bits * k)) = 0)
+    then begin
+      let entries = t.slots.(k).(s) in
+      t.slots.(k).(s) <- [];
+      t.bits.(k) <- t.bits.(k) land lnot (1 lsl s);
+      List.iter (fun h -> if h.state = Armed then place t h ~emit) entries
+    end
+  done;
+  let batch = List.sort (fun a b -> compare a.seq b.seq) !due_now in
+  List.iter (fun h -> Queue.push h t.due) batch
+
+let advance t ~upto =
+  let rec go () =
+    match next_internal t with
+    | Some c when c <= upto ->
+        process_instant t c;
+        go ()
+    | _ -> if upto > t.wnow then t.wnow <- upto
+  in
+  go ()
+
+let peek_due t =
+  let rec clean () =
+    match Queue.peek_opt t.due with
+    | Some h when h.state <> Armed ->
+        ignore (Queue.pop t.due);
+        clean ()
+    | Some h -> Some (h.at, h.seq)
+    | None -> None
+  in
+  clean ()
+
+let pop_due t =
+  match peek_due t with
+  | None -> None
+  | Some _ ->
+      let h = Queue.pop t.due in
+      h.state <- Fired;
+      t.live <- t.live - 1;
+      Some (h.at, h.value)

@@ -1,0 +1,43 @@
+(** Hierarchical timer wheel: O(1) arm/cancel, deterministic expiry order.
+
+    The wheel does not fire callbacks.  The owner drives it with {!advance}
+    and drains expired entries from the due queue with {!pop_due}; entries
+    become due in [(at, seq)] order, so an owner that merges the due queue
+    with another [(at, seq)]-ordered source (the engine's event heap)
+    preserves a single global deterministic order. *)
+
+type 'a t
+type 'a handle
+
+val create : ?now:Time.t -> unit -> 'a t
+val now : 'a t -> Time.t
+
+(** Number of armed (neither fired nor cancelled) timers. *)
+val live : 'a t -> int
+
+(** Arm a timer at absolute time [at].  [seq] is the owner's tie-break key:
+    entries expiring at the same instant become due in increasing [seq]
+    order.  [at <= now t] is allowed; the entry is immediately due. *)
+val add : 'a t -> at:Time.t -> seq:int -> 'a -> 'a handle
+
+(** O(1); idempotent; no-op after the timer has fired. *)
+val cancel : 'a handle -> unit
+
+val is_armed : 'a handle -> bool
+
+(** Earliest instant at which the wheel needs attention — an expired entry
+    waiting in the due queue (returned as an instant [>= now t]) or an
+    internal cascade step.  [None] when no armed timers remain.  The owner
+    must not advance simulated time past this point without calling
+    {!advance}. *)
+val next_event : 'a t -> Time.t option
+
+(** Move the wheel's clock to [upto], cascading slots and collecting entries
+    with [at <= upto] into the due queue.  No callbacks run. *)
+val advance : 'a t -> upto:Time.t -> unit
+
+(** [(at, seq)] of the earliest armed due entry, skipping cancelled ones. *)
+val peek_due : 'a t -> (Time.t * int) option
+
+(** Pop the earliest armed due entry, marking it fired. *)
+val pop_due : 'a t -> (Time.t * 'a) option

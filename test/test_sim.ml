@@ -511,6 +511,215 @@ let prop_heap_fifo_ties =
       in
       drain [] = List.init n Fun.id)
 
+(* {1 Cancellable timers} *)
+
+let test_timer_fires () =
+  let eng = Engine.create () in
+  let fired_at = ref None in
+  ignore
+    (Engine.timer eng ~at:(Time.ms 10) (fun () ->
+         fired_at := Some (Engine.now eng)));
+  Engine.run eng;
+  Alcotest.(check (option int)) "fires at its deadline" (Some (Time.ms 10))
+    !fired_at
+
+let test_timer_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let h = Engine.timer eng ~at:(Time.ms 10) (fun () -> fired := true) in
+  Engine.schedule eng ~at:(Time.ms 1) (fun () -> Engine.cancel h);
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled timer never fires" false !fired;
+  Alcotest.(check bool) "no longer armed" false (Engine.timer_armed h);
+  Alcotest.(check int) "no dead event lingers" 0 (Engine.pending_events eng)
+
+let test_timer_rearm () =
+  let eng = Engine.create () in
+  let fires = ref [] in
+  let h =
+    ref (Engine.timer eng ~at:(Time.ms 10) (fun () -> fires := 1 :: !fires))
+  in
+  Engine.schedule eng ~at:(Time.ms 1) (fun () ->
+      Engine.cancel !h;
+      h := Engine.timer eng ~at:(Time.ms 20) (fun () -> fires := 2 :: !fires));
+  Engine.run eng;
+  Alcotest.(check (list int)) "only the re-armed timer fires" [ 2 ] !fires;
+  Alcotest.(check int) "clock at the re-armed deadline" (Time.ms 20)
+    (Engine.now eng)
+
+let test_timer_heap_interleave () =
+  (* Timers and one-shot events at the same instant fire in arming order:
+     both sources share one [(at, seq)] key space. *)
+  let eng = Engine.create () in
+  let log = ref [] in
+  let note x () = log := x :: !log in
+  let at = Time.ms 5 in
+  Engine.schedule eng ~at (note "h1");
+  ignore (Engine.timer eng ~at (note "t1"));
+  Engine.schedule eng ~at (note "h2");
+  ignore (Engine.timer eng ~at (note "t2"));
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "same-instant events fire in arming order"
+    [ "h1"; "t1"; "h2"; "t2" ]
+    (List.rev !log)
+
+let test_timer_overflow_horizon () =
+  (* A deadline beyond the wheel's 32^10 ns horizon parks in the overflow
+     list and still fires, after nearer timers. *)
+  let eng = Engine.create () in
+  let log = ref [] in
+  let far = Time.sec 20_000_000 in
+  ignore (Engine.timer eng ~at:far (fun () -> log := "far" :: !log));
+  ignore (Engine.timer eng ~at:(Time.ms 1) (fun () -> log := "near" :: !log));
+  Engine.run eng;
+  Alcotest.(check (list string)) "order" [ "near"; "far" ] (List.rev !log);
+  Alcotest.(check int) "clock at far deadline" far (Engine.now eng)
+
+let test_sleep_until () =
+  let a, b =
+    run_sim (fun eng ->
+        Engine.sleep_until (Time.ms 7);
+        let a = Engine.now eng in
+        Engine.sleep_until (Time.ms 3);
+        (a, Engine.now eng))
+  in
+  Alcotest.(check int) "wakes at the absolute time" (Time.ms 7) a;
+  Alcotest.(check int) "past deadline does not travel back" (Time.ms 7) b
+
+let test_kill_cancels_sleep () =
+  (* Regression: killing a sleeping process must cancel its wake-up timer,
+     not leave a dead event pending until the sleep would have expired. *)
+  let eng = Engine.create () in
+  let p =
+    Engine.spawn eng ~name:"sleeper" (fun () -> Engine.sleep (Time.sec 3600))
+  in
+  Engine.run ~until:(Time.ms 1) eng;
+  Alcotest.(check bool) "sleep timer pending" true (Engine.pending_events eng > 0);
+  Engine.kill p;
+  Engine.run ~until:(Time.ms 2) eng;
+  Alcotest.(check int) "no dead timer lingers" 0 (Engine.pending_events eng);
+  Alcotest.(check bool) "killed" true (Engine.status p = Some Engine.Killed)
+
+let test_with_timeout_timeout () =
+  let withdrawn = ref false in
+  let o, t =
+    run_sim (fun eng ->
+        let o =
+          Engine.with_timeout ~at:(Time.ms 5) (fun _p _wake () ->
+              withdrawn := true)
+        in
+        (o, Engine.now eng))
+  in
+  Alcotest.(check bool) "timed out" true (o = `Timeout);
+  Alcotest.(check int) "at the deadline" (Time.ms 5) t;
+  Alcotest.(check bool) "registration withdrawn" true !withdrawn
+
+let test_with_timeout_done_cancels_timer () =
+  let eng = Engine.create () in
+  let outcome = ref None in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let o =
+           Engine.with_timeout ~at:(Time.sec 3600) (fun p wake ->
+               Engine.schedule (Engine.engine_of_proc p) ~at:(Time.ms 2)
+                 (fun () -> wake ());
+               fun () -> ())
+         in
+         outcome := Some o));
+  Engine.run eng;
+  Alcotest.(check bool) "completed" true (!outcome = Some `Done);
+  Alcotest.(check int) "deadline timer cancelled" 0 (Engine.pending_events eng);
+  Alcotest.(check int) "did not run to the deadline" (Time.ms 2) (Engine.now eng)
+
+(* {1 Metrics registry} *)
+
+let test_registry_get_or_create () =
+  let r = Metrics.Registry.create () in
+  Metrics.Counter.incr (Metrics.Registry.counter r "x");
+  Metrics.Counter.incr (Metrics.Registry.counter r "x");
+  Alcotest.(check int) "same instrument behind the name" 2
+    (Metrics.Counter.value (Metrics.Registry.counter r "x"))
+
+let test_registry_kind_mismatch () =
+  let r = Metrics.Registry.create () in
+  ignore (Metrics.Registry.counter r "x");
+  match Metrics.Registry.gauge r "x" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_registry_json () =
+  let r = Metrics.Registry.create () in
+  Metrics.Counter.add (Metrics.Registry.counter r "b.count") 3;
+  Metrics.Gauge.set (Metrics.Registry.gauge r "a.gauge") 1.5;
+  Metrics.Hist.record (Metrics.Registry.hist r "c.hist") 100.0;
+  ignore (Metrics.Registry.hist r "d.empty");
+  let j = Metrics.Registry.to_json r in
+  let idx needle =
+    let n = String.length needle and m = String.length j in
+    let rec find i =
+      if i + n > m then Alcotest.failf "%S not in dump:\n%s" needle j
+      else if String.sub j i n = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "keys sorted" true
+    (idx "a.gauge" < idx "b.count" && idx "b.count" < idx "c.hist");
+  Alcotest.(check bool) "gauge value" true
+    (idx "\"a.gauge\": 1.5" >= 0);
+  Alcotest.(check bool) "counter value" true (idx "\"b.count\": 3" >= 0);
+  Alcotest.(check bool) "empty hist serialises as null stats" true
+    (idx "\"d.empty\": {\"count\": 0, \"mean\": null" >= 0);
+  Alcotest.(check string) "emission is stable" j (Metrics.Registry.to_json r)
+
+let test_registry_same_seed_identical () =
+  (* Two same-seed runs of a sim that arms, fires, and cancels timers must
+     dump byte-identical registries. *)
+  let run () =
+    let eng = Engine.create ~seed:11 () in
+    for _ = 1 to 20 do
+      ignore
+        (Engine.spawn eng (fun () ->
+             Engine.sleep (Time.us (1 + Prng.int (Engine.prng eng) 100))))
+    done;
+    let h = Engine.timer eng ~at:(Time.sec 1) (fun () -> ()) in
+    Engine.schedule eng ~at:(Time.us 5) (fun () -> Engine.cancel h);
+    Engine.run eng;
+    Metrics.Registry.to_json (Engine.metrics eng)
+  in
+  Alcotest.(check string) "same seed, same metrics" (run ()) (run ())
+
+let test_hist_edge_cases () =
+  let h = Metrics.Hist.create () in
+  Alcotest.(check int) "empty count" 0 (Metrics.Hist.count h);
+  Alcotest.(check bool) "empty mean is nan" true
+    (Float.is_nan (Metrics.Hist.mean h));
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.Hist.quantile h 0.5));
+  Metrics.Hist.record h 42.0;
+  Alcotest.(check int) "single count" 1 (Metrics.Hist.count h);
+  Alcotest.(check (float 0.0)) "single min" 42.0 (Metrics.Hist.min h);
+  Alcotest.(check (float 0.0)) "single max" 42.0 (Metrics.Hist.max h);
+  Alcotest.(check (float 0.0)) "single mean" 42.0 (Metrics.Hist.mean h);
+  let q0 = Metrics.Hist.quantile h 0.0 in
+  let q1 = Metrics.Hist.quantile h 1.0 in
+  Alcotest.(check (float 0.0)) "q0 = q1 with one bucket" q1 q0;
+  Alcotest.(check bool) "quantile within bucket error" true
+    (Float.abs (q0 -. 42.0) /. 42.0 < 0.1)
+
+let test_hist_negative_values () =
+  (* Non-positive samples collapse into the min_int bucket, whose
+     representative value is 0; min/mean still see the true values. *)
+  let h = Metrics.Hist.create () in
+  Metrics.Hist.record h (-5.0);
+  Alcotest.(check (float 0.0)) "true min kept" (-5.0) (Metrics.Hist.min h);
+  Alcotest.(check (float 0.0)) "bucket representative is 0" 0.0
+    (Metrics.Hist.quantile h 0.5);
+  Metrics.Hist.record h 10.0;
+  Alcotest.(check (float 0.0)) "q0 hits the min_int bucket" 0.0
+    (Metrics.Hist.quantile h 0.0)
+
 let () =
   Alcotest.run "sim"
     [
@@ -533,6 +742,23 @@ let () =
           Alcotest.test_case "exception isolation" `Quick
             test_exception_does_not_poison_engine;
           QCheck_alcotest.to_alcotest prop_sleep_ordering;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "fires at deadline" `Quick test_timer_fires;
+          Alcotest.test_case "cancel suppresses" `Quick test_timer_cancel;
+          Alcotest.test_case "cancel + re-arm" `Quick test_timer_rearm;
+          Alcotest.test_case "same-instant ordering" `Quick
+            test_timer_heap_interleave;
+          Alcotest.test_case "overflow horizon" `Quick
+            test_timer_overflow_horizon;
+          Alcotest.test_case "sleep_until" `Quick test_sleep_until;
+          Alcotest.test_case "kill cancels sleep timer" `Quick
+            test_kill_cancels_sleep;
+          Alcotest.test_case "with_timeout times out" `Quick
+            test_with_timeout_timeout;
+          Alcotest.test_case "with_timeout done cancels" `Quick
+            test_with_timeout_done_cancels_timer;
         ] );
       ( "ivar",
         [
@@ -559,7 +785,17 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "hist edge cases" `Quick test_hist_edge_cases;
+          Alcotest.test_case "hist negative values" `Quick
+            test_hist_negative_values;
           Alcotest.test_case "series rate" `Quick test_series_rate;
+          Alcotest.test_case "registry get-or-create" `Quick
+            test_registry_get_or_create;
+          Alcotest.test_case "registry kind mismatch" `Quick
+            test_registry_kind_mismatch;
+          Alcotest.test_case "registry json" `Quick test_registry_json;
+          Alcotest.test_case "registry same-seed identical" `Quick
+            test_registry_same_seed_identical;
         ] );
       ( "prng",
         [
