@@ -22,10 +22,40 @@ let hr title =
    produce byte-identical files. *)
 let engines : Engine.t list ref = ref []
 
+(* Base path from --trace-out; each experiment writes its own trace next to
+   its BENCH_<name>.json, suffixed with the experiment name so a full run
+   does not overwrite itself. *)
+let trace_out : string option ref = ref None
+
 let new_engine () =
   let e = Engine.create () in
   engines := e :: !engines;
   e
+
+let trace_path base name =
+  let dir = Filename.dirname base and file = Filename.basename base in
+  let stem, ext =
+    match Filename.chop_suffix_opt file ~suffix:".jsonl" with
+    | Some s -> (s, ".jsonl")
+    | None -> (
+        match Filename.chop_suffix_opt file ~suffix:".json" with
+        | Some s -> (s, ".json")
+        | None -> (file, ".json"))
+  in
+  Filename.concat dir (Printf.sprintf "%s_%s%s" stem name ext)
+
+let dump_trace name =
+  match (!trace_out, !engines) with
+  | None, _ | _, [] -> ()
+  | Some base, e :: _ ->
+      (* [engines] is newest-first; the head is the experiment's most
+         recently created (usually only) engine. *)
+      let path = trace_path base name in
+      let format =
+        if Filename.check_suffix path ".jsonl" then `Jsonl else `Chrome
+      in
+      (try Evlog.write_file (Engine.evlog e) ~format path
+       with Sys_error msg -> Printf.eprintf "bench: cannot write trace: %s\n" msg)
 
 let dump_bench name =
   let oc = open_out (Printf.sprintf "BENCH_%s.json" name) in
@@ -43,7 +73,8 @@ let dump_bench name =
 let run_experiment name f quick =
   engines := [];
   f quick;
-  dump_bench name
+  dump_bench name;
+  dump_trace name
 
 (* Step the engine in 100 ms slices until [stop ()] or the simulated cap,
    so runs do not spin on heart-beat timers after the workload finishes. *)
@@ -811,9 +842,20 @@ let run_all quick =
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
-  let args =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick")
+  (* Strip flags (and --trace-out's value) before dispatching on the
+     experiment name. *)
+  let rec strip = function
+    | [] -> []
+    | "--quick" :: rest -> strip rest
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        strip rest
+    | [ "--trace-out" ] ->
+        Printf.eprintf "bench: --trace-out requires a PATH argument\n";
+        exit 1
+    | a :: rest -> a :: strip rest
   in
+  let args = strip (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [] | [ "all" ] ->
       Printf.printf "FT-Linux reproduction: full evaluation%s\n"
@@ -829,5 +871,5 @@ let () =
             experiments;
           exit 1)
   | _ ->
-      Printf.eprintf "usage: bench [EXPERIMENT] [--quick]\n";
+      Printf.eprintf "usage: bench [EXPERIMENT] [--quick] [--trace-out PATH]\n";
       exit 1

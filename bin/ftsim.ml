@@ -65,11 +65,106 @@ let dump_metrics eng = function
       with Sys_error msg ->
         Printf.eprintf "ftsim: cannot write metrics: %s\n" msg)
 
+(* {1 Tracing and logging flags}
+
+   Shared by every engine-backed subcommand: [--trace-out] exports the
+   engine's event log (Chrome trace_event JSON unless the path ends in
+   .jsonl — open the former in Perfetto), [--trace-detail] turns on the
+   high-volume event sites, and [--log-level] / [--log-filter] enable the
+   stderr log sink with per-component levels. *)
+
+let trace_out_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the structured event trace to $(docv) after the run: Chrome \
+           trace_event JSON (opens in Perfetto) by default, JSONL if the \
+           path ends in .jsonl.")
+
+let trace_detail_t =
+  Arg.(
+    value & flag
+    & info [ "trace-detail" ]
+        ~doc:
+          "Also record high-volume events (per-park, per-timer, per-segment, \
+           per-futex-wake); grows traces by orders of magnitude.")
+
+let log_level_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Print log events at or above $(docv) (error, warn, info, debug) \
+           to stderr.")
+
+let log_filter_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "log-filter" ] ~docv:"SPEC"
+        ~doc:
+          "Per-component level overrides, e.g. \
+           $(b,ft.cluster=debug,net.tcp=info).  Implies the stderr sink for \
+           those components.")
+
+let setup_logging log_level log_filter =
+  Trace.reset_levels ();
+  (match log_level with
+  | None -> ()
+  | Some s -> (
+      match Trace.level_of_string s with
+      | Some l ->
+          Trace.set_level l;
+          Trace.set_stderr true
+      | None -> Printf.eprintf "ftsim: unknown log level %S ignored\n" s));
+  match log_filter with
+  | None -> ()
+  | Some spec ->
+      List.iter
+        (fun item ->
+          if item <> "" then
+            match String.index_opt item '=' with
+            | Some i -> (
+                let comp = String.sub item 0 i in
+                let lvl =
+                  String.sub item (i + 1) (String.length item - i - 1)
+                in
+                match Trace.level_of_string lvl with
+                | Some l ->
+                    Trace.set_level ~component:comp l;
+                    Trace.set_stderr true
+                | None ->
+                    Printf.eprintf "ftsim: unknown log level %S ignored\n" lvl)
+            | None ->
+                Printf.eprintf
+                  "ftsim: malformed --log-filter item %S (want comp=level)\n"
+                  item)
+        (String.split_on_char ',' spec)
+
+let trace_format_of_path path =
+  if Filename.check_suffix path ".jsonl" then `Jsonl else `Chrome
+
+let dump_trace eng = function
+  | None -> ()
+  | Some path -> (
+      try
+        Evlog.write_file (Engine.evlog eng)
+          ~format:(trace_format_of_path path)
+          path
+      with Sys_error msg ->
+        Printf.eprintf "ftsim: cannot write trace: %s\n" msg)
+
+let apply_detail eng detail =
+  if detail then Evlog.set_detail (Engine.evlog eng) true
+
 (* {1 pbzip2} *)
 
 let pbzip2_cmd =
-  let run seed replicated fail_at block_kb file_mb workers metrics_json =
+  let run seed replicated fail_at block_kb file_mb workers metrics_json
+      trace_out trace_detail log_level log_filter =
+    setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
+    apply_detail eng trace_detail;
     let params =
       {
         Pbzip2.default_params with
@@ -108,6 +203,7 @@ let pbzip2_cmd =
     drive eng ~cap:(Time.sec 600) ~stop:(fun () -> !t_done <> None);
     (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
     dump_metrics eng metrics_json;
+    dump_trace eng trace_out;
     match !t_done with
     | Some t ->
         Printf.printf "compressed %d blocks (%d MiB) in %s: %.0f blocks/s\n"
@@ -135,13 +231,17 @@ let pbzip2_cmd =
     (Cmd.info "pbzip2" ~doc:"Parallel compression workload (paper §4.1).")
     Term.(
       const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
-      $ workers $ metrics_json_t)
+      $ workers $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 (* {1 mongoose} *)
 
 let mongoose_cmd =
-  let run seed replicated cpu_us concurrency seconds metrics_json =
+  let run seed replicated cpu_us concurrency seconds metrics_json trace_out
+      trace_detail log_level log_filter =
+    setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
+    apply_detail eng trace_detail;
     let link = gbit_link eng in
     let params =
       {
@@ -172,6 +272,7 @@ let mongoose_cmd =
     Loadgen.ab_stop ab;
     (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
     dump_metrics eng metrics_json;
+    dump_trace eng trace_out;
     Printf.printf
       "%.0f req/s over %ds (concurrency %d, CPU loop %dus); p50 %.2fms p99 %.2fms\n"
       (float_of_int (c1 - c0) /. float_of_int seconds)
@@ -197,52 +298,75 @@ let mongoose_cmd =
     (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
     Term.(
       const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds
-      $ metrics_json_t)
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
-(* {1 failover} *)
+(* {1 failover / fileserver / timeline}
+
+   One runner, three views: [failover] prints the paper's Fig. 8 anatomy
+   (throughput over time, outage length), [fileserver] is the same workload
+   with the failure optional, and [timeline] reads the per-phase failover
+   breakdown back out of the event trace. *)
+
+let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~detail () =
+  let eng = Engine.create ~seed () in
+  apply_detail eng detail;
+  let link = gbit_link eng in
+  let app api =
+    Fileserver.run
+      ~params:
+        { Fileserver.default_params with Fileserver.file_bytes = mib file_mb }
+      api
+  in
+  let config =
+    { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
+  in
+  let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
+  (match fail_at with
+  | Some ms -> Cluster.fail_primary cluster ~at:(Time.ms ms)
+  | None -> ());
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let w =
+    Loadgen.wget_start client ~server:"10.0.0.1" ~port:80 ~target:"/file" ()
+  in
+  drive eng ~cap:(Time.sec 300) ~stop:(fun () -> Ivar.is_filled w.Loadgen.total);
+  Cluster.shutdown cluster;
+  (eng, cluster, w)
+
+let print_outage cluster =
+  match
+    (Cluster.failover_started_at cluster, Cluster.failover_completed_at cluster)
+  with
+  | Some a, Some b ->
+      Printf.printf "failover outage: %s\n" (Time.to_string (b - a))
+  | _ -> Printf.printf "no failover\n"
+
+let print_download w ~file_mb =
+  match Ivar.peek w.Loadgen.total with
+  | Some n ->
+      Printf.printf "downloaded %d/%d bytes (%s)\n" n (mib file_mb)
+        (if n = mib file_mb then "complete" else "INCOMPLETE")
+  | None -> Printf.printf "download incomplete at cap\n"
+
+let file_mb_t =
+  Arg.(value & opt int 512 & info [ "file-mb" ] ~docv:"MB" ~doc:"File size.")
 
 let failover_cmd =
-  let run seed file_mb fail_at_ms driver_ms metrics_json =
-    let eng = Engine.create ~seed () in
-    let link = gbit_link eng in
-    let app api =
-      Fileserver.run
-        ~params:
-          { Fileserver.default_params with Fileserver.file_bytes = mib file_mb }
-        api
+  let run seed file_mb fail_at_ms driver_ms metrics_json trace_out trace_detail
+      log_level log_filter =
+    setup_logging log_level log_filter;
+    let eng, cluster, w =
+      run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms
+        ~detail:trace_detail ()
     in
-    let config =
-      { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
-    in
-    let cluster =
-      Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ()
-    in
-    Cluster.fail_primary cluster ~at:(Time.ms fail_at_ms);
-    let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
-    let w =
-      Loadgen.wget_start client ~server:"10.0.0.1" ~port:80 ~target:"/file" ()
-    in
-    drive eng ~cap:(Time.sec 300) ~stop:(fun () -> Ivar.is_filled w.Loadgen.total);
-    Cluster.shutdown cluster;
     dump_metrics eng metrics_json;
+    dump_trace eng trace_out;
     Printf.printf "t(s)  MB/s\n";
     List.iter
       (fun (t, r) -> Printf.printf "%-5.0f %8.1f\n" t (r /. 1e6))
       (Metrics.Series.rate_per_sec w.Loadgen.bytes_received);
-    (match
-       (Cluster.failover_started_at cluster, Cluster.failover_completed_at cluster)
-     with
-    | Some a, Some b ->
-        Printf.printf "failover outage: %s\n" (Time.to_string (b - a))
-    | _ -> Printf.printf "no failover\n");
-    match Ivar.peek w.Loadgen.total with
-    | Some n ->
-        Printf.printf "downloaded %d/%d bytes (%s)\n" n (mib file_mb)
-          (if n = mib file_mb then "complete" else "INCOMPLETE")
-    | None -> Printf.printf "download incomplete at cap\n"
-  in
-  let file_mb =
-    Arg.(value & opt int 512 & info [ "file-mb" ] ~docv:"MB" ~doc:"File size.")
+    print_outage cluster;
+    print_download w ~file_mb
   in
   let fail_at =
     Arg.(
@@ -252,13 +376,111 @@ let failover_cmd =
   Cmd.v
     (Cmd.info "failover"
        ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
-    Term.(const run $ seed_t $ file_mb $ fail_at $ driver_ms_t $ metrics_json_t)
+    Term.(
+      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ metrics_json_t
+      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
+
+let fileserver_cmd =
+  let run seed file_mb fail_at_ms driver_ms metrics_json trace_out trace_detail
+      log_level log_filter =
+    setup_logging log_level log_filter;
+    let eng, cluster, w =
+      run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms
+        ~detail:trace_detail ()
+    in
+    dump_metrics eng metrics_json;
+    dump_trace eng trace_out;
+    print_download w ~file_mb;
+    if fail_at_ms <> None then print_outage cluster
+  in
+  let fail_at =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fail-at-ms" ] ~docv:"MS"
+          ~doc:"Fail-stop the primary partition at this simulated time.")
+  in
+  Cmd.v
+    (Cmd.info "fileserver"
+       ~doc:
+         "Replicated file server under a large download, with an optional \
+          mid-stream primary failure.")
+    Term.(
+      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ metrics_json_t
+      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
+
+let timeline_cmd =
+  let run seed file_mb fail_at_ms driver_ms trace_out trace_detail log_level
+      log_filter =
+    setup_logging log_level log_filter;
+    let eng, cluster, _w =
+      run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms
+        ~detail:trace_detail ()
+    in
+    dump_trace eng trace_out;
+    let evs = Evlog.events (Engine.evlog eng) in
+    let ms t = float_of_int t /. 1e6 in
+    let phases =
+      [
+        ("detect", "failover.detect");
+        ("drain/replay", "failover.drain_replay");
+        ("driver reload", "failover.driver_reload");
+        ("go-live", "failover.golive");
+      ]
+    in
+    Printf.printf "failover timeline (seed %d, fail at %d ms):\n" seed
+      fail_at_ms;
+    Printf.printf "  %-14s %12s %12s %12s\n" "phase" "start(ms)" "end(ms)"
+      "dur(ms)";
+    let sum = ref 0 in
+    let missing = ref false in
+    List.iter
+      (fun (label, name) ->
+        match Evlog.Query.span_of ~comp:"ft.cluster" ~name evs with
+        | Some (t0, t1) ->
+            sum := !sum + (t1 - t0);
+            Printf.printf "  %-14s %12.3f %12.3f %12.3f\n" label (ms t0)
+              (ms t1) (ms (t1 - t0))
+        | None ->
+            missing := true;
+            Printf.printf "  %-14s %12s %12s %12s\n" label "-" "-" "-")
+      phases;
+    if !missing then Printf.printf "no failover: phase spans missing\n"
+    else begin
+      Printf.printf "  %-14s %38.3f\n" "sum of phases" (ms !sum);
+      match
+        (Cluster.primary_halted_at cluster, Cluster.failover_completed_at cluster)
+      with
+      | Some halt, Some live ->
+          Printf.printf "  %-14s %38.3f   (halt %.3f -> live %.3f)\n"
+            "measured" (ms (live - halt)) (ms halt) (ms live);
+          if abs (live - halt - !sum) > Time.ms 1 then
+            Printf.printf
+              "WARNING: phases do not sum to the measured recovery time\n"
+      | _ -> Printf.printf "  measured recovery unavailable\n"
+    end
+  in
+  let fail_at =
+    Arg.(
+      value & opt int 2000
+      & info [ "fail-at-ms" ] ~docv:"MS" ~doc:"Primary failure time.")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run the failover scenario and print the per-phase recovery \
+          breakdown (Fig. 8 anatomy) from the event trace.")
+    Term.(
+      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ trace_out_t
+      $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 triple} *)
 
 let triple_cmd =
-  let run seed fail_backup_ms fail_primary_ms driver_ms metrics_json =
+  let run seed fail_backup_ms fail_primary_ms driver_ms metrics_json trace_out
+      trace_detail log_level log_filter =
+    setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
+    apply_detail eng trace_detail;
     let link = gbit_link eng in
     let config =
       { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
@@ -311,6 +533,7 @@ let triple_cmd =
     drive eng ~cap:(Time.sec 60) ~stop:(fun () -> Ivar.is_filled result);
     Tricluster.shutdown t;
     dump_metrics eng metrics_json;
+    dump_trace eng trace_out;
     Printf.printf "backups' received LSN: %d / %d\n"
       (Tricluster.backup_received_lsn t 0)
       (Tricluster.backup_received_lsn t 1);
@@ -339,15 +562,33 @@ let triple_cmd =
        ~doc:"Three-replica echo service with optional injected failures (paper 6).")
     Term.(
       const run $ seed_t $ fail_backup $ fail_primary $ driver_ms_t
-      $ metrics_json_t)
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 (* {1 memdump} *)
 
 let memdump_cmd =
-  let run multiplier ram_gib =
+  let run multiplier ram_gib trace_out =
     let layout = Memlayout.create ~ram_bytes:(ram_gib * 1024 * mib 1) in
     Memcached.apply_load layout ~multiplier;
     let i, d, u = Memlayout.fractions layout in
+    (* No engine here; the trace is a single summary event. *)
+    (match trace_out with
+    | None -> ()
+    | Some path -> (
+        let ev = Evlog.create ~cap:16 () in
+        Evlog.emit ev ~comp:"app.memdump" "fractions"
+          ~args:
+            [
+              ("multiplier", Evlog.Int multiplier);
+              ("ram_gib", Evlog.Int ram_gib);
+              ("ignored", Evlog.Float i);
+              ("delayed", Evlog.Float d);
+              ("user", Evlog.Float u);
+            ];
+        try Evlog.write_file ev ~format:(trace_format_of_path path) path
+        with Sys_error msg ->
+          Printf.eprintf "ftsim: cannot write trace: %s\n" msg));
     Printf.printf
       "memcached at %dx on %d GiB: Ignored %.1f%%  Delayed %.1f%%  User %.1f%%\n"
       multiplier ram_gib (100. *. i) (100. *. d) (100. *. u)
@@ -363,7 +604,7 @@ let memdump_cmd =
   Cmd.v
     (Cmd.info "memdump"
        ~doc:"Classify physical memory under a memcached load (paper Fig. 1).")
-    Term.(const run $ multiplier $ ram)
+    Term.(const run $ multiplier $ ram $ trace_out_t)
 
 let () =
   let info =
@@ -373,4 +614,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ pbzip2_cmd; mongoose_cmd; failover_cmd; triple_cmd; memdump_cmd ]))
+          [
+            pbzip2_cmd;
+            mongoose_cmd;
+            failover_cmd;
+            fileserver_cmd;
+            timeline_cmd;
+            triple_cmd;
+            memdump_cmd;
+          ]))

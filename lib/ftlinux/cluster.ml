@@ -54,6 +54,10 @@ type t = {
   failover_done : unit Ivar.t;
   mutable failover_started : Time.t option;
   mutable failover_completed : Time.t option;
+  mutable primary_halted : Time.t option;
+  (* Open "failover.detect" span: begun when the primary halts, ended when
+     the heartbeat monitor reacts ([run_failover]). *)
+  mutable ph_detect : Evlog.span option;
 }
 
 let log = Trace.make "ft.cluster"
@@ -68,6 +72,7 @@ let secondary_namespace t = t.ns_s
 let failover_done t = t.failover_done
 let failover_started_at t = t.failover_started
 let failover_completed_at t = t.failover_completed
+let primary_halted_at t = t.primary_halted
 
 let traffic_msgs t = Msglayer.traffic_msgs t.ml_p t.ml_s
 let traffic_bytes t = Msglayer.traffic_bytes t.ml_p t.ml_s
@@ -85,9 +90,24 @@ let shutdown t =
 let run_failover t =
   t.failover_started <- Some (Engine.now t.eng);
   let reg = Engine.metrics t.eng in
+  let ev = Engine.evlog t.eng in
   Metrics.Counter.incr (Metrics.Registry.counter reg "cluster.failovers");
   Trace.warnf log ~eng:t.eng "failover: primary declared failed";
+  (* The failover-phase spans are pinned (exempt from ring eviction) and
+     contiguous: detect ends exactly where drain/replay begins, and so on —
+     so the per-phase durations in [ftsim timeline] sum exactly to the
+     halt-to-live recovery time. *)
+  (match t.ph_detect with
+  | Some sp ->
+      Evlog.span_end ev sp;
+      t.ph_detect <- None
+  | None ->
+      (* No observed halt (e.g. a false-positive detection): record a
+         zero-length detect phase so the timeline still has all four. *)
+      Evlog.span_end ev
+        (Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.detect"));
   Ipi.send_halt t.eng t.part_p;
+  let ph_drain = Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.drain_replay" in
   ignore
     (Kernel.spawn_thread t.kernel_s ~name:"ft-failover" (fun () ->
          (* 1. Drain the log: everything the primary managed to put in
@@ -111,9 +131,19 @@ let run_failover t =
            end
          in
          wait_idle 0;
+         Evlog.span_end ev ph_drain;
+         let ph_driver =
+           Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.driver_reload"
+         in
          Trace.infof log ~eng:t.eng "failover: log drained, replay complete";
          (* 3. Take over the network: reload the driver, rebuild the TCP
             stack from the shadow's logical state, re-listen. *)
+         let finish_golive () =
+           let ph_golive =
+             Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.golive"
+           in
+           fun () -> Evlog.span_end ev ph_golive
+         in
          (match t.nic with
          | Some nic ->
              let stack_s =
@@ -121,6 +151,8 @@ let run_failover t =
                  ~ip:t.cfg.server_ip ()
              in
              Nic.transfer nic ~owner:t.part_s ~rx:(Tcp.rx_callback stack_s);
+             Evlog.span_end ev ph_driver;
+             let golive_done = finish_golive () in
              Tcp.bind_nic stack_s nic;
              let shadow = Namespace.shadow_of t.ns_s in
              let listeners =
@@ -129,8 +161,13 @@ let run_failover t =
                  (Shadow.listener_ports shadow)
              in
              ignore (Shadow.restore_all shadow stack_s);
-             Namespace.go_live t.ns_s ~stack:stack_s ~listeners ()
-         | None -> Namespace.go_live t.ns_s ());
+             Namespace.go_live t.ns_s ~stack:stack_s ~listeners ();
+             golive_done ()
+         | None ->
+             Evlog.span_end ev ph_driver;
+             let golive_done = finish_golive () in
+             Namespace.go_live t.ns_s ();
+             golive_done ());
          t.failover_completed <- Some (Engine.now t.eng);
          (match t.failover_started with
          | Some s ->
@@ -195,7 +232,7 @@ let create eng ?(config = default_config) ?link ~app () =
       Kernel.spawn_thread kernel_s ~name f);
   let t_ref = ref None in
   let hb_p =
-    Heartbeat.start
+    Heartbeat.start ~name:"primary"
       ~spawn:(fun name f -> Kernel.spawn_thread kernel_p ~name f)
       ~eng ~period:config.hb_period ~timeout:config.hb_timeout
       ~send:(fun ~seq -> Msglayer.send_heartbeat_p ml_p ~seq)
@@ -209,15 +246,17 @@ let create eng ?(config = default_config) ?link ~app () =
             Msglayer.disable t.ml_p;
             Namespace.go_solo t.ns_p
         | None -> ())
+      ()
   in
   let hb_s =
-    Heartbeat.start
+    Heartbeat.start ~name:"secondary"
       ~spawn:(fun name f -> Kernel.spawn_thread kernel_s ~name f)
       ~eng ~period:config.hb_period ~timeout:config.hb_timeout
       ~send:(fun ~seq -> Msglayer.send_heartbeat_s ml_s ~seq)
       ~last_peer:(fun () -> Msglayer.last_peer_activity_s ml_s)
       ~on_failure:(fun () ->
         match !t_ref with Some t -> run_failover t | None -> ())
+      ()
   in
   let t =
     {
@@ -238,9 +277,23 @@ let create eng ?(config = default_config) ?link ~app () =
       failover_done = Ivar.create ();
       failover_started = None;
       failover_completed = None;
+      primary_halted = None;
+      ph_detect = None;
     }
   in
   t_ref := Some t;
+  (* An unexpected primary halt opens the "failover.detect" phase: the
+     clock on how long the failure goes unnoticed starts at the halt, not
+     at the heartbeat monitor's reaction.  [run_failover]'s own IPI-halt
+     arrives with [failover_started] already set and is not a detection. *)
+  Partition.on_halt part_p (fun () ->
+      if t.failover_started = None then begin
+        t.primary_halted <- Some (Engine.now eng);
+        t.ph_detect <-
+          Some
+            (Evlog.span_begin (Engine.evlog eng) ~pin:true ~comp:"ft.cluster"
+               "failover.detect")
+      end);
   ignore (Namespace.start_app ns_p app);
   ignore (Namespace.start_app ns_s app);
   t

@@ -66,6 +66,11 @@ val failover_done : t -> unit Ivar.t
 val failover_started_at : t -> Time.t option
 val failover_completed_at : t -> Time.t option
 
+val primary_halted_at : t -> Time.t option
+(** When the primary partition halted unexpectedly (i.e. not by the
+    failover sequence's own IPI); the "failover.detect" trace span and the
+    measured recovery time both start here. *)
+
 val shutdown : t -> unit
 (** Stop heart-beat timers so an idle simulation can drain. *)
 

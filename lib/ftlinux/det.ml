@@ -32,6 +32,9 @@ type t = {
   turn_changed : Waitq.t;
   mutable live : bool;
   ops : Metrics.Counter.t;
+  (* Open "section" span (detail-gated); sections are serialized under
+     [global], so one slot suffices. *)
+  mutable cur_span : Evlog.span option;
 }
 
 let log = Trace.make "ft.det"
@@ -51,6 +54,7 @@ let make rl eng ml =
     turn_changed = Waitq.create ();
     live = false;
     ops = Metrics.Counter.create ();
+    cur_span = None;
   }
 
 let create_primary eng ml = make Primary_role eng (Some ml)
@@ -91,8 +95,24 @@ let current_ftpid t = (ctx_exn t).ft_pid
 
 (* {1 Deterministic sections} *)
 
+let section_begin t =
+  let ev = Engine.evlog t.eng in
+  if Evlog.detail ev then
+    t.cur_span <-
+      Some
+        (Evlog.span_begin ev ~comp:"ft.det" "section"
+           ~args:[ ("global_seq", Evlog.Int t.gseq) ])
+
+let section_end t =
+  match t.cur_span with
+  | Some sp ->
+      t.cur_span <- None;
+      Evlog.span_end (Engine.evlog t.eng) sp
+  | None -> ()
+
 let det_start_primary t =
   Sync.Mutex.lock t.global;
+  section_begin t;
   t.cur_payload <- Wire.P_plain
 
 let det_end_primary t =
@@ -106,6 +126,13 @@ let det_end_primary t =
         payload = t.cur_payload;
       }
   in
+  Evlog.emit (Engine.evlog t.eng) ~comp:"ft.det" "tuple.emit"
+    ~args:
+      [
+        ("ft_pid", Evlog.Int ctx.ft_pid);
+        ("thread_seq", Evlog.Int ctx.dseq);
+        ("global_seq", Evlog.Int t.gseq);
+      ];
   ctx.dseq <- ctx.dseq + 1;
   t.gseq <- t.gseq + 1;
   Metrics.Counter.incr t.ops;
@@ -115,6 +142,7 @@ let det_end_primary t =
   (match t.ml with
   | Some sink -> ignore (sink.Msglayer.sink_append record)
   | None -> ());
+  section_end t;
   Sync.Mutex.unlock t.global
 
 let turn_matches t ctx =
@@ -126,7 +154,8 @@ let det_start_secondary t =
   let ctx = ctx_exn t in
   if t.live || ctx.live_seen then begin
     ctx.live_seen <- true;
-    Sync.Mutex.lock t.global
+    Sync.Mutex.lock t.global;
+    section_begin t
   end
   else begin
     let rec wait () =
@@ -138,6 +167,7 @@ let det_start_secondary t =
     in
     wait ();
     Sync.Mutex.lock t.global;
+    section_begin t;
     if not ctx.live_seen then begin
       let pt = Hashtbl.find t.pending t.gseq in
       if pt.pt_thread_seq <> ctx.dseq then
@@ -149,10 +179,20 @@ let det_start_secondary t =
 
 let det_end_secondary t =
   let ctx = ctx_exn t in
-  if not ctx.live_seen then Hashtbl.remove t.pending t.gseq;
+  if not ctx.live_seen then begin
+    Hashtbl.remove t.pending t.gseq;
+    Evlog.emit (Engine.evlog t.eng) ~comp:"ft.det" "tuple.consume"
+      ~args:
+        [
+          ("ft_pid", Evlog.Int ctx.ft_pid);
+          ("thread_seq", Evlog.Int ctx.dseq);
+          ("global_seq", Evlog.Int t.gseq);
+        ]
+  end;
   ctx.dseq <- ctx.dseq + 1;
   t.gseq <- t.gseq + 1;
   Metrics.Counter.incr t.ops;
+  section_end t;
   Sync.Mutex.unlock t.global;
   ignore (Waitq.wake_all t.turn_changed)
 
@@ -195,6 +235,13 @@ let pthread_hooks t =
 (* {1 Secondary delivery} *)
 
 let deliver_tuple t ~ft_pid ~thread_seq ~global_seq ~payload =
+  Evlog.emit (Engine.evlog t.eng) ~comp:"ft.det" "tuple.deliver"
+    ~args:
+      [
+        ("ft_pid", Evlog.Int ft_pid);
+        ("thread_seq", Evlog.Int thread_seq);
+        ("global_seq", Evlog.Int global_seq);
+      ];
   Hashtbl.replace t.pending global_seq
     { pt_ft_pid = ft_pid; pt_thread_seq = thread_seq; pt_payload = payload };
   ignore (Waitq.wake_all t.turn_changed)

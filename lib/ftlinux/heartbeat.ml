@@ -14,16 +14,23 @@ type t = {
   mutable mon_h : Engine.handle option;
 }
 
-let start ~spawn ~eng ~period ~timeout ~send ~last_peer ~on_failure =
+let start ?(name = "hb") ~spawn ~eng ~period ~timeout ~send ~last_peer
+    ~on_failure () =
   if period <= 0 || timeout <= 0 then invalid_arg "Heartbeat.start";
   let t = { stopped = false; fired = false; send_h = None; mon_h = None } in
+  let ev = Engine.evlog eng in
   let rec arm_send seq ~at =
     t.send_h <-
       Some
         (Engine.timer eng ~at (fun () ->
              t.send_h <- None;
              if not t.stopped then begin
-               (try send ~seq
+               (try
+                  send ~seq;
+                  if Evlog.detail ev then
+                    Evlog.emit ev ~comp:"ft.heartbeat" "send"
+                      ~args:
+                        [ ("detector", Evlog.Str name); ("seq", Evlog.Int seq) ]
                 with Partition.Halted _ -> t.stopped <- true);
                if not t.stopped then
                  arm_send (seq + 1) ~at:(Engine.now eng + period)
@@ -38,6 +45,12 @@ let start ~spawn ~eng ~period ~timeout ~send ~last_peer ~on_failure =
                if Engine.now eng - last_peer () > timeout then begin
                  t.fired <- true;
                  t.stopped <- true;
+                 Evlog.emit ev ~pin:true ~comp:"ft.heartbeat" "failure_detected"
+                   ~args:
+                     [
+                       ("detector", Evlog.Str name);
+                       ("silence_ns", Evlog.Int (Engine.now eng - last_peer ()));
+                     ];
                  (* [on_failure] may block (failover drains the log), so it
                     needs a process context; spawning on a halted partition
                     means the detector's own host is dead — stay silent. *)

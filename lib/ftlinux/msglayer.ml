@@ -47,6 +47,11 @@ let create_primary eng ~out ~inb =
       Metrics.Registry.counter (Engine.metrics eng) "msglayer.records_appended";
   }
 
+let record_kind = function
+  | Wire.Sync_tuple _ -> "tuple"
+  | Wire.Syscall_result _ -> "syscall"
+  | Wire.Tcp_delta _ -> "tcp_delta"
+
 let append p record =
   if p.disabled then p.next_lsn
   else begin
@@ -54,6 +59,9 @@ let append p record =
     p.next_lsn <- lsn + 1;
     Metrics.Counter.incr p.p_recs;
     Metrics.Counter.incr p.r_recs;
+    Evlog.emit (Engine.evlog p.p_eng) ~comp:"ft.msglayer" "record.append"
+      ~args:
+        [ ("lsn", Evlog.Int lsn); ("kind", Evlog.Str (record_kind record)) ];
     let msg = Wire.Record { lsn; record } in
     Mailbox.send p.p_out ~bytes:(Wire.message_bytes msg) msg;
     lsn
@@ -97,6 +105,9 @@ let spawn_primary_rx p spawn =
            | Wire.Ack { upto } ->
                if upto > p.p_acked then begin
                  p.p_acked <- upto;
+                 Evlog.emit (Engine.evlog p.p_eng) ~comp:"ft.msglayer"
+                   "record.acked"
+                   ~args:[ ("upto", Evlog.Int upto) ];
                  ignore (Waitq.wake_all p.stable_waiters)
                end
            | Wire.Heartbeat _ -> ()
@@ -132,7 +143,14 @@ let send_ack s =
     if
       (not (Mailbox.src_halted s.s_out))
       && Mailbox.try_send s.s_out ~bytes:(Wire.message_bytes msg) msg
-    then s.s_last_acked <- s.s_received
+    then begin
+      s.s_last_acked <- s.s_received;
+      let ev = Engine.evlog s.s_eng in
+      Evlog.emit ev ~comp:"ft.msglayer" "record.ack"
+        ~args:[ ("upto", Evlog.Int s.s_received) ];
+      Evlog.counter ev ~comp:"ft.msglayer" "acked_lsn"
+        (float_of_int s.s_received)
+    end
   end
 
 let handle s msg =
@@ -140,6 +158,10 @@ let handle s msg =
   match msg with
   | Wire.Record { lsn; record } ->
       s.processing <- true;
+      let sp =
+        Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer" "replay"
+          ~args:[ ("lsn", Evlog.Int lsn) ]
+      in
       (* Records that wake a replaying thread pay the wake_up_process()
          latency — the serial bottleneck the paper identifies (§4.1); TCP
          deltas are absorbed in this context at memcpy-ish cost. *)
@@ -148,6 +170,7 @@ let handle s msg =
       s.handler record;
       s.s_received <- max s.s_received lsn;
       Metrics.Counter.incr s.r_replayed;
+      Evlog.span_end (Engine.evlog s.s_eng) sp;
       s.processing <- false
   | Wire.Heartbeat _ -> ()
   | Wire.Ack _ -> Trace.errorf log ~eng:s.s_eng "unexpected ack on record channel"

@@ -147,8 +147,15 @@ let log_conn_syscall t det c mk =
 let install_primary_tcp_hooks t stack =
   let sink = Option.get t.ml in
   let append r = ignore (sink.Msglayer.sink_append r) in
-  let wait_tail () =
-    sink.Msglayer.sink_wait_stable ~lsn:(sink.Msglayer.sink_last_lsn ())
+  let wait_tail gate () =
+    let lsn = sink.Msglayer.sink_last_lsn () in
+    sink.Msglayer.sink_wait_stable ~lsn;
+    (* Recorded after the wait returns: this is the instant the output
+       actually became releasable (its covering ack had arrived). *)
+    Evlog.emit
+      (Engine.evlog (Kernel.engine t.kernel))
+      ~comp:"ft.namespace" "output.commit"
+      ~args:[ ("lsn", Evlog.Int lsn); ("gate", Evlog.Str gate) ]
   in
   Tcp.set_hooks stack
     (Some
@@ -170,7 +177,7 @@ let install_primary_tcp_hooks t stack =
              (* The client's data may be acknowledged only once its logging
                 is stable: otherwise a primary crash could lose input the
                 client will never retransmit. *)
-             if t.ack_commit then wait_tail ());
+             if t.ack_commit then wait_tail "ack" ());
          egress_gate =
            (fun c ~len ->
              (* The size of every output segment is forwarded before it is
@@ -181,7 +188,7 @@ let install_primary_tcp_hooks t stack =
              | Some cid when len > 0 ->
                  append (Wire.Tcp_delta (Wire.D_out_seg { cid; len }))
              | _ -> ());
-             if t.output_commit then wait_tail ());
+             if t.output_commit then wait_tail "egress" ());
          on_ack_progress =
            (fun c ~snd_una ->
              (* Coalesced: the shadow's trim granularity only bounds how

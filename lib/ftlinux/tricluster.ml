@@ -227,6 +227,7 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
      backup monitors the primary. *)
   let hb_backup_monitor i =
     Heartbeat.start
+      ~name:(Printf.sprintf "primary-of-backup-%d" i)
       ~spawn:(fun n f -> Kernel.spawn_thread kernel_p ~name:n f)
       ~eng ~period:config.Cluster.hb_period ~timeout:config.Cluster.hb_timeout
       ~send:(fun ~seq -> Msglayer.send_heartbeat_p ml_ps.(i) ~seq)
@@ -236,9 +237,11 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
         Ipi.send_halt eng parts_b.(i);
         Msglayer.group_disable group i;
         if Array.for_all Partition.is_halted parts_b then Namespace.go_solo ns_p)
+      ()
   in
   let hb_primary_monitor i =
     Heartbeat.start
+      ~name:(Printf.sprintf "backup-%d" i)
       ~spawn:(fun n f -> Kernel.spawn_thread kernels_b.(i) ~name:n f)
       ~eng ~period:config.Cluster.hb_period ~timeout:config.Cluster.hb_timeout
       ~send:(fun ~seq -> Msglayer.send_heartbeat_s ml_ss.(i) ~seq)
@@ -247,6 +250,7 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
         Trace.warnf log ~eng "backup %d: primary declared failed" i;
         Ipi.send_halt eng part_p;
         run_backup_failover t ~me:i)
+      ()
   in
   t.hbs <-
     [ hb_backup_monitor 0; hb_backup_monitor 1; hb_primary_monitor 0; hb_primary_monitor 1 ];

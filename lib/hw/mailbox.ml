@@ -11,8 +11,9 @@ type 'a chan = {
   slots : Sync.Semaphore.t;
   inbox : 'a Bqueue.t;
   (* Messages in the propagation window, keyed by a monotonic token so the
-     delivery timers can be cancelled deterministically on coherency loss. *)
-  pending : (int, Engine.handle) Hashtbl.t;
+     delivery timers can be cancelled deterministically on coherency loss.
+     Each carries its open trace span so the drop path can close it. *)
+  pending : (int, Engine.handle * Evlog.span) Hashtbl.t;
   mutable next_token : int;
   sent_msgs : Metrics.Counter.t;
   sent_bytes : Metrics.Counter.t;
@@ -43,29 +44,35 @@ let account t bytes =
   Metrics.Counter.incr t.r_msgs;
   Metrics.Counter.add t.r_bytes bytes
 
-let deliver_later t v =
+let deliver_later t ~bytes v =
   let tok = t.next_token in
   t.next_token <- tok + 1;
+  let ev = Engine.evlog t.eng in
+  let sp =
+    Evlog.span_begin ev ~comp:"hw.mailbox" "propagate"
+      ~args:[ ("token", Evlog.Int tok); ("bytes", Evlog.Int bytes) ]
+  in
   let h =
     Engine.timer t.eng
       ~at:(Engine.now t.eng + t.cfg.propagation_delay)
       (fun () ->
         Hashtbl.remove t.pending tok;
+        Evlog.span_end ev sp;
         Bqueue.put t.inbox v)
   in
-  Hashtbl.replace t.pending tok h
+  Hashtbl.replace t.pending tok (h, sp)
 
 let send t ~bytes v =
   Partition.check_alive t.src;
   Sync.Semaphore.acquire t.slots;
   account t bytes;
-  deliver_later t v
+  deliver_later t ~bytes v
 
 let try_send t ~bytes v =
   Partition.check_alive t.src;
   if Sync.Semaphore.try_acquire t.slots then begin
     account t bytes;
-    deliver_later t v;
+    deliver_later t ~bytes v;
     true
   end
   else false
@@ -111,11 +118,17 @@ let drop_in_flight t =
   let toks = Hashtbl.fold (fun k _ acc -> k :: acc) t.pending [] in
   List.iter
     (fun tok ->
-      Engine.cancel (Hashtbl.find t.pending tok);
+      let h, sp = Hashtbl.find t.pending tok in
+      Engine.cancel h;
+      Evlog.span_end (Engine.evlog t.eng) sp
+        ~args:[ ("dropped", Evlog.Bool true) ];
       Hashtbl.remove t.pending tok;
       Sync.Semaphore.release t.slots;
       incr n)
     (List.sort compare toks);
+  if !n > 0 then
+    Evlog.emit (Engine.evlog t.eng) ~comp:"hw.mailbox" "drop_in_flight"
+      ~args:[ ("count", Evlog.Int !n) ];
   !n
 
 let msgs_sent t = Metrics.Counter.value t.sent_msgs

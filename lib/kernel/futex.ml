@@ -4,9 +4,13 @@ type addr = int
 
 type word = { mutable value : int; q : Waitq.t }
 
-type table = { words : (addr, word) Hashtbl.t; mutable next : addr }
+type table = {
+  words : (addr, word) Hashtbl.t;
+  mutable next : addr;
+  eng : Engine.t option;  (* None only for engine-less unit tests *)
+}
 
-let create_table () = { words = Hashtbl.create 64; next = 0 }
+let create_table ?eng () = { words = Hashtbl.create 64; next = 0; eng }
 
 let word_of t a =
   match Hashtbl.find_opt t.words a with
@@ -49,6 +53,11 @@ let wake t a ~count =
   while !woken < count && Waitq.wake_one w.q do
     incr woken
   done;
+  (match t.eng with
+  | Some eng when !woken > 0 && Evlog.detail (Engine.evlog eng) ->
+      Evlog.emit (Engine.evlog eng) ~comp:"kernel.futex" "wake"
+        ~args:[ ("addr", Evlog.Int a); ("woken", Evlog.Int !woken) ]
+  | _ -> ());
   !woken
 
 let waiters t a = Waitq.length (word_of t a).q

@@ -12,7 +12,9 @@ type table
 
 type addr = int
 
-val create_table : unit -> table
+val create_table : ?eng:Engine.t -> unit -> table
+(** [?eng] attaches the engine whose {!Evlog} receives ["kernel.futex"]
+    wake events (detail-gated); omit it only in engine-less unit tests. *)
 
 val alloc : table -> addr
 (** Fresh futex word, initialized to 0. *)

@@ -33,7 +33,7 @@ let boot part ?(config = default_config) () =
     cpu =
       Cpu.create (Partition.engine part) ~cores:(Partition.cores part)
         ~quantum:config.quantum ();
-    futexes = Futex.create_table ();
+    futexes = Futex.create_table ~eng:(Partition.engine part) ();
     cfg = config;
     time_hook = None;
   }

@@ -45,9 +45,14 @@ let attach t ?owner ~rx () = bind t ?owner ~rx ()
 let transfer t ~owner ~rx =
   Trace.infof log ~eng:t.eng "driver load started for %s (%a)"
     (Partition.name owner) Time.pp t.driver_load_time;
+  let sp =
+    Evlog.span_begin (Engine.evlog t.eng) ~comp:"net.nic" "driver.reload"
+      ~args:[ ("owner", Evlog.Str (Partition.name owner)) ]
+  in
   detach t;
   Engine.sleep t.driver_load_time;
   bind t ~owner ~rx ();
+  Evlog.span_end (Engine.evlog t.eng) sp;
   Trace.infof log ~eng:t.eng "driver bound to %s" (Partition.name owner)
 
 let is_up t = t.up

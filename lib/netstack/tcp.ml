@@ -114,6 +114,14 @@ let wake_all q = ignore (Waitq.wake_all q)
 let transmit s (pkt : Packet.t) =
   Metrics.Counter.incr s.m_segs_out;
   Metrics.Counter.add s.m_bytes_out (Packet.wire_size pkt);
+  let ev = Engine.evlog s.env.Netenv.eng in
+  if Evlog.detail ev then
+    Evlog.emit ev ~comp:"net.tcp" "seg.tx"
+      ~args:
+        [
+          ("seq", Evlog.Int pkt.Packet.seq);
+          ("len", Evlog.Int (Packet.payload_len pkt));
+        ];
   match s.nic with
   | Some nic -> Nic.transmit nic pkt
   | None -> Trace.debugf log ~eng:s.env.Netenv.eng "tx with no NIC, dropped"
@@ -223,6 +231,13 @@ and arm_rto c =
              if snd_una c = last_una then begin
                Trace.debugf log ~eng "conn %d RTO: rewind %d -> %d" c.id
                  c.snd_nxt last_una;
+               Evlog.emit (Engine.evlog eng) ~comp:"net.tcp" "rto"
+                 ~args:
+                   [
+                     ("conn", Evlog.Int c.id);
+                     ("rewind_from", Evlog.Int c.snd_nxt);
+                     ("rewind_to", Evlog.Int last_una);
+                   ];
                c.snd_nxt <- last_una;
                if c.fin_sent && not c.fin_acked then c.fin_sent <- false;
                wake_all c.send_wake
@@ -412,6 +427,12 @@ let handle_packet s (pkt : Packet.t) =
         (* server side: handshake-completing ACK (possibly with data) *)
         c.peer_wnd <- pkt.Packet.window;
         establish c;
+        Evlog.emit (Engine.evlog s.env.Netenv.eng) ~comp:"net.tcp" "accept"
+          ~args:
+            [
+              ("conn", Evlog.Int c.id);
+              ("port", Evlog.Int c.local.Packet.port);
+            ];
         (match Hashtbl.find_opt s.listeners c.local.Packet.port with
         | Some l -> Bqueue.put l.accept_q c
         | None -> ());
@@ -495,6 +516,13 @@ let connect s ~host ~port =
   let local = { Packet.host = s.s_ip; port = s.next_ephemeral } in
   let remote = { Packet.host = host; port } in
   let c = make_conn s ~local ~remote ~established:false () in
+  Evlog.emit (Engine.evlog s.env.Netenv.eng) ~comp:"net.tcp" "connect"
+    ~args:
+      [
+        ("conn", Evlog.Int c.id);
+        ("host", Evlog.Str host);
+        ("port", Evlog.Int port);
+      ];
   transmit s (make_packet c ~flags:(Packet.flag ~syn:true ()) ~seq:0 ());
   (* SYN retransmission: a cancellable timer re-fires while unestablished
      (bounded attempts); the SYN-ACK cancels it instead of leaving a sleep

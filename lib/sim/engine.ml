@@ -18,6 +18,7 @@ type t = {
   mutable stopping : bool;
   root_prng : Prng.t;
   registry : Metrics.Registry.t;
+  evlog : Evlog.t;
   c_events : Metrics.Counter.t;
   c_timers_armed : Metrics.Counter.t;
   c_timers_cancelled : Metrics.Counter.t;
@@ -49,30 +50,39 @@ type _ Effect.t +=
   | E_suspend : (proc -> (unit -> unit) -> unit) -> unit Effect.t
   | E_self : proc Effect.t
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?evlog_cap () =
   let registry = Metrics.Registry.create () in
-  {
-    now = 0;
-    events = Heap.create ();
-    timers = Twheel.create ();
-    seq = 0;
-    current = None;
-    live = 0;
-    next_pid = 0;
-    stopping = false;
-    root_prng = Prng.create ~seed;
-    registry;
-    c_events = Metrics.Registry.counter registry "engine.events_fired";
-    c_timers_armed = Metrics.Registry.counter registry "engine.timers_armed";
-    c_timers_cancelled =
-      Metrics.Registry.counter registry "engine.timers_cancelled";
-    c_timers_fired = Metrics.Registry.counter registry "engine.timers_fired";
-    c_spawned = Metrics.Registry.counter registry "engine.procs_spawned";
-  }
+  let evlog = Evlog.create ?cap:evlog_cap () in
+  Evlog.set_dropped_counter evlog
+    (Metrics.Registry.counter registry "evlog.dropped_events");
+  let t =
+    {
+      now = 0;
+      events = Heap.create ();
+      timers = Twheel.create ();
+      seq = 0;
+      current = None;
+      live = 0;
+      next_pid = 0;
+      stopping = false;
+      root_prng = Prng.create ~seed;
+      registry;
+      evlog;
+      c_events = Metrics.Registry.counter registry "engine.events_fired";
+      c_timers_armed = Metrics.Registry.counter registry "engine.timers_armed";
+      c_timers_cancelled =
+        Metrics.Registry.counter registry "engine.timers_cancelled";
+      c_timers_fired = Metrics.Registry.counter registry "engine.timers_fired";
+      c_spawned = Metrics.Registry.counter registry "engine.procs_spawned";
+    }
+  in
+  Evlog.set_clock evlog (fun () -> t.now);
+  t
 
 let now t = t.now
 let prng t = t.root_prng
 let metrics t = t.registry
+let evlog t = t.evlog
 let pending_events t = Heap.length t.events + Twheel.live t.timers
 let live_procs t = t.live
 let stop t = t.stopping <- true
@@ -108,6 +118,18 @@ let finish p reason =
   (match p.state with Exited _ -> assert false | _ -> ());
   p.state <- Exited reason;
   p.eng.live <- p.eng.live - 1;
+  Evlog.emit p.eng.evlog ~comp:"sim.engine" "proc.exit"
+    ~args:
+      [
+        ("pid", Evlog.Int p.pid);
+        ("name", Evlog.Str p.name);
+        ( "reason",
+          Evlog.Str
+            (match reason with
+            | Normal -> "normal"
+            | Killed -> "killed"
+            | Exn e -> Printexc.to_string e) );
+      ];
   let ws = p.watchers in
   p.watchers <- [];
   List.iter (fun w -> w reason) ws
@@ -142,6 +164,9 @@ let handler p =
               (fun (k : (a, unit) continuation) ->
                 if p.doomed then discontinue k Killed_exn
                 else begin
+                  if Evlog.detail p.eng.evlog then
+                    Evlog.emit p.eng.evlog ~comp:"sim.engine" "proc.park"
+                      ~args:[ ("pid", Evlog.Int p.pid) ];
                   let cell = { k = Some k } in
                   p.state <- Blocked cell;
                   let waker () =
@@ -172,6 +197,8 @@ let spawn t ?(name = "proc") ?at f =
   in
   t.live <- t.live + 1;
   Metrics.Counter.incr t.c_spawned;
+  Evlog.emit t.evlog ~comp:"sim.engine" "proc.spawn"
+    ~args:[ ("pid", Evlog.Int p.pid); ("name", Evlog.Str p.name) ];
   schedule t ~at (fun () ->
       match p.state with
       | Embryo when p.doomed -> finish p Killed
@@ -201,6 +228,8 @@ let run ?until t =
         t.now <- max t.now at;
         Metrics.Counter.incr t.c_events;
         Metrics.Counter.incr t.c_timers_fired;
+        if Evlog.detail t.evlog then
+          Evlog.emit t.evlog ~comp:"sim.engine" "timer.fire";
         f ()
     | None -> assert false
   in
@@ -319,6 +348,8 @@ let kill p =
   match p.state with
   | Exited _ -> ()
   | _ ->
+      Evlog.emit p.eng.evlog ~comp:"sim.engine" "proc.kill"
+        ~args:[ ("pid", Evlog.Int p.pid); ("name", Evlog.Str p.name) ];
       p.doomed <- true;
       (match p.state with
       | Blocked cell -> (

@@ -28,8 +28,9 @@ exception Killed_exn
 (** Raised inside a process being killed so that [Fun.protect] finalizers run.
     Process code should not catch it (catch-alls must re-raise). *)
 
-val create : ?seed:int -> unit -> t
-(** Fresh world at time 0.  Default [seed] is 42. *)
+val create : ?seed:int -> ?evlog_cap:int -> unit -> t
+(** Fresh world at time 0.  Default [seed] is 42.  [evlog_cap] sizes the
+    event-trace ring (see {!Evlog.create}). *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -43,6 +44,14 @@ val metrics : t -> Metrics.Registry.t
     ["engine.timers_cancelled"], ["engine.timers_fired"] and
     ["engine.procs_spawned"]; subsystems register their own instruments
     here so one JSON dump covers the whole stack. *)
+
+val evlog : t -> Evlog.t
+(** The world's structured event trace.  The engine emits ["proc.spawn"],
+    ["proc.exit"] and ["proc.kill"] instants under component ["sim.engine"],
+    plus ["proc.park"] and ["timer.fire"] when {!Evlog.detail} is enabled;
+    subsystems record their own events here so one trace covers the whole
+    stack.  Ring evictions are mirrored into the ["evlog.dropped_events"]
+    counter of {!metrics}. *)
 
 val spawn : t -> ?name:string -> ?at:Time.t -> (unit -> unit) -> proc
 (** [spawn t f] schedules process [f] to start at the current time (or at

@@ -1,0 +1,163 @@
+(** Deterministic structured event tracing.
+
+    An [Evlog.t] is a bounded ring buffer of typed events — instants, begin/end
+    spans, counters and log lines — each stamped with the simulated clock and a
+    monotonically increasing sequence number.  Because the simulation is
+    deterministic and the log never reads the wall clock, two same-seed runs
+    produce byte-identical exports; a trace is therefore a diffable artifact,
+    not just a debugging aid.
+
+    Exports: JSONL (one event per line, with a header line carrying
+    truncation metadata) and Chrome [trace_event] JSON, which opens directly
+    in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}).
+
+    Overflow is never silent: when the ring wraps, each evicted event bumps
+    {!dropped} (mirrored into a {!Metrics.Counter} when one is attached) and
+    both exporters mark the trace as truncated in their headers.  Events
+    emitted with [~pin:true] live outside the ring and survive any amount of
+    wrapping — used for rare, load-bearing events such as failover phases. *)
+
+type level = Error | Warn | Info | Debug
+
+type value = Int of int | Str of string | Float of float | Bool of bool
+
+type kind =
+  | Instant
+  | Span_begin
+  | Span_end
+  | Counter of float
+  | Log of level
+
+type event = {
+  seq : int;  (** global emission order, dense from 1 *)
+  at : Time.t;  (** simulated time of emission *)
+  comp : string;  (** component, e.g. ["ft.msglayer"] *)
+  name : string;
+  kind : kind;
+  span : int;  (** pairing id for [Span_begin]/[Span_end]; 0 otherwise *)
+  args : (string * value) list;
+}
+
+type t
+
+type span
+(** A live span returned by {!span_begin}; pass it to {!span_end}. *)
+
+val create : ?cap:int -> unit -> t
+(** Fresh log.  [cap] is the ring capacity in events (default [1 lsl 20]).
+    The clock reads as 0 until {!set_clock}. *)
+
+val set_clock : t -> (unit -> Time.t) -> unit
+(** Attach the simulated-time source (the engine wires [fun () -> now]).
+    Kept as a closure so [Evlog] does not depend on [Engine]. *)
+
+val set_dropped_counter : t -> Metrics.Counter.t -> unit
+(** Mirror ring evictions into a metrics counter
+    (["evlog.dropped_events"] in the engine registry). *)
+
+val set_capacity : t -> int -> unit
+(** Resize the ring.  Existing events are retained (newest first) up to the
+    new capacity; evictions caused by shrinking count as drops. *)
+
+val capacity : t -> int
+
+val set_detail : t -> bool -> unit
+(** Enable high-volume instrumentation (per-park, per-timer-fire,
+    per-segment events).  Callers gate such sites on {!detail}; default
+    off so tuple- and failover-level events survive long runs. *)
+
+val detail : t -> bool
+
+(** {1 Emission} *)
+
+val emit :
+  t ->
+  ?pin:bool ->
+  ?args:(string * value) list ->
+  comp:string ->
+  string ->
+  unit
+(** Record an instant event.  [~pin:true] stores it outside the ring so it
+    can never be evicted; pin only rare events. *)
+
+val span_begin :
+  t ->
+  ?pin:bool ->
+  ?args:(string * value) list ->
+  comp:string ->
+  string ->
+  span
+(** Open a span.  The begin event is recorded now; the matching end event is
+    recorded by {!span_end}.  Span ids are globally unique per log. *)
+
+val span_end : t -> ?args:(string * value) list -> span -> unit
+(** Close a span (idempotent: a second call is ignored). *)
+
+val counter : t -> ?args:(string * value) list -> comp:string -> string -> float -> unit
+(** Record a counter sample (renders as a counter track in Perfetto). *)
+
+val log : t -> comp:string -> level -> string -> unit
+(** Record a log line as an event; used by [Trace] so human logs and machine
+    traces are one stream. *)
+
+(** {1 Subscribers} *)
+
+val subscribe : t -> (event -> unit) -> int
+(** Register a callback invoked synchronously on every recorded event
+    (before any eviction).  Returns a token for {!unsubscribe}. *)
+
+val unsubscribe : t -> int -> unit
+
+(** {1 Inspection} *)
+
+val emitted : t -> int
+(** Total events ever recorded (including evicted ones). *)
+
+val dropped : t -> int
+(** Events evicted by ring wrap (pinned events never drop). *)
+
+val truncated : t -> bool
+(** [dropped t > 0]. *)
+
+val events : t -> event list
+(** Surviving events (ring + pinned), in emission ([seq]) order. *)
+
+(** {1 Export} *)
+
+val to_jsonl : t -> string
+(** One JSON object per line.  Line 1 is a header:
+    [{"type":"header","cap":...,"emitted":...,"dropped":...,"truncated":...}].
+    Byte-identical across same-seed runs. *)
+
+val to_chrome : t -> string
+(** Chrome [trace_event] JSON (object form).  Components map to processes;
+    spans use async begin/end ([ph:"b"]/[ph:"e"]) keyed by span id.
+    Truncation metadata rides in [otherData].  Opens in Perfetto. *)
+
+val write_file : t -> format:[ `Jsonl | `Chrome ] -> string -> unit
+(** Write an export to a file.  [`Chrome] is picked by [.json] convention in
+    callers; this function just trusts [format]. *)
+
+(** {1 Querying} *)
+
+module Query : sig
+  (** Small combinators over {!events} for tests and reports. *)
+
+  val filter : ?comp:string -> ?name:string -> event list -> event list
+  (** Keep events matching the given component and/or name exactly. *)
+
+  val int_arg : event -> string -> int option
+  val str_arg : event -> string -> string option
+
+  val pair_spans : event list -> (event * event option) list
+  (** Match [Span_begin] events with their [Span_end] by span id, in begin
+      order.  [None] means the span never closed. *)
+
+  val span_of : ?comp:string -> name:string -> event list -> (Time.t * Time.t) option
+  (** First closed span with the given name (and component, if given), as
+      [(begin_at, end_at)]. *)
+
+  val durations : ?comp:string -> ?name:string -> event list -> (string * Time.t) list
+  (** All closed spans matching the filter, as [(name, duration)] in begin
+      order. *)
+end

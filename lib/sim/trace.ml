@@ -1,27 +1,65 @@
 type level = Off | Error | Warn | Info | Debug
 
-let level = ref Off
-let set_level l = level := l
-let get_level () = !level
-
 let rank = function Off -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let default_level = ref Off
+let per_component : (string, level) Hashtbl.t = Hashtbl.create 16
+let stderr_on = ref false
+
+let set_level ?component l =
+  match component with
+  | None -> default_level := l
+  | Some c -> Hashtbl.replace per_component c l
+
+let get_level ?component () =
+  match component with
+  | None -> !default_level
+  | Some c -> (
+      match Hashtbl.find_opt per_component c with
+      | Some l -> l
+      | None -> !default_level)
+
+let reset_levels () =
+  default_level := Off;
+  Hashtbl.reset per_component;
+  stderr_on := false
+
+let set_stderr b = stderr_on := b
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "off" -> Some Off
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
 
 type logger = { component : string }
 
 let make component = { component }
 
-let emit lg lvl_name eng fmt =
-  let stamp =
-    match eng with
-    | Some e -> Time.to_string (Engine.now e)
-    | None -> "-"
-  in
-  Format.eprintf "[%s %s %s] " stamp lvl_name lg.component;
-  Format.kfprintf (fun f -> Format.pp_print_newline f ()) Format.err_formatter fmt
+let to_evlog_level = function
+  | Error -> Evlog.Error
+  | Warn -> Evlog.Warn
+  | Info -> Evlog.Info
+  | Debug | Off -> Evlog.Debug
+
+let emit lg lvl lvl_name eng msg =
+  (match eng with
+  | Some e -> Evlog.log (Engine.evlog e) ~comp:lg.component (to_evlog_level lvl) msg
+  | None -> ());
+  if !stderr_on then begin
+    let stamp =
+      match eng with Some e -> Time.to_string (Engine.now e) | None -> "-"
+    in
+    Printf.eprintf "[%s %s %s] %s\n%!" stamp lvl_name lg.component msg
+  end
 
 let logf lg lvl lvl_name ?eng fmt =
-  if rank lvl <= rank !level then emit lg lvl_name eng fmt
-  else Format.ifprintf Format.err_formatter fmt
+  if rank lvl <= rank (get_level ~component:lg.component ()) then
+    Format.kasprintf (fun msg -> emit lg lvl lvl_name eng msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
 
 let errorf lg ?eng fmt = logf lg Error "ERROR" ?eng fmt
 let warnf lg ?eng fmt = logf lg Warn "WARN " ?eng fmt

@@ -1,18 +1,38 @@
-(** Lightweight component-tagged tracing with simulated timestamps.
+(** Component-tagged logging on top of {!Evlog}.
 
-    Disabled (the default, level {!Off}) it costs a single comparison per
-    call site, so models can trace liberally. *)
+    A trace line is an {!Evlog} event (kind [Log]) in the engine's ring when
+    the call site passes [~eng], so human logs and machine traces are one
+    stream; printing to stderr is a separate, opt-in sink ({!set_stderr},
+    wired to ftsim's [--log-level] / [--log-filter] flags).
+
+    Filtering is per-component with a global default.  Disabled (the
+    default, level {!Off}) a call site costs one hash lookup and comparison,
+    so models can trace liberally. *)
 
 type level = Off | Error | Warn | Info | Debug
 
-val set_level : level -> unit
-val get_level : unit -> level
+val set_level : ?component:string -> level -> unit
+(** Without [?component], sets the default level; with it, overrides the
+    level for that component only. *)
+
+val get_level : ?component:string -> unit -> level
+(** The effective level for [component] (its override, else the default). *)
+
+val reset_levels : unit -> unit
+(** Back to defaults: level [Off] everywhere, stderr sink off. *)
+
+val set_stderr : bool -> unit
+(** Enable printing enabled-level lines to stderr (off by default — events
+    still land in the engine's {!Evlog} ring either way). *)
+
+val level_of_string : string -> level option
+(** Parse ["off" | "error" | "warn" | "info" | "debug"] (case-insensitive). *)
 
 type logger
 
 val make : string -> logger
-(** [make component] returns a logger whose lines are prefixed with the
-    component name and, when available, the simulated time. *)
+(** [make component] returns a logger whose events carry the component name
+    and, when available, the simulated time. *)
 
 val errorf : logger -> ?eng:Engine.t -> ('a, Format.formatter, unit) format -> 'a
 val warnf : logger -> ?eng:Engine.t -> ('a, Format.formatter, unit) format -> 'a

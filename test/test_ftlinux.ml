@@ -876,6 +876,117 @@ let test_msglayer_backpressure () =
   Engine.run ~until:(Time.ms 100) eng;
   Alcotest.(check int) "producer stalled at ring size" 8 !appended
 
+(* {1 Trace invariants (Evlog.Query)}
+
+   The structured event trace is itself a checkable artifact: the sync-tuple
+   lifecycle and the output-commit rule leave evidence in the ring, and the
+   invariants below must hold on any run. *)
+
+let test_trace_tuple_lifecycle_invariants () =
+  (* The racy pthread app drives deterministic sections, so the trace holds
+     the full tuple lifecycle: emit (primary) -> deliver -> consume
+     (secondary replay). *)
+  let eng = Engine.create () in
+  let tp = ref None and ts = ref None in
+  let app api =
+    let out = if Kernel.name api.Api.kernel = "primary" then tp else ts in
+    racy_app ~iters:25 ~workers:3 out api
+  in
+  let cluster = Cluster.create eng ~config:test_config ~app () in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check bool) "both replicas finished" true
+    (!tp <> None && !ts <> None);
+  let evs = Evlog.events (Engine.evlog eng) in
+  let gseqs name =
+    List.filter_map
+      (fun e -> Evlog.Query.int_arg e "global_seq")
+      (Evlog.Query.filter ~comp:"ft.det" ~name evs)
+  in
+  let emits = gseqs "tuple.emit" in
+  let consumes = gseqs "tuple.consume" in
+  Alcotest.(check bool) "tuples actually flowed" true
+    (List.length consumes > 0);
+  Alcotest.(check bool) "no global_seq emitted twice" true
+    (List.length (List.sort_uniq compare emits) = List.length emits);
+  List.iter
+    (fun g ->
+      Alcotest.(check int)
+        (Printf.sprintf "consumed tuple %d was emitted exactly once" g)
+        1
+        (List.length (List.filter (fun x -> x = g) emits)))
+    consumes;
+  Alcotest.(check (list int)) "delivery order equals global_seq order"
+    (List.sort compare (gseqs "tuple.deliver"))
+    (gseqs "tuple.deliver");
+  Alcotest.(check (list int)) "replay consumes in global_seq order"
+    (List.sort compare consumes) consumes
+
+let test_trace_output_commit_after_ack () =
+  let eng = Engine.create () in
+  let messages = List.init 8 (fun i -> Printf.sprintf "o%d." i) in
+  let cluster, result = run_echo_scenario ~fail_primary_at:None ~messages eng in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  Alcotest.(check bool) "client finished" true (Ivar.peek result <> None);
+  let evs = Evlog.events (Engine.evlog eng) in
+  let commits =
+    List.filter
+      (fun e ->
+        match Evlog.Query.int_arg e "lsn" with Some l -> l >= 0 | None -> false)
+      (Evlog.Query.filter ~comp:"ft.namespace" ~name:"output.commit" evs)
+  in
+  Alcotest.(check bool) "output commits happened" true (commits <> []);
+  (* Walk the trace in emission order tracking the highest acked LSN: no
+     commit may precede the ack that covers it. *)
+  let acked = ref (-1) in
+  List.iter
+    (fun e ->
+      (if e.Evlog.comp = "ft.msglayer" && e.Evlog.name = "record.acked" then
+         match Evlog.Query.int_arg e "upto" with
+         | Some u -> acked := max !acked u
+         | None -> ());
+      if e.Evlog.comp = "ft.namespace" && e.Evlog.name = "output.commit" then
+        match Evlog.Query.int_arg e "lsn" with
+        | Some lsn when lsn >= 0 ->
+            if !acked < lsn then
+              Alcotest.failf
+                "output commit of lsn %d at seq %d precedes its ack (acked %d)"
+                lsn e.Evlog.seq !acked
+        | _ -> ())
+    evs
+
+let test_trace_failover_phases () =
+  let eng = Engine.create () in
+  let messages = List.init 30 (fun i -> Printf.sprintf "f%02d|" i) in
+  let cluster, _result =
+    run_echo_scenario ~fail_primary_at:(Some (Time.ms 120)) ~messages eng
+  in
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  let evs = Evlog.events (Engine.evlog eng) in
+  let phase name =
+    match Evlog.Query.span_of ~comp:"ft.cluster" ~name evs with
+    | Some be -> be
+    | None -> Alcotest.failf "phase span %s missing from trace" name
+  in
+  let d0, d1 = phase "failover.detect" in
+  let r0, r1 = phase "failover.drain_replay" in
+  let v0, v1 = phase "failover.driver_reload" in
+  let g0, g1 = phase "failover.golive" in
+  Alcotest.(check bool) "phases are contiguous" true
+    (d1 = r0 && r1 = v0 && v1 = g0);
+  match
+    (Cluster.primary_halted_at cluster, Cluster.failover_completed_at cluster)
+  with
+  | Some halt, Some live ->
+      Alcotest.(check int) "detect begins at the halt" halt d0;
+      Alcotest.(check int) "golive ends at completion" live g1;
+      let sum = d1 - d0 + (r1 - r0) + (v1 - v0) + (g1 - g0) in
+      Alcotest.(check bool) "phase durations sum to measured recovery" true
+        (abs (live - halt - sum) <= Time.ms 1)
+  | _ -> Alcotest.fail "failover did not run"
+
 let () =
   Alcotest.run "ftlinux"
     [
@@ -946,6 +1057,14 @@ let () =
           Alcotest.test_case "inconsistent" `Quick test_voter_inconsistent;
           Alcotest.test_case "three replica outputs" `Quick
             test_voter_on_three_replica_outputs;
+        ] );
+      ( "trace-invariants",
+        [
+          Alcotest.test_case "tuple lifecycle" `Quick
+            test_trace_tuple_lifecycle_invariants;
+          Alcotest.test_case "output commit after ack" `Quick
+            test_trace_output_commit_after_ack;
+          Alcotest.test_case "failover phases" `Quick test_trace_failover_phases;
         ] );
       ( "msglayer",
         [

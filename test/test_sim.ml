@@ -720,6 +720,259 @@ let test_hist_negative_values () =
   Alcotest.(check (float 0.0)) "q0 hits the min_int bucket" 0.0
     (Metrics.Hist.quantile h 0.0)
 
+(* {1 Evlog: structured event tracing} *)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let mk_evlog ?(cap = 8) () =
+  let t = Evlog.create ~cap () in
+  let now = ref 0 in
+  Evlog.set_clock t (fun () -> !now);
+  (t, now)
+
+let test_evlog_ring_overflow () =
+  let t, _ = mk_evlog ~cap:8 () in
+  let c = Metrics.Counter.create () in
+  Evlog.set_dropped_counter t c;
+  for i = 1 to 20 do
+    Evlog.emit t ~comp:"test" "e" ~args:[ ("i", Evlog.Int i) ]
+  done;
+  Alcotest.(check int) "emitted counts evicted events too" 20 (Evlog.emitted t);
+  Alcotest.(check int) "dropped" 12 (Evlog.dropped t);
+  Alcotest.(check bool) "truncated" true (Evlog.truncated t);
+  Alcotest.(check int) "drops mirrored to metrics counter" 12
+    (Metrics.Counter.value c);
+  Alcotest.(check (list int)) "newest [cap] survive, in order"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.map (fun e -> e.Evlog.seq) (Evlog.events t));
+  let header = List.hd (String.split_on_char '\n' (Evlog.to_jsonl t)) in
+  Alcotest.(check bool) "JSONL header records truncation" true
+    (contains header "\"dropped\":12" && contains header "\"truncated\":true");
+  Alcotest.(check bool) "chrome otherData records truncation" true
+    (contains (Evlog.to_chrome t) "\"dropped\":12,\"truncated\":true")
+
+let test_evlog_pin_survives_wrap () =
+  let t, _ = mk_evlog ~cap:4 () in
+  Evlog.emit t ~pin:true ~comp:"ft.cluster" "failover.detect";
+  for _ = 1 to 50 do
+    Evlog.emit t ~comp:"test" "noise"
+  done;
+  let evs = Evlog.events t in
+  Alcotest.(check int) "ring plus pinned" 5 (List.length evs);
+  Alcotest.(check string) "pinned event survives any wrapping"
+    "failover.detect" (List.hd evs).Evlog.name;
+  Alcotest.(check int) "pins never count as drops" 46 (Evlog.dropped t)
+
+let test_evlog_spans_and_query () =
+  let t, now = mk_evlog ~cap:64 () in
+  let sp = Evlog.span_begin t ~comp:"a" "work" ~args:[ ("k", Evlog.Str "v") ] in
+  now := Time.ms 3;
+  Evlog.span_end t sp;
+  Evlog.span_end t sp;
+  (* second close ignored *)
+  let _orphan = Evlog.span_begin t ~comp:"a" "orphan" in
+  let evs = Evlog.events t in
+  Alcotest.(check int) "idempotent close: three events" 3 (List.length evs);
+  (match Evlog.Query.span_of ~comp:"a" ~name:"work" evs with
+  | Some (b, e) ->
+      Alcotest.(check int) "begins at 0" 0 b;
+      Alcotest.(check int) "ends at 3ms" (Time.ms 3) e
+  | None -> Alcotest.fail "closed span not found");
+  (match Evlog.Query.pair_spans evs with
+  | [ (b1, Some _); (b2, None) ] ->
+      Alcotest.(check string) "closed span paired" "work" b1.Evlog.name;
+      Alcotest.(check string) "orphan unpaired" "orphan" b2.Evlog.name;
+      Alcotest.(check (option string)) "args readable" (Some "v")
+        (Evlog.Query.str_arg b1 "k")
+  | _ -> Alcotest.fail "unexpected span pairing");
+  Alcotest.(check (list (pair string int))) "durations"
+    [ ("work", Time.ms 3) ]
+    (Evlog.Query.durations ~name:"work" evs)
+
+let test_evlog_subscriber () =
+  let t, _ = mk_evlog () in
+  let n = ref 0 in
+  let tok = Evlog.subscribe t (fun _ -> incr n) in
+  Evlog.emit t ~comp:"x" "a";
+  Evlog.emit t ~comp:"x" "b";
+  Alcotest.(check int) "saw both" 2 !n;
+  Evlog.unsubscribe t tok;
+  Evlog.emit t ~comp:"x" "c";
+  Alcotest.(check int) "none after unsubscribe" 2 !n
+
+let test_evlog_set_capacity () =
+  let t, _ = mk_evlog ~cap:16 () in
+  for i = 1 to 10 do
+    Evlog.emit t ~comp:"x" "e" ~args:[ ("i", Evlog.Int i) ]
+  done;
+  Evlog.set_capacity t 4;
+  Alcotest.(check int) "new capacity" 4 (Evlog.capacity t);
+  Alcotest.(check int) "shrink evictions count as drops" 6 (Evlog.dropped t);
+  Alcotest.(check (list int)) "newest kept"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Evlog.seq) (Evlog.events t));
+  for i = 11 to 13 do
+    Evlog.emit t ~comp:"x" "e" ~args:[ ("i", Evlog.Int i) ]
+  done;
+  Alcotest.(check (list int)) "ring keeps rotating after resize"
+    [ 10; 11; 12; 13 ]
+    (List.map (fun e -> e.Evlog.seq) (Evlog.events t))
+
+let test_evlog_chrome_shape () =
+  let t, now = mk_evlog ~cap:64 () in
+  let sp = Evlog.span_begin t ~comp:"net.tcp" "connect" in
+  now := Time.us 5;
+  Evlog.span_end t sp;
+  Evlog.counter t ~comp:"net.tcp" "inflight" 3.0;
+  Evlog.log t ~comp:"ft.msglayer" Evlog.Warn "be\"ware\n";
+  let j = Evlog.to_chrome t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %s" (String.escaped needle))
+        true (contains j needle))
+    [
+      "{\"traceEvents\":[";
+      "\"ph\":\"M\"";
+      "\"args\":{\"name\":\"net.tcp\"}";
+      "\"ph\":\"b\"";
+      "\"ph\":\"e\"";
+      "\"ts\":5.000";
+      "\"id\":\"0x1\"";
+      "\"ph\":\"C\"";
+      "\"level\":\"warn\"";
+      "\"msg\":\"be\\\"ware\\n\"";
+      "\"truncated\":false";
+    ]
+
+let test_engine_lifecycle_events () =
+  let eng = Engine.create () in
+  let p =
+    Engine.spawn eng ~name:"worker" (fun () -> Engine.sleep (Time.sec 10))
+  in
+  ignore
+    (Engine.spawn eng ~name:"killer" (fun () ->
+         Engine.sleep (Time.ms 1);
+         Engine.kill p));
+  Engine.run eng;
+  let evs = Evlog.events (Engine.evlog eng) in
+  let named n = Evlog.Query.filter ~comp:"sim.engine" ~name:n evs in
+  Alcotest.(check int) "two spawns" 2 (List.length (named "proc.spawn"));
+  Alcotest.(check int) "one kill" 1 (List.length (named "proc.kill"));
+  let exits = named "proc.exit" in
+  Alcotest.(check int) "two exits" 2 (List.length exits);
+  Alcotest.(check bool) "killed reason recorded" true
+    (List.exists
+       (fun e -> Evlog.Query.str_arg e "reason" = Some "killed")
+       exits)
+
+let test_evlog_detail_gates_park_events () =
+  let run detail =
+    let eng = Engine.create () in
+    Evlog.set_detail (Engine.evlog eng) detail;
+    ignore (Engine.spawn eng (fun () -> Engine.sleep (Time.ms 1)));
+    Engine.run eng;
+    List.length
+      (Evlog.Query.filter ~name:"proc.park" (Evlog.events (Engine.evlog eng)))
+  in
+  Alcotest.(check int) "detail off: no park events" 0 (run false);
+  Alcotest.(check bool) "detail on: parks recorded" true (run true > 0)
+
+(* {1 Trace: per-component level filtering into the event log} *)
+
+let test_trace_levels_and_ring () =
+  Trace.reset_levels ();
+  let eng = Engine.create () in
+  let lg = Trace.make "test.comp" in
+  let other = Trace.make "test.other" in
+  Trace.infof lg ~eng "invisible %d" 1;
+  Alcotest.(check int) "default Off: nothing recorded" 0
+    (List.length (Evlog.events (Engine.evlog eng)));
+  Trace.set_level ~component:"test.comp" Trace.Info;
+  Trace.infof lg ~eng "visible %d" 2;
+  Trace.debugf lg ~eng "below the component level";
+  Trace.infof other ~eng "other component still off";
+  (match Evlog.Query.filter ~name:"log" (Evlog.events (Engine.evlog eng)) with
+  | [ e ] ->
+      Alcotest.(check string) "component tag" "test.comp" e.Evlog.comp;
+      Alcotest.(check (option string)) "formatted message" (Some "visible 2")
+        (Evlog.Query.str_arg e "msg")
+  | l -> Alcotest.failf "expected exactly 1 log event, got %d" (List.length l));
+  Trace.set_level Trace.Error;
+  Alcotest.(check bool) "component override beats the default" true
+    (Trace.get_level ~component:"test.comp" () = Trace.Info);
+  Alcotest.(check bool) "default applies to others" true
+    (Trace.get_level ~component:"test.other" () = Trace.Error);
+  Trace.reset_levels ()
+
+let test_trace_level_of_string () =
+  List.iter
+    (fun (s, want) ->
+      Alcotest.(check bool) s true (Trace.level_of_string s = want))
+    [
+      ("off", Some Trace.Off);
+      ("ERROR", Some Trace.Error);
+      ("Warn", Some Trace.Warn);
+      ("warning", Some Trace.Warn);
+      ("info", Some Trace.Info);
+      ("debug", Some Trace.Debug);
+      ("bogus", None);
+    ]
+
+(* {1 Trace determinism: same seed, byte-identical export} *)
+
+let trace_of_cluster_run seed =
+  let module C = Ftsim_ftlinux.Cluster in
+  let module Api = Ftsim_ftlinux.Api in
+  let module Pthread = Ftsim_kernel.Pthread in
+  let eng = Engine.create ~seed () in
+  let config =
+    {
+      C.default_config with
+      C.topology = Ftsim_hw.Topology.small;
+      hb_period = Time.ms 5;
+      hb_timeout = Time.ms 25;
+    }
+  in
+  let app (api : Api.t) =
+    let pt = api.Api.pt in
+    let m = Pthread.mutex_create pt in
+    let ths =
+      List.init 2 (fun w ->
+          api.Api.spawn (Printf.sprintf "w%d" w) (fun () ->
+              for i = 1 to 10 do
+                api.Api.compute (Time.us (10 + (w * 7) + i));
+                Pthread.mutex_lock pt m;
+                Pthread.mutex_unlock pt m
+              done))
+    in
+    List.iter api.Api.join ths
+  in
+  let cluster = C.create eng ~config ~app () in
+  (* The replication stack draws no randomness by itself; a noise process
+     folds PRNG draws into the trace so seed-sensitivity is observable. *)
+  ignore
+    (Engine.spawn eng ~name:"noise" (fun () ->
+         for _ = 1 to 5 do
+           Engine.sleep (Time.us (1 + Prng.int (Engine.prng eng) 500));
+           Evlog.emit (Engine.evlog eng) ~comp:"test.noise" "tick"
+             ~args:[ ("draw", Evlog.Int (Prng.int (Engine.prng eng) 1_000_000)) ]
+         done));
+  Engine.run ~until:(Time.ms 500) eng;
+  C.shutdown cluster;
+  Evlog.to_jsonl (Engine.evlog eng)
+
+let test_trace_same_seed_identical () =
+  Alcotest.(check string) "byte-identical JSONL"
+    (trace_of_cluster_run 21) (trace_of_cluster_run 21)
+
+let test_trace_seed_sensitive () =
+  Alcotest.(check bool) "different seed, different trace" true
+    (trace_of_cluster_run 21 <> trace_of_cluster_run 22)
+
 let () =
   Alcotest.run "sim"
     [
@@ -808,5 +1061,28 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_heap_sorts;
           QCheck_alcotest.to_alcotest prop_heap_fifo_ties;
+        ] );
+      ( "evlog",
+        [
+          Alcotest.test_case "ring overflow" `Quick test_evlog_ring_overflow;
+          Alcotest.test_case "pin survives wrap" `Quick
+            test_evlog_pin_survives_wrap;
+          Alcotest.test_case "spans and query" `Quick test_evlog_spans_and_query;
+          Alcotest.test_case "subscriber" `Quick test_evlog_subscriber;
+          Alcotest.test_case "set capacity" `Quick test_evlog_set_capacity;
+          Alcotest.test_case "chrome export shape" `Quick
+            test_evlog_chrome_shape;
+          Alcotest.test_case "engine lifecycle events" `Quick
+            test_engine_lifecycle_events;
+          Alcotest.test_case "detail gates park events" `Quick
+            test_evlog_detail_gates_park_events;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "levels and ring" `Quick test_trace_levels_and_ring;
+          Alcotest.test_case "level of string" `Quick test_trace_level_of_string;
+          Alcotest.test_case "same seed identical" `Quick
+            test_trace_same_seed_identical;
+          Alcotest.test_case "seed sensitive" `Quick test_trace_seed_sensitive;
         ] );
     ]
