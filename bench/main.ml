@@ -813,6 +813,57 @@ let micro _quick =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Chaos campaigns: fault-schedule sweeps with the divergence checker  *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper figure: a robustness experiment over the reproduction
+   itself.  Derives N random fault/perturbation schedules per replica
+   count, runs each under the client-consistency oracle and the digest
+   divergence checker, and reports the verdict distribution plus how much
+   comparison surface (digest sections + per-thread syscall folds) each
+   campaign covered. *)
+let chaos quick =
+  hr "Chaos campaigns: randomized fault schedules + divergence checking";
+  let count = if quick then 6 else 25 in
+  let horizon = Time.sec 3 in
+  let campaign ~replicas ~workload =
+    let wall0 = Sys.time () in
+    let run = Chaosrun.run ~workload ~replicas in
+    let report =
+      Chaos.run_campaign ~root_seed:42 ~count ~replicas ~horizon
+        ~workload:(Chaosrun.workload_to_string workload)
+        ~run ()
+    in
+    let wall = Sys.time () -. wall0 in
+    let outcomes = List.map (fun rr -> rr.Chaos.rr_outcome) report.Chaos.rep_results in
+    let count_of p = List.length (List.filter p outcomes) in
+    let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+    Printf.printf "%-12s %2dx %-12s %3dok %3ddiv %3dviol %3doutage %4dfo %9dpts %6.1fs\n"
+      (Chaosrun.workload_to_string workload)
+      replicas "replicas"
+      (count_of (fun o -> o.Chaos.verdict = Chaos.V_ok))
+      (count_of (fun o -> match o.Chaos.verdict with Chaos.V_divergence _ -> true | _ -> false))
+      (count_of (fun o -> match o.Chaos.verdict with Chaos.V_client_violation _ -> true | _ -> false))
+      (count_of (fun o -> o.Chaos.verdict = Chaos.V_outage))
+      (sum (fun o -> o.Chaos.o_failovers))
+      (sum (fun o -> o.Chaos.o_sections))
+      wall;
+    (match report.Chaos.rep_minimal with
+    | None -> ()
+    | Some (s, _, runs) ->
+        Printf.printf "  minimal repro after %d shrink runs: %s\n" runs
+          (Format.asprintf "%a" Chaos.pp_schedule s))
+  in
+  Printf.printf "%-12s %-15s %5s %5s %6s %7s %5s %9s %7s\n" "workload"
+    "config" "ok" "div" "viol" "outage" "fo" "points" "wall";
+  campaign ~replicas:2 ~workload:Chaosrun.Fileserver;
+  campaign ~replicas:2 ~workload:Chaosrun.Mongoose;
+  campaign ~replicas:3 ~workload:Chaosrun.Fileserver;
+  Printf.printf
+    "(div/viol must be zero: a divergence is a replication bug, a violation
+    \ a broken client guarantee; outages are excused total-failure runs)\n"
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -828,6 +879,7 @@ let experiments =
     ("fig8", fig8, "Figure 8: 1 Gb/s transfer with failover");
     ("micro", micro, "Bechamel microbenchmarks of simulator primitives");
     ("ablation", ablations, "Ablations: proximity, output commit, wake latency");
+    ("chaos", chaos, "Chaos campaigns: random fault schedules + divergence checks");
   ]
 
 let run_all quick =
@@ -838,6 +890,7 @@ let run_all quick =
   run_experiment "sec43" sec43 quick;
   run_experiment "fig8" fig8 quick;
   run_experiment "ablation" ablations quick;
+  run_experiment "chaos" chaos quick;
   run_experiment "micro" micro quick
 
 let () =

@@ -486,14 +486,14 @@ let triple_cmd =
       { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
     in
     let app (api : Api.t) =
-      let l = api.Api.net_listen ~port:80 in
+      let l = api.Api.net.listen ~port:80 in
       let rec serve () =
-        let s = api.Api.net_accept l in
+        let s = api.Api.net.accept l in
         let rec echo () =
-          match api.Api.net_recv s ~max:4096 with
-          | [] -> api.Api.net_close s
-          | cs ->
-              List.iter (api.Api.net_send s) cs;
+          match api.Api.net.recv s ~max:4096 with
+          | Error _ -> api.Api.net.close s
+          | Ok cs ->
+              List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
               echo ()
         in
         echo ();
@@ -606,6 +606,150 @@ let memdump_cmd =
        ~doc:"Classify physical memory under a memcached load (paper Fig. 1).")
     Term.(const run $ multiplier $ ram $ trace_out_t)
 
+(* {1 chaos} *)
+
+let chaos_cmd =
+  let run root_seed seeds quick workload replicas horizon_ms report repro_trace
+      log_level log_filter =
+    setup_logging log_level log_filter;
+    match Chaosrun.workload_of_string workload with
+    | Error e ->
+        Printf.eprintf "ftsim: %s\n" e;
+        exit 2
+    | Ok w ->
+        let seeds = if quick then min seeds 8 else seeds in
+        let horizon = Time.ms horizon_ms in
+        let progress rr =
+          let s = rr.Chaos.rr_schedule and o = rr.Chaos.rr_outcome in
+          Printf.printf
+            "  #%03d %-16s faults=%d perturbs=%d failovers=%d responses=%d \
+             sections=%d\n\
+             %!"
+            s.Chaos.sched_index
+            (Chaos.verdict_label o.Chaos.verdict)
+            (List.length s.Chaos.injections)
+            (List.length s.Chaos.perturbations)
+            o.Chaos.o_failovers o.Chaos.o_completed o.Chaos.o_sections
+        in
+        Printf.printf
+          "chaos campaign: %d schedules, root seed %d, workload %s, %d \
+           replicas\n\
+           %!"
+          seeds root_seed workload replicas;
+        let rep =
+          Chaos.run_campaign ~root_seed ~count:seeds ~replicas ~horizon
+            ~workload
+            ~run:(fun s -> Chaosrun.run ~workload:w ~replicas s)
+            ~progress ()
+        in
+        (match report with
+        | None -> ()
+        | Some path -> (
+            try
+              let oc = open_out path in
+              output_string oc (Chaos.report_to_json rep);
+              close_out oc
+            with Sys_error msg ->
+              Printf.eprintf "ftsim: cannot write report: %s\n" msg));
+        (match rep.Chaos.rep_minimal with
+        | None -> ()
+        | Some (minimal, o, runs) ->
+            Format.printf "minimal repro (%d shrink runs): %a@.verdict: %s@."
+              runs Chaos.pp_schedule minimal
+              (Chaos.verdict_label o.Chaos.verdict);
+            match repro_trace with
+            | None -> ()
+            | Some path ->
+                (* Re-run the minimal schedule once to capture its trace. *)
+                ignore
+                  (Chaosrun.run ~workload:w ~replicas
+                     ~on_trace:(fun ev ->
+                       try
+                         Evlog.write_file ev
+                           ~format:(trace_format_of_path path)
+                           path
+                       with Sys_error msg ->
+                         Printf.eprintf "ftsim: cannot write trace: %s\n" msg)
+                     minimal));
+        let fails = Chaos.failures rep in
+        let count v =
+          List.length
+            (List.filter
+               (fun rr ->
+                 Chaos.verdict_label rr.Chaos.rr_outcome.Chaos.verdict = v)
+               rep.Chaos.rep_results)
+        in
+        Printf.printf
+          "verdicts: %d ok, %d divergence, %d client-violation, %d outage\n"
+          (count "ok") (count "divergence")
+          (count "client-violation")
+          (count "outage");
+        if fails = [] then
+          Printf.printf "campaign clean: no divergences, no client violations\n"
+        else begin
+          Printf.printf "campaign FAILED: %d failing schedule(s)\n"
+            (List.length fails);
+          exit 1
+        end
+  in
+  let root_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "root-seed" ] ~docv:"N"
+          ~doc:"Campaign root seed; schedule $(i,i) derives from (seed, i).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of schedules to derive and run.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI mode: cap the campaign at 8 schedules regardless of \
+                $(b,--seeds).")
+  in
+  let workload =
+    Arg.(
+      value & opt string "fileserver"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Workload under test: $(b,fileserver) or $(b,mongoose).")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N" ~doc:"Replica count (2 or 3).")
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt int 3000
+      & info [ "horizon-ms" ] ~docv:"MS"
+          ~doc:"Simulated-time cap per run; faults land in its first 3/4.")
+  in
+  let report =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"PATH"
+          ~doc:"Write the campaign report (schedules, verdicts, minimal \
+                repro) as JSON to $(docv).")
+  in
+  let repro_trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "repro-trace" ] ~docv:"PATH"
+          ~doc:"If the campaign fails, re-run the shrunk minimal repro and \
+                write its event trace to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos campaign: derived fault schedules + replica-divergence \
+          checker + client-consistency oracle.")
+    Term.(
+      const run $ root_seed $ seeds $ quick $ workload $ replicas $ horizon_ms
+      $ report $ repro_trace $ log_level_t $ log_filter_t)
+
 let () =
   let info =
     Cmd.info "ftsim" ~version:"1.0"
@@ -622,4 +766,5 @@ let () =
             timeline_cmd;
             triple_cmd;
             memdump_cmd;
+            chaos_cmd;
           ]))

@@ -23,15 +23,15 @@ let () =
     let tally = ref 0 in
     let workers =
       List.init 4 (fun w ->
-          api.Api.spawn (Printf.sprintf "worker-%d" w) (fun () ->
+          api.Api.thread.spawn (Printf.sprintf "worker-%d" w) (fun () ->
               for _ = 1 to 250 do
-                api.Api.compute (Time.us 200);
+                api.Api.thread.compute (Time.us 200);
                 Pthread.mutex_lock pt m;
                 incr tally;
                 Pthread.mutex_unlock pt m
               done))
     in
-    List.iter api.Api.join workers;
+    List.iter api.Api.thread.join workers;
     let where = Kernel.name api.Api.kernel in
     Printf.printf "[%-9s] finished with tally = %d at t=%s\n%!" where !tally
       (Time.to_string (Engine.now eng));

@@ -14,14 +14,14 @@ open Ftsim_netstack
 open Ftsim_ftlinux
 
 let echo_app (api : Api.t) =
-  let l = api.Api.net_listen ~port:80 in
+  let l = api.Api.net.listen ~port:80 in
   let rec serve () =
-    let s = api.Api.net_accept l in
+    let s = api.Api.net.accept l in
     let rec echo () =
-      match api.Api.net_recv s ~max:4096 with
-      | [] -> api.Api.net_close s
-      | cs ->
-          List.iter (api.Api.net_send s) cs;
+      match api.Api.net.recv s ~max:4096 with
+      | Error _ -> api.Api.net.close s
+      | Ok cs ->
+          List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
           echo ()
     in
     echo ();

@@ -1,0 +1,267 @@
+open Ftsim_sim
+open Ftsim_hw
+open Ftsim_netstack
+open Ftsim_ftlinux
+
+type workload = Fileserver | Mongoose
+
+let workload_of_string = function
+  | "fileserver" -> Ok Fileserver
+  | "mongoose" -> Ok Mongoose
+  | s -> Error (Printf.sprintf "unknown workload %S (fileserver|mongoose)" s)
+
+let workload_to_string = function
+  | Fileserver -> "fileserver"
+  | Mongoose -> "mongoose"
+
+(* Small machine, tight failure detection, fast driver reload: one chaos run
+   settles in a couple of simulated seconds instead of the paper's ~5 s
+   recovery, so a 50-schedule campaign stays cheap. *)
+let fast_config topology =
+  {
+    Cluster.default_config with
+    topology;
+    hb_period = Time.ms 5;
+    hb_timeout = Time.ms 25;
+    driver_load_time = Time.ms 200;
+  }
+
+let small4 =
+  {
+    Topology.sockets = 4;
+    cores_per_socket = 2;
+    numa_nodes = 4;
+    ram_bytes = 8 * 1024 * 1024 * 1024;
+  }
+
+let server_ip = "10.0.0.1"
+let client_ip = "10.0.0.9"
+
+(* Workload sizing: the active window should overlap the schedule's fault
+   window, so the transfer is made long enough that mid-stream and
+   mid-failover faults are common draws. *)
+let app_and_oracle workload =
+  match workload with
+  | Fileserver ->
+      let bytes = 32 * 1024 * 1024 in
+      let app api =
+        Fileserver.run
+          ~params:{ Fileserver.default_params with file_bytes = bytes }
+          api
+      in
+      let oracle client =
+        (* The file server closes the connection after one response. *)
+        Loadgen.verified_start client ~server:server_ip ~port:80 ~target:"/f"
+          ~expect_bytes:bytes ~requests:1 ()
+      in
+      (app, oracle)
+  | Mongoose ->
+      let page = 10 * 1024 in
+      let app api =
+        Mongoose.run
+          ~params:
+            {
+              Mongoose.default_params with
+              page_bytes = page;
+              cpu_per_request = Time.ms 1;
+            }
+          api
+      in
+      let oracle client =
+        Loadgen.verified_start client ~server:server_ip ~port:80 ~target:"/"
+          ~expect_bytes:page ~requests:300 ()
+      in
+      (app, oracle)
+
+let inject_schedule machine ~part_of sched =
+  List.iter
+    (fun i ->
+      Machine.inject machine
+        (Fault.at ~disrupts_coherency:i.Chaos.inj_disrupts i.Chaos.inj_at
+           ~partition_id:(Partition.id (part_of i.Chaos.inj_target))
+           i.Chaos.inj_kind))
+    sched.Chaos.injections
+
+let perturb_schedule eng link sched =
+  List.iter
+    (fun p ->
+      Engine.schedule eng ~at:p.Chaos.pert_at (fun () ->
+          Link.perturb (Link.endpoint_a link) ~loss:p.Chaos.pert_loss
+            ~delay:p.Chaos.pert_delay ();
+          Link.perturb (Link.endpoint_b link) ~loss:p.Chaos.pert_loss
+            ~delay:p.Chaos.pert_delay ());
+      Engine.schedule eng
+        ~at:(p.Chaos.pert_at + p.Chaos.pert_dur)
+        (fun () ->
+          Link.clear_perturbation (Link.endpoint_a link);
+          Link.clear_perturbation (Link.endpoint_b link)))
+    sched.Chaos.perturbations
+
+(* Stop the run once the oracle has finished AND every scheduled event has
+   fired and had time to play out (a post-completion fault still exercises
+   failover and the digest comparison). *)
+let spawn_stopper eng oracle sched =
+  let last_event =
+    List.fold_left
+      (fun acc (i : Chaos.injection) -> max acc i.inj_at)
+      0 sched.Chaos.injections
+    |> fun acc ->
+    List.fold_left
+      (fun acc (p : Chaos.perturbation) -> max acc (p.pert_at + p.pert_dur))
+      acc sched.Chaos.perturbations
+  in
+  ignore
+    (Engine.spawn eng ~name:"chaos-stopper" (fun () ->
+         Ivar.read oracle.Loadgen.oracle_done;
+         Engine.sleep_until
+           (max (Engine.now eng + Time.ms 200) (last_event + Time.ms 500));
+         Engine.stop eng))
+
+let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections ~end_at
+    =
+  let verdict =
+    match replay_div with
+    | Some msg -> Chaos.V_divergence ("replay mismatch: " ^ msg)
+    | None -> (
+        match digest_div with
+        | Some d ->
+            Chaos.V_divergence
+              (Printf.sprintf "digest mismatch %s (primary %#x, secondary %#x%s)"
+                 (match d.Digest.in_thread with
+                 | Some pid ->
+                     Printf.sprintf "in thread %d at syscall %d" pid
+                       d.Digest.at_section
+                 | None ->
+                     Printf.sprintf "at section %d" d.Digest.at_section)
+                 d.Digest.primary_digest d.Digest.secondary_digest
+                 (match d.Digest.after_commit_lsn with
+                 | Some lsn -> Printf.sprintf ", after committed lsn %d" lsn
+                 | None -> ", before any commit"))
+        | None ->
+            if oracle.Loadgen.violations <> [] then
+              Chaos.V_client_violation
+                (String.concat "; " (List.rev oracle.Loadgen.violations))
+            else if
+              oracle.Loadgen.truncated
+              || oracle.Loadgen.completed < oracle.Loadgen.requests
+            then
+              if all_halted then Chaos.V_outage
+              else
+                Chaos.V_client_violation
+                  (Printf.sprintf
+                     "stream ended after %d/%d responses with a replica alive"
+                     oracle.Loadgen.completed oracle.Loadgen.requests)
+            else Chaos.V_ok)
+  in
+  {
+    Chaos.verdict;
+    o_failovers = failovers;
+    o_completed = oracle.Loadgen.completed;
+    o_sections = sections;
+    o_end = end_at;
+  }
+
+let run_two ?on_trace ?(mutate = false) ~workload sched =
+  let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
+  let link =
+    Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
+      ~seed_split:(Engine.prng eng) ()
+  in
+  let app, mk_oracle = app_and_oracle workload in
+  let cluster =
+    Cluster.create eng
+      ~config:(fast_config Topology.small)
+      ~link:(Link.endpoint_a link) ~app ()
+  in
+  if mutate then
+    Namespace.mutate_skip_digest
+      (Cluster.secondary_namespace cluster)
+      ~global_seq:0;
+  let part_of = function
+    | Chaos.T_primary -> Cluster.primary_partition cluster
+    | Chaos.T_backup _ -> Cluster.secondary_partition cluster
+  in
+  inject_schedule (Cluster.machine cluster) ~part_of sched;
+  perturb_schedule eng link sched;
+  let client = Host.create eng ~ip:client_ip (Link.endpoint_b link) in
+  let oracle = mk_oracle client in
+  spawn_stopper eng oracle sched;
+  Engine.run ~until:sched.Chaos.horizon eng;
+  Cluster.shutdown cluster;
+  let all_halted =
+    Partition.is_halted (Cluster.primary_partition cluster)
+    && Partition.is_halted (Cluster.secondary_partition cluster)
+  in
+  let sections =
+    match Namespace.digest (Cluster.primary_namespace cluster) with
+    | Some d -> Digest.comparison_points d
+    | None -> 0
+  in
+  let outcome =
+    judge ~oracle ~all_halted
+      ~replay_div:(Cluster.replay_divergence cluster)
+      ~digest_div:(Cluster.compare_digests cluster)
+      ~failovers:
+        (match Cluster.failover_completed_at cluster with
+        | Some _ -> 1
+        | None -> 0)
+      ~sections ~end_at:(Engine.now eng)
+  in
+  (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
+  outcome
+
+let run_three ?on_trace ?(mutate = false) ~workload sched =
+  let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
+  let link =
+    Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
+      ~seed_split:(Engine.prng eng) ()
+  in
+  let app, mk_oracle = app_and_oracle workload in
+  let tri =
+    Tricluster.create eng ~config:(fast_config small4)
+      ~link:(Link.endpoint_a link) ~app ()
+  in
+  if mutate then
+    Namespace.mutate_skip_digest (Tricluster.backup_namespace tri 0)
+      ~global_seq:0;
+  let part_of = function
+    | Chaos.T_primary -> Tricluster.primary_partition tri
+    | Chaos.T_backup i -> Tricluster.backup_partition tri (i mod 2)
+  in
+  inject_schedule (Tricluster.machine tri) ~part_of sched;
+  perturb_schedule eng link sched;
+  let client = Host.create eng ~ip:client_ip (Link.endpoint_b link) in
+  let oracle = mk_oracle client in
+  spawn_stopper eng oracle sched;
+  Engine.run ~until:sched.Chaos.horizon eng;
+  Tricluster.shutdown tri;
+  let all_halted =
+    Partition.is_halted (Tricluster.primary_partition tri)
+    && Partition.is_halted (Tricluster.backup_partition tri 0)
+    && Partition.is_halted (Tricluster.backup_partition tri 1)
+  in
+  let digest_div =
+    match Tricluster.compare_digests tri ~backup:0 with
+    | Some d -> Some d
+    | None -> Tricluster.compare_digests tri ~backup:1
+  in
+  let sections =
+    match Namespace.digest (Tricluster.primary_namespace tri) with
+    | Some d -> Digest.comparison_points d
+    | None -> 0
+  in
+  let outcome =
+    judge ~oracle ~all_halted
+      ~replay_div:(Tricluster.replay_divergence tri)
+      ~digest_div
+      ~failovers:(match Tricluster.winner tri with Some _ -> 1 | None -> 0)
+      ~sections ~end_at:(Engine.now eng)
+  in
+  (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
+  outcome
+
+let run ?on_trace ?mutate ~workload ~replicas sched =
+  match replicas with
+  | 2 -> run_two ?on_trace ?mutate ~workload sched
+  | 3 -> run_three ?on_trace ?mutate ~workload sched
+  | n -> invalid_arg (Printf.sprintf "Chaosrun.run: %d replicas" n)

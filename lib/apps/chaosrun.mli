@@ -1,0 +1,31 @@
+(** Workload scenario runner for chaos campaigns.
+
+    Builds one complete simulation per schedule — a replicated server
+    cluster (two or three replicas), a client host across the modelled
+    1 Gb/s link, the workload application, and a {!Loadgen.verified_start}
+    client-consistency oracle — applies the schedule's fault injections and
+    link-perturbation windows, runs to quiescence, and judges the run:
+    replica-digest comparison and replay-divergence flags decide
+    [V_divergence]; the oracle decides [V_client_violation]; a run that
+    killed every replica is an [V_outage] (excusing a truncated client
+    stream).  Runs are a pure function of the schedule's seed. *)
+
+open Ftsim_sim
+open Ftsim_ftlinux
+
+type workload = Fileserver | Mongoose
+
+val workload_of_string : string -> (workload, string) result
+val workload_to_string : workload -> string
+
+val run :
+  ?on_trace:(Evlog.t -> unit) ->
+  ?mutate:bool ->
+  workload:workload ->
+  replicas:int ->
+  Chaos.schedule ->
+  Chaos.outcome
+(** [on_trace] receives the run's event log after the verdict is reached
+    (used to dump the minimal repro's trace).  [mutate] (testing only)
+    makes the secondary skip one sync tuple's digest fold, proving the
+    checker detects a seeded divergence. *)

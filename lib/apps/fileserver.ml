@@ -18,29 +18,43 @@ let default_params =
   }
 
 let serve_one (api : Api.t) p ~on_bytes_sent sock =
-  let reader = Http.reader_fn (fun max -> api.Api.net_recv sock ~max) in
+  let reader =
+    Http.reader_fn (fun max ->
+        match api.Api.net.recv sock ~max with Ok cs -> cs | Error _ -> [])
+  in
   match Http.read_headers reader with
-  | None -> api.Api.net_close sock
+  | None -> api.Api.net.close sock
   | Some _request ->
-      api.Api.net_send sock
-        (Payload.of_string (Http.response_header ~content_length:p.file_bytes ()));
-      let sent = ref 0 in
-      while !sent < p.file_bytes do
-        let n = min p.chunk_bytes (p.file_bytes - !sent) in
-        if p.read_ns_per_byte > 0 then
-          api.Api.compute (Time.ns (n * p.read_ns_per_byte));
-        api.Api.net_send sock (Payload.zeroes n);
-        sent := !sent + n;
-        on_bytes_sent n
-      done;
-      api.Api.net_close sock
+      let send chunk =
+        match api.Api.net.send sock chunk with
+        | Ok () -> true
+        | Error _ -> false
+      in
+      if
+        send
+          (Payload.of_string (Http.response_header ~content_length:p.file_bytes ()))
+      then begin
+        let sent = ref 0 in
+        let ok = ref true in
+        while !ok && !sent < p.file_bytes do
+          let n = min p.chunk_bytes (p.file_bytes - !sent) in
+          if p.read_ns_per_byte > 0 then
+            api.Api.thread.compute (Time.ns (n * p.read_ns_per_byte));
+          if send (Payload.zeroes n) then begin
+            sent := !sent + n;
+            on_bytes_sent n
+          end
+          else ok := false
+        done
+      end;
+      api.Api.net.close sock
 
 let run ?(params = default_params) ?(on_bytes_sent = fun _ -> ()) (api : Api.t) =
-  let listener = api.Api.net_listen ~port:params.port in
+  let listener = api.Api.net.listen ~port:params.port in
   let rec accept_loop i =
-    let sock = api.Api.net_accept listener in
+    let sock = api.Api.net.accept listener in
     ignore
-      (api.Api.spawn
+      (api.Api.thread.spawn
          (Printf.sprintf "fileserver-conn-%d" i)
          (fun () -> serve_one api params ~on_bytes_sent sock));
     accept_loop (i + 1)

@@ -70,6 +70,104 @@ let ab_stats t = t.stats
 
 let ab_stop t = t.stopped <- true
 
+(* {1 Client-consistency oracle}
+
+   A verifying client: it knows the exact byte stream the server must
+   produce (header + zero body per request, back to back on one
+   connection), tracks its absolute position in that stream, and checks
+   every received byte against it.  Any lost-committed or duplicated
+   output across a failover misaligns the stream and is reported as a
+   violation; an orderly end of stream before completion is reported as
+   truncation (the runner decides whether a total outage excuses it). *)
+
+type oracle = {
+  mutable completed : int;  (** responses fully verified *)
+  requests : int;
+  mutable violations : string list;  (** newest first *)
+  mutable truncated : bool;  (** stream ended before all responses *)
+  oracle_done : unit Ivar.t;  (** filled when the client exits *)
+  mutable bytes_verified : int;
+}
+
+let oracle_ok o = o.violations = [] && not o.truncated
+
+let verified_start host ~server ~port ~target ~expect_bytes
+    ?(requests = 1) () =
+  let o =
+    {
+      completed = 0;
+      requests;
+      violations = [];
+      truncated = false;
+      oracle_done = Ivar.create ();
+      bytes_verified = 0;
+    }
+  in
+  let violate fmt = Printf.ksprintf (fun s -> o.violations <- s :: o.violations) fmt in
+  ignore
+    (Host.spawn host "oracle-client" (fun () ->
+         let stack = Host.stack host in
+         let c = Tcp.connect stack ~host:server ~port in
+         let reader =
+           Http.reader_fn (fun max ->
+               match Tcp.recv c ~max with
+               | cs -> cs
+               | exception Tcp.Connection_closed -> [])
+         in
+         let expected_hdr =
+           (* what read_headers returns: the block minus its \r\n\r\n *)
+           let h = Http.response_header ~content_length:expect_bytes () in
+           String.sub h 0 (String.length h - 4)
+         in
+         let expected_body_hash =
+           Payload.stream_hash 0 [ Payload.zeroes expect_bytes ]
+         in
+         (try
+            let r = ref 0 in
+            let ok = ref true in
+            while !ok && !r < requests do
+              Tcp.send c (Payload.of_string (Http.request ~meth:"GET" ~target ()));
+              (match Http.read_headers reader with
+              | None ->
+                  o.truncated <- true;
+                  ok := false
+              | Some hdr when hdr <> expected_hdr ->
+                  violate "request %d: response header mismatch: %S" !r hdr;
+                  ok := false
+              | Some _ ->
+                  (* Byte-exact body check via the rolling content hash:
+                     position-sensitive, so a gap or duplication anywhere
+                     in the stream changes it. *)
+                  let received = ref 0 in
+                  let h = ref 0 in
+                  let eof = ref false in
+                  while (not !eof) && !received < expect_bytes do
+                    let want = min (256 * 1024) (expect_bytes - !received) in
+                    match Http.read_body reader want with
+                    | [] -> eof := true
+                    | cs ->
+                        h := Payload.stream_hash !h cs;
+                        received := !received + Payload.total_len cs
+                  done;
+                  if !received < expect_bytes then begin
+                    o.truncated <- true;
+                    ok := false
+                  end
+                  else if !h <> expected_body_hash then begin
+                    violate "request %d: body content mismatch" !r;
+                    ok := false
+                  end
+                  else begin
+                    o.bytes_verified <- o.bytes_verified + !received;
+                    o.completed <- o.completed + 1;
+                    incr r
+                  end)
+            done
+          with Tcp.Connection_closed -> o.truncated <- true);
+         (try Tcp.close c with Tcp.Connection_closed -> ());
+         Ivar.fill o.oracle_done ()));
+  o
+
 type wget = { bytes_received : Metrics.Series.t; total : int Ivar.t }
 
 let wget_start host ~server ~port ~target ?(bucket = Time.sec 1) () =

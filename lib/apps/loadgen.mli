@@ -37,6 +37,41 @@ val ab_stats : ab -> ab_stats
 val ab_stop : ab -> unit
 (** Workers finish their in-flight request and exit. *)
 
+(** {1 Client-consistency oracle}
+
+    A verifying client for the chaos campaigns: it computes the exact byte
+    stream the server must produce ([requests] back-to-back HTTP responses
+    of [expect_bytes] zero bytes each on one connection) and checks every
+    received byte against its absolute stream position — so output that is
+    lost after commit, duplicated, or corrupted across a failover is
+    flagged as a violation, and an early end of stream as truncation. *)
+
+type oracle = {
+  mutable completed : int;  (** responses fully verified *)
+  requests : int;
+  mutable violations : string list;
+      (** prefix-consistency violations (corrupted, duplicated or
+          misaligned bytes), newest first *)
+  mutable truncated : bool;
+      (** the stream ended before all responses arrived — excusable only
+          by a total outage *)
+  oracle_done : unit Ivar.t;
+  mutable bytes_verified : int;
+}
+
+val oracle_ok : oracle -> bool
+(** No violations and not truncated. *)
+
+val verified_start :
+  Host.t ->
+  server:string ->
+  port:int ->
+  target:string ->
+  expect_bytes:int ->
+  ?requests:int ->
+  unit ->
+  oracle
+
 (** {1 wget} *)
 
 type wget = {

@@ -42,9 +42,9 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
     let buf = Buffer.create 256 in
     let eof = ref false in
     let refill () =
-      match api.Api.net_recv sock ~max:65536 with
-      | [] -> eof := true
-      | cs -> Buffer.add_string buf (Payload.concat_to_string cs)
+      match api.Api.net.recv sock ~max:65536 with
+      | Error (`Eof | `Reset | `Badfd) -> eof := true
+      | Ok cs -> Buffer.add_string buf (Payload.concat_to_string cs)
     in
     let take_line () =
       let rec find () =
@@ -87,7 +87,7 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
       in
       wait ()
     in
-    let reply s = api.Api.net_send sock (Payload.of_string s) in
+    let reply s = ignore (api.Api.net.send sock (Payload.of_string s)) in
     let rec loop () =
       match take_line () with
       | None -> ()
@@ -125,11 +125,11 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
               loop ())
     in
     loop ();
-    api.Api.net_close sock
+    api.Api.net.close sock
   in
   let _workers =
     List.init params.worker_threads (fun w ->
-        api.Api.spawn
+        api.Api.thread.spawn
           (Printf.sprintf "memcached-worker-%d" w)
           (fun () ->
             let rec loop () =
@@ -141,9 +141,9 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
             in
             loop ()))
   in
-  let listener = api.Api.net_listen ~port:params.port in
+  let listener = api.Api.net.listen ~port:params.port in
   let rec accept_loop () =
-    let sock = api.Api.net_accept listener in
+    let sock = api.Api.net.accept listener in
     Workqueue.push pt q sock;
     accept_loop ()
   in

@@ -22,20 +22,29 @@ let default_params =
   }
 
 let handle_conn (api : Api.t) p ~on_request sock =
-  let reader = Http.reader_fn (fun max -> api.Api.net_recv sock ~max) in
+  let reader =
+    Http.reader_fn (fun max ->
+        match api.Api.net.recv sock ~max with Ok cs -> cs | Error _ -> [])
+  in
   let rec serve_requests () =
     match Http.read_headers reader with
     | None -> ()
-    | Some _request ->
-        if p.cpu_per_request > 0 then api.Api.compute p.cpu_per_request;
-        api.Api.net_send sock
-          (Payload.of_string (Http.response_header ~content_length:p.page_bytes ()));
-        api.Api.net_send sock (Payload.zeroes p.page_bytes);
-        on_request ();
-        serve_requests ()
+    | Some _request -> (
+        if p.cpu_per_request > 0 then api.Api.thread.compute p.cpu_per_request;
+        match
+          api.Api.net.send sock
+            (Payload.of_string (Http.response_header ~content_length:p.page_bytes ()))
+        with
+        | Error _ -> ()
+        | Ok () -> (
+            match api.Api.net.send sock (Payload.zeroes p.page_bytes) with
+            | Error _ -> ()
+            | Ok () ->
+                on_request ();
+                serve_requests ()))
   in
   serve_requests ();
-  api.Api.net_close sock
+  api.Api.net.close sock
 
 let run ?(params = default_params) ?(on_request = fun () -> ()) (api : Api.t) =
   let pt = api.Api.pt in
@@ -43,7 +52,7 @@ let run ?(params = default_params) ?(on_request = fun () -> ()) (api : Api.t) =
   let q : Api.sock Workqueue.t = Workqueue.create pt ~capacity:p.queue_capacity in
   let _workers =
     List.init p.workers (fun w ->
-        api.Api.spawn
+        api.Api.thread.spawn
           (Printf.sprintf "mongoose-worker-%d" w)
           (fun () ->
             let rec loop () =
@@ -55,10 +64,10 @@ let run ?(params = default_params) ?(on_request = fun () -> ()) (api : Api.t) =
             in
             loop ()))
   in
-  let listener = api.Api.net_listen ~port:p.port in
+  let listener = api.Api.net.listen ~port:p.port in
   let rec accept_loop () =
-    let sock = api.Api.net_accept listener in
-    if p.accept_cost > 0 then api.Api.compute p.accept_cost;
+    let sock = api.Api.net.accept listener in
+    if p.accept_cost > 0 then api.Api.thread.compute p.accept_cost;
     Workqueue.push pt q sock;
     accept_loop ()
   in

@@ -39,26 +39,26 @@ let run ?(params = default_params) ?(on_block_done = fun _ -> ()) (api : Api.t) 
   let progress = ref 0 in
   let outfile_m = Pthread.mutex_create pt in
   let producer =
-    api.Api.spawn "pbzip2-producer" (fun () ->
+    api.Api.thread.spawn "pbzip2-producer" (fun () ->
         for idx = 0 to nblocks - 1 do
           let bytes =
             min p.block_bytes (p.file_bytes - (idx * p.block_bytes))
           in
-          api.Api.compute (Time.ns (bytes * p.read_ns_per_byte));
+          api.Api.thread.compute (Time.ns (bytes * p.read_ns_per_byte));
           Workqueue.push pt input_q { idx; bytes }
         done;
         Workqueue.close pt input_q)
   in
   let workers =
     List.init p.workers (fun w ->
-        api.Api.spawn
+        api.Api.thread.spawn
           (Printf.sprintf "pbzip2-worker-%d" w)
           (fun () ->
             let rec loop () =
               match Workqueue.pop pt input_q with
               | None -> ()
               | Some b ->
-                  api.Api.compute (Time.ns (b.bytes * p.compress_ns_per_byte));
+                  api.Api.thread.compute (Time.ns (b.bytes * p.compress_ns_per_byte));
                   Pthread.mutex_lock pt progress_m;
                   incr progress;
                   Pthread.mutex_unlock pt progress_m;
@@ -68,13 +68,13 @@ let run ?(params = default_params) ?(on_block_done = fun _ -> ()) (api : Api.t) 
             loop ()))
   in
   let writer =
-    api.Api.spawn "pbzip2-writer" (fun () ->
+    api.Api.thread.spawn "pbzip2-writer" (fun () ->
         (* Blocks finish out of order; commit them in file order. *)
         let held : (int, block) Hashtbl.t = Hashtbl.create 64 in
         let next = ref 0 in
         let commit b =
           Pthread.mutex_lock pt outfile_m;
-          api.Api.compute (Time.ns (b.bytes * p.write_ns_per_byte / 3));
+          api.Api.thread.compute (Time.ns (b.bytes * p.write_ns_per_byte / 3));
           Pthread.mutex_unlock pt outfile_m;
           on_block_done b.idx;
           incr next
@@ -101,7 +101,7 @@ let run ?(params = default_params) ?(on_block_done = fun _ -> ()) (api : Api.t) 
         in
         loop ())
   in
-  api.Api.join producer;
-  List.iter api.Api.join workers;
+  api.Api.thread.join producer;
+  List.iter api.Api.thread.join workers;
   Workqueue.close pt output_q;
-  api.Api.join writer
+  api.Api.thread.join writer

@@ -9,25 +9,48 @@ type listener = { mutable li : listener_impl }
 
 type thread = Engine.proc
 
-type t = {
-  kernel : Ftsim_kernel.Kernel.t;
-  pt : Ftsim_kernel.Pthread.t;
+type err = [ `Eof | `Reset | `Badfd ]
+
+let err_to_string = function
+  | `Eof -> "EOF"
+  | `Reset -> "ECONNRESET"
+  | `Badfd -> "EBADF"
+
+let pp_err ppf e = Format.pp_print_string ppf (err_to_string e)
+
+type net = {
+  listen : port:int -> listener;
+  accept : listener -> sock;
+  recv : sock -> max:int -> (Payload.chunk list, err) result;
+  send : sock -> Payload.chunk -> (unit, err) result;
+  close : sock -> unit;
+  poll : sock list -> timeout:Time.t -> sock list;
+}
+
+type fs = {
+  open_ : path:string -> create:bool -> Ftsim_kernel.Vfs.fd;
+  read : Ftsim_kernel.Vfs.fd -> max:int -> (Payload.chunk list, err) result;
+  append : Ftsim_kernel.Vfs.fd -> Payload.chunk -> unit;
+  close : Ftsim_kernel.Vfs.fd -> unit;
+  size : path:string -> int option;
+}
+
+type threads = {
   spawn : string -> (unit -> unit) -> thread;
   join : thread -> unit;
   compute : Time.t -> unit;
   gettimeofday : unit -> Time.t;
-  getenv : string -> string option;
-  net_listen : port:int -> listener;
-  net_accept : listener -> sock;
-  net_recv : sock -> max:int -> Payload.chunk list;
-  net_send : sock -> Payload.chunk -> unit;
-  net_close : sock -> unit;
-  net_poll : sock list -> timeout:Time.t -> sock list;
-  fs_open : path:string -> create:bool -> Ftsim_kernel.Vfs.fd;
-  fs_read : Ftsim_kernel.Vfs.fd -> max:int -> Payload.chunk list;
-  fs_append : Ftsim_kernel.Vfs.fd -> Payload.chunk -> unit;
-  fs_close : Ftsim_kernel.Vfs.fd -> unit;
-  fs_size : path:string -> int option;
+}
+
+type env = { getenv : string -> string option }
+
+type t = {
+  kernel : Ftsim_kernel.Kernel.t;
+  pt : Ftsim_kernel.Pthread.t;
+  thread : threads;
+  env : env;
+  net : net;
+  fs : fs;
 }
 
 type app = t -> unit

@@ -5,7 +5,13 @@
     as the replaying secondary — only the [Api.t] implementation behind it
     changes (mirroring LD_PRELOAD interposition plus in-kernel syscall
     interception).  Applications in {!Ftsim_apps} take an [Api.t] and use
-    nothing else. *)
+    nothing else.
+
+    The surface is grouped into sub-records ([net], [fs], [thread], [env])
+    and stream operations report end-of-stream and failure through an
+    errno-style [result] instead of the old [[] = EOF] convention and
+    exceptions.  This one choke point is also where the replica-divergence
+    digests tap the syscall stream. *)
 
 open Ftsim_sim
 open Ftsim_netstack
@@ -18,32 +24,61 @@ type listener = { mutable li : listener_impl }
 
 type thread = Engine.proc
 
-type t = {
-  kernel : Ftsim_kernel.Kernel.t;
-  pt : Ftsim_kernel.Pthread.t;  (** pthread library (hooked when replicated) *)
+type err = [ `Eof | `Reset | `Badfd ]
+(** errno-style failures surfaced by stream operations:
+    [`Eof] = orderly end of stream (0-byte read),
+    [`Reset] = connection reset/closed under the caller ([ECONNRESET]),
+    [`Badfd] = operation on an invalid descriptor ([EBADF]). *)
+
+val err_to_string : err -> string
+val pp_err : Format.formatter -> err -> unit
+
+(** Network operations.  [recv] never returns [Ok []]: it blocks until data
+    is available and reports end-of-stream as [Error `Eof].  Replicated:
+    the primary logs each result (including error outcomes) into the
+    per-thread syscall stream so the secondary replays the same sequence. *)
+type net = {
+  listen : port:int -> listener;
+  accept : listener -> sock;
+  recv : sock -> max:int -> (Payload.chunk list, err) result;
+  send : sock -> Payload.chunk -> (unit, err) result;
+  close : sock -> unit;
+  poll : sock list -> timeout:Time.t -> sock list;
+      (** epoll-style readiness wait over the given sockets; [[]] on
+          timeout.  Replicated: the primary logs which indices were ready
+          and the secondary replays them (§3.2). *)
+}
+
+(** File system (§6 extension): each replica owns a local Vfs whose state
+    converges through deterministic replay — operations are ordered by
+    deterministic sections and read lengths are logged.  [read] reports
+    end-of-file as [Error `Eof] and a stale descriptor as [Error `Badfd]. *)
+type fs = {
+  open_ : path:string -> create:bool -> Ftsim_kernel.Vfs.fd;
+  read : Ftsim_kernel.Vfs.fd -> max:int -> (Payload.chunk list, err) result;
+  append : Ftsim_kernel.Vfs.fd -> Payload.chunk -> unit;
+  close : Ftsim_kernel.Vfs.fd -> unit;
+  size : path:string -> int option;
+}
+
+(** Thread and time operations. *)
+type threads = {
   spawn : string -> (unit -> unit) -> thread;
   join : thread -> unit;
   compute : Time.t -> unit;  (** CPU-bound work *)
   gettimeofday : unit -> Time.t;
-  getenv : string -> string option;
-      (** launch environment, replicated into the FT-Namespace (3) *)
-  net_listen : port:int -> listener;
-  net_accept : listener -> sock;
-  net_recv : sock -> max:int -> Payload.chunk list;  (** [[]] = end of stream *)
-  net_send : sock -> Payload.chunk -> unit;
-  net_close : sock -> unit;
-  net_poll : sock list -> timeout:Time.t -> sock list;
-      (** epoll-style readiness wait over the given sockets; [[]] on
-          timeout.  Replicated: the primary logs which indices were ready
-          and the secondary replays them (§3.2). *)
-  (* File system (§6 extension): each replica owns a local Vfs whose state
-     converges through deterministic replay — operations are ordered by
-     deterministic sections and read lengths are logged. *)
-  fs_open : path:string -> create:bool -> Ftsim_kernel.Vfs.fd;
-  fs_read : Ftsim_kernel.Vfs.fd -> max:int -> Payload.chunk list;
-  fs_append : Ftsim_kernel.Vfs.fd -> Payload.chunk -> unit;
-  fs_close : Ftsim_kernel.Vfs.fd -> unit;
-  fs_size : path:string -> int option;
+}
+
+(** Launch environment, replicated into the FT-Namespace (§3). *)
+type env = { getenv : string -> string option }
+
+type t = {
+  kernel : Ftsim_kernel.Kernel.t;
+  pt : Ftsim_kernel.Pthread.t;  (** pthread library (hooked when replicated) *)
+  thread : threads;
+  env : env;
+  net : net;
+  fs : fs;
 }
 
 type app = t -> unit

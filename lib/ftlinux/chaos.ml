@@ -1,0 +1,342 @@
+open Ftsim_sim
+
+type target = T_primary | T_backup of int
+
+type injection = {
+  inj_at : Time.t;
+  inj_target : target;
+  inj_kind : Ftsim_hw.Fault.kind;
+  inj_disrupts : bool;
+}
+
+type perturbation = {
+  pert_at : Time.t;
+  pert_dur : Time.t;
+  pert_loss : float;
+  pert_delay : Time.t;
+}
+
+type schedule = {
+  sched_index : int;
+  sched_seed : int;
+  horizon : Time.t;
+  injections : injection list;
+  perturbations : perturbation list;
+}
+
+(* {1 Derivation} *)
+
+let kind_of_draw = function
+  | 0 -> Ftsim_hw.Fault.Core_failstop
+  | 1 -> Ftsim_hw.Fault.Memory_uncorrected
+  | _ -> Ftsim_hw.Fault.Bus_error
+
+let derive ~root_seed ~index ~replicas ~horizon =
+  if replicas <> 2 && replicas <> 3 then
+    invalid_arg "Chaos.derive: replicas must be 2 or 3";
+  let seed = Digest.mix (Digest.mix 0xc4a05 root_seed) index in
+  let g = Prng.create ~seed in
+  let backups = replicas - 1 in
+  (* Fault times land anywhere in the first three quarters of the horizon,
+     at nanosecond granularity — including mid-deterministic-section and,
+     for double faults, mid-failover. *)
+  let inj_time () = Time.ns (1 + Prng.int g (3 * horizon / 4)) in
+  let inj_target () =
+    if Prng.int g (backups + 1) = 0 then T_primary
+    else T_backup (Prng.int g backups)
+  in
+  let n_inj =
+    (* 0 faults 20 %, 1 fault 50 %, 2 faults 30 % — with a third replica
+       the budget rises to cover sequential double failures. *)
+    let d = Prng.int g 10 in
+    let base = if d < 2 then 0 else if d < 7 then 1 else 2 in
+    if replicas = 3 && base = 2 && Prng.bool g then 3 else base
+  in
+  let first = ref None in
+  let injections =
+    List.init n_inj (fun _ ->
+        let at =
+          match !first with
+          | Some t0 when Prng.bool g ->
+              (* Back-to-back: the second fault lands within 30 ms of the
+                 first, often mid-failover. *)
+              t0 + Time.ns (1 + Prng.int g (Time.ms 30))
+          | _ -> inj_time ()
+        in
+        if !first = None then first := Some at;
+        {
+          inj_at = at;
+          inj_target = inj_target ();
+          inj_kind = kind_of_draw (Prng.int g 3);
+          inj_disrupts = Prng.bool g;
+        })
+    |> List.sort (fun a b -> compare a.inj_at b.inj_at)
+  in
+  let n_pert = Prng.int g 3 in
+  let perturbations =
+    List.init n_pert (fun _ ->
+        {
+          pert_at = Time.ns (1 + Prng.int g (3 * horizon / 4));
+          pert_dur = Time.ns (1 + Prng.int g (Time.ms 200));
+          pert_loss = Prng.float g 0.5;
+          pert_delay = Time.ns (Prng.int g (Time.ms 2));
+        })
+    |> List.sort (fun a b -> compare a.pert_at b.pert_at)
+  in
+  { sched_index = index; sched_seed = seed; horizon; injections; perturbations }
+
+let pp_target fmt = function
+  | T_primary -> Format.pp_print_string fmt "primary"
+  | T_backup i -> Format.fprintf fmt "backup-%d" i
+
+let pp_schedule fmt s =
+  Format.fprintf fmt "schedule #%d (seed %#x):" s.sched_index s.sched_seed;
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "@ fault %a%s on %a at %s" Ftsim_hw.Fault.pp_kind
+        i.inj_kind
+        (if i.inj_disrupts then "+coherency" else "")
+        pp_target i.inj_target (Time.to_string i.inj_at))
+    s.injections;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "@ perturb at %s for %s loss=%.2f delay=%s"
+        (Time.to_string p.pert_at) (Time.to_string p.pert_dur) p.pert_loss
+        (Time.to_string p.pert_delay))
+    s.perturbations;
+  if s.injections = [] && s.perturbations = [] then
+    Format.pp_print_string fmt " quiescent"
+
+(* {1 Verdicts} *)
+
+type verdict =
+  | V_ok
+  | V_divergence of string
+  | V_client_violation of string
+  | V_outage
+
+let verdict_failing = function
+  | V_divergence _ | V_client_violation _ -> true
+  | V_ok | V_outage -> false
+
+let verdict_label = function
+  | V_ok -> "ok"
+  | V_divergence _ -> "divergence"
+  | V_client_violation _ -> "client-violation"
+  | V_outage -> "outage"
+
+type outcome = {
+  verdict : verdict;
+  o_failovers : int;
+  o_completed : int;
+  o_sections : int;
+  o_end : Time.t;
+}
+
+(* {1 Shrinking} *)
+
+(* Greedy delta debugging: propose one-step-smaller candidates, keep the
+   first that still fails, repeat to a fixpoint.  The measure (component
+   count, then summed injection time) strictly decreases on every accepted
+   step, so termination needs no budget — the budget only caps the runs
+   spent probing candidates that pass. *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let candidates s =
+  let drops_inj =
+    List.mapi (fun n _ -> { s with injections = drop_nth s.injections n })
+      s.injections
+  in
+  let drops_pert =
+    List.mapi
+      (fun n _ -> { s with perturbations = drop_nth s.perturbations n })
+      s.perturbations
+  in
+  let halves =
+    List.concat
+      (List.mapi
+         (fun n i ->
+           if i.inj_at > Time.ms 1 then
+             [
+               {
+                 s with
+                 injections =
+                   List.mapi
+                     (fun m j ->
+                       if m = n then { j with inj_at = j.inj_at / 2 } else j)
+                     s.injections;
+               };
+             ]
+           else [])
+         s.injections)
+  in
+  drops_inj @ drops_pert @ halves
+
+let shrink ~run ~budget sched =
+  let runs = ref 0 in
+  let best_outcome = ref None in
+  let fails s =
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      let o = run s in
+      let f = verdict_failing o.verdict in
+      if f then best_outcome := Some o;
+      f
+    end
+  in
+  let rec fix s =
+    match List.find_opt fails (candidates s) with
+    | Some smaller when !runs <= budget -> fix smaller
+    | _ -> s
+  in
+  let minimal = fix sched in
+  let outcome = match !best_outcome with Some o -> o | None -> run sched in
+  (minimal, outcome, !runs)
+
+(* {1 Campaigns} *)
+
+type run_result = { rr_schedule : schedule; rr_outcome : outcome }
+
+type report = {
+  rep_root_seed : int;
+  rep_replicas : int;
+  rep_workload : string;
+  rep_horizon : Time.t;
+  rep_results : run_result list;
+  rep_minimal : (schedule * outcome * int) option;
+}
+
+let failures r =
+  List.filter (fun rr -> verdict_failing rr.rr_outcome.verdict) r.rep_results
+
+let run_campaign ~root_seed ~count ~replicas ~horizon ~workload ~run
+    ?(shrink_budget = 64) ?(progress = fun _ -> ()) () =
+  let results =
+    List.init count (fun index ->
+        let s = derive ~root_seed ~index ~replicas ~horizon in
+        let rr = { rr_schedule = s; rr_outcome = run s } in
+        progress rr;
+        rr)
+  in
+  let minimal =
+    match
+      List.find_opt (fun rr -> verdict_failing rr.rr_outcome.verdict) results
+    with
+    | None -> None
+    | Some rr -> Some (shrink ~run ~budget:shrink_budget rr.rr_schedule)
+  in
+  {
+    rep_root_seed = root_seed;
+    rep_replicas = replicas;
+    rep_workload = workload;
+    rep_horizon = horizon;
+    rep_results = results;
+    rep_minimal = minimal;
+  }
+
+(* {1 JSON} *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let target_to_string = function
+  | T_primary -> "primary"
+  | T_backup i -> Printf.sprintf "backup-%d" i
+
+let kind_to_string k = Format.asprintf "%a" Ftsim_hw.Fault.pp_kind k
+
+let verdict_detail = function
+  | V_ok | V_outage -> None
+  | V_divergence d | V_client_violation d -> Some d
+
+let buf_injection b i =
+  Printf.bprintf b
+    "{\"at_ns\":%d,\"target\":\"%s\",\"kind\":\"%s\",\"disrupts_coherency\":%b}"
+    i.inj_at (target_to_string i.inj_target)
+    (kind_to_string i.inj_kind)
+    i.inj_disrupts
+
+let buf_perturbation b p =
+  Printf.bprintf b
+    "{\"at_ns\":%d,\"duration_ns\":%d,\"loss\":%.4f,\"delay_ns\":%d}" p.pert_at
+    p.pert_dur p.pert_loss p.pert_delay
+
+let buf_list b f l =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      f b x)
+    l;
+  Buffer.add_char b ']'
+
+let buf_schedule b s =
+  Printf.bprintf b "{\"index\":%d,\"seed\":%d,\"injections\":" s.sched_index
+    s.sched_seed;
+  buf_list b buf_injection s.injections;
+  Buffer.add_string b ",\"perturbations\":";
+  buf_list b buf_perturbation s.perturbations;
+  Buffer.add_char b '}'
+
+let buf_outcome b o =
+  Printf.bprintf b "{\"verdict\":\"%s\"," (verdict_label o.verdict);
+  (match verdict_detail o.verdict with
+  | Some d -> Printf.bprintf b "\"detail\":\"%s\"," (json_escape d)
+  | None -> ());
+  Printf.bprintf b
+    "\"failovers\":%d,\"completed_requests\":%d,\"digest_sections\":%d,\"end_ns\":%d}"
+    o.o_failovers o.o_completed o.o_sections o.o_end
+
+let buf_run_result b rr =
+  Buffer.add_string b "{\"schedule\":";
+  buf_schedule b rr.rr_schedule;
+  Buffer.add_string b ",\"outcome\":";
+  buf_outcome b rr.rr_outcome;
+  Buffer.add_char b '}'
+
+let report_to_json r =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\"root_seed\":%d,\"replicas\":%d,\"workload\":\"%s\",\"horizon_ns\":%d,"
+    r.rep_root_seed r.rep_replicas
+    (json_escape r.rep_workload)
+    r.rep_horizon;
+  let count_of v =
+    List.length
+      (List.filter
+         (fun rr -> verdict_label rr.rr_outcome.verdict = v)
+         r.rep_results)
+  in
+  Printf.bprintf b
+    "\"runs\":%d,\"ok\":%d,\"divergences\":%d,\"client_violations\":%d,\"outages\":%d,"
+    (List.length r.rep_results)
+    (count_of "ok") (count_of "divergence")
+    (count_of "client-violation")
+    (count_of "outage");
+  Buffer.add_string b "\"results\":";
+  buf_list b buf_run_result r.rep_results;
+  (match r.rep_minimal with
+  | None -> Buffer.add_string b ",\"minimal_repro\":null"
+  | Some (s, o, runs) ->
+      Buffer.add_string b ",\"minimal_repro\":{\"schedule\":";
+      buf_schedule b s;
+      Buffer.add_string b ",\"outcome\":";
+      buf_outcome b o;
+      Printf.bprintf b ",\"shrink_runs\":%d}" runs);
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -80,6 +80,16 @@ let reset_traffic t = Msglayer.reset_traffic t.ml_p t.ml_s
 let det_ops t = Namespace.det_ops t.ns_p
 let records_sent t = Msglayer.p_records t.ml_p
 
+let compare_digests t =
+  match (Namespace.digest t.ns_p, Namespace.digest t.ns_s) with
+  | Some p, Some s -> Digest.compare_replicas ~primary:p ~secondary:s
+  | _ -> None
+
+let replay_divergence t =
+  match Namespace.divergence t.ns_s with
+  | Some _ as d -> d
+  | None -> Namespace.divergence t.ns_p
+
 let shutdown t =
   Heartbeat.stop t.hb_p;
   Heartbeat.stop t.hb_s
@@ -191,9 +201,9 @@ let create eng ?(config = default_config) ?link ~app () =
   (* A coherency-disrupting fault loses whatever the victim had in flight
      in its outbound rings (§3.5's rare worst case). *)
   Machine.on_coherency_loss machine ~partition_id:(Partition.id part_p) (fun () ->
-      ignore (Mailbox.drop_in_flight duplex.Mailbox.a_to_b));
+      Mailbox.drop_in_flight duplex.Mailbox.a_to_b);
   Machine.on_coherency_loss machine ~partition_id:(Partition.id part_s) (fun () ->
-      ignore (Mailbox.drop_in_flight duplex.Mailbox.b_to_a));
+      Mailbox.drop_in_flight duplex.Mailbox.b_to_a);
   let ml_p =
     Msglayer.create_primary eng ~out:duplex.Mailbox.a_to_b ~inb:duplex.Mailbox.b_to_a
   in
@@ -294,6 +304,10 @@ let create eng ?(config = default_config) ?link ~app () =
             (Evlog.span_begin (Engine.evlog eng) ~pin:true ~comp:"ft.cluster"
                "failover.detect")
       end);
+  (* Divergence checking: both replicas fold incremental state digests,
+     compared snapshot-by-snapshot after the run (chaos campaigns). *)
+  Namespace.attach_digest ns_p (Digest.create ());
+  Namespace.attach_digest ns_s (Digest.create ());
   ignore (Namespace.start_app ns_p app);
   ignore (Namespace.start_app ns_s app);
   t

@@ -82,6 +82,19 @@ val reset_traffic : t -> unit
 val det_ops : t -> int
 val records_sent : t -> int
 
+(** {1 Divergence checking}
+
+    Both namespaces carry a {!Digest} recorder from launch; after a run the
+    two snapshot sequences can be compared index-by-index. *)
+
+val compare_digests : t -> Digest.divergence option
+(** [None] means the replicas' digest sequences agree over the shared
+    comparable prefix. *)
+
+val replay_divergence : t -> string option
+(** First structural replay divergence either replica observed (a replayed
+    record not matching the application's behaviour), if any. *)
+
 (** {1 Baseline} *)
 
 type standalone

@@ -35,6 +35,9 @@ type t = {
   (* Open "section" span (detail-gated); sections are serialized under
      [global], so one slot suffices. *)
   mutable cur_span : Evlog.span option;
+  mutable dig : Digest.t option;  (* divergence-checker recorder *)
+  mutable skip_fold : int option;  (* testing: global_seq whose digest fold
+                                      the secondary deliberately skips *)
 }
 
 let log = Trace.make "ft.det"
@@ -55,11 +58,30 @@ let make rl eng ml =
     live = false;
     ops = Metrics.Counter.create ();
     cur_span = None;
+    dig = None;
+    skip_fold = None;
   }
 
 let create_primary eng ml = make Primary_role eng (Some ml)
 let create_secondary eng = make Secondary_role eng None
 let role t = t.rl
+
+(* {1 Divergence digests} *)
+
+let attach_digest t d = t.dig <- Some d
+let digest t = t.dig
+let mutate_skip_digest t ~global_seq = t.skip_fold <- Some global_seq
+
+let fold_section t v =
+  match t.dig with None -> () | Some d -> Digest.fold d v
+
+let fold_syscall t v =
+  match t.dig with
+  | None -> ()
+  | Some d -> (
+      match Hashtbl.find_opt t.by_proc (Engine.pid (Engine.self ())) with
+      | Some ctx -> Digest.fold_thread d ~ft_pid:ctx.ft_pid v
+      | None -> ())
 
 let alloc_ftpid t =
   let id = t.next_ftpid in
@@ -133,6 +155,11 @@ let det_end_primary t =
         ("thread_seq", Evlog.Int ctx.dseq);
         ("global_seq", Evlog.Int t.gseq);
       ];
+  (match t.dig with
+  | Some d ->
+      Digest.section_end d ~ft_pid:ctx.ft_pid ~thread_seq:ctx.dseq
+        ~global_seq:t.gseq ~payload:t.cur_payload
+  | None -> ());
   ctx.dseq <- ctx.dseq + 1;
   t.gseq <- t.gseq + 1;
   Metrics.Counter.incr t.ops;
@@ -180,6 +207,11 @@ let det_start_secondary t =
 let det_end_secondary t =
   let ctx = ctx_exn t in
   if not ctx.live_seen then begin
+    (match (t.dig, Hashtbl.find_opt t.pending t.gseq) with
+    | Some d, Some pt when t.skip_fold <> Some t.gseq ->
+        Digest.section_end d ~ft_pid:ctx.ft_pid ~thread_seq:ctx.dseq
+          ~global_seq:t.gseq ~payload:pt.pt_payload
+    | _ -> ());
     Hashtbl.remove t.pending t.gseq;
     Evlog.emit (Engine.evlog t.eng) ~comp:"ft.det" "tuple.consume"
       ~args:
@@ -297,6 +329,9 @@ let next_syscall t =
 let go_live t =
   if not t.live then begin
     t.live <- true;
+    (* Everything digested from here on is live execution, not replay of
+       the primary's order: close the comparable region. *)
+    (match t.dig with Some d -> Digest.seal d | None -> ());
     Trace.warnf log ~eng:t.eng "det engine live: replay gates open";
     ignore (Waitq.wake_all t.turn_changed);
     Hashtbl.iter (fun _ ctx -> Bqueue.put ctx.sys_q Q_live) t.by_ftpid

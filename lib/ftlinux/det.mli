@@ -52,6 +52,30 @@ val payload_at_turn : t -> Wire.det_payload
 
 val pthread_hooks : t -> Ftsim_kernel.Pthread.hooks
 
+(** {1 Divergence digests}
+
+    Opt-in taps for the chaos divergence checker (see {!Digest}).  When no
+    recorder is attached every fold is a no-op. *)
+
+val attach_digest : t -> Digest.t -> unit
+(** Attach a recorder.  Must happen before the application starts issuing
+    operations, or the two replicas' digests fold different prefixes. *)
+
+val digest : t -> Digest.t option
+
+val fold_section : t -> int -> unit
+(** Mix a value into the global digest; call only between [det_start] and
+    [det_end] (the value is then totally ordered across replicas). *)
+
+val fold_syscall : t -> int -> unit
+(** Mix a value into the calling thread's per-thread digest (per-thread
+    FIFO syscall points).  No-op if the thread is unregistered. *)
+
+val mutate_skip_digest : t -> global_seq:int -> unit
+(** Testing only: make the secondary skip the digest fold for the section
+    with this global sequence number while still replaying it — a seeded
+    divergence the checker must flag at the next boundary. *)
+
 (** {1 Secondary record delivery} *)
 
 val deliver_tuple :

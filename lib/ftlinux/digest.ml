@@ -1,0 +1,222 @@
+open Ftsim_sim
+
+type snapshot = { snap_section : int; snap_digest : int }
+
+(* Snapshots are kept newest-first; beyond [snap_cap] we keep folding the
+   rolling digests but stop storing per-section history.  The caps are the
+   same constants on both replicas, so truncated histories still align. *)
+let snap_cap = 1 lsl 18
+let tsnap_cap = 1 lsl 14
+
+(* Per-thread recorder: rolling digest over the thread's syscall results
+   (per-thread FIFO order, identical on both replicas), plus a bounded
+   per-fold snapshot history so the sequences compare elementwise. *)
+type tstate = {
+  mutable td : int;
+  mutable tcount : int;  (* folds so far *)
+  mutable tsnaps : (int * int) list;  (* (fold index, digest), newest first *)
+  mutable tnsnaps : int;
+  mutable tsealed : int option;  (* comparable fold count *)
+}
+
+type t = {
+  mutable global : int;
+  threads : (int, tstate) Hashtbl.t;
+  mutable snaps : snapshot list;
+  mutable nsnaps : int;
+  mutable nsections : int;
+  mutable commits : (int * int) list;  (* (section, lsn), newest first *)
+  mutable sealed_at : int option;  (* comparable section count *)
+}
+
+let create () =
+  {
+    global = 0x5eed;
+    threads = Hashtbl.create 16;
+    snaps = [];
+    nsnaps = 0;
+    nsections = 0;
+    commits = [];
+    sealed_at = None;
+  }
+
+(* splitmix-style finalizer constrained to OCaml's 63-bit ints. *)
+let mix h v =
+  let h = (h lxor v) * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 29)) * 0x9E3779B97F4A7C1 in
+  h lxor (h lsr 32)
+
+let fold t v = t.global <- mix t.global v
+
+let fold_string t s =
+  fold t (Payload.stream_hash 0x517 [ Payload.of_string s ])
+
+let thread_state t ft_pid =
+  match Hashtbl.find_opt t.threads ft_pid with
+  | Some ts -> ts
+  | None ->
+      let ts =
+        {
+          td = mix 0x7ead ft_pid;
+          tcount = 0;
+          tsnaps = [];
+          tnsnaps = 0;
+          (* A thread first seen after go-live is all-live execution:
+             nothing of it is comparable. *)
+          tsealed = (if t.sealed_at = None then None else Some 0);
+        }
+      in
+      Hashtbl.replace t.threads ft_pid ts;
+      ts
+
+let fold_thread t ~ft_pid v =
+  let ts = thread_state t ft_pid in
+  ts.td <- mix ts.td v;
+  ts.tcount <- ts.tcount + 1;
+  if ts.tnsnaps < tsnap_cap then begin
+    ts.tsnaps <- (ts.tcount, ts.td) :: ts.tsnaps;
+    ts.tnsnaps <- ts.tnsnaps + 1
+  end
+
+let thread_digest t ~ft_pid = (thread_state t ft_pid).td
+
+let hash_payload = function
+  | Wire.P_plain -> 1
+  | Wire.P_timed_outcome b -> mix 2 (if b then 1 else 0)
+  | Wire.P_thread_spawn p -> mix 3 p
+  | Wire.P_fs_read_len n -> mix 4 n
+
+let section_end t ~ft_pid ~thread_seq ~global_seq ~payload =
+  fold t global_seq;
+  fold t ft_pid;
+  fold t thread_seq;
+  fold t (hash_payload payload);
+  fold t (thread_digest t ~ft_pid);
+  t.nsections <- t.nsections + 1;
+  if t.nsnaps < snap_cap then begin
+    t.snaps <- { snap_section = t.nsections; snap_digest = t.global } :: t.snaps;
+    t.nsnaps <- t.nsnaps + 1
+  end
+
+let mark_commit t ~lsn = t.commits <- (t.nsections, lsn) :: t.commits
+let commit_marks t = List.rev t.commits
+
+let seal t =
+  if t.sealed_at = None then begin
+    t.sealed_at <- Some t.nsections;
+    Hashtbl.iter
+      (fun _ ts -> if ts.tsealed = None then ts.tsealed <- Some ts.tcount)
+      t.threads
+  end
+
+let sealed t = t.sealed_at <> None
+let sections t = t.nsections
+let truncated t = t.nsections > t.nsnaps
+
+let comparable t =
+  let upto = match t.sealed_at with Some n -> n | None -> max_int in
+  List.rev (List.filter (fun s -> s.snap_section <= upto) t.snaps)
+
+let value t =
+  let h = ref t.global in
+  let pids = Hashtbl.fold (fun k _ acc -> k :: acc) t.threads [] in
+  List.iter
+    (fun p ->
+      h := mix !h p;
+      h := mix !h (thread_digest t ~ft_pid:p))
+    (List.sort compare pids);
+  !h
+
+type divergence = {
+  at_section : int;
+  in_thread : int option;
+  primary_digest : int;
+  secondary_digest : int;
+  after_commit_lsn : int option;
+}
+
+let comparable_thread ts =
+  let upto = match ts.tsealed with Some n -> n | None -> max_int in
+  List.rev (List.filter (fun (c, _) -> c <= upto) ts.tsnaps)
+
+let compare_sections ~primary ~secondary =
+  let rec walk ps ss =
+    match (ps, ss) with
+    | p :: ps', s :: ss' ->
+        if p.snap_section <> s.snap_section then
+          (* Snapshot numbering is the section count on each side; a skew
+             means one replica digested a section the other never saw —
+             report at the earlier index. *)
+          Some
+            {
+              at_section = min p.snap_section s.snap_section;
+              in_thread = None;
+              primary_digest = p.snap_digest;
+              secondary_digest = s.snap_digest;
+              after_commit_lsn = None;
+            }
+        else if p.snap_digest <> s.snap_digest then
+          let lsn =
+            List.fold_left
+              (fun acc (sec, lsn) ->
+                if sec <= p.snap_section then Some lsn else acc)
+              None
+              (commit_marks primary)
+          in
+          Some
+            {
+              at_section = p.snap_section;
+              in_thread = None;
+              primary_digest = p.snap_digest;
+              secondary_digest = s.snap_digest;
+              after_commit_lsn = lsn;
+            }
+        else walk ps' ss'
+    | _, [] | [], _ -> None
+  in
+  walk (comparable primary) (comparable secondary)
+
+(* A thread's syscall results replay in per-thread FIFO order, so for every
+   ft_pid the two replicas' fold sequences must agree elementwise over the
+   shared (sealed-bounded) prefix — this covers syscall-heavy applications
+   that rarely enter deterministic sections. *)
+let compare_threads ~primary ~secondary =
+  let pids =
+    Hashtbl.fold (fun pid _ acc -> pid :: acc) primary.threads []
+    |> List.filter (fun pid -> Hashtbl.mem secondary.threads pid)
+    |> List.sort compare
+  in
+  let rec walk_pid pid ps ss =
+    match (ps, ss) with
+    | (pc, pd) :: ps', (_, sd) :: ss' ->
+        if pd <> sd then
+          Some
+            {
+              at_section = pc;
+              in_thread = Some pid;
+              primary_digest = pd;
+              secondary_digest = sd;
+              after_commit_lsn = None;
+            }
+        else walk_pid pid ps' ss'
+    | _, [] | [], _ -> None
+  in
+  List.fold_left
+    (fun acc pid ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          walk_pid pid
+            (comparable_thread (thread_state primary pid))
+            (comparable_thread (thread_state secondary pid)))
+    None pids
+
+let compare_replicas ~primary ~secondary =
+  match compare_sections ~primary ~secondary with
+  | Some d -> Some d
+  | None -> compare_threads ~primary ~secondary
+
+let thread_folds t ~ft_pid = (thread_state t ft_pid).tcount
+
+let comparison_points t =
+  Hashtbl.fold (fun _ ts acc -> acc + ts.tcount) t.threads t.nsections

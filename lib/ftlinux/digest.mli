@@ -1,0 +1,118 @@
+(** Incremental cross-replica state digests.
+
+    The divergence checker's measurement substrate: each replica carries a
+    recorder that folds the observable effects of execution into rolling
+    hashes, snapshotting after every deterministic section so the two
+    replicas' digest {e sequences} can be compared index-by-index.
+
+    Soundness rests on the paper's ordering guarantees (§3.3): only
+    deterministic sections are totally ordered across replicas, while
+    system-call results replay in per-thread FIFO order.  So the recorder
+    keeps
+
+    - a {b global digest}, mutated only inside deterministic sections
+      (under the namespace-global mutex / the secondary's turn gate), and
+    - a {b per-thread digest} per ft_pid, folded at each net/time syscall.
+
+    At every [det_end] the section header (global_seq, ft_pid, thread_seq,
+    payload) {e and the ending thread's current per-thread digest} are
+    folded into the global digest, then a snapshot [(section, digest)] is
+    recorded.  Because a thread's program order is identical on both
+    replicas, its per-thread digest at a given section is comparable even
+    though other threads' syscalls interleave differently.
+
+    After a failover the secondary {!seal}s its recorder at go-live: later
+    snapshots reflect live (non-replayed) execution and are excluded from
+    comparison.  Output-commit instants are recorded as {!mark_commit}
+    marks so a divergence can be reported relative to the last committed
+    boundary. *)
+
+type t
+
+type snapshot = { snap_section : int; snap_digest : int }
+
+val create : unit -> t
+
+(** {1 Folding} *)
+
+val mix : int -> int -> int
+(** The underlying 62-bit mixer (splitmix-style finalizer); exposed for
+    callers that pre-combine values before folding. *)
+
+val fold : t -> int -> unit
+(** Mix a value into the global digest.  Call only at points that are
+    totally ordered across replicas (inside a deterministic section). *)
+
+val fold_string : t -> string -> unit
+
+val fold_thread : t -> ft_pid:int -> int -> unit
+(** Mix a value into [ft_pid]'s per-thread digest (per-thread FIFO points:
+    net/time syscall results). *)
+
+val thread_digest : t -> ft_pid:int -> int
+
+val hash_payload : Wire.det_payload -> int
+
+val section_end :
+  t -> ft_pid:int -> thread_seq:int -> global_seq:int -> payload:Wire.det_payload -> unit
+(** The [det_end] tap: folds the section header and the ending thread's
+    per-thread digest into the global digest, then snapshots. *)
+
+(** {1 Boundaries} *)
+
+val mark_commit : t -> lsn:int -> unit
+(** Record an output-commit boundary at the current section count. *)
+
+val commit_marks : t -> (int * int) list
+(** [(section, lsn)] marks, oldest first. *)
+
+val seal : t -> unit
+(** Stop the comparable region (secondary go-live): snapshots taken after
+    [seal] are excluded from {!comparable}. *)
+
+val sealed : t -> bool
+
+(** {1 Comparison} *)
+
+val sections : t -> int
+(** Snapshots recorded so far (= deterministic sections digested). *)
+
+val comparable : t -> snapshot list
+(** Snapshots in the comparable region, oldest first.  Bounded: beyond an
+    internal cap only the rolling digest keeps advancing; [truncated]
+    reports whether the cap was hit. *)
+
+val truncated : t -> bool
+
+val value : t -> int
+(** Final combined digest: global digest plus every per-thread digest in
+    ft_pid order.  Only meaningful to compare across replicas on quiescent
+    runs with no failover (both replicas executed the full program). *)
+
+type divergence = {
+  at_section : int;
+      (** first differing snapshot's section number — or, for a per-thread
+          divergence, the differing fold's index within that thread *)
+  in_thread : int option;
+      (** [Some ft_pid] when the divergence is in a thread's syscall-result
+          sequence rather than the global section sequence *)
+  primary_digest : int;
+  secondary_digest : int;
+  after_commit_lsn : int option;
+      (** the last primary output-commit boundary at or before the
+          divergence, if any output had committed *)
+}
+
+val compare_replicas : primary:t -> secondary:t -> divergence option
+(** Index-by-index comparison over the shared comparable prefixes: first
+    the global per-section snapshots (which subsume every output-commit
+    boundary), then — because syscall results replay in per-thread FIFO
+    order — each thread's per-fold snapshot sequence.  The latter covers
+    syscall-heavy applications that rarely enter deterministic sections. *)
+
+val thread_folds : t -> ft_pid:int -> int
+(** Syscall results folded into [ft_pid]'s digest so far. *)
+
+val comparison_points : t -> int
+(** Sections digested plus all per-thread folds: the total number of
+    points at which a divergence could be detected. *)

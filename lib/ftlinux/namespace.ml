@@ -25,9 +25,19 @@ type t = {
   ack_commit : bool;
   vfs : Vfs.t;
   env : (string * string) list;
+  mutable diverged : string option;  (* first replay divergence observed *)
 }
 
 let log = Trace.make "ft.namespace"
+
+exception Replay_divergence of string
+
+(* Record the first divergence on the namespace (so a chaos run can observe
+   it even though the raise kills the app thread), then raise. *)
+let diverge t what =
+  let msg = Printf.sprintf "replay divergence: %s" what in
+  if t.diverged = None then t.diverged <- Some msg;
+  raise (Replay_divergence msg)
 
 let det_exn t =
   match t.det with Some d -> d | None -> failwith "namespace: no det engine"
@@ -39,6 +49,23 @@ let shadow_of = shadow_exn
 
 let api t = match t.the_api with Some a -> a | None -> assert false
 
+(* {1 Digest fold tags}
+
+   Per-thread folds must combine the same values in the same per-thread
+   order on both replicas; each operation gets a distinct tag so streams of
+   different operations cannot collide. *)
+
+let h_recv len data = Digest.mix (Digest.mix 1 len) (Payload.stream_hash 0x11 data)
+let h_send len chunk = Digest.mix (Digest.mix 2 len) (Payload.stream_hash 0x11 [ chunk ])
+let h_time v = Digest.mix 3 v
+let h_accept cid = Digest.mix 4 cid
+let h_close cid = Digest.mix 5 cid
+let h_poll ready = List.fold_left Digest.mix 6 ready
+let h_fs_open path = Digest.mix 10 (Payload.stream_hash 0x11 [ Payload.of_string path ])
+let h_fs_read cs = Digest.mix (Digest.mix 11 (Payload.total_len cs)) (Payload.stream_hash 0x11 cs)
+let h_fs_append chunk = Digest.mix (Digest.mix 12 (Payload.chunk_len chunk)) (Payload.stream_hash 0x11 [ chunk ])
+let h_fs_close = 13
+
 (* {1 Standalone} *)
 
 let real_listener l = { Api.li = Api.L_real l }
@@ -49,60 +76,91 @@ let stack_exn t =
   | Some s -> s
   | None -> failwith "namespace: no network stack configured"
 
+(* Direct (unreplicated) socket operations, shared by the standalone
+   backend and every post-go-live real-connection path. *)
+let direct_recv c ~max =
+  match Tcp.recv c ~max with
+  | [] -> Error `Eof
+  | data -> Ok data
+  | exception Tcp.Connection_closed -> Error `Reset
+
+let direct_send c chunk =
+  match Tcp.send c chunk with
+  | () -> Ok ()
+  | exception Tcp.Connection_closed -> Error `Reset
+
+let direct_fs_read vfs fd ~max =
+  match Vfs.read vfs fd ~max with
+  | [] -> Error `Eof
+  | cs -> Ok cs
+  | exception Vfs.Bad_fd -> Error `Badfd
+
+let threads_of t =
+  {
+    Api.spawn = (fun name f -> Kernel.spawn_thread t.kernel ~name f);
+    join = (fun th -> ignore (Engine.join th));
+    compute = (fun d -> Kernel.compute t.kernel d);
+    gettimeofday = (fun () -> Kernel.gettimeofday t.kernel);
+  }
+
+let env_of t = { Api.getenv = (fun k -> List.assoc_opt k t.env) }
+
 let standalone_api t =
   {
     Api.kernel = t.kernel;
     pt = t.pt;
-    spawn =
-      (fun name f -> Kernel.spawn_thread t.kernel ~name f);
-    join = (fun th -> ignore (Engine.join th));
-    compute = (fun d -> Kernel.compute t.kernel d);
-    gettimeofday = (fun () -> Kernel.gettimeofday t.kernel);
-    getenv = (fun k -> List.assoc_opt k t.env);
-    net_listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
-    net_accept =
-      (fun l ->
-        match l.Api.li with
-        | Api.L_real rl -> real_sock (Tcp.accept rl)
-        | Api.L_shadow _ -> assert false);
-    net_recv =
-      (fun s ~max ->
-        match s.Api.si with
-        | Api.S_real c -> Tcp.recv c ~max
-        | Api.S_shadow _ -> assert false);
-    net_send =
-      (fun s chunk ->
-        match s.Api.si with
-        | Api.S_real c -> Tcp.send c chunk
-        | Api.S_shadow _ -> assert false);
-    net_close =
-      (fun s ->
-        match s.Api.si with
-        | Api.S_real c -> Tcp.close c
-        | Api.S_shadow _ -> assert false);
-    net_poll =
-      (fun socks ~timeout ->
-        let conns =
-          List.map
-            (fun s ->
-              match s.Api.si with
-              | Api.S_real c -> c
-              | Api.S_shadow _ -> assert false)
-            socks
-        in
-        let eng = Kernel.engine t.kernel in
-        let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
-        List.filter
+    thread = threads_of t;
+    env = env_of t;
+    net =
+      {
+        Api.listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
+        accept =
+          (fun l ->
+            match l.Api.li with
+            | Api.L_real rl -> real_sock (Tcp.accept rl)
+            | Api.L_shadow _ -> assert false);
+        recv =
+          (fun s ~max ->
+            match s.Api.si with
+            | Api.S_real c -> direct_recv c ~max
+            | Api.S_shadow _ -> assert false);
+        send =
+          (fun s chunk ->
+            match s.Api.si with
+            | Api.S_real c -> direct_send c chunk
+            | Api.S_shadow _ -> assert false);
+        close =
           (fun s ->
             match s.Api.si with
-            | Api.S_real c -> List.memq c ready
-            | Api.S_shadow _ -> false)
-          socks);
-    fs_open = (fun ~path ~create -> Vfs.open_file t.vfs ~path ~create);
-    fs_read = (fun fd ~max -> Vfs.read t.vfs fd ~max);
-    fs_append = (fun fd chunk -> Vfs.append t.vfs fd chunk);
-    fs_close = (fun fd -> Vfs.close t.vfs fd);
-    fs_size = (fun ~path -> Vfs.size t.vfs ~path);
+            | Api.S_real c -> Tcp.close c
+            | Api.S_shadow _ -> assert false);
+        poll =
+          (fun socks ~timeout ->
+            let conns =
+              List.map
+                (fun s ->
+                  match s.Api.si with
+                  | Api.S_real c -> c
+                  | Api.S_shadow _ -> assert false)
+                socks
+            in
+            let eng = Kernel.engine t.kernel in
+            let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+            List.filter
+              (fun s ->
+                match s.Api.si with
+                | Api.S_real c -> List.memq c ready
+                | Api.S_shadow _ -> false)
+              socks);
+      };
+    fs =
+      {
+        Api.open_ = (fun ~path ~create -> Vfs.open_file t.vfs ~path ~create);
+        read = (fun fd ~max -> direct_fs_read t.vfs fd ~max);
+        append = (fun fd chunk -> Vfs.append t.vfs fd chunk);
+        close = (fun fd -> Vfs.close t.vfs fd);
+        size = (fun ~path -> Vfs.size t.vfs ~path);
+      };
   }
 
 let standalone kernel ?stack ?(env = []) () =
@@ -125,6 +183,7 @@ let standalone kernel ?stack ?(env = []) () =
       ack_commit = false;
       vfs = Vfs.create ();
       env;
+      diverged = None;
     }
   in
   t.the_api <- Some (standalone_api t);
@@ -137,10 +196,12 @@ let cid_exn t c =
   | Some cid -> cid
   | None -> failwith "namespace: connection has no replication id"
 
+let cid_opt t c = Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c)
+
 (* Connections accepted after [go_solo] (TCP hooks removed) have no
    replication id; their syscalls are simply not logged. *)
 let log_conn_syscall t det c mk =
-  match Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c) with
+  match cid_opt t c with
   | Some cid -> ignore (Det.log_syscall det (mk cid))
   | None -> ()
 
@@ -152,6 +213,9 @@ let install_primary_tcp_hooks t stack =
     sink.Msglayer.sink_wait_stable ~lsn;
     (* Recorded after the wait returns: this is the instant the output
        actually became releasable (its covering ack had arrived). *)
+    (match Det.digest (det_exn t) with
+    | Some d -> Digest.mark_commit d ~lsn
+    | None -> ());
     Evlog.emit
       (Engine.evlog (Kernel.engine t.kernel))
       ~comp:"ft.namespace" "output.commit"
@@ -184,7 +248,7 @@ let install_primary_tcp_hooks t stack =
                 sent, resolving the stack's output non-determinism (§3.4);
                 output commit (§3.5) then holds the packet until everything
                 that causally precedes it is stable on the secondary. *)
-             (match Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c) with
+             (match cid_opt t c with
              | Some cid when len > 0 ->
                  append (Wire.Tcp_delta (Wire.D_out_seg { cid; len }))
              | _ -> ());
@@ -195,7 +259,7 @@ let install_primary_tcp_hooks t stack =
                 much a failover retransmits, so emitting every 16 KiB of
                 progress suffices and keeps the delta stream off the replay
                 bottleneck. *)
-             match Hashtbl.find_opt t.cid_of_conn (Tcp.conn_id c) with
+             match cid_opt t c with
              | None -> ()
              | Some cid ->
                  let last =
@@ -232,101 +296,163 @@ let spawn_replicated t name f =
       Det.register_thread det ~ft_pid;
       Fun.protect ~finally:(fun () -> Det.unregister_thread det) f)
 
+(* Replicated file operations are ordered by deterministic sections; the
+   content folds inside the section cross-check VFS convergence. *)
+let replicated_fs t det =
+  {
+    Api.open_ =
+      (fun ~path ~create ->
+        Det.det_start det;
+        let fd = Vfs.open_file t.vfs ~path ~create in
+        Det.fold_section det (h_fs_open path);
+        Det.det_end det;
+        fd);
+    read =
+      (fun fd ~max ->
+        Det.det_start det;
+        let r =
+          if Det.role det = Det.Primary_role then begin
+            match Vfs.read t.vfs fd ~max with
+            | [] ->
+                Det.set_payload det (Wire.P_fs_read_len 0);
+                Error `Eof
+            | cs ->
+                Det.set_payload det (Wire.P_fs_read_len (Payload.total_len cs));
+                Det.fold_section det (h_fs_read cs);
+                Ok cs
+            | exception Vfs.Bad_fd ->
+                Det.set_payload det (Wire.P_fs_read_len (-1));
+                Error `Badfd
+          end
+          else if Det.is_live det then direct_fs_read t.vfs fd ~max
+          else
+            match Det.payload_at_turn det with
+            | Wire.P_fs_read_len (-1) -> Error `Badfd
+            | Wire.P_fs_read_len 0 -> Error `Eof
+            | Wire.P_fs_read_len n ->
+                let cs = Vfs.read_exact t.vfs fd n in
+                Det.fold_section det (h_fs_read cs);
+                Ok cs
+            | _ -> diverge t "expected fs read length"
+        in
+        Det.det_end det;
+        r);
+    append =
+      (fun fd chunk ->
+        Det.det_start det;
+        Vfs.append t.vfs fd chunk;
+        Det.fold_section det (h_fs_append chunk);
+        Det.det_end det);
+    close =
+      (fun fd ->
+        Det.det_start det;
+        Vfs.close t.vfs fd;
+        Det.fold_section det h_fs_close;
+        Det.det_end det);
+    size = (fun ~path -> Vfs.size t.vfs ~path);
+  }
+
 let primary_api t =
   let det = det_exn t in
   {
     Api.kernel = t.kernel;
     pt = t.pt;
-    spawn = (fun name f -> spawn_replicated t name f);
-    join = (fun th -> ignore (Engine.join th));
-    compute = (fun d -> Kernel.compute t.kernel d);
-    gettimeofday =
-      (fun () ->
-        let v = Kernel.gettimeofday t.kernel in
-        ignore (Det.log_syscall det (Wire.R_gettimeofday v));
-        v);
-    (* The environment was replicated at launch (3, FT-Namespace), so the
+    thread =
+      {
+        Api.spawn = (fun name f -> spawn_replicated t name f);
+        join = (fun th -> ignore (Engine.join th));
+        compute = (fun d -> Kernel.compute t.kernel d);
+        gettimeofday =
+          (fun () ->
+            let v = Kernel.gettimeofday t.kernel in
+            ignore (Det.log_syscall det (Wire.R_gettimeofday v));
+            Det.fold_syscall det (h_time v);
+            v);
+      };
+    (* The environment was replicated at launch (§3, FT-Namespace), so the
        lookup itself is deterministic and needs no logging. *)
-    getenv = (fun k -> List.assoc_opt k t.env);
-    net_listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
-    net_accept =
-      (fun l ->
-        match l.Api.li with
-        | Api.L_real rl ->
-            let c = Tcp.accept rl in
-            log_conn_syscall t det c (fun cid -> Wire.R_accept cid);
-            real_sock c
-        | Api.L_shadow _ -> assert false);
-    net_recv =
-      (fun s ~max ->
-        match s.Api.si with
-        | Api.S_real c ->
-            let data = Tcp.recv c ~max in
-            log_conn_syscall t det c (fun cid ->
-                Wire.R_read { cid; len = Payload.total_len data });
-            data
-        | Api.S_shadow _ -> assert false);
-    net_send =
-      (fun s chunk ->
-        match s.Api.si with
-        | Api.S_real c ->
-            Tcp.send c chunk;
-            log_conn_syscall t det c (fun cid ->
-                Wire.R_write { cid; len = Payload.chunk_len chunk })
-        | Api.S_shadow _ -> assert false);
-    net_close =
-      (fun s ->
-        match s.Api.si with
-        | Api.S_real c ->
-            Tcp.close c;
-            log_conn_syscall t det c (fun cid -> Wire.R_close { cid })
-        | Api.S_shadow _ -> assert false);
-    net_poll =
-      (fun socks ~timeout ->
-        let conns =
-          List.map
-            (fun s ->
-              match s.Api.si with
-              | Api.S_real c -> c
-              | Api.S_shadow _ -> assert false)
-            socks
-        in
-        let eng = Kernel.engine t.kernel in
-        let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
-        let ready_idx =
-          List.mapi (fun i c -> (i, c)) conns
-          |> List.filter_map (fun (i, c) ->
-                 if List.memq c ready then Some i else None)
-        in
-        ignore (Det.log_syscall det (Wire.R_poll { ready = ready_idx }));
-        List.filteri (fun i _ -> List.mem i ready_idx) socks);
-    (* File operations are ordered by deterministic sections; a read
-       additionally logs its length, the file system's one source of
-       interface non-determinism. *)
-    fs_open =
-      (fun ~path ~create ->
-        Det.det_start det;
-        let fd = Vfs.open_file t.vfs ~path ~create in
-        Det.det_end det;
-        fd);
-    fs_read =
-      (fun fd ~max ->
-        Det.det_start det;
-        let cs = Vfs.read t.vfs fd ~max in
-        Det.set_payload det (Wire.P_fs_read_len (Payload.total_len cs));
-        Det.det_end det;
-        cs);
-    fs_append =
-      (fun fd chunk ->
-        Det.det_start det;
-        Vfs.append t.vfs fd chunk;
-        Det.det_end det);
-    fs_close =
-      (fun fd ->
-        Det.det_start det;
-        Vfs.close t.vfs fd;
-        Det.det_end det);
-    fs_size = (fun ~path -> Vfs.size t.vfs ~path);
+    env = env_of t;
+    net =
+      {
+        Api.listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
+        accept =
+          (fun l ->
+            match l.Api.li with
+            | Api.L_real rl ->
+                let c = Tcp.accept rl in
+                log_conn_syscall t det c (fun cid -> Wire.R_accept cid);
+                (match cid_opt t c with
+                | Some cid -> Det.fold_syscall det (h_accept cid)
+                | None -> ());
+                real_sock c
+            | Api.L_shadow _ -> assert false);
+        recv =
+          (fun s ~max ->
+            match s.Api.si with
+            | Api.S_real c -> (
+                match Tcp.recv c ~max with
+                | [] ->
+                    log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len = 0 });
+                    Det.fold_syscall det (h_recv 0 []);
+                    Error `Eof
+                | data ->
+                    let len = Payload.total_len data in
+                    log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len });
+                    Det.fold_syscall det (h_recv len data);
+                    Ok data
+                | exception Tcp.Connection_closed ->
+                    (* The reset outcome is logged (len = -1) so the
+                       secondary replays the same error at the same point
+                       in this thread's stream. *)
+                    log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len = -1 });
+                    Error `Reset)
+            | Api.S_shadow _ -> assert false);
+        send =
+          (fun s chunk ->
+            match s.Api.si with
+            | Api.S_real c -> (
+                match Tcp.send c chunk with
+                | () ->
+                    let len = Payload.chunk_len chunk in
+                    log_conn_syscall t det c (fun cid -> Wire.R_write { cid; len });
+                    Det.fold_syscall det (h_send len chunk);
+                    Ok ()
+                | exception Tcp.Connection_closed ->
+                    log_conn_syscall t det c (fun cid -> Wire.R_write { cid; len = -1 });
+                    Error `Reset)
+            | Api.S_shadow _ -> assert false);
+        close =
+          (fun s ->
+            match s.Api.si with
+            | Api.S_real c ->
+                Tcp.close c;
+                log_conn_syscall t det c (fun cid -> Wire.R_close { cid });
+                (match cid_opt t c with
+                | Some cid -> Det.fold_syscall det (h_close cid)
+                | None -> ())
+            | Api.S_shadow _ -> assert false);
+        poll =
+          (fun socks ~timeout ->
+            let conns =
+              List.map
+                (fun s ->
+                  match s.Api.si with
+                  | Api.S_real c -> c
+                  | Api.S_shadow _ -> assert false)
+                socks
+            in
+            let eng = Kernel.engine t.kernel in
+            let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+            let ready_idx =
+              List.mapi (fun i c -> (i, c)) conns
+              |> List.filter_map (fun (i, c) ->
+                     if List.memq c ready then Some i else None)
+            in
+            ignore (Det.log_syscall det (Wire.R_poll { ready = ready_idx }));
+            Det.fold_syscall det (h_poll ready_idx);
+            List.filteri (fun i _ -> List.mem i ready_idx) socks);
+      };
+    fs = replicated_fs t det;
   }
 
 let primary kernel ~sink ?stack ?(env = []) ~output_commit ~ack_commit () =
@@ -352,6 +478,7 @@ let primary kernel ~sink ?stack ?(env = []) ~output_commit ~ack_commit () =
       ack_commit;
       vfs = Vfs.create ();
       env;
+      diverged = None;
     }
   in
   (match stack with Some s -> install_primary_tcp_hooks t s | None -> ());
@@ -359,11 +486,6 @@ let primary kernel ~sink ?stack ?(env = []) ~output_commit ~ack_commit () =
   t
 
 (* {1 Secondary} *)
-
-exception Replay_divergence of string
-
-let divergence what =
-  raise (Replay_divergence (Printf.sprintf "replay divergence: %s" what))
 
 let live_conn_of_shadow t s sc =
   match Shadow.restored sc with
@@ -380,156 +502,160 @@ let secondary_api t =
   {
     Api.kernel = t.kernel;
     pt = t.pt;
-    spawn = (fun name f -> spawn_replicated t name f);
-    join = (fun th -> ignore (Engine.join th));
-    compute = (fun d -> Kernel.compute t.kernel d);
-    gettimeofday =
-      (fun () ->
-        match Det.next_syscall det with
-        | Det.Replayed (Wire.R_gettimeofday v) -> v
-        | Det.Replayed _ -> divergence "expected gettimeofday result"
-        | Det.Went_live -> Kernel.gettimeofday t.kernel);
-    getenv = (fun k -> List.assoc_opt k t.env);
-    net_listen =
-      (fun ~port ->
-        if t.live then
-          match Hashtbl.find_opt t.restored_listeners port with
-          | Some rl -> real_listener rl
-          | None -> real_listener (Tcp.listen (stack_exn t) ~port)
-        else begin
-          Shadow.register_listener sh ~port;
-          { Api.li = Api.L_shadow { sh_port = port } }
-        end);
-    net_accept =
-      (fun l ->
-        match l.Api.li with
-        | Api.L_real rl -> real_sock (Tcp.accept rl)
-        | Api.L_shadow { sh_port } -> (
+    thread =
+      {
+        Api.spawn = (fun name f -> spawn_replicated t name f);
+        join = (fun th -> ignore (Engine.join th));
+        compute = (fun d -> Kernel.compute t.kernel d);
+        gettimeofday =
+          (fun () ->
             match Det.next_syscall det with
-            | Det.Replayed (Wire.R_accept cid) ->
-                { Api.si = Api.S_shadow (Shadow.claim_accept sh ~cid) }
-            | Det.Replayed _ -> divergence "expected accept result"
-            | Det.Went_live -> (
-                match Hashtbl.find_opt t.restored_listeners sh_port with
-                | Some rl ->
-                    l.Api.li <- Api.L_real rl;
-                    real_sock (Tcp.accept rl)
-                | None -> real_sock (Tcp.accept (Tcp.listen (stack_exn t) ~port:sh_port)))));
-    net_recv =
-      (fun s ~max ->
-        match s.Api.si with
-        | Api.S_real c -> Tcp.recv c ~max
-        | Api.S_shadow sc -> (
-            match Det.next_syscall det with
-            | Det.Replayed (Wire.R_read { cid; len }) ->
-                if cid <> Shadow.cid sc then divergence "read on wrong connection"
-                else if len = 0 then []
-                else Shadow.read_bytes sc len
-            | Det.Replayed _ -> divergence "expected read result"
-            | Det.Went_live -> (
-                match live_conn_of_shadow t s sc with
-                | Some rc -> Tcp.recv rc ~max
-                | None -> [])))
-    ;
-    net_send =
-      (fun s chunk ->
-        match s.Api.si with
-        | Api.S_real c -> Tcp.send c chunk
-        | Api.S_shadow sc -> (
-            match Det.next_syscall det with
-            | Det.Replayed (Wire.R_write { cid; len }) ->
-                if cid <> Shadow.cid sc then divergence "write on wrong connection";
-                if len <> Payload.chunk_len chunk then
-                  divergence "write length mismatch";
-                Shadow.write_bytes sc chunk
-            | Det.Replayed _ -> divergence "expected write result"
-            | Det.Went_live -> (
-                match live_conn_of_shadow t s sc with
-                | Some rc -> Tcp.send rc chunk
-                | None -> raise Tcp.Connection_closed)));
-    net_close =
-      (fun s ->
-        match s.Api.si with
-        | Api.S_real c -> Tcp.close c
-        | Api.S_shadow sc -> (
-            match Det.next_syscall det with
-            | Det.Replayed (Wire.R_close { cid }) ->
-                if cid <> Shadow.cid sc then divergence "close on wrong connection";
-                Shadow.mark_app_closed sc
-            | Det.Replayed _ -> divergence "expected close result"
-            | Det.Went_live -> (
-                match live_conn_of_shadow t s sc with
-                | Some rc -> Tcp.close rc
-                | None -> ())));
-    net_poll =
-      (fun socks ~timeout ->
-        (* Shadow sockets replay the primary's poll results; after go-live,
-           every sock in the set has (or gets) a restored real connection
-           and the poll runs for real. *)
-        let all_real () =
-          List.for_all
-            (fun s ->
-              match s.Api.si with
-              | Api.S_real _ -> true
-              | Api.S_shadow sc -> (
-                  match live_conn_of_shadow t s sc with
-                  | Some _ -> true
-                  | None -> false))
-            socks
-        in
-        if t.live && all_real () then begin
-          let conns =
-            List.filter_map
-              (fun s ->
-                match s.Api.si with Api.S_real c -> Some c | _ -> None)
-              socks
-          in
-          let eng = Kernel.engine t.kernel in
-          let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
-          List.filter
-            (fun s ->
-              match s.Api.si with
-              | Api.S_real c -> List.memq c ready
-              | _ -> false)
-            socks
-        end
-        else
-          match Det.next_syscall det with
-          | Det.Replayed (Wire.R_poll { ready }) ->
-              List.filteri (fun i _ -> List.mem i ready) socks
-          | Det.Replayed _ -> divergence "expected poll result"
-          | Det.Went_live ->
-              (* Transitioning: retry via the live path. *)
-              List.filter (fun s -> match s.Api.si with Api.S_real _ -> true | Api.S_shadow sc -> Shadow.restored sc <> None) socks);
-    fs_open =
-      (fun ~path ~create ->
-        Det.det_start det;
-        let fd = Vfs.open_file t.vfs ~path ~create in
-        Det.det_end det;
-        fd);
-    fs_read =
-      (fun fd ~max ->
-        Det.det_start det;
-        let cs =
-          if Det.is_live det then Vfs.read t.vfs fd ~max
-          else
-            match Det.payload_at_turn det with
-            | Wire.P_fs_read_len n -> if n = 0 then [] else Vfs.read_exact t.vfs fd n
-            | _ -> divergence "expected fs read length"
-        in
-        Det.det_end det;
-        cs);
-    fs_append =
-      (fun fd chunk ->
-        Det.det_start det;
-        Vfs.append t.vfs fd chunk;
-        Det.det_end det);
-    fs_close =
-      (fun fd ->
-        Det.det_start det;
-        Vfs.close t.vfs fd;
-        Det.det_end det);
-    fs_size = (fun ~path -> Vfs.size t.vfs ~path);
+            | Det.Replayed (Wire.R_gettimeofday v) ->
+                Det.fold_syscall det (h_time v);
+                v
+            | Det.Replayed _ -> diverge t "expected gettimeofday result"
+            | Det.Went_live -> Kernel.gettimeofday t.kernel);
+      };
+    env = env_of t;
+    net =
+      {
+        Api.listen =
+          (fun ~port ->
+            if t.live then
+              match Hashtbl.find_opt t.restored_listeners port with
+              | Some rl -> real_listener rl
+              | None -> real_listener (Tcp.listen (stack_exn t) ~port)
+            else begin
+              Shadow.register_listener sh ~port;
+              { Api.li = Api.L_shadow { sh_port = port } }
+            end);
+        accept =
+          (fun l ->
+            match l.Api.li with
+            | Api.L_real rl -> real_sock (Tcp.accept rl)
+            | Api.L_shadow { sh_port } -> (
+                match Det.next_syscall det with
+                | Det.Replayed (Wire.R_accept cid) ->
+                    Det.fold_syscall det (h_accept cid);
+                    { Api.si = Api.S_shadow (Shadow.claim_accept sh ~cid) }
+                | Det.Replayed _ -> diverge t "expected accept result"
+                | Det.Went_live -> (
+                    match Hashtbl.find_opt t.restored_listeners sh_port with
+                    | Some rl ->
+                        l.Api.li <- Api.L_real rl;
+                        real_sock (Tcp.accept rl)
+                    | None ->
+                        real_sock (Tcp.accept (Tcp.listen (stack_exn t) ~port:sh_port)))));
+        recv =
+          (fun s ~max ->
+            match s.Api.si with
+            | Api.S_real c -> direct_recv c ~max
+            | Api.S_shadow sc -> (
+                match Det.next_syscall det with
+                | Det.Replayed (Wire.R_read { cid; len }) ->
+                    if cid <> Shadow.cid sc then diverge t "read on wrong connection"
+                    else if len = -1 then Error `Reset
+                    else if len = 0 then begin
+                      Det.fold_syscall det (h_recv 0 []);
+                      Error `Eof
+                    end
+                    else begin
+                      (* The bytes come from the shadow's delta-logged input
+                         stream: hashing them here cross-checks the TCP
+                         delta path against the primary's real receive. *)
+                      let data = Shadow.read_bytes sc len in
+                      Det.fold_syscall det (h_recv len data);
+                      Ok data
+                    end
+                | Det.Replayed _ -> diverge t "expected read result"
+                | Det.Went_live -> (
+                    match live_conn_of_shadow t s sc with
+                    | Some rc -> direct_recv rc ~max
+                    | None -> Error `Eof)));
+        send =
+          (fun s chunk ->
+            match s.Api.si with
+            | Api.S_real c -> direct_send c chunk
+            | Api.S_shadow sc -> (
+                match Det.next_syscall det with
+                | Det.Replayed (Wire.R_write { cid; len }) ->
+                    if cid <> Shadow.cid sc then diverge t "write on wrong connection"
+                    else if len = -1 then Error `Reset
+                    else begin
+                      if len <> Payload.chunk_len chunk then
+                        diverge t "write length mismatch";
+                      Shadow.write_bytes sc chunk;
+                      Det.fold_syscall det (h_send len chunk);
+                      Ok ()
+                    end
+                | Det.Replayed _ -> diverge t "expected write result"
+                | Det.Went_live -> (
+                    match live_conn_of_shadow t s sc with
+                    | Some rc -> direct_send rc chunk
+                    | None -> Error `Reset)));
+        close =
+          (fun s ->
+            match s.Api.si with
+            | Api.S_real c -> Tcp.close c
+            | Api.S_shadow sc -> (
+                match Det.next_syscall det with
+                | Det.Replayed (Wire.R_close { cid }) ->
+                    if cid <> Shadow.cid sc then diverge t "close on wrong connection";
+                    Det.fold_syscall det (h_close cid);
+                    Shadow.mark_app_closed sc
+                | Det.Replayed _ -> diverge t "expected close result"
+                | Det.Went_live -> (
+                    match live_conn_of_shadow t s sc with
+                    | Some rc -> Tcp.close rc
+                    | None -> ())));
+        poll =
+          (fun socks ~timeout ->
+            (* Shadow sockets replay the primary's poll results; after
+               go-live, every sock in the set has (or gets) a restored real
+               connection and the poll runs for real. *)
+            let all_real () =
+              List.for_all
+                (fun s ->
+                  match s.Api.si with
+                  | Api.S_real _ -> true
+                  | Api.S_shadow sc -> (
+                      match live_conn_of_shadow t s sc with
+                      | Some _ -> true
+                      | None -> false))
+                socks
+            in
+            if t.live && all_real () then begin
+              let conns =
+                List.filter_map
+                  (fun s ->
+                    match s.Api.si with Api.S_real c -> Some c | _ -> None)
+                  socks
+              in
+              let eng = Kernel.engine t.kernel in
+              let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+              List.filter
+                (fun s ->
+                  match s.Api.si with
+                  | Api.S_real c -> List.memq c ready
+                  | _ -> false)
+                socks
+            end
+            else
+              match Det.next_syscall det with
+              | Det.Replayed (Wire.R_poll { ready }) ->
+                  Det.fold_syscall det (h_poll ready);
+                  List.filteri (fun i _ -> List.mem i ready) socks
+              | Det.Replayed _ -> diverge t "expected poll result"
+              | Det.Went_live ->
+                  (* Transitioning: retry via the live path. *)
+                  List.filter
+                    (fun s ->
+                      match s.Api.si with
+                      | Api.S_real _ -> true
+                      | Api.S_shadow sc -> Shadow.restored sc <> None)
+                    socks);
+      };
+    fs = replicated_fs t det;
   }
 
 let secondary kernel ?(env = []) () =
@@ -555,6 +681,7 @@ let secondary kernel ?(env = []) () =
       ack_commit = false;
       vfs = Vfs.create ();
       env;
+      diverged = None;
     }
   in
   t.the_api <- Some (secondary_api t);
@@ -568,6 +695,20 @@ let record_handler t record =
   | Wire.Syscall_result { ft_pid; result; _ } ->
       Det.deliver_syscall det ~ft_pid ~result
   | Wire.Tcp_delta d -> Shadow.apply_delta (shadow_exn t) d
+
+(* {1 Divergence digests} *)
+
+let attach_digest t dig =
+  let det = det_exn t in
+  Det.attach_digest det dig;
+  (* The launch environment is part of the replicated initial state. *)
+  List.iter
+    (fun (k, v) -> Digest.fold_string dig (k ^ "=" ^ v))
+    (List.sort compare t.env)
+
+let digest t = match t.det with Some d -> Det.digest d | None -> None
+let mutate_skip_digest t ~global_seq = Det.mutate_skip_digest (det_exn t) ~global_seq
+let divergence t = t.diverged
 
 (* {1 Launch} *)
 

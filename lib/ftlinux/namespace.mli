@@ -65,5 +65,21 @@ val go_solo : t -> unit
 val det_ops : t -> int
 val pthread_ops : t -> int
 
+(** {1 Divergence checking} *)
+
+val attach_digest : t -> Digest.t -> unit
+(** Attach a divergence-checker recorder (see {!Digest}); folds the
+    replicated launch environment immediately.  Must be called before
+    {!start_app}. *)
+
+val digest : t -> Digest.t option
+
+val divergence : t -> string option
+(** First replay divergence the secondary observed (a replayed record that
+    did not match the application's behaviour), if any. *)
+
+val mutate_skip_digest : t -> global_seq:int -> unit
+(** Testing only: see {!Det.mutate_skip_digest}. *)
+
 val vfs_of : t -> Ftsim_kernel.Vfs.t
 (** The namespace's local file system (replica-converged under replay). *)

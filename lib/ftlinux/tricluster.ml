@@ -25,11 +25,26 @@ type t = {
 
 let log = Trace.make "ft.tricluster"
 
+let machine t = t.machine
 let primary_partition t = t.part_p
 let backup_partition t i = t.parts_b.(i)
 let failover_done t = t.failover_done
 let winner t = t.the_winner
 let backup_received_lsn t i = Msglayer.received_lsn t.ml_ss.(i)
+
+let primary_namespace t = t.ns_p
+let backup_namespace t i = t.ns_bs.(i)
+
+let compare_digests t ~backup =
+  match (Namespace.digest t.ns_p, Namespace.digest t.ns_bs.(backup)) with
+  | Some p, Some s -> Digest.compare_replicas ~primary:p ~secondary:s
+  | _ -> None
+
+let replay_divergence t =
+  Array.fold_left
+    (fun acc ns -> match acc with Some _ -> acc | None -> Namespace.divergence ns)
+    None
+    (Array.append [| t.ns_p |] t.ns_bs)
 
 let shutdown t = List.iter Heartbeat.stop t.hbs
 
@@ -152,6 +167,16 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
         Mailbox.duplex eng ~config:config.Cluster.mailbox_config ~a:part_p ~b:pb ())
       parts_b
   in
+  (* A coherency-disrupting fault on either end of a log channel loses that
+     end's in-flight ring contents (same model as the two-replica cluster). *)
+  Array.iteri
+    (fun i d ->
+      Machine.on_coherency_loss machine ~partition_id:(Partition.id part_p)
+        (fun () -> Mailbox.drop_in_flight d.Mailbox.a_to_b);
+      Machine.on_coherency_loss machine
+        ~partition_id:(Partition.id parts_b.(i))
+        (fun () -> Mailbox.drop_in_flight d.Mailbox.b_to_a))
+    duplexes;
   let ml_ps =
     Array.map
       (fun d ->
@@ -254,6 +279,8 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
   in
   t.hbs <-
     [ hb_backup_monitor 0; hb_backup_monitor 1; hb_primary_monitor 0; hb_primary_monitor 1 ];
+  Namespace.attach_digest ns_p (Digest.create ());
+  Array.iter (fun ns -> Namespace.attach_digest ns (Digest.create ())) ns_bs;
   ignore (Namespace.start_app ns_p app);
   Array.iter (fun ns -> ignore (Namespace.start_app ns app)) ns_bs;
   t

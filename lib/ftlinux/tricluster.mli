@@ -37,6 +37,7 @@ val create :
 (** The machine is carved into a half-size primary partition and two
     quarter-size backups (the topology's NUMA nodes must divide by 4). *)
 
+val machine : t -> Machine.t
 val primary_partition : t -> Partition.t
 val backup_partition : t -> int -> Partition.t
 (** [int] is the backup index, 0 or 1. *)
@@ -49,5 +50,14 @@ val winner : t -> int option
 (** Which backup took over (after failover). *)
 
 val backup_received_lsn : t -> int -> int
+
+val primary_namespace : t -> Namespace.t
+val backup_namespace : t -> int -> Namespace.t
+
+val compare_digests : t -> backup:int -> Digest.divergence option
+(** Compare the primary's digest snapshots against one backup's. *)
+
+val replay_divergence : t -> string option
+(** First structural replay divergence any replica observed, if any. *)
 
 val shutdown : t -> unit

@@ -9,7 +9,7 @@ type t = {
   mutable used_ram : int;
   mutable used_nodes : int list;
   mutable mca_subs : (Fault.event -> unit) list;
-  mutable coherency_hooks : (int * (unit -> unit)) list;
+  mutable coherency_hooks : (int * (unit -> int)) list;
   mutable events : Fault.event list;
 }
 
@@ -119,10 +119,20 @@ let apply t (f : Fault.t) =
         in
         t.events <- ev :: t.events;
         Trace.warnf log ~eng:t.eng "%a" Fault.pp_event ev;
-        if f.Fault.disrupts_coherency then
-          List.iter
-            (fun (pid, h) -> if pid = f.Fault.partition_id then h ())
-            t.coherency_hooks;
+        if f.Fault.disrupts_coherency then begin
+          (* Hooks report how many in-flight messages they actually lost;
+             disruption of empty rings is a no-op end to end, so injecting
+             [disrupts_coherency:true] is always safe for callers. *)
+          let lost =
+            List.fold_left
+              (fun acc (pid, h) ->
+                if pid = f.Fault.partition_id then acc + h () else acc)
+              0 t.coherency_hooks
+          in
+          if lost > 0 then
+            Trace.warnf log ~eng:t.eng
+              "coherency disruption lost %d in-flight message(s)" lost
+        end;
         Partition.halt victim;
         if ev.Fault.detected_by = Fault.Mca then
           List.iter (fun sub -> sub ev) t.mca_subs

@@ -43,9 +43,11 @@ val inject : t -> Fault.t -> unit
 
 val inject_all : t -> Fault.t list -> unit
 
-val on_coherency_loss : t -> partition_id:int -> (unit -> unit) -> unit
+val on_coherency_loss : t -> partition_id:int -> (unit -> int) -> unit
 (** Register a hook invoked when a coherency-disrupting fault hits the given
-    partition (mailbox owners use this to drop in-flight messages). *)
+    partition (mailbox owners use this to drop in-flight messages); it
+    returns how many messages were actually lost.  Disrupting a partition
+    whose rings are empty is a complete no-op — callers need not check. *)
 
 val fault_log : t -> Fault.event list
 (** Events so far, oldest first. *)

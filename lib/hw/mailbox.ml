@@ -101,6 +101,11 @@ let in_flight t = Hashtbl.length t.pending + Bqueue.length t.inbox
 let src_halted t = Partition.is_halted t.src
 
 let drop_in_flight t =
+  (* Nothing in flight: a coherency-disrupting fault against an empty ring
+     must be a pure no-op (no timer scan, no trace event) — callers are not
+     required to check first. *)
+  if in_flight t = 0 then 0
+  else begin
   let n = ref 0 in
   let rec drain () =
     match Bqueue.try_get t.inbox with
@@ -130,6 +135,7 @@ let drop_in_flight t =
     Evlog.emit (Engine.evlog t.eng) ~comp:"hw.mailbox" "drop_in_flight"
       ~args:[ ("count", Evlog.Int !n) ];
   !n
+  end
 
 let msgs_sent t = Metrics.Counter.value t.sent_msgs
 let bytes_sent t = Metrics.Counter.value t.sent_bytes

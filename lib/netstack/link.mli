@@ -28,6 +28,15 @@ val set_receiver : endpoint -> (Packet.t -> unit) option -> unit
 (** Install the delivery callback.  Packets arriving while no receiver is
     installed are dropped (and counted). *)
 
+val perturb : endpoint -> ?loss:float -> ?delay:Time.t -> unit -> unit
+(** Degrade this transmit direction at runtime: add [loss] to the drop
+    probability (clamped to 1.0 with the base loss) and [delay] to the
+    propagation latency of packets transmitted from now on.  Used by the
+    chaos campaigns' perturbation windows; draws still come from the
+    endpoint's own PRNG, so runs stay deterministic. *)
+
+val clear_perturbation : endpoint -> unit
+
 val dropped : endpoint -> int
 (** Packets dropped at this endpoint for lack of a receiver. *)
 

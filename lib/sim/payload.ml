@@ -18,6 +18,28 @@ let split_chunk c n =
   | Zero _ -> (Zero n, Zero (len - n))
   | Str s -> (Str (String.sub s 0 n), Str (String.sub s n (len - n)))
 
+(* Rolling polynomial content hash: H(s @ c) = H(s) * r^len(c) + poly(c).
+   Invariant under re-chunking (the two replicas see the same byte stream
+   cut at different chunk boundaries), and O(log n) for synthetic zero
+   runs, whose bytes contribute no poly term. *)
+let hash_r = 1000003
+
+let rec pow_r n =
+  if n = 0 then 1
+  else
+    let h = pow_r (n / 2) in
+    let h2 = h * h in
+    if n land 1 = 0 then h2 else h2 * hash_r
+
+let stream_hash h cs =
+  List.fold_left
+    (fun h c ->
+      match c with
+      | Zero n -> h * pow_r n
+      | Str s ->
+          String.fold_left (fun h ch -> (h * hash_r) + Char.code ch) h s)
+    h cs
+
 module Buf = struct
   type t = { q : chunk Queue.t; mutable len : int; mutable base : int }
 

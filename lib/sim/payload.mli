@@ -25,6 +25,13 @@ val total_len : chunk list -> int
 val split_chunk : chunk -> int -> chunk * chunk
 (** [split_chunk c n] splits after byte [n]; [0 <= n <= len]. *)
 
+val stream_hash : int -> chunk list -> int
+(** [stream_hash h cs] extends the rolling content hash [h] with the bytes
+    of [cs].  The result depends only on the byte stream, not on chunk
+    boundaries, so two replicas that observe the same bytes cut differently
+    hash identically; synthetic zero runs fold in O(log n).  Not
+    cryptographic. *)
+
 (** FIFO byte buffer over chunks, with an absolute stream offset for the
     first buffered byte. *)
 module Buf : sig

@@ -1,0 +1,295 @@
+(* Tests for the chaos campaign engine and the replica-divergence checker:
+   schedule derivation, digest determinism, shrinker convergence, and a
+   mutation test proving the checker is not vacuously green. *)
+
+open Ftsim_sim
+open Ftsim_kernel
+open Ftsim_ftlinux
+open Ftsim_apps
+
+let test_config =
+  {
+    Cluster.default_config with
+    topology = Ftsim_hw.Topology.small;
+    hb_period = Time.ms 5;
+    hb_timeout = Time.ms 25;
+    driver_load_time = Time.ms 200;
+  }
+
+(* {1 Schedule derivation} *)
+
+let test_derive_deterministic () =
+  let d () = Chaos.derive ~root_seed:42 ~index:3 ~replicas:2 ~horizon:(Time.sec 3) in
+  Alcotest.(check bool) "same root seed and index give the same schedule" true
+    (d () = d ());
+  let other = Chaos.derive ~root_seed:42 ~index:4 ~replicas:2 ~horizon:(Time.sec 3) in
+  Alcotest.(check bool) "sibling index gives a distinct seed" true
+    ((d ()).Chaos.sched_seed <> other.Chaos.sched_seed)
+
+let test_derive_in_bounds () =
+  let horizon = Time.sec 3 in
+  for index = 0 to 49 do
+    let s = Chaos.derive ~root_seed:7 ~index ~replicas:3 ~horizon in
+    List.iter
+      (fun i ->
+        Alcotest.(check bool) "fault after t0" true (i.Chaos.inj_at > 0);
+        match i.Chaos.inj_target with
+        | Chaos.T_primary -> ()
+        | Chaos.T_backup b ->
+            Alcotest.(check bool) "backup index in range" true (b >= 0 && b < 2))
+      s.Chaos.injections;
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "loss below 1" true (p.Chaos.pert_loss < 1.0);
+        Alcotest.(check bool) "positive window" true (p.Chaos.pert_dur > 0))
+      s.Chaos.perturbations
+  done
+
+(* {1 Digest determinism} *)
+
+(* The racy-app pattern from test_ftlinux: any interleaving is correct, but
+   the digest sequence must be a pure function of the engine seed. *)
+let racy_app ~iters api =
+  let pt = api.Api.pt in
+  let m = Pthread.mutex_create pt in
+  let counter = ref 0 in
+  let threads =
+    List.init 4 (fun w ->
+        api.Api.thread.spawn (Printf.sprintf "worker-%d" w) (fun () ->
+            for _ = 1 to iters do
+              api.Api.thread.compute (Time.us 10);
+              Pthread.mutex_lock pt m;
+              incr counter;
+              Pthread.mutex_unlock pt m
+            done))
+  in
+  List.iter api.Api.thread.join threads;
+  ignore (api.Api.thread.gettimeofday ())
+
+let digest_of_run ?(iters = 20) seed =
+  let eng = Engine.create ~seed () in
+  let cluster =
+    Cluster.create eng ~config:test_config ~app:(racy_app ~iters) ()
+  in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  let d =
+    match Namespace.digest (Cluster.primary_namespace cluster) with
+    | Some d -> d
+    | None -> Alcotest.fail "primary namespace has no digest recorder"
+  in
+  let snaps =
+    List.map
+      (fun s -> (s.Digest.snap_section, s.Digest.snap_digest))
+      (Digest.comparable d)
+  in
+  (snaps, Digest.value d, Cluster.compare_digests cluster)
+
+let test_digest_deterministic () =
+  let s1, v1, div1 = digest_of_run 11 in
+  let s2, v2, _ = digest_of_run 11 in
+  Alcotest.(check bool) "digest sequence non-empty" true (s1 <> []);
+  Alcotest.(check bool) "same seed gives identical snapshot sequence" true
+    (s1 = s2);
+  Alcotest.(check bool) "same seed gives identical combined digest" true
+    (v1 = v2);
+  Alcotest.(check bool) "primary and secondary digests agree" true (div1 = None)
+
+let test_digest_execution_sensitive () =
+  (* A different execution (one extra loop iteration per worker) must land
+     on a different combined digest. *)
+  let _, v1, _ = digest_of_run ~iters:20 11 and _, v2, _ = digest_of_run ~iters:21 11 in
+  Alcotest.(check bool) "different executions give different digests" true
+    (v1 <> v2)
+
+(* {1 Digest unit behaviour} *)
+
+let test_digest_seal_bounds () =
+  let d = Digest.create () in
+  let section n =
+    Digest.section_end d ~ft_pid:1 ~thread_seq:n ~global_seq:n ~payload:Wire.P_plain
+  in
+  section 0;
+  section 1;
+  Digest.fold_thread d ~ft_pid:1 0xaa;
+  Digest.seal d;
+  section 2;
+  Digest.fold_thread d ~ft_pid:1 0xbb;
+  Alcotest.(check int) "all sections counted" 3 (Digest.sections d);
+  Alcotest.(check int) "comparable stops at seal" 2
+    (List.length (Digest.comparable d));
+  Alcotest.(check int) "thread folds counted" 2 (Digest.thread_folds d ~ft_pid:1)
+
+let test_digest_thread_divergence_located () =
+  let mk vs =
+    let d = Digest.create () in
+    List.iter (Digest.fold_thread d ~ft_pid:7) vs;
+    d
+  in
+  let p = mk [ 1; 2; 3; 4 ] and s = mk [ 1; 2; 99; 4 ] in
+  match Digest.compare_replicas ~primary:p ~secondary:s with
+  | Some div ->
+      Alcotest.(check (option int)) "located in the thread" (Some 7)
+        div.Digest.in_thread;
+      Alcotest.(check int) "at the third fold" 3 div.Digest.at_section
+  | None -> Alcotest.fail "divergent thread sequences not detected"
+
+(* {1 Shrinker convergence} *)
+
+(* Synthetic failure: a schedule "fails" iff it still contains the culprit —
+   a coherency-disrupting primary fault.  The shrinker must strip every
+   other component and pull the culprit's time down to the floor. *)
+let test_shrink_converges () =
+  let culprit =
+    {
+      Chaos.inj_at = Time.ms 100;
+      inj_target = Chaos.T_primary;
+      inj_kind = Ftsim_hw.Fault.Memory_uncorrected;
+      inj_disrupts = true;
+    }
+  in
+  let noise t =
+    {
+      Chaos.inj_at = t;
+      inj_target = Chaos.T_backup 0;
+      inj_kind = Ftsim_hw.Fault.Core_failstop;
+      inj_disrupts = false;
+    }
+  in
+  let pert t =
+    { Chaos.pert_at = t; pert_dur = Time.ms 50; pert_loss = 0.2; pert_delay = Time.us 500 }
+  in
+  let sched =
+    {
+      Chaos.sched_index = 0;
+      sched_seed = 0xbeef;
+      horizon = Time.sec 3;
+      injections = [ noise (Time.ms 40); culprit; noise (Time.ms 700) ];
+      perturbations = [ pert (Time.ms 10); pert (Time.ms 900) ];
+    }
+  in
+  let runs = ref 0 in
+  let run s =
+    incr runs;
+    let failing =
+      List.exists
+        (fun i -> i.Chaos.inj_target = Chaos.T_primary && i.Chaos.inj_disrupts)
+        s.Chaos.injections
+    in
+    {
+      Chaos.verdict = (if failing then Chaos.V_divergence "synthetic" else Chaos.V_ok);
+      o_failovers = 0;
+      o_completed = 0;
+      o_sections = 0;
+      o_end = 0;
+    }
+  in
+  let minimal, outcome, probe_runs = Chaos.shrink ~run ~budget:500 sched in
+  Alcotest.(check int) "noise injections stripped" 1
+    (List.length minimal.Chaos.injections);
+  Alcotest.(check int) "perturbations stripped" 0
+    (List.length minimal.Chaos.perturbations);
+  (let i = List.hd minimal.Chaos.injections in
+   Alcotest.(check bool) "culprit preserved" true
+     (i.Chaos.inj_target = Chaos.T_primary && i.Chaos.inj_disrupts);
+   Alcotest.(check bool) "culprit time pulled to the floor" true
+     (i.Chaos.inj_at <= Time.ms 1));
+  Alcotest.(check bool) "minimal still fails" true
+    (Chaos.verdict_failing outcome.Chaos.verdict);
+  Alcotest.(check bool) "budget respected" true (probe_runs <= 500);
+  Alcotest.(check bool) "probe count reported" true (probe_runs = !runs)
+
+(* {1 Campaign + report} *)
+
+let test_campaign_report () =
+  let ok = { Chaos.verdict = Chaos.V_ok; o_failovers = 0; o_completed = 1; o_sections = 5; o_end = 1 } in
+  let run s =
+    if s.Chaos.sched_index = 1 && s.Chaos.injections <> [] then
+      { ok with Chaos.verdict = Chaos.V_divergence "stub" }
+    else ok
+  in
+  let report =
+    Chaos.run_campaign ~root_seed:4242 ~count:6 ~replicas:2
+      ~horizon:(Time.sec 3) ~workload:"stub" ~run ()
+  in
+  Alcotest.(check int) "six runs recorded" 6 (List.length report.Chaos.rep_results);
+  let failing = Chaos.failures report in
+  (match failing with
+  | [ rr ] ->
+      Alcotest.(check int) "failing index" 1 rr.Chaos.rr_schedule.Chaos.sched_index
+  | l ->
+      (* Index 1 fails only if it drew at least one injection; with this
+         root seed it does — otherwise the campaign is clean. *)
+      Alcotest.(check int) "at most one failure" 0 (List.length l));
+  let json = Chaos.report_to_json report in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json has run count" true (contains "\"runs\":6" json);
+  Alcotest.(check bool) "json mentions workload" true
+    (contains "\"workload\":\"stub\"" json);
+  Alcotest.(check bool) "json records the minimal repro" true
+    (contains "\"minimal_repro\"" json)
+
+(* {1 End-to-end: mutation test} *)
+
+(* The divergence checker must actually catch a replica that computes a
+   different state: skip one digest fold on the secondary and the campaign
+   verdict must flip from ok to divergence on an otherwise quiescent run. *)
+let quiescent =
+  {
+    Chaos.sched_index = 0;
+    sched_seed = 0x5eed;
+    horizon = Time.sec 3;
+    injections = [];
+    perturbations = [];
+  }
+
+let test_mutation_flagged () =
+  let clean = Chaosrun.run ~workload:Chaosrun.Mongoose ~replicas:2 quiescent in
+  Alcotest.(check string) "unmutated run is ok" "ok"
+    (Chaos.verdict_label clean.Chaos.verdict);
+  let mutated =
+    Chaosrun.run ~mutate:true ~workload:Chaosrun.Mongoose ~replicas:2 quiescent
+  in
+  Alcotest.(check string) "mutated secondary is flagged" "divergence"
+    (Chaos.verdict_label mutated.Chaos.verdict)
+
+let test_chaos_run_clean () =
+  (* One real derived schedule end-to-end: whatever faults it draws, the
+     verdict must not be a divergence or a client violation. *)
+  let s = Chaos.derive ~root_seed:42 ~index:0 ~replicas:2 ~horizon:(Time.sec 3) in
+  let o = Chaosrun.run ~workload:Chaosrun.Fileserver ~replicas:2 s in
+  Alcotest.(check bool) "no consistency failure" false
+    (Chaos.verdict_failing o.Chaos.verdict);
+  Alcotest.(check bool) "digest comparison exercised" true (o.Chaos.o_sections > 0)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "derive",
+        [
+          Alcotest.test_case "deterministic" `Quick test_derive_deterministic;
+          Alcotest.test_case "in bounds" `Quick test_derive_in_bounds;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "deterministic" `Quick test_digest_deterministic;
+          Alcotest.test_case "execution sensitive" `Quick
+            test_digest_execution_sensitive;
+          Alcotest.test_case "seal bounds" `Quick test_digest_seal_bounds;
+          Alcotest.test_case "thread divergence located" `Quick
+            test_digest_thread_divergence_located;
+        ] );
+      ( "shrink",
+        [ Alcotest.test_case "converges" `Quick test_shrink_converges ] );
+      ( "campaign",
+        [ Alcotest.test_case "report" `Quick test_campaign_report ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "mutation flagged" `Quick test_mutation_flagged;
+          Alcotest.test_case "derived schedule clean" `Quick test_chaos_run_clean;
+        ] );
+    ]

@@ -32,16 +32,16 @@ let racy_app ~iters ~workers trace_out =
     let trace = ref [] in
     let threads =
       List.init workers (fun w ->
-          api.Api.spawn (Printf.sprintf "worker-%d" w) (fun () ->
+          api.Api.thread.spawn (Printf.sprintf "worker-%d" w) (fun () ->
               for _ = 1 to iters do
-                api.Api.compute (Time.us 10);
+                api.Api.thread.compute (Time.us 10);
                 Pthread.mutex_lock pt m;
                 incr counter;
                 trace := (w, !counter) :: !trace;
                 Pthread.mutex_unlock pt m
               done))
     in
-    List.iter api.Api.join threads;
+    List.iter api.Api.thread.join threads;
     trace_out := Some (List.rev !trace)
 
 let test_replay_matches_primary () =
@@ -80,15 +80,15 @@ let test_nontrivial_interleaving_replayed () =
     let trace = ref [] in
     let threads =
       List.init 3 (fun w ->
-          api.Api.spawn (Printf.sprintf "w%d" w) (fun () ->
+          api.Api.thread.spawn (Printf.sprintf "w%d" w) (fun () ->
               for i = 1 to 30 do
-                api.Api.compute (Time.us (10 + (w * 7) + (i mod 5)));
+                api.Api.thread.compute (Time.us (10 + (w * 7) + (i mod 5)));
                 Pthread.mutex_lock pt m;
                 trace := w :: !trace;
                 Pthread.mutex_unlock pt m
               done))
     in
-    List.iter api.Api.join threads;
+    List.iter api.Api.thread.join threads;
     out := Some (List.rev !trace)
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
@@ -108,8 +108,8 @@ let test_gettimeofday_synchronized () =
   let app api =
     let out = if Kernel.name api.Api.kernel = "primary" then vp else vs in
     for _ = 1 to 5 do
-      api.Api.compute (Time.ms 1);
-      out := api.Api.gettimeofday () :: !out
+      api.Api.thread.compute (Time.ms 1);
+      out := api.Api.thread.gettimeofday () :: !out
     done
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
@@ -129,19 +129,19 @@ let test_cond_timedwait_outcome_replicated () =
     let m = Pthread.mutex_create pt in
     let c = Pthread.cond_create pt in
     let waiter =
-      api.Api.spawn "waiter" (fun () ->
+      api.Api.thread.spawn "waiter" (fun () ->
           Pthread.mutex_lock pt m;
           let r = Pthread.cond_timedwait pt c m ~deadline:(Time.ms 50) in
           Pthread.mutex_unlock pt m;
           out := Some (r = `Timeout))
     in
     ignore
-      (api.Api.spawn "signaler" (fun () ->
-           api.Api.compute (Time.ms 10);
+      (api.Api.thread.spawn "signaler" (fun () ->
+           api.Api.thread.compute (Time.ms 10);
            Pthread.mutex_lock pt m;
            Pthread.cond_signal pt c;
            Pthread.mutex_unlock pt m));
-    api.Api.join waiter
+    api.Api.thread.join waiter
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
   Engine.run ~until:(Time.sec 5) eng;
@@ -155,14 +155,14 @@ let test_cond_timedwait_outcome_replicated () =
 (* {1 TCP replication} *)
 
 let echo_app (api : Api.t) =
-  let l = api.Api.net_listen ~port:80 in
+  let l = api.Api.net.listen ~port:80 in
   let rec serve () =
-    let s = api.Api.net_accept l in
+    let s = api.Api.net.accept l in
     let rec echo () =
-      match api.Api.net_recv s ~max:4096 with
-      | [] -> api.Api.net_close s
-      | cs ->
-          List.iter (api.Api.net_send s) cs;
+      match api.Api.net.recv s ~max:4096 with
+      | Error _ -> api.Api.net.close s
+      | Ok cs ->
+          List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
           echo ()
     in
     echo ();
@@ -321,7 +321,7 @@ let test_compute_only_failover () =
     let pt = api.Api.pt in
     let m = Pthread.mutex_create pt in
     for _ = 1 to 1000 do
-      api.Api.compute (Time.ms 1);
+      api.Api.thread.compute (Time.ms 1);
       Pthread.mutex_lock pt m;
       incr cell;
       Pthread.mutex_unlock pt m
@@ -403,10 +403,10 @@ let prop_random_program_replays =
         let turn = ref 0 in
         let threads =
           List.init nthreads (fun w ->
-              api.Api.spawn (Printf.sprintf "t%d" w) (fun () ->
+              api.Api.thread.spawn (Printf.sprintf "t%d" w) (fun () ->
                   Array.iteri
                     (fun i d ->
-                      api.Api.compute (Time.us ((d + (w * 37) + i) mod 500));
+                      api.Api.thread.compute (Time.us ((d + (w * 37) + i) mod 500));
                       Pthread.mutex_lock pt m;
                       trace := ((w * 1000) + i) :: !trace;
                       (* Occasionally bounce through the condvar. *)
@@ -417,7 +417,7 @@ let prop_random_program_replays =
                       Pthread.mutex_unlock pt m)
                     delay_arr))
         in
-        List.iter api.Api.join threads;
+        List.iter api.Api.thread.join threads;
         out := Some (List.rev !trace)
       in
       let cluster = Cluster.create eng ~config:test_config ~app () in
@@ -458,9 +458,9 @@ let test_barrier_sem_app_replays () =
     let trace = ref [] in
     let ths =
       List.init 3 (fun w ->
-          api.Api.spawn (Printf.sprintf "bsp-%d" w) (fun () ->
+          api.Api.thread.spawn (Printf.sprintf "bsp-%d" w) (fun () ->
               for phase = 1 to 4 do
-                api.Api.compute (Time.us ((w * 17) + phase));
+                api.Api.thread.compute (Time.us ((w * 17) + phase));
                 Pthread.sem_wait pt s;
                 trace := (phase, w) :: !trace;
                 Pthread.sem_post pt s;
@@ -469,7 +469,7 @@ let test_barrier_sem_app_replays () =
                 | `Normal -> ()
               done))
     in
-    List.iter api.Api.join ths;
+    List.iter api.Api.thread.join ths;
     out := Some (List.rev !trace)
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
@@ -486,7 +486,7 @@ let test_env_replicated_to_namespace () =
   let seen = ref [] in
   let app (api : Api.t) =
     seen :=
-      (Kernel.name api.Api.kernel, api.Api.getenv "MODE", api.Api.getenv "NOPE")
+      (Kernel.name api.Api.kernel, api.Api.env.getenv "MODE", api.Api.env.getenv "NOPE")
       :: !seen
   in
   let config =
@@ -513,20 +513,20 @@ let test_fs_replicas_converge () =
   let app (api : Api.t) =
     let pt = api.Api.pt in
     let m = Pthread.mutex_create pt in
-    let fd = api.Api.fs_open ~path:"/var/log/app" ~create:true in
+    let fd = api.Api.fs.open_ ~path:"/var/log/app" ~create:true in
     let ths =
       List.init 3 (fun w ->
-          api.Api.spawn (Printf.sprintf "logger-%d" w) (fun () ->
+          api.Api.thread.spawn (Printf.sprintf "logger-%d" w) (fun () ->
               for i = 1 to 20 do
-                api.Api.compute (Time.us ((w * 31) + i));
+                api.Api.thread.compute (Time.us ((w * 31) + i));
                 Pthread.mutex_lock pt m;
-                api.Api.fs_append fd
+                api.Api.fs.append fd
                   (Payload.of_string (Printf.sprintf "[w%d:%03d]" w i));
                 Pthread.mutex_unlock pt m
               done))
     in
-    List.iter api.Api.join ths;
-    api.Api.fs_close fd;
+    List.iter api.Api.thread.join ths;
+    api.Api.fs.close fd;
     incr done_count
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
@@ -550,20 +550,20 @@ let test_fs_read_lengths_replicated () =
   let rp = ref None and rs = ref None in
   let app (api : Api.t) =
     let out = if Kernel.name api.Api.kernel = "primary" then rp else rs in
-    let fd = api.Api.fs_open ~path:"/f" ~create:true in
-    api.Api.fs_append fd (Payload.zeroes 200_000);
-    api.Api.fs_close fd;
-    let fd = api.Api.fs_open ~path:"/f" ~create:false in
+    let fd = api.Api.fs.open_ ~path:"/f" ~create:true in
+    api.Api.fs.append fd (Payload.zeroes 200_000);
+    api.Api.fs.close fd;
+    let fd = api.Api.fs.open_ ~path:"/f" ~create:false in
     let lens = ref [] in
     let rec loop () =
-      match api.Api.fs_read fd ~max:150_000 with
-      | [] -> ()
-      | cs ->
+      match api.Api.fs.read fd ~max:150_000 with
+      | Error _ -> ()
+      | Ok cs ->
           lens := Payload.total_len cs :: !lens;
           loop ()
     in
     loop ();
-    api.Api.fs_close fd;
+    api.Api.fs.close fd;
     out := Some (List.rev !lens)
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
@@ -583,12 +583,12 @@ let test_fs_survives_failover () =
   let eng = Engine.create () in
   let secondary_done = ref false in
   let app (api : Api.t) =
-    let fd = api.Api.fs_open ~path:"/journal" ~create:true in
+    let fd = api.Api.fs.open_ ~path:"/journal" ~create:true in
     for i = 1 to 400 do
-      api.Api.compute (Time.us 500);
-      api.Api.fs_append fd (Payload.of_string (Printf.sprintf "%04d\n" i))
+      api.Api.thread.compute (Time.us 500);
+      api.Api.fs.append fd (Payload.of_string (Printf.sprintf "%04d\n" i))
     done;
-    api.Api.fs_close fd;
+    api.Api.fs.close fd;
     if Kernel.name api.Api.kernel = "secondary" then secondary_done := true
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
@@ -606,23 +606,23 @@ let test_fs_survives_failover () =
 (* A single-threaded poll-based echo server: one thread multiplexes all
    connections with net_poll — the paper's epoll interposition path. *)
 let poll_echo_app (api : Api.t) =
-  let l = api.Api.net_listen ~port:80 in
+  let l = api.Api.net.listen ~port:80 in
   let socks = ref [] in
   (* Accept two connections up front, then serve both from one thread. *)
   for _ = 1 to 2 do
-    socks := api.Api.net_accept l :: !socks
+    socks := api.Api.net.accept l :: !socks
   done;
   let socks = List.rev !socks in
   let open_count = ref (List.length socks) in
   while !open_count > 0 do
-    let ready = api.Api.net_poll socks ~timeout:(Time.sec 10) in
+    let ready = api.Api.net.poll socks ~timeout:(Time.sec 10) in
     List.iter
       (fun s ->
-        match api.Api.net_recv s ~max:4096 with
-        | [] ->
-            api.Api.net_close s;
+        match api.Api.net.recv s ~max:4096 with
+        | Error _ ->
+            api.Api.net.close s;
             decr open_count
-        | cs -> List.iter (api.Api.net_send s) cs)
+        | Ok cs -> List.iter (fun c -> ignore (api.Api.net.send s c)) cs)
       ready
   done
 
@@ -711,16 +711,16 @@ let test_voter_on_three_replica_outputs () =
       let acc = ref 0 in
       let ths =
         List.init 3 (fun w ->
-            api.Api.spawn (Printf.sprintf "w%d" w) (fun () ->
+            api.Api.thread.spawn (Printf.sprintf "w%d" w) (fun () ->
                 for i = 1 to 20 do
-                  api.Api.compute (Time.us ((w * 13) + i));
+                  api.Api.thread.compute (Time.us ((w * 13) + i));
                   Ftsim_kernel.Pthread.mutex_lock pt m;
                   acc := !acc + (w + 1);
                   outputs := !acc :: !outputs;
                   Ftsim_kernel.Pthread.mutex_unlock pt m
                 done))
       in
-      List.iter api.Api.join ths
+      List.iter api.Api.thread.join ths
     in
     let _sa =
       Cluster.create_standalone eng ~topology:Topology.small ~app ()
@@ -763,24 +763,24 @@ let prop_fs_random_programs_converge =
       let app (api : Api.t) =
         let pt = api.Api.pt in
         let m = Pthread.mutex_create pt in
-        let fd = api.Api.fs_open ~path:"/r" ~create:true in
+        let fd = api.Api.fs.open_ ~path:"/r" ~create:true in
         let ths =
           List.init 2 (fun w ->
-              api.Api.spawn (Printf.sprintf "fsw-%d" w) (fun () ->
+              api.Api.thread.spawn (Printf.sprintf "fsw-%d" w) (fun () ->
                   List.iteri
                     (fun i (kind, n) ->
-                      api.Api.compute (Time.us (((w * 53) + (i * 7) + n) mod 900));
+                      api.Api.thread.compute (Time.us (((w * 53) + (i * 7) + n) mod 900));
                       Pthread.mutex_lock pt m;
                       (match kind with
-                      | 0 -> api.Api.fs_append fd (Payload.zeroes (n mod 500))
+                      | 0 -> api.Api.fs.append fd (Payload.zeroes (n mod 500))
                       | 1 ->
-                          api.Api.fs_append fd
+                          api.Api.fs.append fd
                             (Payload.of_string (Printf.sprintf "<%d:%d>" w i))
-                      | _ -> ignore (api.Api.fs_read fd ~max:(1 + (n mod 300))));
+                      | _ -> ignore (api.Api.fs.read fd ~max:(1 + (n mod 300))));
                       Pthread.mutex_unlock pt m)
                     ops))
         in
-        List.iter api.Api.join ths
+        List.iter api.Api.thread.join ths
       in
       let cluster = Cluster.create eng ~config:test_config ~app () in
       Engine.run ~until:(Time.sec 30) eng;

@@ -304,7 +304,7 @@ let test_fault_coherency_hook () =
         let a, b = Machine.split_symmetric m in
         let ch = Mailbox.create eng ~src:a ~dst:b () in
         Machine.on_coherency_loss m ~partition_id:(Partition.id a) (fun () ->
-            ignore (Mailbox.drop_in_flight ch));
+            Mailbox.drop_in_flight ch);
         ignore
           (Partition.spawn a (fun () ->
                Mailbox.send ch ~bytes:10 "lost";
@@ -317,6 +317,55 @@ let test_fault_coherency_hook () =
         Mailbox.poll ch)
   in
   Alcotest.(check (option string)) "message lost to coherency fault" None v
+
+let test_fault_coherency_empty_ring_noop () =
+  (* disrupts_coherency with nothing in flight must be a no-op: the hook
+     reports zero lost messages and the mailbox keeps working. *)
+  let lost, delivered, halted =
+    run_sim (fun eng ->
+        let m = Machine.create eng Topology.small in
+        let a, b = Machine.split_symmetric m in
+        let ch = Mailbox.create eng ~src:a ~dst:b () in
+        ignore (Partition.spawn a (fun () -> Mailbox.send ch ~bytes:4 "pre"));
+        Engine.sleep (Time.ms 1);
+        (* drained: the only message was delivered and polled before the
+           fault, so the ring is empty when coherency is disrupted *)
+        let delivered = Mailbox.poll ch in
+        let lost = ref (-1) in
+        Machine.on_coherency_loss m ~partition_id:(Partition.id a) (fun () ->
+            let n = Mailbox.drop_in_flight ch in
+            lost := n;
+            n);
+        Machine.inject m
+          (Fault.at ~disrupts_coherency:true (Time.ms 2)
+             ~partition_id:(Partition.id a) Fault.Bus_error);
+        Engine.sleep (Time.ms 2);
+        (!lost, delivered, Partition.is_halted a))
+  in
+  Alcotest.(check int) "hook ran and lost nothing" 0 lost;
+  Alcotest.(check (option string)) "ring drained before fault" (Some "pre")
+    delivered;
+  Alcotest.(check bool) "faulted partition still halts" true halted
+
+let test_fault_pp_bus_error () =
+  Alcotest.(check string) "pp_kind" "bus-error"
+    (Format.asprintf "%a" Fault.pp_kind Fault.Bus_error);
+  let e =
+    {
+      Fault.time = Time.ms 3;
+      partition_id = 2;
+      fault_kind = Fault.Bus_error;
+      detected_by = Fault.Mca;
+    }
+  in
+  let s = Format.asprintf "%a" Fault.pp_event e in
+  Alcotest.(check bool) "pp_event names the kind and channel" true
+    (let contains needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains "bus-error" s && contains "MCA" s && contains "partition 2" s)
 
 let () =
   Alcotest.run "hw"
@@ -358,6 +407,9 @@ let () =
           Alcotest.test_case "failstop halts" `Quick test_fault_failstop_halts;
           Alcotest.test_case "mca notifies" `Quick test_fault_mca_notifies_survivors;
           Alcotest.test_case "failstop silent" `Quick test_fault_failstop_silent;
+          Alcotest.test_case "empty-ring coherency no-op" `Quick
+            test_fault_coherency_empty_ring_noop;
+          Alcotest.test_case "bus-error pp" `Quick test_fault_pp_bus_error;
           Alcotest.test_case "fault log" `Quick test_fault_log;
           Alcotest.test_case "coherency hook" `Quick test_fault_coherency_hook;
         ] );

@@ -942,14 +942,14 @@ let trace_of_cluster_run seed =
     let m = Pthread.mutex_create pt in
     let ths =
       List.init 2 (fun w ->
-          api.Api.spawn (Printf.sprintf "w%d" w) (fun () ->
+          api.Api.thread.spawn (Printf.sprintf "w%d" w) (fun () ->
               for i = 1 to 10 do
-                api.Api.compute (Time.us (10 + (w * 7) + i));
+                api.Api.thread.compute (Time.us (10 + (w * 7) + i));
                 Pthread.mutex_lock pt m;
                 Pthread.mutex_unlock pt m
               done))
     in
-    List.iter api.Api.join ths
+    List.iter api.Api.thread.join ths
   in
   let cluster = C.create eng ~config ~app () in
   (* The replication stack draws no randomness by itself; a noise process
