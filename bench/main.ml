@@ -864,6 +864,221 @@ let chaos quick =
     \ a broken client guarantee; outages are excused total-failure runs)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Batch: sync-tuple streaming with batching off vs on                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper figure: measures what the batched sync-tuple streaming
+   optimisation buys.  Each workload runs twice — once with
+   [Msglayer.unbatched] (one wire frame per record, the pre-batching
+   behaviour) and once with the default batching config (optionally
+   overridden by --batch-window / --batch-bytes) — and reports the
+   replication messages and bytes per application operation.  The
+   per-op gauges land in BENCH_batch.json and are the surface the
+   bench-regress CI gate diffs against bench/baseline/. *)
+
+let batch_window_override : Time.t option ref = ref None
+let batch_bytes_override : int option ref = ref None
+
+let batch_on_config () =
+  let b = Msglayer.default_batch in
+  let b =
+    match !batch_window_override with
+    | Some w -> { b with Msglayer.batch_window = w }
+    | None -> b
+  in
+  match !batch_bytes_override with
+  | Some n -> { b with Msglayer.batch_bytes = n }
+  | None -> b
+
+type batch_row = {
+  br_ops : float;
+  br_msgs : float;
+  br_bytes : float;
+  br_dur : float;  (** seconds of simulated time covered by the counts *)
+}
+
+(* Closed-loop memcached clients: each does [iters] set+get pairs with
+   fixed-size values, so every response has a known length and the loop
+   needs no protocol parser. *)
+let run_batch_memcached ~batch ~iters ~clients =
+  let eng = new_engine () in
+  let link = gbit_link eng in
+  let config = { (ft_config ()) with Cluster.batch } in
+  let cluster =
+    Cluster.create eng ~config ~link:(Link.endpoint_a link)
+      ~app:(fun api -> Memcached.server api)
+      ()
+  in
+  let host = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let ops = ref 0 and finished = ref 0 in
+  let value = String.make 64 'v' in
+  for cl = 0 to clients - 1 do
+    ignore
+      (Host.spawn host
+         (Printf.sprintf "mc-client-%d" cl)
+         (fun () ->
+           let c = Tcp.connect (Host.stack host) ~host:"10.0.0.1" ~port:11211 in
+           let buf = Buffer.create 256 in
+           let read_exactly n =
+             while Buffer.length buf < n do
+               match Tcp.recv c ~max:4096 with
+               | [] -> raise Tcp.Connection_closed
+               | cs -> Buffer.add_string buf (Payload.concat_to_string cs)
+             done;
+             Buffer.clear buf
+           in
+           (try
+              for i = 1 to iters do
+                let key = Printf.sprintf "k%d-%d" cl (i mod 8) in
+                Tcp.send c
+                  (Payload.of_string
+                     (Printf.sprintf "set %s %d\r\n%s" key
+                        (String.length value) value));
+                read_exactly 8 (* STORED\r\n *);
+                incr ops;
+                Tcp.send c (Payload.of_string (Printf.sprintf "get %s\r\n" key));
+                (* VALUE 64\r\n + 64 value bytes *)
+                read_exactly (10 + String.length value);
+                incr ops
+              done;
+              Tcp.send c (Payload.of_string "quit\r\n")
+            with Tcp.Connection_closed -> ());
+           incr finished))
+  done;
+  drive eng ~cap:(Time.sec 120) ~stop:(fun () -> !finished = clients);
+  let msgs = Cluster.traffic_msgs cluster in
+  let bytes = Cluster.traffic_bytes cluster in
+  let dur = Time.to_sec_f (Engine.now eng) in
+  Cluster.shutdown cluster;
+  {
+    br_ops = float_of_int !ops;
+    br_msgs = float_of_int msgs;
+    br_bytes = float_of_int bytes;
+    br_dur = dur;
+  }
+
+let run_batch_mongoose ~batch ~window =
+  let eng = new_engine () in
+  let link = gbit_link eng in
+  let config = { (ft_config ()) with Cluster.batch } in
+  let app api =
+    Mongoose.run ~params:{ Mongoose.default_params with Mongoose.workers = 32 } api
+  in
+  let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let ab =
+    Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/page.html"
+      ~concurrency:50 ()
+  in
+  Engine.run ~until:(Time.ms 300) eng;
+  let st = Loadgen.ab_stats ab in
+  let c0 = Metrics.Counter.value st.Loadgen.completed in
+  let m0 = Cluster.traffic_msgs cluster and b0 = Cluster.traffic_bytes cluster in
+  Engine.run ~until:(Time.ms 300 + window) eng;
+  let c1 = Metrics.Counter.value st.Loadgen.completed in
+  let m1 = Cluster.traffic_msgs cluster and b1 = Cluster.traffic_bytes cluster in
+  Loadgen.ab_stop ab;
+  Cluster.shutdown cluster;
+  {
+    br_ops = float_of_int (c1 - c0);
+    br_msgs = float_of_int (m1 - m0);
+    br_bytes = float_of_int (b1 - b0);
+    br_dur = Time.to_sec_f window;
+  }
+
+let run_batch_fileserver ~batch ~file_mb =
+  let eng = new_engine () in
+  let link = gbit_link eng in
+  let chunk_bytes = 64 * 1024 in
+  let config = { (ft_config ()) with Cluster.batch } in
+  let app api =
+    Fileserver.run
+      ~params:
+        { Fileserver.default_params with
+          Fileserver.file_bytes = mib file_mb;
+          chunk_bytes;
+        }
+      api
+  in
+  let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let w =
+    Loadgen.wget_start client ~server:"10.0.0.1" ~port:80 ~target:"/file" ()
+  in
+  drive eng ~cap:(Time.sec 120) ~stop:(fun () -> Ivar.is_filled w.Loadgen.total);
+  let msgs = Cluster.traffic_msgs cluster in
+  let bytes = Cluster.traffic_bytes cluster in
+  let dur = Time.to_sec_f (Engine.now eng) in
+  Cluster.shutdown cluster;
+  let total = Option.value ~default:0 (Ivar.peek w.Loadgen.total) in
+  (* One "op" is a 64 KiB chunk served. *)
+  {
+    br_ops = float_of_int (total / chunk_bytes);
+    br_msgs = float_of_int msgs;
+    br_bytes = float_of_int bytes;
+    br_dur = dur;
+  }
+
+let batch quick =
+  hr "Batch: replication traffic, sync-tuple batching off vs on";
+  (* The summary engine is created first so its gauges are element 0 of
+     BENCH_batch.json — the slot the regression comparator reads. *)
+  let summary = new_engine () in
+  let reg = Engine.metrics summary in
+  let on = batch_on_config () in
+  Printf.printf
+    "batching: records<=%d, bytes<=%d, window=%s, ack_every=%d, ack_delay=%s\n"
+    on.Msglayer.batch_records on.Msglayer.batch_bytes
+    (Time.to_string on.Msglayer.batch_window)
+    on.Msglayer.ack_every
+    (Time.to_string on.Msglayer.ack_delay);
+  let iters = if quick then 150 else 600 in
+  let window = if quick then Time.ms 600 else Time.ms 1500 in
+  let file_mb = if quick then 64 else 256 in
+  let workloads =
+    [
+      ( "memcached",
+        fun b -> run_batch_memcached ~batch:b ~iters ~clients:4 );
+      ("mongoose", fun b -> run_batch_mongoose ~batch:b ~window);
+      ("fileserver", fun b -> run_batch_fileserver ~batch:b ~file_mb);
+    ]
+  in
+  Printf.printf "%-12s %-5s %8s %10s %10s %10s %10s\n" "workload" "mode" "ops"
+    "msgs" "msgs/op" "bytes/op" "ops/s";
+  List.iter
+    (fun (name, run) ->
+      let off_r = run Msglayer.unbatched in
+      let on_r = run on in
+      let per r v = if r.br_ops > 0. then v /. r.br_ops else 0. in
+      let rate r = if r.br_dur > 0. then r.br_ops /. r.br_dur else 0. in
+      let row mode r =
+        Printf.printf "%-12s %-5s %8.0f %10.0f %10.2f %10.1f %10.0f\n" name
+          mode r.br_ops r.br_msgs (per r r.br_msgs) (per r r.br_bytes) (rate r)
+      in
+      row "off" off_r;
+      row "on" on_r;
+      let reduction =
+        if per off_r off_r.br_msgs > 0. then
+          100. *. (1. -. (per on_r on_r.br_msgs /. per off_r off_r.br_msgs))
+        else 0.
+      in
+      Printf.printf "%-12s msgs/op reduction: %.1f%%\n" "" reduction;
+      let g key v = Metrics.Gauge.set (Metrics.Registry.gauge reg key) v in
+      List.iter
+        (fun (mode, r) ->
+          g (Printf.sprintf "batch.%s.%s.ops" name mode) r.br_ops;
+          g (Printf.sprintf "batch.%s.%s.msgs" name mode) r.br_msgs;
+          g (Printf.sprintf "batch.%s.%s.msgs_per_op" name mode) (per r r.br_msgs);
+          g (Printf.sprintf "batch.%s.%s.bytes_per_op" name mode) (per r r.br_bytes);
+          g (Printf.sprintf "batch.%s.%s.ops_per_sec" name mode) (rate r))
+        [ ("off", off_r); ("on", on_r) ];
+      g (Printf.sprintf "batch.%s.msgs_per_op_reduction_pct" name) reduction)
+    workloads;
+  Printf.printf
+    "(acceptance: memcached msgs/op must drop by >=20%% with default batching;\n\
+    \ the CI bench-regress gate fails on >10%% drift from bench/baseline/)\n"
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -880,6 +1095,7 @@ let experiments =
     ("micro", micro, "Bechamel microbenchmarks of simulator primitives");
     ("ablation", ablations, "Ablations: proximity, output commit, wake latency");
     ("chaos", chaos, "Chaos campaigns: random fault schedules + divergence checks");
+    ("batch", batch, "Batched sync-tuple streaming: traffic with batching off vs on");
   ]
 
 let run_all quick =
@@ -891,12 +1107,21 @@ let run_all quick =
   run_experiment "fig8" fig8 quick;
   run_experiment "ablation" ablations quick;
   run_experiment "chaos" chaos quick;
+  run_experiment "batch" batch quick;
   run_experiment "micro" micro quick
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   (* Strip flags (and --trace-out's value) before dispatching on the
      experiment name. *)
+  let int_flag flag v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ ->
+        Printf.eprintf "bench: %s requires a non-negative integer, got %S\n"
+          flag v;
+        exit 1
+  in
   let rec strip = function
     | [] -> []
     | "--quick" :: rest -> strip rest
@@ -905,6 +1130,18 @@ let () =
         strip rest
     | [ "--trace-out" ] ->
         Printf.eprintf "bench: --trace-out requires a PATH argument\n";
+        exit 1
+    | "--batch-window" :: v :: rest ->
+        batch_window_override := Some (Time.us (int_flag "--batch-window" v));
+        strip rest
+    | [ "--batch-window" ] ->
+        Printf.eprintf "bench: --batch-window requires a USEC argument\n";
+        exit 1
+    | "--batch-bytes" :: v :: rest ->
+        batch_bytes_override := Some (int_flag "--batch-bytes" v);
+        strip rest
+    | [ "--batch-bytes" ] ->
+        Printf.eprintf "bench: --batch-bytes requires a BYTES argument\n";
         exit 1
     | a :: rest -> a :: strip rest
   in
@@ -924,5 +1161,7 @@ let () =
             experiments;
           exit 1)
   | _ ->
-      Printf.eprintf "usage: bench [EXPERIMENT] [--quick] [--trace-out PATH]\n";
+      Printf.eprintf
+        "usage: bench [EXPERIMENT] [--quick] [--trace-out PATH] \
+         [--batch-window USEC] [--batch-bytes BYTES]\n";
       exit 1

@@ -47,6 +47,40 @@ let driver_ms_t =
     value & opt int 4950
     & info [ "driver-ms" ] ~docv:"MS" ~doc:"NIC driver reload time at failover.")
 
+(* Sync-tuple batching knobs, combined into the cluster's batch config.
+   [--batch-window 0] disables batching outright (one frame per record,
+   the pre-batching behaviour). *)
+let batch_window_us_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "batch-window" ] ~docv:"USEC"
+        ~doc:
+          "Maximum time a staged sync-tuple batch may wait before its frame \
+           is flushed.  $(docv) of 0 disables batching entirely.")
+
+let batch_bytes_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "batch-bytes" ] ~docv:"BYTES"
+        ~doc:"Flush a staged batch frame once it reaches $(docv) bytes.")
+
+let batch_config_of window_us bytes =
+  match (window_us, bytes) with
+  | None, None -> Cluster.default_config.Cluster.batch
+  | Some 0, _ -> Msglayer.unbatched
+  | _ ->
+      let b = Cluster.default_config.Cluster.batch in
+      let b =
+        match window_us with
+        | Some us -> { b with Msglayer.batch_window = Time.us us }
+        | None -> b
+      in
+      (match bytes with
+      | Some n -> { b with Msglayer.batch_bytes = n }
+      | None -> b)
+
+let batch_t = Term.(const batch_config_of $ batch_window_us_t $ batch_bytes_t)
+
 let metrics_json_t =
   Arg.(
     value & opt (some string) None
@@ -160,7 +194,7 @@ let apply_detail eng detail =
 (* {1 pbzip2} *)
 
 let pbzip2_cmd =
-  let run seed replicated fail_at block_kb file_mb workers metrics_json
+  let run seed replicated fail_at block_kb file_mb workers batch metrics_json
       trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
@@ -185,7 +219,8 @@ let pbzip2_cmd =
           Pbzip2.run ~params api;
           finish api
         in
-        let c = Cluster.create eng ~app () in
+        let config = { Cluster.default_config with Cluster.batch } in
+        let c = Cluster.create eng ~config ~app () in
         (match fail_at with
         | Some ms -> Cluster.fail_primary c ~at:(Time.ms ms)
         | None -> ());
@@ -231,14 +266,14 @@ let pbzip2_cmd =
     (Cmd.info "pbzip2" ~doc:"Parallel compression workload (paper §4.1).")
     Term.(
       const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
-      $ workers $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
-      $ log_filter_t)
+      $ workers $ batch_t $ metrics_json_t $ trace_out_t $ trace_detail_t
+      $ log_level_t $ log_filter_t)
 
 (* {1 mongoose} *)
 
 let mongoose_cmd =
-  let run seed replicated cpu_us concurrency seconds metrics_json trace_out
-      trace_detail log_level log_filter =
+  let run seed replicated cpu_us concurrency seconds batch metrics_json
+      trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -252,7 +287,8 @@ let mongoose_cmd =
     let app api = Mongoose.run ~params api in
     let cluster_opt =
       if replicated then
-        Some (Cluster.create eng ~link:(Link.endpoint_a link) ~app ())
+        let config = { Cluster.default_config with Cluster.batch } in
+        Some (Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ())
       else begin
         ignore
           (Cluster.create_standalone eng ~link:(Link.endpoint_a link) ~app ());
@@ -298,7 +334,7 @@ let mongoose_cmd =
     (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
     Term.(
       const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds
-      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ batch_t $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
       $ log_filter_t)
 
 (* {1 failover / fileserver / timeline}
@@ -308,7 +344,7 @@ let mongoose_cmd =
    with the failure optional, and [timeline] reads the per-phase failover
    breakdown back out of the event trace. *)
 
-let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~detail () =
+let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~detail () =
   let eng = Engine.create ~seed () in
   apply_detail eng detail;
   let link = gbit_link eng in
@@ -319,7 +355,11 @@ let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~detail () =
       api
   in
   let config =
-    { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
+    {
+      Cluster.default_config with
+      Cluster.driver_load_time = Time.ms driver_ms;
+      batch;
+    }
   in
   let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
   (match fail_at with
@@ -352,11 +392,11 @@ let file_mb_t =
   Arg.(value & opt int 512 & info [ "file-mb" ] ~docv:"MB" ~doc:"File size.")
 
 let failover_cmd =
-  let run seed file_mb fail_at_ms driver_ms metrics_json trace_out trace_detail
-      log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch metrics_json trace_out
+      trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
-      run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms
+      run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
         ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
@@ -377,15 +417,16 @@ let failover_cmd =
     (Cmd.info "failover"
        ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
     Term.(
-      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ metrics_json_t
+      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
+      $ metrics_json_t
       $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let fileserver_cmd =
-  let run seed file_mb fail_at_ms driver_ms metrics_json trace_out trace_detail
-      log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch metrics_json trace_out
+      trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
-      run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms
+      run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms ~batch
         ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
@@ -405,15 +446,16 @@ let fileserver_cmd =
          "Replicated file server under a large download, with an optional \
           mid-stream primary failure.")
     Term.(
-      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ metrics_json_t
+      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
+      $ metrics_json_t
       $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let timeline_cmd =
-  let run seed file_mb fail_at_ms driver_ms trace_out trace_detail log_level
-      log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch trace_out trace_detail
+      log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, _w =
-      run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms
+      run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
         ~detail:trace_detail ()
     in
     dump_trace eng trace_out;
@@ -470,7 +512,8 @@ let timeline_cmd =
          "Run the failover scenario and print the per-phase recovery \
           breakdown (Fig. 8 anatomy) from the event trace.")
     Term.(
-      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ trace_out_t
+      const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
+      $ trace_out_t
       $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 triple} *)

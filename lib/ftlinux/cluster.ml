@@ -15,6 +15,7 @@ type config = {
   ack_commit : bool;
   driver_load_time : Time.t;
   delta_replay_cost : Time.t;
+  batch : Msglayer.batch_config;
   server_ip : string;
   app_env : (string * string) list;
 }
@@ -32,6 +33,7 @@ let default_config =
     ack_commit = true;
     driver_load_time = Time.ms 4950;
     delta_replay_cost = Time.us 10;
+    batch = Msglayer.default_batch;
     server_ip = "10.0.0.1";
     app_env = [];
   }
@@ -205,7 +207,8 @@ let create eng ?(config = default_config) ?link ~app () =
   Machine.on_coherency_loss machine ~partition_id:(Partition.id part_s) (fun () ->
       Mailbox.drop_in_flight duplex.Mailbox.b_to_a);
   let ml_p =
-    Msglayer.create_primary eng ~out:duplex.Mailbox.a_to_b ~inb:duplex.Mailbox.b_to_a
+    Msglayer.create_primary ~batch:config.batch eng ~out:duplex.Mailbox.a_to_b
+      ~inb:duplex.Mailbox.b_to_a
   in
   (* Primary-side network stack (the paper's primary owns all devices). *)
   let nic, stack_p =
@@ -230,7 +233,7 @@ let create eng ?(config = default_config) ?link ~app () =
      both replicas start the application identically (3). *)
   let ns_s = Namespace.secondary kernel_s ~env:config.app_env () in
   let ml_s =
-    Msglayer.create_secondary eng ~inb:duplex.Mailbox.a_to_b
+    Msglayer.create_secondary ~batch:config.batch eng ~inb:duplex.Mailbox.a_to_b
       ~out:duplex.Mailbox.b_to_a
       ~replay_cost:config.kernel_config.Kernel.wake_latency
       ~delta_cost:config.delta_replay_cost

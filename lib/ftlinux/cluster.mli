@@ -31,6 +31,10 @@ type config = {
   delta_replay_cost : Time.t;
       (** secondary-side cost of absorbing one TCP delta (the
           [wake_up_process] latency applies only to thread-waking records) *)
+  batch : Msglayer.batch_config;
+      (** sync-tuple streaming batch/ack-coalescing knobs; defaults to
+          {!Msglayer.default_batch} (batching on).  Use
+          {!Msglayer.unbatched} for the one-frame-per-record baseline. *)
   server_ip : string;
   app_env : (string * string) list;
       (** environment variables replicated into the FT-Namespace at launch *)

@@ -163,9 +163,12 @@ let det_end_primary t =
   ctx.dseq <- ctx.dseq + 1;
   t.gseq <- t.gseq + 1;
   Metrics.Counter.incr t.ops;
-  (* The append may block on mailbox backpressure while the global mutex is
-     held: this is precisely how the secondary's replay speed throttles the
-     primary's sustained throughput. *)
+  (* With batching the append usually just stages the tuple; when a flush
+     threshold trips here it may block on mailbox backpressure while the
+     global mutex is held — precisely how the secondary's replay speed
+     throttles the primary's sustained throughput, now at frame rather
+     than record granularity.  Emission order still equals global_seq
+     order because LSNs are assigned at stage time under this mutex. *)
   (match t.ml with
   | Some sink -> ignore (sink.Msglayer.sink_append record)
   | None -> ());

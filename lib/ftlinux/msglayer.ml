@@ -1,23 +1,64 @@
 open Ftsim_sim
 open Ftsim_hw
 
+(* {1 Batching configuration} *)
+
+type batch_config = {
+  batch_records : int;
+  batch_bytes : int;
+  batch_window : Time.t;
+  ack_every : int;
+  ack_delay : Time.t;
+}
+
+let unbatched =
+  {
+    batch_records = 1;
+    batch_bytes = Wire.max_frame_bytes;
+    batch_window = Time.ns 0;
+    ack_every = 32;
+    ack_delay = Time.ns 0;
+  }
+
+let default_batch =
+  {
+    batch_records = 16;
+    batch_bytes = 4 * Ftsim_netstack.Packet.mtu;
+    batch_window = Time.us 20;
+    ack_every = 32;
+    ack_delay = Time.us 10;
+  }
+
 type primary = {
   p_eng : Engine.t;
   p_out : Wire.message Mailbox.chan;
   p_in : Wire.message Mailbox.chan;
+  batch : batch_config;
   mutable next_lsn : int;
   mutable p_acked : int;
   stable_waiters : Waitq.t;
   mutable disabled : bool;
   mutable p_last_peer : Time.t;
+  (* Staged records not yet on the wire, oldest last ([buf] is reversed).
+     [buf_bytes] is the frame size a flush would produce right now. *)
+  mutable buf : Wire.record list;
+  mutable buf_base : int;
+  mutable buf_count : int;
+  mutable buf_bytes : int;
+  mutable buf_opened : Time.t;
+  flush_wq : Waitq.t;
+  flush_mu : Sync.Mutex.t;
   p_recs : Metrics.Counter.t;
   r_recs : Metrics.Counter.t;  (* registry twin of [p_recs] *)
+  r_frames : Metrics.Counter.t;
+  r_commit_flush : Metrics.Counter.t;
 }
 
 type secondary = {
   s_eng : Engine.t;
   s_in : Wire.message Mailbox.chan;
   s_out : Wire.message Mailbox.chan;
+  s_batch : batch_config;
   replay_cost : Time.t;
   delta_cost : Time.t;
   handler : Wire.record -> unit;
@@ -25,6 +66,7 @@ type secondary = {
   mutable s_last_acked : int;
   mutable s_last_peer : Time.t;
   mutable processing : bool;
+  mutable ack_timer : Engine.handle option;
   r_replayed : Metrics.Counter.t;
 }
 
@@ -32,25 +74,72 @@ let log = Trace.make "ft.msglayer"
 
 (* {1 Primary} *)
 
-let create_primary eng ~out ~inb =
+let create_primary ?(batch = unbatched) eng ~out ~inb =
   {
     p_eng = eng;
     p_out = out;
     p_in = inb;
+    batch;
     next_lsn = 0;
     p_acked = -1;
     stable_waiters = Waitq.create ();
     disabled = false;
     p_last_peer = Engine.now eng;
+    buf = [];
+    buf_base = 0;
+    buf_count = 0;
+    buf_bytes = 0;
+    buf_opened = Engine.now eng;
+    flush_wq = Waitq.create ();
+    flush_mu = Sync.Mutex.create ();
     p_recs = Metrics.Counter.create ();
     r_recs =
       Metrics.Registry.counter (Engine.metrics eng) "msglayer.records_appended";
+    r_frames =
+      Metrics.Registry.counter (Engine.metrics eng) "msglayer.frames_sent";
+    r_commit_flush =
+      Metrics.Registry.counter (Engine.metrics eng) "msglayer.commit_flushes";
   }
 
 let record_kind = function
   | Wire.Sync_tuple _ -> "tuple"
   | Wire.Syscall_result _ -> "syscall"
   | Wire.Tcp_delta _ -> "tcp_delta"
+
+let send_frame p msg =
+  Metrics.Counter.incr p.r_frames;
+  Mailbox.send p.p_out ~bytes:(Wire.message_bytes msg) msg
+
+(* Detach the staged batch; the caller sends it.  Never suspends, so a
+   take-then-send under [flush_mu] is atomic with respect to staging. *)
+let take_batch p =
+  if p.buf_count = 0 then None
+  else begin
+    let base = p.buf_base and n = p.buf_count in
+    let records = List.rev p.buf in
+    p.buf <- [];
+    p.buf_count <- 0;
+    p.buf_bytes <- 0;
+    Some (base, n, records)
+  end
+
+(* Flush the staged batch as one frame.  [flush_mu] serializes emitters so
+   frames reach the mailbox in LSN order even when the blocking send parks
+   several of them; each takes whatever is staged once it holds the lock. *)
+let flush ?(ack_now = false) p =
+  if p.buf_count > 0 && not p.disabled then
+    Sync.Mutex.with_lock p.flush_mu (fun () ->
+        match take_batch p with
+        | None -> ()
+        | Some (base, n, records) ->
+            Evlog.emit (Engine.evlog p.p_eng) ~comp:"ft.msglayer" "frame.flush"
+              ~args:[ ("base_lsn", Evlog.Int base); ("count", Evlog.Int n) ];
+            let msg =
+              match records with
+              | [ record ] -> Wire.Record { lsn = base; ack_now; record }
+              | records -> Wire.Batch { base_lsn = base; ack_now; records }
+            in
+            send_frame p msg)
 
 let append p record =
   if p.disabled then p.next_lsn
@@ -62,15 +151,66 @@ let append p record =
     Evlog.emit (Engine.evlog p.p_eng) ~comp:"ft.msglayer" "record.append"
       ~args:
         [ ("lsn", Evlog.Int lsn); ("kind", Evlog.Str (record_kind record)) ];
-    let msg = Wire.Record { lsn; record } in
-    Mailbox.send p.p_out ~bytes:(Wire.message_bytes msg) msg;
+    if p.batch.batch_records <= 1 then
+      (* Unbatched: one frame per record, blocking on a full ring (the
+         backpressure throttle). *)
+      send_frame p (Wire.Record { lsn; ack_now = false; record })
+    else begin
+      let sub = Wire.batched_record_bytes record in
+      (* Never let the staged frame outgrow the wire format. *)
+      if p.buf_count > 0 && p.buf_bytes + sub > Wire.max_frame_bytes then
+        flush p;
+      if Wire.header + 4 + sub > Wire.max_frame_bytes then
+        (* A record too large to batch at all travels standalone. *)
+        send_frame p (Wire.Record { lsn; ack_now = false; record })
+      else begin
+        if p.buf_count = 0 then begin
+          p.buf_base <- lsn;
+          p.buf_bytes <- Wire.header + 4;
+          p.buf_opened <- Engine.now p.p_eng;
+          (* First staged record opens the window: wake the flusher. *)
+          ignore (Waitq.wake_all p.flush_wq)
+        end;
+        p.buf <- record :: p.buf;
+        p.buf_count <- p.buf_count + 1;
+        p.buf_bytes <- p.buf_bytes + sub;
+        if
+          p.buf_count >= p.batch.batch_records
+          || p.buf_bytes >= p.batch.batch_bytes
+        then flush p
+      end
+    end;
     lsn
   end
 
 let last_lsn p = p.next_lsn - 1
 let acked p = p.p_acked
 
+(* Flush-on-output-commit: before parking for stability of [lsn], make sure
+   every staged record covering it is actually on the wire — otherwise the
+   commit would wait for an ack the secondary can never send.  The flush
+   carries [ack_now] (the PSH/quickack analogue) so the secondary replies
+   immediately instead of sitting out its delayed-ack timer; if the
+   covering records already left in an ack-later frame, an empty [ack_now]
+   batch goes out as a pure ack request. *)
+let flush_for ~lsn p =
+  if not p.disabled then begin
+    if p.buf_count > 0 && p.buf_base <= lsn then begin
+      Metrics.Counter.incr p.r_commit_flush;
+      flush ~ack_now:true p
+    end
+    else if p.batch.ack_delay > 0 && p.p_acked < lsn && lsn < p.next_lsn then begin
+      let poke =
+        Wire.Batch { base_lsn = p.next_lsn; ack_now = true; records = [] }
+      in
+      (* try_send: if the ring is full the secondary is busy replaying and
+         will ack through the ack_every path anyway. *)
+      ignore (Mailbox.try_send p.p_out ~bytes:(Wire.message_bytes poke) poke)
+    end
+  end
+
 let wait_stable p ~lsn =
+  flush_for ~lsn p;
   let rec wait () =
     if p.disabled || p.p_acked >= lsn then ()
     else begin
@@ -83,8 +223,14 @@ let wait_stable p ~lsn =
 let disable p =
   if not p.disabled then begin
     p.disabled <- true;
+    (* Staged records die with the primary; they never reached the wire and
+       nothing was committed against them. *)
+    p.buf <- [];
+    p.buf_count <- 0;
+    p.buf_bytes <- 0;
     Trace.warnf log ~eng:p.p_eng "replication disabled (secondary presumed dead)";
-    ignore (Waitq.wake_all p.stable_waiters)
+    ignore (Waitq.wake_all p.stable_waiters);
+    ignore (Waitq.wake_all p.flush_wq)
   end
 
 let is_disabled p = p.disabled
@@ -111,19 +257,48 @@ let spawn_primary_rx p spawn =
                  ignore (Waitq.wake_all p.stable_waiters)
                end
            | Wire.Heartbeat _ -> ()
-           | Wire.Record _ ->
+           | Wire.Record _ | Wire.Batch _ ->
                Trace.errorf log ~eng:p.p_eng "unexpected record on ack channel");
            loop ()
          in
-         loop ()))
+         loop ()));
+  (* The window flusher: parks while nothing is staged, otherwise flushes
+     once the oldest staged record has waited [batch_window].  Spawned with
+     the partition-bound spawner so it dies with the primary — taking any
+     staged-but-unsent records with it, which is exactly the crash
+     semantics the output-commit rule assumes. *)
+  if p.batch.batch_records > 1 then
+    ignore
+      (spawn "ft-ml-flush" (fun () ->
+           let rec loop () =
+             if p.disabled then ()
+             else if p.buf_count = 0 then begin
+               ignore (Sync.wait_on p.flush_wq);
+               loop ()
+             end
+             else begin
+               let deadline = p.buf_opened + p.batch.batch_window in
+               if Engine.now p.p_eng >= deadline then begin
+                 flush p;
+                 loop ()
+               end
+               else begin
+                 Engine.sleep_until deadline;
+                 loop ()
+               end
+             end
+           in
+           loop ()))
 
 (* {1 Secondary} *)
 
-let create_secondary eng ~inb ~out ~replay_cost ~delta_cost ~handler =
+let create_secondary ?(batch = unbatched) eng ~inb ~out ~replay_cost
+    ~delta_cost ~handler =
   {
     s_eng = eng;
     s_in = inb;
     s_out = out;
+    s_batch = batch;
     replay_cost;
     delta_cost;
     handler;
@@ -131,9 +306,17 @@ let create_secondary eng ~inb ~out ~replay_cost ~delta_cost ~handler =
     s_last_acked = -1;
     s_last_peer = Engine.now eng;
     processing = false;
+    ack_timer = None;
     r_replayed =
       Metrics.Registry.counter (Engine.metrics eng) "msglayer.records_replayed";
   }
+
+let cancel_ack_timer s =
+  match s.ack_timer with
+  | None -> ()
+  | Some h ->
+      s.ack_timer <- None;
+      Engine.cancel h
 
 let send_ack s =
   if s.s_received > s.s_last_acked then begin
@@ -145,6 +328,7 @@ let send_ack s =
       && Mailbox.try_send s.s_out ~bytes:(Wire.message_bytes msg) msg
     then begin
       s.s_last_acked <- s.s_received;
+      cancel_ack_timer s;
       let ev = Engine.evlog s.s_eng in
       Evlog.emit ev ~comp:"ft.msglayer" "record.ack"
         ~args:[ ("upto", Evlog.Int s.s_received) ];
@@ -153,29 +337,69 @@ let send_ack s =
     end
   end
 
+(* Delayed-ack coalescing, the shape of the TCP stack's: instead of acking
+   the moment the queue runs dry, arm a short timer; acks for everything
+   replayed meanwhile ride one cumulative frame.  [send_ack] is try_send
+   based, so firing in raw timer context is safe. *)
+let arm_delayed_ack s =
+  if s.s_received > s.s_last_acked then
+    match s.ack_timer with
+    | Some h when Engine.timer_armed h -> ()
+    | _ ->
+        let at = Engine.now s.s_eng + s.s_batch.ack_delay in
+        s.ack_timer <- Some (Engine.timer s.s_eng ~at (fun () -> send_ack s))
+
+let replay_one s ~lsn record =
+  let sp =
+    Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer" "replay"
+      ~args:[ ("lsn", Evlog.Int lsn) ]
+  in
+  (* Records that wake a replaying thread pay the wake_up_process()
+     latency — the serial bottleneck the paper identifies (§4.1); TCP
+     deltas are absorbed in this context at memcpy-ish cost. *)
+  Engine.sleep
+    (if Wire.wakes_thread record then s.replay_cost else s.delta_cost);
+  s.handler record;
+  s.s_received <- max s.s_received lsn;
+  Metrics.Counter.incr s.r_replayed;
+  Evlog.span_end (Engine.evlog s.s_eng) sp
+
+(* Returns how many records the message carried. *)
 let handle s msg =
   s.s_last_peer <- Engine.now s.s_eng;
   match msg with
-  | Wire.Record { lsn; record } ->
+  | Wire.Record { lsn; record; _ } ->
+      s.processing <- true;
+      replay_one s ~lsn record;
+      s.processing <- false;
+      1
+  | Wire.Batch { base_lsn; records; _ } ->
+      (* A batch is one mailbox message: it survives a primary crash whole
+         or not at all, and [processing] covers its full replay so a
+         failover cannot observe a half-applied frame. *)
       s.processing <- true;
       let sp =
-        Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer" "replay"
-          ~args:[ ("lsn", Evlog.Int lsn) ]
+        Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer"
+          "replay.batch"
+          ~args:
+            [
+              ("base_lsn", Evlog.Int base_lsn);
+              ("count", Evlog.Int (List.length records));
+            ]
       in
-      (* Records that wake a replaying thread pay the wake_up_process()
-         latency — the serial bottleneck the paper identifies (§4.1); TCP
-         deltas are absorbed in this context at memcpy-ish cost. *)
-      Engine.sleep
-        (if Wire.wakes_thread record then s.replay_cost else s.delta_cost);
-      s.handler record;
-      s.s_received <- max s.s_received lsn;
-      Metrics.Counter.incr s.r_replayed;
+      List.iteri (fun i record -> replay_one s ~lsn:(base_lsn + i) record) records;
       Evlog.span_end (Engine.evlog s.s_eng) sp;
-      s.processing <- false
-  | Wire.Heartbeat _ -> ()
-  | Wire.Ack _ -> Trace.errorf log ~eng:s.s_eng "unexpected ack on record channel"
+      s.processing <- false;
+      List.length records
+  | Wire.Heartbeat _ -> 0
+  | Wire.Ack _ ->
+      Trace.errorf log ~eng:s.s_eng "unexpected ack on record channel";
+      0
 
-let ack_batch = 32
+(* The primary's explicit ack request (PSH analogue): answer right away. *)
+let wants_ack_now = function
+  | Wire.Record { ack_now; _ } | Wire.Batch { ack_now; _ } -> ack_now
+  | Wire.Ack _ | Wire.Heartbeat _ -> false
 
 let spawn_secondary_rx s spawn =
   ignore
@@ -184,18 +408,22 @@ let spawn_secondary_rx s spawn =
            (* Drain what is immediately available, then ack once. *)
            match Mailbox.poll s.s_in with
            | Some msg ->
-               handle s msg;
-               let since_ack = since_ack + 1 in
-               if since_ack >= ack_batch then begin
+               let since_ack = since_ack + handle s msg in
+               if wants_ack_now msg || since_ack >= s.s_batch.ack_every then begin
                  send_ack s;
                  loop 0
                end
                else loop since_ack
            | None ->
-               send_ack s;
+               if s.s_batch.ack_delay <= 0 then send_ack s
+               else arm_delayed_ack s;
                let msg = Mailbox.recv s.s_in in
-               handle s msg;
-               loop 1
+               let n = handle s msg in
+               if wants_ack_now msg then begin
+                 send_ack s;
+                 loop 0
+               end
+               else loop n
          in
          loop 0))
 
@@ -215,6 +443,7 @@ let drained s =
 (* {1 Metrics} *)
 
 let p_records p = Metrics.Counter.value p.p_recs
+let p_frames p = Metrics.Counter.value p.r_frames
 
 let traffic_msgs p s = Mailbox.msgs_sent p.p_out + Mailbox.msgs_sent s.s_out
 
@@ -230,6 +459,7 @@ type sink = {
   sink_append : Wire.record -> int;
   sink_last_lsn : unit -> int;
   sink_wait_stable : lsn:int -> unit;
+  sink_flush : unit -> unit;
 }
 
 let sink_of_primary p =
@@ -237,6 +467,7 @@ let sink_of_primary p =
     sink_append = (fun r -> append p r);
     sink_last_lsn = (fun () -> last_lsn p);
     sink_wait_stable = (fun ~lsn -> wait_stable p ~lsn);
+    sink_flush = (fun () -> flush p);
   }
 
 type group = { members : primary array; mutable quorum : int }
@@ -281,10 +512,12 @@ let group_live_count g =
   Array.fold_left (fun acc p -> if p.disabled then acc else acc + 1) 0 g.members
 
 let group_wait_stable g ~lsn =
-  (* Quorum shrinks with disabled members; with none left, stability is
-     vacuous (solo mode).  Progress can come from any member, so park with
-     a fire-once waker registered on every member's waiter queue
+  (* Flush every member first (flush-on-output-commit), then park.  Quorum
+     shrinks with disabled members; with none left, stability is vacuous
+     (solo mode).  Progress can come from any member, so park with a
+     fire-once waker registered on every member's waiter queue
      (wait-for-any, as in Tcp.poll). *)
+  Array.iter (flush_for ~lsn) g.members;
   let rec wait () =
     let live = group_live_count g in
     let need = min g.quorum live in
@@ -323,4 +556,5 @@ let sink_of_group g =
       (fun () ->
         Array.fold_left (fun acc p -> max acc (last_lsn p)) (-1) g.members);
     sink_wait_stable = (fun ~lsn -> group_wait_stable g ~lsn);
+    sink_flush = (fun () -> Array.iter flush g.members);
   }

@@ -19,23 +19,67 @@ open Ftsim_hw
 type primary
 type secondary
 
-val create_primary : Engine.t -> out:Wire.message Mailbox.chan -> inb:Wire.message Mailbox.chan -> primary
+(** {1 Batching}
+
+    The hot path streams one record per deterministic-section boundary;
+    batching coalesces records staged within a window — bounded by count,
+    bytes, and simulated time — into one {!Wire.Batch} frame, and the
+    secondary's cumulative acks get TCP-style delayed-ack coalescing.
+    [unbatched] reproduces the original one-frame-per-record behaviour. *)
+
+type batch_config = {
+  batch_records : int;
+      (** flush after this many staged records; [<= 1] disables batching *)
+  batch_bytes : int;  (** flush when the staged frame would reach this size *)
+  batch_window : Time.t;
+      (** flush at latest this long after the oldest staged record *)
+  ack_every : int;  (** secondary: ack after this many replayed records *)
+  ack_delay : Time.t;
+      (** secondary: on queue idle, delay the ack this long so acks for
+          back-to-back frames coalesce; [0] acks immediately *)
+}
+
+val unbatched : batch_config
+val default_batch : batch_config
+(** 16 records / 4×MTU bytes / 20 µs window; acks every 32 records or
+    after a 10 µs delayed-ack timer. *)
+
+val create_primary :
+  ?batch:batch_config ->
+  Engine.t ->
+  out:Wire.message Mailbox.chan ->
+  inb:Wire.message Mailbox.chan ->
+  primary
+(** [batch] defaults to {!unbatched}.  {!Cluster.default_config} turns
+    {!default_batch} on. *)
 
 val spawn_primary_rx : primary -> (string -> (unit -> unit) -> Engine.proc) -> unit
-(** Start the ack/heartbeat receive loop with a partition-bound spawner, so
-    it dies with its partition. *)
+(** Start the ack/heartbeat receive loop — and, when batching is on, the
+    window flusher — with a partition-bound spawner, so both die with
+    their partition (staged-but-unsent records die with the primary). *)
 
 val append : primary -> Wire.record -> int
-(** Stamp, count, and send a record; returns its LSN.  Blocks while the
-    mailbox ring is full. *)
+(** Stamp and count a record; returns its LSN.  Unbatched, the record is
+    sent immediately (blocking while the mailbox ring is full — the
+    backpressure throttle); batched, it is staged and the frame goes out
+    when the count/byte threshold trips, the window expires, or a
+    stability wait forces it. *)
+
+val flush : ?ack_now:bool -> primary -> unit
+(** Send the staged batch now (no-op when empty or disabled).  [ack_now]
+    marks the frame as an explicit ack request (see {!Wire.message}) —
+    the commit path sets it; plain window/threshold flushes do not. *)
 
 val last_lsn : primary -> int
+(** Highest assigned LSN, staged records included. *)
 
 val acked : primary -> int
 
 val wait_stable : primary -> lsn:int -> unit
 (** Block until [acked >= lsn] (returns immediately when replication is
-    disabled or the LSN is already stable). *)
+    disabled or the LSN is already stable).  Flushes any staged records
+    covering [lsn] first — flush-on-output-commit: a commit never waits on
+    an ack for a record that has not been sent. *)
 
 val disable : primary -> unit
 (** Secondary declared dead: appends become no-ops, every stability waiter
@@ -58,6 +102,7 @@ type sink = {
   sink_append : Wire.record -> int;
   sink_last_lsn : unit -> int;
   sink_wait_stable : lsn:int -> unit;
+  sink_flush : unit -> unit;
 }
 
 val sink_of_primary : primary -> sink
@@ -83,6 +128,7 @@ val group_members : group -> primary list
 (** {1 Secondary side} *)
 
 val create_secondary :
+  ?batch:batch_config ->
   Engine.t ->
   inb:Wire.message Mailbox.chan ->
   out:Wire.message Mailbox.chan ->
@@ -91,11 +137,13 @@ val create_secondary :
   handler:(Wire.record -> unit) ->
   secondary
 (** [replay_cost] is charged per thread-waking record (sync tuples, syscall
-    results); [delta_cost] per TCP delta. *)
+    results); [delta_cost] per TCP delta.  [batch] (default {!unbatched})
+    supplies the ack-coalescing knobs. *)
 
 val spawn_secondary_rx : secondary -> (string -> (unit -> unit) -> Engine.proc) -> unit
 (** Start the receive loop: per record, charge [replay_cost], invoke the
-    handler, and acknowledge (coalescing acks while the queue is hot). *)
+    handler, and acknowledge cumulatively — every [ack_every] records while
+    the queue is hot, otherwise via the delayed-ack timer. *)
 
 val received_lsn : secondary -> int
 
@@ -110,6 +158,10 @@ val drained : secondary -> bool
 (** {1 Traffic metrics (both mailbox directions)} *)
 
 val p_records : primary -> int
+
+val p_frames : primary -> int
+(** Record-bearing frames actually sent ([<= p_records] with batching). *)
+
 val traffic_msgs : primary -> secondary -> int
 val traffic_bytes : primary -> secondary -> int
 val reset_traffic : primary -> secondary -> unit

@@ -210,6 +210,11 @@ let install_primary_tcp_hooks t stack =
   let append r = ignore (sink.Msglayer.sink_append r) in
   let wait_tail gate () =
     let lsn = sink.Msglayer.sink_last_lsn () in
+    (* Flush-on-output-commit: the tail LSN may still sit in the batching
+       stage buffer; [sink_wait_stable] pushes it onto the wire (with the
+       ack_now flag, so the secondary replies without its delayed-ack
+       timer) before parking for its ack — the output-commit rule is never
+       delayed past its covering ack by the batching window. *)
     sink.Msglayer.sink_wait_stable ~lsn;
     (* Recorded after the wait returns: this is the instant the output
        actually became releasable (its covering ack had arrived). *)

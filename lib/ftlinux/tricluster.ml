@@ -180,7 +180,8 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
   let ml_ps =
     Array.map
       (fun d ->
-        Msglayer.create_primary eng ~out:d.Mailbox.a_to_b ~inb:d.Mailbox.b_to_a)
+        Msglayer.create_primary ~batch:config.Cluster.batch eng
+          ~out:d.Mailbox.a_to_b ~inb:d.Mailbox.b_to_a)
       duplexes
   in
   let group = Msglayer.create_group (Array.to_list ml_ps) ~quorum:1 in
@@ -212,7 +213,8 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
   let ml_ss =
     Array.mapi
       (fun i d ->
-        Msglayer.create_secondary eng ~inb:d.Mailbox.a_to_b ~out:d.Mailbox.b_to_a
+        Msglayer.create_secondary ~batch:config.Cluster.batch eng
+          ~inb:d.Mailbox.a_to_b ~out:d.Mailbox.b_to_a
           ~replay_cost:config.Cluster.kernel_config.Kernel.wake_latency
           ~delta_cost:config.Cluster.delta_replay_cost
           ~handler:(fun record -> Namespace.record_handler ns_bs.(i) record))

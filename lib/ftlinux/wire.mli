@@ -46,15 +46,41 @@ type record =
   | Tcp_delta of tcp_delta
 
 type message =
-  | Record of { lsn : int; record : record }
+  | Record of { lsn : int; ack_now : bool; record : record }
+  | Batch of { base_lsn : int; ack_now : bool; records : record list }
+      (** a run of LSN-consecutive records [base_lsn, base_lsn+n) coalesced
+          into one frame; each record pays a 4-byte sub-header instead of
+          the full 16-byte frame header *)
   | Ack of { upto : int }  (** secondary → primary: all LSNs ≤ upto received *)
   | Heartbeat of { from_primary : bool; seq : int }
 
+(** [ack_now] is the TCP PSH/quickack analogue: set on frames flushed
+    because an output commit is blocked on their acknowledgement, it makes
+    the secondary ack immediately instead of arming its delayed-ack timer.
+    An empty [Batch] with [ack_now] acts as a pure ack request. *)
+
+val header : int
+(** Frame header size (16 bytes). *)
+
+val batch_sub_header : int
+(** Per-record sub-header inside a [Batch] frame (4 bytes). *)
+
+val max_frame_bytes : int
+(** Hard upper bound on one encoded frame; {!encode_message} raises
+    [Invalid_argument] beyond it and the batching layer flushes before
+    reaching it. *)
+
 val record_bytes : record -> int
 (** Modelled wire size of a record (header included), used for the
-    inter-replica traffic figures. *)
+    inter-replica traffic figures.  Exact: this is the number of bytes the
+    record occupies as a standalone frame body (see {!encode_message}). *)
+
+val batched_record_bytes : record -> int
+(** Wire size of a record when carried inside a [Batch] frame:
+    [record_bytes r - header + batch_sub_header]. *)
 
 val message_bytes : message -> int
+(** Exact encoded size: [String.length (encode_message m) = message_bytes m]. *)
 
 val wakes_thread : record -> bool
 (** Whether replaying this record wakes an application thread (sync tuples
@@ -63,3 +89,30 @@ val wakes_thread : record -> bool
     component itself. *)
 
 val pp_record : Format.formatter -> record -> unit
+
+(** {2 Binary codec}
+
+    A real little-endian encoding whose framing matches the byte model
+    above exactly, so the traffic figures measure what would actually
+    cross the shared-memory channel.  The frame header is 16 bytes:
+    2-byte magic ["FT"], message kind, a sub byte (record kind/subkind,
+    or the heartbeat direction), u32 total length, i64 aux (the batch's
+    base LSN).  [decode_message] is total: any input that is not the
+    exact encoding of a message yields [Error]. *)
+
+type decode_error =
+  | Truncated  (** input shorter than the frame header or declared length *)
+  | Malformed of string  (** bad magic, unknown tag, inconsistent lengths *)
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
+val encode_message : message -> string
+(** Raises [Invalid_argument] if the frame would exceed {!max_frame_bytes},
+    a batched record's fields exceed 65535 bytes, or an address does not
+    fit the encoding (port beyond u16, host longer than 255 bytes). *)
+
+val decode_message : string -> (message, decode_error) result
+
+val equal_message : message -> message -> bool
+(** Structural equality, except payload chunk lists compare by content —
+    the codec does not preserve chunk boundaries. *)

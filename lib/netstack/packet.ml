@@ -22,6 +22,7 @@ type t = {
 let payload_len t = Payload.total_len t.payload
 
 let header_bytes = 66
+let mtu = 1500
 
 let wire_size t = payload_len t + header_bytes
 

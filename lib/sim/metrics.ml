@@ -114,7 +114,10 @@ module Registry = struct
         h
 
   let names t =
-    Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+    (* String.compare, not polymorphic compare: the bench-regression gate
+       byte-diffs these dumps, so key order must not depend on how any
+       OCaml version's generic comparison treats strings. *)
+    Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
 
   (* JSON emission must be deterministic (keys sorted, fixed float format)
      so that two same-seed runs produce byte-identical dumps. *)

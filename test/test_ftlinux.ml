@@ -170,11 +170,11 @@ let echo_app (api : Api.t) =
   in
   serve ()
 
-let run_echo_scenario ~fail_primary_at ~messages eng =
+let run_echo_scenario ?(config = test_config) ?pace ~fail_primary_at ~messages
+    eng =
   let link = gbit_link eng in
   let cluster =
-    Cluster.create eng ~config:test_config ~link:(Link.endpoint_a link)
-      ~app:echo_app ()
+    Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app:echo_app ()
   in
   let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
   (match fail_primary_at with
@@ -187,6 +187,9 @@ let run_echo_scenario ~fail_primary_at ~messages eng =
          let out = Buffer.create 64 in
          List.iteri
            (fun i msg ->
+             (match pace with
+             | Some gap when i > 0 -> Engine.sleep gap
+             | _ -> ());
              Tcp.send c (Payload.of_string msg);
              let want = String.length msg in
              let got = ref 0 in
@@ -956,6 +959,108 @@ let test_trace_output_commit_after_ack () =
         | _ -> ())
     evs
 
+let test_batch_boundary_failover () =
+  (* Kill the primary after a batch frame is emitted but before its
+     cumulative ack.  Commit-triggered flushes carry [ack_now] and are
+     acked within a mailbox round trip, so the outstanding window lives
+     after each exchange: messages big enough to cross the 16 KiB
+     [D_ack_progress] coalescing threshold stage a delta that no commit
+     covers, the window flusher sends it ack-later 2 ms after the
+     exchange, and with an extreme ack config (ack_every far beyond the
+     workload, a 50 ms delayed-ack timer) it stays unacked until the
+     next exchange's quickack.  A 10 ms client pace keeps that
+     flushed-but-unacked window open for most of every period, so the
+     kill lands on a batch boundary.  The promoted
+     secondary must report no digest divergence, the client stream must
+     be exactly-once, and no committed output may precede its covering
+     ack. *)
+  let eng = Engine.create () in
+  let config =
+    {
+      test_config with
+      Cluster.batch =
+        {
+          Msglayer.batch_records = 64;
+          batch_bytes = 32_768;
+          batch_window = Time.ms 2;
+          ack_every = 100_000;
+          ack_delay = Time.ms 50;
+        };
+    }
+  in
+  let messages =
+    List.init 30 (fun i ->
+        Printf.sprintf "bb-%02d|%s" i (String.make 17_000 (Char.chr (97 + (i mod 26)))))
+  in
+  let cluster, result =
+    run_echo_scenario ~config ~pace:(Time.ms 10)
+      ~fail_primary_at:(Some (Time.ms 124)) ~messages eng
+  in
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  (match Ivar.peek result with
+  | Some s ->
+      Alcotest.(check string) "complete, unduplicated stream"
+        (String.concat "" messages) s
+  | None -> Alcotest.fail "client did not finish after failover");
+  Alcotest.(check bool) "failover happened" true
+    (Ivar.peek (Cluster.failover_done cluster) <> None);
+  (* Batching was actually exercised: fewer frames than records. *)
+  let v n = Metrics.Counter.value (Metrics.Registry.counter (Engine.metrics eng) n) in
+  Alcotest.(check bool) "frames were sent" true (v "msglayer.frames_sent" > 0);
+  Alcotest.(check bool) "coalescing happened" true
+    (v "msglayer.frames_sent" < v "msglayer.records_appended");
+  (* The kill really landed between a frame emission and its covering ack:
+     at the halt instant some flushed LSN had no ack yet. *)
+  let evs = Evlog.events (Engine.evlog eng) in
+  let t_halt =
+    match Cluster.primary_halted_at cluster with
+    | Some t -> t
+    | None -> Alcotest.fail "primary did not halt"
+  in
+  let flushed_max = ref (-1) and acked_at_halt = ref (-1) in
+  List.iter
+    (fun e ->
+      if e.Evlog.at <= t_halt && e.Evlog.comp = "ft.msglayer" then begin
+        (if e.Evlog.name = "frame.flush" then
+           match
+             (Evlog.Query.int_arg e "base_lsn", Evlog.Query.int_arg e "count")
+           with
+           | Some base, Some count -> flushed_max := max !flushed_max (base + count - 1)
+           | _ -> ());
+        if e.Evlog.name = "record.acked" then
+          match Evlog.Query.int_arg e "upto" with
+          | Some u -> acked_at_halt := max !acked_at_halt u
+          | None -> ()
+      end)
+    evs;
+  Alcotest.(check bool)
+    (Printf.sprintf "batch outstanding at the kill (flushed %d, acked %d)"
+       !flushed_max !acked_at_halt)
+    true
+    (!flushed_max > !acked_at_halt);
+  (* No replica divergence relative to the committed prefix. *)
+  Alcotest.(check bool) "digests agree" true (Cluster.compare_digests cluster = None);
+  Alcotest.(check bool) "no replay divergence" true
+    (Cluster.replay_divergence cluster = None);
+  (* No committed output precedes its covering ack, batching or not. *)
+  let acked = ref (-1) in
+  List.iter
+    (fun e ->
+      (if e.Evlog.comp = "ft.msglayer" && e.Evlog.name = "record.acked" then
+         match Evlog.Query.int_arg e "upto" with
+         | Some u -> acked := max !acked u
+         | None -> ());
+      if e.Evlog.comp = "ft.namespace" && e.Evlog.name = "output.commit" then
+        match Evlog.Query.int_arg e "lsn" with
+        | Some lsn when lsn >= 0 ->
+            if !acked < lsn then
+              Alcotest.failf
+                "output commit of lsn %d at seq %d precedes its ack (acked %d)"
+                lsn e.Evlog.seq !acked
+        | _ -> ())
+    evs
+
 let test_trace_failover_phases () =
   let eng = Engine.create () in
   let messages = List.init 30 (fun i -> Printf.sprintf "f%02d|" i) in
@@ -1064,6 +1169,8 @@ let () =
             test_trace_tuple_lifecycle_invariants;
           Alcotest.test_case "output commit after ack" `Quick
             test_trace_output_commit_after_ack;
+          Alcotest.test_case "batch-boundary failover" `Quick
+            test_batch_boundary_failover;
           Alcotest.test_case "failover phases" `Quick test_trace_failover_phases;
         ] );
       ( "msglayer",

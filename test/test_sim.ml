@@ -632,6 +632,101 @@ let test_with_timeout_done_cancels_timer () =
   Alcotest.(check int) "deadline timer cancelled" 0 (Engine.pending_events eng);
   Alcotest.(check int) "did not run to the deadline" (Time.ms 2) (Engine.now eng)
 
+let test_twheel_cancel_after_fire () =
+  (* Cancelling a timer that already fired must be a no-op: no state change,
+     no double decrement of the live count, no effect on later timers. *)
+  let w = Twheel.create () in
+  let h = Twheel.add w ~at:(Time.ms 1) ~seq:0 "a" in
+  ignore (Twheel.add w ~at:(Time.ms 2) ~seq:1 "b");
+  Twheel.advance w ~upto:(Time.ms 1);
+  (match Twheel.pop_due w with
+  | Some (_, "a") -> ()
+  | _ -> Alcotest.fail "expected a due");
+  Alcotest.(check bool) "fired handle is not armed" false (Twheel.is_armed h);
+  Alcotest.(check int) "one live timer left" 1 (Twheel.live w);
+  Twheel.cancel h;
+  Twheel.cancel h;
+  Alcotest.(check int) "cancel-after-fire does not touch live" 1 (Twheel.live w);
+  Alcotest.(check bool) "still not armed" false (Twheel.is_armed h);
+  Twheel.advance w ~upto:(Time.ms 2);
+  (match Twheel.pop_due w with
+  | Some (_, "b") -> ()
+  | _ -> Alcotest.fail "expected b due");
+  Alcotest.(check int) "none live" 0 (Twheel.live w);
+  Alcotest.(check bool) "due queue empty" true (Twheel.pop_due w = None)
+
+let test_engine_cancel_after_fire () =
+  (* Same at the engine layer: a no-op cancel must not count in the
+     cancellation metric either. *)
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let h = Engine.timer eng ~at:(Time.ms 1) (fun () -> incr fired) in
+  Engine.run eng;
+  Alcotest.(check int) "fired once" 1 !fired;
+  Alcotest.(check bool) "not armed after firing" false (Engine.timer_armed h);
+  let cancelled () =
+    Metrics.Counter.value
+      (Metrics.Registry.counter (Engine.metrics eng) "engine.timers_cancelled")
+  in
+  let before = cancelled () in
+  Engine.cancel h;
+  Engine.cancel h;
+  Alcotest.(check int) "cancel-after-fire not counted" before (cancelled ());
+  Alcotest.(check int) "still fired exactly once" 1 !fired
+
+let test_with_timeout_same_tick_wake_first () =
+  (* The wake lands at exactly the deadline instant but was armed before
+     with_timeout's deadline timer: lower seq fires first, so the waiter
+     completes as [`Done] at that instant. *)
+  let eng = Engine.create () in
+  let q = Waitq.create () in
+  let outcome = ref None in
+  Engine.schedule eng ~at:(Time.ms 5) (fun () -> ignore (Waitq.wake_one q));
+  ignore
+    (Engine.spawn eng ~name:"timed" (fun () ->
+         let o =
+           Engine.with_timeout ~at:(Time.ms 5) (fun _p wake ->
+               let entry = Waitq.add q wake in
+               fun () -> Waitq.cancel entry)
+         in
+         outcome := Some (o, Engine.now eng)));
+  Engine.run eng;
+  Alcotest.(check bool) "wake wins the tie" true
+    (!outcome = Some (`Done, Time.ms 5))
+
+let test_with_timeout_same_tick_timer_first () =
+  (* The deadline timer fires first at the shared instant; the wake arriving
+     later in the same tick must NOT be consumed by the timed-out waiter —
+     the withdraw thunk runs synchronously in the timer's event context, so
+     the wake falls through to the next (plain) waiter. *)
+  let eng = Engine.create () in
+  let q = Waitq.create () in
+  let timed = ref None in
+  let plain_woken = ref false in
+  ignore
+    (Engine.spawn eng ~name:"timed" (fun () ->
+         let o =
+           Engine.with_timeout ~at:(Time.ms 5) (fun _p wake ->
+               let entry = Waitq.add q wake in
+               fun () -> Waitq.cancel entry)
+         in
+         timed := Some (o, Engine.now eng)));
+  ignore
+    (Engine.spawn eng ~name:"plain" (fun () ->
+         match Sync.wait_on q with
+         | `Woken -> plain_woken := true
+         | `Timeout -> ()));
+  (* Arm the wake from a later event so its seq is higher than the deadline
+     timer's: timer first, wake second, same instant. *)
+  Engine.schedule eng ~at:(Time.ms 1) (fun () ->
+      Engine.schedule eng ~at:(Time.ms 5) (fun () ->
+          ignore (Waitq.wake_one q)));
+  Engine.run eng;
+  Alcotest.(check bool) "waiter timed out at the deadline" true
+    (!timed = Some (`Timeout, Time.ms 5));
+  Alcotest.(check bool) "same-tick wake not consumed by the loser" true
+    !plain_woken
+
 (* {1 Metrics registry} *)
 
 let test_registry_get_or_create () =
@@ -672,6 +767,26 @@ let test_registry_json () =
   Alcotest.(check bool) "empty hist serialises as null stats" true
     (idx "\"d.empty\": {\"count\": 0, \"mean\": null" >= 0);
   Alcotest.(check string) "emission is stable" j (Metrics.Registry.to_json r)
+
+let test_registry_sorted_unconditionally () =
+  (* The bench-regression gate byte-diffs registry dumps, so key order must
+     be plain byte order regardless of insertion order (and must not lean on
+     polymorphic compare). *)
+  let names =
+    [ "z.last"; "a.first"; "m.mid"; "a.a"; "Z.upper"; "a-b"; "a_b"; "a" ]
+  in
+  let mk order =
+    let r = Metrics.Registry.create () in
+    List.iter (fun n -> Metrics.Counter.add (Metrics.Registry.counter r n) 1) order;
+    r
+  in
+  Alcotest.(check (list string))
+    "names in byte order"
+    (List.sort String.compare names)
+    (Metrics.Registry.names (mk names));
+  Alcotest.(check string) "dump independent of insertion order"
+    (Metrics.Registry.to_json (mk names))
+    (Metrics.Registry.to_json (mk (List.rev names)))
 
 let test_registry_same_seed_identical () =
   (* Two same-seed runs of a sim that arms, fires, and cancels timers must
@@ -1012,6 +1127,14 @@ let () =
             test_with_timeout_timeout;
           Alcotest.test_case "with_timeout done cancels" `Quick
             test_with_timeout_done_cancels_timer;
+          Alcotest.test_case "twheel cancel after fire" `Quick
+            test_twheel_cancel_after_fire;
+          Alcotest.test_case "engine cancel after fire" `Quick
+            test_engine_cancel_after_fire;
+          Alcotest.test_case "with_timeout same-tick wake first" `Quick
+            test_with_timeout_same_tick_wake_first;
+          Alcotest.test_case "with_timeout same-tick timer first" `Quick
+            test_with_timeout_same_tick_timer_first;
         ] );
       ( "ivar",
         [
@@ -1047,6 +1170,8 @@ let () =
           Alcotest.test_case "registry kind mismatch" `Quick
             test_registry_kind_mismatch;
           Alcotest.test_case "registry json" `Quick test_registry_json;
+          Alcotest.test_case "registry sorted unconditionally" `Quick
+            test_registry_sorted_unconditionally;
           Alcotest.test_case "registry same-seed identical" `Quick
             test_registry_same_seed_identical;
         ] );
