@@ -1079,6 +1079,252 @@ let batch quick =
     \ the CI bench-regress gate fails on >10%% drift from bench/baseline/)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: det-section sharding off vs on, worker-count sweep         *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper figure: measures what the per-channel deterministic-section
+   core buys over the namespace-global mutex and total order.  Each
+   workload runs at several worker counts with det sharding off and on;
+   per run we record the application rate plus the det-core overhead
+   instruments (det.lock_wait_ns, the det.contended counters).  The runs use the
+   bounded (sustained) mailbox, so the replay-backpressure regime where
+   the global lock couples every sync object is the one measured.  The
+   ops/s gauges land in BENCH_scaling.json under "scaling." and are
+   diffed by the bench-regress CI gate; lock wait and contention counts
+   are informational. *)
+
+type scaling_row = {
+  sr_ops_per_s : float;
+  sr_lock_wait_ms : float;
+  sr_contended : int;
+  sr_sections : int;
+}
+
+let det_overhead eng =
+  let reg = Engine.metrics eng in
+  let h = Metrics.Registry.hist reg "det.lock_wait_ns" in
+  let wait_ms =
+    if Metrics.Hist.count h = 0 then 0.0
+    else float_of_int (Metrics.Hist.count h) *. Metrics.Hist.mean h /. 1e6
+  in
+  let c k = Metrics.Counter.value (Metrics.Registry.counter reg k) in
+  ( wait_ms,
+    c "det.contended.misc" + c "det.contended.fs" + c "det.contended.obj",
+    c "det.sections" )
+
+(* One frame per record and a small ring: the secondary's per-record
+   replay charge makes it the slow side, so the primary hits mailbox
+   backpressure and appends block {e inside} det sections.  That is the
+   regime where the namespace-global mutex couples every sync object —
+   one thread stalled flushing stalls all of them — and where per-channel
+   streams let independent objects keep moving.  With the default batched
+   sink appends only stage and never block in-section, so neither variant
+   would ever observe contention. *)
+let scaling_config ~det_shard =
+  {
+    (ft_config ~mailbox_capacity:256 ()) with
+    Cluster.det_shard;
+    batch = Msglayer.unbatched;
+  }
+
+let run_scaling_pbzip2 ~det_shard ~workers ~file_mb =
+  let eng = new_engine () in
+  let params =
+    {
+      Pbzip2.default_params with
+      Pbzip2.file_bytes = mib file_mb;
+      block_bytes = 25 * 1024;
+      workers;
+    }
+  in
+  let t_done = ref None in
+  let app api =
+    Pbzip2.run ~params api;
+    if Kernel.name api.Api.kernel = "primary" then
+      t_done := Some (Engine.now eng)
+  in
+  let cluster = Cluster.create eng ~config:(scaling_config ~det_shard) ~app () in
+  drive eng ~cap:(Time.sec 300) ~stop:(fun () -> !t_done <> None);
+  Cluster.shutdown cluster;
+  let dur = Time.to_sec_f (Option.value ~default:(Time.sec 300) !t_done) in
+  let wait_ms, contended, sections = det_overhead eng in
+  {
+    sr_ops_per_s = float_of_int (Pbzip2.block_count params) /. dur;
+    sr_lock_wait_ms = wait_ms;
+    sr_contended = contended;
+    sr_sections = sections;
+  }
+
+(* Pure compute, no shared sync objects beyond spawn/join: the control —
+   sharding must not change it. *)
+let run_scaling_cpuhog ~det_shard ~threads ~slices =
+  let eng = new_engine () in
+  let t_done = ref None in
+  let app (api : Api.t) =
+    let ths =
+      List.init threads (fun i ->
+          api.Api.thread.spawn
+            (Printf.sprintf "hog-%d" i)
+            (fun () ->
+              for _ = 1 to slices do
+                api.Api.thread.compute (Time.ms 1)
+              done))
+    in
+    List.iter api.Api.thread.join ths;
+    if Kernel.name api.Api.kernel = "primary" then
+      t_done := Some (Engine.now eng)
+  in
+  let cluster = Cluster.create eng ~config:(scaling_config ~det_shard) ~app () in
+  drive eng ~cap:(Time.sec 300) ~stop:(fun () -> !t_done <> None);
+  Cluster.shutdown cluster;
+  let dur = Time.to_sec_f (Option.value ~default:(Time.sec 300) !t_done) in
+  let wait_ms, contended, sections = det_overhead eng in
+  {
+    sr_ops_per_s = float_of_int (threads * slices) /. dur;
+    sr_lock_wait_ms = wait_ms;
+    sr_contended = contended;
+    sr_sections = sections;
+  }
+
+(* The closed-loop memcached clients of the batch experiment, on a striped
+   store: with [lock_stripes] > 1 each stripe's mutex is its own channel,
+   so this is the workload where per-object channels have the most
+   independent objects to spread over. *)
+let run_scaling_memcached ~det_shard ~workers ~iters ~clients =
+  let eng = new_engine () in
+  let link = gbit_link eng in
+  let params =
+    {
+      Memcached.default_params with
+      Memcached.worker_threads = workers;
+      lock_stripes = 8;
+    }
+  in
+  let cluster =
+    Cluster.create eng
+      ~config:(scaling_config ~det_shard)
+      ~link:(Link.endpoint_a link)
+      ~app:(fun api -> Memcached.server ~params api)
+      ()
+  in
+  let host = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let ops = ref 0 and finished = ref 0 in
+  let value = String.make 64 'v' in
+  for cl = 0 to clients - 1 do
+    ignore
+      (Host.spawn host
+         (Printf.sprintf "mc-client-%d" cl)
+         (fun () ->
+           let c = Tcp.connect (Host.stack host) ~host:"10.0.0.1" ~port:11211 in
+           let buf = Buffer.create 256 in
+           let read_exactly n =
+             while Buffer.length buf < n do
+               match Tcp.recv c ~max:4096 with
+               | [] -> raise Tcp.Connection_closed
+               | cs -> Buffer.add_string buf (Payload.concat_to_string cs)
+             done;
+             Buffer.clear buf
+           in
+           (try
+              for i = 1 to iters do
+                let key = Printf.sprintf "k%d-%d" cl (i mod 32) in
+                Tcp.send c
+                  (Payload.of_string
+                     (Printf.sprintf "set %s %d\r\n%s" key
+                        (String.length value) value));
+                read_exactly 8 (* STORED\r\n *);
+                incr ops;
+                Tcp.send c (Payload.of_string (Printf.sprintf "get %s\r\n" key));
+                read_exactly (10 + String.length value);
+                incr ops
+              done;
+              Tcp.send c (Payload.of_string "quit\r\n")
+            with Tcp.Connection_closed -> ());
+           incr finished))
+  done;
+  drive eng ~cap:(Time.sec 120) ~stop:(fun () -> !finished = clients);
+  let dur = Time.to_sec_f (Engine.now eng) in
+  Cluster.shutdown cluster;
+  let wait_ms, contended, sections = det_overhead eng in
+  {
+    sr_ops_per_s = (if dur > 0. then float_of_int !ops /. dur else 0.);
+    sr_lock_wait_ms = wait_ms;
+    sr_contended = contended;
+    sr_sections = sections;
+  }
+
+let scaling quick =
+  hr "Scaling: det-section sharding off vs on (per-object channels)";
+  (* Summary engine first: its gauges are element 0 of BENCH_scaling.json,
+     the slot the regression comparator reads. *)
+  let summary = new_engine () in
+  let reg = Engine.metrics summary in
+  let worker_counts = if quick then [ 8; 16 ] else [ 8; 16; 32 ] in
+  let pb_file_mb = if quick then 16 else 64 in
+  let hog_slices = if quick then 100 else 400 in
+  let mc_iters = if quick then 100 else 400 in
+  let workloads =
+    [
+      ( "pbzip2",
+        fun ~det_shard w ->
+          run_scaling_pbzip2 ~det_shard ~workers:w ~file_mb:pb_file_mb );
+      ( "cpuhog",
+        fun ~det_shard w ->
+          run_scaling_cpuhog ~det_shard ~threads:w ~slices:hog_slices );
+      ( "memcached",
+        fun ~det_shard w ->
+          (* Closed-loop clients: concurrency must scale with the server's
+             workers or the offered load never reaches the backpressure
+             knee. *)
+          run_scaling_memcached ~det_shard ~workers:w ~iters:mc_iters
+            ~clients:(2 * w) );
+    ]
+  in
+  Printf.printf "%-12s %8s %-5s %12s %14s %10s %10s\n" "workload" "workers"
+    "shard" "ops/s" "lock-wait(ms)" "contended" "sections";
+  List.iter
+    (fun (name, run) ->
+      List.iter
+        (fun w ->
+          let off = run ~det_shard:false w in
+          let on = run ~det_shard:true w in
+          let row mode r =
+            Printf.printf "%-12s %8d %-5s %12.0f %14.2f %10d %10d\n" name w
+              mode r.sr_ops_per_s r.sr_lock_wait_ms r.sr_contended
+              r.sr_sections
+          in
+          row "off" off;
+          row "on" on;
+          let gain =
+            if off.sr_ops_per_s > 0. then
+              100. *. ((on.sr_ops_per_s /. off.sr_ops_per_s) -. 1.)
+            else 0.
+          in
+          Printf.printf
+            "%-12s %8s shard: %+.1f%% ops/s, lock wait %.2f -> %.2f ms\n" ""
+            "" gain off.sr_lock_wait_ms on.sr_lock_wait_ms;
+          let g key v = Metrics.Gauge.set (Metrics.Registry.gauge reg key) v in
+          List.iter
+            (fun (mode, r) ->
+              g
+                (Printf.sprintf "scaling.%s.w%d.%s.ops_per_sec" name w mode)
+                r.sr_ops_per_s;
+              g
+                (Printf.sprintf "scaling.%s.w%d.%s.lock_wait_ms" name w mode)
+                r.sr_lock_wait_ms;
+              g
+                (Printf.sprintf "scaling.%s.w%d.%s.contended" name w mode)
+                (float_of_int r.sr_contended))
+            [ ("off", off); ("on", on) ];
+          g (Printf.sprintf "scaling.%s.w%d.shard_gain_pct" name w) gain)
+        worker_counts)
+    workloads;
+  Printf.printf
+    "(acceptance: at 16+ workers the lock-heavy workloads' det lock wait must\n\
+    \ be lower sharded and no workload may regress >10%%; the CI bench-regress\n\
+    \ gate diffs the scaling.*.ops_per_sec gauges against bench/baseline/)\n"
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1096,6 +1342,7 @@ let experiments =
     ("ablation", ablations, "Ablations: proximity, output commit, wake latency");
     ("chaos", chaos, "Chaos campaigns: random fault schedules + divergence checks");
     ("batch", batch, "Batched sync-tuple streaming: traffic with batching off vs on");
+    ("scaling", scaling, "Det-section sharding off vs on: overhead vs worker count");
   ]
 
 let run_all quick =
@@ -1108,6 +1355,7 @@ let run_all quick =
   run_experiment "ablation" ablations quick;
   run_experiment "chaos" chaos quick;
   run_experiment "batch" batch quick;
+  run_experiment "scaling" scaling quick;
   run_experiment "micro" micro quick
 
 let () =

@@ -210,11 +210,15 @@ let direction key =
   else None
 
 let gated key =
-  (* "<engine-index>.batch.<workload>...." *)
+  (* "<engine-index>.batch.<workload>...." or "<engine-index>.scaling...." *)
   match String.index_opt key '.' with
   | Some i ->
       let rest = String.sub key (i + 1) (String.length key - i - 1) in
-      String.length rest >= 6 && String.sub rest 0 6 = "batch."
+      let starts p =
+        String.length rest >= String.length p
+        && String.sub rest 0 (String.length p) = p
+      in
+      starts "batch." || starts "scaling."
   | None -> false
 
 let () =

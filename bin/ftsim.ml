@@ -81,6 +81,16 @@ let batch_config_of window_us bytes =
 
 let batch_t = Term.(const batch_config_of $ batch_window_us_t $ batch_bytes_t)
 
+let det_shard_t =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "det-shard" ] ~docv:"on|off"
+        ~doc:
+          "Per-object channels for deterministic sections (the sharded \
+           replication core).  $(b,off) restores the namespace-global mutex \
+           and total sync-tuple order.")
+
 let metrics_json_t =
   Arg.(
     value & opt (some string) None
@@ -194,8 +204,8 @@ let apply_detail eng detail =
 (* {1 pbzip2} *)
 
 let pbzip2_cmd =
-  let run seed replicated fail_at block_kb file_mb workers batch metrics_json
-      trace_out trace_detail log_level log_filter =
+  let run seed replicated fail_at block_kb file_mb workers batch det_shard
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -219,7 +229,9 @@ let pbzip2_cmd =
           Pbzip2.run ~params api;
           finish api
         in
-        let config = { Cluster.default_config with Cluster.batch } in
+        let config =
+          { Cluster.default_config with Cluster.batch; det_shard }
+        in
         let c = Cluster.create eng ~config ~app () in
         (match fail_at with
         | Some ms -> Cluster.fail_primary c ~at:(Time.ms ms)
@@ -266,14 +278,14 @@ let pbzip2_cmd =
     (Cmd.info "pbzip2" ~doc:"Parallel compression workload (paper §4.1).")
     Term.(
       const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
-      $ workers $ batch_t $ metrics_json_t $ trace_out_t $ trace_detail_t
-      $ log_level_t $ log_filter_t)
+      $ workers $ batch_t $ det_shard_t $ metrics_json_t $ trace_out_t
+      $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 mongoose} *)
 
 let mongoose_cmd =
-  let run seed replicated cpu_us concurrency seconds batch metrics_json
-      trace_out trace_detail log_level log_filter =
+  let run seed replicated cpu_us concurrency seconds batch det_shard
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -287,7 +299,9 @@ let mongoose_cmd =
     let app api = Mongoose.run ~params api in
     let cluster_opt =
       if replicated then
-        let config = { Cluster.default_config with Cluster.batch } in
+        let config =
+          { Cluster.default_config with Cluster.batch; det_shard }
+        in
         Some (Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ())
       else begin
         ignore
@@ -334,8 +348,8 @@ let mongoose_cmd =
     (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
     Term.(
       const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds
-      $ batch_t $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
-      $ log_filter_t)
+      $ batch_t $ det_shard_t $ metrics_json_t $ trace_out_t $ trace_detail_t
+      $ log_level_t $ log_filter_t)
 
 (* {1 failover / fileserver / timeline}
 
@@ -344,7 +358,8 @@ let mongoose_cmd =
    with the failure optional, and [timeline] reads the per-phase failover
    breakdown back out of the event trace. *)
 
-let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~detail () =
+let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard ~detail
+    () =
   let eng = Engine.create ~seed () in
   apply_detail eng detail;
   let link = gbit_link eng in
@@ -359,6 +374,7 @@ let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~detail () =
       Cluster.default_config with
       Cluster.driver_load_time = Time.ms driver_ms;
       batch;
+      det_shard;
     }
   in
   let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
@@ -392,12 +408,12 @@ let file_mb_t =
   Arg.(value & opt int 512 & info [ "file-mb" ] ~docv:"MB" ~doc:"File size.")
 
 let failover_cmd =
-  let run seed file_mb fail_at_ms driver_ms batch metrics_json trace_out
-      trace_detail log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch det_shard metrics_json
+      trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~detail:trace_detail ()
+        ~det_shard ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -418,16 +434,16 @@ let failover_cmd =
        ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ metrics_json_t
+      $ det_shard_t $ metrics_json_t
       $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let fileserver_cmd =
-  let run seed file_mb fail_at_ms driver_ms batch metrics_json trace_out
-      trace_detail log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch det_shard metrics_json
+      trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms ~batch
-        ~detail:trace_detail ()
+        ~det_shard ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -447,16 +463,16 @@ let fileserver_cmd =
           mid-stream primary failure.")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ metrics_json_t
+      $ det_shard_t $ metrics_json_t
       $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let timeline_cmd =
-  let run seed file_mb fail_at_ms driver_ms batch trace_out trace_detail
-      log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch det_shard trace_out
+      trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, _w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~detail:trace_detail ()
+        ~det_shard ~detail:trace_detail ()
     in
     dump_trace eng trace_out;
     let evs = Evlog.events (Engine.evlog eng) in
@@ -513,20 +529,24 @@ let timeline_cmd =
           breakdown (Fig. 8 anatomy) from the event trace.")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ trace_out_t
+      $ det_shard_t $ trace_out_t
       $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 triple} *)
 
 let triple_cmd =
-  let run seed fail_backup_ms fail_primary_ms driver_ms metrics_json trace_out
-      trace_detail log_level log_filter =
+  let run seed fail_backup_ms fail_primary_ms driver_ms det_shard metrics_json
+      trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
     let link = gbit_link eng in
     let config =
-      { Cluster.default_config with Cluster.driver_load_time = Time.ms driver_ms }
+      {
+        Cluster.default_config with
+        Cluster.driver_load_time = Time.ms driver_ms;
+        det_shard;
+      }
     in
     let app (api : Api.t) =
       let l = api.Api.net.listen ~port:80 in
@@ -605,8 +625,8 @@ let triple_cmd =
        ~doc:"Three-replica echo service with optional injected failures (paper 6).")
     Term.(
       const run $ seed_t $ fail_backup $ fail_primary $ driver_ms_t
-      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
-      $ log_filter_t)
+      $ det_shard_t $ metrics_json_t $ trace_out_t $ trace_detail_t
+      $ log_level_t $ log_filter_t)
 
 (* {1 memdump} *)
 
@@ -652,8 +672,8 @@ let memdump_cmd =
 (* {1 chaos} *)
 
 let chaos_cmd =
-  let run root_seed seeds quick workload replicas horizon_ms report repro_trace
-      log_level log_filter =
+  let run root_seed seeds quick workload replicas horizon_ms det_shard report
+      repro_trace log_level log_filter =
     setup_logging log_level log_filter;
     match Chaosrun.workload_of_string workload with
     | Error e ->
@@ -676,13 +696,14 @@ let chaos_cmd =
         in
         Printf.printf
           "chaos campaign: %d schedules, root seed %d, workload %s, %d \
-           replicas\n\
+           replicas, det-shard %s\n\
            %!"
-          seeds root_seed workload replicas;
+          seeds root_seed workload replicas
+          (if det_shard then "on" else "off");
         let rep =
           Chaos.run_campaign ~root_seed ~count:seeds ~replicas ~horizon
             ~workload
-            ~run:(fun s -> Chaosrun.run ~workload:w ~replicas s)
+            ~run:(fun s -> Chaosrun.run ~det_shard ~workload:w ~replicas s)
             ~progress ()
         in
         (match report with
@@ -705,7 +726,7 @@ let chaos_cmd =
             | Some path ->
                 (* Re-run the minimal schedule once to capture its trace. *)
                 ignore
-                  (Chaosrun.run ~workload:w ~replicas
+                  (Chaosrun.run ~det_shard ~workload:w ~replicas
                      ~on_trace:(fun ev ->
                        try
                          Evlog.write_file ev
@@ -791,7 +812,7 @@ let chaos_cmd =
           checker + client-consistency oracle.")
     Term.(
       const run $ root_seed $ seeds $ quick $ workload $ replicas $ horizon_ms
-      $ report $ repro_trace $ log_level_t $ log_filter_t)
+      $ det_shard_t $ report $ repro_trace $ log_level_t $ log_filter_t)
 
 let () =
   let info =

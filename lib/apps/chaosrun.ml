@@ -127,11 +127,14 @@ let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections ~end_
         | Some d ->
             Chaos.V_divergence
               (Printf.sprintf "digest mismatch %s (primary %#x, secondary %#x%s)"
-                 (match d.Digest.in_thread with
-                 | Some pid ->
+                 (match (d.Digest.in_thread, d.Digest.in_channel) with
+                 | Some pid, _ ->
                      Printf.sprintf "in thread %d at syscall %d" pid
                        d.Digest.at_section
-                 | None ->
+                 | None, Some ch ->
+                     Printf.sprintf "in channel %d at section %d" ch
+                       d.Digest.at_section
+                 | None, None ->
                      Printf.sprintf "at section %d" d.Digest.at_section)
                  d.Digest.primary_digest d.Digest.secondary_digest
                  (match d.Digest.after_commit_lsn with
@@ -161,7 +164,7 @@ let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections ~end_
     o_end = end_at;
   }
 
-let run_two ?on_trace ?(mutate = false) ~workload sched =
+let run_two ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
@@ -170,7 +173,7 @@ let run_two ?on_trace ?(mutate = false) ~workload sched =
   let app, mk_oracle = app_and_oracle workload in
   let cluster =
     Cluster.create eng
-      ~config:(fast_config Topology.small)
+      ~config:{ (fast_config Topology.small) with Cluster.det_shard }
       ~link:(Link.endpoint_a link) ~app ()
   in
   if mutate then
@@ -210,7 +213,7 @@ let run_two ?on_trace ?(mutate = false) ~workload sched =
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
 
-let run_three ?on_trace ?(mutate = false) ~workload sched =
+let run_three ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
@@ -218,7 +221,8 @@ let run_three ?on_trace ?(mutate = false) ~workload sched =
   in
   let app, mk_oracle = app_and_oracle workload in
   let tri =
-    Tricluster.create eng ~config:(fast_config small4)
+    Tricluster.create eng
+      ~config:{ (fast_config small4) with Cluster.det_shard }
       ~link:(Link.endpoint_a link) ~app ()
   in
   if mutate then
@@ -260,8 +264,8 @@ let run_three ?on_trace ?(mutate = false) ~workload sched =
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
 
-let run ?on_trace ?mutate ~workload ~replicas sched =
+let run ?on_trace ?mutate ?det_shard ~workload ~replicas sched =
   match replicas with
-  | 2 -> run_two ?on_trace ?mutate ~workload sched
-  | 3 -> run_three ?on_trace ?mutate ~workload sched
+  | 2 -> run_two ?on_trace ?mutate ?det_shard ~workload sched
+  | 3 -> run_three ?on_trace ?mutate ?det_shard ~workload sched
   | n -> invalid_arg (Printf.sprintf "Chaosrun.run: %d replicas" n)

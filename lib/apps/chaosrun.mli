@@ -21,6 +21,7 @@ val workload_to_string : workload -> string
 val run :
   ?on_trace:(Evlog.t -> unit) ->
   ?mutate:bool ->
+  ?det_shard:bool ->
   workload:workload ->
   replicas:int ->
   Chaos.schedule ->
@@ -28,4 +29,6 @@ val run :
 (** [on_trace] receives the run's event log after the verdict is reached
     (used to dump the minimal repro's trace).  [mutate] (testing only)
     makes the secondary skip one sync tuple's digest fold, proving the
-    checker detects a seeded divergence. *)
+    checker detects a seeded divergence.  [det_shard] (default true) selects
+    the per-channel deterministic-section core; [false] restores the
+    namespace-global total order. *)

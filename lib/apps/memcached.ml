@@ -27,14 +27,25 @@ let apply_load layout ~multiplier =
 
 (* {1 Key-value server} *)
 
-type params = { port : int; worker_threads : int }
+type params = { port : int; worker_threads : int; lock_stripes : int }
 
-let default_params = { port = 11211; worker_threads = 8 }
+let default_params = { port = 11211; worker_threads = 8; lock_stripes = 1 }
 
 let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
   let pt = api.Api.pt in
-  let store : (string, string) Hashtbl.t = Hashtbl.create 1024 in
-  let store_lock = Ftsim_kernel.Pthread.mutex_create pt in
+  (* Real memcached stripes its hash table's bucket locks; a stripe count of
+     1 is the old single global store lock.  Each stripe's mutex is its own
+     replicated sync object, so under the sharded det core operations on
+     distinct stripes stream on distinct channels.  [Hashtbl.hash] is
+     deterministic, so both replicas agree on every key's stripe. *)
+  let stripes = max 1 params.lock_stripes in
+  let store : (string, string) Hashtbl.t array =
+    Array.init stripes (fun _ -> Hashtbl.create 1024)
+  in
+  let locks =
+    Array.init stripes (fun _ -> Ftsim_kernel.Pthread.mutex_create pt)
+  in
+  let stripe key = Hashtbl.hash key mod stripes in
   let q : Api.sock Workqueue.t = Workqueue.create pt ~capacity:256 in
   let handle sock =
     (* Accumulate bytes; the protocol is small-string based, so
@@ -94,9 +105,10 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
       | Some line -> (
           match String.split_on_char ' ' line with
           | [ "get"; key ] ->
-              Ftsim_kernel.Pthread.mutex_lock pt store_lock;
-              let v = Hashtbl.find_opt store key in
-              Ftsim_kernel.Pthread.mutex_unlock pt store_lock;
+              let i = stripe key in
+              Ftsim_kernel.Pthread.mutex_lock pt locks.(i);
+              let v = Hashtbl.find_opt store.(i) key in
+              Ftsim_kernel.Pthread.mutex_unlock pt locks.(i);
               (match v with
               | Some v ->
                   reply (Printf.sprintf "VALUE %d\r\n" (String.length v));
@@ -113,9 +125,10 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
                   match take_exact n with
                   | None -> ()
                   | Some v ->
-                      Ftsim_kernel.Pthread.mutex_lock pt store_lock;
-                      Hashtbl.replace store key v;
-                      Ftsim_kernel.Pthread.mutex_unlock pt store_lock;
+                      let i = stripe key in
+                      Ftsim_kernel.Pthread.mutex_lock pt locks.(i);
+                      Hashtbl.replace store.(i) key v;
+                      Ftsim_kernel.Pthread.mutex_unlock pt locks.(i);
                       reply "STORED\r\n";
                       on_op "set";
                       loop ()))

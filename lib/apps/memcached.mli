@@ -26,7 +26,14 @@ val apply_load : Ftsim_kernel.Memlayout.t -> multiplier:int -> unit
 
 (** {1 Key-value server} *)
 
-type params = { port : int; worker_threads : int }
+type params = {
+  port : int;
+  worker_threads : int;
+  lock_stripes : int;
+      (** store-lock stripes (default 1 = one global store mutex); each
+          stripe's mutex is its own replicated sync object, so the sharded
+          det core streams distinct stripes on distinct channels *)
+}
 
 val default_params : params
 

@@ -13,6 +13,7 @@ type config = {
   hb_timeout : Time.t;
   output_commit : bool;
   ack_commit : bool;
+  det_shard : bool;
   driver_load_time : Time.t;
   delta_replay_cost : Time.t;
   batch : Msglayer.batch_config;
@@ -31,6 +32,7 @@ let default_config =
     hb_timeout = Time.ms 60;
     output_commit = true;
     ack_commit = true;
+    det_shard = true;
     driver_load_time = Time.ms 4950;
     delta_replay_cost = Time.us 10;
     batch = Msglayer.default_batch;
@@ -226,15 +228,19 @@ let create eng ?(config = default_config) ?link ~app () =
   in
   let ns_p =
     Namespace.primary kernel_p ~sink:(Msglayer.sink_of_primary ml_p)
-      ?stack:stack_p ~env:config.app_env ~output_commit:config.output_commit
-      ~ack_commit:config.ack_commit ()
+      ?stack:stack_p ~env:config.app_env ~det_shard:config.det_shard
+      ~output_commit:config.output_commit ~ack_commit:config.ack_commit ()
   in
   (* The launch procedure replicates the environment to the secondary so
      both replicas start the application identically (3). *)
-  let ns_s = Namespace.secondary kernel_s ~env:config.app_env () in
+  let ns_s =
+    Namespace.secondary kernel_s ~env:config.app_env
+      ~det_shard:config.det_shard ()
+  in
   let ml_s =
-    Msglayer.create_secondary ~batch:config.batch eng ~inb:duplex.Mailbox.a_to_b
-      ~out:duplex.Mailbox.b_to_a
+    Msglayer.create_secondary ~batch:config.batch
+      ~chan_progress:(fun () -> Namespace.chan_progress ns_s)
+      eng ~inb:duplex.Mailbox.a_to_b ~out:duplex.Mailbox.b_to_a
       ~replay_cost:config.kernel_config.Kernel.wake_latency
       ~delta_cost:config.delta_replay_cost
       ~handler:(fun record -> Namespace.record_handler ns_s record)

@@ -27,6 +27,9 @@ type config = {
   hb_timeout : Time.t;
   output_commit : bool;
   ack_commit : bool;
+  det_shard : bool;
+      (** per-object channels for deterministic sections (default true);
+          [false] restores the namespace-global total order *)
   driver_load_time : Time.t;
   delta_replay_cost : Time.t;
       (** secondary-side cost of absorbing one TCP delta (the

@@ -4,67 +4,140 @@ type role = Primary_role | Secondary_role
 
 type queued_syscall = Q_result of Wire.syscall_result | Q_live
 
+(* Reserved channel ids; {!chan_alloc} hands out ids from 2. *)
+let chan_misc = 0
+let chan_fs = 1
+
+(* Per-channel stream state.  On the primary [ch_mu] serializes sections
+   claiming the channel and [ch_emitted] is the next chan_seq; on the
+   secondary [ch_consumed] is the replay cursor (chan_seqs < ch_consumed
+   have been replayed) and [ch_mu] is only used by live-mode sections after
+   a failover.  The secondary's locally allocated channel ids need not
+   match the primary's: replay gates on the ids carried in tuples, live
+   mode locks the local ids — each use is self-consistent. *)
+type chan_state = {
+  ch_id : int;
+  ch_mu : Sync.Mutex.t;
+  mutable ch_emitted : int;
+  mutable ch_consumed : int;
+  mutable ch_dirty : bool;  (* secondary: cursor advanced since last ack *)
+}
+
+type pending_tuple = {
+  pt_thread_seq : int;
+  pt_chans : (int * int) list;
+  pt_payload : Wire.det_payload;
+}
+
 type thread_ctx = {
   ft_pid : int;
   mutable dseq : int;  (* deterministic-section sequence *)
   mutable sseq : int;  (* syscall sequence (primary) *)
   sys_q : queued_syscall Bqueue.t;  (* secondary: routed results *)
   mutable live_seen : bool;
-}
-
-type pending_tuple = {
-  pt_ft_pid : int;
-  pt_thread_seq : int;
-  pt_payload : Wire.det_payload;
+  tq : pending_tuple Queue.t;  (* secondary: this thread's tuples, FIFO *)
+  mutable in_chans : chan_state list;  (* channels locked by open section *)
+  mutable cur_payload : Wire.det_payload;  (* primary, inside section *)
+  mutable cur_span : Evlog.span option;  (* open "section" span *)
 }
 
 type t = {
   rl : role;
   eng : Engine.t;
-  global : Sync.Mutex.t;
-  mutable gseq : int;
+  shard : bool;  (* false: every section rides channel 0 (old total order) *)
+  chans : (int, chan_state) Hashtbl.t;
+  mutable next_chan : int;
   by_proc : (int, thread_ctx) Hashtbl.t;  (* engine pid -> ctx *)
   by_ftpid : (int, thread_ctx) Hashtbl.t;
   ml : Msglayer.sink option;
   mutable next_ftpid : int;
-  mutable cur_payload : Wire.det_payload;  (* primary, inside section *)
-  pending : (int, pending_tuple) Hashtbl.t;  (* secondary: global_seq -> tuple *)
-  turn_changed : Waitq.t;
+  turn_changed : Waitq.t;  (* secondary: any delivery or cursor advance *)
   mutable live : bool;
+  mutable emitted_total : int;  (* primary: sections appended (the epoch) *)
+  mutable consumed_total : int;  (* secondary: sections replayed *)
+  mutable pending_count : int;  (* secondary: delivered, not yet replayed *)
   ops : Metrics.Counter.t;
-  (* Open "section" span (detail-gated); sections are serialized under
-     [global], so one slot suffices. *)
-  mutable cur_span : Evlog.span option;
+  m_sections : Metrics.Counter.t;
+  m_lock_wait : Metrics.Hist.t;
+  m_cont_misc : Metrics.Counter.t;
+  m_cont_fs : Metrics.Counter.t;
+  m_cont_obj : Metrics.Counter.t;
   mutable dig : Digest.t option;  (* divergence-checker recorder *)
-  mutable skip_fold : int option;  (* testing: global_seq whose digest fold
-                                      the secondary deliberately skips *)
+  mutable skip_fold : int option;  (* testing: Nth replayed section whose
+                                      digest fold the secondary skips *)
 }
 
 let log = Trace.make "ft.det"
 
-let make rl eng ml =
+let make rl ?(shard = true) eng ml =
+  let reg = Engine.metrics eng in
   {
     rl;
     eng;
-    global = Sync.Mutex.create ();
-    gseq = 0;
+    shard;
+    chans = Hashtbl.create 64;
+    next_chan = 2;
     by_proc = Hashtbl.create 64;
     by_ftpid = Hashtbl.create 64;
     ml;
     next_ftpid = 0;
-    cur_payload = Wire.P_plain;
-    pending = Hashtbl.create 64;
     turn_changed = Waitq.create ();
     live = false;
+    emitted_total = 0;
+    consumed_total = 0;
+    pending_count = 0;
     ops = Metrics.Counter.create ();
-    cur_span = None;
+    m_sections = Metrics.Registry.counter reg "det.sections";
+    m_lock_wait = Metrics.Registry.hist reg "det.lock_wait_ns";
+    m_cont_misc = Metrics.Registry.counter reg "det.contended.misc";
+    m_cont_fs = Metrics.Registry.counter reg "det.contended.fs";
+    m_cont_obj = Metrics.Registry.counter reg "det.contended.obj";
     dig = None;
     skip_fold = None;
   }
 
-let create_primary eng ml = make Primary_role eng (Some ml)
-let create_secondary eng = make Secondary_role eng None
+let create_primary ?shard eng ml = make Primary_role ?shard eng (Some ml)
+let create_secondary ?shard eng = make Secondary_role ?shard eng None
 let role t = t.rl
+let sharded t = t.shard
+
+(* {1 Channels} *)
+
+let chan_get t id =
+  match Hashtbl.find_opt t.chans id with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          ch_id = id;
+          ch_mu = Sync.Mutex.create ();
+          ch_emitted = 0;
+          ch_consumed = 0;
+          ch_dirty = false;
+        }
+      in
+      Hashtbl.replace t.chans id st;
+      (* Never re-issue an id first seen in a replayed tuple. *)
+      if id >= t.next_chan then t.next_chan <- id + 1;
+      st
+
+let chan_alloc t =
+  if not t.shard then chan_misc
+  else begin
+    let id = t.next_chan in
+    t.next_chan <- id + 1;
+    ignore (chan_get t id);
+    id
+  end
+
+(* Claim set of a section: ascending, deduped; channel 0 when unsharded. *)
+let norm_chans t chans =
+  if not t.shard then [ chan_misc ] else List.sort_uniq compare chans
+
+let contended_counter t id =
+  if id = chan_misc then t.m_cont_misc
+  else if id = chan_fs then t.m_cont_fs
+  else t.m_cont_obj
 
 (* {1 Divergence digests} *)
 
@@ -72,134 +145,211 @@ let attach_digest t d = t.dig <- Some d
 let digest t = t.dig
 let mutate_skip_digest t ~global_seq = t.skip_fold <- Some global_seq
 
+let ctx_opt t = Hashtbl.find_opt t.by_proc (Engine.pid (Engine.self ()))
+
+let ctx_exn t =
+  match ctx_opt t with
+  | Some c -> c
+  | None -> failwith "Det: calling thread is not registered in the namespace"
+
+(* Channel of the calling thread's open section: the first claimed channel
+   on the primary (and in live mode), the head tuple's first channel during
+   replay — the same id on both replicas. *)
+let cur_chan t =
+  match ctx_opt t with
+  | None -> chan_misc
+  | Some ctx -> (
+      match ctx.in_chans with
+      | st :: _ -> st.ch_id
+      | [] -> (
+          match Queue.peek_opt ctx.tq with
+          | Some { pt_chans = (c, _) :: _; _ } -> c
+          | _ -> chan_misc))
+
 let fold_section t v =
-  match t.dig with None -> () | Some d -> Digest.fold d v
+  match t.dig with
+  | None -> ()
+  | Some d -> Digest.fold_chan d ~chan:(cur_chan t) v
 
 let fold_syscall t v =
   match t.dig with
   | None -> ()
   | Some d -> (
-      match Hashtbl.find_opt t.by_proc (Engine.pid (Engine.self ())) with
+      match ctx_opt t with
       | Some ctx -> Digest.fold_thread d ~ft_pid:ctx.ft_pid v
       | None -> ())
+
+(* {1 Thread identity} *)
 
 let alloc_ftpid t =
   let id = t.next_ftpid in
   t.next_ftpid <- id + 1;
   id
 
+let fresh_ctx ~ft_pid ~live_seen =
+  {
+    ft_pid;
+    dseq = 0;
+    sseq = 0;
+    sys_q = Bqueue.create ();
+    live_seen;
+    tq = Queue.create ();
+    in_chans = [];
+    cur_payload = Wire.P_plain;
+    cur_span = None;
+  }
+
 let register_thread t ~ft_pid =
-  (* Syscall results may have been delivered for this ft_pid before the
-     replayed spawn ran; reuse the eagerly created context in that case. *)
+  (* Records may have been delivered for this ft_pid before the replayed
+     spawn ran; reuse the eagerly created context in that case. *)
   let ctx =
     match Hashtbl.find_opt t.by_ftpid ft_pid with
     | Some ctx -> ctx
-    | None ->
-        {
-          ft_pid;
-          dseq = 0;
-          sseq = 0;
-          sys_q = Bqueue.create ();
-          live_seen = t.live;
-        }
+    | None -> fresh_ctx ~ft_pid ~live_seen:t.live
   in
   Hashtbl.replace t.by_proc (Engine.pid (Engine.self ())) ctx;
   Hashtbl.replace t.by_ftpid ft_pid ctx
 
 let unregister_thread t = Hashtbl.remove t.by_proc (Engine.pid (Engine.self ()))
-
-let ctx_exn t =
-  match Hashtbl.find_opt t.by_proc (Engine.pid (Engine.self ())) with
-  | Some c -> c
-  | None -> failwith "Det: calling thread is not registered in the namespace"
-
 let current_ftpid t = (ctx_exn t).ft_pid
 
 (* {1 Deterministic sections} *)
 
-let section_begin t =
+let tuple_args ~ft_pid ~thread_seq ~chans =
+  let base =
+    [ ("ft_pid", Evlog.Int ft_pid); ("thread_seq", Evlog.Int thread_seq) ]
+  in
+  let rec go i = function
+    | [] -> []
+    | (c, s) :: rest ->
+        let suf = if i = 0 then "" else string_of_int (i + 1) in
+        ("channel" ^ suf, Evlog.Int c)
+        :: ("chan_seq" ^ suf, Evlog.Int s)
+        :: go (i + 1) rest
+  in
+  base @ go 0 chans
+
+let section_begin t ctx chan =
   let ev = Engine.evlog t.eng in
   if Evlog.detail ev then
-    t.cur_span <-
+    ctx.cur_span <-
       Some
         (Evlog.span_begin ev ~comp:"ft.det" "section"
-           ~args:[ ("global_seq", Evlog.Int t.gseq) ])
+           ~args:
+             [ ("ft_pid", Evlog.Int ctx.ft_pid); ("channel", Evlog.Int chan) ])
 
-let section_end t =
-  match t.cur_span with
+let section_end t ctx =
+  match ctx.cur_span with
   | Some sp ->
-      t.cur_span <- None;
+      ctx.cur_span <- None;
       Evlog.span_end (Engine.evlog t.eng) sp
   | None -> ()
 
-let det_start_primary t =
-  Sync.Mutex.lock t.global;
-  section_begin t;
-  t.cur_payload <- Wire.P_plain
+(* Lock a section's claim set.  The ascending order is globally consistent,
+   so multi-channel sections (condvar waits) cannot deadlock against each
+   other. *)
+let lock_chans t ctx sts =
+  let t0 = Engine.now t.eng in
+  List.iter
+    (fun st ->
+      if Sync.Mutex.is_locked st.ch_mu then
+        Metrics.Counter.incr (contended_counter t st.ch_id);
+      Sync.Mutex.lock st.ch_mu)
+    sts;
+  Metrics.Hist.record t.m_lock_wait (float_of_int (Engine.now t.eng - t0));
+  ctx.in_chans <- sts
+
+let unlock_chans ctx =
+  let sts = ctx.in_chans in
+  ctx.in_chans <- [];
+  List.iter (fun st -> Sync.Mutex.unlock st.ch_mu) sts
+
+let det_start_primary t ~chans =
+  let ctx = ctx_exn t in
+  lock_chans t ctx (List.map (chan_get t) (norm_chans t chans));
+  ctx.cur_payload <- Wire.P_plain;
+  section_begin t ctx (cur_chan t)
 
 let det_end_primary t =
   let ctx = ctx_exn t in
+  (* The commit point: chan_seqs are assigned while every claimed channel
+     is still locked, so each channel's sequence order is exactly its
+     append (LSN) order — the property failover's per-channel gapless
+     prefix relies on. *)
+  let pairs =
+    List.map
+      (fun st ->
+        let s = st.ch_emitted in
+        st.ch_emitted <- s + 1;
+        (st.ch_id, s))
+      ctx.in_chans
+  in
   let record =
     Wire.Sync_tuple
       {
         ft_pid = ctx.ft_pid;
         thread_seq = ctx.dseq;
-        global_seq = t.gseq;
-        payload = t.cur_payload;
+        chans = pairs;
+        payload = ctx.cur_payload;
       }
   in
   Evlog.emit (Engine.evlog t.eng) ~comp:"ft.det" "tuple.emit"
-    ~args:
-      [
-        ("ft_pid", Evlog.Int ctx.ft_pid);
-        ("thread_seq", Evlog.Int ctx.dseq);
-        ("global_seq", Evlog.Int t.gseq);
-      ];
+    ~args:(tuple_args ~ft_pid:ctx.ft_pid ~thread_seq:ctx.dseq ~chans:pairs);
   (match t.dig with
   | Some d ->
       Digest.section_end d ~ft_pid:ctx.ft_pid ~thread_seq:ctx.dseq
-        ~global_seq:t.gseq ~payload:t.cur_payload
+        ~chans:pairs ~payload:ctx.cur_payload
   | None -> ());
   ctx.dseq <- ctx.dseq + 1;
-  t.gseq <- t.gseq + 1;
+  t.emitted_total <- t.emitted_total + 1;
   Metrics.Counter.incr t.ops;
+  Metrics.Counter.incr t.m_sections;
   (* With batching the append usually just stages the tuple; when a flush
      threshold trips here it may block on mailbox backpressure while the
-     global mutex is held — precisely how the secondary's replay speed
-     throttles the primary's sustained throughput, now at frame rather
-     than record granularity.  Emission order still equals global_seq
-     order because LSNs are assigned at stage time under this mutex. *)
+     claimed channel locks are held — throttling only sections that share a
+     channel, while independent channels keep running.  Per-channel
+     emission order still equals chan_seq order because LSNs are assigned
+     at stage time under these locks. *)
   (match t.ml with
   | Some sink -> ignore (sink.Msglayer.sink_append record)
   | None -> ());
-  section_end t;
-  Sync.Mutex.unlock t.global
+  section_end t ctx;
+  unlock_chans ctx
 
-let turn_matches t ctx =
-  match Hashtbl.find_opt t.pending t.gseq with
-  | Some pt -> pt.pt_ft_pid = ctx.ft_pid
+(* A thread's next tuple is runnable once every channel it claims has
+   consumed exactly the tuple's chan_seq predecessors.  chan_seqs were
+   assigned atomically at the primary's commit points, so the per-channel
+   orders embed into one global order and this gating cannot cycle. *)
+let head_runnable t ctx =
+  match Queue.peek_opt ctx.tq with
   | None -> false
+  | Some pt ->
+      List.for_all (fun (c, s) -> (chan_get t c).ch_consumed = s) pt.pt_chans
 
-let det_start_secondary t =
+let det_start_live t ctx ~chans =
+  ctx.live_seen <- true;
+  lock_chans t ctx (List.map (chan_get t) (norm_chans t chans));
+  section_begin t ctx (cur_chan t)
+
+let det_start_secondary t ~chans =
   let ctx = ctx_exn t in
-  if t.live || ctx.live_seen then begin
-    ctx.live_seen <- true;
-    Sync.Mutex.lock t.global;
-    section_begin t
-  end
+  if t.live || ctx.live_seen then det_start_live t ctx ~chans
   else begin
     let rec wait () =
       if t.live then ctx.live_seen <- true
-      else if not (turn_matches t ctx) then begin
+      else if not (head_runnable t ctx) then begin
         ignore (Sync.wait_on t.turn_changed);
         wait ()
       end
     in
     wait ();
-    Sync.Mutex.lock t.global;
-    section_begin t;
-    if not ctx.live_seen then begin
-      let pt = Hashtbl.find t.pending t.gseq in
+    if ctx.live_seen then det_start_live t ctx ~chans
+    else begin
+      (* Replay mode: the gate above is the only serialization a replayed
+         section needs — its body has no suspension points, so no other
+         section can interleave before [det_end] advances the cursors. *)
+      section_begin t ctx (cur_chan t);
+      let pt = Queue.peek ctx.tq in
       if pt.pt_thread_seq <> ctx.dseq then
         Trace.errorf log ~eng:t.eng
           "replay divergence: ft_pid %d expected thread_seq %d, log has %d"
@@ -209,50 +359,62 @@ let det_start_secondary t =
 
 let det_end_secondary t =
   let ctx = ctx_exn t in
-  if not ctx.live_seen then begin
-    (match (t.dig, Hashtbl.find_opt t.pending t.gseq) with
-    | Some d, Some pt when t.skip_fold <> Some t.gseq ->
+  if ctx.live_seen then begin
+    ctx.dseq <- ctx.dseq + 1;
+    Metrics.Counter.incr t.ops;
+    Metrics.Counter.incr t.m_sections;
+    section_end t ctx;
+    unlock_chans ctx
+  end
+  else begin
+    let pt = Queue.pop ctx.tq in
+    t.pending_count <- t.pending_count - 1;
+    (match t.dig with
+    | Some d when t.skip_fold <> Some t.consumed_total ->
         Digest.section_end d ~ft_pid:ctx.ft_pid ~thread_seq:ctx.dseq
-          ~global_seq:t.gseq ~payload:pt.pt_payload
+          ~chans:pt.pt_chans ~payload:pt.pt_payload
     | _ -> ());
-    Hashtbl.remove t.pending t.gseq;
     Evlog.emit (Engine.evlog t.eng) ~comp:"ft.det" "tuple.consume"
       ~args:
-        [
-          ("ft_pid", Evlog.Int ctx.ft_pid);
-          ("thread_seq", Evlog.Int ctx.dseq);
-          ("global_seq", Evlog.Int t.gseq);
-        ]
-  end;
-  ctx.dseq <- ctx.dseq + 1;
-  t.gseq <- t.gseq + 1;
-  Metrics.Counter.incr t.ops;
-  section_end t;
-  Sync.Mutex.unlock t.global;
-  ignore (Waitq.wake_all t.turn_changed)
+        (tuple_args ~ft_pid:ctx.ft_pid ~thread_seq:ctx.dseq ~chans:pt.pt_chans);
+    List.iter
+      (fun (c, s) ->
+        let st = chan_get t c in
+        st.ch_consumed <- s + 1;
+        st.ch_dirty <- true)
+      pt.pt_chans;
+    t.consumed_total <- t.consumed_total + 1;
+    ctx.dseq <- ctx.dseq + 1;
+    Metrics.Counter.incr t.ops;
+    Metrics.Counter.incr t.m_sections;
+    section_end t ctx;
+    ignore (Waitq.wake_all t.turn_changed)
+  end
 
-let det_start t =
+let det_start t ~chans =
   match t.rl with
-  | Primary_role -> det_start_primary t
-  | Secondary_role -> det_start_secondary t
+  | Primary_role -> det_start_primary t ~chans
+  | Secondary_role -> det_start_secondary t ~chans
 
 let det_end t =
   match t.rl with
   | Primary_role -> det_end_primary t
   | Secondary_role -> det_end_secondary t
 
-let set_payload t p = t.cur_payload <- p
+let set_payload t p = (ctx_exn t).cur_payload <- p
 
 let payload_at_turn t =
-  match Hashtbl.find_opt t.pending t.gseq with
+  match Queue.peek_opt (ctx_exn t).tq with
   | Some pt -> pt.pt_payload
   | None -> Wire.P_plain
 
 let pthread_hooks t =
   {
     Ftsim_kernel.Pthread.is_replica = (t.rl = Secondary_role && not t.live);
-    det_start = (fun () -> det_start t);
+    chan_alloc = (fun () -> chan_alloc t);
+    det_start = (fun ~chans -> det_start t ~chans);
     det_end = (fun () -> det_end t);
+    defer_wakes = (t.rl = Primary_role && t.shard);
     record_timed_outcome =
       (fun ~timed_out -> set_payload t (Wire.P_timed_outcome timed_out));
     replay_timed_outcome =
@@ -269,35 +431,42 @@ let pthread_hooks t =
 
 (* {1 Secondary delivery} *)
 
-let deliver_tuple t ~ft_pid ~thread_seq ~global_seq ~payload =
+let ctx_for_delivery t ft_pid =
+  match Hashtbl.find_opt t.by_ftpid ft_pid with
+  | Some ctx -> ctx
+  | None ->
+      (* The thread will register when its spawn replays; until then its
+         queues must exist.  Create the context eagerly. *)
+      let ctx = fresh_ctx ~ft_pid ~live_seen:false in
+      Hashtbl.replace t.by_ftpid ft_pid ctx;
+      ctx
+
+let deliver_tuple t ~ft_pid ~thread_seq ~chans ~payload =
   Evlog.emit (Engine.evlog t.eng) ~comp:"ft.det" "tuple.deliver"
-    ~args:
-      [
-        ("ft_pid", Evlog.Int ft_pid);
-        ("thread_seq", Evlog.Int thread_seq);
-        ("global_seq", Evlog.Int global_seq);
-      ];
-  Hashtbl.replace t.pending global_seq
-    { pt_ft_pid = ft_pid; pt_thread_seq = thread_seq; pt_payload = payload };
+    ~args:(tuple_args ~ft_pid ~thread_seq ~chans);
+  let ctx = ctx_for_delivery t ft_pid in
+  Queue.add
+    { pt_thread_seq = thread_seq; pt_chans = chans; pt_payload = payload }
+    ctx.tq;
+  t.pending_count <- t.pending_count + 1;
   ignore (Waitq.wake_all t.turn_changed)
 
 let deliver_syscall t ~ft_pid ~result =
-  match Hashtbl.find_opt t.by_ftpid ft_pid with
-  | Some ctx -> Bqueue.put ctx.sys_q (Q_result result)
-  | None ->
-      (* The thread will register when its spawn replays; until then the
-         queue must exist.  Create the context eagerly. *)
-      let ctx =
-        {
-          ft_pid;
-          dseq = 0;
-          sseq = 0;
-          sys_q = Bqueue.create ();
-          live_seen = false;
-        }
-      in
-      Hashtbl.replace t.by_ftpid ft_pid ctx;
-      Bqueue.put ctx.sys_q (Q_result result)
+  Bqueue.put (ctx_for_delivery t ft_pid).sys_q (Q_result result)
+
+(* Cumulative per-channel replay cursors for channels that advanced since
+   the last call; piggybacked on acks so the primary can observe each
+   channel's replay depth. *)
+let chan_progress t =
+  Hashtbl.fold
+    (fun _ st acc ->
+      if st.ch_dirty then begin
+        st.ch_dirty <- false;
+        (st.ch_id, st.ch_consumed) :: acc
+      end
+      else acc)
+    t.chans []
+  |> List.sort compare
 
 (* {1 Syscall streams} *)
 
@@ -343,10 +512,14 @@ let go_live t =
 let is_live t = t.live
 
 let replay_idle t =
-  Hashtbl.length t.pending = 0
+  t.pending_count = 0
   && Hashtbl.fold (fun _ ctx acc -> acc && Bqueue.is_empty ctx.sys_q) t.by_ftpid true
 
 (* {1 Introspection} *)
 
-let global_seq t = t.gseq
+let global_seq t =
+  match t.rl with
+  | Primary_role -> t.emitted_total
+  | Secondary_role -> t.consumed_total
+
 let det_ops t = Metrics.Counter.value t.ops

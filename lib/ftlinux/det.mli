@@ -1,18 +1,28 @@
 (** Deterministic sections and per-thread syscall-result streams.
 
-    This is the paper's [__det_start]/[__det_end] machinery (§3.3, Fig. 3).
-    On the primary, every deterministic section serializes under a
-    namespace-global mutex; at [det_end] a <Seq_thread, Seq_global, ft_pid>
-    tuple (optionally carrying a logged value) is streamed to the secondary.
-    On the secondary, [det_start] blocks until the replayed global sequence
-    reaches this thread's next tuple — reproducing the primary's total order
-    of synchronization operations, while system-call results replay in
-    per-thread FIFO order only (the partially ordered log that preserves
-    parallelism).
+    This is the paper's [__det_start]/[__det_end] machinery (§3.3, Fig. 3),
+    sharded: instead of one namespace-global mutex and total order, every
+    replicated sync object lives on a {e channel} and sections claiming
+    disjoint channels run concurrently on the primary.  At [det_end] a
+    <Seq_thread, ft_pid, (channel, Seq_channel)…> tuple (optionally
+    carrying a logged value) is streamed to the secondary; chan_seqs are
+    assigned while every claimed channel is still locked, so each channel's
+    sequence order equals its append order.  On the secondary, [det_start]
+    blocks until the calling thread's next logged tuple is at the head of
+    its per-thread queue {e and} every channel the tuple claims has reached
+    the tuple's chan_seq — reproducing the primary's per-channel and
+    per-thread orders (a partial order that preserves parallelism), while
+    system-call results replay in per-thread FIFO order.  With sharding off
+    ([shard = false], or the [chan_alloc] hook unsharded) every section
+    rides channel 0 and the scheme collapses to the old total order.
+
+    Reserved channels: {!chan_misc} (0) carries thread spawns and other
+    namespace-global sections; {!chan_fs} (1) carries file-system sections;
+    {!chan_alloc} issues ids from 2 for pthread objects.
 
     After a failover the engine is switched {e live}: replay gates open,
-    remaining in-flight operations execute directly, and the global mutex
-    degrades to plain mutual exclusion. *)
+    remaining in-flight operations execute directly, and the channel
+    mutexes degrade to plain mutual exclusion. *)
 
 open Ftsim_sim
 
@@ -20,9 +30,22 @@ type role = Primary_role | Secondary_role
 
 type t
 
-val create_primary : Engine.t -> Msglayer.sink -> t
-val create_secondary : Engine.t -> t
+val create_primary : ?shard:bool -> Engine.t -> Msglayer.sink -> t
+(** [shard] defaults to [true]; [false] restores the namespace-global total
+    order (every section claims channel 0). *)
+
+val create_secondary : ?shard:bool -> Engine.t -> t
+
 val role : t -> role
+val sharded : t -> bool
+
+(** {1 Channels} *)
+
+val chan_misc : int
+val chan_fs : int
+
+val chan_alloc : t -> int
+(** Fresh channel id for a new sync object (0 when unsharded). *)
 
 (** {1 Thread identity} *)
 
@@ -40,7 +63,11 @@ val current_ftpid : t -> int
 
 (** {1 Deterministic sections} *)
 
-val det_start : t -> unit
+val det_start : t -> chans:int list -> unit
+(** Begin a section claiming [chans] (deduped and sorted internally; locks
+    are taken in ascending order, so multi-channel sections cannot
+    deadlock). *)
+
 val det_end : t -> unit
 
 val set_payload : t -> Wire.det_payload -> unit
@@ -64,24 +91,36 @@ val attach_digest : t -> Digest.t -> unit
 val digest : t -> Digest.t option
 
 val fold_section : t -> int -> unit
-(** Mix a value into the global digest; call only between [det_start] and
-    [det_end] (the value is then totally ordered across replicas). *)
+(** Mix a value into the current section's first claimed channel's digest;
+    call only between [det_start] and [det_end] (the value is then totally
+    ordered across replicas within that channel's stream). *)
 
 val fold_syscall : t -> int -> unit
 (** Mix a value into the calling thread's per-thread digest (per-thread
     FIFO syscall points).  No-op if the thread is unregistered. *)
 
 val mutate_skip_digest : t -> global_seq:int -> unit
-(** Testing only: make the secondary skip the digest fold for the section
-    with this global sequence number while still replaying it — a seeded
+(** Testing only: make the secondary skip the digest fold for its
+    [global_seq]-th replayed section while still replaying it — a seeded
     divergence the checker must flag at the next boundary. *)
 
 (** {1 Secondary record delivery} *)
 
 val deliver_tuple :
-  t -> ft_pid:int -> thread_seq:int -> global_seq:int -> payload:Wire.det_payload -> unit
+  t ->
+  ft_pid:int ->
+  thread_seq:int ->
+  chans:(int * int) list ->
+  payload:Wire.det_payload ->
+  unit
 
 val deliver_syscall : t -> ft_pid:int -> result:Wire.syscall_result -> unit
+
+val chan_progress : t -> (int * int) list
+(** Secondary: cumulative [(channel, consumed)] replay cursors for channels
+    that advanced since the last call, ascending; the dirty marks are
+    cleared, so each call reports only fresh progress (piggybacked on
+    acks). *)
 
 (** {1 Per-thread syscall streams} *)
 
@@ -110,5 +149,8 @@ val replay_idle : t -> bool
 (** {1 Introspection} *)
 
 val global_seq : t -> int
+(** Sections emitted (primary) or replayed (secondary) so far — the epoch;
+    no longer a wire-visible sequence under sharding. *)
+
 val det_ops : t -> int
 (** Total deterministic sections completed. *)

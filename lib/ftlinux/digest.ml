@@ -19,22 +19,34 @@ type tstate = {
   mutable tsealed : int option;  (* comparable fold count *)
 }
 
+(* Per-channel recorder: rolling digest over the channel's section stream.
+   A channel's sections are totally ordered across replicas (chan_seq
+   order), so the two replicas' per-channel fold sequences compare
+   elementwise even though the global interleaving of sections differs.
+   Each snapshot also notes the recorder-wide section count (the epoch) at
+   the fold, so a primary-side divergence can be attributed to the last
+   output commit at or before it. *)
+type cstate = {
+  mutable cd : int;
+  mutable ccount : int;  (* sections folded into this channel *)
+  mutable csnaps : (int * int * int) list;
+      (* (fold index, digest, epoch), newest first *)
+  mutable cnsnaps : int;
+  mutable csealed : int option;  (* comparable fold count *)
+}
+
 type t = {
-  mutable global : int;
+  chans : (int, cstate) Hashtbl.t;
   threads : (int, tstate) Hashtbl.t;
-  mutable snaps : snapshot list;
-  mutable nsnaps : int;
-  mutable nsections : int;
-  mutable commits : (int * int) list;  (* (section, lsn), newest first *)
+  mutable nsections : int;  (* total sections digested (the epoch) *)
+  mutable commits : (int * int) list;  (* (epoch, lsn), newest first *)
   mutable sealed_at : int option;  (* comparable section count *)
 }
 
 let create () =
   {
-    global = 0x5eed;
+    chans = Hashtbl.create 16;
     threads = Hashtbl.create 16;
-    snaps = [];
-    nsnaps = 0;
     nsections = 0;
     commits = [];
     sealed_at = None;
@@ -46,7 +58,29 @@ let mix h v =
   let h = (h lxor (h lsr 29)) * 0x9E3779B97F4A7C1 in
   h lxor (h lsr 32)
 
-let fold t v = t.global <- mix t.global v
+let chan_state t ch =
+  match Hashtbl.find_opt t.chans ch with
+  | Some cs -> cs
+  | None ->
+      let cs =
+        {
+          cd = mix 0x5eed ch;
+          ccount = 0;
+          csnaps = [];
+          cnsnaps = 0;
+          (* A channel first seen after go-live carries only live execution:
+             nothing of it is comparable. *)
+          csealed = (if t.sealed_at = None then None else Some 0);
+        }
+      in
+      Hashtbl.replace t.chans ch cs;
+      cs
+
+let fold_chan t ~chan v =
+  let cs = chan_state t chan in
+  cs.cd <- mix cs.cd v
+
+let fold t v = fold_chan t ~chan:0 v
 
 let fold_string t s =
   fold t (Payload.stream_hash 0x517 [ Payload.of_string s ])
@@ -86,17 +120,24 @@ let hash_payload = function
   | Wire.P_thread_spawn p -> mix 3 p
   | Wire.P_fs_read_len n -> mix 4 n
 
-let section_end t ~ft_pid ~thread_seq ~global_seq ~payload =
-  fold t global_seq;
-  fold t ft_pid;
-  fold t thread_seq;
-  fold t (hash_payload payload);
-  fold t (thread_digest t ~ft_pid);
+let section_end t ~ft_pid ~thread_seq ~chans ~payload =
   t.nsections <- t.nsections + 1;
-  if t.nsnaps < snap_cap then begin
-    t.snaps <- { snap_section = t.nsections; snap_digest = t.global } :: t.snaps;
-    t.nsnaps <- t.nsnaps + 1
-  end
+  let pv = hash_payload payload in
+  let tdv = thread_digest t ~ft_pid in
+  List.iter
+    (fun (ch, chan_seq) ->
+      let cs = chan_state t ch in
+      cs.cd <- mix cs.cd chan_seq;
+      cs.cd <- mix cs.cd ft_pid;
+      cs.cd <- mix cs.cd thread_seq;
+      cs.cd <- mix cs.cd pv;
+      cs.cd <- mix cs.cd tdv;
+      cs.ccount <- cs.ccount + 1;
+      if cs.cnsnaps < snap_cap then begin
+        cs.csnaps <- (cs.ccount, cs.cd, t.nsections) :: cs.csnaps;
+        cs.cnsnaps <- cs.cnsnaps + 1
+      end)
+    chans
 
 let mark_commit t ~lsn = t.commits <- (t.nsections, lsn) :: t.commits
 let commit_marks t = List.rev t.commits
@@ -105,20 +146,42 @@ let seal t =
   if t.sealed_at = None then begin
     t.sealed_at <- Some t.nsections;
     Hashtbl.iter
+      (fun _ cs -> if cs.csealed = None then cs.csealed <- Some cs.ccount)
+      t.chans;
+    Hashtbl.iter
       (fun _ ts -> if ts.tsealed = None then ts.tsealed <- Some ts.tcount)
       t.threads
   end
 
 let sealed t = t.sealed_at <> None
 let sections t = t.nsections
-let truncated t = t.nsections > t.nsnaps
+
+let truncated t =
+  Hashtbl.fold (fun _ cs acc -> acc || cs.ccount > cs.cnsnaps) t.chans false
+
+let comparable_chan cs =
+  let upto = match cs.csealed with Some n -> n | None -> max_int in
+  List.filter (fun (c, _, _) -> c <= upto) cs.csnaps |> List.rev
 
 let comparable t =
-  let upto = match t.sealed_at with Some n -> n | None -> max_int in
-  List.rev (List.filter (fun s -> s.snap_section <= upto) t.snaps)
+  Hashtbl.fold
+    (fun ch cs acc ->
+      ( ch,
+        List.map
+          (fun (c, d, _) -> { snap_section = c; snap_digest = d })
+          (comparable_chan cs) )
+      :: acc)
+    t.chans []
+  |> List.sort compare
 
 let value t =
-  let h = ref t.global in
+  let h = ref 0x5eed in
+  let chs = Hashtbl.fold (fun k _ acc -> k :: acc) t.chans [] in
+  List.iter
+    (fun ch ->
+      h := mix !h ch;
+      h := mix !h (chan_state t ch).cd)
+    (List.sort compare chs);
   let pids = Hashtbl.fold (fun k _ acc -> k :: acc) t.threads [] in
   List.iter
     (fun p ->
@@ -129,6 +192,7 @@ let value t =
 
 type divergence = {
   at_section : int;
+  in_channel : int option;
   in_thread : int option;
   primary_digest : int;
   secondary_digest : int;
@@ -139,42 +203,52 @@ let comparable_thread ts =
   let upto = match ts.tsealed with Some n -> n | None -> max_int in
   List.rev (List.filter (fun (c, _) -> c <= upto) ts.tsnaps)
 
-let compare_sections ~primary ~secondary =
-  let rec walk ps ss =
+(* Every channel's fold sequence is totally ordered across replicas, so
+   shared channels compare elementwise.  Among the per-channel first
+   mismatches, report the one the primary digested earliest (smallest
+   epoch), attributed to the last output commit at or before it. *)
+let compare_channels ~primary ~secondary =
+  let chs =
+    Hashtbl.fold (fun ch _ acc -> ch :: acc) primary.chans []
+    |> List.filter (fun ch -> Hashtbl.mem secondary.chans ch)
+    |> List.sort compare
+  in
+  let rec walk_chan ch ps ss =
     match (ps, ss) with
-    | p :: ps', s :: ss' ->
-        if p.snap_section <> s.snap_section then
-          (* Snapshot numbering is the section count on each side; a skew
-             means one replica digested a section the other never saw —
-             report at the earlier index. *)
-          Some
-            {
-              at_section = min p.snap_section s.snap_section;
-              in_thread = None;
-              primary_digest = p.snap_digest;
-              secondary_digest = s.snap_digest;
-              after_commit_lsn = None;
-            }
-        else if p.snap_digest <> s.snap_digest then
+    | (pc, pd, pepoch) :: ps', (_, sd, _) :: ss' ->
+        if pd <> sd then
           let lsn =
             List.fold_left
-              (fun acc (sec, lsn) ->
-                if sec <= p.snap_section then Some lsn else acc)
+              (fun acc (epoch, lsn) -> if epoch <= pepoch then Some lsn else acc)
               None
               (commit_marks primary)
           in
           Some
-            {
-              at_section = p.snap_section;
-              in_thread = None;
-              primary_digest = p.snap_digest;
-              secondary_digest = s.snap_digest;
-              after_commit_lsn = lsn;
-            }
-        else walk ps' ss'
+            ( pepoch,
+              {
+                at_section = pc;
+                in_channel = Some ch;
+                in_thread = None;
+                primary_digest = pd;
+                secondary_digest = sd;
+                after_commit_lsn = lsn;
+              } )
+        else walk_chan ch ps' ss'
     | _, [] | [], _ -> None
   in
-  walk (comparable primary) (comparable secondary)
+  List.fold_left
+    (fun acc ch ->
+      let cand =
+        walk_chan ch
+          (comparable_chan (chan_state primary ch))
+          (comparable_chan (chan_state secondary ch))
+      in
+      match (acc, cand) with
+      | None, c -> c
+      | Some _, None -> acc
+      | Some (e0, _), Some (e1, _) -> if e1 < e0 then cand else acc)
+    None chs
+  |> Option.map snd
 
 (* A thread's syscall results replay in per-thread FIFO order, so for every
    ft_pid the two replicas' fold sequences must agree elementwise over the
@@ -193,6 +267,7 @@ let compare_threads ~primary ~secondary =
           Some
             {
               at_section = pc;
+              in_channel = None;
               in_thread = Some pid;
               primary_digest = pd;
               secondary_digest = sd;
@@ -212,11 +287,13 @@ let compare_threads ~primary ~secondary =
     None pids
 
 let compare_replicas ~primary ~secondary =
-  match compare_sections ~primary ~secondary with
+  match compare_channels ~primary ~secondary with
   | Some d -> Some d
   | None -> compare_threads ~primary ~secondary
 
 let thread_folds t ~ft_pid = (thread_state t ft_pid).tcount
+let chan_folds t ~chan = (chan_state t chan).ccount
 
 let comparison_points t =
-  Hashtbl.fold (fun _ ts acc -> acc + ts.tcount) t.threads t.nsections
+  Hashtbl.fold (fun _ cs acc -> acc + cs.ccount) t.chans 0
+  + Hashtbl.fold (fun _ ts acc -> acc + ts.tcount) t.threads 0

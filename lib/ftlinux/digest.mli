@@ -5,27 +5,31 @@
     hashes, snapshotting after every deterministic section so the two
     replicas' digest {e sequences} can be compared index-by-index.
 
-    Soundness rests on the paper's ordering guarantees (§3.3): only
-    deterministic sections are totally ordered across replicas, while
-    system-call results replay in per-thread FIFO order.  So the recorder
-    keeps
+    Soundness rests on the sharded core's ordering guarantees (§3.3, plus
+    the per-channel refinement): sections on one {e channel} are totally
+    ordered across replicas (chan_seq order), sections on distinct channels
+    may interleave differently, and system-call results replay in
+    per-thread FIFO order.  So the recorder keeps
 
-    - a {b global digest}, mutated only inside deterministic sections
-      (under the namespace-global mutex / the secondary's turn gate), and
+    - a {b per-channel digest} per channel id, mutated only inside
+      deterministic sections claiming that channel (under the channel
+      mutex / the secondary's per-channel replay gate), and
     - a {b per-thread digest} per ft_pid, folded at each net/time syscall.
 
-    At every [det_end] the section header (global_seq, ft_pid, thread_seq,
+    At every [det_end] the section header (chan_seq, ft_pid, thread_seq,
     payload) {e and the ending thread's current per-thread digest} are
-    folded into the global digest, then a snapshot [(section, digest)] is
-    recorded.  Because a thread's program order is identical on both
-    replicas, its per-thread digest at a given section is comparable even
-    though other threads' syscalls interleave differently.
+    folded into each claimed channel's digest, then a per-channel snapshot
+    [(fold index, digest)] is recorded.  Because a thread's program order
+    is identical on both replicas, its per-thread digest at a given section
+    is comparable even though other threads' syscalls interleave
+    differently.  With sharding off every section rides channel 0 and the
+    scheme degenerates to the old single totally-ordered stream.
 
     After a failover the secondary {!seal}s its recorder at go-live: later
     snapshots reflect live (non-replayed) execution and are excluded from
     comparison.  Output-commit instants are recorded as {!mark_commit}
-    marks so a divergence can be reported relative to the last committed
-    boundary. *)
+    marks against the recorder-wide section count (the {e epoch}), so a
+    divergence can be reported relative to the last committed boundary. *)
 
 type t
 
@@ -40,8 +44,14 @@ val mix : int -> int -> int
     callers that pre-combine values before folding. *)
 
 val fold : t -> int -> unit
-(** Mix a value into the global digest.  Call only at points that are
-    totally ordered across replicas (inside a deterministic section). *)
+(** Mix a value into channel 0's digest.  Call only at points that are
+    totally ordered across replicas (namespace setup, or inside a
+    deterministic section on the misc channel). *)
+
+val fold_chan : t -> chan:int -> int -> unit
+(** Mix a value into one channel's digest.  Call only inside a
+    deterministic section that claims [chan] (the value is then totally
+    ordered across replicas within that channel's stream). *)
 
 val fold_string : t -> string -> unit
 
@@ -54,17 +64,24 @@ val thread_digest : t -> ft_pid:int -> int
 val hash_payload : Wire.det_payload -> int
 
 val section_end :
-  t -> ft_pid:int -> thread_seq:int -> global_seq:int -> payload:Wire.det_payload -> unit
+  t ->
+  ft_pid:int ->
+  thread_seq:int ->
+  chans:(int * int) list ->
+  payload:Wire.det_payload ->
+  unit
 (** The [det_end] tap: folds the section header and the ending thread's
-    per-thread digest into the global digest, then snapshots. *)
+    per-thread digest into each claimed channel's digest ([chans] are the
+    tuple's (channel, chan_seq) pairs), then snapshots each stream. *)
 
 (** {1 Boundaries} *)
 
 val mark_commit : t -> lsn:int -> unit
-(** Record an output-commit boundary at the current section count. *)
+(** Record an output-commit boundary at the current epoch (total sections
+    digested). *)
 
 val commit_marks : t -> (int * int) list
-(** [(section, lsn)] marks, oldest first. *)
+(** [(epoch, lsn)] marks, oldest first. *)
 
 val seal : t -> unit
 (** Stop the comparable region (secondary go-live): snapshots taken after
@@ -75,44 +92,54 @@ val sealed : t -> bool
 (** {1 Comparison} *)
 
 val sections : t -> int
-(** Snapshots recorded so far (= deterministic sections digested). *)
+(** Total deterministic sections digested (the epoch). *)
 
-val comparable : t -> snapshot list
-(** Snapshots in the comparable region, oldest first.  Bounded: beyond an
-    internal cap only the rolling digest keeps advancing; [truncated]
-    reports whether the cap was hit. *)
+val comparable : t -> (int * snapshot list) list
+(** Per-channel snapshots in the comparable region, channels in id order,
+    each stream oldest first.  Bounded: beyond an internal per-channel cap
+    only the rolling digest keeps advancing; [truncated] reports whether
+    any cap was hit. *)
 
 val truncated : t -> bool
 
 val value : t -> int
-(** Final combined digest: global digest plus every per-thread digest in
-    ft_pid order.  Only meaningful to compare across replicas on quiescent
-    runs with no failover (both replicas executed the full program). *)
+(** Final combined digest: every per-channel digest in channel order plus
+    every per-thread digest in ft_pid order.  Only meaningful to compare
+    across replicas on quiescent runs with no failover (both replicas
+    executed the full program). *)
 
 type divergence = {
   at_section : int;
-      (** first differing snapshot's section number — or, for a per-thread
-          divergence, the differing fold's index within that thread *)
+      (** first differing fold's index within the diverging channel or
+          thread stream *)
+  in_channel : int option;
+      (** [Some channel] when the divergence is in a channel's section
+          stream *)
   in_thread : int option;
       (** [Some ft_pid] when the divergence is in a thread's syscall-result
-          sequence rather than the global section sequence *)
+          sequence rather than a channel's section stream *)
   primary_digest : int;
   secondary_digest : int;
   after_commit_lsn : int option;
       (** the last primary output-commit boundary at or before the
-          divergence, if any output had committed *)
+          divergence (by primary epoch), if any output had committed *)
 }
 
 val compare_replicas : primary:t -> secondary:t -> divergence option
 (** Index-by-index comparison over the shared comparable prefixes: first
-    the global per-section snapshots (which subsume every output-commit
-    boundary), then — because syscall results replay in per-thread FIFO
-    order — each thread's per-fold snapshot sequence.  The latter covers
-    syscall-heavy applications that rarely enter deterministic sections. *)
+    each shared channel's per-section snapshot stream (reporting the
+    mismatch the primary digested earliest, which subsumes every
+    output-commit boundary), then — because syscall results replay in
+    per-thread FIFO order — each thread's per-fold snapshot sequence.  The
+    latter covers syscall-heavy applications that rarely enter
+    deterministic sections. *)
 
 val thread_folds : t -> ft_pid:int -> int
 (** Syscall results folded into [ft_pid]'s digest so far. *)
 
+val chan_folds : t -> chan:int -> int
+(** Sections folded into [chan]'s digest so far. *)
+
 val comparison_points : t -> int
-(** Sections digested plus all per-thread folds: the total number of
-    points at which a divergence could be detected. *)
+(** All per-channel section folds plus all per-thread folds: the total
+    number of points at which a divergence could be detected. *)

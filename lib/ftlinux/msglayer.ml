@@ -36,6 +36,10 @@ type primary = {
   batch : batch_config;
   mutable next_lsn : int;
   mutable p_acked : int;
+  (* Cumulative per-channel replay cursors reported by the secondary's
+     acks: channel id -> sections consumed.  Observability only (the
+     output-commit rule needs just [p_acked]). *)
+  p_chan_acks : (int, int) Hashtbl.t;
   stable_waiters : Waitq.t;
   mutable disabled : bool;
   mutable p_last_peer : Time.t;
@@ -62,6 +66,7 @@ type secondary = {
   replay_cost : Time.t;
   delta_cost : Time.t;
   handler : Wire.record -> unit;
+  chan_progress : unit -> (int * int) list;
   mutable s_received : int;
   mutable s_last_acked : int;
   mutable s_last_peer : Time.t;
@@ -82,6 +87,7 @@ let create_primary ?(batch = unbatched) eng ~out ~inb =
     batch;
     next_lsn = 0;
     p_acked = -1;
+    p_chan_acks = Hashtbl.create 8;
     stable_waiters = Waitq.create ();
     disabled = false;
     p_last_peer = Engine.now eng;
@@ -150,7 +156,13 @@ let append p record =
     Metrics.Counter.incr p.r_recs;
     Evlog.emit (Engine.evlog p.p_eng) ~comp:"ft.msglayer" "record.append"
       ~args:
-        [ ("lsn", Evlog.Int lsn); ("kind", Evlog.Str (record_kind record)) ];
+        (("lsn", Evlog.Int lsn)
+        :: ("kind", Evlog.Str (record_kind record))
+        ::
+        (match record with
+        | Wire.Sync_tuple { chans = (c, _) :: _; _ } ->
+            [ ("channel", Evlog.Int c) ]
+        | _ -> []));
     if p.batch.batch_records <= 1 then
       (* Unbatched: one frame per record, blocking on a full ring (the
          backpressure throttle). *)
@@ -185,6 +197,9 @@ let append p record =
 
 let last_lsn p = p.next_lsn - 1
 let acked p = p.p_acked
+
+let chan_acked p ~chan =
+  Option.value ~default:0 (Hashtbl.find_opt p.p_chan_acks chan)
 
 (* Flush-on-output-commit: before parking for stability of [lsn], make sure
    every staged record covering it is actually on the wire — otherwise the
@@ -248,12 +263,21 @@ let spawn_primary_rx p spawn =
            let msg = Mailbox.recv p.p_in in
            p.p_last_peer <- Engine.now p.p_eng;
            (match msg with
-           | Wire.Ack { upto } ->
+           | Wire.Ack { upto; chans } ->
+               List.iter
+                 (fun (ch, consumed) ->
+                   if consumed > chan_acked p ~chan:ch then
+                     Hashtbl.replace p.p_chan_acks ch consumed)
+                 chans;
                if upto > p.p_acked then begin
                  p.p_acked <- upto;
                  Evlog.emit (Engine.evlog p.p_eng) ~comp:"ft.msglayer"
                    "record.acked"
-                   ~args:[ ("upto", Evlog.Int upto) ];
+                   ~args:
+                     [
+                       ("upto", Evlog.Int upto);
+                       ("chans", Evlog.Int (List.length chans));
+                     ];
                  ignore (Waitq.wake_all p.stable_waiters)
                end
            | Wire.Heartbeat _ -> ()
@@ -292,8 +316,8 @@ let spawn_primary_rx p spawn =
 
 (* {1 Secondary} *)
 
-let create_secondary ?(batch = unbatched) eng ~inb ~out ~replay_cost
-    ~delta_cost ~handler =
+let create_secondary ?(batch = unbatched) ?(chan_progress = fun () -> []) eng
+    ~inb ~out ~replay_cost ~delta_cost ~handler =
   {
     s_eng = eng;
     s_in = inb;
@@ -302,6 +326,7 @@ let create_secondary ?(batch = unbatched) eng ~inb ~out ~replay_cost
     replay_cost;
     delta_cost;
     handler;
+    chan_progress;
     s_received = -1;
     s_last_acked = -1;
     s_last_peer = Engine.now eng;
@@ -320,7 +345,11 @@ let cancel_ack_timer s =
 
 let send_ack s =
   if s.s_received > s.s_last_acked then begin
-    let msg = Wire.Ack { upto = s.s_received } in
+    (* Per-channel replay cursors ride the ack.  The dirty marks are
+       drained here; if the try_send below fails, the cursors travel with
+       the next ack a further consume triggers — acceptable for an
+       observability-only signal, and the [upto] cursor stays exact. *)
+    let msg = Wire.Ack { upto = s.s_received; chans = s.chan_progress () } in
     (* Cumulative: a skipped ack (full ring, dead primary) is subsumed by
        the next one. *)
     if

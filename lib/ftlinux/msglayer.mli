@@ -75,6 +75,11 @@ val last_lsn : primary -> int
 
 val acked : primary -> int
 
+val chan_acked : primary -> chan:int -> int
+(** Cumulative replay cursor the secondary last reported for a channel
+    (sections consumed); 0 if it never reported.  Observability only — the
+    output-commit rule uses {!acked}. *)
+
 val wait_stable : primary -> lsn:int -> unit
 (** Block until [acked >= lsn] (returns immediately when replication is
     disabled or the LSN is already stable).  Flushes any staged records
@@ -129,6 +134,7 @@ val group_members : group -> primary list
 
 val create_secondary :
   ?batch:batch_config ->
+  ?chan_progress:(unit -> (int * int) list) ->
   Engine.t ->
   inb:Wire.message Mailbox.chan ->
   out:Wire.message Mailbox.chan ->
@@ -138,7 +144,9 @@ val create_secondary :
   secondary
 (** [replay_cost] is charged per thread-waking record (sync tuples, syscall
     results); [delta_cost] per TCP delta.  [batch] (default {!unbatched})
-    supplies the ack-coalescing knobs. *)
+    supplies the ack-coalescing knobs.  [chan_progress] (default: none) is
+    drained at each ack to piggyback cumulative per-channel replay cursors
+    (see {!Det.chan_progress}). *)
 
 val spawn_secondary_rx : secondary -> (string -> (unit -> unit) -> Engine.proc) -> unit
 (** Start the receive loop: per record, charge [replay_cost], invoke the

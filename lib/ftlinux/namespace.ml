@@ -284,7 +284,7 @@ let spawn_replicated t name f =
   (* Thread creation is itself a deterministic event: the child's ft_pid is
      assigned inside a section, so the replica creates the same thread at
      the same point in the replayed order. *)
-  Det.det_start det;
+  Det.det_start det ~chans:[ Det.chan_misc ];
   let ft_pid =
     match Det.role det with
     | Det.Primary_role ->
@@ -307,14 +307,14 @@ let replicated_fs t det =
   {
     Api.open_ =
       (fun ~path ~create ->
-        Det.det_start det;
+        Det.det_start det ~chans:[ Det.chan_fs ];
         let fd = Vfs.open_file t.vfs ~path ~create in
         Det.fold_section det (h_fs_open path);
         Det.det_end det;
         fd);
     read =
       (fun fd ~max ->
-        Det.det_start det;
+        Det.det_start det ~chans:[ Det.chan_fs ];
         let r =
           if Det.role det = Det.Primary_role then begin
             match Vfs.read t.vfs fd ~max with
@@ -344,13 +344,13 @@ let replicated_fs t det =
         r);
     append =
       (fun fd chunk ->
-        Det.det_start det;
+        Det.det_start det ~chans:[ Det.chan_fs ];
         Vfs.append t.vfs fd chunk;
         Det.fold_section det (h_fs_append chunk);
         Det.det_end det);
     close =
       (fun fd ->
-        Det.det_start det;
+        Det.det_start det ~chans:[ Det.chan_fs ];
         Vfs.close t.vfs fd;
         Det.fold_section det h_fs_close;
         Det.det_end det);
@@ -460,8 +460,9 @@ let primary_api t =
     fs = replicated_fs t det;
   }
 
-let primary kernel ~sink ?stack ?(env = []) ~output_commit ~ack_commit () =
-  let det = Det.create_primary (Kernel.engine kernel) sink in
+let primary kernel ~sink ?stack ?(env = []) ?(det_shard = true) ~output_commit
+    ~ack_commit () =
+  let det = Det.create_primary ~shard:det_shard (Kernel.engine kernel) sink in
   let pt = Pthread.create kernel in
   Pthread.set_hooks pt (Some (Det.pthread_hooks det));
   let t =
@@ -663,8 +664,8 @@ let secondary_api t =
     fs = replicated_fs t det;
   }
 
-let secondary kernel ?(env = []) () =
-  let det = Det.create_secondary (Kernel.engine kernel) in
+let secondary kernel ?(env = []) ?(det_shard = true) () =
+  let det = Det.create_secondary ~shard:det_shard (Kernel.engine kernel) in
   let pt = Pthread.create kernel in
   Pthread.set_hooks pt (Some (Det.pthread_hooks det));
   let t =
@@ -695,8 +696,8 @@ let secondary kernel ?(env = []) () =
 let record_handler t record =
   let det = det_exn t in
   match record with
-  | Wire.Sync_tuple { ft_pid; thread_seq; global_seq; payload } ->
-      Det.deliver_tuple det ~ft_pid ~thread_seq ~global_seq ~payload
+  | Wire.Sync_tuple { ft_pid; thread_seq; chans; payload } ->
+      Det.deliver_tuple det ~ft_pid ~thread_seq ~chans ~payload
   | Wire.Syscall_result { ft_pid; result; _ } ->
       Det.deliver_syscall det ~ft_pid ~result
   | Wire.Tcp_delta d -> Shadow.apply_delta (shadow_exn t) d
@@ -713,6 +714,7 @@ let attach_digest t dig =
 
 let digest t = match t.det with Some d -> Det.digest d | None -> None
 let mutate_skip_digest t ~global_seq = Det.mutate_skip_digest (det_exn t) ~global_seq
+let chan_progress t = Det.chan_progress (det_exn t)
 let divergence t = t.diverged
 
 (* {1 Launch} *)

@@ -28,6 +28,7 @@ val primary :
   sink:Msglayer.sink ->
   ?stack:Tcp.stack ->
   ?env:(string * string) list ->
+  ?det_shard:bool ->
   output_commit:bool ->
   ack_commit:bool ->
   unit ->
@@ -35,11 +36,15 @@ val primary :
 (** Installs pthread hooks and (when [stack] is given) TCP hooks.
     [output_commit] gates outbound data segments on log stability;
     [ack_commit] gates ACKs of client input on the input having been logged
-    stably (both default design choices of the paper, §3.5). *)
+    stably (both default design choices of the paper, §3.5).  [det_shard]
+    (default true) runs deterministic sections on per-object channels;
+    [false] restores the namespace-global total order. *)
 
-val secondary : Kernel.t -> ?env:(string * string) list -> unit -> t
+val secondary :
+  Kernel.t -> ?env:(string * string) list -> ?det_shard:bool -> unit -> t
 (** [env] must equal the primary's: the FT-Namespace launch procedure
-    replicates the environment so both replicas start identically (§3). *)
+    replicates the environment so both replicas start identically (§3).
+    [det_shard] must match the primary's setting. *)
 
 val record_handler : t -> Wire.record -> unit
 (** The secondary's dispatch of incoming log records (pass to
@@ -80,6 +85,11 @@ val divergence : t -> string option
 
 val mutate_skip_digest : t -> global_seq:int -> unit
 (** Testing only: see {!Det.mutate_skip_digest}. *)
+
+val chan_progress : t -> (int * int) list
+(** Secondary: fresh cumulative per-channel replay cursors (see
+    {!Det.chan_progress}); pass to {!Msglayer.create_secondary} so acks
+    carry them. *)
 
 val vfs_of : t -> Ftsim_kernel.Vfs.t
 (** The namespace's local file system (replica-converged under replay). *)

@@ -204,17 +204,23 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
   let ns_p =
     Namespace.primary kernel_p ~sink:(Msglayer.sink_of_group group)
       ?stack:stack_p ~env:config.Cluster.app_env
+      ~det_shard:config.Cluster.det_shard
       ~output_commit:config.Cluster.output_commit
       ~ack_commit:config.Cluster.ack_commit ()
   in
   let ns_bs =
-    Array.map (fun k -> Namespace.secondary k ~env:config.Cluster.app_env ()) kernels_b
+    Array.map
+      (fun k ->
+        Namespace.secondary k ~env:config.Cluster.app_env
+          ~det_shard:config.Cluster.det_shard ())
+      kernels_b
   in
   let ml_ss =
     Array.mapi
       (fun i d ->
-        Msglayer.create_secondary ~batch:config.Cluster.batch eng
-          ~inb:d.Mailbox.a_to_b ~out:d.Mailbox.b_to_a
+        Msglayer.create_secondary ~batch:config.Cluster.batch
+          ~chan_progress:(fun () -> Namespace.chan_progress ns_bs.(i))
+          eng ~inb:d.Mailbox.a_to_b ~out:d.Mailbox.b_to_a
           ~replay_cost:config.Cluster.kernel_config.Kernel.wake_latency
           ~delta_cost:config.Cluster.delta_replay_cost
           ~handler:(fun record -> Namespace.record_handler ns_bs.(i) record))

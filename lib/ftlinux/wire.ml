@@ -27,7 +27,12 @@ type record =
   | Sync_tuple of {
       ft_pid : int;
       thread_seq : int;
-      global_seq : int;
+      chans : (int * int) list;
+          (* (channel, chan_seq) pairs, ascending channel order.  A section
+             claims one channel per sync object it touches (condvar waits
+             claim two); the secondary replays each channel FIFO by
+             chan_seq.  Unsharded mode emits everything on channel 0, whose
+             sequence then equals the old namespace-global order. *)
       payload : det_payload;
     }
   | Syscall_result of { ft_pid : int; sseq : int; result : syscall_result }
@@ -41,7 +46,11 @@ type record =
 type message =
   | Record of { lsn : int; ack_now : bool; record : record }
   | Batch of { base_lsn : int; ack_now : bool; records : record list }
-  | Ack of { upto : int }
+  | Ack of { upto : int; chans : (int * int) list }
+      (* [upto] is the cumulative LSN ack (the §3.5 stability signal);
+         [chans] piggybacks per-channel cumulative replay cursors
+         (channel, consumed count) for the channels that advanced since the
+         last ack — observability for the sharded core, not correctness. *)
   | Heartbeat of { from_primary : bool; seq : int }
 
 (* Sizes are exact: [String.length (encode_message m) = message_bytes m].
@@ -77,7 +86,10 @@ let tcp_delta_bytes = function
   | D_peer_fin _ -> 4
 
 let record_bytes = function
-  | Sync_tuple { payload; _ } -> header + 12 + det_payload_bytes payload
+  | Sync_tuple { chans; payload; _ } ->
+      (* ft_pid i32, thread_seq i32, channel count u8, 8 bytes per
+         (channel, chan_seq) pair, then the payload. *)
+      header + 9 + (8 * List.length chans) + det_payload_bytes payload
   | Syscall_result { result; _ } -> header + 8 + syscall_result_bytes result
   | Tcp_delta d -> header + tcp_delta_bytes d
 
@@ -87,12 +99,14 @@ let message_bytes = function
   | Record { record; _ } -> 8 + record_bytes record
   | Batch { records; _ } ->
       header + 4 + List.fold_left (fun acc r -> acc + batched_record_bytes r) 0 records
-  | Ack _ -> header + 8
+  | Ack { chans; _ } -> header + 12 + (8 * List.length chans)
   | Heartbeat _ -> header + 8
 
 let pp_record fmt = function
-  | Sync_tuple { ft_pid; thread_seq; global_seq; payload } ->
-      Format.fprintf fmt "sync<%d,%d,%d>%s" thread_seq global_seq ft_pid
+  | Sync_tuple { ft_pid; thread_seq; chans; payload } ->
+      Format.fprintf fmt "sync<%d@%d|%s>%s" thread_seq ft_pid
+        (String.concat ","
+           (List.map (fun (c, s) -> Printf.sprintf "%d:%d" c s) chans))
         (match payload with
         | P_plain -> ""
         | P_timed_outcome b -> if b then "+timeout" else "+signaled"
@@ -193,10 +207,17 @@ let add_addr b (a : Ftsim_netstack.Packet.addr) =
 (* Emits exactly [record_bytes r - header] bytes. *)
 let add_record_fields b r =
   match r with
-  | Sync_tuple { ft_pid; thread_seq; global_seq; payload } -> (
+  | Sync_tuple { ft_pid; thread_seq; chans; payload } -> (
       add_i32 b ft_pid;
       add_i32 b thread_seq;
-      add_i32 b global_seq;
+      if List.length chans > 0xff then
+        invalid_arg "Wire.encode_message: too many channels in tuple";
+      Buffer.add_uint8 b (List.length chans);
+      List.iter
+        (fun (ch, sq) ->
+          add_i32 b ch;
+          add_i32 b sq)
+        chans;
       match payload with
       | P_plain -> ()
       | P_timed_outcome timed -> Buffer.add_uint8 b (if timed then 1 else 0)
@@ -267,7 +288,14 @@ let encode_message m =
   | Record { lsn; record; _ } ->
       add_i64 b lsn;
       add_record_fields b record
-  | Ack { upto } -> add_i64 b upto
+  | Ack { upto; chans } ->
+      add_i64 b upto;
+      add_i32 b (List.length chans);
+      List.iter
+        (fun (ch, n) ->
+          add_i32 b ch;
+          add_i32 b n)
+        chans
   | Heartbeat { seq; _ } -> add_i64 b seq
   | Batch { records; _ } ->
       add_i32 b (List.length records);
@@ -336,7 +364,13 @@ let get_record_fields c ~kind ~subkind =
     | 0 ->
         let ft_pid = get_i32 c in
         let thread_seq = get_i32 c in
-        let global_seq = get_i32 c in
+        let nchans = get_u8 c in
+        let chans =
+          List.init nchans (fun _ ->
+              let ch = get_i32 c in
+              let sq = get_i32 c in
+              (ch, sq))
+        in
         let payload =
           match subkind with
           | 0 -> P_plain
@@ -345,7 +379,7 @@ let get_record_fields c ~kind ~subkind =
           | 3 -> P_fs_read_len (get_i32 c)
           | k -> raise (Bad (Printf.sprintf "unknown det payload kind %d" k))
         in
-        Sync_tuple { ft_pid; thread_seq; global_seq; payload }
+        Sync_tuple { ft_pid; thread_seq; chans; payload }
     | 1 ->
         let ft_pid = get_i32 c in
         let sseq = get_i32 c in
@@ -424,7 +458,18 @@ let decode_message s =
           in
           c.pos <- total;
           Record { lsn; ack_now = aux = 1; record }
-      | 1 -> Ack { upto = get_i64 c }
+      | 1 ->
+          let upto = get_i64 c in
+          let n = get_i32 c in
+          if n < 0 || n > (c.limit - c.pos) / 8 then
+            raise (Bad "bad ack channel count");
+          let chans =
+            List.init n (fun _ ->
+                let ch = get_i32 c in
+                let cnt = get_i32 c in
+                (ch, cnt))
+          in
+          Ack { upto; chans }
       | 2 -> Heartbeat { from_primary = sub <> 0; seq = get_i64 c }
       | 3 ->
           if sub <> 0 && sub <> 1 then raise (Bad "bad batch sub flags");

@@ -6,9 +6,14 @@
     output commit waits on those acknowledgements.
 
     Record kinds map one-to-one onto the paper's mechanisms:
-    - [Sync_tuple] — the <Seq_thread, Seq_global, ft_pid> tuples of
-      __det_start/__det_end (§3.3), with an optional payload for logged
-      non-deterministic values;
+    - [Sync_tuple] — the tuples of __det_start/__det_end (§3.3).  Where the
+      paper streams <Seq_thread, Seq_global, ft_pid> in one total order,
+      the sharded core streams <Seq_thread, ft_pid, (channel, Seq_channel)…>:
+      each replicated sync object lives on a channel, a tuple names the
+      channel sequence numbers its section committed, and the secondary
+      replays each channel FIFO and each thread FIFO — a partial order.
+      With sharding off every section rides channel 0 and its sequence
+      degenerates to the old namespace-global Seq_global;
     - [Syscall_result] — per-thread system-call results (§3.2), replayed in
       per-thread FIFO order (the "partially ordered log");
     - [Tcp_delta] — incremental checkpoint of the TCP stack's logical state
@@ -41,7 +46,14 @@ type tcp_delta =
   | D_peer_fin of { cid : int }
 
 type record =
-  | Sync_tuple of { ft_pid : int; thread_seq : int; global_seq : int; payload : det_payload }
+  | Sync_tuple of {
+      ft_pid : int;
+      thread_seq : int;
+      chans : (int * int) list;
+          (** (channel, chan_seq) pairs claimed by the section, ascending
+              channel order; at most two in practice (condvar waits) *)
+      payload : det_payload;
+    }
   | Syscall_result of { ft_pid : int; sseq : int; result : syscall_result }
   | Tcp_delta of tcp_delta
 
@@ -51,7 +63,10 @@ type message =
       (** a run of LSN-consecutive records [base_lsn, base_lsn+n) coalesced
           into one frame; each record pays a 4-byte sub-header instead of
           the full 16-byte frame header *)
-  | Ack of { upto : int }  (** secondary → primary: all LSNs ≤ upto received *)
+  | Ack of { upto : int; chans : (int * int) list }
+      (** secondary → primary: all LSNs ≤ upto received; [chans] carries
+          cumulative per-channel replay cursors (channel, consumed count)
+          for channels that advanced since the last successful ack *)
   | Heartbeat of { from_primary : bool; seq : int }
 
 (** [ack_now] is the TCP PSH/quickack analogue: set on frames flushed

@@ -8,9 +8,41 @@ type table = {
   words : (addr, word) Hashtbl.t;
   mutable next : addr;
   eng : Engine.t option;  (* None only for engine-less unit tests *)
+  (* Deferred-resume buffers, keyed by the deferring process's pid.  While
+     a process has a buffer registered, resumes for waiters it wakes are
+     queued instead of invoked; the wake itself (FIFO dequeue, state
+     transition, woken count) stays synchronous.  The sharded det core
+     uses this to hold wake-ups performed inside a deterministic section
+     until the section's tuple has been appended to the replication log —
+     without it, a woken thread could emit tuples on other channels at
+     smaller LSNs than its waker's, breaking the causal closure of every
+     log prefix that failover and output commit rely on. *)
+  defers : (int, (unit -> unit) Queue.t) Hashtbl.t;
 }
 
-let create_table ?eng () = { words = Hashtbl.create 64; next = 0; eng }
+let create_table ?eng () =
+  { words = Hashtbl.create 64; next = 0; eng; defers = Hashtbl.create 4 }
+
+let defer_begin t =
+  Hashtbl.replace t.defers (Engine.pid (Engine.self ())) (Queue.create ())
+
+let defer_flush t =
+  let pid = Engine.pid (Engine.self ()) in
+  match Hashtbl.find_opt t.defers pid with
+  | None -> ()
+  | Some q ->
+      Hashtbl.remove t.defers pid;
+      Queue.iter (fun f -> f ()) q
+
+(* Run [f] now unless the calling process is inside a defer window.  Wakes
+   from other processes (and from timer context, which never opens a
+   window) pass straight through. *)
+let resume_or_defer t f =
+  if Hashtbl.length t.defers = 0 then f ()
+  else
+    match Hashtbl.find_opt t.defers (Engine.pid (Engine.self ())) with
+    | Some q -> Queue.add f q
+    | None -> f ()
 
 let word_of t a =
   match Hashtbl.find_opt t.words a with
@@ -73,8 +105,15 @@ let prepare_wait t a =
   let w = { st = `Pending; parked = None; entry = None } in
   let entry =
     Waitq.add word.q (fun () ->
+        (* The state transition is synchronous (the waker's dequeue/count
+           and a racing [commit_wait] both depend on it); only the resume
+           is routed through the waker's defer window, and it re-reads
+           [parked] at flush time — by then a timed wait may have expired
+           and withdrawn, in which case the wake is absorbed as a legal
+           signal-lost-to-timeout outcome. *)
         w.st <- `Woken;
-        match w.parked with Some resume -> resume () | None -> ())
+        resume_or_defer t (fun () ->
+            match w.parked with Some resume -> resume () | None -> ()))
   in
   w.entry <- Some entry;
   w

@@ -61,3 +61,22 @@ val cancel_wait : waiter -> unit
 (** Withdraw a pending slot.  No-op if already woken or cancelled. *)
 
 val waiter_woken : waiter -> bool
+
+(** {1 Deferred wake-up delivery}
+
+    While the calling process holds a defer window open, the {e resumes} of
+    waiters it wakes are buffered and run at [defer_flush]; the wakes
+    themselves (FIFO dequeue, woken state, {!wake}'s count) stay
+    synchronous.  The sharded deterministic-section core opens a window for
+    the body of each primary-side section so that no thread woken inside it
+    can run — and append its own sync tuples — before the waking section's
+    tuple is on the replication log: every log prefix stays causally
+    closed.  Windows are per-process; wakes from other processes (and from
+    timer context) are never deferred. *)
+
+val defer_begin : table -> unit
+(** Open (or reset) the calling process's defer window. *)
+
+val defer_flush : table -> unit
+(** Close the calling process's window and run the buffered resumes, in
+    wake order.  No-op without an open window. *)

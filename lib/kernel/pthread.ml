@@ -2,8 +2,10 @@ open Ftsim_sim
 
 type hooks = {
   is_replica : bool;
-  det_start : unit -> unit;
+  chan_alloc : unit -> int;
+  det_start : chans:int list -> unit;
   det_end : unit -> unit;
+  defer_wakes : bool;
   record_timed_outcome : timed_out:bool -> unit;
   replay_timed_outcome : unit -> bool option;
 }
@@ -20,8 +22,28 @@ let set_hooks t h = t.hooks <- h
 let hooks_installed t = t.hooks <> None
 let ops_count t = Metrics.Counter.value t.ops
 
-let det_start t = match t.hooks with Some h -> h.det_start () | None -> ()
-let det_end t = match t.hooks with Some h -> h.det_end () | None -> ()
+(* Channel id for a new sync object.  0 (the misc channel) when no
+   replication hooks are installed — harmless, since channels only matter
+   once hooks exist. *)
+let chan t = match t.hooks with Some h -> h.chan_alloc () | None -> 0
+
+(* [defer_wakes] (primary with sharding on): wake-ups performed inside the
+   section body are held until the section's tuple is on the replication
+   log — see {!Futex.defer_begin}.  The flush runs after [det_end] returns,
+   i.e. after the append, outside the channel locks. *)
+let det_start t ~chans =
+  match t.hooks with
+  | Some h ->
+      h.det_start ~chans;
+      if h.defer_wakes then Futex.defer_begin (Kernel.futexes t.k)
+  | None -> ()
+
+let det_end t =
+  match t.hooks with
+  | Some h ->
+      h.det_end ();
+      if h.defer_wakes then Futex.defer_flush (Kernel.futexes t.k)
+  | None -> ()
 
 (* Charge the operation's CPU cost before entering the deterministic
    section: no suspension may separate the section from the queue position
@@ -37,16 +59,16 @@ let charge t =
    acquisition order equals the (deterministically serialized) arrival
    order. *)
 
-type mutex = { maddr : Futex.addr }
+type mutex = { maddr : Futex.addr; mchan : int }
 
-let mutex_create t = { maddr = Futex.alloc (Kernel.futexes t.k) }
+let mutex_create t = { maddr = Futex.alloc (Kernel.futexes t.k); mchan = chan t }
 
 let mutex_locked t m = Futex.get (Kernel.futexes t.k) m.maddr = 1
 
 let mutex_lock t m =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ m.mchan ];
   if Futex.get tbl m.maddr = 0 then begin
     Futex.set tbl m.maddr 1;
     det_end t
@@ -60,7 +82,7 @@ let mutex_lock t m =
 let mutex_trylock t m =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ m.mchan ];
   let ok = Futex.get tbl m.maddr = 0 in
   if ok then Futex.set tbl m.maddr 1;
   det_end t;
@@ -74,20 +96,25 @@ let mutex_unlock_raw t m =
 
 let mutex_unlock t m =
   charge t;
-  det_start t;
+  det_start t ~chans:[ m.mchan ];
   mutex_unlock_raw t m;
   det_end t
 
 (* {1 Condition variables} *)
 
-type cond = { caddr : Futex.addr }
+type cond = { caddr : Futex.addr; cchan : int }
 
-let cond_create t = { caddr = Futex.alloc (Kernel.futexes t.k) }
+let cond_create t = { caddr = Futex.alloc (Kernel.futexes t.k); cchan = chan t }
+
+(* A condvar wait touches two sync objects in one section (enqueue on the
+   cond, release of the mutex), so the section claims both channels. *)
+let cond_chans c m =
+  if c.cchan = m.mchan then [ c.cchan ] else [ c.cchan; m.mchan ]
 
 let cond_wait t c m =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:(cond_chans c m);
   let w = Futex.prepare_wait tbl c.caddr in
   mutex_unlock_raw t m;
   det_end t;
@@ -97,7 +124,7 @@ let cond_wait t c m =
 let cond_timedwait t c m ~deadline =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:(cond_chans c m);
   let w = Futex.prepare_wait tbl c.caddr in
   mutex_unlock_raw t m;
   det_end t;
@@ -108,7 +135,7 @@ let cond_timedwait t c m ~deadline =
     match t.hooks with
     | Some h when h.is_replica -> (
         (* Replica: learn the outcome at this op's turn in the log. *)
-        det_start t;
+        det_start t ~chans:[ c.cchan ];
         let o = h.replay_timed_outcome () in
         det_end t;
         match o with
@@ -124,7 +151,7 @@ let cond_timedwait t c m ~deadline =
     | _ ->
         let r = Futex.commit_wait_deadline w ~deadline in
         let timed_out = r = `Timeout in
-        det_start t;
+        det_start t ~chans:[ c.cchan ];
         (match t.hooks with
         | Some h -> h.record_timed_outcome ~timed_out
         | None -> ());
@@ -137,14 +164,14 @@ let cond_timedwait t c m ~deadline =
 let cond_signal t c =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ c.cchan ];
   ignore (Futex.wake tbl c.caddr ~count:1);
   det_end t
 
 let cond_broadcast t c =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ c.cchan ];
   ignore (Futex.wake tbl c.caddr ~count:max_int);
   det_end t
 
@@ -157,6 +184,7 @@ type rwlock = {
   mutable waiting_writers : int;
   raddr : Futex.addr;
   waddr : Futex.addr;
+  lchan : int;
 }
 
 let rwlock_create t =
@@ -168,12 +196,13 @@ let rwlock_create t =
     waiting_writers = 0;
     raddr = Futex.alloc tbl;
     waddr = Futex.alloc tbl;
+    lchan = chan t;
   }
 
 let rwlock_rdlock t l =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ l.lchan ];
   if (not l.writer) && l.waiting_writers = 0 then begin
     l.readers <- l.readers + 1;
     det_end t
@@ -187,7 +216,7 @@ let rwlock_rdlock t l =
 
 let rwlock_tryrdlock t l =
   charge t;
-  det_start t;
+  det_start t ~chans:[ l.lchan ];
   let ok = (not l.writer) && l.waiting_writers = 0 in
   if ok then l.readers <- l.readers + 1;
   det_end t;
@@ -196,7 +225,7 @@ let rwlock_tryrdlock t l =
 let rwlock_wrlock t l =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ l.lchan ];
   if (not l.writer) && l.readers = 0 then begin
     l.writer <- true;
     det_end t
@@ -210,7 +239,7 @@ let rwlock_wrlock t l =
 
 let rwlock_trywrlock t l =
   charge t;
-  det_start t;
+  det_start t ~chans:[ l.lchan ];
   let ok = (not l.writer) && l.readers = 0 in
   if ok then l.writer <- true;
   det_end t;
@@ -219,7 +248,7 @@ let rwlock_trywrlock t l =
 let rwlock_unlock t l =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ l.lchan ];
   if l.writer then l.writer <- false
   else begin
     if l.readers <= 0 then invalid_arg "Pthread.rwlock_unlock: not held";
@@ -247,16 +276,23 @@ type barrier = {
   mutable arrived : int;
   mutable generation : int;
   baddr : Futex.addr;
+  bchan : int;
 }
 
 let barrier_create t ~count =
   if count <= 0 then invalid_arg "Pthread.barrier_create";
-  { total = count; arrived = 0; generation = 0; baddr = Futex.alloc (Kernel.futexes t.k) }
+  {
+    total = count;
+    arrived = 0;
+    generation = 0;
+    baddr = Futex.alloc (Kernel.futexes t.k);
+    bchan = chan t;
+  }
 
 let barrier_wait t b =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ b.bchan ];
   b.arrived <- b.arrived + 1;
   if b.arrived = b.total then begin
     (* Last arrival releases the generation and is the serial thread. *)
@@ -275,16 +311,16 @@ let barrier_wait t b =
 
 (* {1 Counting semaphores} *)
 
-type sem = { mutable count : int; saddr : Futex.addr }
+type sem = { mutable count : int; saddr : Futex.addr; schan : int }
 
 let sem_create t n =
   if n < 0 then invalid_arg "Pthread.sem_create";
-  { count = n; saddr = Futex.alloc (Kernel.futexes t.k) }
+  { count = n; saddr = Futex.alloc (Kernel.futexes t.k); schan = chan t }
 
 let sem_wait t s =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ s.schan ];
   if s.count > 0 then begin
     s.count <- s.count - 1;
     det_end t
@@ -299,7 +335,7 @@ let sem_wait t s =
 
 let sem_trywait t s =
   charge t;
-  det_start t;
+  det_start t ~chans:[ s.schan ];
   let ok = s.count > 0 in
   if ok then s.count <- s.count - 1;
   det_end t;
@@ -308,7 +344,7 @@ let sem_trywait t s =
 let sem_post t s =
   let tbl = Kernel.futexes t.k in
   charge t;
-  det_start t;
+  det_start t ~chans:[ s.schan ];
   if Futex.wake tbl s.saddr ~count:1 = 0 then s.count <- s.count + 1;
   det_end t
 

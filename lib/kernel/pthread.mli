@@ -5,8 +5,12 @@
     (§3.3): every synchronization operation brackets its {e ordering
     decision} with [det_start]/[det_end] hooks.  With no hooks installed the
     operations behave like plain glibc primitives; the replication runtime
-    installs hooks that serialize all operations under a namespace-global
-    mutex and stream (or replay) the observed order.
+    installs hooks that serialize operations per sync-object {e channel}
+    (or, unsharded, under one namespace-global channel) and stream (or
+    replay) the observed order.  Each object draws a channel id from
+    [chan_alloc] at creation; an operation's section claims the channels of
+    every object it touches, so operations on distinct objects can commute
+    while operations on the same object stay totally ordered.
 
     Two properties make replay deterministic:
 
@@ -22,13 +26,22 @@ type hooks = {
   is_replica : bool;
       (** true on the secondary, which replays logged outcomes instead of
           racing its own timers *)
-  det_start : unit -> unit;
-      (** begin a deterministic section: on the primary, take the namespace
-          global mutex; on the secondary, additionally wait for this
-          thread's turn in the replayed order *)
+  chan_alloc : unit -> int;
+      (** channel id for a newly created sync object; an unsharded runtime
+          returns 0 for every object, collapsing to the old global order *)
+  det_start : chans:int list -> unit;
+      (** begin a deterministic section claiming [chans] (ascending, deduped;
+          at most two — condvar waits): on the primary, lock those channels;
+          on the secondary, additionally wait until this thread's logged
+          tuple is next on every channel it claims *)
   det_end : unit -> unit;
       (** end the section: on the primary, stream the sync tuple and release;
-          on the secondary, advance the replay cursor and release *)
+          on the secondary, advance the replay cursors and release *)
+  defer_wakes : bool;
+      (** when true (primary, sharded) wake-up {e resumes} issued inside a
+          section are parked via {!Futex.defer_begin} and run only after
+          [det_end] has appended the section's tuple, keeping every log
+          prefix causally closed *)
   record_timed_outcome : timed_out:bool -> unit;
       (** primary only: log the outcome of a timed wait as a
           non-deterministic event (called inside its own det section) *)

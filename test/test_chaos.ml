@@ -80,7 +80,11 @@ let digest_of_run ?(iters = 20) seed =
   in
   let snaps =
     List.map
-      (fun s -> (s.Digest.snap_section, s.Digest.snap_digest))
+      (fun (ch, ss) ->
+        ( ch,
+          List.map
+            (fun s -> (s.Digest.snap_section, s.Digest.snap_digest))
+            ss ))
       (Digest.comparable d)
   in
   (snaps, Digest.value d, Cluster.compare_digests cluster)
@@ -107,7 +111,8 @@ let test_digest_execution_sensitive () =
 let test_digest_seal_bounds () =
   let d = Digest.create () in
   let section n =
-    Digest.section_end d ~ft_pid:1 ~thread_seq:n ~global_seq:n ~payload:Wire.P_plain
+    Digest.section_end d ~ft_pid:1 ~thread_seq:n ~chans:[ (0, n) ]
+      ~payload:Wire.P_plain
   in
   section 0;
   section 1;
@@ -117,7 +122,9 @@ let test_digest_seal_bounds () =
   Digest.fold_thread d ~ft_pid:1 0xbb;
   Alcotest.(check int) "all sections counted" 3 (Digest.sections d);
   Alcotest.(check int) "comparable stops at seal" 2
-    (List.length (Digest.comparable d));
+    (match Digest.comparable d with
+    | [ (0, ss) ] -> List.length ss
+    | _ -> -1);
   Alcotest.(check int) "thread folds counted" 2 (Digest.thread_folds d ~ft_pid:1)
 
 let test_digest_thread_divergence_located () =
@@ -266,6 +273,164 @@ let test_chaos_run_clean () =
     (Chaos.verdict_failing o.Chaos.verdict);
   Alcotest.(check bool) "digest comparison exercised" true (o.Chaos.o_sections > 0)
 
+(* {1 Property: partial-order soundness of the sharded digest}
+
+   The per-channel replay gate grants the secondary exactly this freedom:
+   sections on distinct channels (and unrelated syscall folds) may
+   interleave differently than on the primary, as long as each channel's
+   chan_seq order and each thread's program order hold.  So any two linear
+   extensions of that partial order must fold to byte-identical digests —
+   per channel, per thread, and combined. *)
+
+type dop =
+  | Op_section of { o_pid : int; o_tseq : int; o_chans : (int * int) list }
+  | Op_syscall of { o_pid : int; o_val : int }
+
+(* Raw workload: (pid, kind) in program order; thread_seq / chan_seq are
+   assigned afterwards so they are consistent by construction. *)
+let gen_workload =
+  QCheck.Gen.(
+    list_size (int_range 10 60)
+      (pair (int_range 1 3)
+         (oneof
+            [
+              map (fun c -> `Sec [ c ]) (int_range 0 3);
+              map2
+                (fun a b ->
+                  `Sec (if a = b then [ a ] else [ min a b; max a b ]))
+                (int_range 0 3) (int_range 0 3);
+              map (fun v -> `Sys v) (int_range 0 1000);
+            ])))
+
+let assign_seqs ops =
+  let tseq = Hashtbl.create 8 and cseq = Hashtbl.create 8 in
+  let next tbl k =
+    let v = (try Hashtbl.find tbl k with Not_found -> 0) + 1 in
+    Hashtbl.replace tbl k v;
+    v
+  in
+  List.map
+    (fun (pid, kind) ->
+      match kind with
+      | `Sys v -> Op_syscall { o_pid = pid; o_val = v }
+      | `Sec chans ->
+          Op_section
+            {
+              o_pid = pid;
+              o_tseq = next tseq pid;
+              o_chans = List.map (fun c -> (c, next cseq c)) chans;
+            })
+    ops
+
+(* A seeded linear extension: repeatedly pick, uniformly at random, any
+   operation whose predecessors (same thread earlier in program order;
+   same channel with a smaller chan_seq) have all run.  The generation
+   order itself is always a valid completion, so a ready op always
+   exists. *)
+let shuffled_extension ~seed ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let rng = Random.State.make [| seed |] in
+  let chan_done = Hashtbl.create 8 in
+  let cdone c = try Hashtbl.find chan_done c with Not_found -> 0 in
+  let thread_next = Hashtbl.create 8 in
+  (* thread_next.(pid) = index into that pid's op list *)
+  let by_pid = Hashtbl.create 8 in
+  Array.iteri
+    (fun i op ->
+      let pid =
+        match op with Op_section s -> s.o_pid | Op_syscall s -> s.o_pid
+      in
+      Hashtbl.replace by_pid pid (i :: (try Hashtbl.find by_pid pid with Not_found -> [])))
+    ops;
+  Hashtbl.iter (fun pid l -> Hashtbl.replace by_pid pid (List.rev l)) (Hashtbl.copy by_pid);
+  let heads () =
+    Hashtbl.fold
+      (fun pid _ acc ->
+        let pos = try Hashtbl.find thread_next pid with Not_found -> 0 in
+        match List.nth_opt (Hashtbl.find by_pid pid) pos with
+        | None -> acc
+        | Some i ->
+            let ready =
+              match ops.(i) with
+              | Op_syscall _ -> true
+              | Op_section s ->
+                  List.for_all (fun (c, sq) -> cdone c = sq - 1) s.o_chans
+            in
+            if ready then i :: acc else acc)
+      by_pid []
+  in
+  let out = ref [] in
+  for _ = 1 to n do
+    let ready = List.sort compare (heads ()) in
+    let i = List.nth ready (Random.State.int rng (List.length ready)) in
+    (match ops.(i) with
+    | Op_section s ->
+        List.iter (fun (c, sq) -> Hashtbl.replace chan_done c sq) s.o_chans;
+        let pos = try Hashtbl.find thread_next s.o_pid with Not_found -> 0 in
+        Hashtbl.replace thread_next s.o_pid (pos + 1)
+    | Op_syscall s ->
+        let pos = try Hashtbl.find thread_next s.o_pid with Not_found -> 0 in
+        Hashtbl.replace thread_next s.o_pid (pos + 1));
+    out := i :: !out
+  done;
+  List.rev_map (fun i -> ops.(i)) !out
+
+let digest_of ops =
+  let d = Digest.create () in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_syscall s -> Digest.fold_thread d ~ft_pid:s.o_pid s.o_val
+      | Op_section s ->
+          Digest.section_end d ~ft_pid:s.o_pid ~thread_seq:s.o_tseq
+            ~chans:s.o_chans ~payload:Wire.P_plain)
+    ops;
+  d
+
+let snaps d =
+  List.map
+    (fun (ch, ss) ->
+      (ch, List.map (fun s -> (s.Digest.snap_section, s.Digest.snap_digest)) ss))
+    (Digest.comparable d)
+
+let prop_interleavings_same_digest =
+  QCheck.Test.make ~count:60
+    ~name:"linear extensions of the channel partial order digest identically"
+    (QCheck.make
+       QCheck.Gen.(triple gen_workload (int_bound 10_000) (int_bound 10_000)))
+    (fun (raw, seed1, seed2) ->
+      let ops = assign_seqs raw in
+      let d1 = digest_of (shuffled_extension ~seed:seed1 ops) in
+      let d2 = digest_of (shuffled_extension ~seed:(seed2 + 20_001) ops) in
+      Digest.value d1 = Digest.value d2
+      && snaps d1 = snaps d2
+      && Digest.sections d1 = Digest.sections d2
+      && Digest.compare_replicas ~primary:d1 ~secondary:d2 = None)
+
+(* ...and the property is not vacuous: breaking a channel's chan_seq order
+   (an interleaving the replay gate would never admit) changes the digest
+   and is localized to that channel. *)
+let test_interleaving_order_violation_detected () =
+  let ops =
+    assign_seqs
+      [ (1, `Sec [ 0 ]); (1, `Sec [ 1 ]); (2, `Sec [ 1 ]); (2, `Sec [ 0 ]) ]
+  in
+  let good = digest_of ops in
+  let swapped =
+    match ops with
+    | [ a; b; c; d ] ->
+        (* Channel 1 carries sections seq 1 (thread 1) then seq 2 (thread
+           2); replay them transposed. *)
+        digest_of [ a; c; b; d ]
+    | _ -> assert false
+  in
+  match Digest.compare_replicas ~primary:good ~secondary:swapped with
+  | None -> Alcotest.fail "transposed channel stream not flagged"
+  | Some dv ->
+      Alcotest.(check (option int)) "localized to channel 1" (Some 1)
+        dv.Digest.in_channel
+
 let () =
   Alcotest.run "chaos"
     [
@@ -285,6 +450,12 @@ let () =
         ] );
       ( "shrink",
         [ Alcotest.test_case "converges" `Quick test_shrink_converges ] );
+      ( "partial-order",
+        [
+          QCheck_alcotest.to_alcotest prop_interleavings_same_digest;
+          Alcotest.test_case "order violation detected" `Quick
+            test_interleaving_order_violation_detected;
+        ] );
       ( "campaign",
         [ Alcotest.test_case "report" `Quick test_campaign_report ] );
       ( "end-to-end",

@@ -901,29 +901,87 @@ let test_trace_tuple_lifecycle_invariants () =
   Alcotest.(check bool) "both replicas finished" true
     (!tp <> None && !ts <> None);
   let evs = Evlog.events (Engine.evlog eng) in
-  let gseqs name =
+  (* Each lifecycle event carries the tuple header (ft_pid, thread_seq) and
+     its (channel, chan_seq) claims as channel/chan_seq, channel2/chan_seq2,
+     ... args. *)
+  let tuples name =
     List.filter_map
-      (fun e -> Evlog.Query.int_arg e "global_seq")
+      (fun e ->
+        match
+          (Evlog.Query.int_arg e "ft_pid", Evlog.Query.int_arg e "thread_seq")
+        with
+        | Some p, Some t ->
+            let rec chans i =
+              let suf = if i = 0 then "" else string_of_int (i + 1) in
+              match
+                ( Evlog.Query.int_arg e ("channel" ^ suf),
+                  Evlog.Query.int_arg e ("chan_seq" ^ suf) )
+              with
+              | Some c, Some s -> (c, s) :: chans (i + 1)
+              | _ -> []
+            in
+            Some ((p, t), chans 0)
+        | _ -> None)
       (Evlog.Query.filter ~comp:"ft.det" ~name evs)
   in
-  let emits = gseqs "tuple.emit" in
-  let consumes = gseqs "tuple.consume" in
+  let emits = tuples "tuple.emit" in
+  let delivers = tuples "tuple.deliver" in
+  let consumes = tuples "tuple.consume" in
   Alcotest.(check bool) "tuples actually flowed" true
     (List.length consumes > 0);
-  Alcotest.(check bool) "no global_seq emitted twice" true
-    (List.length (List.sort_uniq compare emits) = List.length emits);
+  (* Slot uniqueness: a (channel, chan_seq) pair names exactly one section. *)
+  let claims = List.concat_map snd emits in
+  Alcotest.(check bool) "no channel slot emitted twice" true
+    (List.length (List.sort_uniq compare claims) = List.length claims);
   List.iter
-    (fun g ->
+    (fun (((p, t), _) as tup) ->
       Alcotest.(check int)
-        (Printf.sprintf "consumed tuple %d was emitted exactly once" g)
+        (Printf.sprintf "consumed tuple (%d,%d) was emitted exactly once" p t)
         1
-        (List.length (List.filter (fun x -> x = g) emits)))
+        (List.length (List.filter (fun e -> e = tup) emits)))
     consumes;
-  Alcotest.(check (list int)) "delivery order equals global_seq order"
-    (List.sort compare (gseqs "tuple.deliver"))
-    (gseqs "tuple.deliver");
-  Alcotest.(check (list int)) "replay consumes in global_seq order"
-    (List.sort compare consumes) consumes
+  (* Per-channel FIFO: within one channel, chan_seqs appear in order at
+     delivery and at consumption; across channels the interleaving is free
+     (the partial order that replaced the old global_seq total order). *)
+  let chan_fifo what tups =
+    let by_chan = Hashtbl.create 8 in
+    List.iter
+      (fun (_, chans) ->
+        List.iter
+          (fun (c, s) ->
+            let prev = try Hashtbl.find by_chan c with Not_found -> [] in
+            Hashtbl.replace by_chan c (s :: prev))
+          chans)
+      tups;
+    Hashtbl.iter
+      (fun c seqs ->
+        let seqs = List.rev seqs in
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s on channel %d in chan_seq order" what c)
+          (List.sort compare seqs) seqs)
+      by_chan
+  in
+  chan_fifo "delivery" delivers;
+  chan_fifo "replay consume" consumes;
+  (* Per-thread FIFO: each thread's sections replay in thread_seq order. *)
+  let by_thread = Hashtbl.create 8 in
+  List.iter
+    (fun ((p, t), _) ->
+      let prev = try Hashtbl.find by_thread p with Not_found -> [] in
+      Hashtbl.replace by_thread p (t :: prev))
+    consumes;
+  Hashtbl.iter
+    (fun p seqs ->
+      let seqs = List.rev seqs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "thread %d consumes in thread_seq order" p)
+        (List.sort compare seqs) seqs)
+    by_thread;
+  (* Sharding is on by default: the mutex rides its own channel while
+     spawn/join sections ride the misc channel. *)
+  Alcotest.(check bool) "sharded run spreads tuples over several channels"
+    true
+    (List.length (List.sort_uniq compare (List.map fst claims)) > 1)
 
 let test_trace_output_commit_after_ack () =
   let eng = Engine.create () in
@@ -1092,6 +1150,145 @@ let test_trace_failover_phases () =
         (abs (live - halt - sum) <= Time.ms 1)
   | _ -> Alcotest.fail "failover did not run"
 
+(* {1 Failover at a channel boundary}
+
+   Two mutexes hammered at very different rates keep their channels at
+   different replay depths, so when the primary dies mid-run the
+   secondary's per-channel cursors are unequal — the failure case the old
+   total order could not have: go-live must happen from a frontier that is
+   a gapless prefix of {e each} channel stream, not of one global
+   sequence. *)
+let test_channel_boundary_failover () =
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let app (api : Api.t) =
+    let pt = api.Api.pt in
+    let fast = Pthread.mutex_create pt and slow = Pthread.mutex_create pt in
+    let hammer name m ~iters ~pause =
+      api.Api.thread.spawn name (fun () ->
+          for _ = 1 to iters do
+            api.Api.thread.compute pause;
+            Pthread.mutex_lock pt m;
+            Pthread.mutex_unlock pt m
+          done)
+    in
+    ignore (hammer "fast-hammer" fast ~iters:2000 ~pause:(Time.us 200));
+    ignore (hammer "slow-hammer" slow ~iters:50 ~pause:(Time.ms 2));
+    echo_app api
+  in
+  let cluster =
+    Cluster.create eng ~config:test_config ~link:(Link.endpoint_a link) ~app ()
+  in
+  Cluster.fail_primary cluster ~at:(Time.ms 150);
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let messages = List.init 25 (fun i -> Printf.sprintf "cb-%02d|" i) in
+  let result = Ivar.create () in
+  ignore
+    (Host.spawn client "client" (fun () ->
+         let c = Tcp.connect (Host.stack client) ~host:"10.0.0.1" ~port:80 in
+         let out = Buffer.create 64 in
+         List.iteri
+           (fun i msg ->
+             if i > 0 then Engine.sleep (Time.ms 10);
+             Tcp.send c (Payload.of_string msg);
+             let want = String.length msg in
+             let got = ref 0 in
+             while !got < want do
+               match Tcp.recv c ~max:4096 with
+               | [] -> failwith "eof from server"
+               | cs ->
+                   got := !got + Payload.total_len cs;
+                   Buffer.add_string out (Payload.concat_to_string cs)
+             done)
+           messages;
+         Tcp.close c;
+         Ivar.fill result (Buffer.contents out)));
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  (* The consistency oracle across the failover. *)
+  (match Ivar.peek result with
+  | Some s ->
+      Alcotest.(check string) "complete, unduplicated stream"
+        (String.concat "" messages) s
+  | None -> Alcotest.fail "client did not finish after failover");
+  Alcotest.(check bool) "failover happened" true
+    (Ivar.peek (Cluster.failover_done cluster) <> None);
+  Alcotest.(check bool) "digests agree" true
+    (Cluster.compare_digests cluster = None);
+  Alcotest.(check bool) "no replay divergence" true
+    (Cluster.replay_divergence cluster = None);
+  let evs = Evlog.events (Engine.evlog eng) in
+  let t_halt =
+    match Cluster.primary_halted_at cluster with
+    | Some t -> t
+    | None -> Alcotest.fail "primary did not halt"
+  in
+  let chans_of e =
+    let rec go i =
+      let suf = if i = 0 then "" else string_of_int (i + 1) in
+      match
+        ( Evlog.Query.int_arg e ("channel" ^ suf),
+          Evlog.Query.int_arg e ("chan_seq" ^ suf) )
+      with
+      | Some c, Some s -> (c, s) :: go (i + 1)
+      | _ -> []
+    in
+    go 0
+  in
+  let max_seq_by_chan name ~upto =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        if e.Evlog.at <= upto then
+          List.iter
+            (fun (c, s) ->
+              let prev = try Hashtbl.find tbl c with Not_found -> -1 in
+              Hashtbl.replace tbl c (max prev s))
+            (chans_of e))
+      (Evlog.Query.filter ~comp:"ft.det" ~name evs);
+    tbl
+  in
+  (* The kill really landed with the channels at different depths: the two
+     hammer channels' consumed cursors differ at the halt instant. *)
+  let depths = max_seq_by_chan "tuple.consume" ~upto:t_halt in
+  let obj_depths =
+    Hashtbl.fold (fun c s acc -> if c >= 2 then s :: acc else acc) depths []
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "object channels at distinct depths at the kill (%s)"
+       (String.concat "," (List.map string_of_int obj_depths)))
+    true
+    (List.length (List.sort_uniq compare obj_depths) >= 2);
+  (* Go-live frontier: every channel's consumed stream is a gapless prefix
+     — chan_seqs 0..k with no holes — even though the channels stopped at
+     different k. *)
+  let by_chan = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (c, s) ->
+          let prev = try Hashtbl.find by_chan c with Not_found -> [] in
+          Hashtbl.replace by_chan c (s :: prev))
+        (chans_of e))
+    (Evlog.Query.filter ~comp:"ft.det" ~name:"tuple.consume" evs);
+  Alcotest.(check bool) "replay consumed tuples" true
+    (Hashtbl.length by_chan > 0);
+  Hashtbl.iter
+    (fun c seqs ->
+      let sorted = List.sort compare seqs in
+      let rec contiguous expect = function
+        | [] -> ()
+        | s :: rest ->
+            if s <> expect then
+              Alcotest.failf
+                "channel %d consumed seq %d where %d was expected: not a \
+                 gapless prefix"
+                c s expect;
+            contiguous (expect + 1) rest
+      in
+      contiguous 0 sorted)
+    by_chan
+
 let () =
   Alcotest.run "ftlinux"
     [
@@ -1124,6 +1321,8 @@ let () =
             test_compute_only_failover;
           Alcotest.test_case "failover with coherency loss" `Quick
             test_failover_with_coherency_loss;
+          Alcotest.test_case "failover at a channel boundary" `Quick
+            test_channel_boundary_failover;
         ] );
       ( "determinism",
         [

@@ -159,6 +159,76 @@ let test_futex_two_phase_deadline () =
   | `Woken, _, _ -> Alcotest.fail "expected timeout"
   | `Timeout, n, _ -> Alcotest.failf "stale slot consumed %d wakes" n
 
+let test_futex_deferred_wakes () =
+  (* The defer window the sharded det core opens around primary-side
+     sections: wakes issued inside it stay synchronous (FIFO dequeue, wake
+     count) but the woken processes do not run until the flush — and wakes
+     from processes outside the window are never deferred. *)
+  let v =
+    run_sim (fun eng ->
+        let k = boot_kernel eng in
+        let tbl = Kernel.futexes k in
+        let a = Futex.alloc tbl in
+        let resumed = ref [] in
+        for i = 1 to 2 do
+          ignore
+            (Engine.spawn eng (fun () ->
+                 (* The two-phase path is the one the det core routes
+                    through the defer window. *)
+                 let w = Futex.prepare_wait tbl a in
+                 Futex.commit_wait w;
+                 resumed := i :: !resumed));
+          Engine.sleep (Time.us 1)
+        done;
+        let inside = ref None in
+        let p =
+          Engine.spawn eng (fun () ->
+              Futex.defer_begin tbl;
+              let n = Futex.wake tbl a ~count:2 in
+              (* Yield: the buffered resumes must not run yet. *)
+              Engine.sleep (Time.us 5);
+              inside := Some (n, Futex.waiters tbl a, List.length !resumed);
+              Futex.defer_flush tbl;
+              Engine.sleep (Time.us 1))
+        in
+        ignore (Engine.join p);
+        let first = (!inside, List.rev !resumed) in
+        (* A waiter woken by some *other* process while this one's window
+           is open resumes immediately. *)
+        let other = ref false in
+        ignore
+          (Engine.spawn eng (fun () ->
+               let w = Futex.prepare_wait tbl a in
+               Futex.commit_wait w;
+               other := true));
+        Engine.sleep (Time.us 1);
+        let cross = ref false in
+        let p2 =
+          Engine.spawn eng (fun () ->
+              Futex.defer_begin tbl;
+              let q =
+                Engine.spawn eng (fun () -> ignore (Futex.wake tbl a ~count:1))
+              in
+              ignore (Engine.join q);
+              Engine.sleep (Time.us 5);
+              cross := !other;
+              Futex.defer_flush tbl)
+        in
+        ignore (Engine.join p2);
+        (first, !cross))
+  in
+  (match v with
+  | ((Some (n, waiters, resumed_inside), order), _) ->
+      Alcotest.(check int) "wake count synchronous" 2 n;
+      Alcotest.(check int) "queue drained synchronously" 0 waiters;
+      Alcotest.(check int) "no resume inside the window" 0 resumed_inside;
+      Alcotest.(check (list int)) "flush runs resumes in wake order" [ 1; 2 ]
+        order
+  | ((None, _), _) -> Alcotest.fail "window observation missing");
+  match v with
+  | (_, cross) ->
+      Alcotest.(check bool) "other processes' wakes are not deferred" true cross
+
 let test_futex_prepare_then_wake_before_commit () =
   let v =
     run_sim (fun eng ->
@@ -651,6 +721,8 @@ let () =
           Alcotest.test_case "two-phase deadline" `Quick test_futex_two_phase_deadline;
           Alcotest.test_case "wake before commit" `Quick
             test_futex_prepare_then_wake_before_commit;
+          Alcotest.test_case "deferred wake delivery" `Quick
+            test_futex_deferred_wakes;
         ] );
       ( "pthread",
         [

@@ -76,15 +76,24 @@ let gen_tcp_delta =
         map (fun cid -> Wire.D_peer_fin { cid }) (int_range 0 10_000);
       ])
 
+(* (channel, chan_seq) claim sets: 0-3 pairs, ascending channel order as
+   the sharded det core emits them. *)
+let gen_chans =
+  QCheck.Gen.(
+    map
+      (fun ps -> List.sort compare ps)
+      (list_size (int_range 0 3)
+         (pair (int_range 0 1000) (int_range 0 1_000_000))))
+
 let gen_record =
   QCheck.Gen.(
     oneof
       [
         map
-          (fun (ft_pid, thread_seq, global_seq, payload) ->
-            Wire.Sync_tuple { ft_pid; thread_seq; global_seq; payload })
-          (quad (int_range 0 1000) (int_range 0 1_000_000)
-             (int_range 0 1_000_000) gen_det_payload);
+          (fun (ft_pid, thread_seq, chans, payload) ->
+            Wire.Sync_tuple { ft_pid; thread_seq; chans; payload })
+          (quad (int_range 0 1000) (int_range 0 1_000_000) gen_chans
+             gen_det_payload);
         map
           (fun (ft_pid, sseq, result) ->
             Wire.Syscall_result { ft_pid; sseq; result })
@@ -106,7 +115,10 @@ let gen_message =
               Wire.Batch { base_lsn; ack_now; records })
             (int_range 0 1_000_000) bool
             (list_size (int_range 0 40) gen_record) );
-        (1, map (fun upto -> Wire.Ack { upto }) (int_range (-1) 1_000_000));
+        ( 1,
+          map2
+            (fun upto chans -> Wire.Ack { upto; chans })
+            (int_range (-1) 1_000_000) gen_chans );
         ( 1,
           map2
             (fun from_primary seq -> Wire.Heartbeat { from_primary; seq })
@@ -124,7 +136,10 @@ let print_message m =
         (if ack_now then "; ack_now" else "")
         (Format.pp_print_list Wire.pp_record)
         records
-  | Wire.Ack { upto } -> Printf.sprintf "Ack{upto=%d}" upto
+  | Wire.Ack { upto; chans } ->
+      Printf.sprintf "Ack{upto=%d; [%s]}" upto
+        (String.concat ","
+           (List.map (fun (c, s) -> Printf.sprintf "%d:%d" c s) chans))
   | Wire.Heartbeat { from_primary; seq } ->
       Printf.sprintf "Heartbeat{primary=%b; seq=%d}" from_primary seq
 
@@ -181,8 +196,11 @@ let prop_bad_magic =
 (* {1 Unit cases} *)
 
 let test_fixed_sizes () =
-  Alcotest.(check int) "ack frame" 24
-    (String.length (Wire.encode_message (Wire.Ack { upto = 7 })));
+  Alcotest.(check int) "ack frame" 28
+    (String.length (Wire.encode_message (Wire.Ack { upto = 7; chans = [] })));
+  Alcotest.(check int) "ack frame with cursors" 44
+    (String.length
+       (Wire.encode_message (Wire.Ack { upto = 7; chans = [ (0, 3); (2, 9) ] })));
   Alcotest.(check int) "heartbeat frame" 24
     (String.length
        (Wire.encode_message (Wire.Heartbeat { from_primary = true; seq = 3 })));
@@ -218,7 +236,9 @@ let test_garbage_inputs () =
   Bytes.set_int32_le b 4 (Int32.of_int 2);
   Alcotest.(check bool) "tiny declared length" true (malformed (Bytes.to_string b));
   (* Unknown message kind. *)
-  let b = Bytes.of_string (Wire.encode_message (Wire.Ack { upto = 1 })) in
+  let b =
+    Bytes.of_string (Wire.encode_message (Wire.Ack { upto = 1; chans = [] }))
+  in
   Bytes.set b 2 '\x09';
   Alcotest.(check bool) "unknown kind" true (malformed (Bytes.to_string b))
 
@@ -256,7 +276,7 @@ let test_max_size_frame () =
 let test_batched_record_bytes () =
   let r =
     Wire.Sync_tuple
-      { ft_pid = 1; thread_seq = 2; global_seq = 3; payload = Wire.P_plain }
+      { ft_pid = 1; thread_seq = 2; chans = [ (0, 3) ]; payload = Wire.P_plain }
   in
   (* A batched record saves header - sub_header bytes vs. standalone. *)
   Alcotest.(check int) "sub-header saving"
