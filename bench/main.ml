@@ -879,6 +879,14 @@ let chaos quick =
 let batch_window_override : Time.t option ref = ref None
 let batch_bytes_override : int option ref = ref None
 
+(* --replay-workers: size the backups' replay-executor pools for any
+   experiment that builds clusters from [scaling_config] (default 1 = the
+   serial drain the committed baselines were recorded with). *)
+let replay_workers_override : int option ref = ref None
+
+let effective_replay_workers () =
+  match !replay_workers_override with Some n -> n | None -> 1
+
 let batch_on_config () =
   let b = Msglayer.default_batch in
   let b =
@@ -1120,14 +1128,20 @@ let det_overhead eng =
    streams let independent objects keep moving.  With the default batched
    sink appends only stage and never block in-section, so neither variant
    would ever observe contention. *)
-let scaling_config ~det_shard =
+let scaling_config ?replay_workers ~det_shard () =
+  let replay_workers =
+    match replay_workers with
+    | Some n -> n
+    | None -> effective_replay_workers ()
+  in
   {
     (ft_config ~mailbox_capacity:256 ()) with
     Cluster.det_shard;
+    replay_workers;
     batch = Msglayer.unbatched;
   }
 
-let run_scaling_pbzip2 ~det_shard ~workers ~file_mb =
+let run_scaling_pbzip2 ?replay_workers ~det_shard ~workers ~file_mb () =
   let eng = new_engine () in
   let params =
     {
@@ -1143,7 +1157,11 @@ let run_scaling_pbzip2 ~det_shard ~workers ~file_mb =
     if Kernel.name api.Api.kernel = "primary" then
       t_done := Some (Engine.now eng)
   in
-  let cluster = Cluster.create eng ~config:(scaling_config ~det_shard) ~app () in
+  let cluster =
+    Cluster.create eng
+      ~config:(scaling_config ?replay_workers ~det_shard ())
+      ~app ()
+  in
   drive eng ~cap:(Time.sec 300) ~stop:(fun () -> !t_done <> None);
   Cluster.shutdown cluster;
   let dur = Time.to_sec_f (Option.value ~default:(Time.sec 300) !t_done) in
@@ -1174,7 +1192,9 @@ let run_scaling_cpuhog ~det_shard ~threads ~slices =
     if Kernel.name api.Api.kernel = "primary" then
       t_done := Some (Engine.now eng)
   in
-  let cluster = Cluster.create eng ~config:(scaling_config ~det_shard) ~app () in
+  let cluster =
+    Cluster.create eng ~config:(scaling_config ~det_shard ()) ~app ()
+  in
   drive eng ~cap:(Time.sec 300) ~stop:(fun () -> !t_done <> None);
   Cluster.shutdown cluster;
   let dur = Time.to_sec_f (Option.value ~default:(Time.sec 300) !t_done) in
@@ -1202,7 +1222,7 @@ let run_scaling_memcached ~det_shard ~workers ~iters ~clients =
   in
   let cluster =
     Cluster.create eng
-      ~config:(scaling_config ~det_shard)
+      ~config:(scaling_config ~det_shard ())
       ~link:(Link.endpoint_a link)
       ~app:(fun api -> Memcached.server ~params api)
       ()
@@ -1267,7 +1287,7 @@ let scaling quick =
     [
       ( "pbzip2",
         fun ~det_shard w ->
-          run_scaling_pbzip2 ~det_shard ~workers:w ~file_mb:pb_file_mb );
+          run_scaling_pbzip2 ~det_shard ~workers:w ~file_mb:pb_file_mb () );
       ( "cpuhog",
         fun ~det_shard w ->
           run_scaling_cpuhog ~det_shard ~threads:w ~slices:hog_slices );
@@ -1325,6 +1345,66 @@ let scaling quick =
     \ gate diffs the scaling.*.ops_per_sec gauges against bench/baseline/)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Replay: serial drain vs parallel replay executors                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The backup's serial replay drain is the system-wide ceiling PR 5 left
+   behind (ROADMAP open item 1): pbzip2's sharded sections stream faster
+   than one replay process can consume, so the 256-slot ring backpressures
+   the primary and ops/s flatlines from 16 workers up.  This sweep holds
+   the workload fixed and varies only the executor-pool size, so the rw1
+   column IS the serial baseline the rw4+ columns must beat. *)
+let replay quick =
+  hr "Replay: serial drain vs parallel replay executors (pbzip2, shard on)";
+  (* Summary engine first: its gauges are element 0 of BENCH_replay.json,
+     the slot the regression comparator reads. *)
+  let summary = new_engine () in
+  let reg = Engine.metrics summary in
+  let worker_counts = if quick then [ 8; 16 ] else [ 8; 16; 32 ] in
+  let rw_counts = [ 1; 4 ] in
+  let pb_file_mb = if quick then 16 else 64 in
+  Printf.printf "%-8s %14s %12s %14s %10s\n" "workers" "replay-workers"
+    "ops/s" "lock-wait(ms)" "sections";
+  List.iter
+    (fun w ->
+      let results =
+        List.map
+          (fun rw ->
+            ( rw,
+              run_scaling_pbzip2 ~replay_workers:rw ~det_shard:true ~workers:w
+                ~file_mb:pb_file_mb () ))
+          rw_counts
+      in
+      List.iter
+        (fun (rw, r) ->
+          Printf.printf "%-8d %14d %12.0f %14.2f %10d\n" w rw r.sr_ops_per_s
+            r.sr_lock_wait_ms r.sr_sections;
+          let g key v = Metrics.Gauge.set (Metrics.Registry.gauge reg key) v in
+          g
+            (Printf.sprintf "replay.pbzip2.w%d.rw%d.ops_per_sec" w rw)
+            r.sr_ops_per_s)
+        results;
+      match (List.assoc_opt 1 results, List.rev results) with
+      | Some serial, (rw_max, par) :: _ when rw_max > 1 ->
+          let gain =
+            if serial.sr_ops_per_s > 0. then
+              100. *. ((par.sr_ops_per_s /. serial.sr_ops_per_s) -. 1.)
+            else 0.
+          in
+          Printf.printf "%-8s %14s parallel: %+.1f%% ops/s vs serial drain\n"
+            "" "" gain;
+          Metrics.Gauge.set
+            (Metrics.Registry.gauge reg
+               (Printf.sprintf "replay.pbzip2.w%d.parallel_gain_pct" w))
+            gain
+      | _ -> ())
+    worker_counts;
+  Printf.printf
+    "(acceptance: pbzip2 ops/s with 4 replay executors strictly above the\n\
+    \ serial drain at 16 and 32 workers; the CI bench-regress gate diffs\n\
+    \ the replay.*.ops_per_sec gauges against bench/baseline/)\n"
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1343,6 +1423,7 @@ let experiments =
     ("chaos", chaos, "Chaos campaigns: random fault schedules + divergence checks");
     ("batch", batch, "Batched sync-tuple streaming: traffic with batching off vs on");
     ("scaling", scaling, "Det-section sharding off vs on: overhead vs worker count");
+    ("replay", replay, "Backup replay: serial drain vs parallel replay executors");
   ]
 
 let run_all quick =
@@ -1356,6 +1437,7 @@ let run_all quick =
   run_experiment "chaos" chaos quick;
   run_experiment "batch" batch quick;
   run_experiment "scaling" scaling quick;
+  run_experiment "replay" replay quick;
   run_experiment "micro" micro quick
 
 let () =
@@ -1391,6 +1473,17 @@ let () =
     | [ "--batch-bytes" ] ->
         Printf.eprintf "bench: --batch-bytes requires a BYTES argument\n";
         exit 1
+    | "--replay-workers" :: v :: rest ->
+        let n = int_flag "--replay-workers" v in
+        if n < 1 then begin
+          Printf.eprintf "bench: --replay-workers requires N >= 1\n";
+          exit 1
+        end;
+        replay_workers_override := Some n;
+        strip rest
+    | [ "--replay-workers" ] ->
+        Printf.eprintf "bench: --replay-workers requires an N argument\n";
+        exit 1
     | a :: rest -> a :: strip rest
   in
   let args = strip (List.tl (Array.to_list Sys.argv)) in
@@ -1411,5 +1504,5 @@ let () =
   | _ ->
       Printf.eprintf
         "usage: bench [EXPERIMENT] [--quick] [--trace-out PATH] \
-         [--batch-window USEC] [--batch-bytes BYTES]\n";
+         [--batch-window USEC] [--batch-bytes BYTES] [--replay-workers N]\n";
       exit 1

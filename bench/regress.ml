@@ -209,17 +209,12 @@ let direction key =
     Some `Higher_better
   else None
 
-let gated key =
-  (* "<engine-index>.batch.<workload>...." or "<engine-index>.scaling...." *)
-  match String.index_opt key '.' with
-  | Some i ->
-      let rest = String.sub key (i + 1) (String.length key - i - 1) in
-      let starts p =
-        String.length rest >= String.length p
-        && String.sub rest 0 (String.length p) = p
-      in
-      starts "batch." || starts "scaling."
-  | None -> false
+(* Every key of every committed baseline is gated: any metric family that
+   lands in bench/baseline/BENCH_*.json participates automatically.  The
+   direction suffix decides whether a key is actually compared — keys
+   without a recognized suffix (raw counters, timings the simulator does
+   not hold deterministic across refactors) stay informational. *)
+let gated _key = true
 
 let () =
   let baseline_path, current_path =

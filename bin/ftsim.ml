@@ -91,6 +91,16 @@ let det_shard_t =
            replication core).  $(b,off) restores the namespace-global mutex \
            and total sync-tuple order.")
 
+let replay_workers_t =
+  Arg.(
+    value & opt int 1
+    & info [ "replay-workers" ] ~docv:"N"
+        ~doc:
+          "Backup replay-executor pool size.  $(b,1) (default) keeps the \
+           serial replay drain; above 1, records fan out to N executors and \
+           only the per-channel x per-thread partial order serializes \
+           replay (most effective with $(b,--det-shard on)).")
+
 let metrics_json_t =
   Arg.(
     value & opt (some string) None
@@ -205,7 +215,8 @@ let apply_detail eng detail =
 
 let pbzip2_cmd =
   let run seed replicated fail_at block_kb file_mb workers batch det_shard
-      metrics_json trace_out trace_detail log_level log_filter =
+      replay_workers metrics_json trace_out trace_detail log_level log_filter =
+
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -230,7 +241,8 @@ let pbzip2_cmd =
           finish api
         in
         let config =
-          { Cluster.default_config with Cluster.batch; det_shard }
+          { Cluster.default_config with Cluster.batch; det_shard;
+            replay_workers }
         in
         let c = Cluster.create eng ~config ~app () in
         (match fail_at with
@@ -278,14 +290,15 @@ let pbzip2_cmd =
     (Cmd.info "pbzip2" ~doc:"Parallel compression workload (paper §4.1).")
     Term.(
       const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
-      $ workers $ batch_t $ det_shard_t $ metrics_json_t $ trace_out_t
-      $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ workers $ batch_t $ det_shard_t $ replay_workers_t $ metrics_json_t
+      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 mongoose} *)
 
 let mongoose_cmd =
   let run seed replicated cpu_us concurrency seconds batch det_shard
-      metrics_json trace_out trace_detail log_level log_filter =
+      replay_workers metrics_json trace_out trace_detail log_level log_filter =
+
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -300,7 +313,8 @@ let mongoose_cmd =
     let cluster_opt =
       if replicated then
         let config =
-          { Cluster.default_config with Cluster.batch; det_shard }
+          { Cluster.default_config with Cluster.batch; det_shard;
+            replay_workers }
         in
         Some (Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ())
       else begin
@@ -348,8 +362,8 @@ let mongoose_cmd =
     (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
     Term.(
       const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds
-      $ batch_t $ det_shard_t $ metrics_json_t $ trace_out_t $ trace_detail_t
-      $ log_level_t $ log_filter_t)
+      $ batch_t $ det_shard_t $ replay_workers_t $ metrics_json_t $ trace_out_t
+      $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 failover / fileserver / timeline}
 
@@ -358,7 +372,8 @@ let mongoose_cmd =
    with the failure optional, and [timeline] reads the per-phase failover
    breakdown back out of the event trace. *)
 
-let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard ~detail
+let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard
+    ~replay_workers ~detail
     () =
   let eng = Engine.create ~seed () in
   apply_detail eng detail;
@@ -375,6 +390,7 @@ let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard ~detail
       Cluster.driver_load_time = Time.ms driver_ms;
       batch;
       det_shard;
+      replay_workers;
     }
   in
   let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
@@ -408,12 +424,12 @@ let file_mb_t =
   Arg.(value & opt int 512 & info [ "file-mb" ] ~docv:"MB" ~doc:"File size.")
 
 let failover_cmd =
-  let run seed file_mb fail_at_ms driver_ms batch det_shard metrics_json
-      trace_out trace_detail log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~det_shard ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -434,16 +450,16 @@ let failover_cmd =
        ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ metrics_json_t
+      $ det_shard_t $ replay_workers_t $ metrics_json_t
       $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let fileserver_cmd =
-  let run seed file_mb fail_at_ms driver_ms batch det_shard metrics_json
-      trace_out trace_detail log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms ~batch
-        ~det_shard ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -463,16 +479,16 @@ let fileserver_cmd =
           mid-stream primary failure.")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ metrics_json_t
+      $ det_shard_t $ replay_workers_t $ metrics_json_t
       $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let timeline_cmd =
-  let run seed file_mb fail_at_ms driver_ms batch det_shard trace_out
-      trace_detail log_level log_filter =
+  let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
+      trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, _w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~det_shard ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~detail:trace_detail ()
     in
     dump_trace eng trace_out;
     let evs = Evlog.events (Engine.evlog eng) in
@@ -529,14 +545,15 @@ let timeline_cmd =
           breakdown (Fig. 8 anatomy) from the event trace.")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ trace_out_t
+      $ det_shard_t $ replay_workers_t $ trace_out_t
       $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 triple} *)
 
 let triple_cmd =
-  let run seed fail_backup_ms fail_primary_ms driver_ms det_shard metrics_json
-      trace_out trace_detail log_level log_filter =
+  let run seed fail_backup_ms fail_primary_ms driver_ms det_shard
+      replay_workers metrics_json trace_out trace_detail log_level log_filter =
+
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -546,6 +563,7 @@ let triple_cmd =
         Cluster.default_config with
         Cluster.driver_load_time = Time.ms driver_ms;
         det_shard;
+        replay_workers;
       }
     in
     let app (api : Api.t) =
@@ -625,8 +643,8 @@ let triple_cmd =
        ~doc:"Three-replica echo service with optional injected failures (paper 6).")
     Term.(
       const run $ seed_t $ fail_backup $ fail_primary $ driver_ms_t
-      $ det_shard_t $ metrics_json_t $ trace_out_t $ trace_detail_t
-      $ log_level_t $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ metrics_json_t $ trace_out_t
+      $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 memdump} *)
 
@@ -672,8 +690,8 @@ let memdump_cmd =
 (* {1 chaos} *)
 
 let chaos_cmd =
-  let run root_seed seeds quick workload replicas horizon_ms det_shard report
-      repro_trace log_level log_filter =
+  let run root_seed seeds quick workload replicas horizon_ms det_shard
+      replay_workers report repro_trace log_level log_filter =
     setup_logging log_level log_filter;
     match Chaosrun.workload_of_string workload with
     | Error e ->
@@ -696,14 +714,16 @@ let chaos_cmd =
         in
         Printf.printf
           "chaos campaign: %d schedules, root seed %d, workload %s, %d \
-           replicas, det-shard %s\n\
+           replicas, det-shard %s, replay-workers %d\n\
            %!"
           seeds root_seed workload replicas
-          (if det_shard then "on" else "off");
+          (if det_shard then "on" else "off")
+          replay_workers;
         let rep =
           Chaos.run_campaign ~root_seed ~count:seeds ~replicas ~horizon
             ~workload
-            ~run:(fun s -> Chaosrun.run ~det_shard ~workload:w ~replicas s)
+            ~run:(fun s ->
+              Chaosrun.run ~det_shard ~replay_workers ~workload:w ~replicas s)
             ~progress ()
         in
         (match report with
@@ -726,7 +746,8 @@ let chaos_cmd =
             | Some path ->
                 (* Re-run the minimal schedule once to capture its trace. *)
                 ignore
-                  (Chaosrun.run ~det_shard ~workload:w ~replicas
+                  (Chaosrun.run ~det_shard ~replay_workers ~workload:w
+                     ~replicas
                      ~on_trace:(fun ev ->
                        try
                          Evlog.write_file ev
@@ -812,7 +833,8 @@ let chaos_cmd =
           checker + client-consistency oracle.")
     Term.(
       const run $ root_seed $ seeds $ quick $ workload $ replicas $ horizon_ms
-      $ det_shard_t $ report $ repro_trace $ log_level_t $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ report $ repro_trace $ log_level_t
+      $ log_filter_t)
 
 let () =
   let info =

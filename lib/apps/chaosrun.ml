@@ -164,7 +164,8 @@ let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections ~end_
     o_end = end_at;
   }
 
-let run_two ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
+let run_two ?on_trace ?(mutate = false) ?(det_shard = true)
+    ?(replay_workers = 1) ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
@@ -173,7 +174,8 @@ let run_two ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
   let app, mk_oracle = app_and_oracle workload in
   let cluster =
     Cluster.create eng
-      ~config:{ (fast_config Topology.small) with Cluster.det_shard }
+      ~config:
+        { (fast_config Topology.small) with Cluster.det_shard; replay_workers }
       ~link:(Link.endpoint_a link) ~app ()
   in
   if mutate then
@@ -213,7 +215,8 @@ let run_two ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
 
-let run_three ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
+let run_three ?on_trace ?(mutate = false) ?(det_shard = true)
+    ?(replay_workers = 1) ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
@@ -222,7 +225,7 @@ let run_three ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
   let app, mk_oracle = app_and_oracle workload in
   let tri =
     Tricluster.create eng
-      ~config:{ (fast_config small4) with Cluster.det_shard }
+      ~config:{ (fast_config small4) with Cluster.det_shard; replay_workers }
       ~link:(Link.endpoint_a link) ~app ()
   in
   if mutate then
@@ -264,8 +267,9 @@ let run_three ?on_trace ?(mutate = false) ?(det_shard = true) ~workload sched =
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
 
-let run ?on_trace ?mutate ?det_shard ~workload ~replicas sched =
+let run ?on_trace ?mutate ?det_shard ?replay_workers ~workload ~replicas sched
+    =
   match replicas with
-  | 2 -> run_two ?on_trace ?mutate ?det_shard ~workload sched
-  | 3 -> run_three ?on_trace ?mutate ?det_shard ~workload sched
+  | 2 -> run_two ?on_trace ?mutate ?det_shard ?replay_workers ~workload sched
+  | 3 -> run_three ?on_trace ?mutate ?det_shard ?replay_workers ~workload sched
   | n -> invalid_arg (Printf.sprintf "Chaosrun.run: %d replicas" n)

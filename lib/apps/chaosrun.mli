@@ -22,6 +22,7 @@ val run :
   ?on_trace:(Evlog.t -> unit) ->
   ?mutate:bool ->
   ?det_shard:bool ->
+  ?replay_workers:int ->
   workload:workload ->
   replicas:int ->
   Chaos.schedule ->
@@ -31,4 +32,5 @@ val run :
     makes the secondary skip one sync tuple's digest fold, proving the
     checker detects a seeded divergence.  [det_shard] (default true) selects
     the per-channel deterministic-section core; [false] restores the
-    namespace-global total order. *)
+    namespace-global total order.  [replay_workers] (default 1) sizes the
+    backups' replay-executor pools (see {!Cluster.config}). *)

@@ -14,6 +14,8 @@ type config = {
   output_commit : bool;
   ack_commit : bool;
   det_shard : bool;
+  replay_workers : int;
+      (* secondary replay-executor pool; 1 = the original serial drain *)
   driver_load_time : Time.t;
   delta_replay_cost : Time.t;
   batch : Msglayer.batch_config;
@@ -33,6 +35,7 @@ let default_config =
     output_commit = true;
     ack_commit = true;
     det_shard = true;
+    replay_workers = 1;
     driver_load_time = Time.ms 4950;
     delta_replay_cost = Time.us 10;
     batch = Msglayer.default_batch;
@@ -125,7 +128,10 @@ let run_failover t =
   ignore
     (Kernel.spawn_thread t.kernel_s ~name:"ft-failover" (fun () ->
          (* 1. Drain the log: everything the primary managed to put in
-            shared memory survives its crash and must be consumed. *)
+            shared memory survives its crash and must be consumed.
+            [Msglayer.drained] also covers the replay-executor pool, so
+            with parallel replay this waits for every executor's queue —
+            not just the dispatch loop — to run dry. *)
          let rec wait_drained () =
            if not (Msglayer.drained t.ml_s) then begin
              Engine.sleep (Time.ms 1);
@@ -240,7 +246,9 @@ let create eng ?(config = default_config) ?link ~app () =
   let ml_s =
     Msglayer.create_secondary ~batch:config.batch
       ~chan_progress:(fun () -> Namespace.chan_progress ns_s)
-      eng ~inb:duplex.Mailbox.a_to_b ~out:duplex.Mailbox.b_to_a
+      ~chan_restore:(fun chans -> Namespace.chan_restore ns_s chans)
+      ~workers:config.replay_workers eng ~inb:duplex.Mailbox.a_to_b
+      ~out:duplex.Mailbox.b_to_a
       ~replay_cost:config.kernel_config.Kernel.wake_latency
       ~delta_cost:config.delta_replay_cost
       ~handler:(fun record -> Namespace.record_handler ns_s record)

@@ -30,6 +30,11 @@ type config = {
   det_shard : bool;
       (** per-object channels for deterministic sections (default true);
           [false] restores the namespace-global total order *)
+  replay_workers : int;
+      (** secondary replay-executor pool size (default 1 = the serial
+          drain).  Above 1, records fan out to executors and only the
+          per-channel × per-thread partial order serializes replay; most
+          effective with [det_shard = true] *)
   driver_load_time : Time.t;
   delta_replay_cost : Time.t;
       (** secondary-side cost of absorbing one TCP delta (the

@@ -62,6 +62,8 @@ type t = {
   m_cont_misc : Metrics.Counter.t;
   m_cont_fs : Metrics.Counter.t;
   m_cont_obj : Metrics.Counter.t;
+  m_gate_stalls : Metrics.Counter.t;
+      (* secondary: sections whose admission gate made the thread wait *)
   mutable dig : Digest.t option;  (* divergence-checker recorder *)
   mutable skip_fold : int option;  (* testing: Nth replayed section whose
                                       digest fold the secondary skips *)
@@ -92,6 +94,7 @@ let make rl ?(shard = true) eng ml =
     m_cont_misc = Metrics.Registry.counter reg "det.contended.misc";
     m_cont_fs = Metrics.Registry.counter reg "det.contended.fs";
     m_cont_obj = Metrics.Registry.counter reg "det.contended.obj";
+    m_gate_stalls = Metrics.Registry.counter reg "replay.gate_stalls";
     dig = None;
     skip_fold = None;
   }
@@ -335,14 +338,19 @@ let det_start_secondary t ~chans =
   let ctx = ctx_exn t in
   if t.live || ctx.live_seen then det_start_live t ctx ~chans
   else begin
-    let rec wait () =
+    let rec wait stalled =
       if t.live then ctx.live_seen <- true
       else if not (head_runnable t ctx) then begin
+        (* Count each gated section once, however many wake-ups it absorbs:
+           with parallel replay executors this is the contention signal —
+           how often a delivered tuple had to wait for another executor's
+           channel predecessors. *)
+        if not stalled then Metrics.Counter.incr t.m_gate_stalls;
         ignore (Sync.wait_on t.turn_changed);
-        wait ()
+        wait true
       end
     in
-    wait ();
+    wait false;
     if ctx.live_seen then det_start_live t ctx ~chans
     else begin
       (* Replay mode: the gate above is the only serialization a replayed
@@ -467,6 +475,14 @@ let chan_progress t =
       else acc)
     t.chans []
   |> List.sort compare
+
+(* Undo a [chan_progress] drain whose ack never reached the wire: re-mark
+   the drained channels dirty so their cursors ride the next ack instead of
+   stalling until an unrelated consume dirties them again.  Cursors are
+   cumulative, so re-marking is idempotent — the next drain simply reports
+   the current (>=) consumed count. *)
+let chan_progress_restore t chans =
+  List.iter (fun (c, _) -> (chan_get t c).ch_dirty <- true) chans
 
 (* {1 Syscall streams} *)
 

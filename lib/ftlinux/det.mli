@@ -122,6 +122,12 @@ val chan_progress : t -> (int * int) list
     cleared, so each call reports only fresh progress (piggybacked on
     acks). *)
 
+val chan_progress_restore : t -> (int * int) list -> unit
+(** Re-mark channels drained by a {!chan_progress} call whose ack could not
+    be sent (full ring), so their cursors ride the next ack rather than
+    stalling until an unrelated consume.  Idempotent: cursors are
+    cumulative. *)
+
 (** {1 Per-thread syscall streams} *)
 
 val log_syscall : t -> Wire.syscall_result -> int

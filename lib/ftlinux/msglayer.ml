@@ -67,12 +67,30 @@ type secondary = {
   delta_cost : Time.t;
   handler : Wire.record -> unit;
   chan_progress : unit -> (int * int) list;
+  chan_restore : (int * int) list -> unit;
+  workers : int;  (* replay executors; 1 = the original serial drain *)
   mutable s_received : int;
+      (* Contiguous replay watermark: every LSN <= s_received has been
+         handled.  Serial replay advances it in arrival order; with
+         executors it advances through [complete] as out-of-order
+         completions become contiguous, so [Ack.upto] stays exact. *)
   mutable s_last_acked : int;
   mutable s_last_peer : Time.t;
-  mutable processing : bool;
+  mutable processing : bool;  (* dispatch (or serial replay) mid-message *)
   mutable ack_timer : Engine.handle option;
+  (* Executor pool (workers > 1).  Records are routed by ft_pid so each
+     thread's deliveries stay FIFO; the per-channel admission gate in Det
+     provides all remaining serialization. *)
+  exec_qs : (int * Wire.record) Queue.t array;
+  exec_wqs : Waitq.t array;
+  mutable inflight : int;  (* dispatched to executors, not yet completed *)
+  done_lsns : (int, unit) Hashtbl.t;  (* completed above the watermark *)
+  mutable ack_req_upto : int;  (* pending ack_now request; -1 = none *)
+  mutable completed_since_ack : int;
+  mutable queue_peak : int;
   r_replayed : Metrics.Counter.t;
+  r_exec_records : Metrics.Counter.t array;
+  g_queue_peak : Metrics.Gauge.t option;
 }
 
 let log = Trace.make "ft.msglayer"
@@ -316,8 +334,14 @@ let spawn_primary_rx p spawn =
 
 (* {1 Secondary} *)
 
-let create_secondary ?(batch = unbatched) ?(chan_progress = fun () -> []) eng
-    ~inb ~out ~replay_cost ~delta_cost ~handler =
+let create_secondary ?(batch = unbatched) ?(chan_progress = fun () -> [])
+    ?(chan_restore = fun _ -> ()) ?(workers = 1) eng ~inb ~out ~replay_cost
+    ~delta_cost ~handler =
+  if workers < 1 then invalid_arg "Msglayer.create_secondary: workers < 1";
+  let reg = Engine.metrics eng in
+  (* Executor metrics exist only in parallel mode so serial runs keep their
+     registry dumps (and the committed bench baselines) byte-identical. *)
+  let n = if workers > 1 then workers else 0 in
   {
     s_eng = eng;
     s_in = inb;
@@ -327,13 +351,27 @@ let create_secondary ?(batch = unbatched) ?(chan_progress = fun () -> []) eng
     delta_cost;
     handler;
     chan_progress;
+    chan_restore;
+    workers;
     s_received = -1;
     s_last_acked = -1;
     s_last_peer = Engine.now eng;
     processing = false;
     ack_timer = None;
-    r_replayed =
-      Metrics.Registry.counter (Engine.metrics eng) "msglayer.records_replayed";
+    exec_qs = Array.init n (fun _ -> Queue.create ());
+    exec_wqs = Array.init n (fun _ -> Waitq.create ());
+    inflight = 0;
+    done_lsns = Hashtbl.create 64;
+    ack_req_upto = -1;
+    completed_since_ack = 0;
+    queue_peak = 0;
+    r_replayed = Metrics.Registry.counter reg "msglayer.records_replayed";
+    r_exec_records =
+      Array.init n (fun i ->
+          Metrics.Registry.counter reg (Printf.sprintf "replay.exec%d.records" i));
+    g_queue_peak =
+      (if workers > 1 then Some (Metrics.Registry.gauge reg "replay.queue_depth_peak")
+       else None);
   }
 
 let cancel_ack_timer s =
@@ -343,13 +381,16 @@ let cancel_ack_timer s =
       s.ack_timer <- None;
       Engine.cancel h
 
+(* Delayed-ack arming needs to be visible from [send_ack]'s failure path:
+   forward-declared, tied below. *)
+let arm_delayed_ack_ref = ref (fun (_ : secondary) -> ())
+
 let send_ack s =
   if s.s_received > s.s_last_acked then begin
-    (* Per-channel replay cursors ride the ack.  The dirty marks are
-       drained here; if the try_send below fails, the cursors travel with
-       the next ack a further consume triggers — acceptable for an
-       observability-only signal, and the [upto] cursor stays exact. *)
-    let msg = Wire.Ack { upto = s.s_received; chans = s.chan_progress () } in
+    (* Per-channel replay cursors ride the ack; the dirty marks are drained
+       here. *)
+    let chans = s.chan_progress () in
+    let msg = Wire.Ack { upto = s.s_received; chans } in
     (* Cumulative: a skipped ack (full ring, dead primary) is subsumed by
        the next one. *)
     if
@@ -364,6 +405,15 @@ let send_ack s =
       Evlog.counter ev ~comp:"ft.msglayer" "acked_lsn"
         (float_of_int s.s_received)
     end
+    else begin
+      (* The ack never reached the wire.  Put the drained cursors back
+         (they would otherwise stall until an unrelated consume re-dirtied
+         their channels) and re-arm the delayed-ack timer so the
+         cumulative ack itself retries even if the replay queue stays
+         idle from here on. *)
+      s.chan_restore chans;
+      !arm_delayed_ack_ref s
+    end
   end
 
 (* Delayed-ack coalescing, the shape of the TCP stack's: instead of acking
@@ -377,6 +427,8 @@ let arm_delayed_ack s =
     | _ ->
         let at = Engine.now s.s_eng + s.s_batch.ack_delay in
         s.ack_timer <- Some (Engine.timer s.s_eng ~at (fun () -> send_ack s))
+
+let () = arm_delayed_ack_ref := arm_delayed_ack
 
 let replay_one s ~lsn record =
   let sp =
@@ -430,31 +482,224 @@ let wants_ack_now = function
   | Wire.Record { ack_now; _ } | Wire.Batch { ack_now; _ } -> ack_now
   | Wire.Ack _ | Wire.Heartbeat _ -> false
 
-let spawn_secondary_rx s spawn =
+(* {2 Parallel replay executors}
+
+   With [workers > 1] the rx process becomes a pure dispatcher: it drains
+   the mailbox in LSN order, applies TCP deltas inline (they never wake a
+   thread, and a record behind a delta may depend on the stream state the
+   delta installs), and routes thread-waking records to the executor keyed
+   by [ft_pid mod workers] — so each replicated thread's deliveries stay
+   FIFO, the invariant Det's per-thread queues require.  All remaining
+   serialization is the per-channel admission gate in Det: an executor
+   that runs ahead of a channel's cursor parks on the gate, reproducing
+   exactly the partial order the primary recorded.  The cumulative-ack
+   watermark must stay gapless even though executors complete records out
+   of order, so completions above the watermark pool in [done_lsns] until
+   the gap closes. *)
+
+let executor_of s record =
+  match record with
+  | Wire.Sync_tuple { ft_pid; _ } | Wire.Syscall_result { ft_pid; _ } ->
+      ft_pid mod s.workers
+  | Wire.Tcp_delta _ -> assert false (* applied inline by the dispatcher *)
+
+(* Record [lsn] fully replayed: advance the contiguous watermark. *)
+let complete s lsn =
+  if lsn > s.s_received then begin
+    Hashtbl.replace s.done_lsns lsn ();
+    while Hashtbl.mem s.done_lsns (s.s_received + 1) do
+      Hashtbl.remove s.done_lsns (s.s_received + 1);
+      s.s_received <- s.s_received + 1
+    done
+  end
+
+(* Ack policy after each completed record.  Mirrors the serial loop:
+   coalesce up to [ack_every] completions, answer pending ack_now requests
+   the moment the watermark covers them, and fall back to the delayed ack
+   when the pool runs dry. *)
+let after_completion s =
+  s.completed_since_ack <- s.completed_since_ack + 1;
+  if s.ack_req_upto >= 0 && s.s_received >= s.ack_req_upto then begin
+    s.ack_req_upto <- -1;
+    s.completed_since_ack <- 0;
+    send_ack s
+  end
+  else if s.completed_since_ack >= s.s_batch.ack_every then begin
+    s.completed_since_ack <- 0;
+    send_ack s
+  end
+  else if s.inflight = 0 && not s.processing then
+    if s.s_batch.ack_delay <= 0 then send_ack s else arm_delayed_ack s
+
+(* The primary asked for an ack covering [upto]: answer as soon as the
+   watermark reaches it (maybe right now — e.g. an empty ack_now batch
+   poking for [base_lsn - 1]). *)
+let request_ack s ~upto =
+  if s.s_received >= upto then begin
+    s.completed_since_ack <- 0;
+    send_ack s
+  end
+  else s.ack_req_upto <- max s.ack_req_upto upto
+
+let enqueue s ~lsn record =
+  let i = executor_of s record in
+  Queue.add (lsn, record) s.exec_qs.(i);
+  s.inflight <- s.inflight + 1;
+  if s.inflight > s.queue_peak then begin
+    s.queue_peak <- s.inflight;
+    match s.g_queue_peak with
+    | Some g -> Metrics.Gauge.set g (float_of_int s.queue_peak)
+    | None -> ()
+  end;
+  ignore (Waitq.wake_one s.exec_wqs.(i))
+
+let dispatch_record s ~lsn record =
+  if Wire.wakes_thread record then enqueue s ~lsn record
+  else begin
+    (* Inline TCP delta: dispatch order is LSN order, so any record behind
+       this one observes the shadow-stream state it had on the primary. *)
+    let sp =
+      Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer" "replay"
+        ~args:[ ("lsn", Evlog.Int lsn) ]
+    in
+    Engine.sleep s.delta_cost;
+    s.handler record;
+    Evlog.span_end (Engine.evlog s.s_eng) sp;
+    Metrics.Counter.incr s.r_replayed;
+    complete s lsn;
+    after_completion s
+  end
+
+(* One record, executor context: channel-tagged replay span, then the same
+   wake_up_process() cost model as the serial drain. *)
+let replay_exec s ~exec ~lsn record =
+  let args =
+    ("lsn", Evlog.Int lsn)
+    :: ("executor", Evlog.Int exec)
+    ::
+    (match record with
+    | Wire.Sync_tuple { chans; _ } ->
+        [
+          ( "channels",
+            Evlog.Str
+              (String.concat ","
+                 (List.map (fun (c, _) -> string_of_int c) chans)) );
+        ]
+    | _ -> [])
+  in
+  let sp =
+    Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer" "replay" ~args
+  in
+  Engine.sleep s.replay_cost;
+  s.handler record;
+  Evlog.span_end (Engine.evlog s.s_eng) sp;
+  Metrics.Counter.incr s.r_replayed;
+  Metrics.Counter.incr s.r_exec_records.(exec);
+  s.inflight <- s.inflight - 1;
+  complete s lsn;
+  after_completion s
+
+let spawn_executor s spawn i =
   ignore
-    (spawn "ft-ml-srx" (fun () ->
-         let rec loop since_ack =
-           (* Drain what is immediately available, then ack once. *)
-           match Mailbox.poll s.s_in with
-           | Some msg ->
-               let since_ack = since_ack + handle s msg in
-               if wants_ack_now msg || since_ack >= s.s_batch.ack_every then begin
-                 send_ack s;
-                 loop 0
-               end
-               else loop since_ack
+    (spawn
+       (Printf.sprintf "ft-ml-srx-%d" i)
+       (fun () ->
+         let q = s.exec_qs.(i) in
+         let rec loop () =
+           match Queue.take_opt q with
+           | Some (lsn, record) ->
+               replay_exec s ~exec:i ~lsn record;
+               loop ()
            | None ->
-               if s.s_batch.ack_delay <= 0 then send_ack s
-               else arm_delayed_ack s;
-               let msg = Mailbox.recv s.s_in in
-               let n = handle s msg in
-               if wants_ack_now msg then begin
-                 send_ack s;
-                 loop 0
-               end
-               else loop n
+               (* Cooperative scheduler: the empty check and the park are
+                  atomic, so a wake between them cannot be lost. *)
+               ignore (Sync.wait_on s.exec_wqs.(i));
+               loop ()
          in
-         loop 0))
+         loop ()))
+
+let dispatch_msg s msg =
+  s.s_last_peer <- Engine.now s.s_eng;
+  match msg with
+  | Wire.Record { lsn; record; ack_now } ->
+      s.processing <- true;
+      dispatch_record s ~lsn record;
+      s.processing <- false;
+      if ack_now then request_ack s ~upto:lsn
+  | Wire.Batch { base_lsn; records; ack_now } ->
+      (* Dispatch never parks between records (enqueue is non-blocking),
+         so the whole frame reaches the executor queues before a failover
+         can observe [processing = false] — the batch keeps its
+         all-or-nothing replay guarantee. *)
+      s.processing <- true;
+      let count = List.length records in
+      let sp =
+        Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer"
+          "replay.batch"
+          ~args:
+            [ ("base_lsn", Evlog.Int base_lsn); ("count", Evlog.Int count) ]
+      in
+      List.iteri
+        (fun i record -> dispatch_record s ~lsn:(base_lsn + i) record)
+        records;
+      Evlog.span_end (Engine.evlog s.s_eng) sp;
+      s.processing <- false;
+      if ack_now then request_ack s ~upto:(base_lsn + count - 1)
+  | Wire.Heartbeat _ -> ()
+  | Wire.Ack _ -> Trace.errorf log ~eng:s.s_eng "unexpected ack on record channel"
+
+let spawn_secondary_rx s spawn =
+  if s.workers = 1 then
+    (* The original serial drain, untouched: one process replays in LSN
+       order and acks at frame boundaries. *)
+    ignore
+      (spawn "ft-ml-srx" (fun () ->
+           let rec loop since_ack =
+             (* Drain what is immediately available, then ack once. *)
+             match Mailbox.poll s.s_in with
+             | Some msg ->
+                 let since_ack = since_ack + handle s msg in
+                 if wants_ack_now msg || since_ack >= s.s_batch.ack_every
+                 then begin
+                   send_ack s;
+                   loop 0
+                 end
+                 else loop since_ack
+             | None ->
+                 if s.s_batch.ack_delay <= 0 then send_ack s
+                 else arm_delayed_ack s;
+                 let msg = Mailbox.recv s.s_in in
+                 let n = handle s msg in
+                 if wants_ack_now msg then begin
+                   send_ack s;
+                   loop 0
+                 end
+                 else loop n
+           in
+           loop 0))
+  else begin
+    for i = 0 to s.workers - 1 do
+      spawn_executor s spawn i
+    done;
+    ignore
+      (spawn "ft-ml-srx" (fun () ->
+           let rec loop () =
+             match Mailbox.poll s.s_in with
+             | Some msg ->
+                 dispatch_msg s msg;
+                 loop ()
+             | None ->
+                 (* Mailbox dry.  If the executors are idle too, this is
+                    the quiescent point the serial loop acks from; if not,
+                    the last completion will ack via [after_completion]. *)
+                 if s.inflight = 0 then
+                   if s.s_batch.ack_delay <= 0 then send_ack s
+                   else arm_delayed_ack s;
+                 dispatch_msg s (Mailbox.recv s.s_in);
+                 loop ()
+           in
+           loop ()))
+  end
 
 let received_lsn s = s.s_received
 
@@ -467,7 +712,10 @@ let send_heartbeat_s s ~seq =
 let last_peer_activity_s s = s.s_last_peer
 
 let drained s =
-  Mailbox.src_halted s.s_in && Mailbox.in_flight s.s_in = 0 && not s.processing
+  Mailbox.src_halted s.s_in
+  && Mailbox.in_flight s.s_in = 0
+  && (not s.processing)
+  && s.inflight = 0
 
 (* {1 Metrics} *)
 

@@ -135,6 +135,8 @@ val group_members : group -> primary list
 val create_secondary :
   ?batch:batch_config ->
   ?chan_progress:(unit -> (int * int) list) ->
+  ?chan_restore:((int * int) list -> unit) ->
+  ?workers:int ->
   Engine.t ->
   inb:Wire.message Mailbox.chan ->
   out:Wire.message Mailbox.chan ->
@@ -146,14 +148,29 @@ val create_secondary :
     results); [delta_cost] per TCP delta.  [batch] (default {!unbatched})
     supplies the ack-coalescing knobs.  [chan_progress] (default: none) is
     drained at each ack to piggyback cumulative per-channel replay cursors
-    (see {!Det.chan_progress}). *)
+    (see {!Det.chan_progress}); [chan_restore] (default: none) puts drained
+    cursors back when the ack could not be sent on a full ring (see
+    {!Det.chan_progress_restore}).
+
+    [workers] (default 1) is the replay-executor pool size.  At 1 the
+    receive loop is the original serial drain.  Above 1 the loop becomes a
+    dispatcher: TCP deltas apply inline in LSN order, thread-waking
+    records are routed to executor [ft_pid mod workers] (keeping each
+    replicated thread's deliveries FIFO), and the per-channel admission
+    gate in {!Det} supplies all remaining serialization.  Acks still carry
+    a gapless cumulative watermark: out-of-order completions pool until
+    the LSN gap below them closes. *)
 
 val spawn_secondary_rx : secondary -> (string -> (unit -> unit) -> Engine.proc) -> unit
-(** Start the receive loop: per record, charge [replay_cost], invoke the
-    handler, and acknowledge cumulatively — every [ack_every] records while
-    the queue is hot, otherwise via the delayed-ack timer. *)
+(** Start the receive loop (plus the executor pool when [workers > 1]):
+    per record, charge [replay_cost], invoke the handler, and acknowledge
+    cumulatively — every [ack_every] records while the queue is hot,
+    otherwise via the delayed-ack timer. *)
 
 val received_lsn : secondary -> int
+(** Contiguous replay watermark: every LSN [<= received_lsn] is replayed
+    (with parallel executors, completions above a gap do not count until
+    the gap closes). *)
 
 val send_heartbeat_s : secondary -> seq:int -> unit
 
@@ -161,7 +178,8 @@ val last_peer_activity_s : secondary -> Time.t
 
 val drained : secondary -> bool
 (** True when the (halted) primary can send nothing more and everything
-    already sent has been handled. *)
+    already sent has been handled — including records still queued on (or
+    running in) replay executors. *)
 
 (** {1 Traffic metrics (both mailbox directions)} *)
 

@@ -91,5 +91,10 @@ val chan_progress : t -> (int * int) list
     {!Det.chan_progress}); pass to {!Msglayer.create_secondary} so acks
     carry them. *)
 
+val chan_restore : t -> (int * int) list -> unit
+(** Secondary: re-mark cursors drained by {!chan_progress} when the ack
+    that would have carried them could not be sent (see
+    {!Det.chan_progress_restore}); pass to {!Msglayer.create_secondary}. *)
+
 val vfs_of : t -> Ftsim_kernel.Vfs.t
 (** The namespace's local file system (replica-converged under replay). *)

@@ -220,7 +220,9 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
       (fun i d ->
         Msglayer.create_secondary ~batch:config.Cluster.batch
           ~chan_progress:(fun () -> Namespace.chan_progress ns_bs.(i))
-          eng ~inb:d.Mailbox.a_to_b ~out:d.Mailbox.b_to_a
+          ~chan_restore:(fun chans -> Namespace.chan_restore ns_bs.(i) chans)
+          ~workers:config.Cluster.replay_workers eng ~inb:d.Mailbox.a_to_b
+          ~out:d.Mailbox.b_to_a
           ~replay_cost:config.Cluster.kernel_config.Kernel.wake_latency
           ~delta_cost:config.Cluster.delta_replay_cost
           ~handler:(fun record -> Namespace.record_handler ns_bs.(i) record))

@@ -36,7 +36,13 @@ let defer_flush t =
 
 (* Run [f] now unless the calling process is inside a defer window.  Wakes
    from other processes (and from timer context, which never opens a
-   window) pass straight through. *)
+   window) pass straight through.  The buffers are keyed per-pid, which is
+   what makes wakes safe under parallel replay: a secondary never opens a
+   window (deferral is primary-only), so a replay executor waking a thread
+   whose waker's record ran on a {e different} executor takes the
+   pass-through path — there is no cross-executor state to race on, and
+   the wake's ordering is supplied entirely by Det's admission gate, not
+   by which process performs it. *)
 let resume_or_defer t f =
   if Hashtbl.length t.defers = 0 then f ()
   else

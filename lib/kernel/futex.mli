@@ -72,7 +72,13 @@ val waiter_woken : waiter -> bool
     can run — and append its own sync tuples — before the waking section's
     tuple is on the replication log: every log prefix stays causally
     closed.  Windows are per-process; wakes from other processes (and from
-    timer context) are never deferred. *)
+    timer context) are never deferred.
+
+    Secondary replicas never open windows — deferral is a primary-side,
+    log-append concern — so under parallel replay a wake performed by one
+    replay executor for a waiter whose waking record ran on a different
+    executor always passes straight through.  Replay-side wake ordering is
+    enforced by {!Det}'s per-channel admission gate alone. *)
 
 val defer_begin : table -> unit
 (** Open (or reset) the calling process's defer window. *)

@@ -273,6 +273,37 @@ let test_chaos_run_clean () =
     (Chaos.verdict_failing o.Chaos.verdict);
   Alcotest.(check bool) "digest comparison exercised" true (o.Chaos.o_sections > 0)
 
+let test_chaos_parallel_replay_clean () =
+  (* The same chaos machinery with four replay executors on the backup:
+     whatever interleaving the executor pool picks, the per-channel digests
+     must agree with the primary and the client oracle must hold.  A
+     handful of derived schedules (including kills that land mid-replay)
+     plus the seeded-mutation control proving the checker still bites. *)
+  for index = 0 to 3 do
+    let s =
+      Chaos.derive ~root_seed:77 ~index ~replicas:2 ~horizon:(Time.sec 3)
+    in
+    let o =
+      Chaosrun.run ~replay_workers:4 ~workload:Chaosrun.Fileserver ~replicas:2
+        s
+    in
+    if Chaos.verdict_failing o.Chaos.verdict then
+      Alcotest.failf "schedule %d failed under parallel replay: %s" index
+        (Chaos.verdict_label o.Chaos.verdict);
+    Alcotest.(check bool)
+      (Printf.sprintf "schedule %d exercised the digest" index)
+      true
+      (o.Chaos.o_sections > 0)
+  done;
+  (* Control: a seeded divergence must still be flagged with executors on —
+     parallelism must not blunt the checker. *)
+  let mutated =
+    Chaosrun.run ~mutate:true ~replay_workers:4 ~workload:Chaosrun.Mongoose
+      ~replicas:2 quiescent
+  in
+  Alcotest.(check string) "mutated secondary still flagged" "divergence"
+    (Chaos.verdict_label mutated.Chaos.verdict)
+
 (* {1 Property: partial-order soundness of the sharded digest}
 
    The per-channel replay gate grants the secondary exactly this freedom:
@@ -462,5 +493,7 @@ let () =
         [
           Alcotest.test_case "mutation flagged" `Quick test_mutation_flagged;
           Alcotest.test_case "derived schedule clean" `Quick test_chaos_run_clean;
+          Alcotest.test_case "parallel replay clean" `Quick
+            test_chaos_parallel_replay_clean;
         ] );
     ]

@@ -1158,7 +1158,12 @@ let test_trace_failover_phases () =
    total order could not have: go-live must happen from a frontier that is
    a gapless prefix of {e each} channel stream, not of one global
    sequence. *)
-let test_channel_boundary_failover () =
+(* Shared body for the channel-boundary failover scenarios: two hammer
+   threads keep their mutex channels at very different depths, the primary
+   is killed mid-stream, and the survivor must hold the per-channel gapless
+   prefix, digest, and exactly-once client guarantees.  [replay_workers]
+   selects the serial drain (1) or the parallel executor pool. *)
+let run_channel_boundary_failover ~replay_workers () =
   let eng = Engine.create () in
   let link = gbit_link eng in
   let app (api : Api.t) =
@@ -1177,7 +1182,9 @@ let test_channel_boundary_failover () =
     echo_app api
   in
   let cluster =
-    Cluster.create eng ~config:test_config ~link:(Link.endpoint_a link) ~app ()
+    Cluster.create eng
+      ~config:{ test_config with Cluster.replay_workers }
+      ~link:(Link.endpoint_a link) ~app ()
   in
   Cluster.fail_primary cluster ~at:(Time.ms 150);
   let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
@@ -1287,7 +1294,171 @@ let test_channel_boundary_failover () =
             contiguous (expect + 1) rest
       in
       contiguous 0 sorted)
-    by_chan
+    by_chan;
+  (eng, evs)
+
+let test_channel_boundary_failover () =
+  ignore (run_channel_boundary_failover ~replay_workers:1 ())
+
+let test_parallel_replay_failover () =
+  (* Same kill, but four replay executors are mid-flight at the halt: the
+     drain must wait on every executor queue and the survivor must still
+     satisfy the gapless-prefix / digest / exactly-once oracle. *)
+  let _eng, evs = run_channel_boundary_failover ~replay_workers:4 () in
+  (* More than one executor actually consumed records before the kill. *)
+  let execs =
+    List.filter_map
+      (fun e -> Evlog.Query.int_arg e "executor")
+      (Evlog.Query.filter ~comp:"ft.msglayer" ~name:"replay" evs)
+  in
+  Alcotest.(check bool) "several executors consumed records" true
+    (List.length (List.sort_uniq compare execs) > 1)
+
+let test_parallel_replay_trace_partial_order () =
+  (* Rebuild the replay partial order from the trace of a run with four
+     executors: consumption must still respect per-channel FIFO and
+     per-thread FIFO even though delivery fans out, and the application
+     interleaving must match the primary's exactly. *)
+  let eng = Engine.create () in
+  let tp = ref None and ts = ref None in
+  let app api =
+    let out = if Kernel.name api.Api.kernel = "primary" then tp else ts in
+    racy_app ~iters:25 ~workers:3 out api
+  in
+  let cluster =
+    Cluster.create eng
+      ~config:{ test_config with Cluster.replay_workers = 4 }
+      ~app ()
+  in
+  Engine.run ~until:(Time.sec 10) eng;
+  Cluster.shutdown cluster;
+  (match (!tp, !ts) with
+  | Some p, Some s ->
+      Alcotest.(check bool) "secondary observed the primary's interleaving"
+        true (p = s)
+  | _ -> Alcotest.fail "apps did not finish");
+  let evs = Evlog.events (Engine.evlog eng) in
+  let execs =
+    List.filter_map
+      (fun e -> Evlog.Query.int_arg e "executor")
+      (Evlog.Query.filter ~comp:"ft.msglayer" ~name:"replay" evs)
+  in
+  Alcotest.(check bool) "records fanned out to several executors" true
+    (List.length (List.sort_uniq compare execs) > 1);
+  let tuples name =
+    List.filter_map
+      (fun e ->
+        match
+          (Evlog.Query.int_arg e "ft_pid", Evlog.Query.int_arg e "thread_seq")
+        with
+        | Some p, Some t ->
+            let rec chans i =
+              let suf = if i = 0 then "" else string_of_int (i + 1) in
+              match
+                ( Evlog.Query.int_arg e ("channel" ^ suf),
+                  Evlog.Query.int_arg e ("chan_seq" ^ suf) )
+              with
+              | Some c, Some s -> (c, s) :: chans (i + 1)
+              | _ -> []
+            in
+            Some ((p, t), chans 0)
+        | _ -> None)
+      (Evlog.Query.filter ~comp:"ft.det" ~name evs)
+  in
+  let consumes = tuples "tuple.consume" in
+  Alcotest.(check bool) "tuples consumed under parallel replay" true
+    (List.length consumes > 0);
+  (* Per-channel FIFO at consumption: the admission gate is the only
+     serializer left, and it must still deliver every channel's stream in
+     chan_seq order.  (Delivery order may legally break under fan-out;
+     consumption may not.) *)
+  let by_chan = Hashtbl.create 8 in
+  List.iter
+    (fun (_, chans) ->
+      List.iter
+        (fun (c, s) ->
+          let prev = try Hashtbl.find by_chan c with Not_found -> [] in
+          Hashtbl.replace by_chan c (s :: prev))
+        chans)
+    consumes;
+  Hashtbl.iter
+    (fun c seqs ->
+      let seqs = List.rev seqs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "channel %d consumed in chan_seq order" c)
+        (List.sort compare seqs) seqs)
+    by_chan;
+  (* Per-thread FIFO: ft_pid routing keeps each thread's sections in
+     thread_seq order. *)
+  let by_thread = Hashtbl.create 8 in
+  List.iter
+    (fun ((p, t), _) ->
+      let prev = try Hashtbl.find by_thread p with Not_found -> [] in
+      Hashtbl.replace by_thread p (t :: prev))
+    consumes;
+  Hashtbl.iter
+    (fun p seqs ->
+      let seqs = List.rev seqs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "thread %d consumes in thread_seq order" p)
+        (List.sort compare seqs) seqs)
+    by_thread;
+  Alcotest.(check bool) "several channels in flight" true
+    (Hashtbl.length by_chan > 1)
+
+let test_msglayer_parallel_executors () =
+  (* Unit-level executor pool: records for seven threads fan out over four
+     executors; each thread's stream must stay FIFO and the cumulative ack
+     watermark must close every LSN gap. *)
+  let eng = Engine.create () in
+  let done_ = ref false in
+  let handled = ref [] in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let a, b = two_parts eng in
+         let duplex = Mailbox.duplex eng ~a ~b () in
+         let ml_p =
+           Msglayer.create_primary eng ~out:duplex.Mailbox.a_to_b
+             ~inb:duplex.Mailbox.b_to_a
+         in
+         let ml_s =
+           Msglayer.create_secondary ~workers:4 eng ~inb:duplex.Mailbox.a_to_b
+             ~out:duplex.Mailbox.b_to_a ~replay_cost:(Time.us 10)
+             ~delta_cost:(Time.us 2)
+             ~handler:(fun r ->
+               match r with
+               | Wire.Syscall_result { ft_pid; sseq; _ } ->
+                   handled := (ft_pid, sseq) :: !handled
+               | _ -> ())
+         in
+         Msglayer.spawn_primary_rx ml_p (fun n f -> Engine.spawn eng ~name:n f);
+         Msglayer.spawn_secondary_rx ml_s (fun n f -> Engine.spawn eng ~name:n f);
+         let lsn = ref 0 in
+         for i = 0 to 99 do
+           lsn :=
+             Msglayer.append ml_p
+               (Wire.Syscall_result
+                  { ft_pid = i mod 7; sseq = i / 7; result = Wire.R_accept i })
+         done;
+         Msglayer.wait_stable ml_p ~lsn:!lsn;
+         Alcotest.(check bool) "acked reached lsn" true
+           (Msglayer.acked ml_p >= !lsn);
+         Alcotest.(check int) "watermark gapless at the tail" !lsn
+           (Msglayer.received_lsn ml_s);
+         done_ := true));
+  Engine.run ~until:(Time.sec 1) eng;
+  Alcotest.(check bool) "completed" true !done_;
+  let handled = List.rev !handled in
+  Alcotest.(check int) "every record replayed exactly once" 100
+    (List.length handled);
+  for p = 0 to 6 do
+    let seqs =
+      List.filter_map (fun (q, s) -> if q = p then Some s else None) handled
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "ft_pid %d stream stays FIFO across executors" p)
+      (List.sort compare seqs) seqs
+  done
 
 let () =
   Alcotest.run "ftlinux"
@@ -1323,6 +1494,8 @@ let () =
             test_failover_with_coherency_loss;
           Alcotest.test_case "failover at a channel boundary" `Quick
             test_channel_boundary_failover;
+          Alcotest.test_case "failover mid-parallel-replay" `Quick
+            test_parallel_replay_failover;
         ] );
       ( "determinism",
         [
@@ -1366,6 +1539,8 @@ let () =
         [
           Alcotest.test_case "tuple lifecycle" `Quick
             test_trace_tuple_lifecycle_invariants;
+          Alcotest.test_case "parallel replay partial order" `Quick
+            test_parallel_replay_trace_partial_order;
           Alcotest.test_case "output commit after ack" `Quick
             test_trace_output_commit_after_ack;
           Alcotest.test_case "batch-boundary failover" `Quick
@@ -1378,5 +1553,7 @@ let () =
           Alcotest.test_case "disable releases waiters" `Quick
             test_msglayer_disable_releases_waiters;
           Alcotest.test_case "backpressure" `Quick test_msglayer_backpressure;
+          Alcotest.test_case "parallel executors" `Quick
+            test_msglayer_parallel_executors;
         ] );
     ]

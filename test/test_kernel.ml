@@ -229,6 +229,41 @@ let test_futex_deferred_wakes () =
   | (_, cross) ->
       Alcotest.(check bool) "other processes' wakes are not deferred" true cross
 
+let test_futex_cross_process_wakes_without_windows () =
+  (* The parallel-replay shape: several windowless processes (replay
+     executors) wake each other's waiters with no defer window open
+     anywhere on the secondary.  Every resume must run immediately and in
+     FIFO order regardless of which process performs the wake — the wake
+     path has no cross-process state when the defers table is empty. *)
+  let v =
+    run_sim (fun eng ->
+        let k = boot_kernel eng in
+        let tbl = Kernel.futexes k in
+        let a = Futex.alloc tbl in
+        let resumed = ref [] in
+        for i = 1 to 4 do
+          ignore
+            (Engine.spawn eng (fun () ->
+                 let w = Futex.prepare_wait tbl a in
+                 Futex.commit_wait w;
+                 resumed := i :: !resumed));
+          Engine.sleep (Time.us 1)
+        done;
+        (* Four distinct waker processes, one wake each, staggered. *)
+        for _ = 1 to 4 do
+          let p =
+            Engine.spawn eng (fun () -> ignore (Futex.wake tbl a ~count:1))
+          in
+          ignore (Engine.join p);
+          Engine.sleep (Time.us 1)
+        done;
+        (List.rev !resumed, Futex.waiters tbl a))
+  in
+  Alcotest.(check (pair (list int) int))
+    "wakes from distinct processes resume immediately, FIFO"
+    ([ 1; 2; 3; 4 ], 0)
+    v
+
 let test_futex_prepare_then_wake_before_commit () =
   let v =
     run_sim (fun eng ->
@@ -723,6 +758,8 @@ let () =
             test_futex_prepare_then_wake_before_commit;
           Alcotest.test_case "deferred wake delivery" `Quick
             test_futex_deferred_wakes;
+          Alcotest.test_case "cross-process wakes without windows" `Quick
+            test_futex_cross_process_wakes_without_windows;
         ] );
       ( "pthread",
         [
