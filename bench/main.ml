@@ -1405,6 +1405,58 @@ let replay quick =
     \ the replay.*.ops_per_sec gauges against bench/baseline/)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Latency: percentiles through replica death (the telemetry tier)     *)
+(* ------------------------------------------------------------------ *)
+
+(* The headline production metric: per-request latency percentiles split
+   into pre-fault / failover-window / post-recovery phases, with the window
+   bounds taken from the pinned failover.* trace spans.  The phase
+   percentiles land in latency.* gauges whose *_ms suffixes the regression
+   gate treats as lower-is-better, so a tail-latency regression through
+   failover fails CI like a throughput regression would. *)
+let latency quick =
+  hr "Latency: p50/p99/p999 through replica death (mongoose, closed loop)";
+  (* Summary engine first: its gauges are element 0 of BENCH_latency.json,
+     the slot the regression comparator reads. *)
+  let summary = new_engine () in
+  let reg = Engine.metrics summary in
+  let g key v = Metrics.Gauge.set (Metrics.Registry.gauge reg key) v in
+  let concurrency = if quick then 8 else 16 in
+  let run_for = Time.ms (if quick then 1800 else 2400) in
+  let eng = new_engine () in
+  let r = Slo.run eng ~concurrency ~fail_at:(Time.ms 600) ~run_for () in
+  Slo.print_table r;
+  (match r.Slo.window with
+  | Some (lo, hi) ->
+      g "latency.failover.window_ms" (Time.to_ms_f (hi - lo));
+      g "latency.failover.bounds_verified"
+        (if r.Slo.span_bounds_ok then 1.0 else 0.0)
+  | None -> ());
+  let phase name h =
+    g (Printf.sprintf "latency.%s.count" name)
+      (float_of_int (Metrics.Hist.count h));
+    if Metrics.Hist.count h > 0 then begin
+      g (Printf.sprintf "latency.%s.p50_ms" name) (Metrics.Hist.quantile h 0.5);
+      g (Printf.sprintf "latency.%s.p90_ms" name) (Metrics.Hist.quantile h 0.9);
+      g (Printf.sprintf "latency.%s.p99_ms" name) (Metrics.Hist.quantile h 0.99);
+      g
+        (Printf.sprintf "latency.%s.p999_ms" name)
+        (Metrics.Hist.quantile h 0.999)
+    end
+  in
+  phase "pre" r.Slo.pre;
+  phase "fo" r.Slo.fo;
+  phase "post" r.Slo.post;
+  g "latency.completed.ops_per_sec"
+    (float_of_int r.Slo.completed /. Time.to_sec_f run_for);
+  g "latency.errors" (float_of_int r.Slo.errors);
+  Printf.printf
+    "(acceptance: the failover window equals the pinned failover.* span\n\
+    \ bounds; the CI bench-regress gate diffs latency.*.p{50,90,99,999}_ms\n\
+    \ [lower is better] and latency.completed.ops_per_sec against\n\
+    \ bench/baseline/BENCH_latency.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1424,6 +1476,7 @@ let experiments =
     ("batch", batch, "Batched sync-tuple streaming: traffic with batching off vs on");
     ("scaling", scaling, "Det-section sharding off vs on: overhead vs worker count");
     ("replay", replay, "Backup replay: serial drain vs parallel replay executors");
+    ("latency", latency, "Latency percentiles through replica death (phase-split SLO)");
   ]
 
 let run_all quick =
@@ -1438,6 +1491,7 @@ let run_all quick =
   run_experiment "batch" batch quick;
   run_experiment "scaling" scaling quick;
   run_experiment "replay" replay quick;
+  run_experiment "latency" latency quick;
   run_experiment "micro" micro quick
 
 let () =

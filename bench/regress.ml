@@ -14,6 +14,10 @@
    key's suffix:
 
      *.msgs_per_op, *.bytes_per_op    lower is better
+     *.p50_ms, *.p90_ms, *.p99_ms,
+     *.p999_ms, *.window_ms           lower is better (latency percentiles
+                                      and failover-window length regress
+                                      upward)
      *.ops_per_sec                    higher is better
      *_reduction_pct                  higher is better
 
@@ -203,8 +207,12 @@ let ends_with suffix s =
   ls >= lx && String.sub s (ls - lx) lx = suffix
 
 let direction key =
-  if ends_with ".msgs_per_op" key || ends_with ".bytes_per_op" key then
-    Some `Lower_better
+  if
+    ends_with ".msgs_per_op" key || ends_with ".bytes_per_op" key
+    || ends_with ".p50_ms" key || ends_with ".p90_ms" key
+    || ends_with ".p99_ms" key || ends_with ".p999_ms" key
+    || ends_with ".window_ms" key
+  then Some `Lower_better
   else if ends_with ".ops_per_sec" key || ends_with "_reduction_pct" key then
     Some `Higher_better
   else None

@@ -101,6 +101,45 @@ let replay_workers_t =
            only the per-channel x per-thread partial order serializes \
            replay (most effective with $(b,--det-shard on)).")
 
+let lagmon_t =
+  Arg.(
+    value
+    & opt (enum [ ("on", `On); ("quiet", `Quiet); ("off", `Off) ]) `On
+    & info [ "lagmon" ] ~docv:"on|quiet|off"
+        ~doc:
+          "Replication-health monitor: sample the primary's append LSN vs \
+           the backup's ack watermark (overall and per Det channel), replay \
+           queue depth and ack RTT, publishing lag.* gauges and a health \
+           verdict.  $(b,quiet) keeps the gauges but suppresses Evlog \
+           emission (same-seed traces stay byte-identical to $(b,off)); \
+           sampling never perturbs the deterministic replay order.")
+
+let lagmon_config_of = function
+  | `On -> Some Lagmon.default_config
+  | `Quiet -> Some { Lagmon.default_config with Lagmon.quiet = true }
+  | `Off -> None
+
+let print_health name = function
+  | None -> ()
+  | Some lm ->
+      Printf.printf "replication health (%s): %s (worst %s over %d samples)\n"
+        name
+        (Lagmon.verdict_label (Lagmon.verdict lm))
+        (Lagmon.verdict_label (Lagmon.worst lm))
+        (Lagmon.samples lm)
+
+let stats_interval_t =
+  Arg.(
+    value & opt (some int) None
+    & info [ "stats-interval" ] ~docv:"MS"
+        ~doc:
+          "Print a one-line metric snapshot (lag, msglayer, replay, det \
+           instruments) to stderr every $(docv) of simulated time.")
+
+let arm_stats eng = function
+  | None -> ()
+  | Some ms -> ignore (Statsdump.arm eng ~every:(Time.ms ms))
+
 let metrics_json_t =
   Arg.(
     value & opt (some string) None
@@ -215,11 +254,12 @@ let apply_detail eng detail =
 
 let pbzip2_cmd =
   let run seed replicated fail_at block_kb file_mb workers batch det_shard
-      replay_workers metrics_json trace_out trace_detail log_level log_filter =
-
+      replay_workers lagmon stats_interval metrics_json trace_out trace_detail
+      log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
+    arm_stats eng stats_interval;
     let params =
       {
         Pbzip2.default_params with
@@ -242,7 +282,7 @@ let pbzip2_cmd =
         in
         let config =
           { Cluster.default_config with Cluster.batch; det_shard;
-            replay_workers }
+            replay_workers; lagmon = lagmon_config_of lagmon }
         in
         let c = Cluster.create eng ~config ~app () in
         (match fail_at with
@@ -273,7 +313,8 @@ let pbzip2_cmd =
             Printf.printf "inter-replica: %d msgs, %.2f MB, %d det sections\n"
               (Cluster.traffic_msgs c)
               (float_of_int (Cluster.traffic_bytes c) /. 1e6)
-              (Cluster.det_ops c)
+              (Cluster.det_ops c);
+            print_health "lag" (Cluster.lagmon c)
         | None -> ())
     | None -> Printf.printf "did not finish within the simulation cap\n"
   in
@@ -290,18 +331,20 @@ let pbzip2_cmd =
     (Cmd.info "pbzip2" ~doc:"Parallel compression workload (paper §4.1).")
     Term.(
       const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
-      $ workers $ batch_t $ det_shard_t $ replay_workers_t $ metrics_json_t
-      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ workers $ batch_t $ det_shard_t $ replay_workers_t $ lagmon_t
+      $ stats_interval_t $ metrics_json_t $ trace_out_t $ trace_detail_t
+      $ log_level_t $ log_filter_t)
 
 (* {1 mongoose} *)
 
 let mongoose_cmd =
   let run seed replicated cpu_us concurrency seconds batch det_shard
-      replay_workers metrics_json trace_out trace_detail log_level log_filter =
-
+      replay_workers lagmon stats_interval metrics_json trace_out trace_detail
+      log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
+    arm_stats eng stats_interval;
     let link = gbit_link eng in
     let params =
       {
@@ -314,7 +357,7 @@ let mongoose_cmd =
       if replicated then
         let config =
           { Cluster.default_config with Cluster.batch; det_shard;
-            replay_workers }
+            replay_workers; lagmon = lagmon_config_of lagmon }
         in
         Some (Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ())
       else begin
@@ -342,7 +385,10 @@ let mongoose_cmd =
       (float_of_int (c1 - c0) /. float_of_int seconds)
       seconds concurrency cpu_us
       (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.5)
-      (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.99)
+      (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.99);
+    (match cluster_opt with
+    | Some c -> print_health "lag" (Cluster.lagmon c)
+    | None -> ())
   in
   let cpu_us =
     Arg.(
@@ -362,8 +408,9 @@ let mongoose_cmd =
     (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
     Term.(
       const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds
-      $ batch_t $ det_shard_t $ replay_workers_t $ metrics_json_t $ trace_out_t
-      $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ batch_t $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 (* {1 failover / fileserver / timeline}
 
@@ -373,10 +420,10 @@ let mongoose_cmd =
    breakdown back out of the event trace. *)
 
 let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard
-    ~replay_workers ~detail
-    () =
+    ~replay_workers ~lagmon ~stats_interval ~detail () =
   let eng = Engine.create ~seed () in
   apply_detail eng detail;
+  arm_stats eng stats_interval;
   let link = gbit_link eng in
   let app api =
     Fileserver.run
@@ -391,6 +438,7 @@ let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard
       batch;
       det_shard;
       replay_workers;
+      lagmon = lagmon_config_of lagmon;
     }
   in
   let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
@@ -425,11 +473,13 @@ let file_mb_t =
 
 let failover_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
-      metrics_json trace_out trace_detail log_level log_filter =
+      lagmon stats_interval metrics_json trace_out trace_detail log_level
+      log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~det_shard ~replay_workers ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~lagmon ~stats_interval
+        ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -438,7 +488,8 @@ let failover_cmd =
       (fun (t, r) -> Printf.printf "%-5.0f %8.1f\n" t (r /. 1e6))
       (Metrics.Series.rate_per_sec w.Loadgen.bytes_received);
     print_outage cluster;
-    print_download w ~file_mb
+    print_download w ~file_mb;
+    print_health "lag" (Cluster.lagmon cluster)
   in
   let fail_at =
     Arg.(
@@ -450,21 +501,25 @@ let failover_cmd =
        ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ replay_workers_t $ metrics_json_t
-      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 let fileserver_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
-      metrics_json trace_out trace_detail log_level log_filter =
+      lagmon stats_interval metrics_json trace_out trace_detail log_level
+      log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms ~batch
-        ~det_shard ~replay_workers ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~lagmon ~stats_interval
+        ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
     print_download w ~file_mb;
-    if fail_at_ms <> None then print_outage cluster
+    if fail_at_ms <> None then print_outage cluster;
+    print_health "lag" (Cluster.lagmon cluster)
   in
   let fail_at =
     Arg.(
@@ -479,16 +534,18 @@ let fileserver_cmd =
           mid-stream primary failure.")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ replay_workers_t $ metrics_json_t
-      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 let timeline_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
-      trace_out trace_detail log_level log_filter =
+      lagmon stats_interval trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, _w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~det_shard ~replay_workers ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~lagmon ~stats_interval
+        ~detail:trace_detail ()
     in
     dump_trace eng trace_out;
     let evs = Evlog.events (Engine.evlog eng) in
@@ -545,18 +602,19 @@ let timeline_cmd =
           breakdown (Fig. 8 anatomy) from the event trace.")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ replay_workers_t $ trace_out_t
-      $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
+      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 triple} *)
 
 let triple_cmd =
   let run seed fail_backup_ms fail_primary_ms driver_ms det_shard
-      replay_workers metrics_json trace_out trace_detail log_level log_filter =
-
+      replay_workers lagmon stats_interval metrics_json trace_out trace_detail
+      log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
+    arm_stats eng stats_interval;
     let link = gbit_link eng in
     let config =
       {
@@ -564,6 +622,7 @@ let triple_cmd =
         Cluster.driver_load_time = Time.ms driver_ms;
         det_shard;
         replay_workers;
+        lagmon = lagmon_config_of lagmon;
       }
     in
     let app (api : Api.t) =
@@ -621,6 +680,9 @@ let triple_cmd =
     (match Tricluster.winner t with
     | Some w -> Printf.printf "takeover winner: backup %d\n" w
     | None -> Printf.printf "no failover occurred\n");
+    List.iteri
+      (fun i lm -> print_health (Printf.sprintf "lag.b%d" i) (Some lm))
+      (Tricluster.lagmons t);
     match Ivar.peek result with
     | Some s when s = String.concat "" messages ->
         Printf.printf "client stream: complete, exactly once (%d messages)\n"
@@ -643,7 +705,89 @@ let triple_cmd =
        ~doc:"Three-replica echo service with optional injected failures (paper 6).")
     Term.(
       const run $ seed_t $ fail_backup $ fail_primary $ driver_ms_t
-      $ det_shard_t $ replay_workers_t $ metrics_json_t $ trace_out_t
+      $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
+
+(* {1 slo} *)
+
+let slo_cmd =
+  let run seed concurrency page_kb cpu_us warmup_ms fail_at_ms run_for_ms
+      driver_ms batch det_shard replay_workers lagmon stats_interval
+      metrics_json trace_out trace_detail log_level log_filter =
+    setup_logging log_level log_filter;
+    let eng = Engine.create ~seed () in
+    apply_detail eng trace_detail;
+    arm_stats eng stats_interval;
+    let config =
+      {
+        Slo.default_config with
+        Cluster.driver_load_time = Time.ms driver_ms;
+        batch;
+        det_shard;
+        replay_workers;
+        lagmon = lagmon_config_of lagmon;
+      }
+    in
+    let r =
+      Slo.run eng ~config ~concurrency ~page_bytes:(page_kb * 1024)
+        ~cpu_per_request:(Time.us cpu_us) ~warmup:(Time.ms warmup_ms)
+        ~fail_at:(Time.ms fail_at_ms) ~run_for:(Time.ms run_for_ms) ()
+    in
+    dump_metrics eng metrics_json;
+    dump_trace eng trace_out;
+    Slo.print_table r
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 16
+      & info [ "concurrency" ] ~docv:"N" ~doc:"Closed-loop client workers.")
+  in
+  let page_kb =
+    Arg.(
+      value & opt int 10
+      & info [ "page-kb" ] ~docv:"KB" ~doc:"Served page size.")
+  in
+  let cpu_us =
+    Arg.(
+      value & opt int 1000
+      & info [ "cpu-us" ] ~docv:"US" ~doc:"Per-request CPU loop.")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 200
+      & info [ "warmup-ms" ] ~docv:"MS"
+          ~doc:"Server boot time before load is offered.")
+  in
+  let fail_at =
+    Arg.(
+      value & opt int 600
+      & info [ "fail-at-ms" ] ~docv:"MS" ~doc:"Primary failure time.")
+  in
+  let run_for =
+    Arg.(
+      value & opt int 2400
+      & info [ "run-for-ms" ] ~docv:"MS" ~doc:"Total measured run length.")
+  in
+  let driver_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "driver-ms" ] ~docv:"MS"
+          ~doc:"NIC driver reload time at failover.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Tail latency through replica death: run a replicated web server \
+          under closed-loop load across an injected primary fail-stop and \
+          print per-request latency percentiles split into pre-fault / \
+          failover-window / post-recovery phases.  The failover window's \
+          bounds are the pinned failover.* trace spans, verified against \
+          the cluster's own halt/go-live timestamps.")
+    Term.(
+      const run $ seed_t $ concurrency $ page_kb $ cpu_us $ warmup $ fail_at
+      $ run_for $ driver_ms $ batch_t $ det_shard_t $ replay_workers_t
+      $ lagmon_t $ stats_interval_t $ metrics_json_t $ trace_out_t
       $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 memdump} *)
@@ -691,8 +835,10 @@ let memdump_cmd =
 
 let chaos_cmd =
   let run root_seed seeds quick workload replicas horizon_ms det_shard
-      replay_workers report repro_trace log_level log_filter =
+      replay_workers stats_interval fail_on_stall report repro_trace log_level
+      log_filter =
     setup_logging log_level log_filter;
+    let stats_interval = Option.map Time.ms stats_interval in
     match Chaosrun.workload_of_string workload with
     | Error e ->
         Printf.eprintf "ftsim: %s\n" e;
@@ -723,7 +869,8 @@ let chaos_cmd =
           Chaos.run_campaign ~root_seed ~count:seeds ~replicas ~horizon
             ~workload
             ~run:(fun s ->
-              Chaosrun.run ~det_shard ~replay_workers ~workload:w ~replicas s)
+              Chaosrun.run ?stats_interval ~det_shard ~replay_workers
+                ~workload:w ~replicas s)
             ~progress ()
         in
         (match report with
@@ -769,11 +916,36 @@ let chaos_cmd =
           (count "ok") (count "divergence")
           (count "client-violation")
           (count "outage");
+        (* Replication-health roll-up: every run carries the worst Lagmon
+           verdict its (quiet) monitors saw.  A clean verdict with a stalled
+           replication stream is a latent problem the digests cannot see. *)
+        let lag_count v =
+          List.length
+            (List.filter
+               (fun rr -> rr.Chaos.rr_outcome.Chaos.o_lag = Some v)
+               rep.Chaos.rep_results)
+        in
+        Printf.printf "replication health: %d ok, %d lagging, %d stalled\n"
+          (lag_count "ok") (lag_count "lagging") (lag_count "stalled");
+        let stalled_clean =
+          List.filter
+            (fun rr ->
+              rr.Chaos.rr_outcome.Chaos.o_lag = Some "stalled"
+              && rr.Chaos.rr_outcome.Chaos.verdict = Chaos.V_ok)
+            rep.Chaos.rep_results
+        in
         if fails = [] then
           Printf.printf "campaign clean: no divergences, no client violations\n"
         else begin
           Printf.printf "campaign FAILED: %d failing schedule(s)\n"
             (List.length fails);
+          exit 1
+        end;
+        if fail_on_stall && stalled_clean <> [] then begin
+          Printf.printf
+            "campaign FAILED: %d ok-verdict schedule(s) reported a stalled \
+             replication stream\n"
+            (List.length stalled_clean);
           exit 1
         end
   in
@@ -826,6 +998,15 @@ let chaos_cmd =
           ~doc:"If the campaign fails, re-run the shrunk minimal repro and \
                 write its event trace to $(docv).")
   in
+  let fail_on_stall =
+    Arg.(
+      value & flag
+      & info [ "fail-on-stall" ]
+          ~doc:
+            "Also fail the campaign if any ok-verdict schedule's \
+             replication-health monitor reported a $(b,stalled) stream \
+             (CI uses this: clean seeds must never stall).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -833,8 +1014,8 @@ let chaos_cmd =
           checker + client-consistency oracle.")
     Term.(
       const run $ root_seed $ seeds $ quick $ workload $ replicas $ horizon_ms
-      $ det_shard_t $ replay_workers_t $ report $ repro_trace $ log_level_t
-      $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ stats_interval_t $ fail_on_stall
+      $ report $ repro_trace $ log_level_t $ log_filter_t)
 
 let () =
   let info =
@@ -851,6 +1032,7 @@ let () =
             fileserver_cmd;
             timeline_cmd;
             triple_cmd;
+            slo_cmd;
             memdump_cmd;
             chaos_cmd;
           ]))

@@ -24,6 +24,12 @@ let fast_config topology =
     hb_period = Time.ms 5;
     hb_timeout = Time.ms 25;
     driver_load_time = Time.ms 200;
+    (* Replication health is monitored on every chaos run, quietly: gauges
+       and verdicts update but nothing reaches the Evlog, so repro traces
+       stay byte-identical to monitor-off runs.  [stall_after] (150 ms)
+       sits far above the 25 ms heartbeat timeout: a dead peer is detected
+       and the monitor frozen long before a stall could be declared. *)
+    lagmon = Some { Lagmon.default_config with Lagmon.quiet = true };
   }
 
 let small4 =
@@ -117,8 +123,8 @@ let spawn_stopper eng oracle sched =
            (max (Engine.now eng + Time.ms 200) (last_event + Time.ms 500));
          Engine.stop eng))
 
-let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections ~end_at
-    =
+let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections
+    ~end_at ~lag =
   let verdict =
     match replay_div with
     | Some msg -> Chaos.V_divergence ("replay mismatch: " ^ msg)
@@ -162,11 +168,32 @@ let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections ~end_
     o_completed = oracle.Loadgen.completed;
     o_sections = sections;
     o_end = end_at;
+    o_lag = lag;
   }
 
-let run_two ?on_trace ?(mutate = false) ?(det_shard = true)
+(* The worst replication-health verdict any of the run's monitors saw, as
+   the label the campaign report serializes. *)
+let lag_label lagmons =
+  match lagmons with
+  | [] -> None
+  | lms ->
+      Some
+        (Lagmon.verdict_label
+           (List.fold_left
+              (fun acc lm -> Lagmon.worse acc (Lagmon.worst lm))
+              Lagmon.Ok lms))
+
+let arm_stats eng sched = function
+  | None -> ()
+  | Some every ->
+      ignore
+        (Statsdump.arm eng ~every
+           ~label:(Printf.sprintf "#%03d" sched.Chaos.sched_index))
+
+let run_two ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
     ?(replay_workers = 1) ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
+  arm_stats eng sched stats_interval;
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
       ~seed_split:(Engine.prng eng) ()
@@ -211,13 +238,15 @@ let run_two ?on_trace ?(mutate = false) ?(det_shard = true)
         | Some _ -> 1
         | None -> 0)
       ~sections ~end_at:(Engine.now eng)
+      ~lag:(lag_label (Option.to_list (Cluster.lagmon cluster)))
   in
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
 
-let run_three ?on_trace ?(mutate = false) ?(det_shard = true)
+let run_three ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
     ?(replay_workers = 1) ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
+  arm_stats eng sched stats_interval;
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
       ~seed_split:(Engine.prng eng) ()
@@ -263,13 +292,18 @@ let run_three ?on_trace ?(mutate = false) ?(det_shard = true)
       ~digest_div
       ~failovers:(match Tricluster.winner tri with Some _ -> 1 | None -> 0)
       ~sections ~end_at:(Engine.now eng)
+      ~lag:(lag_label (Tricluster.lagmons tri))
   in
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
 
-let run ?on_trace ?mutate ?det_shard ?replay_workers ~workload ~replicas sched
-    =
+let run ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers ~workload
+    ~replicas sched =
   match replicas with
-  | 2 -> run_two ?on_trace ?mutate ?det_shard ?replay_workers ~workload sched
-  | 3 -> run_three ?on_trace ?mutate ?det_shard ?replay_workers ~workload sched
+  | 2 ->
+      run_two ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
+        ~workload sched
+  | 3 ->
+      run_three ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
+        ~workload sched
   | n -> invalid_arg (Printf.sprintf "Chaosrun.run: %d replicas" n)

@@ -20,6 +20,7 @@ val workload_to_string : workload -> string
 
 val run :
   ?on_trace:(Evlog.t -> unit) ->
+  ?stats_interval:Time.t ->
   ?mutate:bool ->
   ?det_shard:bool ->
   ?replay_workers:int ->
@@ -28,9 +29,16 @@ val run :
   Chaos.schedule ->
   Chaos.outcome
 (** [on_trace] receives the run's event log after the verdict is reached
-    (used to dump the minimal repro's trace).  [mutate] (testing only)
-    makes the secondary skip one sync tuple's digest fold, proving the
-    checker detects a seeded divergence.  [det_shard] (default true) selects
-    the per-channel deterministic-section core; [false] restores the
-    namespace-global total order.  [replay_workers] (default 1) sizes the
-    backups' replay-executor pools (see {!Cluster.config}). *)
+    (used to dump the minimal repro's trace).  [stats_interval] arms a
+    {!Statsdump} printer on each run's engine (stderr, labelled with the
+    schedule index).  [mutate] (testing only) makes the secondary skip one
+    sync tuple's digest fold, proving the checker detects a seeded
+    divergence.  [det_shard] (default true) selects the per-channel
+    deterministic-section core; [false] restores the namespace-global total
+    order.  [replay_workers] (default 1) sizes the backups' replay-executor
+    pools (see {!Cluster.config}).
+
+    Every run monitors replication health with a quiet {!Lagmon} (gauges
+    and verdicts update, nothing reaches the Evlog — repro traces stay
+    byte-identical to monitor-off runs); the worst verdict label lands in
+    the outcome's [o_lag]. *)

@@ -5,6 +5,7 @@ type ab_stats = {
   completed : Metrics.Counter.t;
   errors : Metrics.Counter.t;
   latency : Metrics.Hist.t;
+  latency_w : Metrics.Whist.t;  (* same samples, windowed on completion time *)
   completions : Metrics.Series.t;
 }
 
@@ -29,7 +30,8 @@ let one_request host ~server ~port ~target =
   (* Drain to let the FIN exchange finish promptly. *)
   result
 
-let ab_start host ~server ~port ~target ~concurrency ?response_bytes_hint () =
+let ab_start host ~server ~port ~target ~concurrency ?response_bytes_hint
+    ?(latency_window = Time.ms 100) ?on_complete () =
   ignore response_bytes_hint;
   let eng = Engine.engine_of_proc (Host.spawn host "ab-probe" (fun () -> ())) in
   let t =
@@ -39,6 +41,7 @@ let ab_start host ~server ~port ~target ~concurrency ?response_bytes_hint () =
           completed = Metrics.Counter.create ();
           errors = Metrics.Counter.create ();
           latency = Metrics.Hist.create ();
+          latency_w = Metrics.Whist.create ~width:latency_window ();
           completions = Metrics.Series.create ~bucket:(Time.sec 1);
         };
       stopped = false;
@@ -52,12 +55,24 @@ let ab_start host ~server ~port ~target ~concurrency ?response_bytes_hint () =
            let rec loop () =
              if not t.stopped then begin
                let t0 = Engine.now eng in
-               (match one_request host ~server ~port ~target with
+               (* A reset mid-request (e.g. the server dying under us) is an
+                  error, not a worker death: the closed loop keeps offering
+                  load through a failover. *)
+               (match
+                  try one_request host ~server ~port ~target
+                  with Tcp.Connection_closed -> Error "connection closed"
+                with
                | Ok () ->
-                   let dt = Engine.now eng - t0 in
+                   let now = Engine.now eng in
+                   let dt = now - t0 in
                    Metrics.Counter.incr t.stats.completed;
                    Metrics.Hist.record t.stats.latency (Time.to_sec_f dt);
-                   Metrics.Series.add t.stats.completions ~at:(Engine.now eng) 1.0
+                   Metrics.Whist.record t.stats.latency_w ~at:now
+                     (Time.to_ms_f dt);
+                   Metrics.Series.add t.stats.completions ~at:now 1.0;
+                   (match on_complete with
+                   | Some f -> f ~at:now ~latency:dt
+                   | None -> ())
                | Error _ -> Metrics.Counter.incr t.stats.errors);
                loop ()
              end
@@ -87,12 +102,13 @@ type oracle = {
   mutable truncated : bool;  (** stream ended before all responses *)
   oracle_done : unit Ivar.t;  (** filled when the client exits *)
   mutable bytes_verified : int;
+  o_latency : Metrics.Whist.t;  (* per verified response, ms, windowed *)
 }
 
 let oracle_ok o = o.violations = [] && not o.truncated
 
 let verified_start host ~server ~port ~target ~expect_bytes
-    ?(requests = 1) () =
+    ?(requests = 1) ?(latency_window = Time.ms 100) ?on_complete () =
   let o =
     {
       completed = 0;
@@ -101,11 +117,13 @@ let verified_start host ~server ~port ~target ~expect_bytes
       truncated = false;
       oracle_done = Ivar.create ();
       bytes_verified = 0;
+      o_latency = Metrics.Whist.create ~width:latency_window ();
     }
   in
   let violate fmt = Printf.ksprintf (fun s -> o.violations <- s :: o.violations) fmt in
   ignore
     (Host.spawn host "oracle-client" (fun () ->
+         let eng = Engine.engine_of_proc (Engine.self ()) in
          let stack = Host.stack host in
          let c = Tcp.connect stack ~host:server ~port in
          let reader =
@@ -126,6 +144,7 @@ let verified_start host ~server ~port ~target ~expect_bytes
             let r = ref 0 in
             let ok = ref true in
             while !ok && !r < requests do
+              let t0 = Engine.now eng in
               Tcp.send c (Payload.of_string (Http.request ~meth:"GET" ~target ()));
               (match Http.read_headers reader with
               | None ->
@@ -160,7 +179,13 @@ let verified_start host ~server ~port ~target ~expect_bytes
                   else begin
                     o.bytes_verified <- o.bytes_verified + !received;
                     o.completed <- o.completed + 1;
-                    incr r
+                    incr r;
+                    let now = Engine.now eng in
+                    let dt = now - t0 in
+                    Metrics.Whist.record o.o_latency ~at:now (Time.to_ms_f dt);
+                    match on_complete with
+                    | Some f -> f ~at:now ~latency:dt
+                    | None -> ()
                   end)
             done
           with Tcp.Connection_closed -> o.truncated <- true);

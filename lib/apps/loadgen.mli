@@ -16,6 +16,10 @@ type ab_stats = {
   completed : Metrics.Counter.t;
   errors : Metrics.Counter.t;
   latency : Metrics.Hist.t;  (** per-request seconds *)
+  latency_w : Metrics.Whist.t;
+      (** the same per-request samples in milliseconds, windowed on
+          completion time ([latency_window] wide) — percentiles can be
+          read per interval, e.g. across a failover *)
   completions : Metrics.Series.t;  (** requests per time bucket *)
 }
 
@@ -28,9 +32,14 @@ val ab_start :
   target:string ->
   concurrency:int ->
   ?response_bytes_hint:int ->
+  ?latency_window:Time.t ->
+  ?on_complete:(at:Time.t -> latency:Time.t -> unit) ->
   unit ->
   ab
-(** Start [concurrency] closed-loop request workers. *)
+(** Start [concurrency] closed-loop request workers.  [latency_window]
+    (default 100 ms) sizes [latency_w]'s windows; [on_complete] fires once
+    per successful request with its completion time and latency (the SLO
+    reporter collects raw completions through it). *)
 
 val ab_stats : ab -> ab_stats
 
@@ -57,6 +66,8 @@ type oracle = {
           by a total outage *)
   oracle_done : unit Ivar.t;
   mutable bytes_verified : int;
+  o_latency : Metrics.Whist.t;
+      (** per verified response, milliseconds, windowed on completion time *)
 }
 
 val oracle_ok : oracle -> bool
@@ -69,6 +80,8 @@ val verified_start :
   target:string ->
   expect_bytes:int ->
   ?requests:int ->
+  ?latency_window:Time.t ->
+  ?on_complete:(at:Time.t -> latency:Time.t -> unit) ->
   unit ->
   oracle
 

@@ -131,6 +131,7 @@ type outcome = {
   o_completed : int;
   o_sections : int;
   o_end : Time.t;
+  o_lag : string option;
 }
 
 (* {1 Shrinking} *)
@@ -299,8 +300,12 @@ let buf_outcome b o =
   | Some d -> Printf.bprintf b "\"detail\":\"%s\"," (json_escape d)
   | None -> ());
   Printf.bprintf b
-    "\"failovers\":%d,\"completed_requests\":%d,\"digest_sections\":%d,\"end_ns\":%d}"
-    o.o_failovers o.o_completed o.o_sections o.o_end
+    "\"failovers\":%d,\"completed_requests\":%d,\"digest_sections\":%d,\"end_ns\":%d"
+    o.o_failovers o.o_completed o.o_sections o.o_end;
+  (match o.o_lag with
+  | Some v -> Printf.bprintf b ",\"lag_worst\":\"%s\"" (json_escape v)
+  | None -> ());
+  Buffer.add_char b '}'
 
 let buf_run_result b rr =
   Buffer.add_string b "{\"schedule\":";

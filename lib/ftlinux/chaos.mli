@@ -75,6 +75,9 @@ type outcome = {
   o_completed : int;  (** client responses fully verified *)
   o_sections : int;  (** digest snapshots compared *)
   o_end : Time.t;  (** simulated time when the run settled *)
+  o_lag : string option;
+      (** worst {!Lagmon} verdict label observed across the run's monitors
+          ("ok" / "lagging" / "stalled"); [None] when no monitor ran *)
 }
 
 (** {1 Campaigns} *)

@@ -19,6 +19,8 @@ type config = {
   driver_load_time : Time.t;
   delta_replay_cost : Time.t;
   batch : Msglayer.batch_config;
+  lagmon : Lagmon.config option;
+      (* replication-health monitor; None (the default) runs without one *)
   server_ip : string;
   app_env : (string * string) list;
 }
@@ -39,6 +41,7 @@ let default_config =
     driver_load_time = Time.ms 4950;
     delta_replay_cost = Time.us 10;
     batch = Msglayer.default_batch;
+    lagmon = None;
     server_ip = "10.0.0.1";
     app_env = [];
   }
@@ -59,6 +62,7 @@ type t = {
   hb_p : Heartbeat.t;
   hb_s : Heartbeat.t;
   failover_done : unit Ivar.t;
+  mutable lagmon : Lagmon.t option;
   mutable failover_started : Time.t option;
   mutable failover_completed : Time.t option;
   mutable primary_halted : Time.t option;
@@ -77,6 +81,7 @@ let secondary_kernel t = t.kernel_s
 let primary_namespace t = t.ns_p
 let secondary_namespace t = t.ns_s
 let failover_done t = t.failover_done
+let lagmon t = t.lagmon
 let failover_started_at t = t.failover_started
 let failover_completed_at t = t.failover_completed
 let primary_halted_at t = t.primary_halted
@@ -99,7 +104,8 @@ let replay_divergence t =
 
 let shutdown t =
   Heartbeat.stop t.hb_p;
-  Heartbeat.stop t.hb_s
+  Heartbeat.stop t.hb_s;
+  Option.iter Lagmon.stop t.lagmon
 
 (* The failover sequence (§3.7), run on the secondary when the primary is
    declared failed.  Wall-clock is dominated by the NIC driver reload
@@ -302,6 +308,7 @@ let create eng ?(config = default_config) ?link ~app () =
       hb_p;
       hb_s;
       failover_done = Ivar.create ();
+      lagmon = None;
       failover_started = None;
       failover_completed = None;
       primary_halted = None;
@@ -309,6 +316,33 @@ let create eng ?(config = default_config) ?link ~app () =
     }
   in
   t_ref := Some t;
+  (* Replication-health monitoring: closures over the message layer and the
+     primary's Det channel cursors, all pure reads — see the determinism
+     contract in {!Lagmon}. *)
+  (match config.lagmon with
+  | None -> ()
+  | Some lm_config ->
+      t.lagmon <-
+        Some
+          (Lagmon.start ~config:lm_config eng ~name:"lag"
+             {
+               Lagmon.appended = (fun () -> Msglayer.last_lsn ml_p);
+               acked = (fun () -> Msglayer.acked ml_p);
+               replayed = (fun () -> Msglayer.received_lsn ml_s);
+               queue_depth = (fun () -> Msglayer.queue_depth ml_s);
+               rtt = (fun () -> Msglayer.last_rtt ml_p);
+               channels =
+                 (fun () ->
+                   List.map
+                     (fun (c, emitted, _) ->
+                       (c, emitted, Msglayer.chan_acked ml_p ~chan:c))
+                     (Namespace.chan_cursors ns_p));
+               alive =
+                 (fun () ->
+                   t.failover_started = None
+                   && (not (Msglayer.is_disabled ml_p))
+                   && not (Partition.is_halted part_p));
+             }));
   (* An unexpected primary halt opens the "failover.detect" phase: the
      clock on how long the failure goes unnoticed starts at the halt, not
      at the heartbeat monitor's reaction.  [run_failover]'s own IPI-halt

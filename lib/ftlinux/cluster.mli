@@ -43,6 +43,11 @@ type config = {
       (** sync-tuple streaming batch/ack-coalescing knobs; defaults to
           {!Msglayer.default_batch} (batching on).  Use
           {!Msglayer.unbatched} for the one-frame-per-record baseline. *)
+  lagmon : Lagmon.config option;
+      (** replication-health monitor sampling the append-vs-ack gap,
+          per-channel cursors, replay queue depth and ack RTT (default
+          [None]: no monitor).  Sampling is read-only and cannot perturb
+          the deterministic replay order; see {!Lagmon}. *)
   server_ip : string;
   app_env : (string * string) list;
       (** environment variables replicated into the FT-Namespace at launch *)
@@ -74,6 +79,9 @@ val fail_primary : t -> at:Time.t -> unit
 
 val failover_done : t -> unit Ivar.t
 (** Filled when the secondary has completed takeover. *)
+
+val lagmon : t -> Lagmon.t option
+(** The replication-health monitor, when [config.lagmon] enabled one. *)
 
 val failover_started_at : t -> Time.t option
 val failover_completed_at : t -> Time.t option

@@ -484,6 +484,15 @@ let chan_progress t =
 let chan_progress_restore t chans =
   List.iter (fun (c, _) -> (chan_get t c).ch_dirty <- true) chans
 
+(* Every channel's cursors, sorted by channel id: on the primary
+   [ch_emitted] counts sections recorded, on the secondary [ch_consumed]
+   counts sections replayed.  A pure read (no dirty-mark draining) — Lagmon
+   samples it to measure per-channel replication lag. *)
+let chan_cursors t =
+  Hashtbl.fold (fun _ st acc -> (st.ch_id, st.ch_emitted, st.ch_consumed) :: acc)
+    t.chans []
+  |> List.sort compare
+
 (* {1 Syscall streams} *)
 
 let log_syscall t result =

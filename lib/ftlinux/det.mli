@@ -128,6 +128,12 @@ val chan_progress_restore : t -> (int * int) list -> unit
     stalling until an unrelated consume.  Idempotent: cursors are
     cumulative. *)
 
+val chan_cursors : t -> (int * int * int) list
+(** Every channel's [(channel, emitted, consumed)] cursors, ascending by
+    channel id.  A pure read (dirty marks untouched, safe from raw timer
+    context): {!Lagmon} samples the primary's [emitted] against the
+    per-channel cursors acks report to measure per-channel lag. *)
+
 (** {1 Per-thread syscall streams} *)
 
 val log_syscall : t -> Wire.syscall_result -> int

@@ -52,6 +52,14 @@ type primary = {
   mutable buf_opened : Time.t;
   flush_wq : Waitq.t;
   flush_mu : Sync.Mutex.t;
+  (* Append-to-ack round-trip probe: one outstanding probe at a time, armed
+     on a frame's highest LSN when it leaves, resolved by the first ack
+     covering it.  Pure field updates + a histogram record — never
+     scheduler-visible, so telemetry cannot perturb replay order. *)
+  mutable rtt_lsn : int; (* -1 = no probe outstanding *)
+  mutable rtt_sent : Time.t;
+  mutable p_last_rtt : Time.t option;
+  r_rtt : Metrics.Hist.t;
   p_recs : Metrics.Counter.t;
   r_recs : Metrics.Counter.t;  (* registry twin of [p_recs] *)
   r_frames : Metrics.Counter.t;
@@ -116,6 +124,10 @@ let create_primary ?(batch = unbatched) eng ~out ~inb =
     buf_opened = Engine.now eng;
     flush_wq = Waitq.create ();
     flush_mu = Sync.Mutex.create ();
+    rtt_lsn = -1;
+    rtt_sent = Engine.now eng;
+    p_last_rtt = None;
+    r_rtt = Metrics.Registry.hist (Engine.metrics eng) "lag.rtt_ns";
     p_recs = Metrics.Counter.create ();
     r_recs =
       Metrics.Registry.counter (Engine.metrics eng) "msglayer.records_appended";
@@ -132,6 +144,15 @@ let record_kind = function
 
 let send_frame p msg =
   Metrics.Counter.incr p.r_frames;
+  (if p.rtt_lsn < 0 then
+     match msg with
+     | Wire.Record { lsn; _ } ->
+         p.rtt_lsn <- lsn;
+         p.rtt_sent <- Engine.now p.p_eng
+     | Wire.Batch { base_lsn; records = _ :: _ as records; _ } ->
+         p.rtt_lsn <- base_lsn + List.length records - 1;
+         p.rtt_sent <- Engine.now p.p_eng
+     | Wire.Batch _ | Wire.Ack _ | Wire.Heartbeat _ -> ());
   Mailbox.send p.p_out ~bytes:(Wire.message_bytes msg) msg
 
 (* Detach the staged batch; the caller sends it.  Never suspends, so a
@@ -215,6 +236,7 @@ let append p record =
 
 let last_lsn p = p.next_lsn - 1
 let acked p = p.p_acked
+let last_rtt p = p.p_last_rtt
 
 let chan_acked p ~chan =
   Option.value ~default:0 (Hashtbl.find_opt p.p_chan_acks chan)
@@ -282,6 +304,12 @@ let spawn_primary_rx p spawn =
            p.p_last_peer <- Engine.now p.p_eng;
            (match msg with
            | Wire.Ack { upto; chans } ->
+               if p.rtt_lsn >= 0 && upto >= p.rtt_lsn then begin
+                 let rtt = Engine.now p.p_eng - p.rtt_sent in
+                 p.p_last_rtt <- Some rtt;
+                 Metrics.Hist.record p.r_rtt (float_of_int rtt);
+                 p.rtt_lsn <- -1
+               end;
                List.iter
                  (fun (ch, consumed) ->
                    if consumed > chan_acked p ~chan:ch then
@@ -702,6 +730,11 @@ let spawn_secondary_rx s spawn =
   end
 
 let received_lsn s = s.s_received
+
+(* Replay backlog visible to the backup: mailbox frames not yet drained plus
+   records dispatched to executors but not completed.  A pure read — safe
+   from raw timer context (Lagmon samples it). *)
+let queue_depth s = Mailbox.in_flight s.s_in + s.inflight
 
 let send_heartbeat_s s ~seq =
   if not (Mailbox.src_halted s.s_out) then begin

@@ -80,6 +80,12 @@ val chan_acked : primary -> chan:int -> int
     (sections consumed); 0 if it never reported.  Observability only — the
     output-commit rule uses {!acked}. *)
 
+val last_rtt : primary -> Time.t option
+(** Append-to-ack round-trip of the most recently resolved probe: one
+    probe is armed on the highest LSN of an outgoing frame and resolved by
+    the first ack covering it (also recorded in the ["lag.rtt_ns"] registry
+    histogram).  [None] until the first ack.  Observability only. *)
+
 val wait_stable : primary -> lsn:int -> unit
 (** Block until [acked >= lsn] (returns immediately when replication is
     disabled or the LSN is already stable).  Flushes any staged records
@@ -171,6 +177,11 @@ val received_lsn : secondary -> int
 (** Contiguous replay watermark: every LSN [<= received_lsn] is replayed
     (with parallel executors, completions above a gap do not count until
     the gap closes). *)
+
+val queue_depth : secondary -> int
+(** Replay backlog right now: frames waiting in the mailbox plus records
+    dispatched to executors but not yet completed.  A pure read (safe from
+    raw timer context) — {!Lagmon} samples it. *)
 
 val send_heartbeat_s : secondary -> seq:int -> unit
 

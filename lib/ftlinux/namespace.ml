@@ -716,6 +716,7 @@ let digest t = match t.det with Some d -> Det.digest d | None -> None
 let mutate_skip_digest t ~global_seq = Det.mutate_skip_digest (det_exn t) ~global_seq
 let chan_progress t = Det.chan_progress (det_exn t)
 let chan_restore t chans = Det.chan_progress_restore (det_exn t) chans
+let chan_cursors t = Det.chan_cursors (det_exn t)
 let divergence t = t.diverged
 
 (* {1 Launch} *)

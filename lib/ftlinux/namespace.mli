@@ -96,5 +96,9 @@ val chan_restore : t -> (int * int) list -> unit
     that would have carried them could not be sent (see
     {!Det.chan_progress_restore}); pass to {!Msglayer.create_secondary}. *)
 
+val chan_cursors : t -> (int * int * int) list
+(** Every channel's [(channel, emitted, consumed)] cursors (pure read; see
+    {!Det.chan_cursors}).  {!Lagmon} samples the primary's namespace. *)
+
 val vfs_of : t -> Ftsim_kernel.Vfs.t
 (** The namespace's local file system (replica-converged under replay). *)

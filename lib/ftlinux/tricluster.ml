@@ -19,6 +19,7 @@ type t = {
   nic : Nic.t option;
   arb : int Mailbox.duplex;  (* backup 0 <-> backup 1: received LSNs *)
   mutable hbs : Heartbeat.t list;
+  mutable lagmons : Lagmon.t list;  (* one per backup when enabled *)
   failover_done : unit Ivar.t;
   mutable the_winner : int option;
 }
@@ -46,7 +47,11 @@ let replay_divergence t =
     None
     (Array.append [| t.ns_p |] t.ns_bs)
 
-let shutdown t = List.iter Heartbeat.stop t.hbs
+let shutdown t =
+  List.iter Heartbeat.stop t.hbs;
+  List.iter Lagmon.stop t.lagmons
+
+let lagmons t = t.lagmons
 
 let fail_primary t ~at =
   Machine.inject t.machine
@@ -254,10 +259,39 @@ let create eng ?(config = Cluster.default_config) ?link ~app () =
       nic;
       arb;
       hbs = [];
+      lagmons = [];
       failover_done = Ivar.create ();
       the_winner = None;
     }
   in
+  (* One replication-health monitor per backup log ("lag.b0" / "lag.b1"):
+     each watches its own primary-side view and its backup's replay. *)
+  (match config.Cluster.lagmon with
+  | None -> ()
+  | Some lm_config ->
+      t.lagmons <-
+        List.init (Array.length parts_b) (fun i ->
+            Lagmon.start ~config:lm_config eng
+              ~name:(Printf.sprintf "lag.b%d" i)
+              {
+                Lagmon.appended = (fun () -> Msglayer.last_lsn ml_ps.(i));
+                acked = (fun () -> Msglayer.acked ml_ps.(i));
+                replayed = (fun () -> Msglayer.received_lsn ml_ss.(i));
+                queue_depth = (fun () -> Msglayer.queue_depth ml_ss.(i));
+                rtt = (fun () -> Msglayer.last_rtt ml_ps.(i));
+                channels =
+                  (fun () ->
+                    List.map
+                      (fun (c, emitted, _) ->
+                        (c, emitted, Msglayer.chan_acked ml_ps.(i) ~chan:c))
+                      (Namespace.chan_cursors ns_p));
+                alive =
+                  (fun () ->
+                    t.the_winner = None
+                    && (not (Msglayer.is_disabled ml_ps.(i)))
+                    && (not (Partition.is_halted part_p))
+                    && not (Partition.is_halted parts_b.(i)));
+              }));
   (* Heart-beats: the primary monitors each backup independently; each
      backup monitors the primary. *)
   let hb_backup_monitor i =

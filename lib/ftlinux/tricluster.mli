@@ -60,4 +60,8 @@ val compare_digests : t -> backup:int -> Digest.divergence option
 val replay_divergence : t -> string option
 (** First structural replay divergence any replica observed, if any. *)
 
+val lagmons : t -> Lagmon.t list
+(** Per-backup replication-health monitors ("lag.b0", "lag.b1"), when
+    [config.lagmon] enabled them. *)
+
 val shutdown : t -> unit

@@ -1,0 +1,31 @@
+(** Periodic one-line metric snapshots ([ftsim --stats-interval]).
+
+    Every [every] of simulated time, prints one line of the engine's
+    registry — counters and gauges verbatim, histograms (and windowed
+    histograms' cumulative view) as [{n p50 p99 p999}] cells — for names
+    matching [prefixes] (default: lag, msglayer, replay, det, failover;
+    per-channel ".chan" cursor gauges are always skipped).
+
+    The printer is a raw {!Engine.timer} callback: pure registry reads plus
+    host I/O, never suspending and never touching simulated state, so it
+    cannot perturb the deterministic schedule. *)
+
+type t
+
+val default_prefixes : string list
+
+val snapshot_line : ?prefixes:string list -> ?label:string -> Engine.t -> string
+(** One snapshot line, no trailing newline. *)
+
+val arm :
+  ?out:out_channel ->
+  ?prefixes:string list ->
+  ?label:string ->
+  Engine.t ->
+  every:Time.t ->
+  t
+(** Start printing to [out] (default stderr) every [every] of sim time.
+    Raises [Invalid_argument] on a non-positive interval. *)
+
+val stop : t -> unit
+(** Cancel the recurring timer.  Idempotent. *)

@@ -307,6 +307,55 @@ let test_cpuhog_saturates () =
            true (util > 0.95)));
   Engine.run ~until:(Time.ms 200) eng
 
+(* {1 SLO reporter} *)
+
+let test_slo_phase_split () =
+  (* The phase split must be exact: window bounds come from the pinned
+     failover.* spans and agree with the cluster's own failover record, and
+     every completion is classified into exactly one phase by time
+     comparison against those bounds. *)
+  let eng = Engine.create ~seed:42 () in
+  let r = Slo.run eng ~concurrency:8 ~run_for:(Time.ms 1800) () in
+  (match r.Slo.window with
+  | None -> Alcotest.fail "expected a failover window"
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "span bounds equal cluster bounds" true
+        r.Slo.span_bounds_ok;
+      Alcotest.(check bool) "window starts at/after the kill" true
+        (lo >= r.Slo.fail_at);
+      Alcotest.(check bool) "window has positive length" true (hi > lo);
+      let inside =
+        List.filter
+          (fun (at, _) -> at >= lo && at <= hi)
+          r.Slo.completions
+      in
+      Alcotest.(check int) "failover phase holds exactly the in-window completions"
+        (List.length inside)
+        (Metrics.Hist.count r.Slo.fo));
+  Alcotest.(check int) "phases partition the completions" r.Slo.completed
+    (Metrics.Hist.count r.Slo.pre
+    + Metrics.Hist.count r.Slo.fo
+    + Metrics.Hist.count r.Slo.post);
+  Alcotest.(check int) "completions list matches the count" r.Slo.completed
+    (List.length r.Slo.completions);
+  Alcotest.(check bool) "pre-fault phase saw traffic" true
+    (Metrics.Hist.count r.Slo.pre > 0);
+  Alcotest.(check bool) "post-recovery phase saw traffic" true
+    (Metrics.Hist.count r.Slo.post > 0);
+  Alcotest.(check int) "windowed view holds every completion" r.Slo.completed
+    (Metrics.Hist.count (Metrics.Whist.cumulative r.Slo.latency_w));
+  Alcotest.(check bool) "health monitor reported" true
+    (r.Slo.lag_worst <> None)
+
+let test_slo_deterministic () =
+  let run () =
+    let eng = Engine.create ~seed:7 () in
+    let r = Slo.run eng ~concurrency:4 ~run_for:(Time.ms 1200) () in
+    (r.Slo.completed, r.Slo.errors, r.Slo.completions, r.Slo.window)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same report" true (a = b)
+
 let () =
   Alcotest.run "apps"
     [
@@ -339,4 +388,9 @@ let () =
             test_memcached_memory_model_monotone;
         ] );
       ("cpuhog", [ Alcotest.test_case "saturates" `Quick test_cpuhog_saturates ]);
+      ( "slo",
+        [
+          Alcotest.test_case "phase split" `Quick test_slo_phase_split;
+          Alcotest.test_case "deterministic" `Quick test_slo_deterministic;
+        ] );
     ]

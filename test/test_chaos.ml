@@ -189,6 +189,7 @@ let test_shrink_converges () =
       o_completed = 0;
       o_sections = 0;
       o_end = 0;
+      o_lag = None;
     }
   in
   let minimal, outcome, probe_runs = Chaos.shrink ~run ~budget:500 sched in
@@ -209,7 +210,16 @@ let test_shrink_converges () =
 (* {1 Campaign + report} *)
 
 let test_campaign_report () =
-  let ok = { Chaos.verdict = Chaos.V_ok; o_failovers = 0; o_completed = 1; o_sections = 5; o_end = 1 } in
+  let ok =
+    {
+      Chaos.verdict = Chaos.V_ok;
+      o_failovers = 0;
+      o_completed = 1;
+      o_sections = 5;
+      o_end = 1;
+      o_lag = Some "ok";
+    }
+  in
   let run s =
     if s.Chaos.sched_index = 1 && s.Chaos.injections <> [] then
       { ok with Chaos.verdict = Chaos.V_divergence "stub" }

@@ -1460,6 +1460,93 @@ let test_msglayer_parallel_executors () =
       (List.sort compare seqs) seqs
   done
 
+(* {1 Replication-lag monitor} *)
+
+let test_lagmon_verdict_cycle () =
+  (* Synthetic LSN sources driven on a schedule: a gap that opens and sits
+     still must go ok -> lagging -> stalled; partial watermark progress
+     demotes the stall back to lagging; closing the gap restores ok. *)
+  let eng = Engine.create () in
+  let appended = ref 0 and acked = ref 0 in
+  let src =
+    {
+      Lagmon.appended = (fun () -> !appended);
+      acked = (fun () -> !acked);
+      replayed = (fun () -> !acked);
+      queue_depth = (fun () -> !appended - !acked);
+      rtt = (fun () -> None);
+      channels = (fun () -> [ (0, !appended, !acked) ]);
+      alive = (fun () -> true);
+    }
+  in
+  let config =
+    {
+      Lagmon.period = Time.ms 1;
+      lag_records = 4;
+      stall_after = Time.ms 10;
+      quiet = false;
+    }
+  in
+  let lm = Lagmon.start ~config eng ~name:"lagtest" src in
+  Engine.schedule eng ~at:(Time.us 2_500) (fun () -> appended := 10);
+  Engine.schedule eng ~at:(Time.us 13_500) (fun () -> acked := 3);
+  Engine.schedule eng ~at:(Time.us 14_500) (fun () -> acked := 10);
+  Engine.run ~until:(Time.ms 20) eng;
+  Lagmon.stop lm;
+  Alcotest.(check (list (pair int string)))
+    "verdict transitions in order"
+    [
+      (Time.ms 3, "lagging");
+      (Time.ms 12, "stalled");
+      (Time.ms 14, "lagging");
+      (Time.ms 15, "ok");
+    ]
+    (List.map
+       (fun (at, v) -> (at, Lagmon.verdict_label v))
+       (Lagmon.transitions lm));
+  Alcotest.(check string) "worst retained" "stalled"
+    (Lagmon.verdict_label (Lagmon.worst lm));
+  Alcotest.(check string) "current healthy" "ok"
+    (Lagmon.verdict_label (Lagmon.verdict lm));
+  let reg = Engine.metrics eng in
+  Alcotest.(check (float 0.001)) "gap gauge closed" 0.0
+    (Metrics.Gauge.value (Metrics.Registry.gauge reg "lagtest.lsn"));
+  Alcotest.(check (float 0.001)) "per-channel cursor published" 10.0
+    (Metrics.Gauge.value (Metrics.Registry.gauge reg "lagtest.chan0.acked"));
+  Alcotest.(check bool) "gap histogram sampled" true
+    (Metrics.Hist.count (Metrics.Registry.hist reg "lagtest.lsn_hist") > 0)
+
+let test_lagmon_quiet_invisible () =
+  (* The telemetry determinism contract: a quiet monitor may update gauges
+     but the event log — the byte-diffed repro artifact — and the client
+     result must match a monitor-off run exactly, including through a
+     failover. *)
+  let run lagmon =
+    let eng = Engine.create ~seed:123 () in
+    let cluster, result =
+      run_echo_scenario
+        ~config:{ test_config with Cluster.lagmon }
+        ~fail_primary_at:(Some (Time.ms 120))
+        ~messages:(List.init 10 (fun i -> Printf.sprintf "d%d." i))
+        eng
+    in
+    Engine.run ~until:(Time.sec 20) eng;
+    Cluster.shutdown cluster;
+    ( Ivar.peek result,
+      Cluster.traffic_msgs cluster,
+      Cluster.det_ops cluster,
+      Evlog.to_jsonl (Engine.evlog eng) )
+  in
+  let r_off, m_off, d_off, trace_off = run None in
+  let r_on, m_on, d_on, trace_on =
+    run (Some { Lagmon.default_config with Lagmon.quiet = true })
+  in
+  Alcotest.(check bool) "client result unchanged" true (r_off = r_on);
+  Alcotest.(check int) "replication traffic unchanged" m_off m_on;
+  Alcotest.(check int) "det ops unchanged" d_off d_on;
+  Alcotest.(check string) "trace byte-identical with quiet monitor" trace_off
+    trace_on
+
 let () =
   Alcotest.run "ftlinux"
     [
@@ -1546,6 +1633,12 @@ let () =
           Alcotest.test_case "batch-boundary failover" `Quick
             test_batch_boundary_failover;
           Alcotest.test_case "failover phases" `Quick test_trace_failover_phases;
+        ] );
+      ( "lagmon",
+        [
+          Alcotest.test_case "verdict cycle" `Quick test_lagmon_verdict_cycle;
+          Alcotest.test_case "quiet monitor invisible" `Quick
+            test_lagmon_quiet_invisible;
         ] );
       ( "msglayer",
         [

@@ -445,6 +445,109 @@ let test_series_rate () =
       Alcotest.(check (float 0.001)) "bucket 2 sum" 5.0 c
   | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l)
 
+(* The HDR estimate must land in the same log bucket as the exact order
+   statistic: the walk over sorted buckets stops exactly where the rank-q
+   element lives, and value_of_bucket round-trips through bucket_of.  This
+   pins the documented ≈9 % (one-bucket) error bound for any data set. *)
+let prop_hist_quantile_bucket_exact =
+  QCheck.Test.make ~name:"Hist.quantile lands in the exact rank's bucket"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 120) (int_range 1 5_000_000))
+        (int_range 0 1000))
+    (fun (xs, qi) ->
+      let q = float_of_int qi /. 1000.0 in
+      let h = Metrics.Hist.create () in
+      List.iter (fun x -> Metrics.Hist.record h (float_of_int x)) xs;
+      let n = List.length xs in
+      let rank =
+        Stdlib.max 1
+          (Stdlib.min n
+             (Float.to_int (Float.round (q *. float_of_int n))))
+      in
+      let exact =
+        List.nth (List.sort compare (List.map float_of_int xs)) (rank - 1)
+      in
+      Metrics.Hist.bucket_of (Metrics.Hist.quantile h q)
+      = Metrics.Hist.bucket_of exact)
+
+(* {1 Windowed histograms} *)
+
+let test_whist_window_routing () =
+  let w = Metrics.Whist.create ~windows:4 ~width:(Time.ms 10) () in
+  Metrics.Whist.record w ~at:(Time.ms 5) 100.0;
+  Metrics.Whist.record w ~at:(Time.ms 7) 200.0;
+  Metrics.Whist.record w ~at:(Time.ms 15) 300.0;
+  (match Metrics.Whist.window_at w ~at:(Time.ms 9) with
+  | Some h -> Alcotest.(check int) "first window holds both" 2 (Metrics.Hist.count h)
+  | None -> Alcotest.fail "window [0,10) should be live");
+  (match Metrics.Whist.window_at w ~at:(Time.ms 12) with
+  | Some h -> Alcotest.(check int) "second window holds one" 1 (Metrics.Hist.count h)
+  | None -> Alcotest.fail "window [10,20) should be live");
+  Alcotest.(check bool) "untouched window is absent" true
+    (Metrics.Whist.window_at w ~at:(Time.ms 25) = None);
+  Alcotest.(check int) "cumulative sees every record" 3
+    (Metrics.Hist.count (Metrics.Whist.cumulative w))
+
+let test_whist_ring_eviction () =
+  (* 4 windows x 10 ms: a record at 45 ms maps to the slot that held
+     [0,10), reclaiming it.  The evicted window must disappear from
+     window_at and live_windows while the cumulative histogram keeps its
+     records. *)
+  let w = Metrics.Whist.create ~windows:4 ~width:(Time.ms 10) () in
+  Metrics.Whist.record w ~at:(Time.ms 5) 100.0;
+  Metrics.Whist.record w ~at:(Time.ms 45) 200.0;
+  Alcotest.(check bool) "evicted window gone" true
+    (Metrics.Whist.window_at w ~at:(Time.ms 5) = None);
+  (match Metrics.Whist.window_at w ~at:(Time.ms 45) with
+  | Some h ->
+      Alcotest.(check int) "reclaimed slot holds only the new record" 1
+        (Metrics.Hist.count h)
+  | None -> Alcotest.fail "window [40,50) should be live");
+  Alcotest.(check (list int)) "live starts" [ Time.ms 40 ]
+    (List.map fst (Metrics.Whist.live_windows w));
+  Alcotest.(check int) "cumulative survives eviction" 2
+    (Metrics.Hist.count (Metrics.Whist.cumulative w))
+
+let test_whist_between () =
+  let w = Metrics.Whist.create ~windows:8 ~width:(Time.ms 10) () in
+  Metrics.Whist.record w ~at:(Time.ms 5) 1.0;
+  Metrics.Whist.record w ~at:(Time.ms 15) 2.0;
+  Metrics.Whist.record w ~at:(Time.ms 25) 3.0;
+  Alcotest.(check int) "interval merge picks overlapping windows" 2
+    (Metrics.Hist.count
+       (Metrics.Whist.between w ~lo:(Time.ms 12) ~hi:(Time.ms 26)));
+  Alcotest.(check int) "full span merges everything" 3
+    (Metrics.Hist.count
+       (Metrics.Whist.between w ~lo:0 ~hi:(Time.ms 100)))
+
+let test_whist_json_deterministic () =
+  (* The BENCH dumps are byte-diffed across runs, so a whist's JSON must
+     not depend on record or registration order. *)
+  let mk order =
+    let r = Metrics.Registry.create () in
+    if order then ignore (Metrics.Registry.counter r "a.first");
+    let w = Metrics.Registry.whist r ~width:(Time.ms 10) "lat.w" in
+    List.iter
+      (fun (at, v) -> Metrics.Whist.record w ~at v)
+      (if order then [ (Time.ms 5, 100.0); (Time.ms 15, 50.0) ]
+       else [ (Time.ms 15, 50.0); (Time.ms 5, 100.0) ]);
+    if not order then ignore (Metrics.Registry.counter r "a.first");
+    Metrics.Registry.to_json r
+  in
+  let j = mk true in
+  Alcotest.(check string) "dump independent of order" j (mk false);
+  let contains needle =
+    let n = String.length needle and m = String.length j in
+    let rec find i = i + n <= m && (String.sub j i n = needle || find (i + 1)) in
+    find 0
+  in
+  Alcotest.(check bool) "windows sorted by start" true
+    (contains "\"start_ms\": 0" && contains "\"start_ms\": 10");
+  Alcotest.(check bool) "cumulative count present" true
+    (contains "\"count\": 2")
+
 (* {1 Prng} *)
 
 let test_prng_deterministic () =
@@ -1165,6 +1268,14 @@ let () =
           Alcotest.test_case "hist negative values" `Quick
             test_hist_negative_values;
           Alcotest.test_case "series rate" `Quick test_series_rate;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_bucket_exact;
+          Alcotest.test_case "whist window routing" `Quick
+            test_whist_window_routing;
+          Alcotest.test_case "whist ring eviction" `Quick
+            test_whist_ring_eviction;
+          Alcotest.test_case "whist between" `Quick test_whist_between;
+          Alcotest.test_case "whist json deterministic" `Quick
+            test_whist_json_deterministic;
           Alcotest.test_case "registry get-or-create" `Quick
             test_registry_get_or_create;
           Alcotest.test_case "registry kind mismatch" `Quick
