@@ -1457,6 +1457,136 @@ let latency quick =
     \ bench/baseline/BENCH_latency.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Re-protection: online backup regeneration under load                *)
+(* ------------------------------------------------------------------ *)
+
+(* The lifecycle experiment: kill the primary under closed-loop load with
+   re-protection on, and measure (a) time from the kill to the epoch switch
+   that restores Protected, and (b) the throughput dip while the snapshot
+   transfer runs — the promoted primary keeps serving while it journals the
+   record stream and the fresh backup replays.  A Memlayout with a large
+   User class stretches the copy window so the transfer phase is long
+   enough to hold a measurable request count. *)
+let reprotect quick =
+  hr "Re-protection: online backup regeneration under load (mongoose)";
+  (* Summary engine first: its gauges are element 0 of BENCH_reprotect.json,
+     the slot the regression comparator reads. *)
+  let summary = new_engine () in
+  let reg = Engine.metrics summary in
+  let g key v = Metrics.Gauge.set (Metrics.Registry.gauge reg key) v in
+  let eng = new_engine () in
+  let link = gbit_link eng in
+  let user_mb = if quick then 384 else 768 in
+  let concurrency = if quick then 8 else 16 in
+  let layout = Memlayout.create ~ram_bytes:(4 * 1024 * mib 1) in
+  Memlayout.alloc_user layout (user_mb * mib 1);
+  let config =
+    {
+      Cluster.default_config with
+      Cluster.topology = Topology.small;
+      hb_period = Time.ms 5;
+      hb_timeout = Time.ms 25;
+      driver_load_time = Time.ms 200;
+      lagmon = Some { Lagmon.default_config with Lagmon.quiet = true };
+      reprotect = true;
+      regen_delay = Time.ms 50;
+      regen_layout = Some layout;
+    }
+  in
+  let app api =
+    Mongoose.run
+      ~params:
+        {
+          Mongoose.default_params with
+          Mongoose.page_bytes = 10 * 1024;
+          cpu_per_request = Time.us 200;
+        }
+      api
+  in
+  let cluster =
+    Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ()
+  in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let ab =
+    Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/"
+      ~concurrency ()
+  in
+  let st = Loadgen.ab_stats ab in
+  let completed () = Metrics.Counter.value st.Loadgen.completed in
+  (* Phase boundaries come from the lifecycle API: the transfer window is
+     [Regenerating .. Protected], sampled exactly at the transitions. *)
+  let t_regen = ref None and c_regen = ref 0 in
+  let t_prot = ref None and c_prot = ref 0 in
+  Cluster.on_transition cluster (fun tr ->
+      match tr.Cluster.tr_to with
+      | Cluster.Regenerating ->
+          if !t_regen = None then begin
+            t_regen := Some tr.Cluster.tr_at;
+            c_regen := completed ()
+          end
+      | Cluster.Protected when tr.Cluster.tr_from = Cluster.Regenerating ->
+          if !t_prot = None then begin
+            t_prot := Some tr.Cluster.tr_at;
+            c_prot := completed ()
+          end
+      | _ -> ());
+  let warmup = Time.ms 300 and kill_at = Time.ms 800 in
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:kill_at;
+  Engine.run ~until:warmup eng;
+  let c0 = completed () in
+  Engine.run ~until:kill_at eng;
+  let c1 = completed () in
+  drive eng ~cap:(Time.sec 6) ~stop:(fun () -> !t_prot <> None);
+  let post_from = Engine.now eng in
+  let c2 = completed () in
+  Engine.run ~until:(post_from + Time.ms 500) eng;
+  let c3 = completed () in
+  Loadgen.ab_stop ab;
+  Cluster.shutdown cluster;
+  let rate c c' w = float_of_int (c' - c) /. Time.to_sec_f w in
+  let pre = rate c0 c1 (kill_at - warmup) in
+  let post = rate c2 c3 (Time.ms 500) in
+  (match (!t_regen, !t_prot) with
+  | Some tr, Some tp when tp > tr ->
+      let transfer = tp - tr in
+      let regen = rate !c_regen !c_prot transfer in
+      let dip = if pre > 0. then 100. *. (1. -. (regen /. pre)) else 0. in
+      let ttp = tp - kill_at in
+      Printf.printf "%-22s %12s %14s\n" "phase" "window(ms)" "ops/s";
+      Printf.printf "%-22s %12.1f %14.0f\n" "pre-fault (protected)"
+        (Time.to_ms_f (kill_at - warmup))
+        pre;
+      Printf.printf "%-22s %12.1f %14.0f\n" "regenerating (transfer)"
+        (Time.to_ms_f transfer) regen;
+      Printf.printf "%-22s %12.1f %14.0f\n" "post-switch (protected)"
+        (Time.to_ms_f (Time.ms 500))
+        post;
+      Printf.printf
+        "time to re-protected: %s after the kill (epoch %d, lifecycle %s)\n"
+        (Time.to_string ttp) (Cluster.epoch cluster)
+        (Replica_set.lifecycle_label (Cluster.state cluster));
+      Printf.printf
+        "throughput dip during transfer: %.1f%% (%d MiB user copy%s)\n" dip
+        user_mb
+        (if dip < 0. then
+           "; negative: the survivor serves unprotected — no output-commit \
+            wait — until the switch"
+         else "");
+      g "reprotect.time_to_protected.window_ms" (Time.to_ms_f ttp);
+      g "reprotect.transfer.window_ms" (Time.to_ms_f transfer);
+      g "reprotect.pre.ops_per_sec" pre;
+      g "reprotect.regen.ops_per_sec" regen;
+      g "reprotect.post.ops_per_sec" post;
+      g "reprotect.dip_pct" dip;
+      g "reprotect.epoch" (float_of_int (Cluster.epoch cluster))
+  | _ -> Printf.printf "re-protection did not complete within the cap\n");
+  Printf.printf
+    "(acceptance: the dip during the snapshot transfer stays under 20%%; the\n\
+    \ CI bench-regress gate diffs reprotect.*.ops_per_sec and the\n\
+    \ time-to-protected / transfer windows against\n\
+    \ bench/baseline/BENCH_reprotect.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1477,6 +1607,7 @@ let experiments =
     ("scaling", scaling, "Det-section sharding off vs on: overhead vs worker count");
     ("replay", replay, "Backup replay: serial drain vs parallel replay executors");
     ("latency", latency, "Latency percentiles through replica death (phase-split SLO)");
+    ("reprotect", reprotect, "Re-protection: regeneration time and transfer-phase throughput dip");
   ]
 
 let run_all quick =
@@ -1492,6 +1623,7 @@ let run_all quick =
   run_experiment "scaling" scaling quick;
   run_experiment "replay" replay quick;
   run_experiment "latency" latency quick;
+  run_experiment "reprotect" reprotect quick;
   run_experiment "micro" micro quick
 
 let () =

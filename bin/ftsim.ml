@@ -119,6 +119,28 @@ let lagmon_config_of = function
   | `Quiet -> Some { Lagmon.default_config with Lagmon.quiet = true }
   | `Off -> None
 
+let reprotect_t =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) false
+    & info [ "reprotect" ] ~docv:"on|off"
+        ~doc:
+          "Live re-protection (default $(b,off)): after a replica death the \
+           survivor keeps serving while journaling the record stream, the \
+           failed partition is recommissioned, a fresh backup boots and \
+           replays online, and a consensus-coordinated epoch switch splices \
+           it into the live stream — restoring $(b,Protected) instead of \
+           running unprotected to the end of the run.")
+
+let regen_delay_t =
+  Arg.(
+    value & opt int 100
+    & info [ "regen-delay" ] ~docv:"MS"
+        ~doc:
+          "Dwell in $(b,Degraded) before regeneration starts, and between \
+           retries after an aborted regeneration (only meaningful with \
+           $(b,--reprotect on)).")
+
 let print_health name = function
   | None -> ()
   | Some lm ->
@@ -127,6 +149,19 @@ let print_health name = function
         (Lagmon.verdict_label (Lagmon.verdict lm))
         (Lagmon.verdict_label (Lagmon.worst lm))
         (Lagmon.samples lm)
+
+(* Every epoch's monitor, oldest first: "lag", then "lag.e1", ... — monitors
+   of epochs replaced by a planned switch report the Retired verdict. *)
+let print_cluster_health c =
+  List.iter (fun (name, lm) -> print_health name (Some lm)) (Cluster.lagmons c)
+
+let print_lifecycle c =
+  let n = Cluster.failover_count c in
+  Printf.printf "lifecycle: %s (epoch %d, %d takeover%s, %d transitions)\n"
+    (Replica_set.lifecycle_label (Cluster.state c))
+    (Cluster.epoch c) n
+    (if n = 1 then "" else "s")
+    (List.length (Cluster.transitions c))
 
 let stats_interval_t =
   Arg.(
@@ -254,8 +289,8 @@ let apply_detail eng detail =
 
 let pbzip2_cmd =
   let run seed replicated fail_at block_kb file_mb workers batch det_shard
-      replay_workers lagmon stats_interval metrics_json trace_out trace_detail
-      log_level log_filter =
+      replay_workers lagmon reprotect regen_delay_ms stats_interval
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -282,11 +317,12 @@ let pbzip2_cmd =
         in
         let config =
           { Cluster.default_config with Cluster.batch; det_shard;
-            replay_workers; lagmon = lagmon_config_of lagmon }
+            replay_workers; lagmon = lagmon_config_of lagmon; reprotect;
+            regen_delay = Time.ms regen_delay_ms }
         in
         let c = Cluster.create eng ~config ~app () in
         (match fail_at with
-        | Some ms -> Cluster.fail_primary c ~at:(Time.ms ms)
+        | Some ms -> Cluster.kill c ~role:Replica_set.Primary ~at:(Time.ms ms)
         | None -> ());
         Some c
       end
@@ -314,7 +350,8 @@ let pbzip2_cmd =
               (Cluster.traffic_msgs c)
               (float_of_int (Cluster.traffic_bytes c) /. 1e6)
               (Cluster.det_ops c);
-            print_health "lag" (Cluster.lagmon c)
+            if reprotect then print_lifecycle c;
+            print_cluster_health c
         | None -> ())
     | None -> Printf.printf "did not finish within the simulation cap\n"
   in
@@ -332,8 +369,8 @@ let pbzip2_cmd =
     Term.(
       const run $ seed_t $ replicated_t $ fail_at_t $ block_kb $ file_mb
       $ workers $ batch_t $ det_shard_t $ replay_workers_t $ lagmon_t
-      $ stats_interval_t $ metrics_json_t $ trace_out_t $ trace_detail_t
-      $ log_level_t $ log_filter_t)
+      $ reprotect_t $ regen_delay_t $ stats_interval_t $ metrics_json_t
+      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 mongoose} *)
 
@@ -420,7 +457,8 @@ let mongoose_cmd =
    breakdown back out of the event trace. *)
 
 let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard
-    ~replay_workers ~lagmon ~stats_interval ~detail () =
+    ~replay_workers ~lagmon ~reprotect ~regen_delay_ms ~stats_interval ~detail
+    () =
   let eng = Engine.create ~seed () in
   apply_detail eng detail;
   arm_stats eng stats_interval;
@@ -439,11 +477,13 @@ let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard
       det_shard;
       replay_workers;
       lagmon = lagmon_config_of lagmon;
+      reprotect;
+      regen_delay = Time.ms regen_delay_ms;
     }
   in
   let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
   (match fail_at with
-  | Some ms -> Cluster.fail_primary cluster ~at:(Time.ms ms)
+  | Some ms -> Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms ms)
   | None -> ());
   let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
   let w =
@@ -459,6 +499,12 @@ let print_outage cluster =
   with
   | Some a, Some b ->
       Printf.printf "failover outage: %s\n" (Time.to_string (b - a))
+  | _ when Cluster.failover_count cluster > 0 ->
+      (* The timestamps are reset once a completed epoch switch re-protects
+         the set; the per-takeover durations live in the trace spans and the
+         cluster.failover_ns histogram. *)
+      Printf.printf "failover outage: absorbed (re-protected, epoch %d)\n"
+        (Cluster.epoch cluster)
   | _ -> Printf.printf "no failover\n"
 
 let print_download w ~file_mb =
@@ -473,13 +519,13 @@ let file_mb_t =
 
 let failover_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
-      lagmon stats_interval metrics_json trace_out trace_detail log_level
-      log_filter =
+      lagmon reprotect regen_delay_ms stats_interval metrics_json trace_out
+      trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~det_shard ~replay_workers ~lagmon ~stats_interval
-        ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~lagmon ~reprotect ~regen_delay_ms
+        ~stats_interval ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -489,7 +535,8 @@ let failover_cmd =
       (Metrics.Series.rate_per_sec w.Loadgen.bytes_received);
     print_outage cluster;
     print_download w ~file_mb;
-    print_health "lag" (Cluster.lagmon cluster)
+    if reprotect then print_lifecycle cluster;
+    print_cluster_health cluster
   in
   let fail_at =
     Arg.(
@@ -501,25 +548,26 @@ let failover_cmd =
        ~doc:"Large transfer with a mid-stream primary failure (paper §4.4).")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
-      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
-      $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ lagmon_t $ reprotect_t
+      $ regen_delay_t $ stats_interval_t $ metrics_json_t $ trace_out_t
+      $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let fileserver_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
-      lagmon stats_interval metrics_json trace_out trace_detail log_level
-      log_filter =
+      lagmon reprotect regen_delay_ms stats_interval metrics_json trace_out
+      trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms ~batch
-        ~det_shard ~replay_workers ~lagmon ~stats_interval
-        ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~lagmon ~reprotect ~regen_delay_ms
+        ~stats_interval ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
     print_download w ~file_mb;
     if fail_at_ms <> None then print_outage cluster;
-    print_health "lag" (Cluster.lagmon cluster)
+    if reprotect then print_lifecycle cluster;
+    print_cluster_health cluster
   in
   let fail_at =
     Arg.(
@@ -534,9 +582,9 @@ let fileserver_cmd =
           mid-stream primary failure.")
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
-      $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
-      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
-      $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ lagmon_t $ reprotect_t
+      $ regen_delay_t $ stats_interval_t $ metrics_json_t $ trace_out_t
+      $ trace_detail_t $ log_level_t $ log_filter_t)
 
 let timeline_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
@@ -544,8 +592,8 @@ let timeline_cmd =
     setup_logging log_level log_filter;
     let eng, cluster, _w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
-        ~det_shard ~replay_workers ~lagmon ~stats_interval
-        ~detail:trace_detail ()
+        ~det_shard ~replay_workers ~lagmon ~reprotect:false ~regen_delay_ms:100
+        ~stats_interval ~detail:trace_detail ()
     in
     dump_trace eng trace_out;
     let evs = Evlog.events (Engine.evlog eng) in
@@ -713,8 +761,8 @@ let triple_cmd =
 
 let slo_cmd =
   let run seed concurrency page_kb cpu_us warmup_ms fail_at_ms run_for_ms
-      driver_ms batch det_shard replay_workers lagmon stats_interval
-      metrics_json trace_out trace_detail log_level log_filter =
+      driver_ms batch det_shard replay_workers lagmon reprotect regen_delay_ms
+      stats_interval metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -727,6 +775,8 @@ let slo_cmd =
         det_shard;
         replay_workers;
         lagmon = lagmon_config_of lagmon;
+        reprotect;
+        regen_delay = Time.ms regen_delay_ms;
       }
     in
     let r =
@@ -787,8 +837,9 @@ let slo_cmd =
     Term.(
       const run $ seed_t $ concurrency $ page_kb $ cpu_us $ warmup $ fail_at
       $ run_for $ driver_ms $ batch_t $ det_shard_t $ replay_workers_t
-      $ lagmon_t $ stats_interval_t $ metrics_json_t $ trace_out_t
-      $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ lagmon_t $ reprotect_t $ regen_delay_t $ stats_interval_t
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 (* {1 memdump} *)
 
@@ -835,8 +886,8 @@ let memdump_cmd =
 
 let chaos_cmd =
   let run root_seed seeds quick workload replicas horizon_ms det_shard
-      replay_workers stats_interval fail_on_stall report repro_trace log_level
-      log_filter =
+      replay_workers reprotect regen_delay_ms faults stats_interval
+      fail_on_stall report repro_trace log_level log_filter =
     setup_logging log_level log_filter;
     let stats_interval = Option.map Time.ms stats_interval in
     match Chaosrun.workload_of_string workload with
@@ -860,18 +911,23 @@ let chaos_cmd =
         in
         Printf.printf
           "chaos campaign: %d schedules, root seed %d, workload %s, %d \
-           replicas, det-shard %s, replay-workers %d\n\
+           replicas, det-shard %s, replay-workers %d, reprotect %s%s\n\
            %!"
           seeds root_seed workload replicas
           (if det_shard then "on" else "off")
-          replay_workers;
+          replay_workers
+          (if reprotect then "on" else "off")
+          (match faults with
+          | Some f -> Printf.sprintf ", %d faults per schedule" f
+          | None -> "");
         let rep =
           Chaos.run_campaign ~root_seed ~count:seeds ~replicas ~horizon
             ~workload
             ~run:(fun s ->
               Chaosrun.run ?stats_interval ~det_shard ~replay_workers
-                ~workload:w ~replicas s)
-            ~progress ()
+                ~reprotect ~regen_delay:(Time.ms regen_delay_ms) ~workload:w
+                ~replicas s)
+            ?faults ~progress ()
         in
         (match report with
         | None -> ()
@@ -893,7 +949,8 @@ let chaos_cmd =
             | Some path ->
                 (* Re-run the minimal schedule once to capture its trace. *)
                 ignore
-                  (Chaosrun.run ~det_shard ~replay_workers ~workload:w
+                  (Chaosrun.run ~det_shard ~replay_workers ~reprotect
+                     ~regen_delay:(Time.ms regen_delay_ms) ~workload:w
                      ~replicas
                      ~on_trace:(fun ev ->
                        try
@@ -1007,6 +1064,16 @@ let chaos_cmd =
              replication-health monitor reported a $(b,stalled) stream \
              (CI uses this: clean seeds must never stall).")
   in
+  let faults =
+    Arg.(
+      value & opt (some int) None
+      & info [ "faults" ] ~docv:"N"
+          ~doc:
+            "Derive multi-fault schedules with exactly $(docv) fail-stop-\
+             dominant injections each (instead of the classic 0-2 fault \
+             draws).  Pair with $(b,--reprotect on) so each kill is \
+             followed by a regeneration the next fault can land on.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -1014,8 +1081,9 @@ let chaos_cmd =
           checker + client-consistency oracle.")
     Term.(
       const run $ root_seed $ seeds $ quick $ workload $ replicas $ horizon_ms
-      $ det_shard_t $ replay_workers_t $ stats_interval_t $ fail_on_stall
-      $ report $ repro_trace $ log_level_t $ log_filter_t)
+      $ det_shard_t $ replay_workers_t $ reprotect_t $ regen_delay_t $ faults
+      $ stats_interval_t $ fail_on_stall $ report $ repro_trace $ log_level_t
+      $ log_filter_t)
 
 let () =
   let info =

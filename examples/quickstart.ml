@@ -46,7 +46,7 @@ let () =
   let cluster = Cluster.create eng ~config ~app () in
 
   (* Fail-stop the primary partition mid-run. *)
-  Cluster.fail_primary cluster ~at:(Time.ms 20);
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms 20);
 
   Engine.run ~until:(Time.sec 5) eng;
   Cluster.shutdown cluster;

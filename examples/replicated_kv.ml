@@ -23,7 +23,7 @@ let () =
       ()
   in
   let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
-  Cluster.fail_primary cluster ~at:(Time.ms 80);
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms 80);
 
   let finished = Ivar.create () in
   ignore

@@ -37,7 +37,7 @@ let () =
   in
 
   (* Crash the primary 150 ms into the transfer. *)
-  Cluster.fail_primary cluster ~at:(Time.ms 150);
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms 150);
 
   let rec drive () =
     if (not (Ivar.is_filled w.Loadgen.total)) && Engine.now eng < Time.sec 30

@@ -88,6 +88,27 @@ let inject_schedule machine ~part_of sched =
            i.Chaos.inj_kind))
     sched.Chaos.injections
 
+(* Re-protection moves roles across failovers and epoch switches, so the
+   live path resolves each injection's target partition at fire time
+   instead of pinning partitions when the schedule is armed.  A target
+   already halted (a backup hit again before its regeneration finished)
+   absorbs the fault as a no-op. *)
+let inject_schedule_live eng cluster sched =
+  List.iter
+    (fun (i : Chaos.injection) ->
+      Engine.schedule eng ~at:i.Chaos.inj_at (fun () ->
+          let part =
+            match i.Chaos.inj_target with
+            | Chaos.T_primary -> Cluster.primary_partition cluster
+            | Chaos.T_backup _ -> Cluster.secondary_partition cluster
+          in
+          if not (Partition.is_halted part) then
+            Machine.apply (Cluster.machine cluster)
+              (Fault.at
+                 ~disrupts_coherency:i.Chaos.inj_disrupts (Engine.now eng)
+                 ~partition_id:(Partition.id part) i.Chaos.inj_kind)))
+    sched.Chaos.injections
+
 let perturb_schedule eng link sched =
   List.iter
     (fun p ->
@@ -172,7 +193,10 @@ let judge ~oracle ~all_halted ~replay_div ~digest_div ~failovers ~sections
   }
 
 (* The worst replication-health verdict any of the run's monitors saw, as
-   the label the campaign report serializes. *)
+   the label the campaign report serializes.  [Retired] is a planned epoch
+   switch, not a health event, so retired epochs' monitors don't taint the
+   label — unless every monitor retired, which can't happen (the current
+   epoch's monitor is never retired). *)
 let lag_label lagmons =
   match lagmons with
   | [] -> None
@@ -180,7 +204,10 @@ let lag_label lagmons =
       Some
         (Lagmon.verdict_label
            (List.fold_left
-              (fun acc lm -> Lagmon.worse acc (Lagmon.worst lm))
+              (fun acc lm ->
+                match Lagmon.worst lm with
+                | Lagmon.Retired -> acc
+                | v -> Lagmon.worse acc v)
               Lagmon.Ok lms))
 
 let arm_stats eng sched = function
@@ -191,7 +218,8 @@ let arm_stats eng sched = function
            ~label:(Printf.sprintf "#%03d" sched.Chaos.sched_index))
 
 let run_two ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
-    ?(replay_workers = 1) ~workload sched =
+    ?(replay_workers = 1) ?(reprotect = false) ?(regen_delay = Time.ms 50)
+    ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
   arm_stats eng sched stats_interval;
   let link =
@@ -202,28 +230,33 @@ let run_two ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
   let cluster =
     Cluster.create eng
       ~config:
-        { (fast_config Topology.small) with Cluster.det_shard; replay_workers }
+        {
+          (fast_config Topology.small) with
+          Cluster.det_shard;
+          replay_workers;
+          reprotect;
+          regen_delay;
+        }
       ~link:(Link.endpoint_a link) ~app ()
   in
   if mutate then
     Namespace.mutate_skip_digest
       (Cluster.secondary_namespace cluster)
       ~global_seq:0;
-  let part_of = function
-    | Chaos.T_primary -> Cluster.primary_partition cluster
-    | Chaos.T_backup _ -> Cluster.secondary_partition cluster
-  in
-  inject_schedule (Cluster.machine cluster) ~part_of sched;
+  (if reprotect then inject_schedule_live eng cluster sched
+   else
+     let part_of = function
+       | Chaos.T_primary -> Cluster.primary_partition cluster
+       | Chaos.T_backup _ -> Cluster.secondary_partition cluster
+     in
+     inject_schedule (Cluster.machine cluster) ~part_of sched);
   perturb_schedule eng link sched;
   let client = Host.create eng ~ip:client_ip (Link.endpoint_b link) in
   let oracle = mk_oracle client in
   spawn_stopper eng oracle sched;
   Engine.run ~until:sched.Chaos.horizon eng;
   Cluster.shutdown cluster;
-  let all_halted =
-    Partition.is_halted (Cluster.primary_partition cluster)
-    && Partition.is_halted (Cluster.secondary_partition cluster)
-  in
+  let all_halted = Replica_set.all_halted (Cluster.replica_set cluster) in
   let sections =
     match Namespace.digest (Cluster.primary_namespace cluster) with
     | Some d -> Digest.comparison_points d
@@ -233,12 +266,9 @@ let run_two ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
     judge ~oracle ~all_halted
       ~replay_div:(Cluster.replay_divergence cluster)
       ~digest_div:(Cluster.compare_digests cluster)
-      ~failovers:
-        (match Cluster.failover_completed_at cluster with
-        | Some _ -> 1
-        | None -> 0)
+      ~failovers:(Cluster.failover_count cluster)
       ~sections ~end_at:(Engine.now eng)
-      ~lag:(lag_label (Option.to_list (Cluster.lagmon cluster)))
+      ~lag:(lag_label (List.map snd (Cluster.lagmons cluster)))
   in
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
@@ -297,13 +327,15 @@ let run_three ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
   (match on_trace with Some f -> f (Engine.evlog eng) | None -> ());
   outcome
 
-let run ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers ~workload
-    ~replicas sched =
+let run ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
+    ?(reprotect = false) ?regen_delay ~workload ~replicas sched =
   match replicas with
   | 2 ->
       run_two ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
-        ~workload sched
+        ~reprotect ?regen_delay ~workload sched
   | 3 ->
+      if reprotect then
+        invalid_arg "Chaosrun.run: re-protection needs replicas = 2";
       run_three ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
         ~workload sched
   | n -> invalid_arg (Printf.sprintf "Chaosrun.run: %d replicas" n)

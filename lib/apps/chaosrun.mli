@@ -24,6 +24,8 @@ val run :
   ?mutate:bool ->
   ?det_shard:bool ->
   ?replay_workers:int ->
+  ?reprotect:bool ->
+  ?regen_delay:Time.t ->
   workload:workload ->
   replicas:int ->
   Chaos.schedule ->
@@ -37,6 +39,16 @@ val run :
     deterministic-section core; [false] restores the namespace-global total
     order.  [replay_workers] (default 1) sizes the backups' replay-executor
     pools (see {!Cluster.config}).
+
+    [reprotect] (default false; two replicas only — raises with three)
+    turns on {!Cluster} live re-protection with a [regen_delay] dwell
+    (default 50 ms): injections then resolve their target partition {e at
+    fire time} through the lifecycle API — roles move across failovers and
+    epoch switches, and a fault landing on an already-halted target is a
+    no-op — and the run's failover count and outage test come from
+    {!Cluster.failover_count} and {!Replica_set.all_halted}.  Pair with
+    {!Chaos.derive_multi} schedules to exercise kill → regenerate cycles
+    of arbitrary length.
 
     Every run monitors replication health with a quiet {!Lagmon} (gauges
     and verdicts update, nothing reaches the Evlog — repro traces stay

@@ -71,7 +71,7 @@ let run eng ?(config = default_config) ?(concurrency = 16)
   let cluster =
     Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app ()
   in
-  Cluster.fail_primary cluster ~at:fail_at;
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:fail_at;
   let client = Host.create eng ~ip:client_ip (Link.endpoint_b link) in
   (* Let the server boot and listen before offering load. *)
   Engine.run ~until:warmup eng;

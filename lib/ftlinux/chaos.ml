@@ -85,6 +85,50 @@ let derive ~root_seed ~index ~replicas ~horizon =
   in
   { sched_index = index; sched_seed = seed; horizon; injections; perturbations }
 
+(* Multi-fault sequences for re-protection campaigns: exactly [faults]
+   fail-stop-dominant injections spread across the horizon, each landing in
+   its own window so the previous kill -> failover -> regenerate cycle has
+   room to complete (or to be hit mid-regeneration by the next fault when
+   the draw lands early in the window). *)
+let derive_multi ~root_seed ~index ~replicas ~horizon ~faults =
+  if replicas <> 2 && replicas <> 3 then
+    invalid_arg "Chaos.derive_multi: replicas must be 2 or 3";
+  if faults < 1 then invalid_arg "Chaos.derive_multi: faults must be >= 1";
+  let seed =
+    Digest.mix (Digest.mix (Digest.mix 0x9e9e5 root_seed) index) faults
+  in
+  let g = Prng.create ~seed in
+  let backups = replicas - 1 in
+  let span = 3 * horizon / 4 in
+  let window = max 1 (span / faults) in
+  let injections =
+    List.init faults (fun k ->
+        {
+          inj_at = Time.ns ((k * window) + 1 + Prng.int g (3 * window / 4));
+          inj_target =
+            (* Primary-heavy: the interesting path is the repeated
+               promote-and-regenerate cycle. *)
+            (if Prng.int g 3 < 2 then T_primary
+             else T_backup (Prng.int g backups));
+          inj_kind =
+            (if Prng.int g 10 < 7 then Ftsim_hw.Fault.Core_failstop
+             else kind_of_draw (Prng.int g 3));
+          inj_disrupts = Prng.int g 4 = 0;
+        })
+  in
+  let n_pert = Prng.int g 3 in
+  let perturbations =
+    List.init n_pert (fun _ ->
+        {
+          pert_at = Time.ns (1 + Prng.int g span);
+          pert_dur = Time.ns (1 + Prng.int g (Time.ms 200));
+          pert_loss = Prng.float g 0.5;
+          pert_delay = Time.ns (Prng.int g (Time.ms 2));
+        })
+    |> List.sort (fun a b -> compare a.pert_at b.pert_at)
+  in
+  { sched_index = index; sched_seed = seed; horizon; injections; perturbations }
+
 let pp_target fmt = function
   | T_primary -> Format.pp_print_string fmt "primary"
   | T_backup i -> Format.fprintf fmt "backup-%d" i
@@ -213,10 +257,15 @@ let failures r =
   List.filter (fun rr -> verdict_failing rr.rr_outcome.verdict) r.rep_results
 
 let run_campaign ~root_seed ~count ~replicas ~horizon ~workload ~run
-    ?(shrink_budget = 64) ?(progress = fun _ -> ()) () =
+    ?faults ?(shrink_budget = 64) ?(progress = fun _ -> ()) () =
+  let derive_one index =
+    match faults with
+    | None -> derive ~root_seed ~index ~replicas ~horizon
+    | Some faults -> derive_multi ~root_seed ~index ~replicas ~horizon ~faults
+  in
   let results =
     List.init count (fun index ->
-        let s = derive ~root_seed ~index ~replicas ~horizon in
+        let s = derive_one index in
         let rr = { rr_schedule = s; rr_outcome = run s } in
         progress rr;
         rr)

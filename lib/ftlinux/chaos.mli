@@ -48,6 +48,21 @@ val derive :
     30 ms of the first) become more likely, exercising the arbitration
     path. *)
 
+val derive_multi :
+  root_seed:int ->
+  index:int ->
+  replicas:int ->
+  horizon:Time.t ->
+  faults:int ->
+  schedule
+(** Multi-fault sequence for re-protection campaigns: exactly [faults]
+    fail-stop-dominant injections, each landing in its own window across
+    the first three quarters of the horizon, so the previous
+    kill → failover → regenerate cycle has room to complete — or is hit
+    mid-regeneration when a draw lands early in its window.  Targets are
+    primary-heavy (roles move between injections when re-protection is
+    on).  Derivation is deterministic in [(root_seed, index, faults)]. *)
+
 val pp_schedule : Format.formatter -> schedule -> unit
 
 (** {1 Verdicts} *)
@@ -102,12 +117,15 @@ val run_campaign :
   horizon:Time.t ->
   workload:string ->
   run:(schedule -> outcome) ->
+  ?faults:int ->
   ?shrink_budget:int ->
   ?progress:(run_result -> unit) ->
   unit ->
   report
 (** Derive and run [count] schedules.  If any fails, the first failing
-    schedule is shrunk (default budget: 64 additional runs). *)
+    schedule is shrunk (default budget: 64 additional runs).  [faults]
+    switches derivation to {!derive_multi} with that fault budget per
+    schedule (re-protection campaigns). *)
 
 val failures : report -> run_result list
 

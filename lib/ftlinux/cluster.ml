@@ -3,6 +3,12 @@ open Ftsim_hw
 open Ftsim_kernel
 open Ftsim_netstack
 
+type lifecycle = Replica_set.lifecycle =
+  | Protected
+  | Degraded
+  | Regenerating
+  | Outage
+
 type config = {
   topology : Topology.spec;
   split : [ `Symmetric | `Asymmetric of int ];
@@ -23,6 +29,14 @@ type config = {
       (* replication-health monitor; None (the default) runs without one *)
   server_ip : string;
   app_env : (string * string) list;
+  reprotect : bool;
+      (* live re-protection: journal the record stream and regenerate a
+         fresh backup online after a replica death *)
+  regen_delay : Time.t;  (* Degraded dwell before regeneration starts *)
+  regen_bw : int;  (* modelled snapshot-copy bandwidth, bytes/s *)
+  regen_layout : Memlayout.t option;
+      (* memory classification driving the snapshot-copy budget; None
+         models a freshly booted layout (kernel reservations only) *)
 }
 
 let default_config =
@@ -44,25 +58,127 @@ let default_config =
     lagmon = None;
     server_ip = "10.0.0.1";
     app_env = [];
+    reprotect = false;
+    regen_delay = Time.ms 100;
+    regen_bw = 2_000_000_000;
+    regen_layout = None;
   }
+
+(* The journal: the survivor-readable copy of the replication stream.  A
+   regenerated backup replays it from LSN 0, so the global LSN space and
+   the journal's index space must coincide — [create_primary ?journal] is
+   invoked at LSN assignment and [create_secondary ?journal] in receive
+   order, and every epoch switch chains [base_lsn] to the journal length,
+   keeping the invariant across epochs. *)
+type journal = {
+  mutable j_buf : Wire.record option array;
+  mutable j_len : int;
+}
+
+let journal_create () = { j_buf = Array.make 256 None; j_len = 0 }
+
+let journal_append j r =
+  if j.j_len = Array.length j.j_buf then begin
+    let nb = Array.make (2 * Array.length j.j_buf) None in
+    Array.blit j.j_buf 0 nb 0 j.j_len;
+    j.j_buf <- nb
+  end;
+  j.j_buf.(j.j_len) <- Some r;
+  j.j_len <- j.j_len + 1
+
+let journal_get j i =
+  match j.j_buf.(i) with Some r -> r | None -> invalid_arg "journal_get"
+
+let journal_clone_prefix j n =
+  let buf = Array.make (max 256 n) None in
+  Array.blit j.j_buf 0 buf 0 n;
+  { j_buf = buf; j_len = n }
+
+(* What the recording side writes to when re-protection is on.  While a
+   backup is attached, appends go through its message layer (which also
+   journals them); while the set is degraded there is no backup — appends
+   journal directly and stability is granted immediately (outputs release
+   unprotected, which is exactly what Degraded means). *)
+type live_sink = {
+  mutable ls_ml : Msglayer.primary option;
+  mutable ls_journal : journal;
+}
+
+let sink_of_live_sink ls =
+  {
+    Msglayer.sink_append =
+      (fun r ->
+        match ls.ls_ml with
+        | Some ml -> Msglayer.append ml r
+        | None ->
+            let lsn = ls.ls_journal.j_len in
+            journal_append ls.ls_journal r;
+            lsn);
+    sink_last_lsn =
+      (fun () ->
+        match ls.ls_ml with
+        | Some ml -> Msglayer.last_lsn ml
+        | None -> ls.ls_journal.j_len - 1);
+    sink_wait_stable =
+      (fun ~lsn ->
+        match ls.ls_ml with
+        | Some ml -> Msglayer.wait_stable ml ~lsn
+        | None -> ());
+    sink_flush =
+      (fun () -> match ls.ls_ml with Some ml -> Msglayer.flush ml | None -> ());
+  }
+
+type transition = {
+  tr_at : Time.t;
+  tr_from : lifecycle;
+  tr_to : lifecycle;
+  tr_epoch : int;  (* epoch in force once the transition lands *)
+}
 
 type t = {
   eng : Engine.t;
   cfg : config;
   machine : Machine.t;
-  part_p : Partition.t;
-  part_s : Partition.t;
-  kernel_p : Kernel.t;
-  kernel_s : Kernel.t;
-  ml_p : Msglayer.primary;
-  ml_s : Msglayer.secondary;
-  ns_p : Namespace.t;
-  ns_s : Namespace.t;
+  app : Api.app;
   nic : Nic.t option;
-  hb_p : Heartbeat.t;
-  hb_s : Heartbeat.t;
+  sink : live_sink option;  (* Some iff [cfg.reprotect] *)
   failover_done : unit Ivar.t;
-  mutable lagmon : Lagmon.t option;
+  mutable part_p : Partition.t;
+  mutable part_s : Partition.t;
+  mutable kernel_p : Kernel.t;
+  mutable kernel_s : Kernel.t;
+  mutable ml_p : Msglayer.primary;
+  mutable ml_s : Msglayer.secondary;
+  mutable ns_p : Namespace.t;
+  mutable ns_s : Namespace.t;
+  mutable hb_p : Heartbeat.t option;
+  mutable hb_s : Heartbeat.t option;
+  mutable backup_journal : journal;
+      (* the attached backup's receive-order journal: the regeneration
+         source when the *primary* dies and the backup is the survivor *)
+  mutable lifecycle : lifecycle;
+  mutable epoch : int;
+  mutable failovers : int;
+  mutable epoch_joined_p : int;
+  mutable epoch_joined_s : int;
+  mutable transitions : transition list;  (* newest first *)
+  mutable subs : (transition -> unit) list;
+  mutable regen_gen : int;
+      (* bumped to invalidate an in-flight regeneration (abort/outage) *)
+  mutable switch_cutoff : int option;
+      (* journal length at the last epoch switch = the spliced backup's
+         base LSN *)
+  mutable degraded_at : Time.t option;
+  mutable digest_pairs : (Digest.t * Digest.t * Digest.cap option) list;
+      (* closed (primary, secondary, secondary-side cap) digest pairs of
+         past epochs, oldest last *)
+  mutable cur_pair : (Digest.t * Digest.t) option;
+  mutable all_ns : Namespace.t list;
+  mutable lagmons : (string * Lagmon.t) list;  (* newest first *)
+  mutable cur_mon : Lagmon.t option;
+  mutable acc_msgs : int;
+  mutable acc_bytes : int;
+  mutable acc_records : int;
   mutable failover_started : Time.t option;
   mutable failover_completed : Time.t option;
   mutable primary_halted : Time.t option;
@@ -81,37 +197,182 @@ let secondary_kernel t = t.kernel_s
 let primary_namespace t = t.ns_p
 let secondary_namespace t = t.ns_s
 let failover_done t = t.failover_done
-let lagmon t = t.lagmon
+let lagmon t = t.cur_mon
+let lagmons t = List.rev t.lagmons
 let failover_started_at t = t.failover_started
 let failover_completed_at t = t.failover_completed
 let primary_halted_at t = t.primary_halted
+let state t = t.lifecycle
+let epoch t = t.epoch
+let failover_count t = t.failovers
+let transitions t = List.rev t.transitions
+let on_transition t f = t.subs <- t.subs @ [ f ]
+let switch_cutoff t = t.switch_cutoff
+let backup_first_lsn t = Msglayer.first_lsn t.ml_s
 
-let traffic_msgs t = Msglayer.traffic_msgs t.ml_p t.ml_s
-let traffic_bytes t = Msglayer.traffic_bytes t.ml_p t.ml_s
-let reset_traffic t = Msglayer.reset_traffic t.ml_p t.ml_s
+let traffic_msgs t = t.acc_msgs + Msglayer.traffic_msgs t.ml_p t.ml_s
+let traffic_bytes t = t.acc_bytes + Msglayer.traffic_bytes t.ml_p t.ml_s
+
+let reset_traffic t =
+  t.acc_msgs <- 0;
+  t.acc_bytes <- 0;
+  Msglayer.reset_traffic t.ml_p t.ml_s
+
 let det_ops t = Namespace.det_ops t.ns_p
-let records_sent t = Msglayer.p_records t.ml_p
+let records_sent t = t.acc_records + Msglayer.p_records t.ml_p
 
 let compare_digests t =
-  match (Namespace.digest t.ns_p, Namespace.digest t.ns_s) with
-  | Some p, Some s -> Digest.compare_replicas ~primary:p ~secondary:s
-  | _ -> None
+  let rec first = function
+    | [] -> None
+    | (dp, ds, cap) :: rest -> (
+        match
+          Digest.compare_replicas_capped ~secondary_cap:cap ~primary:dp
+            ~secondary:ds
+        with
+        | Some d -> Some d
+        | None -> first rest)
+  in
+  match first (List.rev t.digest_pairs) with
+  | Some d -> Some d
+  | None -> (
+      match t.cur_pair with
+      | Some (dp, ds) -> Digest.compare_replicas ~primary:dp ~secondary:ds
+      | None -> None)
 
 let replay_divergence t =
-  match Namespace.divergence t.ns_s with
-  | Some _ as d -> d
-  | None -> Namespace.divergence t.ns_p
+  List.fold_left
+    (fun acc ns ->
+      match acc with Some _ -> acc | None -> Namespace.divergence ns)
+    None t.all_ns
 
 let shutdown t =
-  Heartbeat.stop t.hb_p;
-  Heartbeat.stop t.hb_s;
-  Option.iter Lagmon.stop t.lagmon
+  (match t.hb_p with Some h -> Heartbeat.stop h | None -> ());
+  (match t.hb_s with Some h -> Heartbeat.stop h | None -> ());
+  List.iter (fun (_, m) -> Lagmon.stop m) t.lagmons
 
-(* The failover sequence (§3.7), run on the secondary when the primary is
-   declared failed.  Wall-clock is dominated by the NIC driver reload
-   (99 % of the ~5 s reported in §4.4). *)
-let run_failover t =
+let set_lifecycle t to_ =
+  if t.lifecycle <> to_ then begin
+    let tr =
+      {
+        tr_at = Engine.now t.eng;
+        tr_from = t.lifecycle;
+        tr_to = to_;
+        tr_epoch = t.epoch;
+      }
+    in
+    t.lifecycle <- to_;
+    t.transitions <- tr :: t.transitions;
+    Evlog.emit (Engine.evlog t.eng) ~comp:"ft.cluster" "lifecycle"
+      ~args:
+        [
+          ("from", Evlog.Str (Replica_set.lifecycle_label tr.tr_from));
+          ("to", Evlog.Str (Replica_set.lifecycle_label to_));
+          ("epoch", Evlog.Int tr.tr_epoch);
+        ];
+    List.iter (fun f -> f tr) t.subs
+  end
+
+(* Per-epoch replication-health monitor wiring (see the determinism
+   contract in {!Lagmon}: sources are pure reads). *)
+let start_lagmon_epoch0 t lm_config =
+  let ml_p = t.ml_p and ml_s = t.ml_s and ns_p = t.ns_p in
+  let part_p = t.part_p in
+  let mon =
+    Lagmon.start ~config:lm_config t.eng ~name:"lag"
+      {
+        Lagmon.appended = (fun () -> Msglayer.last_lsn ml_p);
+        acked = (fun () -> Msglayer.acked ml_p);
+        replayed = (fun () -> Msglayer.received_lsn ml_s);
+        queue_depth = (fun () -> Msglayer.queue_depth ml_s);
+        rtt = (fun () -> Msglayer.last_rtt ml_p);
+        channels =
+          (fun () ->
+            List.map
+              (fun (c, emitted, _) ->
+                (c, emitted, Msglayer.chan_acked ml_p ~chan:c))
+              (Namespace.chan_cursors ns_p));
+        alive =
+          (fun () ->
+            t.failover_started = None
+            && (not (Msglayer.is_disabled ml_p))
+            && not (Partition.is_halted part_p));
+      }
+  in
+  t.lagmons <- ("lag", mon) :: t.lagmons;
+  t.cur_mon <- Some mon
+
+(* An unexpected halt of the *current* primary opens the
+   "failover.detect" phase; while there is no attached backup it is
+   instead a service outage.  [run_failover]'s own IPI-halt arrives with
+   [failover_started] already set (and the lifecycle still [Protected])
+   and is neither. *)
+let rec watch_primary t part =
+  Partition.on_halt part (fun () ->
+      if part == t.part_p then begin
+        if t.failover_started = None && t.lifecycle = Protected then begin
+          t.primary_halted <- Some (Engine.now t.eng);
+          t.ph_detect <-
+            Some
+              (Evlog.span_begin (Engine.evlog t.eng) ~pin:true
+                 ~comp:"ft.cluster" "failover.detect")
+        end
+        else if t.lifecycle = Degraded || t.lifecycle = Regenerating then begin
+          (* No fully-replicated survivor: a half-replayed regeneration
+             target must never go live (its journal prefix would replay
+             outputs already released unprotected), so halt it and declare
+             the outage. *)
+          Trace.warnf log ~eng:t.eng "primary died while %s: service outage"
+            (Replica_set.lifecycle_label t.lifecycle);
+          t.regen_gen <- t.regen_gen + 1;
+          if t.lifecycle = Regenerating && not (Partition.is_halted t.part_s)
+          then Ipi.send_halt t.eng t.part_s;
+          set_lifecycle t Outage
+        end
+      end)
+
+and start_heartbeats t ~epoch =
+  let suffix = if epoch = 0 then "" else Printf.sprintf ".e%d" epoch in
+  let ml_p = t.ml_p
+  and ml_s = t.ml_s
+  and kernel_p = t.kernel_p
+  and kernel_s = t.kernel_s in
+  (* Guard against a stale detector of a replaced epoch firing late. *)
+  let guard f () = if t.epoch = epoch && t.lifecycle = Protected then f () in
+  t.hb_p <-
+    Some
+      (Heartbeat.start
+         ~name:("primary" ^ suffix)
+         ~spawn:(fun name f -> Kernel.spawn_thread kernel_p ~name f)
+         ~eng:t.eng ~period:t.cfg.hb_period ~timeout:t.cfg.hb_timeout
+         ~send:(fun ~seq -> Msglayer.send_heartbeat_p ml_p ~seq)
+         ~last_peer:(fun () -> Msglayer.last_peer_activity_p ml_p)
+         ~on_failure:(guard (fun () -> on_backup_death t))
+         ());
+  t.hb_s <-
+    Some
+      (Heartbeat.start
+         ~name:("secondary" ^ suffix)
+         ~spawn:(fun name f -> Kernel.spawn_thread kernel_s ~name f)
+         ~eng:t.eng ~period:t.cfg.hb_period ~timeout:t.cfg.hb_timeout
+         ~send:(fun ~seq -> Msglayer.send_heartbeat_s ml_s ~seq)
+         ~last_peer:(fun () -> Msglayer.last_peer_activity_s ml_s)
+         ~on_failure:(guard (fun () -> run_failover t))
+         ())
+
+and stop_heartbeats t =
+  (match t.hb_p with Some h -> Heartbeat.stop h | None -> ());
+  (match t.hb_s with Some h -> Heartbeat.stop h | None -> ());
+  t.hb_p <- None;
+  t.hb_s <- None
+
+(* The failover sequence (§3.7), run on the surviving backup when the
+   primary is declared failed.  Wall-clock is dominated by the NIC driver
+   reload (99 % of the ~5 s reported in §4.4).  With re-protection on, the
+   survivor is additionally *promoted*: it keeps recording into the live
+   sink (journal) so a regenerated backup can be spliced in later. *)
+and run_failover t =
   t.failover_started <- Some (Engine.now t.eng);
+  t.failovers <- t.failovers + 1;
   let reg = Engine.metrics t.eng in
   let ev = Engine.evlog t.eng in
   Metrics.Counter.incr (Metrics.Registry.counter reg "cluster.failovers");
@@ -129,17 +390,28 @@ let run_failover t =
          zero-length detect phase so the timeline still has all four. *)
       Evlog.span_end ev
         (Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.detect"));
+  (* IPI first, Degraded second: the halt hook must see the lifecycle
+     still Protected so it does not read our own halt as an outage. *)
   Ipi.send_halt t.eng t.part_p;
-  let ph_drain = Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.drain_replay" in
+  set_lifecycle t Degraded;
+  t.degraded_at <- Some (Engine.now t.eng);
+  stop_heartbeats t;
+  let kernel_s = t.kernel_s
+  and part_s = t.part_s
+  and ns_s = t.ns_s
+  and ml_s = t.ml_s in
+  let ph_drain =
+    Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.drain_replay"
+  in
   ignore
-    (Kernel.spawn_thread t.kernel_s ~name:"ft-failover" (fun () ->
+    (Kernel.spawn_thread kernel_s ~name:"ft-failover" (fun () ->
          (* 1. Drain the log: everything the primary managed to put in
             shared memory survives its crash and must be consumed.
             [Msglayer.drained] also covers the replay-executor pool, so
             with parallel replay this waits for every executor's queue —
             not just the dispatch loop — to run dry. *)
          let rec wait_drained () =
-           if not (Msglayer.drained t.ml_s) then begin
+           if not (Msglayer.drained ml_s) then begin
              Engine.sleep (Time.ms 1);
              wait_drained ()
            end
@@ -152,16 +424,47 @@ let run_failover t =
            if consecutive >= 2 then ()
            else begin
              Engine.sleep (Time.ms 1);
-             if Namespace.replay_idle t.ns_s then wait_idle (consecutive + 1)
+             if Namespace.replay_idle ns_s then wait_idle (consecutive + 1)
              else wait_idle 0
            end
          in
          wait_idle 0;
          Evlog.span_end ev ph_drain;
          let ph_driver =
-           Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "failover.driver_reload"
+           Evlog.span_begin ev ~pin:true ~comp:"ft.cluster"
+             "failover.driver_reload"
          in
          Trace.infof log ~eng:t.eng "failover: log drained, replay complete";
+         (* With re-protection: bound later comparisons against the dead
+            primary's digest at the survivor's replay point — everything
+            beyond it died unreplicated with the primary — and close the
+            epoch's digest pair.  The survivor's digest keeps growing as
+            the next epoch's recording primary. *)
+         if t.cfg.reprotect then begin
+           let cap = Option.map Digest.capture (Namespace.digest ns_s) in
+           match t.cur_pair with
+           | Some (dp, ds) ->
+               t.digest_pairs <- (dp, ds, cap) :: t.digest_pairs;
+               t.cur_pair <- None
+           | None -> ()
+         end;
+         let promote_of restored =
+           if t.cfg.reprotect then begin
+             let sink = Option.get t.sink in
+             (* The survivor's receive journal is the authoritative
+                timeline now; the promoted primary appends to it. *)
+             sink.ls_ml <- None;
+             sink.ls_journal <- t.backup_journal;
+             Some
+               {
+                 Namespace.pr_sink = sink_of_live_sink sink;
+                 pr_restored = restored;
+                 pr_output_commit = t.cfg.output_commit;
+                 pr_ack_commit = t.cfg.ack_commit;
+               }
+           end
+           else None
+         in
          (* 3. Take over the network: reload the driver, rebuild the TCP
             stack from the shadow's logical state, re-listen. *)
          let finish_golive () =
@@ -173,27 +476,46 @@ let run_failover t =
          (match t.nic with
          | Some nic ->
              let stack_s =
-               Tcp.create (Netenv.of_kernel t.kernel_s) ~config:t.cfg.tcp_config
+               Tcp.create (Netenv.of_kernel kernel_s) ~config:t.cfg.tcp_config
                  ~ip:t.cfg.server_ip ()
              in
-             Nic.transfer nic ~owner:t.part_s ~rx:(Tcp.rx_callback stack_s);
+             Nic.transfer nic ~owner:part_s ~rx:(Tcp.rx_callback stack_s);
              Evlog.span_end ev ph_driver;
              let golive_done = finish_golive () in
              Tcp.bind_nic stack_s nic;
-             let shadow = Namespace.shadow_of t.ns_s in
+             let shadow = Namespace.shadow_of ns_s in
              let listeners =
                List.map
                  (fun port -> (port, Tcp.listen stack_s ~port))
                  (Shadow.listener_ports shadow)
              in
-             ignore (Shadow.restore_all shadow stack_s);
-             Namespace.go_live t.ns_s ~stack:stack_s ~listeners ();
+             let restored = Shadow.restore_all shadow stack_s in
+             Namespace.go_live ns_s ~stack:stack_s ~listeners
+               ?promote:(promote_of restored) ();
              golive_done ()
          | None ->
              Evlog.span_end ev ph_driver;
              let golive_done = finish_golive () in
-             Namespace.go_live t.ns_s ();
+             Namespace.go_live ns_s ?promote:(promote_of []) ();
              golive_done ());
+         if t.cfg.reprotect then begin
+           (* Role swap: the survivor is the primary of the next epoch;
+              the dead unit stays listed as the backup slot until
+              regeneration replaces it.  The dead message-layer pair
+              stays in the fields (frozen metrics) until the splice. *)
+           let op = t.part_p and ok = t.kernel_p and on = t.ns_p in
+           let oe = t.epoch_joined_p in
+           t.part_p <- t.part_s;
+           t.kernel_p <- t.kernel_s;
+           t.ns_p <- t.ns_s;
+           t.epoch_joined_p <- t.epoch_joined_s;
+           t.part_s <- op;
+           t.kernel_s <- ok;
+           t.ns_s <- on;
+           t.epoch_joined_s <- oe;
+           watch_primary t t.part_p;
+           schedule_reprotect t
+         end;
          t.failover_completed <- Some (Engine.now t.eng);
          (match t.failover_started with
          | Some s ->
@@ -202,28 +524,338 @@ let run_failover t =
                (float_of_int (Engine.now t.eng - s))
          | None -> ());
          Trace.warnf log ~eng:t.eng "failover: secondary is live";
-         Ivar.fill t.failover_done ()))
+         if t.failovers = 1 then Ivar.fill t.failover_done ()))
+
+(* The backup died.  Without re-protection the primary runs solo,
+   unreplicated, to the end of the run (the original behaviour).  With it,
+   the primary keeps *recording* — appends flow into the journal — so a
+   fresh backup can replay the full timeline and re-attach. *)
+and on_backup_death t =
+  if not t.cfg.reprotect then begin
+    Trace.warnf log ~eng:t.eng "secondary declared failed; primary runs solo";
+    Ipi.send_halt t.eng t.part_s;
+    Msglayer.disable t.ml_p;
+    Namespace.go_solo t.ns_p
+  end
+  else begin
+    Trace.warnf log ~eng:t.eng
+      "backup declared failed; primary degrades (journal keeps recording)";
+    Ipi.send_halt t.eng t.part_s;
+    stop_heartbeats t;
+    (* The dead backup's digest froze at its replay point — a valid prefix
+       of the primary's, so the pair closes uncapped. *)
+    (match t.cur_pair with
+    | Some (dp, ds) ->
+        t.digest_pairs <- (dp, ds, None) :: t.digest_pairs;
+        t.cur_pair <- None
+    | None -> ());
+    let sink = Option.get t.sink in
+    (* Journal-direct appends from here; *then* release the dead message
+       layer's stability waiters (they gate outputs now released
+       unprotected — Degraded's defining property).  TCP hooks stay
+       installed: the primary records, it does not go solo. *)
+    sink.ls_ml <- None;
+    Msglayer.disable t.ml_p;
+    set_lifecycle t Degraded;
+    t.degraded_at <- Some (Engine.now t.eng);
+    schedule_reprotect t
+  end
+
+and schedule_reprotect t =
+  ignore
+    (Engine.timer t.eng
+       ~at:(Engine.now t.eng + t.cfg.regen_delay)
+       (fun () -> reprotect t))
+
+and reprotect t =
+  if t.cfg.reprotect && t.lifecycle = Degraded then
+    ignore
+      (Kernel.spawn_thread t.kernel_p ~name:"ft-reprotect" (fun () ->
+           do_reprotect t))
+
+(* Online backup regeneration: boot a fresh kernel on the recommissioned
+   spare, stream the survivor's journal to it (accelerated replay models
+   the Memlayout-guided state transfer) while the primary keeps serving
+   and appending, then splice the new replica into the live stream in one
+   non-yielding turn once consensus, the copy budget, and catch-up all
+   hold.  The spliced backup's first wire LSN is exactly the journal
+   length at the splice — no gap, no overlap. *)
+and do_reprotect t =
+  if not (t.cfg.reprotect && t.lifecycle = Degraded) then ()
+  else begin
+    let gen = t.regen_gen + 1 in
+    t.regen_gen <- gen;
+    let sink = Option.get t.sink in
+    let ev = Engine.evlog t.eng in
+    let reg = Engine.metrics t.eng in
+    let new_epoch = t.epoch + 1 in
+    Metrics.Counter.incr (Metrics.Registry.counter reg "cluster.reprotects");
+    (* Power-cycle the failed unit's hardware and boot the replacement. *)
+    let part_b =
+      Machine.recommission t.machine t.part_s
+        ~name:(Printf.sprintf "backup.e%d" new_epoch)
+    in
+    t.part_s <- part_b;
+    t.epoch_joined_s <- new_epoch;
+    set_lifecycle t Regenerating;
+    let span =
+      Evlog.span_begin ev ~pin:true ~comp:"ft.cluster" "reprotect.regen"
+    in
+    let regen_start = Engine.now t.eng in
+    Trace.warnf log ~eng:t.eng
+      "re-protection: regenerating backup for epoch %d (journal=%d records)"
+      new_epoch sink.ls_journal.j_len;
+    let kernel_b = Kernel.boot part_b ~config:t.cfg.kernel_config () in
+    t.kernel_s <- kernel_b;
+    let ns_b =
+      Namespace.secondary kernel_b ~env:t.cfg.app_env
+        ~det_shard:t.cfg.det_shard ()
+    in
+    t.ns_s <- ns_b;
+    t.all_ns <- ns_b :: t.all_ns;
+    let d_fresh = Digest.create () in
+    Namespace.attach_digest ns_b d_fresh;
+    ignore (Namespace.start_app ns_b t.app);
+    (* Memlayout-guided snapshot budget: User pages must be copied before
+       the switch (they gate the deadline), Delayed pages transfer lazily
+       after it, Ignored kernel state is reconstructed by the fresh boot
+       plus journal replay. *)
+    let layout =
+      match t.cfg.regen_layout with
+      | Some l -> l
+      | None -> Memlayout.create ~ram_bytes:(Partition.ram_bytes part_b)
+    in
+    let { Memlayout.ignored; delayed; user } = Memlayout.classify layout in
+    let copy_ns =
+      int_of_float (float_of_int user *. 1e9 /. float_of_int t.cfg.regen_bw)
+    in
+    let copy_deadline = regen_start + copy_ns in
+    Evlog.emit ev ~comp:"ft.cluster" "reprotect.snapshot"
+      ~args:
+        [
+          ("copied_user_bytes", Evlog.Int user);
+          ("lazy_delayed_bytes", Evlog.Int delayed);
+          ("reconstructed_ignored_bytes", Evlog.Int ignored);
+        ];
+    (* A fault on the regeneration target aborts the regeneration cleanly:
+       the primary is unperturbed, the half-built replica is discarded,
+       and a retry is scheduled. *)
+    Partition.on_halt part_b (fun () ->
+        if t.regen_gen = gen && t.lifecycle = Regenerating then begin
+          t.regen_gen <- t.regen_gen + 1;
+          Evlog.span_end ev span;
+          Trace.warnf log ~eng:t.eng
+            "re-protection aborted: regeneration target died; will retry";
+          Metrics.Counter.incr
+            (Metrics.Registry.counter reg "cluster.regen_aborts");
+          set_lifecycle t Degraded;
+          schedule_reprotect t
+        end);
+    (* The epoch switch is agreed through consensus between the two
+       partitions (paper §6's path to coordinated membership change). *)
+    let paxos =
+      Paxos.create t.eng ~partitions:[ t.part_p; part_b ]
+        ~mailbox_config:t.cfg.mailbox_config ()
+    in
+    Paxos.propose paxos ~node:0 ~instance:0 new_epoch;
+    let fed = ref 0 in
+    (* Next epoch's health monitor: sources start on the journal-feed
+       cursors and switch to the spliced message layers at the switch. *)
+    let live = ref None in
+    let mon =
+      match t.cfg.lagmon with
+      | None -> None
+      | Some lm_config ->
+          let name = Printf.sprintf "lag.e%d" new_epoch in
+          let m =
+            Lagmon.start ~config:lm_config
+              ~regenerating:(fun () ->
+                t.regen_gen = gen && t.lifecycle = Regenerating)
+              t.eng ~name
+              {
+                Lagmon.appended =
+                  (fun () ->
+                    match !live with
+                    | Some (mlp, _) -> Msglayer.last_lsn mlp
+                    | None -> sink.ls_journal.j_len - 1);
+                acked =
+                  (fun () ->
+                    match !live with
+                    | Some (mlp, _) -> Msglayer.acked mlp
+                    | None -> !fed - 1);
+                replayed =
+                  (fun () ->
+                    match !live with
+                    | Some (_, mls) -> Msglayer.received_lsn mls
+                    | None -> !fed - 1);
+                queue_depth =
+                  (fun () ->
+                    match !live with
+                    | Some (_, mls) -> Msglayer.queue_depth mls
+                    | None -> sink.ls_journal.j_len - !fed);
+                rtt =
+                  (fun () ->
+                    match !live with
+                    | Some (mlp, _) -> Msglayer.last_rtt mlp
+                    | None -> None);
+                channels =
+                  (fun () ->
+                    match !live with
+                    | Some (mlp, _) ->
+                        List.map
+                          (fun (c, emitted, _) ->
+                            (c, emitted, Msglayer.chan_acked mlp ~chan:c))
+                          (Namespace.chan_cursors t.ns_p)
+                    | None -> []);
+                alive =
+                  (fun () ->
+                    (t.regen_gen = gen && t.lifecycle = Regenerating)
+                    || (t.epoch = new_epoch && t.lifecycle = Protected));
+              }
+          in
+          t.lagmons <- (name, m) :: t.lagmons;
+          Some m
+    in
+    (* The splice: one non-yielding turn from the final catch-up check to
+       the new replica being live on the wire.  The simulation is
+       cooperative, so no append can interleave — the cutoff read here is
+       the cutoff the backup acks from. *)
+    let splice () =
+      let cutoff = sink.ls_journal.j_len in
+      t.switch_cutoff <- Some cutoff;
+      let duplex =
+        Mailbox.duplex t.eng ~config:t.cfg.mailbox_config ~a:t.part_p
+          ~b:part_b ()
+      in
+      Machine.on_coherency_loss t.machine
+        ~partition_id:(Partition.id t.part_p) (fun () ->
+          Mailbox.drop_in_flight duplex.Mailbox.a_to_b);
+      Machine.on_coherency_loss t.machine ~partition_id:(Partition.id part_b)
+        (fun () -> Mailbox.drop_in_flight duplex.Mailbox.b_to_a);
+      let jb = journal_clone_prefix sink.ls_journal cutoff in
+      let jp = sink.ls_journal in
+      let ml_p' =
+        Msglayer.create_primary ~batch:t.cfg.batch
+          ~journal:(fun _ r -> journal_append jp r)
+          ~base_lsn:cutoff t.eng ~out:duplex.Mailbox.a_to_b
+          ~inb:duplex.Mailbox.b_to_a
+      in
+      let ml_s' =
+        Msglayer.create_secondary ~batch:t.cfg.batch
+          ~chan_progress:(fun () -> Namespace.chan_progress ns_b)
+          ~chan_restore:(fun chans -> Namespace.chan_restore ns_b chans)
+          ~journal:(fun _ r -> journal_append jb r)
+          ~base_lsn:cutoff ~workers:t.cfg.replay_workers t.eng
+          ~inb:duplex.Mailbox.a_to_b ~out:duplex.Mailbox.b_to_a
+          ~replay_cost:t.cfg.kernel_config.Kernel.wake_latency
+          ~delta_cost:t.cfg.delta_replay_cost
+          ~handler:(fun record -> Namespace.record_handler ns_b record)
+      in
+      (* Bank the dead pair's traffic before dropping the handles. *)
+      t.acc_msgs <- t.acc_msgs + Msglayer.traffic_msgs t.ml_p t.ml_s;
+      t.acc_bytes <- t.acc_bytes + Msglayer.traffic_bytes t.ml_p t.ml_s;
+      t.acc_records <- t.acc_records + Msglayer.p_records t.ml_p;
+      t.ml_p <- ml_p';
+      t.ml_s <- ml_s';
+      t.backup_journal <- jb;
+      sink.ls_ml <- Some ml_p';
+      t.epoch <- new_epoch;
+      t.failover_started <- None;
+      t.failover_completed <- None;
+      t.primary_halted <- None;
+      t.ph_detect <- None;
+      set_lifecycle t Protected;
+      Evlog.span_end ev span;
+      Metrics.Hist.record
+        (Metrics.Registry.hist reg "cluster.reprotect_ns")
+        (float_of_int (Engine.now t.eng - regen_start));
+      (match t.degraded_at with
+      | Some d ->
+          Metrics.Hist.record
+            (Metrics.Registry.hist reg "cluster.time_to_protected_ns")
+            (float_of_int (Engine.now t.eng - d));
+          t.degraded_at <- None
+      | None -> ());
+      Msglayer.spawn_primary_rx ml_p' (fun name f ->
+          Kernel.spawn_thread t.kernel_p ~name f);
+      Msglayer.spawn_secondary_rx ml_s' (fun name f ->
+          Kernel.spawn_thread kernel_b ~name f);
+      start_heartbeats t ~epoch:new_epoch;
+      live := Some (ml_p', ml_s');
+      (* The replaced epoch's monitor was retired by a *planned* switch —
+         report that, not a frozen last verdict. *)
+      Option.iter Lagmon.retire t.cur_mon;
+      t.cur_mon <- mon;
+      Trace.warnf log ~eng:t.eng
+        "re-protection complete: epoch %d protected (cutoff LSN %d)"
+        new_epoch cutoff
+    in
+    (* Feed: replay the survivor's journal from LSN 0 on the fresh kernel,
+       then keep chasing the live tail the primary appends meanwhile.
+       Runs on the target kernel so a target fault kills it with the
+       partition. *)
+    ignore
+      (Kernel.spawn_thread kernel_b ~name:"ft-regen-feed" (fun () ->
+           let rec loop () =
+             if t.regen_gen = gen && t.lifecycle = Regenerating then
+               if !fed < sink.ls_journal.j_len then begin
+                 let burst = min 64 (sink.ls_journal.j_len - !fed) in
+                 for _ = 1 to burst do
+                   Namespace.record_handler ns_b
+                     (journal_get sink.ls_journal !fed);
+                   incr fed
+                 done;
+                 Engine.sleep (Time.us 5);
+                 loop ()
+               end
+               else if
+                 (not (Namespace.replay_idle ns_b))
+                 || Engine.now t.eng < copy_deadline
+                 || Paxos.chosen paxos ~node:0 ~instance:0 = None
+               then begin
+                 Engine.sleep (Time.us 50);
+                 loop ()
+               end
+               else splice ()
+           in
+           loop ()))
+  end
 
 let create eng ?(config = default_config) ?link ~app () =
   let machine = Machine.create eng config.topology in
   let part_p, part_s =
     match config.split with
     | `Symmetric -> Machine.split_symmetric machine
-    | `Asymmetric primary_cores -> Machine.split_asymmetric machine ~primary_cores
+    | `Asymmetric primary_cores ->
+        Machine.split_asymmetric machine ~primary_cores
   in
   let kernel_p = Kernel.boot part_p ~config:config.kernel_config () in
   let kernel_s = Kernel.boot part_s ~config:config.kernel_config () in
-  let duplex = Mailbox.duplex eng ~config:config.mailbox_config ~a:part_p ~b:part_s () in
+  let duplex =
+    Mailbox.duplex eng ~config:config.mailbox_config ~a:part_p ~b:part_s ()
+  in
   (* A coherency-disrupting fault loses whatever the victim had in flight
      in its outbound rings (§3.5's rare worst case). *)
-  Machine.on_coherency_loss machine ~partition_id:(Partition.id part_p) (fun () ->
-      Mailbox.drop_in_flight duplex.Mailbox.a_to_b);
-  Machine.on_coherency_loss machine ~partition_id:(Partition.id part_s) (fun () ->
-      Mailbox.drop_in_flight duplex.Mailbox.b_to_a);
-  let ml_p =
-    Msglayer.create_primary ~batch:config.batch eng ~out:duplex.Mailbox.a_to_b
-      ~inb:duplex.Mailbox.b_to_a
+  Machine.on_coherency_loss machine ~partition_id:(Partition.id part_p)
+    (fun () -> Mailbox.drop_in_flight duplex.Mailbox.a_to_b);
+  Machine.on_coherency_loss machine ~partition_id:(Partition.id part_s)
+    (fun () -> Mailbox.drop_in_flight duplex.Mailbox.b_to_a);
+  (* Dual journals (re-protection only): the primary spools appends at LSN
+     assignment, the backup spools receives in LSN order — whichever side
+     survives a fault holds the full authoritative timeline. *)
+  let jp = journal_create () in
+  let jb = journal_create () in
+  let sink_opt =
+    if config.reprotect then Some { ls_ml = None; ls_journal = jp } else None
   in
+  let ml_p =
+    Msglayer.create_primary ~batch:config.batch
+      ?journal:
+        (if config.reprotect then Some (fun _ r -> journal_append jp r)
+         else None)
+      eng ~out:duplex.Mailbox.a_to_b ~inb:duplex.Mailbox.b_to_a
+  in
+  (match sink_opt with Some ls -> ls.ls_ml <- Some ml_p | None -> ());
   (* Primary-side network stack (the paper's primary owns all devices). *)
   let nic, stack_p =
     match link with
@@ -239,7 +871,11 @@ let create eng ?(config = default_config) ?link ~app () =
         (Some nic, Some stack)
   in
   let ns_p =
-    Namespace.primary kernel_p ~sink:(Msglayer.sink_of_primary ml_p)
+    Namespace.primary kernel_p
+      ~sink:
+        (match sink_opt with
+        | Some ls -> sink_of_live_sink ls
+        | None -> Msglayer.sink_of_primary ml_p)
       ?stack:stack_p ~env:config.app_env ~det_shard:config.det_shard
       ~output_commit:config.output_commit ~ack_commit:config.ack_commit ()
   in
@@ -253,6 +889,9 @@ let create eng ?(config = default_config) ?link ~app () =
     Msglayer.create_secondary ~batch:config.batch
       ~chan_progress:(fun () -> Namespace.chan_progress ns_s)
       ~chan_restore:(fun chans -> Namespace.chan_restore ns_s chans)
+      ?journal:
+        (if config.reprotect then Some (fun _ r -> journal_append jb r)
+         else None)
       ~workers:config.replay_workers eng ~inb:duplex.Mailbox.a_to_b
       ~out:duplex.Mailbox.b_to_a
       ~replay_cost:config.kernel_config.Kernel.wake_latency
@@ -263,39 +902,17 @@ let create eng ?(config = default_config) ?link ~app () =
       Kernel.spawn_thread kernel_p ~name f);
   Msglayer.spawn_secondary_rx ml_s (fun name f ->
       Kernel.spawn_thread kernel_s ~name f);
-  let t_ref = ref None in
-  let hb_p =
-    Heartbeat.start ~name:"primary"
-      ~spawn:(fun name f -> Kernel.spawn_thread kernel_p ~name f)
-      ~eng ~period:config.hb_period ~timeout:config.hb_timeout
-      ~send:(fun ~seq -> Msglayer.send_heartbeat_p ml_p ~seq)
-      ~last_peer:(fun () -> Msglayer.last_peer_activity_p ml_p)
-      ~on_failure:(fun () ->
-        (* Secondary died: run solo, unreplicated. *)
-        match !t_ref with
-        | Some t ->
-            Trace.warnf log ~eng "secondary declared failed; primary runs solo";
-            Ipi.send_halt eng t.part_s;
-            Msglayer.disable t.ml_p;
-            Namespace.go_solo t.ns_p
-        | None -> ())
-      ()
-  in
-  let hb_s =
-    Heartbeat.start ~name:"secondary"
-      ~spawn:(fun name f -> Kernel.spawn_thread kernel_s ~name f)
-      ~eng ~period:config.hb_period ~timeout:config.hb_timeout
-      ~send:(fun ~seq -> Msglayer.send_heartbeat_s ml_s ~seq)
-      ~last_peer:(fun () -> Msglayer.last_peer_activity_s ml_s)
-      ~on_failure:(fun () ->
-        match !t_ref with Some t -> run_failover t | None -> ())
-      ()
-  in
+  let d_p = Digest.create () in
+  let d_s = Digest.create () in
   let t =
     {
       eng;
       cfg = config;
       machine;
+      app;
+      nic;
+      sink = sink_opt;
+      failover_done = Ivar.create ();
       part_p;
       part_s;
       kernel_p;
@@ -304,65 +921,89 @@ let create eng ?(config = default_config) ?link ~app () =
       ml_s;
       ns_p;
       ns_s;
-      nic;
-      hb_p;
-      hb_s;
-      failover_done = Ivar.create ();
-      lagmon = None;
+      hb_p = None;
+      hb_s = None;
+      backup_journal = jb;
+      lifecycle = Protected;
+      epoch = 0;
+      failovers = 0;
+      epoch_joined_p = 0;
+      epoch_joined_s = 0;
+      transitions = [];
+      subs = [];
+      regen_gen = 0;
+      switch_cutoff = None;
+      degraded_at = None;
+      digest_pairs = [];
+      cur_pair = Some (d_p, d_s);
+      all_ns = [ ns_s; ns_p ];
+      lagmons = [];
+      cur_mon = None;
+      acc_msgs = 0;
+      acc_bytes = 0;
+      acc_records = 0;
       failover_started = None;
       failover_completed = None;
       primary_halted = None;
       ph_detect = None;
     }
   in
-  t_ref := Some t;
+  start_heartbeats t ~epoch:0;
   (* Replication-health monitoring: closures over the message layer and the
      primary's Det channel cursors, all pure reads — see the determinism
      contract in {!Lagmon}. *)
   (match config.lagmon with
   | None -> ()
-  | Some lm_config ->
-      t.lagmon <-
-        Some
-          (Lagmon.start ~config:lm_config eng ~name:"lag"
-             {
-               Lagmon.appended = (fun () -> Msglayer.last_lsn ml_p);
-               acked = (fun () -> Msglayer.acked ml_p);
-               replayed = (fun () -> Msglayer.received_lsn ml_s);
-               queue_depth = (fun () -> Msglayer.queue_depth ml_s);
-               rtt = (fun () -> Msglayer.last_rtt ml_p);
-               channels =
-                 (fun () ->
-                   List.map
-                     (fun (c, emitted, _) ->
-                       (c, emitted, Msglayer.chan_acked ml_p ~chan:c))
-                     (Namespace.chan_cursors ns_p));
-               alive =
-                 (fun () ->
-                   t.failover_started = None
-                   && (not (Msglayer.is_disabled ml_p))
-                   && not (Partition.is_halted part_p));
-             }));
-  (* An unexpected primary halt opens the "failover.detect" phase: the
-     clock on how long the failure goes unnoticed starts at the halt, not
-     at the heartbeat monitor's reaction.  [run_failover]'s own IPI-halt
-     arrives with [failover_started] already set and is not a detection. *)
-  Partition.on_halt part_p (fun () ->
-      if t.failover_started = None then begin
-        t.primary_halted <- Some (Engine.now eng);
-        t.ph_detect <-
-          Some
-            (Evlog.span_begin (Engine.evlog eng) ~pin:true ~comp:"ft.cluster"
-               "failover.detect")
-      end);
+  | Some lm_config -> start_lagmon_epoch0 t lm_config);
+  watch_primary t part_p;
   (* Divergence checking: both replicas fold incremental state digests,
      compared snapshot-by-snapshot after the run (chaos campaigns). *)
-  Namespace.attach_digest ns_p (Digest.create ());
-  Namespace.attach_digest ns_s (Digest.create ());
+  Namespace.attach_digest ns_p d_p;
+  Namespace.attach_digest ns_s d_s;
   ignore (Namespace.start_app ns_p app);
   ignore (Namespace.start_app ns_s app);
   t
 
+let replica_set t =
+  {
+    Replica_set.rs_label = "cluster";
+    rs_state = (fun () -> t.lifecycle);
+    rs_epoch = (fun () -> t.epoch);
+    rs_members =
+      (fun () ->
+        [
+          {
+            Replica_set.m_role = Replica_set.Primary;
+            m_epoch = t.epoch_joined_p;
+            m_partition = t.part_p;
+          };
+          {
+            Replica_set.m_role = Replica_set.Backup;
+            m_epoch = t.epoch_joined_s;
+            m_partition = t.part_s;
+          };
+        ]);
+    rs_failovers = (fun () -> t.failovers);
+    rs_supports_reprotect = t.cfg.reprotect;
+    rs_reprotect = (fun () -> reprotect t);
+  }
+
+let kill t ~role ~at =
+  ignore
+    (Engine.timer t.eng ~at (fun () ->
+         let part =
+           match role with
+           | Replica_set.Primary -> t.part_p
+           | Replica_set.Backup -> t.part_s
+         in
+         Machine.apply t.machine
+           (Fault.at (Engine.now t.eng)
+              ~partition_id:(Partition.id part)
+              Fault.Core_failstop)))
+
+(* Deprecated pre-lifecycle entry point; targets the partition that is
+   primary at call time (identical to [kill ~role:Primary] for runs
+   without re-protection, where roles never move). *)
 let fail_primary t ~at =
   Machine.inject t.machine
     (Fault.at at ~partition_id:(Partition.id t.part_p) Fault.Core_failstop)
@@ -394,7 +1035,8 @@ let create_standalone eng ?(topology = Topology.opteron_testbed) ?cores
     | Some ep ->
         let nic = Nic.create eng ~driver_load_time:0 ep in
         let stack =
-          Tcp.create (Netenv.of_kernel kernel) ~config:tcp_config ~ip:server_ip ()
+          Tcp.create (Netenv.of_kernel kernel) ~config:tcp_config ~ip:server_ip
+            ()
         in
         Tcp.bind_nic stack nic;
         Nic.attach nic ~owner:part ~rx:(Tcp.rx_callback stack) ();

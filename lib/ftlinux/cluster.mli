@@ -1,12 +1,30 @@
-(** Assembly of a complete FT-Linux machine.
+(** Assembly of a complete FT-Linux machine, behind an explicit
+    replica-lifecycle state machine.
 
     [create] partitions a machine, boots one kernel per partition, wires the
     shared-memory message layer, launches the application replicated in an
     FT-Namespace on both kernels, and starts heart-beat failure detection.
     When the primary partition fails (inject via {!Ftsim_hw.Machine.inject}
-    or {!fail_primary}), the secondary runs the full failover sequence:
-    IPI-halt, log drain, replay completion, NIC driver reload, TCP stack
+    or {!kill}), the secondary runs the full failover sequence: IPI-halt,
+    log drain, replay completion, NIC driver reload, TCP stack
     reconstruction, switch to live execution.
+
+    The set moves through the {!Replica_set.lifecycle} states:
+
+    {v Protected --replica death--> Degraded --regen start--> Regenerating
+         ^                             ^   |                      |
+         |                             |   +--- primary death --> Outage
+         +------- epoch switch --------+--- target death (abort) -+ v}
+
+    With [config.reprotect] on, a replica death leaves the survivor as a
+    {e recording} primary journaling every append; after [regen_delay] the
+    failed unit's hardware is recommissioned, a fresh kernel boots on it,
+    replays the journal from LSN 0 (accelerated replay models the
+    {!Ftsim_kernel.Memlayout}-guided snapshot transfer) while the primary
+    keeps serving, and a consensus-coordinated epoch switch splices the
+    new backup into the live stream — its first wire LSN is exactly the
+    journal cutoff, and {!compare_digests} plus §3.5 output commit hold
+    exactly as for an original backup.
 
     [standalone] builds the baseline: the same application on an unmodified
     kernel given the same resources as a single FT-Linux partition. *)
@@ -15,6 +33,12 @@ open Ftsim_sim
 open Ftsim_hw
 open Ftsim_kernel
 open Ftsim_netstack
+
+type lifecycle = Replica_set.lifecycle =
+  | Protected
+  | Degraded
+  | Regenerating
+  | Outage
 
 type config = {
   topology : Topology.spec;
@@ -47,16 +71,36 @@ type config = {
       (** replication-health monitor sampling the append-vs-ack gap,
           per-channel cursors, replay queue depth and ack RTT (default
           [None]: no monitor).  Sampling is read-only and cannot perturb
-          the deterministic replay order; see {!Lagmon}. *)
+          the deterministic replay order; see {!Lagmon}.  With
+          re-protection, each epoch gets its own monitor ("lag" at epoch 0,
+          "lag.e<n>" after); a monitor replaced by a planned epoch switch
+          reports {!Lagmon.verdict} [Retired]. *)
   server_ip : string;
   app_env : (string * string) list;
       (** environment variables replicated into the FT-Namespace at launch *)
+  reprotect : bool;
+      (** live re-protection (default false): journal the record stream
+          and regenerate a fresh backup online after a replica death,
+          instead of running unprotected to the end of the run *)
+  regen_delay : Time.t;
+      (** dwell in [Degraded] before regeneration starts (and between
+          retries after an aborted regeneration); default 100 ms *)
+  regen_bw : int;
+      (** modelled snapshot-copy bandwidth in bytes/s (default 2 GB/s):
+          the epoch switch cannot complete before the classified User
+          bytes have been copied at this rate *)
+  regen_layout : Memlayout.t option;
+      (** memory classification driving the snapshot budget: User bytes
+          are copied (gating the switch deadline), Delayed bytes transfer
+          lazily, Ignored kernel state is reconstructed by the fresh boot
+          plus journal replay.  [None] (default) models a freshly booted
+          layout. *)
 }
 
 val default_config : config
 (** Paper testbed: 64-core/8-node machine split symmetrically, 0.55 µs
     mailbox, 10 ms heart-beats with 60 ms timeout, output commit on,
-    4.95 s driver load. *)
+    4.95 s driver load, re-protection off. *)
 
 type t
 
@@ -66,6 +110,66 @@ val create :
     the (single, shared) NIC to the given link endpoint; omit it for
     compute-only workloads. *)
 
+(** {1 Lifecycle}
+
+    The replica set's state machine, epochs, and typed transition events. *)
+
+val state : t -> lifecycle
+
+val epoch : t -> int
+(** 0 until the first completed re-protection; incremented at each epoch
+    switch. *)
+
+val failover_count : t -> int
+(** Completed (or in-flight) primary takeovers. *)
+
+type transition = {
+  tr_at : Time.t;
+  tr_from : lifecycle;
+  tr_to : lifecycle;
+  tr_epoch : int;  (** epoch in force once the transition lands *)
+}
+
+val transitions : t -> transition list
+(** Lifecycle transitions in time order (also emitted on {!Evlog} as
+    ["ft.cluster"/"lifecycle"] instants). *)
+
+val on_transition : t -> (transition -> unit) -> unit
+(** Subscribe to lifecycle transitions (called synchronously, in
+    subscription order, from the transition point — keep it non-blocking). *)
+
+val reprotect : t -> unit
+(** Start regenerating the dead replica now (no-op unless the set is
+    [Degraded] and [config.reprotect] is on).  An automatic regeneration
+    is scheduled [regen_delay] after every replica death anyway; this
+    forces it early. *)
+
+val kill : t -> role:Replica_set.role -> at:Time.t -> unit
+(** Schedule a fail-stop core fault on the partition holding [role] {e at
+    fire time} (roles move across failovers and epoch switches). *)
+
+val fail_primary : t -> at:Time.t -> unit
+(** @deprecated Pre-lifecycle entry point: schedules the fault against the
+    partition that is primary {e at call time}.  Use {!kill}. *)
+
+val replica_set : t -> Replica_set.t
+(** This cluster behind the uniform replica-set surface. *)
+
+val switch_cutoff : t -> int option
+(** Journal length at the last epoch switch — the spliced backup's base
+    LSN.  [None] before the first switch. *)
+
+val backup_first_lsn : t -> int option
+(** First LSN the current backup consumed off the wire.  After an epoch
+    switch the invariant [backup_first_lsn = switch_cutoff] is the
+    gapless-handoff check. *)
+
+(** {1 Topology accessors}
+
+    With re-protection, [primary_*] always name the partition currently
+    holding the primary role (roles swap at failover); without it they are
+    the fixed original assignment. *)
+
 val machine : t -> Machine.t
 val primary_partition : t -> Partition.t
 val secondary_partition : t -> Partition.t
@@ -74,14 +178,16 @@ val secondary_kernel : t -> Kernel.t
 val primary_namespace : t -> Namespace.t
 val secondary_namespace : t -> Namespace.t
 
-val fail_primary : t -> at:Time.t -> unit
-(** Schedule a fail-stop core fault on the primary partition. *)
-
 val failover_done : t -> unit Ivar.t
-(** Filled when the secondary has completed takeover. *)
+(** Filled when the secondary has completed the {e first} takeover. *)
 
 val lagmon : t -> Lagmon.t option
-(** The replication-health monitor, when [config.lagmon] enabled one. *)
+(** The current epoch's replication-health monitor, when [config.lagmon]
+    enabled one. *)
+
+val lagmons : t -> (string * Lagmon.t) list
+(** Every epoch's monitor in creation order (["lag"], ["lag.e1"], …);
+    monitors of replaced epochs report {!Lagmon.verdict} [Retired]. *)
 
 val failover_started_at : t -> Time.t option
 val failover_completed_at : t -> Time.t option
@@ -89,12 +195,16 @@ val failover_completed_at : t -> Time.t option
 val primary_halted_at : t -> Time.t option
 (** When the primary partition halted unexpectedly (i.e. not by the
     failover sequence's own IPI); the "failover.detect" trace span and the
-    measured recovery time both start here. *)
+    measured recovery time both start here.  Reset at each epoch switch. *)
 
 val shutdown : t -> unit
-(** Stop heart-beat timers so an idle simulation can drain. *)
+(** Stop heart-beat timers and health monitors so an idle simulation can
+    drain. *)
 
-(** {1 Traffic and replication metrics} *)
+(** {1 Traffic and replication metrics}
+
+    Cumulative across epochs (each epoch switch banks the replaced message
+    layer pair's counters). *)
 
 val traffic_msgs : t -> int
 val traffic_bytes : t -> int
@@ -104,16 +214,18 @@ val records_sent : t -> int
 
 (** {1 Divergence checking}
 
-    Both namespaces carry a {!Digest} recorder from launch; after a run the
-    two snapshot sequences can be compared index-by-index. *)
+    Every replica carries a {!Digest} recorder from launch; pairs replaced
+    by a replica death are kept (bounded, on a failover, at the survivor's
+    replay point — everything beyond it died unreplicated with the
+    primary) and compared alongside the live pair. *)
 
 val compare_digests : t -> Digest.divergence option
-(** [None] means the replicas' digest sequences agree over the shared
-    comparable prefix. *)
+(** [None] means every epoch's digest pair agrees over its comparable
+    prefix. *)
 
 val replay_divergence : t -> string option
-(** First structural replay divergence either replica observed (a replayed
-    record not matching the application's behaviour), if any. *)
+(** First structural replay divergence any replica (current or replaced)
+    observed, if any. *)
 
 (** {1 Baseline} *)
 

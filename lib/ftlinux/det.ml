@@ -42,14 +42,14 @@ type thread_ctx = {
 }
 
 type t = {
-  rl : role;
+  mutable rl : role;  (* flips Secondary->Primary at promotion *)
   eng : Engine.t;
   shard : bool;  (* false: every section rides channel 0 (old total order) *)
   chans : (int, chan_state) Hashtbl.t;
   mutable next_chan : int;
   by_proc : (int, thread_ctx) Hashtbl.t;  (* engine pid -> ctx *)
   by_ftpid : (int, thread_ctx) Hashtbl.t;
-  ml : Msglayer.sink option;
+  mutable ml : Msglayer.sink option;
   mutable next_ftpid : int;
   turn_changed : Waitq.t;  (* secondary: any delivery or cursor advance *)
   mutable live : bool;
@@ -331,6 +331,9 @@ let head_runnable t ctx =
 
 let det_start_live t ctx ~chans =
   ctx.live_seen <- true;
+  (* A promoted engine records this section via [det_end_primary], which
+     reads [cur_payload]; a replay-era context may carry a stale one. *)
+  ctx.cur_payload <- Wire.P_plain;
   lock_chans t ctx (List.map (chan_get t) (norm_chans t chans));
   section_begin t ctx (cur_chan t)
 
@@ -535,6 +538,35 @@ let go_live t =
   end
 
 let is_live t = t.live
+
+(* Promotion: the surviving secondary becomes the next epoch's recording
+   primary.  Unlike [go_live] the digest is NOT sealed — post-promotion
+   sections are recorded (and later replayed by a regenerated backup), so
+   they remain part of the comparable stream; the cluster bounds the
+   comparison against the dead primary with a [Digest.capture] instead.
+   Each channel's emission cursor continues exactly where replay stopped,
+   so the journal the new backup replays is one gapless per-channel
+   stream.  Callers must re-install [pthread_hooks] afterwards: the hook
+   record snapshots [is_replica]/[defer_wakes] at creation time. *)
+let promote t sink =
+  if t.rl = Primary_role then invalid_arg "Det.promote: already primary";
+  t.rl <- Primary_role;
+  t.ml <- Some sink;
+  Hashtbl.iter
+    (fun _ st ->
+      if st.ch_emitted < st.ch_consumed then st.ch_emitted <- st.ch_consumed)
+    t.chans;
+  Hashtbl.iter
+    (fun pid _ -> if pid >= t.next_ftpid then t.next_ftpid <- pid + 1)
+    t.by_ftpid;
+  if t.emitted_total < t.consumed_total then
+    t.emitted_total <- t.consumed_total;
+  if not t.live then begin
+    t.live <- true;
+    Trace.warnf log ~eng:t.eng "det engine promoted: recording primary";
+    ignore (Waitq.wake_all t.turn_changed);
+    Hashtbl.iter (fun _ ctx -> Bqueue.put ctx.sys_q Q_live) t.by_ftpid
+  end
 
 let replay_idle t =
   t.pending_count = 0

@@ -154,6 +154,18 @@ val go_live : t -> unit
 
 val is_live : t -> bool
 
+val promote : t -> Msglayer.sink -> unit
+(** Promote a surviving secondary into the next epoch's recording primary:
+    open the replay gates (like {!go_live}), flip the role, and continue
+    every per-channel emission cursor and the thread-id allocator exactly
+    where replay stopped — the record stream a regenerated backup replays
+    is one gapless per-channel continuation of the old epoch.  Unlike
+    {!go_live} the digest is {e not} sealed: post-promotion sections are
+    recorded and stay comparable against the new backup; bound comparisons
+    against the {e dead} primary with {!Digest.capture} instead.  Callers
+    must re-install {!pthread_hooks} afterwards (the hooks record
+    snapshots its role flags at creation). *)
+
 val replay_idle : t -> bool
 (** Secondary: no undelivered tuples pending and every syscall stream is
     empty — i.e. replay has consumed everything delivered so far. *)

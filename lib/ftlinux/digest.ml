@@ -156,11 +156,46 @@ let seal t =
 let sealed t = t.sealed_at <> None
 let sections t = t.nsections
 
+(* A cap is a point-in-time comparison boundary that — unlike [seal] — does
+   not stop the digest from growing: the capped digest stays fully
+   comparable against replicas of its *own* continued stream while the
+   capture bounds comparisons against replicas of its *previous* stream.
+   This is the promotion case: a survivor promoted at failover keeps
+   folding (its post-promotion sections are recorded and replayed by the
+   regenerated backup), but against the dead primary only the folds up to
+   the promotion point are meaningful — beyond it the two histories
+   legitimately differ (staged-but-lost records vs new-epoch execution). *)
+type cap = {
+  cap_chans : (int * int) list;  (* channel -> comparable fold count *)
+  cap_threads : (int * int) list;  (* ft_pid -> comparable fold count *)
+}
+
+let capture t =
+  {
+    cap_chans = Hashtbl.fold (fun ch cs acc -> (ch, cs.ccount) :: acc) t.chans [];
+    cap_threads =
+      Hashtbl.fold (fun pid ts acc -> (pid, ts.tcount) :: acc) t.threads [];
+  }
+
 let truncated t =
   Hashtbl.fold (fun _ cs acc -> acc || cs.ccount > cs.cnsnaps) t.chans false
 
-let comparable_chan cs =
+(* Effective comparison bound for one channel: the seal (if any) and the
+   cap entry (if a cap is given) both limit the walk; a channel absent
+   from a cap was first seen after the capture, so nothing of it is
+   comparable under that cap. *)
+let cap_bound entries key =
+  match entries with
+  | None -> max_int
+  | Some l -> ( match List.assoc_opt key l with Some n -> n | None -> 0)
+
+let comparable_chan cap chan cs =
   let upto = match cs.csealed with Some n -> n | None -> max_int in
+  let upto =
+    match cap with
+    | Some c -> min upto (cap_bound (Some c.cap_chans) chan)
+    | None -> upto
+  in
   List.filter (fun (c, _, _) -> c <= upto) cs.csnaps |> List.rev
 
 let comparable t =
@@ -169,7 +204,7 @@ let comparable t =
       ( ch,
         List.map
           (fun (c, d, _) -> { snap_section = c; snap_digest = d })
-          (comparable_chan cs) )
+          (comparable_chan None ch cs) )
       :: acc)
     t.chans []
   |> List.sort compare
@@ -199,15 +234,20 @@ type divergence = {
   after_commit_lsn : int option;
 }
 
-let comparable_thread ts =
+let comparable_thread cap pid ts =
   let upto = match ts.tsealed with Some n -> n | None -> max_int in
+  let upto =
+    match cap with
+    | Some c -> min upto (cap_bound (Some c.cap_threads) pid)
+    | None -> upto
+  in
   List.rev (List.filter (fun (c, _) -> c <= upto) ts.tsnaps)
 
 (* Every channel's fold sequence is totally ordered across replicas, so
    shared channels compare elementwise.  Among the per-channel first
    mismatches, report the one the primary digested earliest (smallest
    epoch), attributed to the last output commit at or before it. *)
-let compare_channels ~primary ~secondary =
+let compare_channels ~secondary_cap ~primary ~secondary =
   let chs =
     Hashtbl.fold (fun ch _ acc -> ch :: acc) primary.chans []
     |> List.filter (fun ch -> Hashtbl.mem secondary.chans ch)
@@ -240,8 +280,8 @@ let compare_channels ~primary ~secondary =
     (fun acc ch ->
       let cand =
         walk_chan ch
-          (comparable_chan (chan_state primary ch))
-          (comparable_chan (chan_state secondary ch))
+          (comparable_chan None ch (chan_state primary ch))
+          (comparable_chan secondary_cap ch (chan_state secondary ch))
       in
       match (acc, cand) with
       | None, c -> c
@@ -254,7 +294,7 @@ let compare_channels ~primary ~secondary =
    ft_pid the two replicas' fold sequences must agree elementwise over the
    shared (sealed-bounded) prefix — this covers syscall-heavy applications
    that rarely enter deterministic sections. *)
-let compare_threads ~primary ~secondary =
+let compare_threads ~secondary_cap ~primary ~secondary =
   let pids =
     Hashtbl.fold (fun pid _ acc -> pid :: acc) primary.threads []
     |> List.filter (fun pid -> Hashtbl.mem secondary.threads pid)
@@ -282,14 +322,17 @@ let compare_threads ~primary ~secondary =
       | Some _ -> acc
       | None ->
           walk_pid pid
-            (comparable_thread (thread_state primary pid))
-            (comparable_thread (thread_state secondary pid)))
+            (comparable_thread None pid (thread_state primary pid))
+            (comparable_thread secondary_cap pid (thread_state secondary pid)))
     None pids
 
-let compare_replicas ~primary ~secondary =
-  match compare_channels ~primary ~secondary with
+let compare_replicas_capped ~secondary_cap ~primary ~secondary =
+  match compare_channels ~secondary_cap ~primary ~secondary with
   | Some d -> Some d
-  | None -> compare_threads ~primary ~secondary
+  | None -> compare_threads ~secondary_cap ~primary ~secondary
+
+let compare_replicas ~primary ~secondary =
+  compare_replicas_capped ~secondary_cap:None ~primary ~secondary
 
 let thread_folds t ~ft_pid = (thread_state t ft_pid).tcount
 let chan_folds t ~chan = (chan_state t chan).ccount

@@ -89,6 +89,22 @@ val seal : t -> unit
 
 val sealed : t -> bool
 
+type cap
+(** A point-in-time comparison boundary that — unlike {!seal} — does not
+    stop the recorder: the digest keeps folding, and a comparison given
+    the cap only walks the folds recorded at or before the capture.
+
+    This is the promotion case of live re-protection: a survivor promoted
+    at failover keeps recording (its post-promotion sections are part of
+    the stream a regenerated backup replays, so they must stay
+    comparable), but against the {e dead} primary's digest only the folds
+    up to the promotion point are meaningful — beyond it the two
+    histories legitimately differ (records staged on the dead primary but
+    never delivered vs the survivor's new-epoch execution). *)
+
+val capture : t -> cap
+(** Capture the current per-channel and per-thread fold counts. *)
+
 (** {1 Comparison} *)
 
 val sections : t -> int
@@ -133,6 +149,14 @@ val compare_replicas : primary:t -> secondary:t -> divergence option
     per-thread FIFO order — each thread's per-fold snapshot sequence.  The
     latter covers syscall-heavy applications that rarely enter
     deterministic sections. *)
+
+val compare_replicas_capped :
+  secondary_cap:cap option -> primary:t -> secondary:t -> divergence option
+(** {!compare_replicas}, additionally bounding the walk over [secondary]'s
+    streams by a {!cap} (channels/threads first seen after the capture
+    contribute nothing).  Used for the historical pair (dead primary,
+    promoted survivor): the survivor's digest has grown past the
+    promotion point, so the comparison must stop there. *)
 
 val thread_folds : t -> ft_pid:int -> int
 (** Syscall results folded into [ft_pid]'s digest so far. *)

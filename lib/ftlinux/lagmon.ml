@@ -14,14 +14,15 @@ open Ftsim_sim
    no events at all, leaving same-seed traces byte-identical to
    monitor-off runs. *)
 
-type verdict = Ok | Lagging | Stalled
+type verdict = Ok | Retired | Lagging | Stalled
 
 let verdict_label = function
   | Ok -> "ok"
+  | Retired -> "retired"
   | Lagging -> "lagging"
   | Stalled -> "stalled"
 
-let rank = function Ok -> 0 | Lagging -> 1 | Stalled -> 2
+let rank = function Ok -> 0 | Retired -> 1 | Lagging -> 2 | Stalled -> 3
 let worse a b = if rank a >= rank b then a else b
 
 type config = {
@@ -57,8 +58,13 @@ type t = {
   cfg : config;
   name : string;
   src : source;
+  regenerating : unit -> bool;
+      (* while true, the stall timer is held back: a regeneration
+         catch-up gap is expected to be large but is making progress by
+         construction — it may be Lagging, never Stalled *)
   mutable timer : Engine.handle option;
   mutable stopped : bool;
+  mutable retired : bool;
   mutable cur : verdict;
   mutable worst : verdict;
   mutable transitions : (Time.t * verdict) list;  (* newest first *)
@@ -111,7 +117,8 @@ let sample t =
   (* Verdict.  Progress = the watermark advanced or the gap is closed; a
      gap that sits still for [stall_after] is a stall, a large-but-moving
      gap is lag. *)
-  if ack > t.last_ack || lag = 0 then t.last_progress <- now;
+  if ack > t.last_ack || lag = 0 || t.regenerating () then
+    t.last_progress <- now;
   if ack > t.last_ack then t.last_ack <- ack;
   let v =
     if lag = 0 then Ok
@@ -148,7 +155,8 @@ let rec arm t =
                 stream this monitor watches never resumes, so stop
                 re-arming — a quiesced engine must be able to drain. *)))
 
-let start ?(config = default_config) eng ~name src =
+let start ?(config = default_config) ?(regenerating = fun () -> false) eng
+    ~name src =
   if config.period <= 0 then invalid_arg "Lagmon.start: period must be positive";
   let reg = Engine.metrics eng in
   let t =
@@ -157,8 +165,10 @@ let start ?(config = default_config) eng ~name src =
       cfg = config;
       name;
       src;
+      regenerating;
       timer = None;
       stopped = false;
+      retired = false;
       cur = Ok;
       worst = Ok;
       transitions = [];
@@ -183,6 +193,22 @@ let stop t =
         t.timer <- None;
         Engine.cancel h
     | None -> ()
+  end
+
+(* A planned epoch switch retired this monitor's replica pair: record the
+   terminal verdict instead of leaving the monitor frozen at whatever it
+   last saw.  [worst] is untouched — it summarizes operational health
+   while the pair was serving, and retirement is not a health event. *)
+let retire t =
+  if not t.retired then begin
+    t.retired <- true;
+    t.cur <- Retired;
+    t.transitions <- (Engine.now t.eng, Retired) :: t.transitions;
+    if not t.cfg.quiet then
+      Evlog.emit (Engine.evlog t.eng) ~comp:"ft.lagmon" "verdict"
+        ~args:
+          [ ("name", Evlog.Str t.name); ("verdict", Evlog.Str "retired") ];
+    stop t
   end
 
 let verdict t = t.cur

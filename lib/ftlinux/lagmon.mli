@@ -26,11 +26,15 @@ open Ftsim_sim
 
 type t
 
-type verdict = Ok | Lagging | Stalled
+type verdict = Ok | Retired | Lagging | Stalled
+(** [Retired]: the monitored pair was replaced by a {e planned} epoch
+    switch (live re-protection) — a terminal administrative verdict, not a
+    health event. *)
 
 val verdict_label : verdict -> string
 val worse : verdict -> verdict -> verdict
-(** The more severe of the two ([Stalled] > [Lagging] > [Ok]). *)
+(** The more severe of the two
+    ([Stalled] > [Lagging] > [Retired] > [Ok]). *)
 
 type config = {
   period : Time.t;  (** sampling interval *)
@@ -61,15 +65,31 @@ type source = {
           elsewhere as a stall *)
 }
 
-val start : ?config:config -> Engine.t -> name:string -> source -> t
+val start :
+  ?config:config ->
+  ?regenerating:(unit -> bool) ->
+  Engine.t ->
+  name:string ->
+  source ->
+  t
 (** Start sampling.  [name] prefixes every published metric ("lag" for a
-    classic pair; "lag.b0"/"lag.b1" per backup in a group). *)
+    classic pair; "lag.b0"/"lag.b1" per backup in a group; "lag.e<n>" per
+    re-protection epoch).  While [regenerating] (default: never) reports
+    true, the stall timer is held back: a regeneration catch-up gap may be
+    [Lagging] but is never called [Stalled]. *)
 
 val stop : t -> unit
 (** Cancel the sampling timer.  Idempotent. *)
 
+val retire : t -> unit
+(** A planned epoch switch replaced the monitored pair: record a terminal
+    [Retired] verdict (with a transition) and stop sampling, instead of
+    leaving the monitor frozen at whatever it last observed.  [worst] is
+    untouched — retirement is not a health event.  Idempotent. *)
+
 val verdict : t -> verdict
-(** Current verdict (frozen at its last value once [alive] goes false). *)
+(** Current verdict (frozen at its last value once [alive] goes false;
+    [Retired] after {!retire}). *)
 
 val worst : t -> verdict
 (** Most severe verdict observed over the monitor's lifetime. *)

@@ -34,6 +34,12 @@ type primary = {
   p_out : Wire.message Mailbox.chan;
   p_in : Wire.message Mailbox.chan;
   batch : batch_config;
+  p_journal : (int -> Wire.record -> unit) option;
+      (* Append-side record journal, invoked at LSN assignment — before the
+         record can block on the wire.  Live re-protection spools the
+         primary's authoritative timeline here: if the *backup* dies, every
+         appended record was executed by the survivor, so the journal is
+         exactly what a regenerated backup must replay. *)
   mutable next_lsn : int;
   mutable p_acked : int;
   (* Cumulative per-channel replay cursors reported by the secondary's
@@ -76,7 +82,14 @@ type secondary = {
   handler : Wire.record -> unit;
   chan_progress : unit -> (int * int) list;
   chan_restore : (int * int) list -> unit;
+  journal : (int -> Wire.record -> unit) option;
+      (* Receive-side record journal, invoked in LSN order as records come
+         off the mailbox — before replay cost is charged.  Regeneration
+         records the survivor's authoritative timeline here: only records
+         the backup actually received count (staged frames lost in a
+         primary crash were never part of this replica's history). *)
   workers : int;  (* replay executors; 1 = the original serial drain *)
+  mutable s_first : int;  (* first LSN ever received; -1 = none yet *)
   mutable s_received : int;
       (* Contiguous replay watermark: every LSN <= s_received has been
          handled.  Serial replay advances it in arrival order; with
@@ -105,14 +118,17 @@ let log = Trace.make "ft.msglayer"
 
 (* {1 Primary} *)
 
-let create_primary ?(batch = unbatched) eng ~out ~inb =
+let create_primary ?(batch = unbatched) ?journal ?(base_lsn = 0) eng ~out ~inb
+    =
+  if base_lsn < 0 then invalid_arg "Msglayer.create_primary: base_lsn < 0";
   {
     p_eng = eng;
     p_out = out;
     p_in = inb;
     batch;
-    next_lsn = 0;
-    p_acked = -1;
+    p_journal = journal;
+    next_lsn = base_lsn;
+    p_acked = base_lsn - 1;
     p_chan_acks = Hashtbl.create 8;
     stable_waiters = Waitq.create ();
     disabled = false;
@@ -191,6 +207,9 @@ let append p record =
   else begin
     let lsn = p.next_lsn in
     p.next_lsn <- lsn + 1;
+    (* Journal at LSN assignment, before the send can park on a full ring:
+       the spool's index order is exactly LSN order. *)
+    (match p.p_journal with Some j -> j lsn record | None -> ());
     Metrics.Counter.incr p.p_recs;
     Metrics.Counter.incr p.r_recs;
     Evlog.emit (Engine.evlog p.p_eng) ~comp:"ft.msglayer" "record.append"
@@ -363,9 +382,10 @@ let spawn_primary_rx p spawn =
 (* {1 Secondary} *)
 
 let create_secondary ?(batch = unbatched) ?(chan_progress = fun () -> [])
-    ?(chan_restore = fun _ -> ()) ?(workers = 1) eng ~inb ~out ~replay_cost
-    ~delta_cost ~handler =
+    ?(chan_restore = fun _ -> ()) ?journal ?(base_lsn = 0) ?(workers = 1) eng
+    ~inb ~out ~replay_cost ~delta_cost ~handler =
   if workers < 1 then invalid_arg "Msglayer.create_secondary: workers < 1";
+  if base_lsn < 0 then invalid_arg "Msglayer.create_secondary: base_lsn < 0";
   let reg = Engine.metrics eng in
   (* Executor metrics exist only in parallel mode so serial runs keep their
      registry dumps (and the committed bench baselines) byte-identical. *)
@@ -380,9 +400,11 @@ let create_secondary ?(batch = unbatched) ?(chan_progress = fun () -> [])
     handler;
     chan_progress;
     chan_restore;
+    journal;
     workers;
-    s_received = -1;
-    s_last_acked = -1;
+    s_first = -1;
+    s_received = base_lsn - 1;
+    s_last_acked = base_lsn - 1;
     s_last_peer = Engine.now eng;
     processing = false;
     ack_timer = None;
@@ -458,7 +480,15 @@ let arm_delayed_ack s =
 
 let () = arm_delayed_ack_ref := arm_delayed_ack
 
+(* First touch of a record, in LSN order on both replay paths: stamp the
+   first-LSN probe and hand it to the receive-side journal before any
+   replay cost is charged. *)
+let note_received s ~lsn record =
+  if s.s_first < 0 then s.s_first <- lsn;
+  match s.journal with Some j -> j lsn record | None -> ()
+
 let replay_one s ~lsn record =
+  note_received s ~lsn record;
   let sp =
     Evlog.span_begin (Engine.evlog s.s_eng) ~comp:"ft.msglayer" "replay"
       ~args:[ ("lsn", Evlog.Int lsn) ]
@@ -582,6 +612,7 @@ let enqueue s ~lsn record =
   ignore (Waitq.wake_one s.exec_wqs.(i))
 
 let dispatch_record s ~lsn record =
+  note_received s ~lsn record;
   if Wire.wakes_thread record then enqueue s ~lsn record
   else begin
     (* Inline TCP delta: dispatch order is LSN order, so any record behind
@@ -730,6 +761,8 @@ let spawn_secondary_rx s spawn =
   end
 
 let received_lsn s = s.s_received
+
+let first_lsn s = if s.s_first < 0 then None else Some s.s_first
 
 (* Replay backlog visible to the backup: mailbox frames not yet drained plus
    records dispatched to executors but not completed.  A pure read — safe

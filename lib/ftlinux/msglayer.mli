@@ -46,12 +46,21 @@ val default_batch : batch_config
 
 val create_primary :
   ?batch:batch_config ->
+  ?journal:(int -> Wire.record -> unit) ->
+  ?base_lsn:int ->
   Engine.t ->
   out:Wire.message Mailbox.chan ->
   inb:Wire.message Mailbox.chan ->
   primary
 (** [batch] defaults to {!unbatched}.  {!Cluster.default_config} turns
-    {!default_batch} on. *)
+    {!default_batch} on.  [journal] (default: none) is invoked per appended
+    record at LSN assignment, before the send can block — live
+    re-protection spools the primary's authoritative timeline here (the
+    regeneration source after a {e backup} death, when every appended
+    record was executed by the survivor).  [base_lsn] (default 0) is the
+    first LSN this log will assign — an epoch switch continues the
+    cluster's global LSN space on a fresh mailbox pair instead of
+    restarting from zero. *)
 
 val spawn_primary_rx : primary -> (string -> (unit -> unit) -> Engine.proc) -> unit
 (** Start the ack/heartbeat receive loop — and, when batching is on, the
@@ -142,6 +151,8 @@ val create_secondary :
   ?batch:batch_config ->
   ?chan_progress:(unit -> (int * int) list) ->
   ?chan_restore:((int * int) list -> unit) ->
+  ?journal:(int -> Wire.record -> unit) ->
+  ?base_lsn:int ->
   ?workers:int ->
   Engine.t ->
   inb:Wire.message Mailbox.chan ->
@@ -165,7 +176,14 @@ val create_secondary :
     replicated thread's deliveries FIFO), and the per-channel admission
     gate in {!Det} supplies all remaining serialization.  Acks still carry
     a gapless cumulative watermark: out-of-order completions pool until
-    the LSN gap below them closes. *)
+    the LSN gap below them closes.
+
+    [journal] (default: none) is invoked per record as it comes off the
+    mailbox, in LSN order on both replay paths and before any replay cost
+    is charged — regeneration records the backup's authoritative receive
+    timeline here.  [base_lsn] (default 0) offsets the replay watermark:
+    a backup spliced in at an epoch switch starts acking from the switch
+    cutoff instead of LSN 0. *)
 
 val spawn_secondary_rx : secondary -> (string -> (unit -> unit) -> Engine.proc) -> unit
 (** Start the receive loop (plus the executor pool when [workers > 1]):
@@ -177,6 +195,12 @@ val received_lsn : secondary -> int
 (** Contiguous replay watermark: every LSN [<= received_lsn] is replayed
     (with parallel executors, completions above a gap do not count until
     the gap closes). *)
+
+val first_lsn : secondary -> int option
+(** The first LSN this secondary ever received off the wire, or [None]
+    when nothing arrived yet.  The epoch-switch invariant check: a
+    regenerated backup's first consumed LSN must equal the switch cutoff —
+    no gap, no overlap. *)
 
 val queue_depth : secondary -> int
 (** Replay backlog right now: frames waiting in the mailbox plus records

@@ -5,12 +5,12 @@ open Ftsim_kernel
 type mode = M_standalone | M_primary | M_secondary
 
 type t = {
-  mode : mode;
+  mutable mode : mode;  (* M_secondary -> M_primary at promotion *)
   kernel : Kernel.t;
   pt : Pthread.t;
   det : Det.t option;
   shadow : Shadow.t option;
-  ml : Msglayer.sink option;
+  mutable ml : Msglayer.sink option;
   mutable stack : Tcp.stack option;
   (* primary: Tcp conn id -> replication cid *)
   cid_of_conn : (int, int) Hashtbl.t;
@@ -21,8 +21,8 @@ type t = {
   restored_listeners : (int, Tcp.listener) Hashtbl.t;
   mutable live : bool;
   mutable the_api : Api.t option;
-  output_commit : bool;
-  ack_commit : bool;
+  mutable output_commit : bool;
+  mutable ack_commit : bool;
   vfs : Vfs.t;
   env : (string * string) list;
   mutable diverged : string option;  (* first replay divergence observed *)
@@ -357,6 +357,95 @@ let replicated_fs t det =
     size = (fun ~path -> Vfs.size t.vfs ~path);
   }
 
+(* {2 Recording operations}
+
+   The syscall paths of a recording primary: perform the real operation,
+   log its result into the replication stream, fold the per-thread digest.
+   Shared by the primary API and by a promoted survivor's live paths (the
+   application keeps the [Api.t] closure it was started with, so a
+   promoted namespace cannot swap APIs — its secondary-API live branches
+   dispatch here instead), so a post-promotion namespace records exactly
+   what an original primary would and a regenerated backup can replay the
+   whole journal as one stream. *)
+
+let logged_gettimeofday t det =
+  let v = Kernel.gettimeofday t.kernel in
+  ignore (Det.log_syscall det (Wire.R_gettimeofday v));
+  Det.fold_syscall det (h_time v);
+  v
+
+let logged_accept t det rl =
+  let c = Tcp.accept rl in
+  log_conn_syscall t det c (fun cid -> Wire.R_accept cid);
+  (match cid_opt t c with
+  | Some cid -> Det.fold_syscall det (h_accept cid)
+  | None -> ());
+  real_sock c
+
+let logged_recv t det c ~max =
+  match Tcp.recv c ~max with
+  | [] ->
+      log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len = 0 });
+      Det.fold_syscall det (h_recv 0 []);
+      Error `Eof
+  | data ->
+      let len = Payload.total_len data in
+      log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len });
+      Det.fold_syscall det (h_recv len data);
+      Ok data
+  | exception Tcp.Connection_closed ->
+      (* The reset outcome is logged (len = -1) so the replica replays the
+         same error at the same point in this thread's stream. *)
+      log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len = -1 });
+      Error `Reset
+
+let logged_send t det c chunk =
+  match Tcp.send c chunk with
+  | () ->
+      let len = Payload.chunk_len chunk in
+      log_conn_syscall t det c (fun cid -> Wire.R_write { cid; len });
+      Det.fold_syscall det (h_send len chunk);
+      Ok ()
+  | exception Tcp.Connection_closed ->
+      log_conn_syscall t det c (fun cid -> Wire.R_write { cid; len = -1 });
+      Error `Reset
+
+let logged_close t det c =
+  Tcp.close c;
+  log_conn_syscall t det c (fun cid -> Wire.R_close { cid });
+  match cid_opt t c with
+  | Some cid -> Det.fold_syscall det (h_close cid)
+  | None -> ()
+
+(* [socks] and [conns] are index-aligned. *)
+let logged_poll t det socks conns ~timeout =
+  let eng = Kernel.engine t.kernel in
+  let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+  let ready_idx =
+    List.mapi (fun i c -> (i, c)) conns
+    |> List.filter_map (fun (i, c) -> if List.memq c ready then Some i else None)
+  in
+  ignore (Det.log_syscall det (Wire.R_poll { ready = ready_idx }));
+  Det.fold_syscall det (h_poll ready_idx);
+  List.filteri (fun i _ -> List.mem i ready_idx) socks
+
+(* A promoted primary's operation on a shadow connection that was never
+   restored (the peer closed before the failover): the outcome is still
+   logged under the shadow's cid, keeping the per-thread result stream
+   gapless for the regenerated backup's replay. *)
+let logged_dead_recv det ~cid =
+  ignore (Det.log_syscall det (Wire.R_read { cid; len = 0 }));
+  Det.fold_syscall det (h_recv 0 []);
+  Error `Eof
+
+let logged_dead_send det ~cid =
+  ignore (Det.log_syscall det (Wire.R_write { cid; len = -1 }));
+  Error `Reset
+
+let logged_dead_close det ~cid =
+  ignore (Det.log_syscall det (Wire.R_close { cid }));
+  Det.fold_syscall det (h_close cid)
+
 let primary_api t =
   let det = det_exn t in
   {
@@ -367,12 +456,7 @@ let primary_api t =
         Api.spawn = (fun name f -> spawn_replicated t name f);
         join = (fun th -> ignore (Engine.join th));
         compute = (fun d -> Kernel.compute t.kernel d);
-        gettimeofday =
-          (fun () ->
-            let v = Kernel.gettimeofday t.kernel in
-            ignore (Det.log_syscall det (Wire.R_gettimeofday v));
-            Det.fold_syscall det (h_time v);
-            v);
+        gettimeofday = (fun () -> logged_gettimeofday t det);
       };
     (* The environment was replicated at launch (§3, FT-Namespace), so the
        lookup itself is deterministic and needs no logging. *)
@@ -383,58 +467,22 @@ let primary_api t =
         accept =
           (fun l ->
             match l.Api.li with
-            | Api.L_real rl ->
-                let c = Tcp.accept rl in
-                log_conn_syscall t det c (fun cid -> Wire.R_accept cid);
-                (match cid_opt t c with
-                | Some cid -> Det.fold_syscall det (h_accept cid)
-                | None -> ());
-                real_sock c
+            | Api.L_real rl -> logged_accept t det rl
             | Api.L_shadow _ -> assert false);
         recv =
           (fun s ~max ->
             match s.Api.si with
-            | Api.S_real c -> (
-                match Tcp.recv c ~max with
-                | [] ->
-                    log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len = 0 });
-                    Det.fold_syscall det (h_recv 0 []);
-                    Error `Eof
-                | data ->
-                    let len = Payload.total_len data in
-                    log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len });
-                    Det.fold_syscall det (h_recv len data);
-                    Ok data
-                | exception Tcp.Connection_closed ->
-                    (* The reset outcome is logged (len = -1) so the
-                       secondary replays the same error at the same point
-                       in this thread's stream. *)
-                    log_conn_syscall t det c (fun cid -> Wire.R_read { cid; len = -1 });
-                    Error `Reset)
+            | Api.S_real c -> logged_recv t det c ~max
             | Api.S_shadow _ -> assert false);
         send =
           (fun s chunk ->
             match s.Api.si with
-            | Api.S_real c -> (
-                match Tcp.send c chunk with
-                | () ->
-                    let len = Payload.chunk_len chunk in
-                    log_conn_syscall t det c (fun cid -> Wire.R_write { cid; len });
-                    Det.fold_syscall det (h_send len chunk);
-                    Ok ()
-                | exception Tcp.Connection_closed ->
-                    log_conn_syscall t det c (fun cid -> Wire.R_write { cid; len = -1 });
-                    Error `Reset)
+            | Api.S_real c -> logged_send t det c chunk
             | Api.S_shadow _ -> assert false);
         close =
           (fun s ->
             match s.Api.si with
-            | Api.S_real c ->
-                Tcp.close c;
-                log_conn_syscall t det c (fun cid -> Wire.R_close { cid });
-                (match cid_opt t c with
-                | Some cid -> Det.fold_syscall det (h_close cid)
-                | None -> ())
+            | Api.S_real c -> logged_close t det c
             | Api.S_shadow _ -> assert false);
         poll =
           (fun socks ~timeout ->
@@ -446,16 +494,7 @@ let primary_api t =
                   | Api.S_shadow _ -> assert false)
                 socks
             in
-            let eng = Kernel.engine t.kernel in
-            let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
-            let ready_idx =
-              List.mapi (fun i c -> (i, c)) conns
-              |> List.filter_map (fun (i, c) ->
-                     if List.memq c ready then Some i else None)
-            in
-            ignore (Det.log_syscall det (Wire.R_poll { ready = ready_idx }));
-            Det.fold_syscall det (h_poll ready_idx);
-            List.filteri (fun i _ -> List.mem i ready_idx) socks);
+            logged_poll t det socks conns ~timeout);
       };
     fs = replicated_fs t det;
   }
@@ -505,6 +544,11 @@ let live_conn_of_shadow t s sc =
 let secondary_api t =
   let det = det_exn t in
   let sh = shadow_exn t in
+  (* Live-path dispatch: a plain go-live survivor runs direct (unlogged)
+     operations, a *promoted* survivor records like a primary — the app
+     holds the Api.t closure it was started with, so the promotion must be
+     visible through these branches rather than an API swap. *)
+  let recording () = t.mode = M_primary in
   {
     Api.kernel = t.kernel;
     pt = t.pt;
@@ -520,7 +564,9 @@ let secondary_api t =
                 Det.fold_syscall det (h_time v);
                 v
             | Det.Replayed _ -> diverge t "expected gettimeofday result"
-            | Det.Went_live -> Kernel.gettimeofday t.kernel);
+            | Det.Went_live ->
+                if recording () then logged_gettimeofday t det
+                else Kernel.gettimeofday t.kernel);
       };
     env = env_of t;
     net =
@@ -538,24 +584,31 @@ let secondary_api t =
         accept =
           (fun l ->
             match l.Api.li with
-            | Api.L_real rl -> real_sock (Tcp.accept rl)
+            | Api.L_real rl ->
+                if recording () then logged_accept t det rl
+                else real_sock (Tcp.accept rl)
             | Api.L_shadow { sh_port } -> (
                 match Det.next_syscall det with
                 | Det.Replayed (Wire.R_accept cid) ->
                     Det.fold_syscall det (h_accept cid);
                     { Api.si = Api.S_shadow (Shadow.claim_accept sh ~cid) }
                 | Det.Replayed _ -> diverge t "expected accept result"
-                | Det.Went_live -> (
-                    match Hashtbl.find_opt t.restored_listeners sh_port with
-                    | Some rl ->
-                        l.Api.li <- Api.L_real rl;
-                        real_sock (Tcp.accept rl)
-                    | None ->
-                        real_sock (Tcp.accept (Tcp.listen (stack_exn t) ~port:sh_port)))));
+                | Det.Went_live ->
+                    let rl =
+                      match Hashtbl.find_opt t.restored_listeners sh_port with
+                      | Some rl ->
+                          l.Api.li <- Api.L_real rl;
+                          rl
+                      | None -> Tcp.listen (stack_exn t) ~port:sh_port
+                    in
+                    if recording () then logged_accept t det rl
+                    else real_sock (Tcp.accept rl)));
         recv =
           (fun s ~max ->
             match s.Api.si with
-            | Api.S_real c -> direct_recv c ~max
+            | Api.S_real c ->
+                if recording () then logged_recv t det c ~max
+                else direct_recv c ~max
             | Api.S_shadow sc -> (
                 match Det.next_syscall det with
                 | Det.Replayed (Wire.R_read { cid; len }) ->
@@ -576,12 +629,19 @@ let secondary_api t =
                 | Det.Replayed _ -> diverge t "expected read result"
                 | Det.Went_live -> (
                     match live_conn_of_shadow t s sc with
-                    | Some rc -> direct_recv rc ~max
-                    | None -> Error `Eof)));
+                    | Some rc ->
+                        if recording () then logged_recv t det rc ~max
+                        else direct_recv rc ~max
+                    | None ->
+                        if recording () then
+                          logged_dead_recv det ~cid:(Shadow.cid sc)
+                        else Error `Eof)));
         send =
           (fun s chunk ->
             match s.Api.si with
-            | Api.S_real c -> direct_send c chunk
+            | Api.S_real c ->
+                if recording () then logged_send t det c chunk
+                else direct_send c chunk
             | Api.S_shadow sc -> (
                 match Det.next_syscall det with
                 | Det.Replayed (Wire.R_write { cid; len }) ->
@@ -597,12 +657,18 @@ let secondary_api t =
                 | Det.Replayed _ -> diverge t "expected write result"
                 | Det.Went_live -> (
                     match live_conn_of_shadow t s sc with
-                    | Some rc -> direct_send rc chunk
-                    | None -> Error `Reset)));
+                    | Some rc ->
+                        if recording () then logged_send t det rc chunk
+                        else direct_send rc chunk
+                    | None ->
+                        if recording () then
+                          logged_dead_send det ~cid:(Shadow.cid sc)
+                        else Error `Reset)));
         close =
           (fun s ->
             match s.Api.si with
-            | Api.S_real c -> Tcp.close c
+            | Api.S_real c ->
+                if recording () then logged_close t det c else Tcp.close c
             | Api.S_shadow sc -> (
                 match Det.next_syscall det with
                 | Det.Replayed (Wire.R_close { cid }) ->
@@ -612,8 +678,12 @@ let secondary_api t =
                 | Det.Replayed _ -> diverge t "expected close result"
                 | Det.Went_live -> (
                     match live_conn_of_shadow t s sc with
-                    | Some rc -> Tcp.close rc
-                    | None -> ())));
+                    | Some rc ->
+                        if recording () then logged_close t det rc
+                        else Tcp.close rc
+                    | None ->
+                        if recording () then
+                          logged_dead_close det ~cid:(Shadow.cid sc))));
         poll =
           (fun socks ~timeout ->
             (* Shadow sockets replay the primary's poll results; after
@@ -637,14 +707,17 @@ let secondary_api t =
                     match s.Api.si with Api.S_real c -> Some c | _ -> None)
                   socks
               in
-              let eng = Kernel.engine t.kernel in
-              let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
-              List.filter
-                (fun s ->
-                  match s.Api.si with
-                  | Api.S_real c -> List.memq c ready
-                  | _ -> false)
-                socks
+              if recording () then logged_poll t det socks conns ~timeout
+              else begin
+                let eng = Kernel.engine t.kernel in
+                let ready = Tcp.poll ~deadline:(Engine.now eng + timeout) conns in
+                List.filter
+                  (fun s ->
+                    match s.Api.si with
+                    | Api.S_real c -> List.memq c ready
+                    | _ -> false)
+                  socks
+              end
             end
             else
               match Det.next_syscall det with
@@ -653,13 +726,24 @@ let secondary_api t =
                   List.filteri (fun i _ -> List.mem i ready) socks
               | Det.Replayed _ -> diverge t "expected poll result"
               | Det.Went_live ->
-                  (* Transitioning: retry via the live path. *)
-                  List.filter
-                    (fun s ->
-                      match s.Api.si with
-                      | Api.S_real _ -> true
-                      | Api.S_shadow sc -> Shadow.restored sc <> None)
-                    socks);
+                  (* Transitioning: report the restorable sockets.  A
+                     promoted primary logs this result too — the per-thread
+                     stream must stay gapless for the regenerated backup. *)
+                  let ready_idx =
+                    List.mapi (fun i s -> (i, s)) socks
+                    |> List.filter_map (fun (i, s) ->
+                           match s.Api.si with
+                           | Api.S_real _ -> Some i
+                           | Api.S_shadow sc ->
+                               if Shadow.restored sc <> None then Some i
+                               else None)
+                  in
+                  if recording () then begin
+                    ignore
+                      (Det.log_syscall det (Wire.R_poll { ready = ready_idx }));
+                    Det.fold_syscall det (h_poll ready_idx)
+                  end;
+                  List.filteri (fun i _ -> List.mem i ready_idx) socks);
       };
     fs = replicated_fs t det;
   }
@@ -739,16 +823,51 @@ let start_app t app =
 
 (* {1 Role changes} *)
 
-let go_live t ?stack ?(listeners = []) () =
-  Trace.warnf log ~eng:(Kernel.engine t.kernel) "namespace %s going live"
-    (Kernel.name t.kernel);
+type promotion = {
+  pr_sink : Msglayer.sink;
+  pr_restored : (int * Tcp.conn) list;
+      (* (cid, restored conn) pairs from [Shadow.restore_all] — the
+         promoted primary keeps each connection's replication cid, so its
+         deltas continue the same per-connection streams *)
+  pr_output_commit : bool;
+  pr_ack_commit : bool;
+}
+
+let go_live t ?stack ?(listeners = []) ?promote () =
+  Trace.warnf log ~eng:(Kernel.engine t.kernel) "namespace %s going live%s"
+    (Kernel.name t.kernel)
+    (if promote = None then "" else " (promoted)");
   (match stack with Some s -> t.stack <- Some s | None -> ());
   List.iter (fun (port, l) -> Hashtbl.replace t.restored_listeners port l) listeners;
   t.live <- true;
   (* The pthread hooks stay installed: a thread may be inside a
      deterministic section right now, and its det_end must still run.  In
      live mode the hooks degrade to plain global-mutex bracketing. *)
-  Det.go_live (det_exn t)
+  match promote with
+  | None -> Det.go_live (det_exn t)
+  | Some pr ->
+      (* Promotion: this survivor becomes the next epoch's recording
+         primary.  Must be called at the quiesced point (replay idle), with
+         restore-time retransmits already done — they replay from the old
+         epoch's deltas on the regenerated backup and must not be logged
+         again.  No suspension points below, so the role flip is atomic
+         with respect to application threads. *)
+      t.ml <- Some pr.pr_sink;
+      t.mode <- M_primary;
+      t.output_commit <- pr.pr_output_commit;
+      t.ack_commit <- pr.pr_ack_commit;
+      List.iter
+        (fun (cid, c) ->
+          Hashtbl.replace t.cid_of_conn (Tcp.conn_id c) cid;
+          if cid >= t.next_cid then t.next_cid <- cid + 1)
+        pr.pr_restored;
+      (match t.stack with
+      | Some s -> install_primary_tcp_hooks t s
+      | None -> ());
+      Det.promote (det_exn t) pr.pr_sink;
+      (* The pthread hooks record snapshots its role flags at creation:
+         re-install so is_replica/defer_wakes reflect the promoted role. *)
+      Pthread.set_hooks t.pt (Some (Det.pthread_hooks (det_exn t)))
 
 let replay_idle t = Det.replay_idle (det_exn t)
 

@@ -56,9 +56,37 @@ val shadow_of : t -> Shadow.t
 val start_app : t -> Api.app -> Api.thread
 (** Launch the application's main thread in the namespace (ft_pid 0). *)
 
-val go_live : t -> ?stack:Tcp.stack -> ?listeners:(int * Tcp.listener) list -> unit -> unit
+type promotion = {
+  pr_sink : Msglayer.sink;
+      (** where the promoted primary records — the cluster's live sink,
+          journaling while the replica set is degraded *)
+  pr_restored : (int * Tcp.conn) list;
+      (** [(cid, conn)] pairs from {!Shadow.restore_all}: restored
+          connections keep their replication cids so the promoted
+          primary's deltas continue the same per-connection streams *)
+  pr_output_commit : bool;
+  pr_ack_commit : bool;
+}
+
+val go_live :
+  t ->
+  ?stack:Tcp.stack ->
+  ?listeners:(int * Tcp.listener) list ->
+  ?promote:promotion ->
+  unit ->
+  unit
 (** Secondary, at failover: open every replay gate and switch socket
-    operations to the restored stack (when there is a network). *)
+    operations to the restored stack (when there is a network).
+
+    With [promote], the survivor additionally becomes the next epoch's
+    {e recording primary} (live re-protection): syscall results, TCP
+    deltas and deterministic sections are recorded into [pr_sink] exactly
+    as an original primary would, continuing the old epoch's per-channel
+    and per-thread streams gaplessly — a backup regenerated later replays
+    the journal from LSN 0 as one stream.  The digest is not sealed (see
+    {!Det.promote}); callers bound comparisons against the dead primary
+    with {!Digest.capture}.  Must be called at the quiesced point (replay
+    idle), after restore-time retransmits. *)
 
 val replay_idle : t -> bool
 (** Secondary: replay has consumed everything delivered so far. *)

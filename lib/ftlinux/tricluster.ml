@@ -53,6 +53,47 @@ let shutdown t =
 
 let lagmons t = t.lagmons
 
+(* The uniform replica-set surface.  A tricluster has no re-protection and
+   no epoch switches: every member joined at epoch 0, the lifecycle is
+   derived from which partitions are still up, and a takeover winner holds
+   the primary role. *)
+let replica_set t =
+  let alive p = not (Partition.is_halted p) in
+  let state () =
+    let backups_alive = Array.exists alive t.parts_b in
+    if alive t.part_p then
+      if backups_alive then Replica_set.Protected else Replica_set.Degraded
+    else if backups_alive then Replica_set.Degraded
+    else Replica_set.Outage
+  in
+  let members () =
+    let role_of_backup i =
+      if t.the_winner = Some i then Replica_set.Primary else Replica_set.Backup
+    in
+    {
+      Replica_set.m_role =
+        (if t.the_winner = None then Replica_set.Primary
+         else Replica_set.Backup);
+      m_epoch = 0;
+      m_partition = t.part_p;
+    }
+    :: List.init (Array.length t.parts_b) (fun i ->
+           {
+             Replica_set.m_role = role_of_backup i;
+             m_epoch = 0;
+             m_partition = t.parts_b.(i);
+           })
+  in
+  {
+    Replica_set.rs_label = "tricluster";
+    rs_state = state;
+    rs_epoch = (fun () -> 0);
+    rs_members = members;
+    rs_failovers = (fun () -> if t.the_winner = None then 0 else 1);
+    rs_supports_reprotect = false;
+    rs_reprotect = (fun () -> ());
+  }
+
 let fail_primary t ~at =
   Machine.inject t.machine
     (Fault.at at ~partition_id:(Partition.id t.part_p) Fault.Core_failstop)

@@ -60,6 +60,11 @@ val compare_digests : t -> backup:int -> Digest.divergence option
 val replay_divergence : t -> string option
 (** First structural replay divergence any replica observed, if any. *)
 
+val replica_set : t -> Replica_set.t
+(** The group behind the uniform replica-set surface shared with
+    {!Cluster}: lifecycle derived from which partitions are up (a takeover
+    winner holds the primary role), epoch fixed at 0, no re-protection. *)
+
 val lagmons : t -> Lagmon.t list
 (** Per-backup replication-health monitors ("lag.b0", "lag.b1"), when
     [config.lagmon] enabled them. *)

@@ -96,6 +96,26 @@ let split_asymmetric t ~primary_cores =
   in
   (a, b)
 
+let recommission t part ~name =
+  if not (Partition.is_halted part) then
+    invalid_arg "Machine.recommission: partition still live";
+  if not (List.exists (fun p -> Partition.id p = Partition.id part) t.parts)
+  then invalid_arg "Machine.recommission: unknown partition";
+  (* Return the dead slice's inventory, then carve a replacement on the
+     same cores/RAM/NUMA nodes under a fresh id.  The halted partition
+     stays in the fault log's history but leaves the live table, so
+     faults aimed at its old id are ignored as "unknown partition". *)
+  let nodes = Partition.numa_nodes part in
+  t.parts <- List.filter (fun p -> Partition.id p <> Partition.id part) t.parts;
+  t.used_cores <- t.used_cores - Partition.cores part;
+  t.used_ram <- t.used_ram - Partition.ram_bytes part;
+  t.used_nodes <- List.filter (fun n -> not (List.mem n nodes)) t.used_nodes;
+  Trace.infof log ~eng:t.eng
+    "recommission: partition %d (%s) released; rebooting as %s"
+    (Partition.id part) (Partition.name part) name;
+  add_partition t ~name ~cores:(Partition.cores part)
+    ~ram_bytes:(Partition.ram_bytes part) ~numa_nodes:nodes
+
 let on_machine_check t f = t.mca_subs <- f :: t.mca_subs
 
 let on_coherency_loss t ~partition_id h =

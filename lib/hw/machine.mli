@@ -26,6 +26,13 @@ val split_asymmetric : t -> primary_cores:int -> (Partition.t * Partition.t)
 (** §4.3's configuration: a large primary partition and a secondary holding
     the remaining cores (e.g. 32 + 1 on a 33-core budget). *)
 
+val recommission : t -> Partition.t -> name:string -> Partition.t
+(** Power-cycle a halted partition's hardware: release its cores, RAM and
+    NUMA nodes back to the inventory and carve a same-sized replacement
+    under a fresh id (modelling firmware fencing the failed unit and
+    bringing the spare back).  Raises [Invalid_argument] if the partition
+    is still live or not part of this machine. *)
+
 val partitions : t -> Partition.t list
 val find_partition : t -> int -> Partition.t option
 
@@ -40,6 +47,14 @@ val inject : t -> Fault.t -> unit
 (** Schedule a fault.  At [fault.at]: the victim partition halts; MCA-class
     faults notify subscribers; coherency-disrupting faults additionally
     invoke the drop hooks registered with {!on_coherency_loss}. *)
+
+val apply : t -> Fault.t -> unit
+(** Apply a fault right now, ignoring [fault.at].  For dynamically-resolved
+    targets: a chaos schedule that aims at "the current primary" cannot
+    know the partition id up front (re-protection recommissions partitions
+    under fresh ids), so it schedules its own timer and resolves the
+    victim at fire time.  Unknown or already-halted partitions are
+    ignored. *)
 
 val inject_all : t -> Fault.t list -> unit
 

@@ -45,6 +45,34 @@ let test_derive_in_bounds () =
       s.Chaos.perturbations
   done
 
+let test_derive_multi_bounds () =
+  let horizon = Time.sec 4 in
+  let d () =
+    Chaos.derive_multi ~root_seed:42 ~index:3 ~replicas:2 ~horizon ~faults:3
+  in
+  Alcotest.(check bool) "same inputs give the same schedule" true (d () = d ());
+  let s = d () in
+  Alcotest.(check int) "exactly the requested faults" 3
+    (List.length s.Chaos.injections);
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> a.Chaos.inj_at < b.Chaos.inj_at && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "injections sorted and distinct" true
+    (sorted s.Chaos.injections);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "inside the horizon" true
+        (i.Chaos.inj_at > 0 && i.Chaos.inj_at < horizon))
+    s.Chaos.injections;
+  for faults = 1 to 5 do
+    let s =
+      Chaos.derive_multi ~root_seed:7 ~index:0 ~replicas:2 ~horizon ~faults
+    in
+    Alcotest.(check int) "fault budget honoured" faults
+      (List.length s.Chaos.injections)
+  done
+
 (* {1 Digest determinism} *)
 
 (* The racy-app pattern from test_ftlinux: any interleaving is correct, but
@@ -314,6 +342,53 @@ let test_chaos_parallel_replay_clean () =
   Alcotest.(check string) "mutated secondary still flagged" "divergence"
     (Chaos.verdict_label mutated.Chaos.verdict)
 
+let test_three_fault_reprotect_clean () =
+  (* The acceptance schedule for live re-protection: three fail-stop kills,
+     each aimed at whatever partition holds the primary role when it fires.
+     Every kill is followed by a takeover and an online regeneration, the
+     client oracle must verify an exactly-once stream across all three
+     failovers, and every epoch's digest pair must agree. *)
+  let kill t =
+    {
+      Chaos.inj_at = t;
+      inj_target = Chaos.T_primary;
+      inj_kind = Ftsim_hw.Fault.Core_failstop;
+      inj_disrupts = false;
+    }
+  in
+  let sched =
+    {
+      Chaos.sched_index = 0;
+      sched_seed = 0xfa1;
+      horizon = Time.sec 5;
+      injections =
+        [ kill (Time.ms 500); kill (Time.ms 1300); kill (Time.ms 2100) ];
+      perturbations = [];
+    }
+  in
+  let o =
+    Chaosrun.run ~reprotect:true ~workload:Chaosrun.Mongoose ~replicas:2 sched
+  in
+  Alcotest.(check string) "verdict ok" "ok"
+    (Chaos.verdict_label o.Chaos.verdict);
+  Alcotest.(check int) "three takeovers" 3 o.Chaos.o_failovers;
+  Alcotest.(check bool) "digest comparison exercised" true
+    (o.Chaos.o_sections > 0)
+
+let test_derive_multi_run_clean () =
+  (* A derived multi-fault schedule end-to-end with re-protection on:
+     whatever the draws land on (including kills mid-regeneration), the run
+     must never diverge or violate the client oracle. *)
+  let s =
+    Chaos.derive_multi ~root_seed:11 ~index:2 ~replicas:2
+      ~horizon:(Time.sec 4) ~faults:3
+  in
+  let o =
+    Chaosrun.run ~reprotect:true ~workload:Chaosrun.Fileserver ~replicas:2 s
+  in
+  Alcotest.(check bool) "no consistency failure" false
+    (Chaos.verdict_failing o.Chaos.verdict)
+
 (* {1 Property: partial-order soundness of the sharded digest}
 
    The per-channel replay gate grants the secondary exactly this freedom:
@@ -479,6 +554,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_derive_deterministic;
           Alcotest.test_case "in bounds" `Quick test_derive_in_bounds;
+          Alcotest.test_case "multi-fault bounds" `Quick
+            test_derive_multi_bounds;
         ] );
       ( "digest",
         [
@@ -505,5 +582,9 @@ let () =
           Alcotest.test_case "derived schedule clean" `Quick test_chaos_run_clean;
           Alcotest.test_case "parallel replay clean" `Quick
             test_chaos_parallel_replay_clean;
+          Alcotest.test_case "three-fault reprotect clean" `Quick
+            test_three_fault_reprotect_clean;
+          Alcotest.test_case "derived multi-fault reprotect clean" `Quick
+            test_derive_multi_run_clean;
         ] );
     ]

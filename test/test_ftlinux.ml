@@ -178,7 +178,7 @@ let run_echo_scenario ?(config = test_config) ?pace ~fail_primary_at ~messages
   in
   let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
   (match fail_primary_at with
-  | Some at -> Cluster.fail_primary cluster ~at
+  | Some at -> Cluster.kill cluster ~role:Replica_set.Primary ~at
   | None -> ());
   let result = Ivar.create () in
   ignore
@@ -331,7 +331,7 @@ let test_compute_only_failover () =
     done
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
-  Cluster.fail_primary cluster ~at:(Time.ms 200);
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms 200);
   Engine.run ~until:(Time.sec 5) eng;
   Cluster.shutdown cluster;
   Alcotest.(check bool) "primary died early" true (!progress_p < 1000);
@@ -595,7 +595,7 @@ let test_fs_survives_failover () =
     if Kernel.name api.Api.kernel = "secondary" then secondary_done := true
   in
   let cluster = Cluster.create eng ~config:test_config ~app () in
-  Cluster.fail_primary cluster ~at:(Time.ms 50);
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms 50);
   Engine.run ~until:(Time.sec 10) eng;
   Cluster.shutdown cluster;
   Alcotest.(check bool) "secondary finished the journal" true !secondary_done;
@@ -1186,7 +1186,7 @@ let run_channel_boundary_failover ~replay_workers () =
       ~config:{ test_config with Cluster.replay_workers }
       ~link:(Link.endpoint_a link) ~app ()
   in
-  Cluster.fail_primary cluster ~at:(Time.ms 150);
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms 150);
   let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
   let messages = List.init 25 (fun i -> Printf.sprintf "cb-%02d|" i) in
   let result = Ivar.create () in
