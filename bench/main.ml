@@ -822,19 +822,30 @@ let micro _quick =
    divergence checker, and reports the verdict distribution plus how much
    comparison surface (digest sections + per-thread syscall folds) each
    campaign covered. *)
+(* --jobs: worker domains for chaos campaigns (0/unset = auto, all cores
+   but the coordinator's).  The merged report is byte-identical whatever
+   the value; only wall-clock changes. *)
+let jobs_override : int option ref = ref None
+
+let effective_jobs () =
+  match !jobs_override with
+  | Some n when n >= 1 -> n
+  | _ -> Chaos.default_jobs ()
+
 let chaos quick =
   hr "Chaos campaigns: randomized fault schedules + divergence checking";
   let count = if quick then 6 else 25 in
   let horizon = Time.sec 3 in
+  let jobs = effective_jobs () in
   let campaign ~replicas ~workload =
-    let wall0 = Sys.time () in
+    let wall0 = Unix.gettimeofday () in
     let run = Chaosrun.run ~workload ~replicas in
     let report =
       Chaos.run_campaign ~root_seed:42 ~count ~replicas ~horizon
         ~workload:(Chaosrun.workload_to_string workload)
-        ~run ()
+        ~run ~jobs ()
     in
-    let wall = Sys.time () -. wall0 in
+    let wall = Unix.gettimeofday () -. wall0 in
     let outcomes = List.map (fun rr -> rr.Chaos.rr_outcome) report.Chaos.rep_results in
     let count_of p = List.length (List.filter p outcomes) in
     let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
@@ -862,6 +873,67 @@ let chaos quick =
   Printf.printf
     "(div/viol must be zero: a divergence is a replication bug, a violation
     \ a broken client guarantee; outages are excused total-failure runs)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Chaosparallel: campaign throughput vs worker domains                *)
+(* ------------------------------------------------------------------ *)
+
+(* Harness-scaling experiment: the same fileserver campaign at jobs in
+   {1, 2, 4, 8}, measuring wall-clock seeds/sec and asserting the merged
+   report stays byte-identical to the sequential run at every width (the
+   determinism contract of the domain-pool merge).  seeds_per_sec and
+   speedup_x are wall-clock numbers — the only non-simulated metrics any
+   bench publishes — so the regress gate compares them with a wide
+   tolerance, while report_identical is exact.  BENCH_chaosparallel.json is
+   therefore NOT byte-stable across runs; CI must not cmp two runs of it. *)
+let chaosparallel quick =
+  hr "Chaos parallel: campaign seeds/sec vs worker domains";
+  let summary = new_engine () in
+  let reg = Engine.metrics summary in
+  let g key v = Metrics.Gauge.set (Metrics.Registry.gauge reg key) v in
+  let count = if quick then 32 else 1000 in
+  let horizon = Time.sec 3 in
+  let run = Chaosrun.run ~workload:Chaosrun.Fileserver ~replicas:2 in
+  let campaign jobs =
+    let wall0 = Unix.gettimeofday () in
+    let report =
+      Chaos.run_campaign ~root_seed:42 ~count ~replicas:2 ~horizon
+        ~workload:"fileserver" ~run ~jobs ()
+    in
+    (Chaos.report_to_json report, Unix.gettimeofday () -. wall0)
+  in
+  Printf.printf "%d-seed fileserver campaign, horizon %s (cores: %d)\n" count
+    (Time.to_string horizon)
+    (Domain.recommended_domain_count ());
+  Printf.printf "%6s %12s %10s %10s %10s\n" "jobs" "wall(s)" "seeds/s"
+    "speedup" "report";
+  let json1, wall1 = campaign 1 in
+  let all_identical = ref true in
+  List.iter
+    (fun jobs ->
+      let json, wall = if jobs = 1 then (json1, wall1) else campaign jobs in
+      let identical = String.equal json json1 in
+      if not identical then all_identical := false;
+      Printf.printf "%6d %12.2f %10.1f %10.2fx %10s\n" jobs wall
+        (float_of_int count /. wall)
+        (wall1 /. wall)
+        (if identical then "identical" else "DIVERGED");
+      g (Printf.sprintf "chaosparallel.j%d.seeds_per_sec" jobs)
+        (float_of_int count /. wall);
+      g (Printf.sprintf "chaosparallel.j%d.speedup_x" jobs) (wall1 /. wall);
+      g
+        (Printf.sprintf "chaosparallel.j%d.report_identical" jobs)
+        (if identical then 1.0 else 0.0))
+    [ 1; 2; 4; 8 ];
+  Printf.printf
+    "(acceptance: every report byte-identical to jobs=1; >=3x speedup at\n\
+    \ jobs=4 on 4+ cores.  The regress gate holds report_identical exactly\n\
+    \ and the wall-clock seeds_per_sec / speedup_x within a wide\n\
+    \ machine-noise tolerance against bench/baseline/BENCH_chaosparallel.json)\n";
+  if not !all_identical then begin
+    Printf.printf "chaosparallel: MERGE DETERMINISM VIOLATED\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Batch: sync-tuple streaming with batching off vs on                 *)
@@ -1603,6 +1675,7 @@ let experiments =
     ("micro", micro, "Bechamel microbenchmarks of simulator primitives");
     ("ablation", ablations, "Ablations: proximity, output commit, wake latency");
     ("chaos", chaos, "Chaos campaigns: random fault schedules + divergence checks");
+    ("chaosparallel", chaosparallel, "Campaign seeds/sec vs worker domains (deterministic merge)");
     ("batch", batch, "Batched sync-tuple streaming: traffic with batching off vs on");
     ("scaling", scaling, "Det-section sharding off vs on: overhead vs worker count");
     ("replay", replay, "Backup replay: serial drain vs parallel replay executors");
@@ -1619,6 +1692,7 @@ let run_all quick =
   run_experiment "fig8" fig8 quick;
   run_experiment "ablation" ablations quick;
   run_experiment "chaos" chaos quick;
+  run_experiment "chaosparallel" chaosparallel quick;
   run_experiment "batch" batch quick;
   run_experiment "scaling" scaling quick;
   run_experiment "replay" replay quick;
@@ -1670,6 +1744,17 @@ let () =
     | [ "--replay-workers" ] ->
         Printf.eprintf "bench: --replay-workers requires an N argument\n";
         exit 1
+    | "--jobs" :: v :: rest ->
+        let n = int_flag "--jobs" v in
+        if n < 1 then begin
+          Printf.eprintf "bench: --jobs requires N >= 1\n";
+          exit 1
+        end;
+        jobs_override := Some n;
+        strip rest
+    | [ "--jobs" ] ->
+        Printf.eprintf "bench: --jobs requires an N argument\n";
+        exit 1
     | a :: rest -> a :: strip rest
   in
   let args = strip (List.tl (Array.to_list Sys.argv)) in
@@ -1690,5 +1775,6 @@ let () =
   | _ ->
       Printf.eprintf
         "usage: bench [EXPERIMENT] [--quick] [--trace-out PATH] \
-         [--batch-window USEC] [--batch-bytes BYTES] [--replay-workers N]\n";
+         [--batch-window USEC] [--batch-bytes BYTES] [--replay-workers N] \
+         [--jobs N]\n";
       exit 1

@@ -26,6 +26,12 @@
 
 let threshold = 0.10
 
+(* Wall-clock metrics (the chaosparallel campaign-throughput sweep is the
+   only family) are real host time, not simulated time: they move with the
+   runner's core count and load, so their gate only catches gross
+   regressions — a broken domain pool, not scheduler jitter. *)
+let wall_threshold = 0.50
+
 (* {1 A minimal JSON reader}
 
    Covers exactly what the bench dumps contain: objects, arrays, numbers,
@@ -206,15 +212,22 @@ let ends_with suffix s =
   let ls = String.length s and lx = String.length suffix in
   ls >= lx && String.sub s (ls - lx) lx = suffix
 
+(* Each gated suffix carries its direction and its tolerance; keys without
+   a recognized suffix stay informational. *)
 let direction key =
   if
     ends_with ".msgs_per_op" key || ends_with ".bytes_per_op" key
     || ends_with ".p50_ms" key || ends_with ".p90_ms" key
     || ends_with ".p99_ms" key || ends_with ".p999_ms" key
     || ends_with ".window_ms" key
-  then Some `Lower_better
+  then Some (`Lower_better, threshold)
   else if ends_with ".ops_per_sec" key || ends_with "_reduction_pct" key then
-    Some `Higher_better
+    Some (`Higher_better, threshold)
+  else if ends_with ".seeds_per_sec" key || ends_with ".speedup_x" key then
+    Some (`Higher_better, wall_threshold)
+  else if ends_with ".report_identical" key then
+    (* Boolean determinism gauges: exact match, no drift allowance. *)
+    Some (`Exact, 0.0)
   else None
 
 (* Every key of every committed baseline is gated: any metric family that
@@ -250,7 +263,7 @@ let () =
       if gated key then
         match direction key with
         | None -> ()
-        | Some dir -> (
+        | Some (dir, tol) -> (
             incr compared;
             match List.assoc_opt key cur with
             | None ->
@@ -262,11 +275,10 @@ let () =
                   if bv <> 0.0 then 100.0 *. ((cv /. bv) -. 1.0) else 0.0
                 in
                 let ok =
-                  if bv = 0.0 then true
-                  else
-                    match dir with
-                    | `Lower_better -> cv <= bv *. (1.0 +. threshold)
-                    | `Higher_better -> cv >= bv *. (1.0 -. threshold)
+                  match dir with
+                  | `Exact -> cv = bv
+                  | `Lower_better -> bv = 0.0 || cv <= bv *. (1.0 +. tol)
+                  | `Higher_better -> bv = 0.0 || cv >= bv *. (1.0 -. tol)
                 in
                 if not ok then incr failures;
                 Printf.printf "%-52s %12.3f %12.3f %+8.1f  %s\n" key bv cv

@@ -885,7 +885,7 @@ let memdump_cmd =
 (* {1 chaos} *)
 
 let chaos_cmd =
-  let run root_seed seeds quick workload replicas horizon_ms det_shard
+  let run root_seed seeds quick workload replicas horizon_ms jobs det_shard
       replay_workers reprotect regen_delay_ms faults stats_interval
       fail_on_stall report repro_trace log_level log_filter =
     setup_logging log_level log_filter;
@@ -897,6 +897,7 @@ let chaos_cmd =
     | Ok w ->
         let seeds = if quick then min seeds 8 else seeds in
         let horizon = Time.ms horizon_ms in
+        let jobs = if jobs = 0 then Chaos.default_jobs () else jobs in
         let progress rr =
           let s = rr.Chaos.rr_schedule and o = rr.Chaos.rr_outcome in
           Printf.printf
@@ -911,12 +912,13 @@ let chaos_cmd =
         in
         Printf.printf
           "chaos campaign: %d schedules, root seed %d, workload %s, %d \
-           replicas, det-shard %s, replay-workers %d, reprotect %s%s\n\
+           replicas, det-shard %s, replay-workers %d, reprotect %s, jobs %d%s\n\
            %!"
           seeds root_seed workload replicas
           (if det_shard then "on" else "off")
           replay_workers
           (if reprotect then "on" else "off")
+          jobs
           (match faults with
           | Some f -> Printf.sprintf ", %d faults per schedule" f
           | None -> "");
@@ -927,7 +929,7 @@ let chaos_cmd =
               Chaosrun.run ?stats_interval ~det_shard ~replay_workers
                 ~reprotect ~regen_delay:(Time.ms regen_delay_ms) ~workload:w
                 ~replicas s)
-            ?faults ~progress ()
+            ?faults ~progress ~jobs ()
         in
         (match report with
         | None -> ()
@@ -969,10 +971,18 @@ let chaos_cmd =
                rep.Chaos.rep_results)
         in
         Printf.printf
-          "verdicts: %d ok, %d divergence, %d client-violation, %d outage\n"
+          "verdicts: %d ok, %d divergence, %d client-violation, %d outage, \
+           %d harness-error\n"
           (count "ok") (count "divergence")
           (count "client-violation")
-          (count "outage");
+          (count "outage") (count "harness-error");
+        List.iter
+          (fun rr ->
+            match rr.Chaos.rr_outcome.Chaos.verdict with
+            | Chaos.V_harness_error msg ->
+                Printf.printf "  harness error: %s\n" msg
+            | _ -> ())
+          rep.Chaos.rep_results;
         (* Replication-health roll-up: every run carries the worst Lagmon
            verdict its (quiet) monitors saw.  A clean verdict with a stalled
            replication stream is a latent problem the digests cannot see. *)
@@ -1041,6 +1051,15 @@ let chaos_cmd =
       & info [ "horizon-ms" ] ~docv:"MS"
           ~doc:"Simulated-time cap per run; faults land in its first 3/4.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains the campaign fans schedules out across \
+             ($(b,0) = auto: all cores but one).  The merged report is \
+             byte-identical for every $(docv); only wall-clock changes.")
+  in
   let report =
     Arg.(
       value & opt (some string) None
@@ -1081,9 +1100,9 @@ let chaos_cmd =
           checker + client-consistency oracle.")
     Term.(
       const run $ root_seed $ seeds $ quick $ workload $ replicas $ horizon_ms
-      $ det_shard_t $ replay_workers_t $ reprotect_t $ regen_delay_t $ faults
-      $ stats_interval_t $ fail_on_stall $ report $ repro_trace $ log_level_t
-      $ log_filter_t)
+      $ jobs $ det_shard_t $ replay_workers_t $ reprotect_t $ regen_delay_t
+      $ faults $ stats_interval_t $ fail_on_stall $ report $ repro_trace
+      $ log_level_t $ log_filter_t)
 
 let () =
   let info =

@@ -158,9 +158,10 @@ type verdict =
   | V_divergence of string
   | V_client_violation of string
   | V_outage
+  | V_harness_error of string
 
 let verdict_failing = function
-  | V_divergence _ | V_client_violation _ -> true
+  | V_divergence _ | V_client_violation _ | V_harness_error _ -> true
   | V_ok | V_outage -> false
 
 let verdict_label = function
@@ -168,6 +169,7 @@ let verdict_label = function
   | V_divergence _ -> "divergence"
   | V_client_violation _ -> "client-violation"
   | V_outage -> "outage"
+  | V_harness_error _ -> "harness-error"
 
 type outcome = {
   verdict : verdict;
@@ -256,26 +258,154 @@ type report = {
 let failures r =
   List.filter (fun rr -> verdict_failing rr.rr_outcome.verdict) r.rep_results
 
+(* {2 The domain pool}
+
+   Each schedule is an independent deterministic simulation (its engine,
+   PRNG, metrics registry and evlog are all built inside [run]), so a
+   campaign fans schedule indices out across OCaml 5 domains.  Workers pull
+   the next index from an atomic counter — assignment order is a race, but
+   it cannot matter: run [i] is a pure function of [(root_seed, i)] — and
+   post finished results to a queue only the coordinator drains.  The
+   coordinator reassembles [rep_results] in campaign order, so the merged
+   report is byte-identical to a sequential run; [progress] and any
+   {!Sink}-routed stderr lines fire in completion order, from the
+   coordinator's domain only, so console output never tears.
+
+   Shrinking stays single-domain in the coordinator: the minimal repro of
+   the lowest failing index must not depend on how many workers found it. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* A worker posts every line its runs emit (Statsdump, Trace stderr) and
+   then the finished result; the coordinator prints lines as they arrive.
+   Queue FIFO order guarantees a run's lines are drained before its result,
+   so by the time the last result is in, no line is left behind. *)
+type camp_msg = M_line of string | M_done of run_result
+
+type mqueue = {
+  mq_mutex : Mutex.t;
+  mq_cond : Condition.t;
+  mq_q : camp_msg Queue.t;
+}
+
+let mq_create () =
+  { mq_mutex = Mutex.create (); mq_cond = Condition.create (); mq_q = Queue.create () }
+
+let mq_push mq msg =
+  Mutex.lock mq.mq_mutex;
+  Queue.push msg mq.mq_q;
+  Condition.signal mq.mq_cond;
+  Mutex.unlock mq.mq_mutex
+
+let mq_pop mq =
+  Mutex.lock mq.mq_mutex;
+  while Queue.is_empty mq.mq_q do
+    Condition.wait mq.mq_cond mq.mq_mutex
+  done;
+  let msg = Queue.pop mq.mq_q in
+  Mutex.unlock mq.mq_mutex;
+  msg
+
+(* A raising [run] must not abort the pool (or, sequentially, the
+   campaign): the exception becomes a failing harness-error verdict naming
+   the schedule's seed, and every other worker keeps draining indices. *)
+let harness_error msg =
+  {
+    verdict = V_harness_error msg;
+    o_failovers = 0;
+    o_completed = 0;
+    o_sections = 0;
+    o_end = 0;
+    o_lag = None;
+  }
+
+let guarded run s =
+  try run s
+  with e ->
+    harness_error
+      (Printf.sprintf "schedule #%d (seed %#x): uncaught exception: %s"
+         s.sched_index s.sched_seed (Printexc.to_string e))
+
 let run_campaign ~root_seed ~count ~replicas ~horizon ~workload ~run
-    ?faults ?(shrink_budget = 64) ?(progress = fun _ -> ()) () =
+    ?faults ?(shrink_budget = 64) ?(progress = fun _ -> ()) ?jobs () =
+  if replicas <> 2 && replicas <> 3 then
+    invalid_arg "Chaos.run_campaign: replicas must be 2 or 3";
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Chaos.run_campaign: jobs must be >= 1"
+    | Some j -> min j (max 1 count)
+    | None -> min (default_jobs ()) (max 1 count)
+  in
   let derive_one index =
     match faults with
     | None -> derive ~root_seed ~index ~replicas ~horizon
     | Some faults -> derive_multi ~root_seed ~index ~replicas ~horizon ~faults
   in
+  (* Derivation is pure and pre-validated, but a pool that can lose a
+     result deadlocks the coordinator — so even an unexpected derivation
+     failure must yield exactly one result for its index. *)
+  let run_one index =
+    match derive_one index with
+    | s -> { rr_schedule = s; rr_outcome = guarded run s }
+    | exception e ->
+        {
+          rr_schedule =
+            {
+              sched_index = index;
+              sched_seed = 0;
+              horizon;
+              injections = [];
+              perturbations = [];
+            };
+          rr_outcome =
+            harness_error
+              (Printf.sprintf "schedule #%d: derivation raised: %s" index
+                 (Printexc.to_string e));
+        }
+  in
   let results =
-    List.init count (fun index ->
-        let s = derive_one index in
-        let rr = { rr_schedule = s; rr_outcome = run s } in
-        progress rr;
-        rr)
+    if jobs <= 1 then
+      List.init count (fun index ->
+          let rr = run_one index in
+          progress rr;
+          rr)
+    else begin
+      let slots = Array.make count None in
+      let next = Atomic.make 0 in
+      let box = mq_create () in
+      let worker () =
+        Sink.set (fun line -> mq_push box (M_line line));
+        let rec loop () =
+          let index = Atomic.fetch_and_add next 1 in
+          if index < count then begin
+            mq_push box (M_done (run_one index));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+      let remaining = ref count in
+      while !remaining > 0 do
+        match mq_pop box with
+        | M_line line -> Sink.line line
+        | M_done rr ->
+            slots.(rr.rr_schedule.sched_index) <- Some rr;
+            progress rr;
+            decr remaining
+      done;
+      List.iter Domain.join domains;
+      Array.to_list slots
+      |> List.map (function Some rr -> rr | None -> assert false)
+    end
   in
   let minimal =
     match
       List.find_opt (fun rr -> verdict_failing rr.rr_outcome.verdict) results
     with
     | None -> None
-    | Some rr -> Some (shrink ~run ~budget:shrink_budget rr.rr_schedule)
+    | Some rr ->
+        Some (shrink ~run:(guarded run) ~budget:shrink_budget rr.rr_schedule)
   in
   {
     rep_root_seed = root_seed;
@@ -312,7 +442,7 @@ let kind_to_string k = Format.asprintf "%a" Ftsim_hw.Fault.pp_kind k
 
 let verdict_detail = function
   | V_ok | V_outage -> None
-  | V_divergence d | V_client_violation d -> Some d
+  | V_divergence d | V_client_violation d | V_harness_error d -> Some d
 
 let buf_injection b i =
   Printf.bprintf b
@@ -377,11 +507,12 @@ let report_to_json r =
          r.rep_results)
   in
   Printf.bprintf b
-    "\"runs\":%d,\"ok\":%d,\"divergences\":%d,\"client_violations\":%d,\"outages\":%d,"
+    "\"runs\":%d,\"ok\":%d,\"divergences\":%d,\"client_violations\":%d,\"outages\":%d,\"harness_errors\":%d,"
     (List.length r.rep_results)
     (count_of "ok") (count_of "divergence")
     (count_of "client-violation")
-    (count_of "outage");
+    (count_of "outage")
+    (count_of "harness-error");
   Buffer.add_string b "\"results\":";
   buf_list b buf_run_result r.rep_results;
   (match r.rep_minimal with

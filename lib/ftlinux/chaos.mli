@@ -77,10 +77,16 @@ type verdict =
           committed output — or the stream stalled with a replica alive *)
   | V_outage
       (** every replica was killed; truncated client streams are excused *)
+  | V_harness_error of string
+      (** the run raised instead of returning a verdict: the exception is
+          contained — it aborts neither the campaign nor, under a
+          multi-domain pool, the other workers — and surfaces here naming
+          the schedule's seed *)
 
 val verdict_failing : verdict -> bool
-(** Divergences and client violations fail a campaign; outages do not (the
-    fault model does not cover losing every replica). *)
+(** Divergences, client violations and harness errors fail a campaign;
+    outages do not (the fault model does not cover losing every
+    replica). *)
 
 val verdict_label : verdict -> string
 
@@ -110,6 +116,11 @@ type report = {
           runs the shrinker spent *)
 }
 
+val default_jobs : unit -> int
+(** The default campaign parallelism:
+    [max 1 (Domain.recommended_domain_count () - 1)] — every core but the
+    coordinator's. *)
+
 val run_campaign :
   root_seed:int ->
   count:int ->
@@ -120,12 +131,28 @@ val run_campaign :
   ?faults:int ->
   ?shrink_budget:int ->
   ?progress:(run_result -> unit) ->
+  ?jobs:int ->
   unit ->
   report
-(** Derive and run [count] schedules.  If any fails, the first failing
-    schedule is shrunk (default budget: 64 additional runs).  [faults]
-    switches derivation to {!derive_multi} with that fault budget per
-    schedule (re-protection campaigns). *)
+(** Derive and run [count] schedules.  If any fails, the failing schedule
+    with the lowest index is shrunk (default budget: 64 additional runs).
+    [faults] switches derivation to {!derive_multi} with that fault budget
+    per schedule (re-protection campaigns).
+
+    [jobs] (default {!default_jobs}; clamped to [count]) sizes a pool of
+    worker domains that schedule indices are fanned out across.  Each run
+    builds a fully isolated simulation, so the merged report is
+    {e byte-identical} to a sequential ([jobs = 1]) run of the same
+    campaign: results are reassembled in campaign order, and shrinking
+    always happens single-domain in the coordinator.  What does depend on
+    [jobs] is only real-time interleaving: [progress] fires in completion
+    order (from the coordinator's domain, never concurrently), and worker
+    stderr lines ({!Statsdump}, {!Trace}) are routed through the
+    coordinator's {!Sink} so they never tear.
+
+    A [run] that raises yields a failing {!V_harness_error} result for its
+    schedule — naming the seed — without aborting the pool or the
+    campaign loop; the remaining schedules still run. *)
 
 val failures : report -> run_result list
 

@@ -1,0 +1,24 @@
+(* Domain-local routing for out-of-band console lines.
+
+   Simulation code occasionally writes diagnostic lines to the host console
+   while a run is in flight: Statsdump snapshots, the Trace stderr sink.
+   With one engine per process that was a plain [Printf.eprintf]; with
+   campaigns fanned out across domains, direct writes from worker domains
+   interleave mid-line.  Every such write now goes through the calling
+   domain's sink: by default a whole-line stderr write, but a coordinator
+   (see [Chaos.run_campaign]) redirects its workers' sinks to a queue it
+   alone drains, so every line reaches the console from a single domain,
+   complete and in completion order.
+
+   The sink is domain-local state, not process-global: redirecting a worker
+   domain never touches the coordinator's own output path, and a freshly
+   spawned domain starts with the stderr default. *)
+
+let to_stderr line = Printf.eprintf "%s\n%!" line
+
+let key : (string -> unit) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> to_stderr)
+
+let line l = (Domain.DLS.get key) l
+let set f = Domain.DLS.set key f
+let reset () = Domain.DLS.set key to_stderr

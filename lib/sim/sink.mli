@@ -1,0 +1,23 @@
+(** Domain-local console-line sink.
+
+    All out-of-band diagnostic lines the simulator writes while a run is in
+    flight ({!Statsdump} snapshots, the {!Trace} stderr sink) go through the
+    calling domain's sink.  The default sink writes the line plus a newline
+    to stderr in one buffered write.  A multi-domain coordinator redirects
+    its worker domains' sinks to a message queue it alone drains, so console
+    output cannot tear across domains (see [Chaos.run_campaign]).
+
+    The sink is per-domain ([Domain.DLS]): setting it in one domain never
+    affects another, and a freshly spawned domain starts with the stderr
+    default. *)
+
+val line : string -> unit
+(** Emit one line (no trailing newline) through the calling domain's sink. *)
+
+val set : (string -> unit) -> unit
+(** Replace the calling domain's sink.  The function receives whole lines
+    without the trailing newline and must not itself write to a console
+    shared with other domains. *)
+
+val reset : unit -> unit
+(** Restore the calling domain's sink to the stderr default. *)

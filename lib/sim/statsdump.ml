@@ -49,12 +49,20 @@ let snapshot_line ?(prefixes = default_prefixes) ?label eng =
             hist_cells name (Metrics.Whist.cumulative w));
   Buffer.contents b
 
-let arm ?(out = stderr) ?prefixes ?label eng ~every =
+let arm ?out ?prefixes ?label eng ~every =
   if every <= 0 then invalid_arg "Statsdump.arm: interval must be positive";
+  (* Without an explicit [out], lines go through the domain-local [Sink]:
+     under a multi-domain campaign the coordinator drains them, so snapshot
+     lines from concurrent runs never tear. *)
+  let emit =
+    match out with
+    | Some oc -> fun l -> Printf.fprintf oc "%s\n%!" l
+    | None -> Sink.line
+  in
   let t = { handle = None; stopped = false } in
   let rec tick () =
     if not t.stopped then begin
-      Printf.fprintf out "%s\n%!" (snapshot_line ?prefixes ?label eng);
+      emit (snapshot_line ?prefixes ?label eng);
       t.handle <-
         Some (Engine.timer eng ~at:(Engine.now eng + every) (fun () -> tick ()))
     end

@@ -24,8 +24,11 @@ val arm :
   Engine.t ->
   every:Time.t ->
   t
-(** Start printing to [out] (default stderr) every [every] of sim time.
-    Raises [Invalid_argument] on a non-positive interval. *)
+(** Start printing one line every [every] of sim time.  With [out] the
+    line goes to that channel directly; without it, through the calling
+    domain's {!Sink} (stderr by default; a multi-domain campaign
+    coordinator redirects worker sinks so lines never tear across
+    domains).  Raises [Invalid_argument] on a non-positive interval. *)
 
 val stop : t -> unit
 (** Cancel the recurring timer.  Idempotent. *)

@@ -53,7 +53,9 @@ let emit lg lvl lvl_name eng msg =
     let stamp =
       match eng with Some e -> Time.to_string (Engine.now e) | None -> "-"
     in
-    Printf.eprintf "[%s %s %s] %s\n%!" stamp lvl_name lg.component msg
+    (* Through the domain-local sink: under a multi-domain campaign the
+       coordinator serializes these lines with everything else. *)
+    Sink.line (Printf.sprintf "[%s %s %s] %s" stamp lvl_name lg.component msg)
   end
 
 let logf lg lvl lvl_name ?eng fmt =

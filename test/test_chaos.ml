@@ -278,6 +278,149 @@ let test_campaign_report () =
   Alcotest.(check bool) "json records the minimal repro" true
     (contains "\"minimal_repro\"" json)
 
+(* {1 Domain-pool campaigns}
+
+   The determinism contract of the multicore runner: a campaign's merged
+   report is a pure function of (root_seed, count, ...) — the number of
+   worker domains must be unobservable in it.  Serialized reports and
+   verdict sequences are compared byte-for-byte across jobs widths. *)
+
+let verdict_sequence rep =
+  List.map
+    (fun rr -> Chaos.verdict_label rr.Chaos.rr_outcome.Chaos.verdict)
+    rep.Chaos.rep_results
+
+(* Cheap but schedule-sensitive stand-in for a real run: every outcome
+   field is derived from the schedule's contents, and schedules drawing
+   two or more injections "fail" so the shrink path is exercised too. *)
+let synthetic_run s =
+  let inj_sum =
+    List.fold_left (fun a i -> a + i.Chaos.inj_at) 0 s.Chaos.injections
+  in
+  let failing = List.length s.Chaos.injections >= 2 in
+  {
+    Chaos.verdict =
+      (if failing then
+         Chaos.V_divergence (Printf.sprintf "synthetic, seed %#x" s.Chaos.sched_seed)
+       else Chaos.V_ok);
+    o_failovers = List.length s.Chaos.injections;
+    o_completed = List.length s.Chaos.perturbations;
+    o_sections = inj_sum mod 1000;
+    o_end = inj_sum;
+    o_lag = Some "ok";
+  }
+
+let campaign_with ~jobs ~count run =
+  let progressed = ref [] in
+  let rep =
+    Chaos.run_campaign ~root_seed:4242 ~count ~replicas:2
+      ~horizon:(Time.sec 3) ~workload:"stub" ~run
+      ~progress:(fun rr ->
+        progressed := rr.Chaos.rr_schedule.Chaos.sched_index :: !progressed)
+      ~jobs ()
+  in
+  (rep, List.sort compare !progressed)
+
+let test_parallel_merge_byte_identical () =
+  let rep1, prog1 = campaign_with ~jobs:1 ~count:32 synthetic_run in
+  let rep4, prog4 = campaign_with ~jobs:4 ~count:32 synthetic_run in
+  Alcotest.(check (list string)) "verdict sequences equal"
+    (verdict_sequence rep1) (verdict_sequence rep4);
+  Alcotest.(check string) "serialized reports byte-identical"
+    (Chaos.report_to_json rep1)
+    (Chaos.report_to_json rep4);
+  (* Every index reported progress exactly once, whatever the completion
+     order was. *)
+  Alcotest.(check (list int)) "progress covered every schedule once"
+    (List.init 32 Fun.id) prog4;
+  Alcotest.(check (list int)) "sequential progress too" (List.init 32 Fun.id)
+    prog1
+
+let test_parallel_real_runs_byte_identical () =
+  (* Real simulations across domains: each worker builds its own engine,
+     PRNG, metrics registry and evlog, so nothing the report serializes may
+     depend on which domain ran which seed. *)
+  let run = Chaosrun.run ~workload:Chaosrun.Fileserver ~replicas:2 in
+  let campaign jobs =
+    Chaos.run_campaign ~root_seed:42 ~count:8 ~replicas:2
+      ~horizon:(Time.sec 3) ~workload:"fileserver" ~run ~jobs ()
+  in
+  let rep1 = campaign 1 and rep4 = campaign 4 in
+  Alcotest.(check string) "reports byte-identical across domain pools"
+    (Chaos.report_to_json rep1)
+    (Chaos.report_to_json rep4)
+
+let test_parallel_shrink_reproducible () =
+  (* A mutation-seeded divergence found by a worker domain must shrink to
+     the same minimal schedule as when the campaign runs sequentially:
+     shrinking is pinned to the coordinator's domain, probing the lowest
+     failing index with the same budget either way. *)
+  let run =
+    Chaosrun.run ~mutate:true ~workload:Chaosrun.Mongoose ~replicas:2
+  in
+  let campaign jobs =
+    Chaos.run_campaign ~root_seed:42 ~count:2 ~replicas:2 ~horizon:(Time.sec 3)
+      ~workload:"mongoose" ~run ~shrink_budget:6 ~jobs ()
+  in
+  let rep1 = campaign 1 and rep2 = campaign 2 in
+  (match (rep1.Chaos.rep_minimal, rep2.Chaos.rep_minimal) with
+  | Some (s1, o1, runs1), Some (s2, o2, runs2) ->
+      Alcotest.(check bool) "identical minimal schedule" true (s1 = s2);
+      Alcotest.(check string) "identical minimal verdict"
+        (Chaos.verdict_label o1.Chaos.verdict)
+        (Chaos.verdict_label o2.Chaos.verdict);
+      Alcotest.(check int) "identical probe count" runs1 runs2
+  | _ -> Alcotest.fail "mutation-seeded campaign did not produce a repro");
+  Alcotest.(check string) "whole reports byte-identical"
+    (Chaos.report_to_json rep1)
+    (Chaos.report_to_json rep2)
+
+let test_worker_crash_contained () =
+  (* A run that raises must surface as a failing harness-error result
+     naming the schedule's seed — and must not abort the pool: every other
+     schedule still runs and the campaign returns (no deadlocked
+     coordinator waiting on a lost result). *)
+  let crashing s =
+    if s.Chaos.sched_index = 3 then failwith "injected harness crash"
+    else synthetic_run s
+  in
+  let rep, prog = campaign_with ~jobs:4 ~count:8 crashing in
+  Alcotest.(check (list int)) "all eight schedules completed"
+    (List.init 8 Fun.id) prog;
+  let rr3 = List.nth rep.Chaos.rep_results 3 in
+  (match rr3.Chaos.rr_outcome.Chaos.verdict with
+  | Chaos.V_harness_error msg ->
+      let seed_str = Printf.sprintf "%#x" rr3.Chaos.rr_schedule.Chaos.sched_seed in
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i =
+          i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "error names the seed" true (contains seed_str msg);
+      Alcotest.(check bool) "error carries the exception" true
+        (contains "injected harness crash" msg)
+  | v ->
+      Alcotest.failf "expected harness-error for schedule 3, got %s"
+        (Chaos.verdict_label v));
+  Alcotest.(check bool) "harness errors fail the campaign" true
+    (Chaos.failures rep <> []);
+  Alcotest.(check bool) "json counts harness errors" true
+    (let json = Chaos.report_to_json rep in
+     let nl = String.length "\"harness_errors\":" and hl = String.length json in
+     let rec go i =
+       i + nl <= hl
+       && (String.sub json i nl = "\"harness_errors\":" || go (i + 1))
+     in
+     go 0);
+  (* The contained crash is itself deterministic: a sequential campaign
+     lands on the identical report. *)
+  let rep1, _ = campaign_with ~jobs:1 ~count:8 crashing in
+  Alcotest.(check string) "crashing campaign still merges deterministically"
+    (Chaos.report_to_json rep1)
+    (Chaos.report_to_json rep)
+
 (* {1 End-to-end: mutation test} *)
 
 (* The divergence checker must actually catch a replica that computes a
@@ -576,6 +719,17 @@ let () =
         ] );
       ( "campaign",
         [ Alcotest.test_case "report" `Quick test_campaign_report ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "byte-identical merge" `Quick
+            test_parallel_merge_byte_identical;
+          Alcotest.test_case "byte-identical real runs" `Slow
+            test_parallel_real_runs_byte_identical;
+          Alcotest.test_case "shrink reproducible across jobs" `Slow
+            test_parallel_shrink_reproducible;
+          Alcotest.test_case "worker crash contained" `Quick
+            test_worker_crash_contained;
+        ] );
       ( "end-to-end",
         [
           Alcotest.test_case "mutation flagged" `Quick test_mutation_flagged;

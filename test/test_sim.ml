@@ -1183,6 +1183,53 @@ let trace_of_cluster_run seed =
   C.shutdown cluster;
   Evlog.to_jsonl (Engine.evlog eng)
 
+(* {1 Output sink}
+
+   Console lines are domain-local: redirecting the sink captures what a
+   worker domain would print, and [reset] restores stderr without
+   affecting anything another domain set up. *)
+
+let test_sink_redirect () =
+  let captured = ref [] in
+  Sink.set (fun l -> captured := l :: !captured);
+  Fun.protect ~finally:Sink.reset (fun () ->
+      Sink.line "first";
+      Sink.line "second");
+  Alcotest.(check (list string)) "captured in order" [ "first"; "second" ]
+    (List.rev !captured);
+  let after_reset = ref [] in
+  Sink.set (fun l -> after_reset := l :: !after_reset);
+  Fun.protect ~finally:Sink.reset (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            (* A fresh domain starts on stderr, not on this domain's
+               redirect; its own redirect stays local to it. *)
+            let mine = ref [] in
+            Sink.set (fun l -> mine := l :: !mine);
+            Sink.line "worker";
+            List.rev !mine)
+      in
+      Alcotest.(check (list string)) "worker redirect is domain-local"
+        [ "worker" ] (Domain.join d);
+      Sink.line "coordinator");
+  Alcotest.(check (list string)) "coordinator sink unaffected by worker"
+    [ "coordinator" ] (List.rev !after_reset)
+
+let test_sink_statsdump_routing () =
+  let eng = Engine.create ~seed:3 () in
+  let captured = ref [] in
+  Sink.set (fun l -> captured := l :: !captured);
+  Fun.protect ~finally:Sink.reset (fun () ->
+      let (_ : Statsdump.t) =
+        Statsdump.arm eng ~every:(Time.ms 100) ~label:"sinktest"
+      in
+      Engine.run ~until:(Time.ms 250) eng);
+  Alcotest.(check bool) "periodic stats lines went to the sink" true
+    (List.length !captured >= 2
+    && List.for_all
+         (fun l -> String.length l > 0 && l.[0] = '[')
+         !captured)
+
 let test_trace_same_seed_identical () =
   Alcotest.(check string) "byte-identical JSONL"
     (trace_of_cluster_run 21) (trace_of_cluster_run 21)
@@ -1213,6 +1260,13 @@ let () =
           Alcotest.test_case "exception isolation" `Quick
             test_exception_does_not_poison_engine;
           QCheck_alcotest.to_alcotest prop_sleep_ordering;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "redirect is domain-local" `Quick
+            test_sink_redirect;
+          Alcotest.test_case "statsdump routes through sink" `Quick
+            test_sink_statsdump_routing;
         ] );
       ( "timer",
         [
