@@ -220,6 +220,8 @@ let direction key =
     || ends_with ".p50_ms" key || ends_with ".p90_ms" key
     || ends_with ".p99_ms" key || ends_with ".p999_ms" key
     || ends_with ".window_ms" key
+    || ends_with ".shed_rate" key
+    || ends_with ".accept_overflow" key
   then Some (`Lower_better, threshold)
   else if ends_with ".ops_per_sec" key || ends_with "_reduction_pct" key then
     Some (`Higher_better, threshold)

@@ -171,6 +171,68 @@ let stats_interval_t =
           "Print a one-line metric snapshot (lag, msglayer, replay, det \
            instruments) to stderr every $(docv) of simulated time.")
 
+(* {2 C10K serving-path knobs} *)
+
+let listen_shards_t =
+  Arg.(
+    value & opt int 1
+    & info [ "listen-shards" ] ~docv:"N"
+        ~doc:
+          "Accept-queue shards (SO_REUSEPORT-style listener group): \
+           incoming connections are SYN-hash-routed by 4-tuple to one of \
+           $(docv) per-shard accept queues, each drained by its own \
+           acceptor thread.  $(b,1) (default) is the classic single \
+           listener, byte-identical to the pre-sharding path.")
+
+let default_admission_limit = 64
+
+(* --admission off | on | <limit>: "on" picks the default in-flight budget,
+   an integer sets it explicitly. *)
+let admission_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok None
+    | "on" -> Ok (Some default_admission_limit)
+    | _ -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok (Some n)
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "expected off, on, or a positive in-flight limit, got %S"
+                    s)))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "off"
+    | Some n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
+let admission_t =
+  Arg.(
+    value
+    & opt admission_conv None
+    & info [ "admission" ] ~docv:"off|on|N"
+        ~doc:
+          (Printf.sprintf
+             "Admission control on the server's request path: at most \
+              $(docv) units of work in flight, the rest answered with an \
+              explicit load-shed response (HTTP 503 / BUSY).  $(b,on) uses \
+              the default budget of %d.  Decisions ride the replicated \
+              lock order, so primary and backup shed identically."
+             default_admission_limit))
+
+let arrival_rate_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "arrival-rate" ] ~docv:"R"
+        ~doc:
+          "Drive the client open-loop at $(docv) connection arrivals per \
+           second (clock-driven, decoupled from completions) instead of \
+           the closed-loop default — the C10K regime where a slow server \
+           faces undiminished offered load.")
+
 let arm_stats eng = function
   | None -> ()
   | Some ms -> ignore (Statsdump.arm eng ~every:(Time.ms ms))
@@ -375,9 +437,9 @@ let pbzip2_cmd =
 (* {1 mongoose} *)
 
 let mongoose_cmd =
-  let run seed replicated cpu_us concurrency seconds batch det_shard
-      replay_workers lagmon stats_interval metrics_json trace_out trace_detail
-      log_level log_filter =
+  let run seed replicated cpu_us concurrency seconds listen_shards admission
+      arrival_rate batch det_shard replay_workers lagmon stats_interval
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -387,6 +449,8 @@ let mongoose_cmd =
       {
         Mongoose.default_params with
         Mongoose.cpu_per_request = Time.us cpu_us;
+        listen_shards;
+        admission;
       }
     in
     let app api = Mongoose.run ~params api in
@@ -404,25 +468,51 @@ let mongoose_cmd =
       end
     in
     let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
-    let ab =
-      Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/page"
-        ~concurrency ()
-    in
-    Engine.run ~until:(Time.ms 400) eng;
-    let st = Loadgen.ab_stats ab in
-    let c0 = Metrics.Counter.value st.Loadgen.completed in
-    Engine.run ~until:(Time.ms 400 + Time.sec seconds) eng;
-    let c1 = Metrics.Counter.value st.Loadgen.completed in
-    Loadgen.ab_stop ab;
-    (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
-    dump_metrics eng metrics_json;
-    dump_trace eng trace_out;
-    Printf.printf
-      "%.0f req/s over %ds (concurrency %d, CPU loop %dus); p50 %.2fms p99 %.2fms\n"
-      (float_of_int (c1 - c0) /. float_of_int seconds)
-      seconds concurrency cpu_us
-      (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.5)
-      (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.99);
+    (match arrival_rate with
+    | None ->
+        let ab =
+          Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/page"
+            ~concurrency ()
+        in
+        Engine.run ~until:(Time.ms 400) eng;
+        let st = Loadgen.ab_stats ab in
+        let c0 = Metrics.Counter.value st.Loadgen.completed in
+        Engine.run ~until:(Time.ms 400 + Time.sec seconds) eng;
+        let c1 = Metrics.Counter.value st.Loadgen.completed in
+        Loadgen.ab_stop ab;
+        (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
+        dump_metrics eng metrics_json;
+        dump_trace eng trace_out;
+        Printf.printf
+          "%.0f req/s over %ds (concurrency %d, CPU loop %dus); p50 %.2fms \
+           p99 %.2fms\n"
+          (float_of_int (c1 - c0) /. float_of_int seconds)
+          seconds concurrency cpu_us
+          (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.5)
+          (1000. *. Metrics.Hist.quantile st.Loadgen.latency 0.99)
+    | Some rate ->
+        Engine.run ~until:(Time.ms 400) eng;
+        let conns = int_of_float (rate *. float_of_int seconds) in
+        let ol =
+          Loadgen.ol_start client ~server:"10.0.0.1" ~port:80 ~target:"/page"
+            ~rate ~conns ~poisson:true ~seed ()
+        in
+        Engine.run ~until:(Time.ms 400 + Time.sec (seconds + 30)) eng;
+        (match cluster_opt with Some c -> Cluster.shutdown c | None -> ());
+        dump_metrics eng metrics_json;
+        dump_trace eng trace_out;
+        let st = Loadgen.ol_stats ol in
+        let cum = Metrics.Whist.cumulative st.Loadgen.ol_latency_w in
+        Printf.printf
+          "open loop: %d arrivals at %.0f/s (peak %d concurrent): %d ok, %d \
+           shed, %d errors; p50 %.2fms p99 %.2fms p999 %.2fms\n"
+          (Loadgen.ol_launched ol) rate (Loadgen.ol_peak ol)
+          (Metrics.Counter.value st.Loadgen.ol_ok)
+          (Metrics.Counter.value st.Loadgen.ol_shed)
+          (Metrics.Counter.value st.Loadgen.ol_errors)
+          (Metrics.Hist.quantile cum 0.5)
+          (Metrics.Hist.quantile cum 0.99)
+          (Metrics.Hist.quantile cum 0.999));
     (match cluster_opt with
     | Some c -> print_health "lag" (Cluster.lagmon c)
     | None -> ())
@@ -445,9 +535,9 @@ let mongoose_cmd =
     (Cmd.info "mongoose" ~doc:"Web server under ApacheBench load (paper §4.2).")
     Term.(
       const run $ seed_t $ replicated_t $ cpu_us $ concurrency $ seconds
-      $ batch_t $ det_shard_t $ replay_workers_t $ lagmon_t $ stats_interval_t
-      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
-      $ log_filter_t)
+      $ listen_shards_t $ admission_t $ arrival_rate_t $ batch_t $ det_shard_t
+      $ replay_workers_t $ lagmon_t $ stats_interval_t $ metrics_json_t
+      $ trace_out_t $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 failover / fileserver / timeline}
 
@@ -457,8 +547,8 @@ let mongoose_cmd =
    breakdown back out of the event trace. *)
 
 let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard
-    ~replay_workers ~lagmon ~reprotect ~regen_delay_ms ~stats_interval ~detail
-    () =
+    ~replay_workers ~lagmon ~reprotect ~regen_delay_ms ~listen_shards
+    ~admission ~stats_interval ~detail () =
   let eng = Engine.create ~seed () in
   apply_detail eng detail;
   arm_stats eng stats_interval;
@@ -466,7 +556,12 @@ let run_transfer ~seed ~file_mb ~fail_at ~driver_ms ~batch ~det_shard
   let app api =
     Fileserver.run
       ~params:
-        { Fileserver.default_params with Fileserver.file_bytes = mib file_mb }
+        {
+          Fileserver.default_params with
+          Fileserver.file_bytes = mib file_mb;
+          listen_shards;
+          admission;
+        }
       api
   in
   let config =
@@ -519,13 +614,13 @@ let file_mb_t =
 
 let failover_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
-      lagmon reprotect regen_delay_ms stats_interval metrics_json trace_out
-      trace_detail log_level log_filter =
+      lagmon reprotect regen_delay_ms listen_shards admission stats_interval
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
         ~det_shard ~replay_workers ~lagmon ~reprotect ~regen_delay_ms
-        ~stats_interval ~detail:trace_detail ()
+        ~listen_shards ~admission ~stats_interval ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -549,18 +644,19 @@ let failover_cmd =
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
       $ det_shard_t $ replay_workers_t $ lagmon_t $ reprotect_t
-      $ regen_delay_t $ stats_interval_t $ metrics_json_t $ trace_out_t
-      $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ regen_delay_t $ listen_shards_t $ admission_t $ stats_interval_t
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 let fileserver_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
-      lagmon reprotect regen_delay_ms stats_interval metrics_json trace_out
-      trace_detail log_level log_filter =
+      lagmon reprotect regen_delay_ms listen_shards admission stats_interval
+      metrics_json trace_out trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng, cluster, w =
       run_transfer ~seed ~file_mb ~fail_at:fail_at_ms ~driver_ms ~batch
         ~det_shard ~replay_workers ~lagmon ~reprotect ~regen_delay_ms
-        ~stats_interval ~detail:trace_detail ()
+        ~listen_shards ~admission ~stats_interval ~detail:trace_detail ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -583,8 +679,9 @@ let fileserver_cmd =
     Term.(
       const run $ seed_t $ file_mb_t $ fail_at $ driver_ms_t $ batch_t
       $ det_shard_t $ replay_workers_t $ lagmon_t $ reprotect_t
-      $ regen_delay_t $ stats_interval_t $ metrics_json_t $ trace_out_t
-      $ trace_detail_t $ log_level_t $ log_filter_t)
+      $ regen_delay_t $ listen_shards_t $ admission_t $ stats_interval_t
+      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
+      $ log_filter_t)
 
 let timeline_cmd =
   let run seed file_mb fail_at_ms driver_ms batch det_shard replay_workers
@@ -593,7 +690,8 @@ let timeline_cmd =
     let eng, cluster, _w =
       run_transfer ~seed ~file_mb ~fail_at:(Some fail_at_ms) ~driver_ms ~batch
         ~det_shard ~replay_workers ~lagmon ~reprotect:false ~regen_delay_ms:100
-        ~stats_interval ~detail:trace_detail ()
+        ~listen_shards:1 ~admission:None ~stats_interval ~detail:trace_detail
+        ()
     in
     dump_trace eng trace_out;
     let evs = Evlog.events (Engine.evlog eng) in
@@ -676,16 +774,18 @@ let triple_cmd =
     let app (api : Api.t) =
       let l = api.Api.net.listen ~port:80 in
       let rec serve () =
-        let s = api.Api.net.accept l in
-        let rec echo () =
-          match api.Api.net.recv s ~max:4096 with
-          | Error _ -> api.Api.net.close s
-          | Ok cs ->
-              List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
-              echo ()
-        in
-        echo ();
-        serve ()
+        match api.Api.net.accept l with
+        | Error _ -> ()
+        | Ok s ->
+            let rec echo () =
+              match api.Api.net.recv s ~max:4096 with
+              | Error _ -> api.Api.net.close s
+              | Ok cs ->
+                  List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
+                  echo ()
+            in
+            echo ();
+            serve ()
       in
       serve ()
     in
@@ -760,9 +860,10 @@ let triple_cmd =
 (* {1 slo} *)
 
 let slo_cmd =
-  let run seed concurrency page_kb cpu_us warmup_ms fail_at_ms run_for_ms
-      driver_ms batch det_shard replay_workers lagmon reprotect regen_delay_ms
-      stats_interval metrics_json trace_out trace_detail log_level log_filter =
+  let run seed concurrency page_kb cpu_us listen_shards admission warmup_ms
+      fail_at_ms run_for_ms driver_ms batch det_shard replay_workers lagmon
+      reprotect regen_delay_ms stats_interval metrics_json trace_out
+      trace_detail log_level log_filter =
     setup_logging log_level log_filter;
     let eng = Engine.create ~seed () in
     apply_detail eng trace_detail;
@@ -781,8 +882,9 @@ let slo_cmd =
     in
     let r =
       Slo.run eng ~config ~concurrency ~page_bytes:(page_kb * 1024)
-        ~cpu_per_request:(Time.us cpu_us) ~warmup:(Time.ms warmup_ms)
-        ~fail_at:(Time.ms fail_at_ms) ~run_for:(Time.ms run_for_ms) ()
+        ~cpu_per_request:(Time.us cpu_us) ~listen_shards ?admission
+        ~warmup:(Time.ms warmup_ms) ~fail_at:(Time.ms fail_at_ms)
+        ~run_for:(Time.ms run_for_ms) ()
     in
     dump_metrics eng metrics_json;
     dump_trace eng trace_out;
@@ -835,11 +937,11 @@ let slo_cmd =
           bounds are the pinned failover.* trace spans, verified against \
           the cluster's own halt/go-live timestamps.")
     Term.(
-      const run $ seed_t $ concurrency $ page_kb $ cpu_us $ warmup $ fail_at
-      $ run_for $ driver_ms $ batch_t $ det_shard_t $ replay_workers_t
-      $ lagmon_t $ reprotect_t $ regen_delay_t $ stats_interval_t
-      $ metrics_json_t $ trace_out_t $ trace_detail_t $ log_level_t
-      $ log_filter_t)
+      const run $ seed_t $ concurrency $ page_kb $ cpu_us $ listen_shards_t
+      $ admission_t $ warmup $ fail_at $ run_for $ driver_ms $ batch_t
+      $ det_shard_t $ replay_workers_t $ lagmon_t $ reprotect_t
+      $ regen_delay_t $ stats_interval_t $ metrics_json_t $ trace_out_t
+      $ trace_detail_t $ log_level_t $ log_filter_t)
 
 (* {1 memdump} *)
 
@@ -886,8 +988,8 @@ let memdump_cmd =
 
 let chaos_cmd =
   let run root_seed seeds quick workload replicas horizon_ms jobs det_shard
-      replay_workers reprotect regen_delay_ms faults stats_interval
-      fail_on_stall report repro_trace log_level log_filter =
+      replay_workers reprotect regen_delay_ms listen_shards admission faults
+      stats_interval fail_on_stall report repro_trace log_level log_filter =
     setup_logging log_level log_filter;
     let stats_interval = Option.map Time.ms stats_interval in
     match Chaosrun.workload_of_string workload with
@@ -927,8 +1029,8 @@ let chaos_cmd =
             ~workload
             ~run:(fun s ->
               Chaosrun.run ?stats_interval ~det_shard ~replay_workers
-                ~reprotect ~regen_delay:(Time.ms regen_delay_ms) ~workload:w
-                ~replicas s)
+                ~reprotect ~regen_delay:(Time.ms regen_delay_ms)
+                ~listen_shards ?admission ~workload:w ~replicas s)
             ?faults ~progress ~jobs ()
         in
         (match report with
@@ -952,8 +1054,8 @@ let chaos_cmd =
                 (* Re-run the minimal schedule once to capture its trace. *)
                 ignore
                   (Chaosrun.run ~det_shard ~replay_workers ~reprotect
-                     ~regen_delay:(Time.ms regen_delay_ms) ~workload:w
-                     ~replicas
+                     ~regen_delay:(Time.ms regen_delay_ms) ~listen_shards
+                     ?admission ~workload:w ~replicas
                      ~on_trace:(fun ev ->
                        try
                          Evlog.write_file ev
@@ -1101,8 +1203,8 @@ let chaos_cmd =
     Term.(
       const run $ root_seed $ seeds $ quick $ workload $ replicas $ horizon_ms
       $ jobs $ det_shard_t $ replay_workers_t $ reprotect_t $ regen_delay_t
-      $ faults $ stats_interval_t $ fail_on_stall $ report $ repro_trace
-      $ log_level_t $ log_filter_t)
+      $ listen_shards_t $ admission_t $ faults $ stats_interval_t
+      $ fail_on_stall $ report $ repro_trace $ log_level_t $ log_filter_t)
 
 let () =
   let info =

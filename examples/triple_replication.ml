@@ -16,16 +16,18 @@ open Ftsim_ftlinux
 let echo_app (api : Api.t) =
   let l = api.Api.net.listen ~port:80 in
   let rec serve () =
-    let s = api.Api.net.accept l in
-    let rec echo () =
-      match api.Api.net.recv s ~max:4096 with
-      | Error _ -> api.Api.net.close s
-      | Ok cs ->
-          List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
-          echo ()
-    in
-    echo ();
-    serve ()
+    match api.Api.net.accept l with
+    | Error _ -> ()
+    | Ok s ->
+        let rec echo () =
+          match api.Api.net.recv s ~max:4096 with
+          | Error _ -> api.Api.net.close s
+          | Ok cs ->
+              List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
+              echo ()
+        in
+        echo ();
+        serve ()
   in
   serve ()
 

@@ -46,19 +46,29 @@ let client_ip = "10.0.0.9"
 (* Workload sizing: the active window should overlap the schedule's fault
    window, so the transfer is made long enough that mid-stream and
    mid-failover faults are common draws. *)
-let app_and_oracle workload =
+let app_and_oracle ?(listen_shards = 1) ?admission workload =
+  (* The oracle is one sequential connection, so any admission limit >= 1
+     admits it; [allow_shed] still arms the oracle for the exact-503 retry
+     path in case a shed does land (e.g. a limit shared with future load). *)
+  let allow_shed = admission <> None in
   match workload with
   | Fileserver ->
       let bytes = 32 * 1024 * 1024 in
       let app api =
         Fileserver.run
-          ~params:{ Fileserver.default_params with file_bytes = bytes }
+          ~params:
+            {
+              Fileserver.default_params with
+              file_bytes = bytes;
+              listen_shards;
+              admission;
+            }
           api
       in
       let oracle client =
         (* The file server closes the connection after one response. *)
         Loadgen.verified_start client ~server:server_ip ~port:80 ~target:"/f"
-          ~expect_bytes:bytes ~requests:1 ()
+          ~expect_bytes:bytes ~requests:1 ~allow_shed ()
       in
       (app, oracle)
   | Mongoose ->
@@ -70,12 +80,14 @@ let app_and_oracle workload =
               Mongoose.default_params with
               page_bytes = page;
               cpu_per_request = Time.ms 1;
+              listen_shards;
+              admission;
             }
           api
       in
       let oracle client =
         Loadgen.verified_start client ~server:server_ip ~port:80 ~target:"/"
-          ~expect_bytes:page ~requests:300 ()
+          ~expect_bytes:page ~requests:300 ~allow_shed ()
       in
       (app, oracle)
 
@@ -219,14 +231,14 @@ let arm_stats eng sched = function
 
 let run_two ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
     ?(replay_workers = 1) ?(reprotect = false) ?(regen_delay = Time.ms 50)
-    ~workload sched =
+    ?listen_shards ?admission ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
   arm_stats eng sched stats_interval;
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
       ~seed_split:(Engine.prng eng) ()
   in
-  let app, mk_oracle = app_and_oracle workload in
+  let app, mk_oracle = app_and_oracle ?listen_shards ?admission workload in
   let cluster =
     Cluster.create eng
       ~config:
@@ -274,14 +286,14 @@ let run_two ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
   outcome
 
 let run_three ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
-    ?(replay_workers = 1) ~workload sched =
+    ?(replay_workers = 1) ?listen_shards ?admission ~workload sched =
   let eng = Engine.create ~seed:sched.Chaos.sched_seed () in
   arm_stats eng sched stats_interval;
   let link =
     Link.create eng ~bandwidth_bps:1_000_000_000 ~latency:(Time.us 100)
       ~seed_split:(Engine.prng eng) ()
   in
-  let app, mk_oracle = app_and_oracle workload in
+  let app, mk_oracle = app_and_oracle ?listen_shards ?admission workload in
   let tri =
     Tricluster.create eng
       ~config:{ (fast_config small4) with Cluster.det_shard; replay_workers }
@@ -328,14 +340,15 @@ let run_three ?on_trace ?stats_interval ?(mutate = false) ?(det_shard = true)
   outcome
 
 let run ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
-    ?(reprotect = false) ?regen_delay ~workload ~replicas sched =
+    ?(reprotect = false) ?regen_delay ?listen_shards ?admission ~workload
+    ~replicas sched =
   match replicas with
   | 2 ->
       run_two ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
-        ~reprotect ?regen_delay ~workload sched
+        ~reprotect ?regen_delay ?listen_shards ?admission ~workload sched
   | 3 ->
       if reprotect then
         invalid_arg "Chaosrun.run: re-protection needs replicas = 2";
       run_three ?on_trace ?stats_interval ?mutate ?det_shard ?replay_workers
-        ~workload sched
+        ?listen_shards ?admission ~workload sched
   | n -> invalid_arg (Printf.sprintf "Chaosrun.run: %d replicas" n)

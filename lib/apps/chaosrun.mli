@@ -26,6 +26,8 @@ val run :
   ?replay_workers:int ->
   ?reprotect:bool ->
   ?regen_delay:Time.t ->
+  ?listen_shards:int ->
+  ?admission:int ->
   workload:workload ->
   replicas:int ->
   Chaos.schedule ->
@@ -49,6 +51,14 @@ val run :
     {!Cluster.failover_count} and {!Replica_set.all_halted}.  Pair with
     {!Chaos.derive_multi} schedules to exercise kill → regenerate cycles
     of arbitrary length.
+
+    [listen_shards] (default 1) runs the workload server on a
+    {!Ftsim_netstack.Tcp.listen_group} of that many accept-queue shards;
+    [admission] arms its {!Admission} controller with the given in-flight
+    budget and the oracle's [allow_shed] retry path.  The oracle is a
+    single sequential connection, so any admission limit admits it — the
+    knobs stress the replicated accept/shed machinery under chaos without
+    weakening the exactly-once check.
 
     Every run monitors replication health with a quiet {!Lagmon} (gauges
     and verdicts update, nothing reaches the Evlog — repro traces stay

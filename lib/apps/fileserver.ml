@@ -7,6 +7,10 @@ type params = {
   file_bytes : int;
   chunk_bytes : int;
   read_ns_per_byte : int;
+  listen_shards : int;
+  accept_backlog : int option;
+  overflow : Tcp.overflow;
+  admission : int option;
 }
 
 let default_params =
@@ -15,9 +19,17 @@ let default_params =
     file_bytes = 10 * 1024 * 1024 * 1024;
     chunk_bytes = 256 * 1024;
     read_ns_per_byte = 0;
+    listen_shards = 1;
+    accept_backlog = None;
+    overflow = `Drop;
+    admission = None;
   }
 
-let serve_one (api : Api.t) p ~on_bytes_sent sock =
+let shed_header =
+  Http.response_header ~status:503 ~reason:"Service Unavailable"
+    ~content_length:0 ()
+
+let serve_one (api : Api.t) p ~adm ~on_bytes_sent sock =
   let reader =
     Http.reader_fn (fun max ->
         match api.Api.net.recv sock ~max with Ok cs -> cs | Error _ -> [])
@@ -25,38 +37,94 @@ let serve_one (api : Api.t) p ~on_bytes_sent sock =
   match Http.read_headers reader with
   | None -> api.Api.net.close sock
   | Some _request ->
-      let send chunk =
-        match api.Api.net.send sock chunk with
-        | Ok () -> true
-        | Error _ -> false
+      let admitted =
+        match adm with None -> true | Some a -> Admission.try_admit a
       in
-      if
-        send
-          (Payload.of_string (Http.response_header ~content_length:p.file_bytes ()))
-      then begin
-        let sent = ref 0 in
-        let ok = ref true in
-        while !ok && !sent < p.file_bytes do
-          let n = min p.chunk_bytes (p.file_bytes - !sent) in
-          if p.read_ns_per_byte > 0 then
-            api.Api.thread.compute (Time.ns (n * p.read_ns_per_byte));
-          if send (Payload.zeroes n) then begin
-            sent := !sent + n;
-            on_bytes_sent n
-          end
-          else ok := false
-        done
-      end;
-      api.Api.net.close sock
+      if not admitted then begin
+        (* Transfers are whole-connection units of work here, so a shed is a
+           zero-body 503 and an orderly close. *)
+        ignore (api.Api.net.send sock (Payload.of_string shed_header));
+        api.Api.net.close sock
+      end
+      else
+        Fun.protect
+          ~finally:(fun () ->
+            match adm with Some a -> Admission.release a | None -> ())
+          (fun () ->
+            let send chunk =
+              match api.Api.net.send sock chunk with
+              | Ok () -> true
+              | Error _ -> false
+            in
+            if
+              send
+                (Payload.of_string
+                   (Http.response_header ~content_length:p.file_bytes ()))
+            then begin
+              let sent = ref 0 in
+              let ok = ref true in
+              while !ok && !sent < p.file_bytes do
+                let n = min p.chunk_bytes (p.file_bytes - !sent) in
+                if p.read_ns_per_byte > 0 then
+                  api.Api.thread.compute (Time.ns (n * p.read_ns_per_byte));
+                if send (Payload.zeroes n) then begin
+                  sent := !sent + n;
+                  on_bytes_sent n
+                end
+                else ok := false
+              done
+            end;
+            api.Api.net.close sock)
 
 let run ?(params = default_params) ?(on_bytes_sent = fun _ -> ()) (api : Api.t) =
-  let listener = api.Api.net.listen ~port:params.port in
-  let rec accept_loop i =
-    let sock = api.Api.net.accept listener in
-    ignore
-      (api.Api.thread.spawn
-         (Printf.sprintf "fileserver-conn-%d" i)
-         (fun () -> serve_one api params ~on_bytes_sent sock));
-    accept_loop (i + 1)
+  let p = params in
+  let adm =
+    Option.map
+      (fun limit -> Admission.create api ~name:"fileserver" ~limit ())
+      p.admission
   in
-  accept_loop 0
+  (* Per-shard connection counters keep spawned thread names deterministic
+     under replication: each acceptor thread numbers only its own
+     connections, so replayed interleavings of sibling acceptors cannot
+     reorder the names. *)
+  let accept_from ~name_of listener =
+    let rec loop i =
+      match api.Api.net.accept listener with
+      | Error _ -> ()
+      | Ok sock ->
+          ignore
+            (api.Api.thread.spawn (name_of i) (fun () ->
+                 serve_one api p ~adm ~on_bytes_sent sock));
+          loop (i + 1)
+    in
+    loop 0
+  in
+  if p.listen_shards <= 1 && p.accept_backlog = None then
+    (* pre-listener-group path, byte-identical: same listen call, same
+       accept sequence and thread names, all on the app-main thread *)
+    accept_from
+      ~name_of:(Printf.sprintf "fileserver-conn-%d")
+      (api.Api.net.listen ~port:p.port)
+  else begin
+    let listeners =
+      api.Api.net.listen_group ~port:p.port ~shards:(max 1 p.listen_shards)
+        ~backlog:p.accept_backlog ~overflow:p.overflow
+    in
+    match listeners with
+    | [] -> assert false
+    | l0 :: rest ->
+        let acceptors =
+          List.mapi
+            (fun i l ->
+              let shard = i + 1 in
+              api.Api.thread.spawn
+                (Printf.sprintf "fileserver-acceptor-%d" shard)
+                (fun () ->
+                  accept_from
+                    ~name_of:(Printf.sprintf "fileserver-conn-%d-%d" shard)
+                    l))
+            rest
+        in
+        accept_from ~name_of:(Printf.sprintf "fileserver-conn-0-%d") l0;
+        List.iter api.Api.thread.join acceptors
+  end

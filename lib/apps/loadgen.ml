@@ -85,6 +85,142 @@ let ab_stats t = t.stats
 
 let ab_stop t = t.stopped <- true
 
+(* {1 Open-loop generator}
+
+   The C10K client: arrivals come from a clock, not from completions, so a
+   slow server cannot slow the offered load down — exactly the regime where
+   accept-queue sharding and admission control matter.  Each arrival is its
+   own short-lived connection/thread; tens of thousands can be in flight. *)
+
+type ol_stats = {
+  ol_ok : Metrics.Counter.t;
+  ol_shed : Metrics.Counter.t;
+  ol_errors : Metrics.Counter.t;
+  ol_latency_w : Metrics.Whist.t;
+}
+
+type ol = {
+  ol_stats : ol_stats;
+  mutable ol_launched : int;
+  mutable ol_in_flight : int;
+  mutable ol_peak : int;
+  ol_done : unit Ivar.t;
+}
+
+let ol_peak t = t.ol_peak
+let ol_launched t = t.ol_launched
+
+(* One open-loop request, classified: a zero-body 503 is an explicit load
+   shed (the admission controller answering), anything else short of a
+   verified full-length 200 is an error.
+
+   The watchdog matters under fail-stop: a connection whose request was
+   fully ACKed by the old primary has nothing left to retransmit when the
+   host silently dies, so without a deadline its read would block forever.
+   The timer aborts the connection, the blocked read raises, and the
+   request classifies as an error like any other client-visible failure. *)
+let ol_one_request host ~server ~port ~target ~timeout =
+  let stack = Host.stack host in
+  match Tcp.connect stack ~host:server ~port with
+  | exception Tcp.Connection_closed -> `Error
+  | c ->
+      let eng = Engine.engine_of_proc (Engine.self ()) in
+      let watchdog =
+        Engine.timer eng ~at:(Engine.now eng + timeout) (fun () -> Tcp.abort c)
+      in
+      let result =
+        try
+          Tcp.send c (Payload.of_string (Http.request ~meth:"GET" ~target ()));
+          let reader =
+            Http.reader_fn (fun max ->
+                match Tcp.recv c ~max with
+                | cs -> cs
+                | exception Tcp.Connection_closed -> [])
+          in
+          match Http.read_headers reader with
+          | None -> `Error
+          | Some hdr -> (
+              match Http.status_code hdr with
+              | Some 503 -> `Shed
+              | Some 200 -> (
+                  match Http.content_length hdr with
+                  | None -> `Error
+                  | Some len ->
+                      if Http.skip_body reader len = len then `Ok else `Error)
+              | _ -> `Error)
+        with Tcp.Connection_closed -> `Error
+      in
+      Engine.cancel watchdog;
+      (try Tcp.close c with Tcp.Connection_closed -> ());
+      result
+
+let ol_start host ~server ~port ~target ~rate ~conns ?(poisson = false)
+    ?(seed = 1) ?(latency_window = Time.ms 100) ?(timeout = Time.sec 10)
+    ?on_complete () =
+  if rate <= 0.0 then invalid_arg "Loadgen.ol_start: rate must be positive";
+  if conns < 0 then invalid_arg "Loadgen.ol_start: conns must be >= 0";
+  let t =
+    {
+      ol_stats =
+        {
+          ol_ok = Metrics.Counter.create ();
+          ol_shed = Metrics.Counter.create ();
+          ol_errors = Metrics.Counter.create ();
+          ol_latency_w = Metrics.Whist.create ~width:latency_window ();
+        };
+      ol_launched = 0;
+      ol_in_flight = 0;
+      ol_peak = 0;
+      ol_done = Ivar.create ();
+    }
+  in
+  ignore
+    (Host.spawn host "ol-arrivals" (fun () ->
+         let eng = Engine.engine_of_proc (Engine.self ()) in
+         (* Own RNG stream: the arrival process depends only on [seed], not
+            on whatever else draws from the engine's generator. *)
+         let rng = Random.State.make [| seed; conns; int_of_float rate |] in
+         let mean_ns = 1e9 /. rate in
+         let finished = ref 0 in
+         for i = 1 to conns do
+           let gap_ns =
+             if poisson then
+               (* exponential inter-arrival; clamp u away from 0 *)
+               let u = max 1e-12 (Random.State.float rng 1.0) in
+               mean_ns *. -.log u
+             else mean_ns
+           in
+           Engine.sleep (Time.ns (max 1 (int_of_float gap_ns)));
+           t.ol_launched <- t.ol_launched + 1;
+           t.ol_in_flight <- t.ol_in_flight + 1;
+           if t.ol_in_flight > t.ol_peak then t.ol_peak <- t.ol_in_flight;
+           ignore
+             (Host.spawn host
+                (Printf.sprintf "ol-req-%d" i)
+                (fun () ->
+                  let t0 = Engine.now eng in
+                  (match ol_one_request host ~server ~port ~target ~timeout with
+                  | `Ok ->
+                      let now = Engine.now eng in
+                      let dt = now - t0 in
+                      Metrics.Counter.incr t.ol_stats.ol_ok;
+                      Metrics.Whist.record t.ol_stats.ol_latency_w ~at:now
+                        (Time.to_ms_f dt);
+                      (match on_complete with
+                      | Some f -> f ~at:now ~latency:dt
+                      | None -> ())
+                  | `Shed -> Metrics.Counter.incr t.ol_stats.ol_shed
+                  | `Error -> Metrics.Counter.incr t.ol_stats.ol_errors);
+                  t.ol_in_flight <- t.ol_in_flight - 1;
+                  incr finished;
+                  if !finished = conns then Ivar.fill t.ol_done ()))
+         done;
+         if conns = 0 then Ivar.fill t.ol_done ()));
+  t
+
+let ol_stats t = t.ol_stats
+let ol_done t = t.ol_done
+
 (* {1 Client-consistency oracle}
 
    A verifying client: it knows the exact byte stream the server must
@@ -102,13 +238,15 @@ type oracle = {
   mutable truncated : bool;  (** stream ended before all responses *)
   oracle_done : unit Ivar.t;  (** filled when the client exits *)
   mutable bytes_verified : int;
+  mutable o_shed : int;  (** explicit 503 sheds observed (and retried) *)
   o_latency : Metrics.Whist.t;  (* per verified response, ms, windowed *)
 }
 
 let oracle_ok o = o.violations = [] && not o.truncated
 
 let verified_start host ~server ~port ~target ~expect_bytes
-    ?(requests = 1) ?(latency_window = Time.ms 100) ?on_complete () =
+    ?(requests = 1) ?(allow_shed = false) ?(latency_window = Time.ms 100)
+    ?on_complete () =
   let o =
     {
       completed = 0;
@@ -117,6 +255,7 @@ let verified_start host ~server ~port ~target ~expect_bytes
       truncated = false;
       oracle_done = Ivar.create ();
       bytes_verified = 0;
+      o_shed = 0;
       o_latency = Metrics.Whist.create ~width:latency_window ();
     }
   in
@@ -137,6 +276,16 @@ let verified_start host ~server ~port ~target ~expect_bytes
            let h = Http.response_header ~content_length:expect_bytes () in
            String.sub h 0 (String.length h - 4)
          in
+         let expected_shed_hdr =
+           (* the admission controller's exact zero-body 503; under
+              [allow_shed] it is a clean retry event, not a violation —
+              the stream position stays exact either way *)
+           let h =
+             Http.response_header ~status:503 ~reason:"Service Unavailable"
+               ~content_length:0 ()
+           in
+           String.sub h 0 (String.length h - 4)
+         in
          let expected_body_hash =
            Payload.stream_hash 0 [ Payload.zeroes expect_bytes ]
          in
@@ -150,6 +299,10 @@ let verified_start host ~server ~port ~target ~expect_bytes
               | None ->
                   o.truncated <- true;
                   ok := false
+              | Some hdr when allow_shed && hdr = expected_shed_hdr ->
+                  (* Shed: same request number retried on the same
+                     connection; exactly-once accounting is untouched. *)
+                  o.o_shed <- o.o_shed + 1
               | Some hdr when hdr <> expected_hdr ->
                   violate "request %d: response header mismatch: %S" !r hdr;
                   ok := false

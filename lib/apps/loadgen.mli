@@ -46,6 +46,58 @@ val ab_stats : ab -> ab_stats
 val ab_stop : ab -> unit
 (** Workers finish their in-flight request and exit. *)
 
+(** {1 Open-loop generator}
+
+    The C10K client.  Arrivals are driven by a clock — fixed-rate or
+    Poisson — not by completions, so a slowing server faces undiminished
+    offered load and the concurrent-connection count grows until the
+    server sheds or catches up.  Each arrival is one connection, one GET,
+    one classified outcome. *)
+
+type ol_stats = {
+  ol_ok : Metrics.Counter.t;  (** verified 200s, full body received *)
+  ol_shed : Metrics.Counter.t;  (** explicit zero-body 503 load sheds *)
+  ol_errors : Metrics.Counter.t;
+      (** everything else: resets, truncations, malformed responses *)
+  ol_latency_w : Metrics.Whist.t;
+      (** per successful request, milliseconds, windowed on completion *)
+}
+
+type ol
+
+val ol_start :
+  Host.t ->
+  server:string ->
+  port:int ->
+  target:string ->
+  rate:float ->
+  conns:int ->
+  ?poisson:bool ->
+  ?seed:int ->
+  ?latency_window:Time.t ->
+  ?timeout:Time.t ->
+  ?on_complete:(at:Time.t -> latency:Time.t -> unit) ->
+  unit ->
+  ol
+(** Launch [conns] request connections at [rate] arrivals per second —
+    evenly spaced, or exponentially with [~poisson:true] drawn from a
+    dedicated RNG stream seeded by [seed] (default 1), so the arrival
+    pattern is a pure function of the parameters.  A request that has not
+    completed [timeout] (default 10 s) after its connection established is
+    aborted and counted as an error — necessary under fail-stop, where a
+    fully-ACKed request to a silently dead primary would otherwise block
+    its reader forever. *)
+
+val ol_stats : ol -> ol_stats
+
+val ol_peak : ol -> int
+(** High-water mark of concurrently open connections. *)
+
+val ol_launched : ol -> int
+
+val ol_done : ol -> unit Ivar.t
+(** Filled when every launched connection has completed. *)
+
 (** {1 Client-consistency oracle}
 
     A verifying client for the chaos campaigns: it computes the exact byte
@@ -66,6 +118,9 @@ type oracle = {
           by a total outage *)
   oracle_done : unit Ivar.t;
   mutable bytes_verified : int;
+  mutable o_shed : int;
+      (** explicit zero-body 503 sheds observed and retried (only under
+          [allow_shed]) *)
   o_latency : Metrics.Whist.t;
       (** per verified response, milliseconds, windowed on completion time *)
 }
@@ -80,10 +135,15 @@ val verified_start :
   target:string ->
   expect_bytes:int ->
   ?requests:int ->
+  ?allow_shed:bool ->
   ?latency_window:Time.t ->
   ?on_complete:(at:Time.t -> latency:Time.t -> unit) ->
   unit ->
   oracle
+(** [allow_shed] (default false): treat the admission controller's exact
+    zero-body 503 as a clean shed — the oracle retries the same request on
+    the same connection instead of flagging a violation, preserving the
+    exactly-once check for everything the server does commit to. *)
 
 (** {1 wget} *)
 

@@ -27,9 +27,26 @@ let apply_load layout ~multiplier =
 
 (* {1 Key-value server} *)
 
-type params = { port : int; worker_threads : int; lock_stripes : int }
+type params = {
+  port : int;
+  worker_threads : int;
+  lock_stripes : int;
+  listen_shards : int;
+  accept_backlog : int option;
+  overflow : Tcp.overflow;
+  admission : int option;
+}
 
-let default_params = { port = 11211; worker_threads = 8; lock_stripes = 1 }
+let default_params =
+  {
+    port = 11211;
+    worker_threads = 8;
+    lock_stripes = 1;
+    listen_shards = 1;
+    accept_backlog = None;
+    overflow = `Drop;
+    admission = None;
+  }
 
 let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
   let pt = api.Api.pt in
@@ -47,6 +64,11 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
   in
   let stripe key = Hashtbl.hash key mod stripes in
   let q : Api.sock Workqueue.t = Workqueue.create pt ~capacity:256 in
+  let adm =
+    Option.map
+      (fun limit -> Admission.create api ~name:"memcached" ~limit ())
+      params.admission
+  in
   let handle sock =
     (* Accumulate bytes; the protocol is small-string based, so
        materializing is fine. *)
@@ -140,6 +162,20 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
     loop ();
     api.Api.net.close sock
   in
+  let handle sock =
+    (* Connections are the unit of admitted work: a saturated cache answers
+       BUSY and closes rather than queueing the session. *)
+    match adm with
+    | None -> handle sock
+    | Some a ->
+        if Admission.try_admit a then
+          Fun.protect ~finally:(fun () -> Admission.release a) (fun () ->
+              handle sock)
+        else begin
+          ignore (api.Api.net.send sock (Payload.of_string "BUSY\r\n"));
+          api.Api.net.close sock
+        end
+  in
   let _workers =
     List.init params.worker_threads (fun w ->
         api.Api.thread.spawn
@@ -154,10 +190,36 @@ let server ?(params = default_params) ?(on_op = fun _ -> ()) (api : Api.t) =
             in
             loop ()))
   in
-  let listener = api.Api.net.listen ~port:params.port in
-  let rec accept_loop () =
-    let sock = api.Api.net.accept listener in
-    Workqueue.push pt q sock;
-    accept_loop ()
+  let accept_from listener =
+    let rec loop () =
+      match api.Api.net.accept listener with
+      | Error _ -> ()
+      | Ok sock ->
+          Workqueue.push pt q sock;
+          loop ()
+    in
+    loop ()
   in
-  accept_loop ()
+  if params.listen_shards <= 1 && params.accept_backlog = None then
+    (* pre-listener-group shape, byte-identical when the new knobs are off *)
+    accept_from (api.Api.net.listen ~port:params.port)
+  else begin
+    let listeners =
+      api.Api.net.listen_group ~port:params.port
+        ~shards:(max 1 params.listen_shards) ~backlog:params.accept_backlog
+        ~overflow:params.overflow
+    in
+    match listeners with
+    | [] -> assert false
+    | l0 :: rest ->
+        let acceptors =
+          List.mapi
+            (fun i l ->
+              api.Api.thread.spawn
+                (Printf.sprintf "memcached-acceptor-%d" (i + 1))
+                (fun () -> accept_from l))
+            rest
+        in
+        accept_from l0;
+        List.iter api.Api.thread.join acceptors
+  end

@@ -12,6 +12,7 @@
     {b Server} (for examples): a small text-protocol key-value cache
     runnable on the replicated API. *)
 
+open Ftsim_netstack
 open Ftsim_ftlinux
 
 (** {1 Memory model} *)
@@ -33,6 +34,15 @@ type params = {
       (** store-lock stripes (default 1 = one global store mutex); each
           stripe's mutex is its own replicated sync object, so the sharded
           det core streams distinct stripes on distinct channels *)
+  listen_shards : int;
+      (** accept-queue shards ({!Tcp.listen_group}); 1 = the classic
+          single listener on the app-main thread *)
+  accept_backlog : int option;  (** per-shard backlog bound; [None] = unbounded *)
+  overflow : Tcp.overflow;  (** SYN fate when a shard's backlog is full *)
+  admission : int option;
+      (** concurrent-connection budget ({!Admission}); saturated
+          connections get ["BUSY\r\n"] and a close; [None] = admission
+          off *)
 }
 
 val default_params : params

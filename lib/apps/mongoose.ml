@@ -9,6 +9,10 @@ type params = {
   cpu_per_request : Time.t;
   accept_cost : Time.t;
   queue_capacity : int;
+  listen_shards : int;
+  accept_backlog : int option;
+  overflow : Tcp.overflow;
+  admission : int option;
 }
 
 let default_params =
@@ -19,29 +23,55 @@ let default_params =
     cpu_per_request = 0;
     accept_cost = Time.us 250;
     queue_capacity = 512;
+    listen_shards = 1;
+    accept_backlog = None;
+    overflow = `Drop;
+    admission = None;
   }
 
-let handle_conn (api : Api.t) p ~on_request sock =
+let shed_header =
+  Http.response_header ~status:503 ~reason:"Service Unavailable"
+    ~content_length:0 ()
+
+let handle_conn (api : Api.t) p ~adm ~on_request sock =
   let reader =
     Http.reader_fn (fun max ->
         match api.Api.net.recv sock ~max with Ok cs -> cs | Error _ -> [])
   in
+  let release () = match adm with Some a -> Admission.release a | None -> () in
   let rec serve_requests () =
     match Http.read_headers reader with
     | None -> ()
-    | Some _request -> (
-        if p.cpu_per_request > 0 then api.Api.thread.compute p.cpu_per_request;
-        match
-          api.Api.net.send sock
-            (Payload.of_string (Http.response_header ~content_length:p.page_bytes ()))
-        with
-        | Error _ -> ()
-        | Ok () -> (
-            match api.Api.net.send sock (Payload.zeroes p.page_bytes) with
-            | Error _ -> ()
-            | Ok () ->
-                on_request ();
-                serve_requests ()))
+    | Some _request ->
+        let admitted =
+          match adm with None -> true | Some a -> Admission.try_admit a
+        in
+        let outcome =
+          if not admitted then
+            (* Load shed: a well-formed zero-body 503, so the client's
+               stream position stays exact and it can retry on the same
+               connection. *)
+            match api.Api.net.send sock (Payload.of_string shed_header) with
+            | Error _ -> `Stop
+            | Ok () -> `Continue
+          else
+            Fun.protect ~finally:release (fun () ->
+                if p.cpu_per_request > 0 then
+                  api.Api.thread.compute p.cpu_per_request;
+                match
+                  api.Api.net.send sock
+                    (Payload.of_string
+                       (Http.response_header ~content_length:p.page_bytes ()))
+                with
+                | Error _ -> `Stop
+                | Ok () -> (
+                    match api.Api.net.send sock (Payload.zeroes p.page_bytes) with
+                    | Error _ -> `Stop
+                    | Ok () ->
+                        on_request ();
+                        `Continue))
+        in
+        (match outcome with `Stop -> () | `Continue -> serve_requests ())
   in
   serve_requests ();
   api.Api.net.close sock
@@ -50,6 +80,11 @@ let run ?(params = default_params) ?(on_request = fun () -> ()) (api : Api.t) =
   let pt = api.Api.pt in
   let p = params in
   let q : Api.sock Workqueue.t = Workqueue.create pt ~capacity:p.queue_capacity in
+  let adm =
+    Option.map
+      (fun limit -> Admission.create api ~name:"mongoose" ~limit ())
+      p.admission
+  in
   let _workers =
     List.init p.workers (fun w ->
         api.Api.thread.spawn
@@ -59,16 +94,47 @@ let run ?(params = default_params) ?(on_request = fun () -> ()) (api : Api.t) =
               match Workqueue.pop pt q with
               | None -> ()
               | Some sock ->
-                  handle_conn api p ~on_request sock;
+                  handle_conn api p ~adm ~on_request sock;
                   loop ()
             in
             loop ()))
   in
-  let listener = api.Api.net.listen ~port:p.port in
-  let rec accept_loop () =
-    let sock = api.Api.net.accept listener in
-    if p.accept_cost > 0 then api.Api.thread.compute p.accept_cost;
-    Workqueue.push pt q sock;
-    accept_loop ()
+  let accept_from listener =
+    let rec loop () =
+      match api.Api.net.accept listener with
+      | Error _ -> ()
+      | Ok sock ->
+          if p.accept_cost > 0 then api.Api.thread.compute p.accept_cost;
+          Workqueue.push pt q sock;
+          loop ()
+    in
+    loop ()
   in
-  accept_loop ()
+  if p.listen_shards <= 1 && p.accept_backlog = None then
+    (* The pre-listener-group shape, kept exactly: one [listen] call and the
+       accept loop on the app-main thread, so shards=1 runs byte-identical
+       to the single-listener era. *)
+    accept_from (api.Api.net.listen ~port:p.port)
+  else begin
+    let listeners =
+      api.Api.net.listen_group ~port:p.port ~shards:(max 1 p.listen_shards)
+        ~backlog:p.accept_backlog ~overflow:p.overflow
+    in
+    match listeners with
+    | [] -> assert false
+    | l0 :: rest ->
+        (* One acceptor thread per extra shard; the app-main thread owns
+           shard 0.  Each shard's accepts land in its own acceptor's
+           per-thread syscall stream, which is what lets SYN-hash shard
+           assignment replicate without any new wire records. *)
+        let acceptors =
+          List.mapi
+            (fun i l ->
+              api.Api.thread.spawn
+                (Printf.sprintf "mongoose-acceptor-%d" (i + 1))
+                (fun () -> accept_from l))
+            rest
+        in
+        accept_from l0;
+        List.iter api.Api.thread.join acceptors
+  end

@@ -7,6 +7,7 @@
     computation) and answers with a static page. *)
 
 open Ftsim_sim
+open Ftsim_netstack
 open Ftsim_ftlinux
 
 type params = {
@@ -15,13 +16,22 @@ type params = {
   page_bytes : int;  (** response body size (paper: 10 KB) *)
   cpu_per_request : Time.t;  (** the artificial CPU loop *)
   accept_cost : Time.t;
-      (** kernel accept(2)/socket-setup path, serialized on the single
-          listening thread — what caps the unloaded request rate *)
+      (** kernel accept(2)/socket-setup path, serialized per acceptor
+          thread — what caps the unloaded request rate *)
   queue_capacity : int;
+  listen_shards : int;
+      (** accept-queue shards ({!Tcp.listen_group}); 1 = the classic
+          single listener on the app-main thread *)
+  accept_backlog : int option;  (** per-shard backlog bound; [None] = unbounded *)
+  overflow : Tcp.overflow;  (** SYN fate when a shard's backlog is full *)
+  admission : int option;
+      (** in-flight request budget ({!Admission}); saturated requests get
+          an HTTP 503; [None] = admission control off *)
 }
 
 val default_params : params
-(** Port 80, 32 workers, 10 KB page, no CPU loop, 250 µs accept path. *)
+(** Port 80, 32 workers, 10 KB page, no CPU loop, 250 µs accept path,
+    1 shard, unbounded backlog, admission off. *)
 
 val run : ?params:params -> ?on_request:(unit -> unit) -> Api.app
 (** Serve forever; [on_request] fires when a response has been fully

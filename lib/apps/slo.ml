@@ -54,8 +54,8 @@ let phase_of ~window ~at =
 
 let run eng ?(config = default_config) ?(concurrency = 16)
     ?(page_bytes = 10 * 1024) ?(cpu_per_request = Time.ms 1)
-    ?(warmup = Time.ms 200) ?(fail_at = Time.ms 600) ?(run_for = Time.ms 2400)
-    () =
+    ?(listen_shards = 1) ?admission ?(warmup = Time.ms 200)
+    ?(fail_at = Time.ms 600) ?(run_for = Time.ms 2400) () =
   if fail_at <= warmup then invalid_arg "Slo.run: fail_at must be after warmup";
   if run_for <= fail_at then invalid_arg "Slo.run: run_for must be after fail_at";
   let link =
@@ -65,7 +65,13 @@ let run eng ?(config = default_config) ?(concurrency = 16)
   let app api =
     Mongoose.run
       ~params:
-        { Mongoose.default_params with Mongoose.page_bytes; cpu_per_request }
+        {
+          Mongoose.default_params with
+          Mongoose.page_bytes;
+          cpu_per_request;
+          listen_shards;
+          admission;
+        }
       api
   in
   let cluster =

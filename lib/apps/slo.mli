@@ -41,6 +41,8 @@ val run :
   ?concurrency:int ->
   ?page_bytes:int ->
   ?cpu_per_request:Time.t ->
+  ?listen_shards:int ->
+  ?admission:int ->
   ?warmup:Time.t ->
   ?fail_at:Time.t ->
   ?run_for:Time.t ->
@@ -49,7 +51,9 @@ val run :
 (** Boot the cluster, warm up until [warmup] (default 200 ms), offer load
     with [concurrency] (default 16) workers, fail the primary at [fail_at]
     (default 600 ms), run until [run_for] (default 2.4 s), then classify.
-    Deterministic for a fixed engine seed. *)
+    [listen_shards] / [admission] configure the server's accept-queue
+    sharding and in-flight budget ({!Mongoose.params}).  Deterministic for
+    a fixed engine seed. *)
 
 val print_table : report -> unit
 (** The phase-split p50/p90/p99/p999 table, window bounds first. *)

@@ -4,7 +4,10 @@ open Ftsim_netstack
 type sock_impl = S_real of Tcp.conn | S_shadow of Shadow.conn
 type sock = { mutable si : sock_impl }
 
-type listener_impl = L_real of Tcp.listener | L_shadow of { sh_port : int }
+type listener_impl =
+  | L_real of Tcp.listener
+  | L_shadow of { sh_port : int; sh_shard : int }
+
 type listener = { mutable li : listener_impl }
 
 type thread = Engine.proc
@@ -20,7 +23,14 @@ let pp_err ppf e = Format.pp_print_string ppf (err_to_string e)
 
 type net = {
   listen : port:int -> listener;
-  accept : listener -> sock;
+  listen_group :
+    port:int ->
+    shards:int ->
+    backlog:int option ->
+    overflow:Tcp.overflow ->
+    listener list;
+  accept : listener -> (sock, err) result;
+  close_listener : listener -> unit;
   recv : sock -> max:int -> (Payload.chunk list, err) result;
   send : sock -> Payload.chunk -> (unit, err) result;
   close : sock -> unit;

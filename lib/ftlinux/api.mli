@@ -19,7 +19,12 @@ open Ftsim_netstack
 type sock_impl = S_real of Tcp.conn | S_shadow of Shadow.conn
 type sock = { mutable si : sock_impl }
 
-type listener_impl = L_real of Tcp.listener | L_shadow of { sh_port : int }
+type listener_impl =
+  | L_real of Tcp.listener
+  | L_shadow of { sh_port : int; sh_shard : int }
+      (** one shard of a listener group on the replaying secondary: no real
+          socket exists until go-live re-creates the group *)
+
 type listener = { mutable li : listener_impl }
 
 type thread = Engine.proc
@@ -39,7 +44,20 @@ val pp_err : Format.formatter -> err -> unit
     per-thread syscall stream so the secondary replays the same sequence. *)
 type net = {
   listen : port:int -> listener;
-  accept : listener -> sock;
+  listen_group :
+    port:int ->
+    shards:int ->
+    backlog:int option ->
+    overflow:Tcp.overflow ->
+    listener list;
+      (** SO_REUSEPORT-style group: one listener per shard, SYNs routed by
+          4-tuple hash ({!Tcp.shard_of_tuple}).  [listen ~port] is the
+          [shards = 1], unbounded-backlog special case. *)
+  accept : listener -> (sock, err) result;
+      (** Block for the next connection on this shard; [Error `Reset] when
+          the listener has been closed.  Replicated: the primary logs each
+          outcome into the accepting thread's syscall stream. *)
+  close_listener : listener -> unit;
   recv : sock -> max:int -> (Payload.chunk list, err) result;
   send : sock -> Payload.chunk -> (unit, err) result;
   close : sock -> unit;

@@ -485,11 +485,35 @@ and run_failover t =
              Tcp.bind_nic stack_s nic;
              let shadow = Namespace.shadow_of ns_s in
              let listeners =
-               List.map
-                 (fun port -> (port, Tcp.listen stack_s ~port))
-                 (Shadow.listener_ports shadow)
+               (* Re-create each listener group with the shard/backlog/
+                  overflow shape the replayed app registered, so accept
+                  routing and shed behaviour survive the failover. *)
+               List.concat_map
+                 (fun lc ->
+                   let shards =
+                     Tcp.listen_group stack_s ~port:lc.Shadow.lc_port
+                       ~shards:lc.Shadow.lc_shards ?backlog:lc.Shadow.lc_backlog
+                       ~overflow:lc.Shadow.lc_overflow ()
+                   in
+                   Array.to_list
+                     (Array.map
+                        (fun l ->
+                          ((lc.Shadow.lc_port, Tcp.listener_shard l), l))
+                        shards))
+                 (Shadow.listener_configs shadow)
              in
              let restored = Shadow.restore_all shadow stack_s in
+             (* Connections the application never accepted were sitting in
+                the dead primary's accept queue; hand them to the fresh
+                listeners (in establishment order) instead of orphaning
+                them.  Output commit guarantees no response to them was
+                ever released, so a fresh accept-and-serve is exactly-once
+                from the client's point of view. *)
+             List.iter
+               (fun (cid, rc) ->
+                 if not (Shadow.was_accepted shadow ~cid) then
+                   Tcp.requeue_restored stack_s rc)
+               (List.sort (fun (a, _) (b, _) -> compare a b) restored);
              Namespace.go_live ns_s ~stack:stack_s ~listeners
                ?promote:(promote_of restored) ();
              golive_done ()

@@ -17,8 +17,8 @@ type t = {
   mutable next_cid : int;
   (* primary: last D_ack_progress value emitted per cid (coalescing) *)
   acked_emitted : (int, int) Hashtbl.t;
-  (* secondary, after failover *)
-  restored_listeners : (int, Tcp.listener) Hashtbl.t;
+  (* secondary, after failover: (port, shard) -> re-created real listener *)
+  restored_listeners : (int * int, Tcp.listener) Hashtbl.t;
   mutable live : bool;
   mutable the_api : Api.t option;
   mutable output_commit : bool;
@@ -89,6 +89,21 @@ let direct_send c chunk =
   | () -> Ok ()
   | exception Tcp.Connection_closed -> Error `Reset
 
+let direct_accept rl =
+  match Tcp.accept rl with
+  | Some c -> Ok (real_sock c)
+  | None -> Error `Reset
+
+let real_listen_group s ~port ~shards ~backlog ~overflow =
+  Tcp.listen_group s ~port ~shards ?backlog ~overflow ()
+  |> Array.to_list
+  |> List.map real_listener
+
+let direct_close_listener l =
+  match l.Api.li with
+  | Api.L_real rl -> Tcp.close_listener rl
+  | Api.L_shadow _ -> assert false
+
 let direct_fs_read vfs fd ~max =
   match Vfs.read vfs fd ~max with
   | [] -> Error `Eof
@@ -114,11 +129,15 @@ let standalone_api t =
     net =
       {
         Api.listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
+        listen_group =
+          (fun ~port ~shards ~backlog ~overflow ->
+            real_listen_group (stack_exn t) ~port ~shards ~backlog ~overflow);
         accept =
           (fun l ->
             match l.Api.li with
-            | Api.L_real rl -> real_sock (Tcp.accept rl)
+            | Api.L_real rl -> direct_accept rl
             | Api.L_shadow _ -> assert false);
+        close_listener = direct_close_listener;
         recv =
           (fun s ~max ->
             match s.Api.si with
@@ -375,12 +394,20 @@ let logged_gettimeofday t det =
   v
 
 let logged_accept t det rl =
-  let c = Tcp.accept rl in
-  log_conn_syscall t det c (fun cid -> Wire.R_accept cid);
-  (match cid_opt t c with
-  | Some cid -> Det.fold_syscall det (h_accept cid)
-  | None -> ());
-  real_sock c
+  match Tcp.accept rl with
+  | Some c ->
+      log_conn_syscall t det c (fun cid -> Wire.R_accept cid);
+      (match cid_opt t c with
+      | Some cid -> Det.fold_syscall det (h_accept cid)
+      | None -> ());
+      Ok (real_sock c)
+  | None ->
+      (* Closed listener: the typed refusal is itself a logged syscall
+         result (cid -1), so the replica's acceptor observes the same close
+         at the same point in its per-thread stream. *)
+      ignore (Det.log_syscall det (Wire.R_accept (-1)));
+      Det.fold_syscall det (h_accept (-1));
+      Error `Reset
 
 let logged_recv t det c ~max =
   match Tcp.recv c ~max with
@@ -464,11 +491,15 @@ let primary_api t =
     net =
       {
         Api.listen = (fun ~port -> real_listener (Tcp.listen (stack_exn t) ~port));
+        listen_group =
+          (fun ~port ~shards ~backlog ~overflow ->
+            real_listen_group (stack_exn t) ~port ~shards ~backlog ~overflow);
         accept =
           (fun l ->
             match l.Api.li with
             | Api.L_real rl -> logged_accept t det rl
             | Api.L_shadow _ -> assert false);
+        close_listener = direct_close_listener;
         recv =
           (fun s ~max ->
             match s.Api.si with
@@ -541,6 +572,27 @@ let live_conn_of_shadow t s sc =
       ignore t;
       None
 
+(* After go-live: resolve a shadow listener shard to a real one.  The
+   failover orchestrator normally restored the whole group (keyed
+   (port, shard) in [restored_listeners]); if the app listened at a point
+   replay never reached, create a fresh group matching the shadow's
+   registered shape and remember every shard, so sibling acceptor threads
+   resolve to the same group instead of racing to re-listen the port. *)
+let live_listener t sh ~port ~shard =
+  match Hashtbl.find_opt t.restored_listeners (port, shard) with
+  | Some rl -> rl
+  | None ->
+      let shards, backlog, overflow =
+        match Shadow.listener_config sh ~port with
+        | Some lc -> (lc.Shadow.lc_shards, lc.Shadow.lc_backlog, lc.Shadow.lc_overflow)
+        | None -> (max 1 (shard + 1), None, `Drop)
+      in
+      let ls = Tcp.listen_group (stack_exn t) ~port ~shards ?backlog ~overflow () in
+      Array.iteri
+        (fun i l -> Hashtbl.replace t.restored_listeners (port, i) l)
+        ls;
+      ls.(shard)
+
 let secondary_api t =
   let det = det_exn t in
   let sh = shadow_exn t in
@@ -573,36 +625,57 @@ let secondary_api t =
       {
         Api.listen =
           (fun ~port ->
-            if t.live then
-              match Hashtbl.find_opt t.restored_listeners port with
-              | Some rl -> real_listener rl
-              | None -> real_listener (Tcp.listen (stack_exn t) ~port)
+            if t.live then real_listener (live_listener t sh ~port ~shard:0)
             else begin
-              Shadow.register_listener sh ~port;
-              { Api.li = Api.L_shadow { sh_port = port } }
+              Shadow.register_listener sh ~port ~shards:1 ~backlog:None
+                ~overflow:`Drop;
+              { Api.li = Api.L_shadow { sh_port = port; sh_shard = 0 } }
+            end);
+        listen_group =
+          (fun ~port ~shards ~backlog ~overflow ->
+            if t.live then begin
+              match Hashtbl.find_opt t.restored_listeners (port, 0) with
+              | Some _ ->
+                  List.init shards (fun i ->
+                      real_listener (live_listener t sh ~port ~shard:i))
+              | None ->
+                  real_listen_group (stack_exn t) ~port ~shards ~backlog
+                    ~overflow
+            end
+            else begin
+              Shadow.register_listener sh ~port ~shards ~backlog ~overflow;
+              List.init shards (fun i ->
+                  { Api.li = Api.L_shadow { sh_port = port; sh_shard = i } })
             end);
         accept =
           (fun l ->
             match l.Api.li with
             | Api.L_real rl ->
                 if recording () then logged_accept t det rl
-                else real_sock (Tcp.accept rl)
-            | Api.L_shadow { sh_port } -> (
+                else direct_accept rl
+            | Api.L_shadow { sh_port; sh_shard } -> (
                 match Det.next_syscall det with
                 | Det.Replayed (Wire.R_accept cid) ->
                     Det.fold_syscall det (h_accept cid);
-                    { Api.si = Api.S_shadow (Shadow.claim_accept sh ~cid) }
+                    if cid < 0 then Error `Reset
+                    else Ok { Api.si = Api.S_shadow (Shadow.claim_accept sh ~cid) }
                 | Det.Replayed _ -> diverge t "expected accept result"
                 | Det.Went_live ->
-                    let rl =
-                      match Hashtbl.find_opt t.restored_listeners sh_port with
-                      | Some rl ->
-                          l.Api.li <- Api.L_real rl;
-                          rl
-                      | None -> Tcp.listen (stack_exn t) ~port:sh_port
-                    in
+                    let rl = live_listener t sh ~port:sh_port ~shard:sh_shard in
+                    l.Api.li <- Api.L_real rl;
                     if recording () then logged_accept t det rl
-                    else real_sock (Tcp.accept rl)));
+                    else direct_accept rl));
+        close_listener =
+          (fun l ->
+            match l.Api.li with
+            | Api.L_real rl -> Tcp.close_listener rl
+            | Api.L_shadow { sh_port; _ } ->
+                if t.live then begin
+                  match Hashtbl.find_opt t.restored_listeners (sh_port, 0) with
+                  | Some rl -> Tcp.close_listener rl
+                  | None -> Shadow.close_listener sh ~port:sh_port
+                end
+                else Shadow.close_listener sh ~port:sh_port);
         recv =
           (fun s ~max ->
             match s.Api.si with
@@ -838,7 +911,9 @@ let go_live t ?stack ?(listeners = []) ?promote () =
     (Kernel.name t.kernel)
     (if promote = None then "" else " (promoted)");
   (match stack with Some s -> t.stack <- Some s | None -> ());
-  List.iter (fun (port, l) -> Hashtbl.replace t.restored_listeners port l) listeners;
+  List.iter
+    (fun (key, l) -> Hashtbl.replace t.restored_listeners key l)
+    listeners;
   t.live <- true;
   (* The pthread hooks stay installed: a thread may be inside a
      deterministic section right now, and its det_end must still run.  In

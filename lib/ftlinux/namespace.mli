@@ -71,12 +71,15 @@ type promotion = {
 val go_live :
   t ->
   ?stack:Tcp.stack ->
-  ?listeners:(int * Tcp.listener) list ->
+  ?listeners:((int * int) * Tcp.listener) list ->
   ?promote:promotion ->
   unit ->
   unit
 (** Secondary, at failover: open every replay gate and switch socket
     operations to the restored stack (when there is a network).
+    [listeners] maps [(port, shard)] to the re-created real listener — one
+    entry per shard of each re-created listener group (see
+    {!Shadow.listener_configs}).
 
     With [promote], the survivor additionally becomes the next epoch's
     {e recording primary} (live re-protection): syscall results, TCP

@@ -10,12 +10,24 @@ type conn = {
   mutable app_closed : bool;
   mutable fully_closed : bool;  (* close replayed and peer FIN logged *)
   mutable out_seq : int;  (* mirror of the primary's snd_nxt *)
+  mutable claimed : bool;
+      (* an R_accept for this cid was replayed: the app owns the connection.
+         Still false at failover = the connection was established (and
+         logged) but sat in the accept queue when the primary died; go-live
+         must hand it back to a listener, not orphan it. *)
   mutable restored_conn : Tcp.conn option;
+}
+
+type listener_config = {
+  lc_port : int;
+  lc_shards : int;
+  lc_backlog : int option;
+  lc_overflow : Tcp.overflow;
 }
 
 type t = {
   conns : (int, conn) Hashtbl.t;
-  mutable listeners : int list;
+  mutable listeners : listener_config list;
 }
 
 let create () = { conns = Hashtbl.create 64; listeners = [] }
@@ -40,6 +52,7 @@ let apply_delta t = function
           app_closed = false;
           fully_closed = false;
           out_seq = 0;
+          claimed = false;
           restored_conn = None;
         }
   | Wire.D_in_data { cid; data } ->
@@ -55,7 +68,13 @@ let apply_delta t = function
       let c = conn_exn t cid in
       c.peer_fin <- true
 
-let claim_accept t ~cid = conn_exn t cid
+let claim_accept t ~cid =
+  let c = conn_exn t cid in
+  c.claimed <- true;
+  c
+
+let was_accepted t ~cid =
+  match find t ~cid with Some c -> c.claimed | None -> true
 
 let read_bytes c n = Payload.Buf.take c.instream n
 
@@ -63,8 +82,17 @@ let write_bytes c chunk = Payload.Buf.append c.out_pending chunk
 
 let mark_app_closed c = c.app_closed <- true
 
-let register_listener t ~port =
-  if not (List.mem port t.listeners) then t.listeners <- port :: t.listeners
+let register_listener t ~port ~shards ~backlog ~overflow =
+  if not (List.exists (fun lc -> lc.lc_port = port) t.listeners) then
+    t.listeners <-
+      { lc_port = port; lc_shards = shards; lc_backlog = backlog; lc_overflow = overflow }
+      :: t.listeners
+
+let close_listener t ~port =
+  t.listeners <- List.filter (fun lc -> lc.lc_port <> port) t.listeners
+
+let listener_config t ~port =
+  List.find_opt (fun lc -> lc.lc_port = port) t.listeners
 
 let cid c = c.cid
 let out_seq c = c.out_seq
@@ -79,7 +107,7 @@ let is_live c =
 let live_conns t =
   Hashtbl.fold (fun _ c acc -> if is_live c then c :: acc else acc) t.conns []
 
-let listener_ports t = t.listeners
+let listener_configs t = t.listeners
 
 let restore_all t stack =
   let restored =

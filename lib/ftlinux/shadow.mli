@@ -23,7 +23,16 @@ val apply_delta : t -> Wire.tcp_delta -> unit
 (** {1 Replayed socket operations} *)
 
 val claim_accept : t -> cid:int -> conn
-(** Bind the replayed [accept] that logged [cid] to its shadow connection. *)
+(** Bind the replayed [accept] that logged [cid] to its shadow connection,
+    marking it application-owned. *)
+
+val was_accepted : t -> cid:int -> bool
+(** Whether an [R_accept] for [cid] was replayed.  [false] at failover
+    means the connection was established — so it has a shadow and a logged
+    input stream — but still sat in the primary's accept queue when it
+    died; the orchestrator must requeue its restored counterpart onto a
+    listener ({!Tcp.requeue_restored}) instead of orphaning it.  Unknown
+    cids report [true] (nothing to requeue). *)
 
 val read_bytes : conn -> int -> Payload.chunk list
 (** Consume [n] logged input bytes (the replayed read's result). *)
@@ -33,8 +42,24 @@ val write_bytes : conn -> Payload.chunk -> unit
 
 val mark_app_closed : conn -> unit
 
-val register_listener : t -> port:int -> unit
-(** A replayed [listen]: remember the port for re-listening at failover. *)
+type listener_config = {
+  lc_port : int;
+  lc_shards : int;
+  lc_backlog : int option;
+  lc_overflow : Tcp.overflow;
+}
+
+val register_listener :
+  t -> port:int -> shards:int -> backlog:int option -> overflow:Tcp.overflow -> unit
+(** A replayed [listen]/[listen_group]: remember the port and its group
+    shape, so the failover orchestrator re-creates an identically
+    configured listener group. *)
+
+val close_listener : t -> port:int -> unit
+(** A replayed [close_listener]: the port must not be re-opened at
+    failover. *)
+
+val listener_config : t -> port:int -> listener_config option
 
 (** {1 Introspection} *)
 
@@ -50,13 +75,13 @@ val out_seq : conn -> int
 (** Mirror of the primary's [snd_nxt] (sum of forwarded segment sizes). *)
 
 val live_conns : t -> conn list
-val listener_ports : t -> int list
+val listener_configs : t -> listener_config list
 
 (** {1 Failover} *)
 
 val restore_all : t -> Tcp.stack -> (int * Tcp.conn) list
 (** Recreate every live connection on the given stack; returns
-    [(cid, conn)] pairs.  (Re-listening on {!listener_ports} is the
+    [(cid, conn)] pairs.  (Re-listening on {!listener_configs} is the
     failover orchestrator's job, which also keeps the handles.)  After this
     call {!restored} is set on each shadow connection. *)
 

@@ -168,11 +168,29 @@ let run_backup_failover t ~me =
                Tcp.bind_nic stack nic;
                let shadow = Namespace.shadow_of t.ns_bs.(me) in
                let listeners =
-                 List.map
-                   (fun port -> (port, Tcp.listen stack ~port))
-                   (Shadow.listener_ports shadow)
+                 List.concat_map
+                   (fun lc ->
+                     let shards =
+                       Tcp.listen_group stack ~port:lc.Shadow.lc_port
+                         ~shards:lc.Shadow.lc_shards
+                         ?backlog:lc.Shadow.lc_backlog
+                         ~overflow:lc.Shadow.lc_overflow ()
+                     in
+                     Array.to_list
+                       (Array.map
+                          (fun l ->
+                            ((lc.Shadow.lc_port, Tcp.listener_shard l), l))
+                          shards))
+                   (Shadow.listener_configs shadow)
                in
-               ignore (Shadow.restore_all shadow stack);
+               let restored = Shadow.restore_all shadow stack in
+               (* Never-accepted connections go back to a listener rather
+                  than being orphaned (see Cluster's go-live path). *)
+               List.iter
+                 (fun (cid, rc) ->
+                   if not (Shadow.was_accepted shadow ~cid) then
+                     Tcp.requeue_restored stack rc)
+                 (List.sort (fun (a, _) (b, _) -> compare a b) restored);
                Namespace.go_live t.ns_bs.(me) ~stack ~listeners ()
            | None -> Namespace.go_live t.ns_bs.(me) ());
            Trace.warnf log ~eng:t.eng "backup %d is live" me;

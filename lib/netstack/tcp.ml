@@ -23,6 +23,8 @@ let default_config =
 
 exception Connection_closed
 
+type overflow = [ `Drop | `Reset ]
+
 type conn = {
   stack : stack;
   id : int;
@@ -54,7 +56,27 @@ type conn = {
   mutable tw_timer : Engine.handle option;
 }
 
-and listener = { lport : int; accept_q : conn Bqueue.t }
+and listener = {
+  lport : int;
+  shard : int;
+  accept_q : conn option Bqueue.t;
+      (* [None] is the close sentinel: every accept that drains it re-posts
+         it, so all acceptors blocked on the shard observe the close. *)
+  mutable l_pending : int;
+      (* half-open connections routed to this shard (SYN-ACK sent, handshake
+         ACK not yet seen); counted against the backlog together with the
+         accept queue *)
+  group : group;
+}
+
+and group = {
+  g_stack : stack;
+  g_port : int;
+  mutable g_shards : listener array;  (* patched right after creation *)
+  g_backlog : int option;  (* per-shard; [None] = unbounded *)
+  g_overflow : overflow;
+  mutable g_closed : bool;
+}
 
 and hooks = {
   on_accept : conn -> unit;
@@ -71,7 +93,7 @@ and stack = {
   s_ip : string;
   mutable nic : Nic.t option;
   conns : (string * int * int, conn) Hashtbl.t;  (* remote host, remote port, local port *)
-  listeners : (int, listener) Hashtbl.t;
+  listeners : (int, group) Hashtbl.t;
   mutable hooks : hooks option;
   mutable next_ephemeral : int;
   mutable next_conn_id : int;
@@ -80,6 +102,8 @@ and stack = {
   m_segs_out : Metrics.Counter.t;
   m_bytes_in : Metrics.Counter.t;
   m_bytes_out : Metrics.Counter.t;
+  m_ovf_drop : Metrics.Counter.t;
+  m_ovf_rst : Metrics.Counter.t;
 }
 
 let log = Trace.make "net.tcp"
@@ -102,6 +126,29 @@ let segs_in s = Metrics.Counter.value s.m_segs_in
 let segs_out s = Metrics.Counter.value s.m_segs_out
 let bytes_in s = Metrics.Counter.value s.m_bytes_in
 let bytes_out s = Metrics.Counter.value s.m_bytes_out
+let accept_overflow_drop s = Metrics.Counter.value s.m_ovf_drop
+let accept_overflow_rst s = Metrics.Counter.value s.m_ovf_rst
+let listener_port l = l.lport
+let listener_shard l = l.shard
+
+(* SYN routing: a pure hash of the 4-tuple's variable half (the local IP is
+   fixed per stack), finalized with an avalanche mix so consecutive
+   ephemeral ports from one client spread across shards.  Stability of this
+   function across calls and replicas is what lets accept-shard assignment
+   replicate for free: each acceptor thread owns one shard, so its accepts
+   land in its own per-thread syscall FIFO on the primary and replay there
+   on the backup. *)
+let shard_of_tuple ~(remote : Packet.addr) ~port ~shards =
+  if shards <= 1 then 0
+  else begin
+    let h = Hashtbl.hash (remote.Packet.host, remote.Packet.port, port) in
+    let h = h lxor (h lsr 16) in
+    let h = h * 0x7feb352d land 0x3fffffff in
+    let h = h lxor (h lsr 15) in
+    let h = h * 0x846ca68b land 0x3fffffff in
+    let h = h lxor (h lsr 13) in
+    h mod shards
+  end
 
 let conn_key c = (c.remote.Packet.host, c.remote.Packet.port, c.local.Packet.port)
 
@@ -409,6 +456,65 @@ let establish c =
     wake_all c.send_wake
   end
 
+let abort c =
+  if not c.aborted then begin
+    c.aborted <- true;
+    cancel_rto c;
+    cancel_syn c;
+    (match c.tw_timer with
+    | Some h ->
+        Engine.cancel h;
+        c.tw_timer <- None
+    | None -> ());
+    Hashtbl.remove c.stack.conns (conn_key c);
+    wake_all c.readable;
+    wake_all c.writable;
+    wake_all c.send_wake
+  end
+
+(* An incoming RST tears the connection down locally.  A connect blocked on
+   the handshake is woken through the established ivar and observes
+   [aborted]; readers see end-of-stream. *)
+let handle_rst c =
+  let s = c.stack in
+  Trace.debugf log ~eng:s.env.Netenv.eng "conn %d reset by peer" c.id;
+  Evlog.emit (Engine.evlog s.env.Netenv.eng) ~comp:"net.tcp" "reset"
+    ~args:[ ("conn", Evlog.Int c.id) ];
+  abort c;
+  ignore (Ivar.try_fill c.established_iv ())
+
+(* Backlog overflow at SYN time: the routed shard is full, so the SYN never
+   becomes a connection.  [`Drop] models Linux's silent SYN drop (the
+   client's SYN retransmission retries later); [`Reset] refuses loudly.
+   Either way the handshake never completes, so the replication layer never
+   sees the connection — overflow decisions need no sync tuples. *)
+let overflow_syn s g (pkt : Packet.t) =
+  let eng = s.env.Netenv.eng in
+  (match g.g_overflow with
+  | `Drop -> Metrics.Counter.incr s.m_ovf_drop
+  | `Reset ->
+      Metrics.Counter.incr s.m_ovf_rst;
+      transmit s
+        {
+          Packet.src = pkt.Packet.dst;
+          dst = pkt.Packet.src;
+          seq = 0;
+          ack_seq = pkt.Packet.seq + 1;
+          window = 0;
+          flags = Packet.flag ~ack:true ~rst:true ();
+          payload = [];
+        });
+  Evlog.emit (Engine.evlog eng) ~comp:"net.tcp" "accept.overflow"
+    ~args:
+      [
+        ("port", Evlog.Int g.g_port);
+        ("mode", Evlog.Str (match g.g_overflow with `Drop -> "drop" | `Reset -> "rst"));
+      ]
+
+let route_shard g ~(remote : Packet.addr) =
+  let shards = Array.length g.g_shards in
+  g.g_shards.(shard_of_tuple ~remote ~port:g.g_port ~shards)
+
 let handle_packet s (pkt : Packet.t) =
   Metrics.Counter.incr s.m_segs_in;
   Metrics.Counter.add s.m_bytes_in (Packet.wire_size pkt);
@@ -416,6 +522,7 @@ let handle_packet s (pkt : Packet.t) =
   match Hashtbl.find_opt s.conns key with
   | Some c ->
       if c.aborted then ()
+      else if pkt.Packet.flags.Packet.rst then handle_rst c
       else if c.established then handle_established c pkt
       else if pkt.Packet.flags.Packet.syn && pkt.Packet.flags.Packet.ack then begin
         (* client side: SYN-ACK *)
@@ -427,30 +534,55 @@ let handle_packet s (pkt : Packet.t) =
         (* server side: handshake-completing ACK (possibly with data) *)
         c.peer_wnd <- pkt.Packet.window;
         establish c;
+        let g_opt = Hashtbl.find_opt s.listeners c.local.Packet.port in
+        let shard_arg =
+          (* only multi-shard groups annotate the event, so shards=1 traces
+             stay byte-identical to the single-listener era *)
+          match g_opt with
+          | Some g when Array.length g.g_shards > 1 ->
+              [ ("shard", Evlog.Int (route_shard g ~remote:c.remote).shard) ]
+          | _ -> []
+        in
         Evlog.emit (Engine.evlog s.env.Netenv.eng) ~comp:"net.tcp" "accept"
           ~args:
-            [
-              ("conn", Evlog.Int c.id);
-              ("port", Evlog.Int c.local.Packet.port);
-            ];
-        (match Hashtbl.find_opt s.listeners c.local.Packet.port with
-        | Some l -> Bqueue.put l.accept_q c
+            ([
+               ("conn", Evlog.Int c.id);
+               ("port", Evlog.Int c.local.Packet.port);
+             ]
+            @ shard_arg);
+        (match g_opt with
+        | Some g ->
+            let l = route_shard g ~remote:c.remote in
+            if l.l_pending > 0 then l.l_pending <- l.l_pending - 1;
+            Bqueue.put l.accept_q (Some c)
         | None -> ());
         (match s.hooks with Some h -> h.on_accept c | None -> ());
         if Packet.payload_len pkt > 0 || pkt.Packet.flags.Packet.fin then
           handle_established c pkt
       end
   | None ->
-      if pkt.Packet.flags.Packet.syn && not pkt.Packet.flags.Packet.ack then begin
+      if pkt.Packet.flags.Packet.rst then
+        Trace.debugf log ~eng:s.env.Netenv.eng "RST for unknown conn dropped"
+      else if pkt.Packet.flags.Packet.syn && not pkt.Packet.flags.Packet.ack then begin
         match Hashtbl.find_opt s.listeners pkt.Packet.dst.Packet.port with
-        | Some _l ->
-            let c =
-              make_conn s ~local:pkt.Packet.dst ~remote:pkt.Packet.src
-                ~established:false ()
+        | Some g ->
+            let l = route_shard g ~remote:pkt.Packet.src in
+            let over =
+              match g.g_backlog with
+              | Some b -> Bqueue.length l.accept_q + l.l_pending >= b
+              | None -> false
             in
-            c.peer_wnd <- pkt.Packet.window;
-            transmit s
-              (make_packet c ~flags:(Packet.flag ~syn:true ~ack:true ()) ~seq:0 ())
+            if over then overflow_syn s g pkt
+            else begin
+              let c =
+                make_conn s ~local:pkt.Packet.dst ~remote:pkt.Packet.src
+                  ~established:false ()
+              in
+              l.l_pending <- l.l_pending + 1;
+              c.peer_wnd <- pkt.Packet.window;
+              transmit s
+                (make_packet c ~flags:(Packet.flag ~syn:true ~ack:true ()) ~seq:0 ())
+            end
         | None ->
             Trace.debugf log ~eng:s.env.Netenv.eng "SYN to closed port %d dropped"
               pkt.Packet.dst.Packet.port
@@ -482,6 +614,8 @@ let create env ?(config = default_config) ~ip () =
       m_segs_out = m "segs_out";
       m_bytes_in = m "bytes_in";
       m_bytes_out = m "bytes_out";
+      m_ovf_drop = m "accept_overflow_drop";
+      m_ovf_rst = m "accept_overflow_rst";
     }
   in
   ignore
@@ -503,13 +637,58 @@ let bind_nic s nic = s.nic <- Some nic
 
 (* {1 Socket API} *)
 
-let listen s ~port =
-  if Hashtbl.mem s.listeners port then invalid_arg "Tcp.listen: port in use";
-  let l = { lport = port; accept_q = Bqueue.create () } in
-  Hashtbl.replace s.listeners port l;
-  l
+let listen_group s ~port ?(shards = 1) ?backlog ?(overflow = `Drop) () =
+  if Hashtbl.mem s.listeners port then
+    invalid_arg "Tcp.listen_group: port in use";
+  if shards < 1 then invalid_arg "Tcp.listen_group: shards must be >= 1";
+  (match backlog with
+  | Some b when b < 1 -> invalid_arg "Tcp.listen_group: backlog must be >= 1"
+  | _ -> ());
+  let g =
+    {
+      g_stack = s;
+      g_port = port;
+      g_shards = [||];
+      g_backlog = backlog;
+      g_overflow = overflow;
+      g_closed = false;
+    }
+  in
+  g.g_shards <-
+    Array.init shards (fun i ->
+        {
+          lport = port;
+          shard = i;
+          accept_q = Bqueue.create ();
+          l_pending = 0;
+          group = g;
+        });
+  Hashtbl.replace s.listeners port g;
+  g.g_shards
 
-let accept l = Bqueue.get l.accept_q
+let listen s ~port = (listen_group s ~port ()).(0)
+
+let accept l =
+  match Bqueue.get l.accept_q with
+  | Some c -> Some c
+  | None ->
+      (* close sentinel: re-post so sibling acceptors observe it too *)
+      Bqueue.put l.accept_q None;
+      None
+
+(* Closing tears down the whole group: the port stops matching SYNs
+   immediately (later SYNs are dropped exactly like SYNs to a never-opened
+   port), already-accepted-but-unclaimed connections still drain, and once
+   a shard's queue runs dry its acceptors get [None]. *)
+let close_listener l =
+  let g = l.group in
+  if not g.g_closed then begin
+    g.g_closed <- true;
+    (match Hashtbl.find_opt g.g_stack.listeners g.g_port with
+    | Some g' when g' == g -> Hashtbl.remove g.g_stack.listeners g.g_port
+    | _ -> ());
+    Array.iter (fun sh -> Bqueue.put sh.accept_q None) g.g_shards
+  end
 
 let connect s ~host ~port =
   s.next_ephemeral <- s.next_ephemeral + 1;
@@ -542,6 +721,7 @@ let connect s ~host ~port =
   in
   arm_syn 60;
   Ivar.read c.established_iv;
+  if c.aborted then raise Connection_closed;
   c
 
 let send c chunk =
@@ -606,22 +786,6 @@ let poll ?deadline conns =
   in
   loop ()
 
-let abort c =
-  if not c.aborted then begin
-    c.aborted <- true;
-    cancel_rto c;
-    cancel_syn c;
-    (match c.tw_timer with
-    | Some h ->
-        Engine.cancel h;
-        c.tw_timer <- None
-    | None -> ());
-    Hashtbl.remove c.stack.conns (conn_key c);
-    wake_all c.readable;
-    wake_all c.writable;
-    wake_all c.send_wake
-  end
-
 (* {1 Failover reconstruction} *)
 
 type logical_state = {
@@ -677,3 +841,27 @@ let restore s (ls : logical_state) =
      rcv_nxt so its own retransmissions trim correctly). *)
   send_pure_ack c;
   c
+
+(* A restored connection the application never accepted (it sat in the dead
+   primary's accept queue) goes back into the accept queue of the listener
+   shard its 4-tuple routes to, so the live accept loop picks it up like
+   any other connection.  The backlog bound is deliberately not enforced
+   here: the connection was established, logged and replicated before the
+   failover — shedding it now would break exactly-once for a client the
+   old stack already committed to.  No listener on the port (the app closed
+   it) leaves the connection in the demux only; client data then meets a
+   normal close. *)
+let requeue_restored s c =
+  match Hashtbl.find_opt s.listeners c.local.Packet.port with
+  | None -> ()
+  | Some g ->
+      let l = route_shard g ~remote:c.remote in
+      Evlog.emit (Engine.evlog s.env.Netenv.eng) ~comp:"net.tcp"
+        "accept.requeue"
+        ~args:
+          [
+            ("conn", Evlog.Int c.id);
+            ("port", Evlog.Int c.local.Packet.port);
+            ("shard", Evlog.Int l.shard);
+          ];
+      Bqueue.put l.accept_q (Some c)

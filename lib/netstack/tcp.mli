@@ -32,6 +32,12 @@ type stack
 type conn
 type listener
 
+type overflow = [ `Drop | `Reset ]
+(** What happens to a SYN routed to a shard whose backlog is full:
+    [`Drop] models Linux's silent SYN drop (the client's SYN
+    retransmission retries later); [`Reset] answers with an RST, failing
+    the client's [connect] with {!Connection_closed}. *)
+
 exception Connection_closed
 
 (** Interposition hooks for a replication runtime (all called from stack or
@@ -69,11 +75,47 @@ val ip : stack -> string
 (** {1 Sockets} *)
 
 val listen : stack -> port:int -> listener
-val accept : listener -> conn
-(** Block until a connection is established on the listener. *)
+(** Single-shard, unbounded-backlog listener: exactly the pre-listener-group
+    shape, implemented as [listen_group ~shards:1] and returning shard 0. *)
+
+val listen_group :
+  stack ->
+  port:int ->
+  ?shards:int ->
+  ?backlog:int ->
+  ?overflow:overflow ->
+  unit ->
+  listener array
+(** SO_REUSEPORT-style listener group: [shards] independent accept queues on
+    one port.  Incoming SYNs are routed to a shard by {!shard_of_tuple} (a
+    pure hash of the connection 4-tuple), so a given client connection always
+    lands on the same shard.  [backlog] bounds each shard's pending + unclaimed
+    connections; an overflowing SYN is dropped or reset per [overflow]
+    (default [`Drop]) and counted in {!accept_overflow_drop} /
+    {!accept_overflow_rst}.  Default [shards = 1], unbounded backlog. *)
+
+val accept : listener -> conn option
+(** Block until a connection is established on this shard; [None] means the
+    listener group was closed (remaining queued connections are drained
+    first). *)
+
+val close_listener : listener -> unit
+(** Close the whole group the shard belongs to: the port stops matching new
+    SYNs, and every acceptor blocked on any shard of the group unblocks with
+    [None] once its queue drains.  Idempotent. *)
+
+val shard_of_tuple : remote:Packet.addr -> port:int -> shards:int -> int
+(** The pure SYN-routing hash: which shard of a [shards]-wide group on local
+    port [port] the connection from [remote] lands on.  Deterministic across
+    calls, stacks, and replicas. *)
+
+val listener_port : listener -> int
+val listener_shard : listener -> int
 
 val connect : stack -> host:string -> port:int -> conn
-(** Active open; blocks until established. *)
+(** Active open; blocks until established.  Raises {!Connection_closed} if
+    the peer refuses the connection with an RST (backlog overflow in
+    [`Reset] mode). *)
 
 val send : conn -> Payload.chunk -> unit
 (** Append to the send buffer; blocks while the buffer is full.  Raises
@@ -132,9 +174,23 @@ val restore : stack -> logical_state -> conn
     resumes at [l_snd_una] (the peer discards duplicates), and input
     continues from [l_rcv_nxt]. *)
 
+val requeue_restored : stack -> conn -> unit
+(** Hand a restored connection the application never accepted back to the
+    accept queue of the listener shard its 4-tuple routes to (emits an
+    [accept.requeue] event).  The backlog bound is not enforced: the
+    connection was established and replicated before the failover, so
+    shedding it now would break exactly-once.  No-op if the port has no
+    listener. *)
+
 (** {1 Metrics} *)
 
 val segs_in : stack -> int
 val segs_out : stack -> int
 val bytes_in : stack -> int
 val bytes_out : stack -> int
+
+val accept_overflow_drop : stack -> int
+(** SYNs silently dropped because the routed shard's backlog was full. *)
+
+val accept_overflow_rst : stack -> int
+(** SYNs refused with an RST because the routed shard's backlog was full. *)

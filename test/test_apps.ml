@@ -356,6 +356,192 @@ let test_slo_deterministic () =
   let a = run () and b = run () in
   Alcotest.(check bool) "same seed, same report" true (a = b)
 
+(* {1 C10K tier: shards, admission, open-loop load} *)
+
+let test_mongoose_sharded_serves_ab () =
+  (* The multi-shard acceptor pool with a bounded backlog must serve the
+     classic closed-loop workload exactly like the single listener does. *)
+  let eng = Engine.create () in
+  let link = gbit_link eng in
+  let app api =
+    Mongoose.run
+      ~params:
+        {
+          Mongoose.default_params with
+          workers = 4;
+          listen_shards = 4;
+          accept_backlog = Some 64;
+        }
+      api
+  in
+  let _sa = small_standalone eng ~link:(Link.endpoint_a link) ~app in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let ab =
+    Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/page.html"
+      ~concurrency:8 ()
+  in
+  Engine.run ~until:(Time.sec 2) eng;
+  Loadgen.ab_stop ab;
+  Engine.run ~until:(Time.sec 3) eng;
+  let stats = Loadgen.ab_stats ab in
+  Alcotest.(check bool) "requests completed" true
+    (Metrics.Counter.value stats.Loadgen.completed > 50);
+  Alcotest.(check int) "no errors" 0 (Metrics.Counter.value stats.Loadgen.errors)
+
+let overload_ol_run () =
+  (* Open-loop arrivals at 4x what one admitted 5 ms request at a time can
+     absorb: the admission controller must shed, and every launched
+     connection must still be classified exactly once. *)
+  let eng = Engine.create ~seed:11 () in
+  let link = gbit_link eng in
+  let app api =
+    Mongoose.run
+      ~params:
+        {
+          Mongoose.default_params with
+          workers = 4;
+          page_bytes = 1024;
+          cpu_per_request = Time.ms 5;
+          admission = Some 1;
+        }
+      api
+  in
+  let _sa = small_standalone eng ~link:(Link.endpoint_a link) ~app in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  let conns = 150 in
+  let ol =
+    Loadgen.ol_start client ~server:"10.0.0.1" ~port:80 ~target:"/"
+      ~rate:800.0 ~conns ~poisson:true ~seed:3 ()
+  in
+  Engine.run ~until:(Time.sec 30) eng;
+  let s = Loadgen.ol_stats ol in
+  ( Metrics.Counter.value s.Loadgen.ol_ok,
+    Metrics.Counter.value s.Loadgen.ol_shed,
+    Metrics.Counter.value s.Loadgen.ol_errors,
+    Loadgen.ol_peak ol,
+    Ivar.peek (Loadgen.ol_done ol) <> None )
+
+let test_admission_sheds_under_overload () =
+  let ok, shed, errors, peak, finished = overload_ol_run () in
+  Alcotest.(check bool) "generator drained" true finished;
+  Alcotest.(check int) "every connection classified exactly once" 150
+    (ok + shed + errors);
+  Alcotest.(check bool)
+    (Printf.sprintf "admission shed under overload (ok=%d shed=%d err=%d)" ok
+       shed errors)
+    true (shed > 0);
+  Alcotest.(check bool) "some requests admitted" true (ok > 0);
+  Alcotest.(check bool) "connections piled up open-loop" true (peak > 1)
+
+let test_ol_deterministic () =
+  let a = overload_ol_run () and b = overload_ol_run () in
+  Alcotest.(check bool) "same seed, same outcome counts" true (a = b)
+
+let test_oracle_allow_shed_exactly_once () =
+  (* The consistency oracle rides through admission sheds: each exact
+     zero-body 503 is retried, everything the server commits to is verified
+     byte-for-byte, and the oracle still finishes all its requests. *)
+  let eng = Engine.create ~seed:5 () in
+  let link = gbit_link eng in
+  let page_bytes = 2048 in
+  let app api =
+    Mongoose.run
+      ~params:
+        {
+          Mongoose.default_params with
+          workers = 4;
+          page_bytes;
+          cpu_per_request = Time.ms 2;
+          admission = Some 1;
+        }
+      api
+  in
+  let _sa = small_standalone eng ~link:(Link.endpoint_a link) ~app in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  (* Background closed-loop flood keeps the single admission slot busy so
+     the oracle's requests actually get shed. *)
+  let ab =
+    Loadgen.ab_start client ~server:"10.0.0.1" ~port:80 ~target:"/bg"
+      ~concurrency:8 ()
+  in
+  let oracle =
+    Loadgen.verified_start client ~server:"10.0.0.1" ~port:80 ~target:"/v"
+      ~expect_bytes:page_bytes ~requests:15 ~allow_shed:true ()
+  in
+  Engine.run ~until:(Time.sec 30) eng;
+  Loadgen.ab_stop ab;
+  Alcotest.(check int) "oracle finished all requests" 15
+    oracle.Loadgen.completed;
+  Alcotest.(check bool) "no consistency violations" true
+    (Loadgen.oracle_ok oracle);
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle observed sheds (o_shed=%d)" oracle.Loadgen.o_shed)
+    true
+    (oracle.Loadgen.o_shed > 0)
+
+let test_failover_requeues_unaccepted () =
+  (* Kill the primary while connections sit established-but-unaccepted in
+     the shard queues (a slow accept path keeps the queues deep).  The
+     promoted secondary must requeue those restored connections so fresh
+     acceptors serve them — no client may hang or error. *)
+  let eng = Engine.create ~seed:9 () in
+  let link = gbit_link eng in
+  let app api =
+    Mongoose.run
+      ~params:
+        {
+          Mongoose.default_params with
+          workers = 8;
+          page_bytes = 1024;
+          accept_cost = Time.ms 5;
+          listen_shards = 2;
+        }
+      api
+  in
+  let config =
+    {
+      Cluster.default_config with
+      Cluster.topology = Topology.small;
+      hb_period = Time.ms 5;
+      hb_timeout = Time.ms 25;
+    }
+  in
+  let cluster = Cluster.create eng ~config ~link:(Link.endpoint_a link) ~app () in
+  let client = Host.create eng ~ip:"10.0.0.9" (Link.endpoint_b link) in
+  Cluster.kill cluster ~role:Replica_set.Primary ~at:(Time.ms 400);
+  Engine.run ~until:(Time.ms 250) eng;
+  let conns = 200 in
+  let ol =
+    Loadgen.ol_start client ~server:"10.0.0.1" ~port:80 ~target:"/"
+      ~rate:4000.0 ~conns ~poisson:true ~seed:4 ()
+  in
+  Engine.run ~until:(Time.sec 30) eng;
+  Cluster.shutdown cluster;
+  let s = Loadgen.ol_stats ol in
+  let ok = Metrics.Counter.value s.Loadgen.ol_ok in
+  let shed = Metrics.Counter.value s.Loadgen.ol_shed in
+  let errors = Metrics.Counter.value s.Loadgen.ol_errors in
+  let requeues =
+    Evlog.Query.filter ~comp:"net.tcp" ~name:"accept.requeue"
+      (Evlog.events (Engine.evlog eng))
+  in
+  Alcotest.(check bool) "generator drained" true
+    (Ivar.peek (Loadgen.ol_done ol) <> None);
+  Alcotest.(check bool) "failover happened" true
+    (Ivar.peek (Cluster.failover_done cluster) <> None);
+  Alcotest.(check bool)
+    (Printf.sprintf "unaccepted connections were requeued (%d)"
+       (List.length requeues))
+    true
+    (requeues <> []);
+  Alcotest.(check int) "every connection classified exactly once" conns
+    (ok + shed + errors);
+  Alcotest.(check bool)
+    (Printf.sprintf "clients survived the failover (ok=%d shed=%d err=%d)" ok
+       shed errors)
+    true
+    (errors = 0 && ok = conns)
+
 let () =
   Alcotest.run "apps"
     [
@@ -392,5 +578,18 @@ let () =
         [
           Alcotest.test_case "phase split" `Quick test_slo_phase_split;
           Alcotest.test_case "deterministic" `Quick test_slo_deterministic;
+        ] );
+      ( "c10k",
+        [
+          Alcotest.test_case "sharded listeners serve ab" `Quick
+            test_mongoose_sharded_serves_ab;
+          Alcotest.test_case "admission sheds under overload" `Quick
+            test_admission_sheds_under_overload;
+          Alcotest.test_case "open-loop deterministic" `Quick
+            test_ol_deterministic;
+          Alcotest.test_case "oracle rides through sheds" `Quick
+            test_oracle_allow_shed_exactly_once;
+          Alcotest.test_case "failover requeues unaccepted conns" `Quick
+            test_failover_requeues_unaccepted;
         ] );
     ]

@@ -157,16 +157,18 @@ let test_cond_timedwait_outcome_replicated () =
 let echo_app (api : Api.t) =
   let l = api.Api.net.listen ~port:80 in
   let rec serve () =
-    let s = api.Api.net.accept l in
-    let rec echo () =
-      match api.Api.net.recv s ~max:4096 with
-      | Error _ -> api.Api.net.close s
-      | Ok cs ->
-          List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
-          echo ()
-    in
-    echo ();
-    serve ()
+    match api.Api.net.accept l with
+    | Error _ -> ()
+    | Ok s ->
+        let rec echo () =
+          match api.Api.net.recv s ~max:4096 with
+          | Error _ -> api.Api.net.close s
+          | Ok cs ->
+              List.iter (fun c -> ignore (api.Api.net.send s c)) cs;
+              echo ()
+        in
+        echo ();
+        serve ()
   in
   serve ()
 
@@ -613,7 +615,9 @@ let poll_echo_app (api : Api.t) =
   let socks = ref [] in
   (* Accept two connections up front, then serve both from one thread. *)
   for _ = 1 to 2 do
-    socks := api.Api.net.accept l :: !socks
+    match api.Api.net.accept l with
+    | Ok s -> socks := s :: !socks
+    | Error _ -> ()
   done;
   let socks = List.rev !socks in
   let open_count = ref (List.length socks) in

@@ -12,6 +12,13 @@ let run_sim ?(seed = 42) f =
   | Some v -> v
   | None -> Alcotest.fail "test process did not complete"
 
+(* [Tcp.accept] returns [None] once the listener is closed; these tests all
+   accept on live listeners. *)
+let accept_exn l =
+  match Tcp.accept l with
+  | Some c -> c
+  | None -> Alcotest.fail "accept: listener closed"
+
 (* {1 Payload} *)
 
 let test_payload_split () =
@@ -150,7 +157,7 @@ let test_tcp_connect_accept () =
         let got = ref None in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                got := Some (Tcp.remote_addr c)));
         let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
         Engine.sleep (Time.ms 1);
@@ -168,7 +175,7 @@ let test_tcp_echo () =
         let l = Tcp.listen server ~port:80 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let rec echo () =
                  match Tcp.recv c ~max:4096 with
                  | [] -> Tcp.close c
@@ -198,7 +205,7 @@ let test_tcp_bulk_transfer_integrity () =
         let total = 1_000_000 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let sent = ref 0 in
                while !sent < total do
                  let n = min 37_000 (total - !sent) in
@@ -227,7 +234,7 @@ let test_tcp_throughput_near_line_rate () =
         let total = 10_000_000 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let sent = ref 0 in
                while !sent < total do
                  let n = min 65_536 (total - !sent) in
@@ -262,7 +269,7 @@ let test_tcp_window_limits_inflight () =
         let reader_started = ref false in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                (* Do not read: the sender must stall at rwnd. *)
                Engine.sleep (Time.sec 1);
                reader_started := true;
@@ -288,7 +295,7 @@ let test_tcp_fin_both_ways () =
         let server_saw_eof = ref false in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let rec drain () =
                  match Tcp.recv c ~max:4096 with
                  | [] -> server_saw_eof := true
@@ -333,7 +340,7 @@ let test_tcp_retransmit_through_nic_outage () =
         let got = Buffer.create 64 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let rec drain () =
                  match Tcp.recv c ~max:4096 with
                  | [] -> ()
@@ -368,7 +375,7 @@ let test_tcp_rto_survives_outage_without_new_sends () =
         let got = Buffer.create 16 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let rec drain () =
                  match Tcp.recv c ~max:4096 with
                  | [] -> ()
@@ -407,7 +414,7 @@ let test_tcp_integrity_under_packet_loss () =
         let total = 3_000_000 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let sent = ref 0 in
                while !sent < total do
                  let n = min 48_000 (total - !sent) in
@@ -446,7 +453,7 @@ let test_tcp_restore_resumes_transfer () =
         let sconn = ref None in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                sconn := Some c;
                (* Send 200 KB, then the "primary" will die. *)
                Tcp.send c (Payload.zeroes 200_000)));
@@ -501,7 +508,7 @@ let test_tcp_poll_readiness () =
         ignore
           (Engine.spawn eng (fun () ->
                for _ = 1 to 2 do
-                 sconns := Tcp.accept l :: !sconns
+                 sconns := accept_exn l :: !sconns
                done));
         let c1 = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
         let c2 = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
@@ -532,13 +539,212 @@ let test_tcp_poll_eof_is_ready () =
         let l = Tcp.listen server ~port:80 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                Tcp.close c));
         let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
         let ready = Tcp.poll ~deadline:(Engine.now eng + Time.sec 5) [ c ] in
         (List.length ready, Tcp.recv c ~max:10))
   in
   Alcotest.(check bool) "EOF polls ready and reads as EOF" true (v = (1, []))
+
+(* {1 Listener groups} *)
+
+let prop_shard_of_tuple =
+  QCheck.Test.make ~name:"shard_of_tuple is stable and in range" ~count:500
+    QCheck.(
+      quad (int_range 0 255) (int_range 1 65535) (int_range 1 65535)
+        (int_range 1 16))
+    (fun (oct, rport, lport, shards) ->
+      let remote =
+        { Packet.host = Printf.sprintf "10.0.%d.%d" (oct / 16) oct; port = rport }
+      in
+      let s = Tcp.shard_of_tuple ~remote ~port:lport ~shards in
+      s >= 0 && s < shards
+      && s = Tcp.shard_of_tuple ~remote ~port:lport ~shards
+      && (shards <> 1 || s = 0))
+
+let test_shard_of_tuple_balanced () =
+  (* A thousand ephemeral client ports from one host must spread across a
+     4-shard group: no shard starved, no shard hogging.  Exact counts are
+     pinned by the hash, so a fair-but-lumpy split stays stable. *)
+  let shards = 4 in
+  let counts = Array.make shards 0 in
+  for cport = 10_000 to 10_999 do
+    let remote = { Packet.host = "10.0.0.9"; port = cport } in
+    let s = Tcp.shard_of_tuple ~remote ~port:80 ~shards in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d holds a fair share (%d of 1000)" i n)
+        true
+        (n >= 150 && n <= 350))
+    counts;
+  Alcotest.(check int) "every tuple routed" 1000
+    (Array.fold_left ( + ) 0 counts)
+
+let test_listen_group_routes_by_tuple () =
+  (* Each accepted connection must land on the shard its 4-tuple hashes
+     to — the property that lets a restored connection find the same
+     queue on the promoted replica. *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let shards = 4 in
+        let ls = Tcp.listen_group server ~port:80 ~shards () in
+        let seen = ref [] in
+        Array.iter
+          (fun l ->
+            ignore
+              (Engine.spawn eng (fun () ->
+                   let rec loop () =
+                     match Tcp.accept l with
+                     | None -> ()
+                     | Some c ->
+                         seen :=
+                           (Tcp.listener_shard l, Tcp.remote_addr c) :: !seen;
+                         loop ()
+                   in
+                   loop ())))
+          ls;
+        for _ = 1 to 12 do
+          ignore (Tcp.connect client ~host:"10.0.0.1" ~port:80)
+        done;
+        Engine.sleep (Time.ms 5);
+        !seen)
+  in
+  Alcotest.(check int) "all 12 connections accepted" 12 (List.length v);
+  List.iter
+    (fun (shard, remote) ->
+      Alcotest.(check int)
+        (Printf.sprintf "conn from port %d accepted on its hash shard"
+           remote.Packet.port)
+        (Tcp.shard_of_tuple ~remote ~port:80 ~shards:4)
+        shard)
+    v
+
+let test_overflow_drop_retries_later () =
+  (* [`Drop]: the overflowing SYN vanishes; the client's handshake stalls
+     until a retransmitted SYN finds a freed backlog slot. *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let ls =
+          Tcp.listen_group server ~port:80 ~shards:1 ~backlog:1
+            ~overflow:`Drop ()
+        in
+        (* First connection fills the single backlog slot (established,
+           unclaimed).  Second SYN must be dropped. *)
+        let c1 = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let second = ref None in
+        ignore
+          (Engine.spawn eng (fun () ->
+               second := Some (Tcp.connect client ~host:"10.0.0.1" ~port:80)));
+        Engine.sleep (Time.ms 50);
+        let stalled = !second = None in
+        let drops_at_50ms = Tcp.accept_overflow_drop server in
+        (* Claim the first connection: the slot frees, and the client's SYN
+           retransmission (RTO 200 ms) completes the second handshake. *)
+        let accepted = Tcp.accept ls.(0) in
+        Engine.sleep (Time.ms 400);
+        ( stalled,
+          drops_at_50ms,
+          accepted <> None,
+          (match !second with Some c -> Tcp.is_established c | None -> false),
+          Tcp.is_established c1 ))
+  in
+  let stalled, drops, first_accepted, second_established, first_alive = v in
+  Alcotest.(check bool) "second connect stalled while backlog full" true stalled;
+  Alcotest.(check bool) "dropped SYNs counted" true (drops >= 1);
+  Alcotest.(check bool) "first connection accepted" true first_accepted;
+  Alcotest.(check bool) "second connect succeeded after retry" true
+    second_established;
+  Alcotest.(check bool) "first connection unharmed" true first_alive
+
+let test_overflow_reset_fails_connect () =
+  (* [`Reset]: the overflowing SYN is answered with an RST, so the client's
+     connect fails immediately instead of stalling. *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let _ls =
+          Tcp.listen_group server ~port:80 ~shards:1 ~backlog:1
+            ~overflow:`Reset ()
+        in
+        let c1 = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        let outcome = ref `Pending in
+        ignore
+          (Engine.spawn eng (fun () ->
+               match Tcp.connect client ~host:"10.0.0.1" ~port:80 with
+               | _ -> outcome := `Established
+               | exception Tcp.Connection_closed -> outcome := `Refused));
+        Engine.sleep (Time.ms 50);
+        (!outcome, Tcp.accept_overflow_rst server, Tcp.is_established c1))
+  in
+  let outcome, rsts, first_alive = v in
+  Alcotest.(check bool) "second connect refused with RST" true
+    (outcome = `Refused);
+  Alcotest.(check bool) "refused SYNs counted" true (rsts >= 1);
+  Alcotest.(check bool) "first connection unharmed" true first_alive
+
+let test_close_listener_drains_then_none () =
+  (* Closing the group: queued-but-unclaimed connections drain first, then
+     every accept returns [None]. *)
+  let v =
+    run_sim (fun eng ->
+        let server, client, _, _ = make_pair eng in
+        let l = Tcp.listen server ~port:80 in
+        let c = Tcp.connect client ~host:"10.0.0.1" ~port:80 in
+        Engine.sleep (Time.ms 1);
+        Tcp.close_listener l;
+        let first = Tcp.accept l in
+        let second = Tcp.accept l in
+        ignore c;
+        (first <> None, second = None))
+  in
+  Alcotest.(check (pair bool bool)) "drain then None" (true, true) v
+
+let test_requeue_restored_reaches_acceptor () =
+  (* A restored connection the old application never accepted must be
+     requeued onto the shard its 4-tuple hashes to, where a fresh accept
+     picks it up — the failover path for connections that died in the
+     primary's accept queue. *)
+  let v =
+    run_sim (fun eng ->
+        let server, _client, _, _ = make_pair eng in
+        let shards = 4 in
+        let ls = Tcp.listen_group server ~port:80 ~shards () in
+        let remote = { Packet.host = "10.0.0.9"; port = 5555 } in
+        let c =
+          Tcp.restore server
+            {
+              Tcp.l_local = { Packet.host = "10.0.0.1"; port = 80 };
+              l_remote = remote;
+              l_snd_una = 0;
+              l_rcv_nxt = 0;
+              l_unacked = [];
+              l_unread = [];
+              l_peer_fin = false;
+            }
+        in
+        let expected = Tcp.shard_of_tuple ~remote ~port:80 ~shards in
+        let got = ref None in
+        ignore
+          (Engine.spawn eng (fun () -> got := Tcp.accept ls.(expected)));
+        Tcp.requeue_restored server c;
+        Engine.sleep (Time.ms 1);
+        let requeues =
+          Evlog.Query.filter ~comp:"net.tcp" ~name:"accept.requeue"
+            (Evlog.events (Engine.evlog eng))
+        in
+        ( (match !got with Some g -> Tcp.conn_id g = Tcp.conn_id c | None -> false),
+          List.length requeues ))
+  in
+  let accepted_same, requeues = v in
+  Alcotest.(check bool) "acceptor received the restored connection" true
+    accepted_same;
+  Alcotest.(check int) "requeue event emitted" 1 requeues
 
 (* {1 HTTP} *)
 
@@ -549,7 +755,7 @@ let test_http_request_response () =
         let l = Tcp.listen server ~port:80 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let r = Http.reader c in
                match Http.read_headers r with
                | None -> ()
@@ -582,7 +788,7 @@ let test_http_large_body_zero_copy () =
         let size = 5_000_000 in
         ignore
           (Engine.spawn eng (fun () ->
-               let c = Tcp.accept l in
+               let c = accept_exn l in
                let r = Http.reader c in
                match Http.read_headers r with
                | None -> ()
@@ -646,6 +852,22 @@ let () =
             test_tcp_restore_resumes_transfer;
           Alcotest.test_case "poll readiness" `Quick test_tcp_poll_readiness;
           Alcotest.test_case "poll EOF" `Quick test_tcp_poll_eof_is_ready;
+        ] );
+      ( "listener-group",
+        [
+          QCheck_alcotest.to_alcotest prop_shard_of_tuple;
+          Alcotest.test_case "hash balances shards" `Quick
+            test_shard_of_tuple_balanced;
+          Alcotest.test_case "SYNs route by tuple" `Quick
+            test_listen_group_routes_by_tuple;
+          Alcotest.test_case "overflow `Drop retries later" `Quick
+            test_overflow_drop_retries_later;
+          Alcotest.test_case "overflow `Reset fails connect" `Quick
+            test_overflow_reset_fails_connect;
+          Alcotest.test_case "close drains then None" `Quick
+            test_close_listener_drains_then_none;
+          Alcotest.test_case "requeue_restored reaches acceptor" `Quick
+            test_requeue_restored_reaches_acceptor;
         ] );
       ( "http",
         [
